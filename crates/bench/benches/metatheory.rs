@@ -1,0 +1,97 @@
+//! E5 / E7 — cost of the meta-theory decision procedures.
+//!
+//! * the ⊑ ordering check between a value's provenance denotation and the
+//!   global log, as the run (and hence the log) grows;
+//! * the full correctness check (Definition 3) of a monitored system;
+//! * exhaustive exploration of a small state space (the harness behind the
+//!   Theorem 1 experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piprov_bench::quick_criterion;
+use piprov_core::pattern::TrivialPatterns;
+use piprov_logs::{
+    check_provenance, denote, explore_correctness, log_leq, ExploreOptions, MonitoredExecutor,
+    MonitoredSystem,
+};
+use piprov_core::value::AnnotatedValue;
+use piprov_runtime::workload;
+
+/// Runs the pipeline monitored and returns the final monitored system plus
+/// the most-travelled annotated value (largest provenance).
+fn monitored_pipeline(stages: usize) -> (MonitoredSystem<piprov_core::pattern::AnyPattern>, AnnotatedValue) {
+    let system = workload::pipeline(stages, 2);
+    let mut exec = MonitoredExecutor::new(&system, TrivialPatterns);
+    exec.run(1_000_000).unwrap();
+    let monitored = exec.as_monitored_system();
+    let best = monitored
+        .values()
+        .into_iter()
+        .max_by_key(|v| v.provenance.total_size())
+        .map(|v| match v.term {
+            piprov_logs::Term::Value(value) => AnnotatedValue::new(value, v.provenance),
+            _ => AnnotatedValue::channel("v"),
+        })
+        .unwrap_or_else(|| AnnotatedValue::channel("v"));
+    (monitored, best)
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_ordering");
+    for stages in [2usize, 4, 8] {
+        let (monitored, value) = monitored_pipeline(stages);
+        let denotation = denote(&value);
+        group.bench_with_input(
+            BenchmarkId::new("denotation_below_log", stages),
+            &stages,
+            |b, _| b.iter(|| log_leq(&denotation, monitored.log())),
+        );
+        group.bench_with_input(BenchmarkId::new("denote", stages), &stages, |b, _| {
+            b.iter(|| denote(&value))
+        });
+    }
+    group.finish();
+}
+
+fn bench_correctness_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_correctness_check");
+    for stages in [2usize, 4, 8] {
+        let (monitored, _) = monitored_pipeline(stages);
+        group.bench_with_input(BenchmarkId::new("check_provenance", stages), &stages, |b, _| {
+            b.iter(|| check_provenance(&monitored).is_correct())
+        });
+    }
+    group.finish();
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_exploration");
+    let market = workload::fan_out(2, 1, 2);
+    group.bench_function("explore_market_correctness", |b| {
+        b.iter(|| {
+            explore_correctness(
+                &MonitoredSystem::new(market.clone()),
+                &TrivialPatterns,
+                ExploreOptions {
+                    max_depth: 12,
+                    max_states: 4_000,
+                },
+            )
+            .unwrap()
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_ordering(c);
+    bench_correctness_check(c);
+    bench_exploration(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = all
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E10 — cost of pattern vetting (`κ ⊨ π`).
+//!
+//! Sweeps provenance length and pattern shape, comparing the reference
+//! backtracking matcher (the paper's rules verbatim) against the compiled
+//! NFA engine.  The crossover the experiment documents: the two engines are
+//! comparable on short provenance, and the NFA wins by orders of magnitude
+//! on ambiguous patterns over long provenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piprov_bench::quick_criterion;
+use piprov_core::name::Principal;
+use piprov_core::provenance::{Event, Provenance};
+use piprov_patterns::{matching, CompiledPattern, GroupExpr, Pattern};
+
+fn provenance_of_length(n: usize) -> Provenance {
+    let principals = ["a", "b", "c", "d"];
+    Provenance::from_events(
+        (0..n)
+            .map(|i| {
+                let p = Principal::new(principals[i % principals.len()]);
+                if i % 2 == 0 {
+                    Event::input(p, Provenance::empty())
+                } else {
+                    Event::output(p, Provenance::empty())
+                }
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_engines");
+    let patterns = vec![
+        ("immediate_sender", Pattern::immediately_sent_by(GroupExpr::single("a"))),
+        ("originated_at", Pattern::originated_at(GroupExpr::single("a"))),
+        (
+            "only_touched_by",
+            Pattern::only_touched_by(GroupExpr::any_of(["a", "b", "c", "d"])),
+        ),
+        ("ambiguous_star", Pattern::Any.then(Pattern::Any).star()),
+    ];
+    for (name, pattern) in &patterns {
+        for len in [4usize, 16, 64] {
+            let prov = provenance_of_length(len);
+            // The reference matcher on the ambiguous pattern is exponential;
+            // cap its input size so the bench completes.
+            if *name != "ambiguous_star" || len <= 16 {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("reference/{}", name), len),
+                    &len,
+                    |b, _| b.iter(|| matching::satisfies(&prov, pattern)),
+                );
+            }
+            let compiled = CompiledPattern::compile(pattern);
+            group.bench_with_input(
+                BenchmarkId::new(format!("nfa/{}", name), len),
+                &len,
+                |b, _| b.iter(|| compiled.matches(&prov)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_compilation");
+    let pattern = Pattern::only_touched_by(GroupExpr::any_of(["a", "b", "c", "d"]))
+        .or(Pattern::originated_at(GroupExpr::single("a")));
+    group.bench_function("compile", |b| b.iter(|| CompiledPattern::compile(&pattern)));
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_engines(c);
+    bench_compilation(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = all
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Design-choice ablation (DESIGN.md §6): provenance representation.
+//!
+//! The canonical representation shares the tail of the sequence between the
+//! pre- and post-event values (O(1) prepend); the flat representation
+//! copies the whole vector, which is what a naive implementation of the
+//! paper would do.  The gap grows linearly with the provenance length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piprov_bench::quick_criterion;
+use piprov_core::name::Principal;
+use piprov_core::provenance::compact::{FlatEvent, FlatProvenance};
+use piprov_core::provenance::{Direction, Event, Provenance};
+
+fn shared_of_length(n: usize) -> Provenance {
+    let mut p = Provenance::empty();
+    for i in 0..n {
+        p = p.prepend(Event::output(
+            Principal::new(format!("p{}", i % 4)),
+            Provenance::empty(),
+        ));
+    }
+    p
+}
+
+fn bench_prepend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repr_prepend");
+    for len in [8usize, 64, 512] {
+        let shared = shared_of_length(len);
+        let flat = FlatProvenance::from_shared(&shared);
+        let event = Event::input(Principal::new("x"), Provenance::empty());
+        let flat_event = FlatEvent {
+            principal: Principal::new("x"),
+            direction: Direction::Input,
+            channel_provenance: FlatProvenance::empty(),
+        };
+        group.bench_with_input(BenchmarkId::new("shared", len), &len, |b, _| {
+            b.iter(|| shared.prepend(event.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("flat_copy", len), &len, |b, _| {
+            b.iter(|| flat.prepend(flat_event.clone()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repr_traverse");
+    for len in [64usize, 512] {
+        let shared = shared_of_length(len);
+        group.bench_with_input(BenchmarkId::new("principals_involved", len), &len, |b, _| {
+            b.iter(|| shared.principals_involved().len())
+        });
+        group.bench_with_input(BenchmarkId::new("total_size", len), &len, |b, _| {
+            b.iter(|| shared.total_size())
+        });
+    }
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_prepend(c);
+    bench_traversal(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = all
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E13 — scalability of the simulator with system size and network
+//! conditions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piprov_bench::quick_criterion;
+use piprov_core::pattern::TrivialPatterns;
+use piprov_runtime::workload;
+use piprov_runtime::{NetworkConfig, SimConfig, Simulation};
+
+fn run(system: &piprov_core::system::System<piprov_core::pattern::AnyPattern>, network: NetworkConfig) -> usize {
+    let mut sim = Simulation::new(
+        system,
+        TrivialPatterns,
+        SimConfig {
+            network,
+            ..SimConfig::default()
+        },
+    );
+    sim.run(10_000_000).unwrap();
+    sim.metrics().steps
+}
+
+fn bench_principal_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_principals");
+    for producers in [8usize, 16, 32, 64] {
+        let system = workload::fan_out(producers, producers / 4, 2);
+        group.bench_with_input(BenchmarkId::new("fan_out", producers), &producers, |b, _| {
+            b.iter(|| run(&system, NetworkConfig::reliable()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_ring");
+    for nodes in [8usize, 32, 128] {
+        let system = workload::ring(nodes);
+        group.bench_with_input(BenchmarkId::new("ring", nodes), &nodes, |b, _| {
+            b.iter(|| run(&system, NetworkConfig::reliable()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_conditions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_network");
+    let system = workload::pipeline(6, 6);
+    group.bench_function("reliable", |b| {
+        b.iter(|| run(&system, NetworkConfig::reliable()))
+    });
+    group.bench_function("jittery", |b| {
+        b.iter(|| {
+            run(
+                &system,
+                NetworkConfig {
+                    base_latency: 5,
+                    jitter: 20,
+                    ..NetworkConfig::reliable()
+                },
+            )
+        })
+    });
+    group.bench_function("lossy_10pct", |b| {
+        b.iter(|| run(&system, NetworkConfig::lossy(0.10, 3)))
+    });
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_principal_scale(c);
+    bench_ring_scale(c);
+    bench_network_conditions(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = all
+}
+criterion_main!(benches);

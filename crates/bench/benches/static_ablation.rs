@@ -1,0 +1,69 @@
+//! E12 — static analysis ablation.
+//!
+//! Measures the cost of the provenance-flow analysis itself, and compares
+//! running the competition workload with its original patterns against the
+//! statically optimised version in which provably redundant checks were
+//! replaced by `Any` (the §5 optimisation).  The expected shape: the
+//! analysis is cheap relative to a run, and the optimised system performs
+//! fewer expensive pattern checks for the same behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piprov_bench::quick_criterion;
+use piprov_core::interpreter::Executor;
+use piprov_patterns::SamplePatterns;
+use piprov_runtime::workload;
+use piprov_static::{analyze, elide_redundant_checks, AnalysisConfig};
+
+fn bench_analysis_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_analysis_cost");
+    for contestants in [3usize, 6, 12] {
+        let system = workload::competition(contestants, 3);
+        group.bench_with_input(
+            BenchmarkId::new("analyze_competition", contestants),
+            &contestants,
+            |b, _| b.iter(|| analyze(&system, AnalysisConfig::default()).checks.len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_original_vs_optimized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_run_cost");
+    for contestants in [4usize, 8] {
+        let original = workload::competition(contestants, 2);
+        let optimized = elide_redundant_checks(&original, AnalysisConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("original_patterns", contestants),
+            &contestants,
+            |b, _| {
+                b.iter(|| {
+                    let mut exec = Executor::new(&original, SamplePatterns::new()).without_trace();
+                    exec.run(1_000_000).unwrap().steps
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("statically_optimized", contestants),
+            &contestants,
+            |b, _| {
+                b.iter(|| {
+                    let mut exec = Executor::new(&optimized, SamplePatterns::new()).without_trace();
+                    exec.run(1_000_000).unwrap().steps
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_analysis_cost(c);
+    bench_original_vs_optimized(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = all
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E9 — runtime overhead of dynamic provenance tracking.
+//!
+//! Compares, on the same workload topologies, the cost of running with
+//!
+//! * no tracking (annotations stripped by the middleware),
+//! * the paper's manual-tagging convention (identity fields + `if` tests),
+//! * full calculus-level tracking (middleware-maintained provenance),
+//!
+//! and sweeps the pipeline depth to show how tracking cost grows with the
+//! provenance length (the concern the paper raises in §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piprov_bench::quick_criterion;
+use piprov_core::pattern::TrivialPatterns;
+use piprov_runtime::baseline;
+use piprov_runtime::workload;
+use piprov_runtime::{NetworkConfig, SimConfig, SimStop, Simulation, TrackingMode};
+
+fn run_sim(
+    system: &piprov_core::system::System<piprov_core::pattern::AnyPattern>,
+    tracking: TrackingMode,
+) -> usize {
+    let mut sim = Simulation::new(
+        system,
+        TrivialPatterns,
+        SimConfig {
+            network: NetworkConfig::reliable(),
+            tracking,
+            ..SimConfig::default()
+        },
+    );
+    let stop = sim.run(5_000_000).expect("simulation must not error");
+    assert_eq!(stop, SimStop::Terminated);
+    sim.metrics().steps
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_tracking_modes");
+    let stages = 6;
+    let messages = 8;
+    let tracked = workload::pipeline(stages, messages);
+    let manual = baseline::pipeline_manual_tagging(stages, messages);
+
+    group.bench_function("no_tracking_stripped", |b| {
+        b.iter(|| run_sim(&tracked, TrackingMode::Stripped))
+    });
+    group.bench_function("manual_tagging", |b| {
+        b.iter(|| run_sim(&manual, TrackingMode::Stripped))
+    });
+    group.bench_function("calculus_tracking", |b| {
+        b.iter(|| run_sim(&tracked, TrackingMode::Full))
+    });
+    group.finish();
+}
+
+fn bench_pipeline_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_pipeline_depth");
+    for stages in [2usize, 4, 8, 16] {
+        let system = workload::pipeline(stages, 4);
+        group.bench_with_input(
+            BenchmarkId::new("full_tracking", stages),
+            &stages,
+            |b, _| b.iter(|| run_sim(&system, TrackingMode::Full)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stripped", stages),
+            &stages,
+            |b, _| b.iter(|| run_sim(&system, TrackingMode::Stripped)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fan_out(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_fan_out");
+    for producers in [4usize, 8, 16] {
+        let system = workload::fan_out(producers, producers / 2, 4);
+        group.bench_with_input(
+            BenchmarkId::new("full_tracking", producers),
+            &producers,
+            |b, _| b.iter(|| run_sim(&system, TrackingMode::Full)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stripped", producers),
+            &producers,
+            |b, _| b.iter(|| run_sim(&system, TrackingMode::Stripped)),
+        );
+    }
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_modes(c);
+    bench_pipeline_depth(c);
+    bench_fan_out(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = all
+}
+criterion_main!(benches);

@@ -1,0 +1,494 @@
+//! Configurations: systems in structural-congruence normal form.
+//!
+//! The paper omits its (standard) structural congruence `≡`.  We adopt the
+//! usual rules for located calculi:
+//!
+//! * parallel composition is a commutative monoid with unit `0`, both at the
+//!   process and at the system level;
+//! * located processes distribute over parallel composition,
+//!   `a[P | Q] ≡ a[P] ‖ a[Q]`, and over inaction, `a[0] ≡ 0`;
+//! * scope extrusion: `a[(νn)P] ≡ (νn)a[P]` and
+//!   `(νn)S ‖ T ≡ (νn)(S ‖ T)` when `n ∉ fn(T)` — always achievable by
+//!   alpha-converting the bound name;
+//! * replication unfolds on demand, `*P ≡ P | *P`;
+//! * alpha-conversion of restricted names.
+//!
+//! A [`Configuration`] is the normal form induced by those rules: a set of
+//! top-level private channel names, a multiset of located *threads* whose
+//! processes are guarded (output, input sum, match or replication), and a
+//! multiset of messages in flight.  Reduction (in [`crate::reduction`]) is
+//! defined directly on configurations, which is both simpler and much
+//! faster than rewriting the system syntax tree.
+
+use crate::name::{Channel, NameSupply, Principal};
+use crate::process::Process;
+use crate::subst::rename_channel_process;
+use crate::system::{Message, System};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A located, guarded process: one sequential agent of the configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Thread<P> {
+    /// The principal under whose authority the process runs.
+    pub principal: Principal,
+    /// A guarded process: `Output`, `InputSum`, `Match` or `Replicate`.
+    pub process: Process<P>,
+}
+
+impl<P: fmt::Display> fmt::Display for Thread<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.principal, self.process)
+    }
+}
+
+/// A system in structural normal form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration<P> {
+    /// Top-level private channel names (scope: the whole configuration).
+    pub restricted: BTreeSet<Channel>,
+    /// Located guarded processes.
+    pub threads: Vec<Thread<P>>,
+    /// Messages in flight.
+    pub messages: Vec<Message>,
+    /// Fresh-name supply used for alpha-conversion during normalization and
+    /// reduction.
+    pub supply: NameSupply,
+}
+
+impl<P: Clone> Configuration<P> {
+    /// The empty configuration.
+    pub fn empty() -> Self {
+        Configuration {
+            restricted: BTreeSet::new(),
+            threads: Vec::new(),
+            messages: Vec::new(),
+            supply: NameSupply::new(),
+        }
+    }
+
+    /// Normalizes a system into a configuration by applying the structural
+    /// congruence rules left to right.
+    ///
+    /// Restricted names are alpha-converted to fresh names whenever they
+    /// would clash with a name already free or already restricted at the
+    /// top level, so distinct restrictions never merge.
+    pub fn from_system(system: &System<P>) -> Self {
+        let mut cfg = Configuration::empty();
+        // Seed the name supply above any generated-looking names already
+        // present so freshly generated names cannot collide.
+        cfg.add_system(system);
+        cfg
+    }
+
+    /// Adds (the normal form of) `system` to this configuration, as if
+    /// composing them in parallel.
+    pub fn add_system(&mut self, system: &System<P>) {
+        match system {
+            System::Located { principal, process } => {
+                self.add_process(principal.clone(), process.clone());
+            }
+            System::Message(m) => self.messages.push(m.clone()),
+            System::Restriction { name, body } => {
+                let visible = self.restricted.contains(name) || self.name_in_use(name);
+                if visible {
+                    let fresh = self.supply.fresh_channel(name);
+                    let renamed = rename_in_system(body, name, &fresh);
+                    self.restricted.insert(fresh);
+                    self.add_system(&renamed);
+                } else {
+                    self.restricted.insert(name.clone());
+                    self.add_system(body);
+                }
+            }
+            System::Parallel(ss) => {
+                for t in ss {
+                    self.add_system(t);
+                }
+            }
+        }
+    }
+
+    /// Adds a located process, decomposing parallel compositions and lifting
+    /// restrictions to the top level.
+    pub fn add_process(&mut self, principal: Principal, process: Process<P>) {
+        match process {
+            Process::Nil => {}
+            Process::Parallel(ps) => {
+                for q in ps {
+                    self.add_process(principal.clone(), q);
+                }
+            }
+            Process::Restriction { name, body } => {
+                let visible = self.restricted.contains(&name) || self.name_in_use(&name);
+                if visible {
+                    let fresh = self.supply.fresh_channel(&name);
+                    let renamed = rename_channel_process(&body, &name, &fresh);
+                    self.restricted.insert(fresh);
+                    self.add_process(principal, renamed);
+                } else {
+                    self.restricted.insert(name.clone());
+                    self.add_process(principal, *body);
+                }
+            }
+            guarded @ (Process::Output { .. }
+            | Process::InputSum { .. }
+            | Process::Match { .. }
+            | Process::Replicate(_)) => {
+                if let Process::InputSum { ref branches, .. } = guarded {
+                    if branches.is_empty() {
+                        return; // the empty sum is 0
+                    }
+                }
+                self.threads.push(Thread { principal, process: guarded });
+            }
+        }
+    }
+
+    /// Pushes a message in flight.
+    pub fn add_message(&mut self, message: Message) {
+        self.messages.push(message);
+    }
+
+    /// `true` if a channel name occurs free anywhere in the configuration
+    /// or is already restricted, i.e. reusing it for a new restriction
+    /// would require alpha-conversion.
+    fn name_in_use(&self, name: &Channel) -> bool {
+        if self.restricted.contains(name) {
+            return true;
+        }
+        self.threads
+            .iter()
+            .any(|t| t.process.free_channels().contains(name))
+            || self.messages.iter().any(|m| {
+                &m.channel == name
+                    || m.payload
+                        .iter()
+                        .any(|v| v.value.as_channel() == Some(name))
+            })
+    }
+
+    /// Reconstructs a system term from the configuration:
+    /// `(νñ)(thread₁ ‖ … ‖ message₁ ‖ …)`.
+    pub fn to_system(&self) -> System<P> {
+        let mut parts: Vec<System<P>> = self
+            .threads
+            .iter()
+            .map(|t| System::Located {
+                principal: t.principal.clone(),
+                process: t.process.clone(),
+            })
+            .collect();
+        parts.extend(self.messages.iter().cloned().map(System::Message));
+        let mut body = System::Parallel(parts);
+        for name in self.restricted.iter().rev() {
+            body = System::Restriction {
+                name: name.clone(),
+                body: Box::new(body),
+            };
+        }
+        body
+    }
+
+    /// Total number of threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total number of messages in flight.
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// `true` when nothing can ever happen: no threads that could act and no
+    /// messages pending.
+    pub fn is_terminated(&self) -> bool {
+        self.threads.is_empty() && self.messages.is_empty()
+    }
+
+    /// All principals hosting at least one thread.
+    pub fn principals(&self) -> BTreeSet<Principal> {
+        self.threads.iter().map(|t| t.principal.clone()).collect()
+    }
+}
+
+impl<P: Clone> From<&System<P>> for Configuration<P> {
+    fn from(system: &System<P>) -> Self {
+        Configuration::from_system(system)
+    }
+}
+
+impl<P: fmt::Display> fmt::Display for Configuration<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.restricted.is_empty() {
+            write!(f, "(new")?;
+            for n in &self.restricted {
+                write!(f, " {}", n)?;
+            }
+            write!(f, ") ")?;
+        }
+        let mut first = true;
+        for t in &self.threads {
+            if !first {
+                write!(f, " || ")?;
+            }
+            first = false;
+            write!(f, "{}", t)?;
+        }
+        for m in &self.messages {
+            if !first {
+                write!(f, " || ")?;
+            }
+            first = false;
+            write!(f, "{}", m)?;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renames free occurrences of a channel name inside a system.
+pub fn rename_in_system<P: Clone>(
+    system: &System<P>,
+    from: &Channel,
+    to: &Channel,
+) -> System<P> {
+    match system {
+        System::Located { principal, process } => System::Located {
+            principal: principal.clone(),
+            process: rename_channel_process(process, from, to),
+        },
+        System::Message(m) => {
+            let channel = if &m.channel == from {
+                to.clone()
+            } else {
+                m.channel.clone()
+            };
+            System::Message(Message {
+                channel,
+                payload: m
+                    .payload
+                    .iter()
+                    .map(|v| crate::subst::rename_channel_value(v, from, to))
+                    .collect(),
+            })
+        }
+        System::Restriction { name, body } => {
+            if name == from {
+                system.clone()
+            } else {
+                System::Restriction {
+                    name: name.clone(),
+                    body: Box::new(rename_in_system(body, from, to)),
+                }
+            }
+        }
+        System::Parallel(ss) => {
+            System::Parallel(ss.iter().map(|t| rename_in_system(t, from, to)).collect())
+        }
+    }
+}
+
+/// Checks whether two systems are structurally congruent, up to the rules
+/// listed in the module documentation.
+///
+/// The check normalizes both systems into configurations, canonically
+/// renames their restricted names by first-use order, and compares the
+/// resulting thread and message multisets.  The procedure is *sound*
+/// (a `true` answer implies congruence) and complete for systems whose
+/// private names can be distinguished by their first use; it may return
+/// `false` for exotic systems with symmetric private-name structure.
+pub fn structurally_congruent<P>(left: &System<P>, right: &System<P>) -> bool
+where
+    P: Clone + PartialEq + fmt::Debug + fmt::Display,
+{
+    canonical_fingerprint(left) == canonical_fingerprint(right)
+}
+
+/// Produces a canonical textual fingerprint of a system's normal form.
+///
+/// Restricted names are renamed `#0, #1, …` in order of first appearance in
+/// the sorted rendering of threads and messages; components are then sorted
+/// so that parallel composition is order-insensitive.
+pub fn canonical_fingerprint<P>(system: &System<P>) -> String
+where
+    P: Clone + fmt::Display,
+{
+    let cfg = Configuration::from_system(system);
+    // Render all components.
+    let mut rendered: Vec<String> = cfg
+        .threads
+        .iter()
+        .map(|t| t.to_string())
+        .chain(cfg.messages.iter().map(|m| m.to_string()))
+        .collect();
+    rendered.sort();
+    // Rename restricted names by first appearance in the sorted rendering.
+    let joined = rendered.join(" || ");
+    let mut canonical = joined.clone();
+    let mut order: Vec<&Channel> = cfg
+        .restricted
+        .iter()
+        .filter(|n| joined.contains(n.as_str()))
+        .collect();
+    order.sort_by_key(|n| joined.find(n.as_str()).unwrap_or(usize::MAX));
+    for (i, name) in order.iter().enumerate() {
+        canonical = canonical.replace(name.as_str(), &format!("#{}", i));
+    }
+    canonical
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AnyPattern;
+    use crate::value::{AnnotatedValue, Identifier};
+
+    type S = System<AnyPattern>;
+
+    fn out(chan: &str, val: &str) -> Process<AnyPattern> {
+        Process::output(Identifier::channel(chan), Identifier::channel(val))
+    }
+
+    #[test]
+    fn parallel_processes_split_into_threads() {
+        let s: S = System::located("a", Process::par(out("m", "v"), out("n", "w")));
+        let cfg = Configuration::from_system(&s);
+        assert_eq!(cfg.thread_count(), 2);
+        assert!(cfg.threads.iter().all(|t| t.principal == Principal::new("a")));
+    }
+
+    #[test]
+    fn nil_processes_disappear() {
+        let s: S = System::located("a", Process::par(Process::nil(), Process::nil()));
+        let cfg = Configuration::from_system(&s);
+        assert!(cfg.is_terminated());
+    }
+
+    #[test]
+    fn empty_sum_disappears() {
+        let s: S = System::located("a", Process::input_sum(Identifier::channel("m"), vec![]));
+        let cfg = Configuration::from_system(&s);
+        assert!(cfg.is_terminated());
+    }
+
+    #[test]
+    fn restriction_is_lifted_to_top_level() {
+        let s: S = System::located("a", Process::restrict("n", out("n", "v")));
+        let cfg = Configuration::from_system(&s);
+        assert_eq!(cfg.restricted.len(), 1);
+        assert_eq!(cfg.thread_count(), 1);
+    }
+
+    #[test]
+    fn clashing_restrictions_are_renamed_apart() {
+        let s: S = System::par(
+            System::located("a", Process::restrict("n", out("n", "v"))),
+            System::located("b", Process::restrict("n", out("n", "w"))),
+        );
+        let cfg = Configuration::from_system(&s);
+        assert_eq!(cfg.restricted.len(), 2, "two distinct private names");
+        assert_eq!(cfg.thread_count(), 2);
+        // The two threads must not share their (private) subject channel.
+        let chans: Vec<_> = cfg
+            .threads
+            .iter()
+            .map(|t| match &t.process {
+                Process::Output { channel, .. } => channel.clone(),
+                other => panic!("unexpected {:?}", other),
+            })
+            .collect();
+        assert_ne!(chans[0], chans[1]);
+    }
+
+    #[test]
+    fn restriction_does_not_capture_existing_free_name() {
+        // a[m<v>] ‖ (νm) b[m<w>] — the private m must be renamed apart from the free m.
+        let s: S = System::par(
+            System::located("a", out("m", "v")),
+            System::restrict("m", System::located("b", out("m", "w"))),
+        );
+        let cfg = Configuration::from_system(&s);
+        assert_eq!(cfg.restricted.len(), 1);
+        let private = cfg.restricted.iter().next().unwrap().clone();
+        assert_ne!(private, Channel::new("m"));
+        // a's output still targets the public m.
+        let a_thread = cfg
+            .threads
+            .iter()
+            .find(|t| t.principal == Principal::new("a"))
+            .unwrap();
+        match &a_thread.process {
+            Process::Output { channel, .. } => assert_eq!(channel, &Identifier::channel("m")),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn to_system_round_trips_shape() {
+        let s: S = System::par(
+            System::located("a", out("m", "v")),
+            System::message(Message::new("m", AnnotatedValue::channel("w"))),
+        );
+        let cfg = Configuration::from_system(&s);
+        let back = cfg.to_system();
+        assert!(structurally_congruent(&s, &back));
+    }
+
+    #[test]
+    fn congruence_ignores_parallel_order() {
+        let s1: S = System::par(
+            System::located("a", out("m", "v")),
+            System::located("b", out("n", "w")),
+        );
+        let s2: S = System::par(
+            System::located("b", out("n", "w")),
+            System::located("a", out("m", "v")),
+        );
+        assert!(structurally_congruent(&s1, &s2));
+    }
+
+    #[test]
+    fn congruence_ignores_nil_units() {
+        let s1: S = System::par(System::located("a", out("m", "v")), System::nil());
+        let s2: S = System::located("a", out("m", "v"));
+        assert!(structurally_congruent(&s1, &s2));
+    }
+
+    #[test]
+    fn congruence_is_alpha_insensitive() {
+        let s1: S = System::restrict("n", System::located("a", out("n", "v")));
+        let s2: S = System::restrict("k", System::located("a", out("k", "v")));
+        assert!(structurally_congruent(&s1, &s2));
+    }
+
+    #[test]
+    fn congruence_distinguishes_different_systems() {
+        let s1: S = System::located("a", out("m", "v"));
+        let s2: S = System::located("b", out("m", "v"));
+        assert!(!structurally_congruent(&s1, &s2));
+        let s3: S = System::located("a", out("m", "w"));
+        assert!(!structurally_congruent(&s1, &s3));
+    }
+
+    #[test]
+    fn located_split_is_congruent_to_separate_locations() {
+        let s1: S = System::located("a", Process::par(out("m", "v"), out("n", "w")));
+        let s2: S = System::par(
+            System::located("a", out("m", "v")),
+            System::located("a", out("n", "w")),
+        );
+        assert!(structurally_congruent(&s1, &s2));
+    }
+
+    #[test]
+    fn display_of_configuration() {
+        let s: S = System::restrict("n", System::located("a", out("n", "v")));
+        let cfg = Configuration::from_system(&s);
+        let shown = cfg.to_string();
+        assert!(shown.starts_with("(new"));
+        assert!(shown.contains("a["));
+    }
+}

@@ -1,0 +1,267 @@
+//! Random generation of well-formed, closed systems.
+//!
+//! The meta-theory of §3 is universally quantified over reachable systems;
+//! the property-based tests and several benchmarks therefore need a supply
+//! of random closed systems.  [`SystemGenerator`] produces systems that are
+//! closed by construction (every variable occurrence is under a binder for
+//! it) and whose channel/principal vocabulary is drawn from a bounded pool,
+//! so that communication actually happens during runs.
+
+use crate::name::{Channel, Principal, Variable};
+use crate::pattern::AnyPattern;
+use crate::process::{InputBranch, Process};
+use crate::system::{Message, System};
+use crate::value::{AnnotatedValue, Identifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable parameters for random system generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of distinct principals to draw from.
+    pub principals: usize,
+    /// Number of distinct free channel names to draw from.
+    pub channels: usize,
+    /// Number of located processes to generate.
+    pub locations: usize,
+    /// Maximum syntactic depth of each process.
+    pub max_depth: usize,
+    /// Probability of generating an output at each node.
+    pub output_bias: f64,
+    /// Probability that a generated process uses a restriction.
+    pub restriction_probability: f64,
+    /// Probability that a generated process uses replication (kept low to
+    /// bound run length).
+    pub replication_probability: f64,
+    /// Number of initial messages already in flight.
+    pub initial_messages: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            principals: 4,
+            channels: 4,
+            locations: 6,
+            max_depth: 4,
+            output_bias: 0.45,
+            restriction_probability: 0.15,
+            replication_probability: 0.05,
+            initial_messages: 2,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small configuration suitable for exhaustive state-space
+    /// exploration (few locations, shallow processes, no replication).
+    pub fn small() -> Self {
+        GeneratorConfig {
+            principals: 3,
+            channels: 3,
+            locations: 3,
+            max_depth: 3,
+            output_bias: 0.5,
+            restriction_probability: 0.1,
+            replication_probability: 0.0,
+            initial_messages: 1,
+        }
+    }
+
+    /// A larger configuration for throughput benchmarks.
+    pub fn large() -> Self {
+        GeneratorConfig {
+            principals: 16,
+            channels: 12,
+            locations: 40,
+            max_depth: 5,
+            output_bias: 0.5,
+            restriction_probability: 0.1,
+            replication_probability: 0.02,
+            initial_messages: 8,
+        }
+    }
+}
+
+/// A deterministic (seeded) generator of random closed systems over the
+/// trivial pattern language.
+#[derive(Debug, Clone)]
+pub struct SystemGenerator {
+    config: GeneratorConfig,
+    rng: StdRng,
+    fresh: u64,
+}
+
+impl SystemGenerator {
+    /// Creates a generator with the given configuration and seed.
+    pub fn new(config: GeneratorConfig, seed: u64) -> Self {
+        SystemGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            fresh: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates one random closed system.
+    pub fn system(&mut self) -> System<AnyPattern> {
+        let mut parts = Vec::new();
+        for _ in 0..self.config.locations {
+            let principal = self.principal();
+            let process = self.process(self.config.max_depth, &mut Vec::new());
+            parts.push(System::Located { principal, process });
+        }
+        for _ in 0..self.config.initial_messages {
+            parts.push(System::Message(Message::new(
+                self.channel(),
+                AnnotatedValue::channel(self.channel()),
+            )));
+        }
+        System::Parallel(parts)
+    }
+
+    /// Generates a random process with at most `depth` levels of structure.
+    /// `bound` is the list of variables currently in scope, usable as
+    /// identifiers.
+    pub fn process(&mut self, depth: usize, bound: &mut Vec<Variable>) -> Process<AnyPattern> {
+        if depth == 0 {
+            return Process::Nil;
+        }
+        let roll: f64 = self.rng.gen();
+        if roll < self.config.output_bias {
+            Process::Output {
+                channel: self.identifier(bound),
+                payload: vec![self.identifier(bound)],
+            }
+        } else if roll < self.config.output_bias + 0.30 {
+            let var = self.variable();
+            bound.push(var.clone());
+            let continuation = self.process(depth - 1, bound);
+            bound.pop();
+            Process::InputSum {
+                channel: self.identifier(bound),
+                branches: vec![InputBranch::monadic(AnyPattern, var, continuation)],
+            }
+        } else if roll < self.config.output_bias + 0.40 {
+            Process::Match {
+                lhs: self.identifier(bound),
+                rhs: self.identifier(bound),
+                then_branch: Box::new(self.process(depth - 1, bound)),
+                else_branch: Box::new(self.process(depth - 1, bound)),
+            }
+        } else if roll < self.config.output_bias + 0.50 {
+            Process::Parallel(vec![
+                self.process(depth - 1, bound),
+                self.process(depth - 1, bound),
+            ])
+        } else if roll
+            < self.config.output_bias + 0.50 + self.config.restriction_probability
+        {
+            Process::Restriction {
+                name: self.fresh_channel(),
+                body: Box::new(self.process(depth - 1, bound)),
+            }
+        } else if roll
+            < self.config.output_bias
+                + 0.50
+                + self.config.restriction_probability
+                + self.config.replication_probability
+        {
+            // Keep replication bodies tiny so runs stay bounded in practice.
+            Process::Replicate(Box::new(Process::InputSum {
+                channel: self.identifier(&mut Vec::new()),
+                branches: vec![InputBranch::monadic(
+                    AnyPattern,
+                    self.variable(),
+                    Process::Nil,
+                )],
+            }))
+        } else {
+            Process::Nil
+        }
+    }
+
+    fn identifier(&mut self, bound: &mut Vec<Variable>) -> Identifier {
+        // Only channels (or variables that will be substituted by channels)
+        // are generated, so that every output has a well-formed subject even
+        // after substitution.  Principals still occur as located identities.
+        if !bound.is_empty() && self.rng.gen_bool(0.3) {
+            let idx = self.rng.gen_range(0..bound.len());
+            Identifier::Variable(bound[idx].clone())
+        } else {
+            Identifier::channel(self.channel())
+        }
+    }
+
+    fn principal(&mut self) -> Principal {
+        let idx = self.rng.gen_range(0..self.config.principals);
+        Principal::new(format!("p{}", idx))
+    }
+
+    fn channel(&mut self) -> Channel {
+        let idx = self.rng.gen_range(0..self.config.channels);
+        Channel::new(format!("ch{}", idx))
+    }
+
+    fn variable(&mut self) -> Variable {
+        self.fresh += 1;
+        Variable::new(format!("x{}", self.fresh))
+    }
+
+    fn fresh_channel(&mut self) -> Channel {
+        self.fresh += 1;
+        Channel::new(format!("priv{}", self.fresh))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpreter::Executor;
+    use crate::pattern::TrivialPatterns;
+
+    #[test]
+    fn generated_systems_are_closed() {
+        let mut gen = SystemGenerator::new(GeneratorConfig::default(), 1);
+        for _ in 0..50 {
+            let s = gen.system();
+            assert!(s.is_closed(), "generator must produce closed systems");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut g1 = SystemGenerator::new(GeneratorConfig::default(), 9);
+        let mut g2 = SystemGenerator::new(GeneratorConfig::default(), 9);
+        assert_eq!(g1.system(), g2.system());
+        let mut g3 = SystemGenerator::new(GeneratorConfig::default(), 10);
+        // Different seeds almost surely differ; allow equality only if both
+        // degenerate to the same trivial system.
+        let a = g1.system();
+        let b = g3.system();
+        if a == b {
+            assert!(a.size() <= 10);
+        }
+    }
+
+    #[test]
+    fn generated_systems_can_run() {
+        let mut gen = SystemGenerator::new(GeneratorConfig::small(), 3);
+        for _ in 0..20 {
+            let s = gen.system();
+            let mut exec = Executor::new(&s, TrivialPatterns);
+            // Must not error; may or may not reach quiescence within the cap.
+            exec.run(200).unwrap();
+        }
+    }
+
+    #[test]
+    fn small_config_has_no_replication() {
+        assert_eq!(GeneratorConfig::small().replication_probability, 0.0);
+        assert!(GeneratorConfig::large().locations > GeneratorConfig::default().locations);
+    }
+}

@@ -1,0 +1,234 @@
+//! Names used by the calculus: principals, channels and variables.
+//!
+//! The paper assumes three pairwise-disjoint sets: variables `X`, channel
+//! names `C` and principal names `A`.  We keep them disjoint at the type
+//! level by using three distinct newtypes.  All three are cheap to clone
+//! (they share their backing string through an [`std::sync::Arc`]) because
+//! provenance sequences duplicate names heavily.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+macro_rules! name_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub struct $name(Arc<str>);
+
+        impl $name {
+            /// Creates a new name from anything string-like.
+            pub fn new(s: impl AsRef<str>) -> Self {
+                Self(Arc::from(s.as_ref()))
+            }
+
+            /// Returns the textual form of the name.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+
+            /// Returns `true` if this name was produced by a [`NameSupply`]
+            /// (fresh names contain the reserved `'` marker).
+            pub fn is_generated(&self) -> bool {
+                self.0.contains('\'')
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                Self::new(s)
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                Self::new(s)
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                self.as_str()
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                self.as_str()
+            }
+        }
+    };
+}
+
+name_type!(
+    /// A principal name `a, b, c ∈ A`.
+    ///
+    /// Principals are the units of trust of the calculus: every process runs
+    /// *located* at a principal, and provenance events record which principal
+    /// sent or received a value.
+    Principal,
+    "Principal"
+);
+
+name_type!(
+    /// A channel name `l, m, n ∈ C`.
+    ///
+    /// Channels are both the communication medium and first-class data: in
+    /// the pi-calculus channels may themselves be sent over channels, which
+    /// is why channel occurrences in processes carry their own provenance.
+    Channel,
+    "Channel"
+);
+
+name_type!(
+    /// A variable `x, y, z ∈ X`, bound by pattern-restricted inputs.
+    Variable,
+    "Variable"
+);
+
+/// A deterministic supply of fresh channel names.
+///
+/// Fresh names are needed by capture-avoiding substitution and by the
+/// interpreter when it lifts restrictions `(νn)P` to the top level of a
+/// configuration.  Generated names embed a `'` character, which the surface
+/// syntax of [`piprov-lang`](https://docs.rs/piprov-lang) never produces, so
+/// they can never collide with user-written names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NameSupply {
+    counter: u64,
+}
+
+impl NameSupply {
+    /// Creates a supply starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a supply that starts counting at `start`.
+    ///
+    /// Useful when resuming from a serialized configuration whose generated
+    /// names must not be reused.
+    pub fn starting_at(start: u64) -> Self {
+        Self { counter: start }
+    }
+
+    /// Returns the next counter value without consuming it.
+    pub fn peek(&self) -> u64 {
+        self.counter
+    }
+
+    /// Produces a fresh channel name derived from `base`.
+    pub fn fresh_channel(&mut self, base: &Channel) -> Channel {
+        let n = self.bump();
+        Channel::new(format!("{}'{}", base.as_str(), n))
+    }
+
+    /// Produces a fresh channel name with no particular base.
+    pub fn fresh_anonymous(&mut self) -> Channel {
+        let n = self.bump();
+        Channel::new(format!("ch'{}", n))
+    }
+
+    /// Produces a fresh variable derived from `base`.
+    pub fn fresh_variable(&mut self, base: &Variable) -> Variable {
+        let n = self.bump();
+        Variable::new(format!("{}'{}", base.as_str(), n))
+    }
+
+    fn bump(&mut self) -> u64 {
+        let n = self.counter;
+        self.counter += 1;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_compare_by_content() {
+        assert_eq!(Principal::new("a"), Principal::new("a"));
+        assert_ne!(Principal::new("a"), Principal::new("b"));
+        assert_eq!(Channel::from("m"), Channel::new(String::from("m")));
+    }
+
+    #[test]
+    fn display_is_bare_text() {
+        assert_eq!(Principal::new("alice").to_string(), "alice");
+        assert_eq!(Channel::new("sub").to_string(), "sub");
+        assert_eq!(Variable::new("x").to_string(), "x");
+    }
+
+    #[test]
+    fn debug_identifies_the_kind() {
+        assert_eq!(format!("{:?}", Principal::new("a")), "Principal(a)");
+        assert_eq!(format!("{:?}", Channel::new("m")), "Channel(m)");
+        assert_eq!(format!("{:?}", Variable::new("x")), "Variable(x)");
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let c = Channel::new("m");
+        let d = c.clone();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn name_supply_produces_distinct_names() {
+        let mut supply = NameSupply::new();
+        let base = Channel::new("n");
+        let mut seen = HashSet::new();
+        for _ in 0..100 {
+            let fresh = supply.fresh_channel(&base);
+            assert!(fresh.is_generated());
+            assert!(seen.insert(fresh));
+        }
+    }
+
+    #[test]
+    fn name_supply_starting_at_skips_prefix() {
+        let mut a = NameSupply::new();
+        let mut b = NameSupply::starting_at(50);
+        let base = Channel::new("n");
+        let from_a: HashSet<_> = (0..50).map(|_| a.fresh_channel(&base)).collect();
+        let from_b: HashSet<_> = (0..50).map(|_| b.fresh_channel(&base)).collect();
+        assert!(from_a.is_disjoint(&from_b));
+    }
+
+    #[test]
+    fn generated_names_never_collide_with_plain_names() {
+        let mut supply = NameSupply::new();
+        let fresh = supply.fresh_channel(&Channel::new("n"));
+        assert!(fresh.is_generated());
+        assert!(!Channel::new("n0").is_generated());
+        assert_ne!(fresh, Channel::new("n0"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Principal::new("a") < Principal::new("b"));
+        assert!(Channel::new("m1") < Channel::new("m2"));
+    }
+
+    #[test]
+    fn borrow_allows_str_lookup() {
+        let mut set = HashSet::new();
+        set.insert(Channel::new("m"));
+        assert!(set.contains("m"));
+    }
+}

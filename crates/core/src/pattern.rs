@@ -1,0 +1,188 @@
+//! The parametric pattern-language interface (Definition 1 of the paper).
+//!
+//! The calculus does not fix a pattern language; it only requires a set of
+//! patterns `Π` and a satisfaction relation `⊨ ⊆ K × Π` between provenance
+//! sequences and patterns.  This module defines the [`PatternLanguage`]
+//! trait capturing exactly that, plus two trivial instances that are useful
+//! for testing and for recovering the ordinary asynchronous pi-calculus:
+//!
+//! * [`TrivialPatterns`] — the single pattern [`AnyPattern`] matched by every
+//!   provenance sequence; with it the calculus degenerates to the plain
+//!   asynchronous pi-calculus with located processes.
+//! * [`FnMatcher`] — satisfaction given by an arbitrary closure, handy in
+//!   unit tests.
+//!
+//! The full sample pattern language of Table 3 lives in the
+//! `piprov-patterns` crate.
+
+use crate::provenance::Provenance;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A pattern matching language `(Π, ⊨)`.
+///
+/// Implementors provide the pattern type and decide when a provenance
+/// sequence satisfies a pattern.  The reduction semantics is parametric in
+/// an implementation of this trait: rule R-Recv only fires when
+/// `matcher.satisfies(κ_v, π_j)` holds for some branch `j`.
+pub trait PatternLanguage {
+    /// The set of patterns `Π`.
+    type Pattern: Clone + fmt::Debug;
+
+    /// The satisfaction relation `κ ⊨ π`.
+    fn satisfies(&self, provenance: &Provenance, pattern: &Self::Pattern) -> bool;
+}
+
+/// The single pattern of [`TrivialPatterns`]; matches any provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct AnyPattern;
+
+impl fmt::Display for AnyPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Any")
+    }
+}
+
+/// The degenerate pattern language whose only pattern matches everything.
+///
+/// Using it turns pattern-restricted input back into ordinary input, so the
+/// calculus becomes the asynchronous pi-calculus with explicit identities
+/// and (still) provenance tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrivialPatterns;
+
+impl PatternLanguage for TrivialPatterns {
+    type Pattern = AnyPattern;
+
+    fn satisfies(&self, _provenance: &Provenance, _pattern: &AnyPattern) -> bool {
+        true
+    }
+}
+
+/// A pattern language whose satisfaction relation is an arbitrary function
+/// over `(κ, π)`.
+///
+/// ```
+/// use piprov_core::pattern::{FnMatcher, PatternLanguage};
+/// use piprov_core::provenance::Provenance;
+///
+/// // Patterns are maximum admissible provenance lengths.
+/// let matcher: FnMatcher<usize> = FnMatcher::new(|k: &Provenance, max: &usize| k.len() <= *max);
+/// assert!(matcher.satisfies(&Provenance::empty(), &0));
+/// ```
+pub struct FnMatcher<P> {
+    f: Box<dyn Fn(&Provenance, &P) -> bool + Send + Sync>,
+    _marker: PhantomData<P>,
+}
+
+impl<P> FnMatcher<P> {
+    /// Wraps `f` as a satisfaction relation.
+    pub fn new(f: impl Fn(&Provenance, &P) -> bool + Send + Sync + 'static) -> Self {
+        FnMatcher {
+            f: Box::new(f),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<P> fmt::Debug for FnMatcher<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FnMatcher(..)")
+    }
+}
+
+impl<P: Clone + fmt::Debug> PatternLanguage for FnMatcher<P> {
+    type Pattern = P;
+
+    fn satisfies(&self, provenance: &Provenance, pattern: &P) -> bool {
+        (self.f)(provenance, pattern)
+    }
+}
+
+/// A matcher that instruments another matcher with call counting.
+///
+/// Used by the overhead experiments (E9/E10) to report how many pattern
+/// checks a run performed without changing its semantics.
+#[derive(Debug)]
+pub struct CountingMatcher<L> {
+    inner: L,
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl<L> CountingMatcher<L> {
+    /// Wraps `inner`, counting every satisfaction query.
+    pub fn new(inner: L) -> Self {
+        CountingMatcher {
+            inner,
+            calls: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Number of satisfaction queries answered so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Consumes the wrapper and returns the inner matcher.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+}
+
+impl<L: PatternLanguage> PatternLanguage for CountingMatcher<L> {
+    type Pattern = L::Pattern;
+
+    fn satisfies(&self, provenance: &Provenance, pattern: &Self::Pattern) -> bool {
+        self.calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.satisfies(provenance, pattern)
+    }
+}
+
+impl<L: PatternLanguage> PatternLanguage for &L {
+    type Pattern = L::Pattern;
+
+    fn satisfies(&self, provenance: &Provenance, pattern: &Self::Pattern) -> bool {
+        (**self).satisfies(provenance, pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::Principal;
+    use crate::provenance::{Event, Provenance};
+
+    #[test]
+    fn trivial_patterns_match_everything() {
+        let m = TrivialPatterns;
+        let k = Provenance::single(Event::output(Principal::new("a"), Provenance::empty()));
+        assert!(m.satisfies(&Provenance::empty(), &AnyPattern));
+        assert!(m.satisfies(&k, &AnyPattern));
+    }
+
+    #[test]
+    fn fn_matcher_uses_the_closure() {
+        let m: FnMatcher<usize> = FnMatcher::new(|k, max| k.len() <= *max);
+        let k = Provenance::single(Event::output(Principal::new("a"), Provenance::empty()));
+        assert!(m.satisfies(&k, &1));
+        assert!(!m.satisfies(&k, &0));
+    }
+
+    #[test]
+    fn counting_matcher_counts_and_delegates() {
+        let m = CountingMatcher::new(TrivialPatterns);
+        assert_eq!(m.calls(), 0);
+        assert!(m.satisfies(&Provenance::empty(), &AnyPattern));
+        assert!(m.satisfies(&Provenance::empty(), &AnyPattern));
+        assert_eq!(m.calls(), 2);
+        let _inner: TrivialPatterns = m.into_inner();
+    }
+
+    #[test]
+    fn references_to_matchers_are_matchers() {
+        let m = TrivialPatterns;
+        let r = &m;
+        assert!(r.satisfies(&Provenance::empty(), &AnyPattern));
+    }
+}

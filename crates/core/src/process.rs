@@ -1,0 +1,668 @@
+//! Process syntax (Table 1 of the paper).
+//!
+//! Processes are parametric in the pattern type `P` so that any pattern
+//! language implementing [`crate::pattern::PatternLanguage`] can be plugged
+//! in.  The syntax implemented here is the *polyadic* variant used by the
+//! paper's photography-competition example: outputs carry a tuple of
+//! identifiers and each input branch binds a tuple of variables, one pattern
+//! per position.
+
+use crate::name::{Channel, Variable};
+use crate::value::{AnnotatedValue, Identifier};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One branch of an input-guarded sum: `(π₁ as x₁, …, πₖ as xₖ).P`.
+///
+/// All branches of a sum listen on the *same* channel (that restriction is
+/// what makes the summation implementable); they differ in their patterns
+/// and continuations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputBranch<P> {
+    /// Pattern and binder for each position of the received tuple.
+    pub bindings: Vec<(P, Variable)>,
+    /// The continuation run if this branch is selected.
+    pub continuation: Process<P>,
+}
+
+impl<P> InputBranch<P> {
+    /// Creates a monadic branch binding a single variable.
+    pub fn monadic(pattern: P, binder: impl Into<Variable>, continuation: Process<P>) -> Self {
+        InputBranch {
+            bindings: vec![(pattern, binder.into())],
+            continuation,
+        }
+    }
+
+    /// Creates a polyadic branch.
+    pub fn polyadic(bindings: Vec<(P, Variable)>, continuation: Process<P>) -> Self {
+        InputBranch {
+            bindings,
+            continuation,
+        }
+    }
+
+    /// Number of values this branch expects to receive.
+    pub fn arity(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// The variables bound by this branch.
+    pub fn binders(&self) -> impl Iterator<Item = &Variable> {
+        self.bindings.iter().map(|(_, x)| x)
+    }
+
+    /// The patterns of this branch, in positional order.
+    pub fn patterns(&self) -> impl Iterator<Item = &P> {
+        self.bindings.iter().map(|(p, _)| p)
+    }
+}
+
+/// A process of the provenance calculus.
+///
+/// ```text
+/// P ::= w⟨w̃⟩                    output
+///     | Σᵢ w(π̃ᵢ as x̃ᵢ).Pᵢ        input-guarded sum (all on the same channel)
+///     | if w = w then P else Q   matching
+///     | (νn)P                    restriction
+///     | P | Q                    parallel composition
+///     | *P                       replication
+///     | 0                        inaction
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Process<P> {
+    /// Asynchronous output `w⟨w₁, …, wₖ⟩`.
+    Output {
+        /// The channel identifier to send on.
+        channel: Identifier,
+        /// The tuple of identifiers being sent.
+        payload: Vec<Identifier>,
+    },
+    /// Pattern-restricted input-guarded sum `Σᵢ w(π̃ᵢ as x̃ᵢ).Pᵢ`.
+    InputSum {
+        /// The channel identifier all branches listen on.
+        channel: Identifier,
+        /// The branches of the sum.  An empty sum is inert (it is the `0`
+        /// of the paper's summation syntax).
+        branches: Vec<InputBranch<P>>,
+    },
+    /// Value matching `if w = w' then P else Q`.  Only the plain values are
+    /// compared; their provenance is ignored.
+    Match {
+        /// Left-hand identifier.
+        lhs: Identifier,
+        /// Right-hand identifier.
+        rhs: Identifier,
+        /// Taken when the plain values are equal.
+        then_branch: Box<Process<P>>,
+        /// Taken when the plain values differ.
+        else_branch: Box<Process<P>>,
+    },
+    /// Channel restriction `(νn)P`.
+    Restriction {
+        /// The private channel name.
+        name: Channel,
+        /// The scope of the restriction.
+        body: Box<Process<P>>,
+    },
+    /// Parallel composition of zero or more processes.
+    Parallel(Vec<Process<P>>),
+    /// Replication `*P`.
+    Replicate(Box<Process<P>>),
+    /// The inert process `0`.
+    Nil,
+}
+
+impl<P> Process<P> {
+    /// The inert process.
+    pub fn nil() -> Self {
+        Process::Nil
+    }
+
+    /// A monadic output `channel⟨value⟩`.
+    pub fn output(channel: impl Into<Identifier>, value: impl Into<Identifier>) -> Self {
+        Process::Output {
+            channel: channel.into(),
+            payload: vec![value.into()],
+        }
+    }
+
+    /// A polyadic output `channel⟨v₁, …, vₖ⟩`.
+    pub fn output_tuple(channel: impl Into<Identifier>, payload: Vec<Identifier>) -> Self {
+        Process::Output {
+            channel: channel.into(),
+            payload,
+        }
+    }
+
+    /// A single-branch, monadic input `channel(π as x).P`.
+    pub fn input(
+        channel: impl Into<Identifier>,
+        pattern: P,
+        binder: impl Into<Variable>,
+        continuation: Process<P>,
+    ) -> Self {
+        Process::InputSum {
+            channel: channel.into(),
+            branches: vec![InputBranch::monadic(pattern, binder, continuation)],
+        }
+    }
+
+    /// An input-guarded sum over `branches`, all on `channel`.
+    pub fn input_sum(channel: impl Into<Identifier>, branches: Vec<InputBranch<P>>) -> Self {
+        Process::InputSum {
+            channel: channel.into(),
+            branches,
+        }
+    }
+
+    /// `if lhs = rhs then then_branch else else_branch`.
+    pub fn matching(
+        lhs: impl Into<Identifier>,
+        rhs: impl Into<Identifier>,
+        then_branch: Process<P>,
+        else_branch: Process<P>,
+    ) -> Self {
+        Process::Match {
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        }
+    }
+
+    /// Restriction `(νname)body`.
+    pub fn restrict(name: impl Into<Channel>, body: Process<P>) -> Self {
+        Process::Restriction {
+            name: name.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Binary parallel composition.
+    pub fn par(left: Process<P>, right: Process<P>) -> Self {
+        Process::Parallel(vec![left, right])
+    }
+
+    /// N-ary parallel composition.
+    pub fn par_all(procs: Vec<Process<P>>) -> Self {
+        Process::Parallel(procs)
+    }
+
+    /// Replication `*body`.
+    pub fn replicate(body: Process<P>) -> Self {
+        Process::Replicate(Box::new(body))
+    }
+
+    /// `true` if the process is syntactically inert (it is `0`, an empty
+    /// sum, or a parallel composition of inert processes).
+    pub fn is_inert(&self) -> bool {
+        match self {
+            Process::Nil => true,
+            Process::InputSum { branches, .. } => branches.is_empty(),
+            Process::Parallel(ps) => ps.iter().all(Process::is_inert),
+            _ => false,
+        }
+    }
+
+    /// Number of syntax nodes in the process (a rough size metric used by
+    /// generators and benchmarks).
+    pub fn size(&self) -> usize {
+        match self {
+            Process::Output { .. } | Process::Nil => 1,
+            Process::InputSum { branches, .. } => {
+                1 + branches
+                    .iter()
+                    .map(|b| b.continuation.size())
+                    .sum::<usize>()
+            }
+            Process::Match {
+                then_branch,
+                else_branch,
+                ..
+            } => 1 + then_branch.size() + else_branch.size(),
+            Process::Restriction { body, .. } => 1 + body.size(),
+            Process::Parallel(ps) => 1 + ps.iter().map(Process::size).sum::<usize>(),
+            Process::Replicate(body) => 1 + body.size(),
+        }
+    }
+
+    /// The set of free variables of the process.
+    ///
+    /// Input binders bind their variables in the corresponding continuation;
+    /// restriction binds channel *names*, not variables.
+    pub fn free_variables(&self) -> BTreeSet<Variable> {
+        fn ident_fv(w: &Identifier, out: &mut BTreeSet<Variable>) {
+            if let Identifier::Variable(x) = w {
+                out.insert(x.clone());
+            }
+        }
+        fn go<P>(p: &Process<P>, out: &mut BTreeSet<Variable>) {
+            match p {
+                Process::Output { channel, payload } => {
+                    ident_fv(channel, out);
+                    for w in payload {
+                        ident_fv(w, out);
+                    }
+                }
+                Process::InputSum { channel, branches } => {
+                    ident_fv(channel, out);
+                    for branch in branches {
+                        let mut inner = BTreeSet::new();
+                        go(&branch.continuation, &mut inner);
+                        for x in branch.binders() {
+                            inner.remove(x);
+                        }
+                        out.extend(inner);
+                    }
+                }
+                Process::Match {
+                    lhs,
+                    rhs,
+                    then_branch,
+                    else_branch,
+                } => {
+                    ident_fv(lhs, out);
+                    ident_fv(rhs, out);
+                    go(then_branch, out);
+                    go(else_branch, out);
+                }
+                Process::Restriction { body, .. } => go(body, out),
+                Process::Parallel(ps) => {
+                    for q in ps {
+                        go(q, out);
+                    }
+                }
+                Process::Replicate(body) => go(body, out),
+                Process::Nil => {}
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// The set of free channel names of the process.
+    ///
+    /// A channel name is free if it occurs (in an identifier position or
+    /// inside an annotated value) outside the scope of a restriction binding
+    /// it.  Channel names never occur inside provenance sequences, so only
+    /// plain values are inspected.
+    pub fn free_channels(&self) -> BTreeSet<Channel> {
+        fn ident_fc(w: &Identifier, bound: &BTreeSet<Channel>, out: &mut BTreeSet<Channel>) {
+            if let Identifier::Value(av) = w {
+                value_fc(av, bound, out);
+            }
+        }
+        fn value_fc(av: &AnnotatedValue, bound: &BTreeSet<Channel>, out: &mut BTreeSet<Channel>) {
+            if let crate::value::Value::Channel(c) = &av.value {
+                if !bound.contains(c) {
+                    out.insert(c.clone());
+                }
+            }
+        }
+        fn go<P>(p: &Process<P>, bound: &mut BTreeSet<Channel>, out: &mut BTreeSet<Channel>) {
+            match p {
+                Process::Output { channel, payload } => {
+                    ident_fc(channel, bound, out);
+                    for w in payload {
+                        ident_fc(w, bound, out);
+                    }
+                }
+                Process::InputSum { channel, branches } => {
+                    ident_fc(channel, bound, out);
+                    for branch in branches {
+                        go(&branch.continuation, bound, out);
+                    }
+                }
+                Process::Match {
+                    lhs,
+                    rhs,
+                    then_branch,
+                    else_branch,
+                } => {
+                    ident_fc(lhs, bound, out);
+                    ident_fc(rhs, bound, out);
+                    go(then_branch, bound, out);
+                    go(else_branch, bound, out);
+                }
+                Process::Restriction { name, body } => {
+                    let fresh = bound.insert(name.clone());
+                    go(body, bound, out);
+                    if fresh {
+                        bound.remove(name);
+                    }
+                }
+                Process::Parallel(ps) => {
+                    for q in ps {
+                        go(q, bound, out);
+                    }
+                }
+                Process::Replicate(body) => go(body, bound, out),
+                Process::Nil => {}
+            }
+        }
+        let mut bound = BTreeSet::new();
+        let mut out = BTreeSet::new();
+        go(self, &mut bound, &mut out);
+        out
+    }
+
+    /// `true` when the process contains no free variables (reduction is
+    /// defined on closed systems only).
+    pub fn is_closed(&self) -> bool {
+        self.free_variables().is_empty()
+    }
+
+    /// Applies `f` to every pattern in the process, producing a process over
+    /// a different pattern type.
+    pub fn map_patterns<Q>(&self, f: &impl Fn(&P) -> Q) -> Process<Q>
+    where
+        P: Clone,
+    {
+        match self {
+            Process::Output { channel, payload } => Process::Output {
+                channel: channel.clone(),
+                payload: payload.clone(),
+            },
+            Process::InputSum { channel, branches } => Process::InputSum {
+                channel: channel.clone(),
+                branches: branches
+                    .iter()
+                    .map(|b| InputBranch {
+                        bindings: b
+                            .bindings
+                            .iter()
+                            .map(|(p, x)| (f(p), x.clone()))
+                            .collect(),
+                        continuation: b.continuation.map_patterns(f),
+                    })
+                    .collect(),
+            },
+            Process::Match {
+                lhs,
+                rhs,
+                then_branch,
+                else_branch,
+            } => Process::Match {
+                lhs: lhs.clone(),
+                rhs: rhs.clone(),
+                then_branch: Box::new(then_branch.map_patterns(f)),
+                else_branch: Box::new(else_branch.map_patterns(f)),
+            },
+            Process::Restriction { name, body } => Process::Restriction {
+                name: name.clone(),
+                body: Box::new(body.map_patterns(f)),
+            },
+            Process::Parallel(ps) => {
+                Process::Parallel(ps.iter().map(|q| q.map_patterns(f)).collect())
+            }
+            Process::Replicate(body) => Process::Replicate(Box::new(body.map_patterns(f))),
+            Process::Nil => Process::Nil,
+        }
+    }
+
+    /// Counts the number of output prefixes syntactically present.
+    pub fn count_outputs(&self) -> usize {
+        match self {
+            Process::Output { .. } => 1,
+            Process::InputSum { branches, .. } => {
+                branches.iter().map(|b| b.continuation.count_outputs()).sum()
+            }
+            Process::Match {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.count_outputs() + else_branch.count_outputs(),
+            Process::Restriction { body, .. } => body.count_outputs(),
+            Process::Parallel(ps) => ps.iter().map(Process::count_outputs).sum(),
+            Process::Replicate(body) => body.count_outputs(),
+            Process::Nil => 0,
+        }
+    }
+
+    /// Counts the number of input sums syntactically present.
+    pub fn count_inputs(&self) -> usize {
+        match self {
+            Process::Output { .. } | Process::Nil => 0,
+            Process::InputSum { branches, .. } => {
+                1 + branches
+                    .iter()
+                    .map(|b| b.continuation.count_inputs())
+                    .sum::<usize>()
+            }
+            Process::Match {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.count_inputs() + else_branch.count_inputs(),
+            Process::Restriction { body, .. } => body.count_inputs(),
+            Process::Parallel(ps) => ps.iter().map(Process::count_inputs).sum(),
+            Process::Replicate(body) => body.count_inputs(),
+        }
+    }
+}
+
+impl<P: fmt::Display> fmt::Display for Process<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Process::Output { channel, payload } => {
+                write!(f, "{}<", channel)?;
+                for (i, w) in payload.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", w)?;
+                }
+                write!(f, ">")
+            }
+            Process::InputSum { channel, branches } => {
+                if branches.is_empty() {
+                    return write!(f, "0");
+                }
+                for (i, b) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{}(", channel)?;
+                    for (j, (p, x)) in b.bindings.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{} as {}", p, x)?;
+                    }
+                    write!(f, ").{}", Parens(&b.continuation))?;
+                }
+                Ok(())
+            }
+            Process::Match {
+                lhs,
+                rhs,
+                then_branch,
+                else_branch,
+            } => write!(
+                f,
+                "if {} = {} then {} else {}",
+                lhs,
+                rhs,
+                Parens(then_branch),
+                Parens(else_branch)
+            ),
+            Process::Restriction { name, body } => write!(f, "(new {}){}", name, Parens(body)),
+            Process::Parallel(ps) => {
+                if ps.is_empty() {
+                    return write!(f, "0");
+                }
+                for (i, q) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{}", Parens(q))?;
+                }
+                Ok(())
+            }
+            Process::Replicate(body) => write!(f, "*{}", Parens(body)),
+            Process::Nil => write!(f, "0"),
+        }
+    }
+}
+
+/// Helper that parenthesises compound sub-processes when displayed.
+struct Parens<'a, P>(&'a Process<P>);
+
+impl<'a, P: fmt::Display> fmt::Display for Parens<'a, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Process::Nil | Process::Output { .. } | Process::Restriction { .. } => {
+                write!(f, "{}", self.0)
+            }
+            _ => write!(f, "({})", self.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AnyPattern;
+
+    type P = Process<AnyPattern>;
+
+    #[test]
+    fn nil_is_inert_and_closed() {
+        let p: P = Process::nil();
+        assert!(p.is_inert());
+        assert!(p.is_closed());
+        assert_eq!(p.size(), 1);
+        assert_eq!(p.to_string(), "0");
+    }
+
+    #[test]
+    fn output_is_not_inert() {
+        let p: P = Process::output(Identifier::channel("m"), Identifier::channel("v"));
+        assert!(!p.is_inert());
+        assert_eq!(p.count_outputs(), 1);
+        assert_eq!(p.count_inputs(), 0);
+        assert_eq!(p.to_string(), "m:ε<v:ε>");
+    }
+
+    #[test]
+    fn empty_sum_is_inert() {
+        let p: P = Process::input_sum(Identifier::channel("m"), vec![]);
+        assert!(p.is_inert());
+    }
+
+    #[test]
+    fn input_binds_its_variable() {
+        let cont: P = Process::output(Identifier::variable("x"), Identifier::channel("v"));
+        let p: P = Process::input(Identifier::channel("m"), AnyPattern, "x", cont);
+        assert!(p.is_closed(), "x is bound by the input");
+        assert_eq!(p.count_inputs(), 1);
+        assert_eq!(p.count_outputs(), 1);
+    }
+
+    #[test]
+    fn free_variable_detected_outside_binder() {
+        let p: P = Process::output(Identifier::variable("y"), Identifier::channel("v"));
+        assert!(!p.is_closed());
+        assert!(p.free_variables().contains(&Variable::new("y")));
+    }
+
+    #[test]
+    fn binder_does_not_capture_sibling_branch() {
+        // m(Any as x).0  +  m(Any as y).x<v>   — x is free in the second branch.
+        let b1 = InputBranch::monadic(AnyPattern, "x", Process::nil());
+        let b2 = InputBranch::monadic(
+            AnyPattern,
+            "y",
+            Process::output(Identifier::variable("x"), Identifier::channel("v")),
+        );
+        let p: P = Process::input_sum(Identifier::channel("m"), vec![b1, b2]);
+        assert_eq!(
+            p.free_variables(),
+            [Variable::new("x")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn restriction_binds_channel_names() {
+        let p: P = Process::restrict(
+            "n",
+            Process::output(Identifier::channel("n"), Identifier::channel("v")),
+        );
+        let free = p.free_channels();
+        assert!(!free.contains(&Channel::new("n")));
+        assert!(free.contains(&Channel::new("v")));
+    }
+
+    #[test]
+    fn free_channels_sees_through_parallel_and_replication() {
+        let p: P = Process::par(
+            Process::replicate(Process::output(
+                Identifier::channel("a"),
+                Identifier::channel("b"),
+            )),
+            Process::restrict(
+                "c",
+                Process::output(Identifier::channel("c"), Identifier::channel("d")),
+            ),
+        );
+        let free = p.free_channels();
+        assert!(free.contains(&Channel::new("a")));
+        assert!(free.contains(&Channel::new("b")));
+        assert!(!free.contains(&Channel::new("c")));
+        assert!(free.contains(&Channel::new("d")));
+    }
+
+    #[test]
+    fn map_patterns_changes_only_patterns() {
+        let p: P = Process::input(
+            Identifier::channel("m"),
+            AnyPattern,
+            "x",
+            Process::input(Identifier::channel("n"), AnyPattern, "y", Process::nil()),
+        );
+        let q: Process<usize> = p.map_patterns(&|_| 7usize);
+        assert_eq!(q.count_inputs(), 2);
+        match q {
+            Process::InputSum { branches, .. } => {
+                assert_eq!(branches[0].bindings[0].0, 7);
+            }
+            _ => panic!("expected input sum"),
+        }
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let p: P = Process::par(
+            Process::output(Identifier::channel("m"), Identifier::channel("v")),
+            Process::matching(
+                Identifier::channel("a"),
+                Identifier::channel("a"),
+                Process::nil(),
+                Process::nil(),
+            ),
+        );
+        // par(1) + output(1) + match(1) + nil(1) + nil(1)
+        assert_eq!(p.size(), 5);
+    }
+
+    #[test]
+    fn display_of_sum_and_match() {
+        let p: P = Process::input_sum(
+            Identifier::channel("m"),
+            vec![
+                InputBranch::monadic(AnyPattern, "x", Process::nil()),
+                InputBranch::monadic(AnyPattern, "y", Process::nil()),
+            ],
+        );
+        assert_eq!(p.to_string(), "m:ε(Any as x).0 + m:ε(Any as y).0");
+        let q: P = Process::matching(
+            Identifier::channel("a"),
+            Identifier::channel("b"),
+            Process::nil(),
+            Process::nil(),
+        );
+        assert_eq!(q.to_string(), "if a:ε = b:ε then 0 else 0");
+    }
+}

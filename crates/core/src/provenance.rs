@@ -1,0 +1,614 @@
+//! Provenance sequences and events.
+//!
+//! The provenance `κ` of a value is a sequence of events `e₁; …; eₙ`,
+//! temporally ordered with the *most recent event first*.  An event is
+//! either an output event `a!κ` (the value was sent by principal `a` on a
+//! channel whose provenance is `κ`) or an input event `a?κ` (the value was
+//! received by principal `a` on a channel whose provenance is `κ`).
+//!
+//! The canonical representation here is a persistent, structurally shared
+//! cons list: the common operation during reduction is prefixing a single
+//! event (`κ ↦ a!κₘ; κ`), which is O(1) and shares the entire old sequence.
+//! A flat, eagerly cloned representation used for the representation
+//! ablation (experiment E9 in `DESIGN.md`) lives in [`compact`].
+
+use crate::name::Principal;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The direction of a provenance event: output (`!`) or input (`?`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// The value was sent.
+    Output,
+    /// The value was received.
+    Input,
+}
+
+impl Direction {
+    /// The symbol used in the paper's notation: `!` for output, `?` for input.
+    pub fn symbol(self) -> char {
+        match self {
+            Direction::Output => '!',
+            Direction::Input => '?',
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// A single provenance event `a!κ` or `a?κ`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// The principal that performed the send or receive.
+    pub principal: Principal,
+    /// Whether the event is an output (`!`) or an input (`?`).
+    pub direction: Direction,
+    /// The provenance of the *channel* on which the exchange happened.
+    pub channel_provenance: Provenance,
+}
+
+impl Event {
+    /// Builds an output event `principal!channel_provenance`.
+    pub fn output(principal: impl Into<Principal>, channel_provenance: Provenance) -> Self {
+        Event {
+            principal: principal.into(),
+            direction: Direction::Output,
+            channel_provenance,
+        }
+    }
+
+    /// Builds an input event `principal?channel_provenance`.
+    pub fn input(principal: impl Into<Principal>, channel_provenance: Provenance) -> Self {
+        Event {
+            principal: principal.into(),
+            direction: Direction::Input,
+            channel_provenance,
+        }
+    }
+
+    /// Returns `true` if this is an output event.
+    pub fn is_output(&self) -> bool {
+        self.direction == Direction::Output
+    }
+
+    /// Returns `true` if this is an input event.
+    pub fn is_input(&self) -> bool {
+        self.direction == Direction::Input
+    }
+
+    /// Total number of events reachable from this event, including itself
+    /// and everything nested inside the channel provenance.
+    pub fn total_size(&self) -> usize {
+        1 + self.channel_provenance.total_size()
+    }
+
+    /// Nesting depth of the event (an event over an empty channel
+    /// provenance has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.channel_provenance.depth()
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.channel_provenance.is_empty() {
+            write!(f, "{}{}ε", self.principal, self.direction)
+        } else {
+            write!(
+                f,
+                "{}{}[{}]",
+                self.principal, self.direction, self.channel_provenance
+            )
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+enum Node {
+    Nil,
+    Cons(Event, Provenance),
+}
+
+/// A provenance sequence `κ ::= ε | e | κ;κ`, kept in the flattened
+/// (right-associated) normal form the paper works with: a list of events,
+/// most recent first.
+///
+/// `Provenance` values are immutable and cheap to clone; prefixing an event
+/// with [`Provenance::prepend`] is O(1) and shares the tail.
+///
+/// ```
+/// use piprov_core::provenance::{Event, Provenance};
+///
+/// let kappa = Provenance::empty()
+///     .prepend(Event::output("a", Provenance::empty()))
+///     .prepend(Event::input("b", Provenance::empty()));
+/// assert_eq!(kappa.to_string(), "b?ε; a!ε");
+/// assert_eq!(kappa.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Provenance {
+    node: Arc<Node>,
+    len: usize,
+}
+
+impl Provenance {
+    /// The empty provenance sequence `ε`: the value originated locally and
+    /// has never been exchanged.
+    pub fn empty() -> Self {
+        Provenance {
+            node: Arc::new(Node::Nil),
+            len: 0,
+        }
+    }
+
+    /// Builds a provenance sequence from events given *most recent first*.
+    pub fn from_events<I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = Event>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        let mut acc = Provenance::empty();
+        for ev in events.into_iter().rev() {
+            acc = acc.prepend(ev);
+        }
+        acc
+    }
+
+    /// Builds a provenance holding a single event.
+    pub fn single(event: Event) -> Self {
+        Provenance::empty().prepend(event)
+    }
+
+    /// Returns a new sequence with `event` as the new most-recent event.
+    ///
+    /// This is the operation performed by the provenance-tracking reduction
+    /// rules: `κ ↦ a!κₘ; κ` on output and `κ ↦ a?κₘ; κ` on input.
+    pub fn prepend(&self, event: Event) -> Self {
+        Provenance {
+            len: self.len + 1,
+            node: Arc::new(Node::Cons(event, self.clone())),
+        }
+    }
+
+    /// Concatenates two sequences: `self ; other` (all of `self` is more
+    /// recent than all of `other`).
+    pub fn concat(&self, other: &Provenance) -> Self {
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut acc = other.clone();
+        for ev in self.iter().collect::<Vec<_>>().into_iter().rev() {
+            acc = acc.prepend(ev.clone());
+        }
+        acc
+    }
+
+    /// `true` when the sequence is `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of top-level events in the sequence (nested channel
+    /// provenances are not counted; see [`Provenance::total_size`]).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The most recent event, if any.
+    pub fn head(&self) -> Option<&Event> {
+        match &*self.node {
+            Node::Nil => None,
+            Node::Cons(ev, _) => Some(ev),
+        }
+    }
+
+    /// Everything but the most recent event.  Returns `None` on `ε`.
+    pub fn tail(&self) -> Option<&Provenance> {
+        match &*self.node {
+            Node::Nil => None,
+            Node::Cons(_, rest) => Some(rest),
+        }
+    }
+
+    /// Iterates over the top-level events, most recent first.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { current: self }
+    }
+
+    /// Collects the top-level events into a vector, most recent first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.iter().cloned().collect()
+    }
+
+    /// Total number of events including those nested inside channel
+    /// provenances.  This is the quantity that grows during long runs and
+    /// drives the tracking-overhead experiments.
+    pub fn total_size(&self) -> usize {
+        self.iter().map(Event::total_size).sum()
+    }
+
+    /// Maximum nesting depth of channel provenances (ε has depth 0).
+    pub fn depth(&self) -> usize {
+        self.iter().map(Event::depth).max().unwrap_or(0)
+    }
+
+    /// All principals mentioned anywhere in the sequence, in order of first
+    /// appearance (most recent first), without duplicates.
+    ///
+    /// This is the basis of the auditing example of the paper: the
+    /// principals that "were involved" with a value.
+    pub fn principals_involved(&self) -> Vec<Principal> {
+        let mut out: Vec<Principal> = Vec::new();
+        self.collect_principals(&mut out);
+        out
+    }
+
+    fn collect_principals(&self, out: &mut Vec<Principal>) {
+        for ev in self.iter() {
+            if !out.contains(&ev.principal) {
+                out.push(ev.principal.clone());
+            }
+            ev.channel_provenance.collect_principals(out);
+        }
+    }
+
+    /// `true` if the most recent event is an output by `principal`.
+    ///
+    /// Corresponds to the "immediate sender" authentication check of the
+    /// paper's first example.
+    pub fn last_sent_by(&self, principal: &Principal) -> bool {
+        matches!(self.head(), Some(ev) if ev.is_output() && &ev.principal == principal)
+    }
+
+    /// `true` if the *oldest* top-level event is an output by `principal`,
+    /// i.e. the value originated at `principal`.
+    ///
+    /// Corresponds to the "original sender" authentication check of the
+    /// paper's first example.
+    pub fn originated_at(&self, principal: &Principal) -> bool {
+        let events = self.to_vec();
+        matches!(events.last(), Some(ev) if ev.is_output() && &ev.principal == principal)
+    }
+}
+
+impl Default for Provenance {
+    fn default() -> Self {
+        Provenance::empty()
+    }
+}
+
+impl FromIterator<Event> for Provenance {
+    fn from_iter<T: IntoIterator<Item = Event>>(iter: T) -> Self {
+        Provenance::from_events(iter.into_iter().collect::<Vec<_>>())
+    }
+}
+
+impl<'a> IntoIterator for &'a Provenance {
+    type Item = &'a Event;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the top-level events of a [`Provenance`], most recent first.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    current: &'a Provenance,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = &'a Event;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &*self.current.node {
+            Node::Nil => None,
+            Node::Cons(ev, rest) => {
+                self.current = rest;
+                Some(ev)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.current.len, Some(self.current.len))
+    }
+}
+
+impl<'a> ExactSizeIterator for Iter<'a> {}
+
+impl fmt::Debug for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "ε");
+        }
+        let mut first = true;
+        for ev in self.iter() {
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            write!(f, "{}", ev)?;
+        }
+        Ok(())
+    }
+}
+
+pub mod compact {
+    //! A flat, eagerly cloned provenance representation used as the ablation
+    //! baseline for the persistent representation (experiment E9).
+    //!
+    //! Functionally equivalent to [`Provenance`](super::Provenance) but every
+    //! prepend copies the whole vector, so cost grows linearly with history
+    //! length — this is what a naive implementation of the paper would do.
+
+    use super::{Direction, Event, Provenance};
+    use crate::name::Principal;
+
+    /// A flat provenance sequence: a vector of events, most recent first.
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct FlatProvenance {
+        events: Vec<FlatEvent>,
+    }
+
+    /// A flat event mirroring [`Event`](super::Event).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct FlatEvent {
+        /// Principal that performed the action.
+        pub principal: Principal,
+        /// Send or receive.
+        pub direction: Direction,
+        /// Provenance of the channel used.
+        pub channel_provenance: FlatProvenance,
+    }
+
+    impl FlatProvenance {
+        /// The empty sequence.
+        pub fn empty() -> Self {
+            FlatProvenance { events: Vec::new() }
+        }
+
+        /// Number of top-level events.
+        pub fn len(&self) -> usize {
+            self.events.len()
+        }
+
+        /// `true` when empty.
+        pub fn is_empty(&self) -> bool {
+            self.events.is_empty()
+        }
+
+        /// Prepends an event by copying the entire sequence.
+        pub fn prepend(&self, event: FlatEvent) -> Self {
+            let mut events = Vec::with_capacity(self.events.len() + 1);
+            events.push(event);
+            events.extend(self.events.iter().cloned());
+            FlatProvenance { events }
+        }
+
+        /// Converts to the canonical shared representation.
+        pub fn to_shared(&self) -> Provenance {
+            Provenance::from_events(self.events.iter().map(|ev| Event {
+                principal: ev.principal.clone(),
+                direction: ev.direction,
+                channel_provenance: ev.channel_provenance.to_shared(),
+            }))
+        }
+
+        /// Builds a flat copy of a shared provenance sequence.
+        pub fn from_shared(p: &Provenance) -> Self {
+            FlatProvenance {
+                events: p
+                    .iter()
+                    .map(|ev| FlatEvent {
+                        principal: ev.principal.clone(),
+                        direction: ev.direction,
+                        channel_provenance: FlatEvent::flatten(&ev.channel_provenance),
+                    })
+                    .collect(),
+            }
+        }
+    }
+
+    impl FlatEvent {
+        fn flatten(p: &Provenance) -> FlatProvenance {
+            FlatProvenance::from_shared(p)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::provenance::{Event, Provenance};
+
+        #[test]
+        fn round_trip_between_representations() {
+            let shared = Provenance::from_events(vec![
+                Event::input("b", Provenance::single(Event::output("x", Provenance::empty()))),
+                Event::output("a", Provenance::empty()),
+            ]);
+            let flat = FlatProvenance::from_shared(&shared);
+            assert_eq!(flat.len(), 2);
+            assert_eq!(flat.to_shared(), shared);
+        }
+
+        #[test]
+        fn flat_prepend_matches_shared_prepend() {
+            let base = Provenance::single(Event::output("a", Provenance::empty()));
+            let flat = FlatProvenance::from_shared(&base);
+            let ev = Event::input("b", Provenance::empty());
+            let flat_ev = FlatEvent {
+                principal: ev.principal.clone(),
+                direction: ev.direction,
+                channel_provenance: FlatProvenance::empty(),
+            };
+            assert_eq!(flat.prepend(flat_ev).to_shared(), base.prepend(ev));
+        }
+
+        #[test]
+        fn empty_flat_is_empty_shared() {
+            assert_eq!(FlatProvenance::empty().to_shared(), Provenance::empty());
+            assert!(FlatProvenance::empty().is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Principal {
+        Principal::new("a")
+    }
+    fn b() -> Principal {
+        Principal::new("b")
+    }
+
+    #[test]
+    fn empty_has_no_events() {
+        let e = Provenance::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.head(), None);
+        assert_eq!(e.tail(), None);
+        assert_eq!(e.to_string(), "ε");
+        assert_eq!(e.depth(), 0);
+        assert_eq!(e.total_size(), 0);
+    }
+
+    #[test]
+    fn prepend_puts_most_recent_first() {
+        let k = Provenance::empty()
+            .prepend(Event::output(a(), Provenance::empty()))
+            .prepend(Event::input(b(), Provenance::empty()));
+        let events = k.to_vec();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].is_input());
+        assert_eq!(events[0].principal, b());
+        assert!(events[1].is_output());
+        assert_eq!(events[1].principal, a());
+    }
+
+    #[test]
+    fn from_events_preserves_order() {
+        let e1 = Event::output(a(), Provenance::empty());
+        let e2 = Event::input(b(), Provenance::empty());
+        let k = Provenance::from_events(vec![e1.clone(), e2.clone()]);
+        assert_eq!(k.to_vec(), vec![e1, e2]);
+    }
+
+    #[test]
+    fn concat_orders_left_before_right() {
+        let left = Provenance::single(Event::output(a(), Provenance::empty()));
+        let right = Provenance::single(Event::input(b(), Provenance::empty()));
+        let joined = left.concat(&right);
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined.to_vec()[0], left.to_vec()[0]);
+        assert_eq!(joined.to_vec()[1], right.to_vec()[0]);
+    }
+
+    #[test]
+    fn concat_with_empty_is_identity() {
+        let k = Provenance::single(Event::output(a(), Provenance::empty()));
+        assert_eq!(k.concat(&Provenance::empty()), k);
+        assert_eq!(Provenance::empty().concat(&k), k);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let km = Provenance::single(Event::output(a(), Provenance::empty()));
+        let k = Provenance::single(Event::input(b(), km));
+        assert_eq!(k.to_string(), "b?[a!ε]");
+    }
+
+    #[test]
+    fn total_size_counts_nested_events() {
+        let inner = Provenance::single(Event::output(a(), Provenance::empty()));
+        let outer = Provenance::single(Event::input(b(), inner.clone())).prepend(Event::output(
+            a(),
+            Provenance::single(Event::input(b(), inner)),
+        ));
+        // outer has two top-level events; first has 2 nested (b? + a!), second has 1.
+        assert_eq!(outer.total_size(), 2 + 1 + 2);
+        assert_eq!(outer.depth(), 3);
+    }
+
+    #[test]
+    fn principals_involved_deduplicates_in_order() {
+        let km = Provenance::single(Event::output(b(), Provenance::empty()));
+        let k = Provenance::from_events(vec![
+            Event::input(a(), km),
+            Event::output(a(), Provenance::empty()),
+            Event::output(b(), Provenance::empty()),
+        ]);
+        assert_eq!(k.principals_involved(), vec![a(), b()]);
+    }
+
+    #[test]
+    fn authentication_helpers() {
+        // κ = c! ; b? ; d!   (most recent first)
+        let k = Provenance::from_events(vec![
+            Event::output(Principal::new("c"), Provenance::empty()),
+            Event::input(b(), Provenance::empty()),
+            Event::output(Principal::new("d"), Provenance::empty()),
+        ]);
+        assert!(k.last_sent_by(&Principal::new("c")));
+        assert!(!k.last_sent_by(&Principal::new("d")));
+        assert!(k.originated_at(&Principal::new("d")));
+        assert!(!k.originated_at(&Principal::new("c")));
+        assert!(!Provenance::empty().last_sent_by(&a()));
+        assert!(!Provenance::empty().originated_at(&a()));
+    }
+
+    #[test]
+    fn clone_shares_structure() {
+        let base = Provenance::from_events(vec![Event::output(a(), Provenance::empty())]);
+        let extended = base.prepend(Event::input(b(), Provenance::empty()));
+        // The tail of the extended sequence is the same allocation as `base`.
+        assert_eq!(extended.tail(), Some(&base));
+        assert_eq!(base.len(), 1);
+        assert_eq!(extended.len(), 2);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let k1 = Provenance::from_events(vec![
+            Event::output(a(), Provenance::empty()),
+            Event::input(b(), Provenance::empty()),
+        ]);
+        let k2 = Provenance::empty()
+            .prepend(Event::input(b(), Provenance::empty()))
+            .prepend(Event::output(a(), Provenance::empty()));
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn iterator_is_exact_size() {
+        let k = Provenance::from_events(vec![
+            Event::output(a(), Provenance::empty()),
+            Event::input(b(), Provenance::empty()),
+        ]);
+        let it = k.iter();
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.count(), 2);
+    }
+}

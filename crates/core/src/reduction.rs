@@ -1,0 +1,900 @@
+//! The provenance-tracking reduction relation (Table 2 of the paper).
+//!
+//! Reduction is defined on [`Configuration`]s (systems in structural normal
+//! form).  Each rule application is described by a [`Redex`]; applying a
+//! redex yields the successor configuration together with a [`StepEvent`]
+//! describing what happened — the latter is exactly the information the
+//! monitored semantics of §3.3 records in the global log.
+//!
+//! The implemented rules are:
+//!
+//! * **R-Send** — `a[m:κₘ⟨v:κᵥ⟩] → m⟨⟨v : a!κₘ; κᵥ⟩⟩`
+//! * **R-Recv** — `a[Σᵢ m:κₘ(πᵢ as xᵢ).Pᵢ] ‖ m⟨⟨v:κᵥ⟩⟩ → a[Pⱼ{v : a?κₘ;κᵥ/xⱼ}]`
+//!   provided `κᵥ ⊨ πⱼ`
+//! * **R-IfT / R-IfF** — matching on plain values, provenance ignored
+//! * **R-Res, R-Par, R-Struct** — absorbed by the configuration normal form
+//! * replication unfolds lazily: a redex "inside" `*P` spawns one fresh copy
+//!   of `P` and keeps `*P`.
+
+use crate::configuration::Configuration;
+use crate::name::{Channel, Principal};
+use crate::pattern::PatternLanguage;
+use crate::process::Process;
+use crate::subst::Substitution;
+use crate::system::{Message, System};
+use crate::value::{AnnotatedValue, Identifier, Value};
+use std::error::Error;
+use std::fmt;
+
+/// What a reduction step did, in the vocabulary of the paper's monitored
+/// semantics (§3.3): `a.snd(m, ṽ)`, `a.rcv(m, ṽ)`, `a.ift(u, v)`,
+/// `a.iff(u, v)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepEvent {
+    /// The principal that performed the step.
+    pub principal: Principal,
+    /// The action performed.
+    pub kind: StepKind,
+}
+
+/// The action component of a [`StepEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepKind {
+    /// The principal sent `payload` on `channel`.
+    Send {
+        /// Destination channel.
+        channel: Channel,
+        /// Plain values sent (their updated provenance is in the resulting
+        /// message, not here; the log records plain values only).
+        payload: Vec<Value>,
+    },
+    /// The principal received `payload` from `channel`, selecting `branch`.
+    Receive {
+        /// Source channel.
+        channel: Channel,
+        /// Plain values received.
+        payload: Vec<Value>,
+        /// Index of the input branch selected.
+        branch: usize,
+    },
+    /// An `if` test that succeeded.
+    IfTrue {
+        /// Left plain value.
+        lhs: Value,
+        /// Right plain value.
+        rhs: Value,
+    },
+    /// An `if` test that failed.
+    IfFalse {
+        /// Left plain value.
+        lhs: Value,
+        /// Right plain value.
+        rhs: Value,
+    },
+}
+
+impl StepEvent {
+    /// `true` if this step is a communication (send or receive) rather than
+    /// an internal match.
+    pub fn is_communication(&self) -> bool {
+        matches!(self.kind, StepKind::Send { .. } | StepKind::Receive { .. })
+    }
+}
+
+impl fmt::Display for StepEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_values = |vs: &[Value]| -> String {
+            vs.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        match &self.kind {
+            StepKind::Send { channel, payload } => {
+                write!(f, "{}.snd({}, {})", self.principal, channel, fmt_values(payload))
+            }
+            StepKind::Receive {
+                channel, payload, ..
+            } => write!(f, "{}.rcv({}, {})", self.principal, channel, fmt_values(payload)),
+            StepKind::IfTrue { lhs, rhs } => {
+                write!(f, "{}.ift({}, {})", self.principal, lhs, rhs)
+            }
+            StepKind::IfFalse { lhs, rhs } => {
+                write!(f, "{}.iff({}, {})", self.principal, lhs, rhs)
+            }
+        }
+    }
+}
+
+/// Where in the configuration a redex lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedexTarget {
+    /// The redex is the thread at this index.
+    Direct {
+        /// Index into [`Configuration::threads`].
+        thread: usize,
+    },
+    /// The redex is inside the body of the replication thread at
+    /// `thread`; `sub` indexes the guarded component of one unfolded copy.
+    Replicated {
+        /// Index of the `*P` thread.
+        thread: usize,
+        /// Index (relative to the unfolding) of the guarded component.
+        sub: usize,
+    },
+}
+
+/// The kind of rule a redex will apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedexAction {
+    /// R-Send.
+    Send,
+    /// R-Recv consuming the message at `message`, selecting `branch`.
+    Receive {
+        /// Index into [`Configuration::messages`].
+        message: usize,
+        /// Index of the input branch to take.
+        branch: usize,
+    },
+    /// R-IfT or R-IfF (decided when applied).
+    Match,
+}
+
+/// A single applicable reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Redex {
+    /// Which thread acts.
+    pub target: RedexTarget,
+    /// Which rule applies.
+    pub action: RedexAction,
+}
+
+/// Errors raised when a reduction cannot be performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReductionError {
+    /// The system contains free variables; reduction is defined on closed
+    /// systems only.
+    NotClosed(String),
+    /// An identifier in channel position is a principal name, which cannot
+    /// be used as a communication channel.
+    NotAChannel(String),
+    /// The redex refers to a thread or message that no longer exists.
+    StaleRedex,
+    /// The message's arity does not match the selected input branch.
+    ArityMismatch {
+        /// Values carried by the message.
+        expected: usize,
+        /// Binders in the selected branch.
+        found: usize,
+    },
+    /// The provenance of the message does not satisfy the branch's pattern.
+    PatternMismatch,
+    /// The thread is not of the right shape for the requested rule.
+    RuleMismatch,
+}
+
+impl fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReductionError::NotClosed(what) => {
+                write!(f, "system is not closed: free variable {}", what)
+            }
+            ReductionError::NotAChannel(what) => {
+                write!(f, "identifier {} is not a channel name", what)
+            }
+            ReductionError::StaleRedex => write!(f, "redex refers to a stale thread or message"),
+            ReductionError::ArityMismatch { expected, found } => write!(
+                f,
+                "arity mismatch: message carries {} values but branch binds {}",
+                expected, found
+            ),
+            ReductionError::PatternMismatch => {
+                write!(f, "message provenance does not satisfy the branch pattern")
+            }
+            ReductionError::RuleMismatch => {
+                write!(f, "thread shape does not match the requested reduction rule")
+            }
+        }
+    }
+}
+
+impl Error for ReductionError {}
+
+/// Extracts the channel name and channel provenance from an identifier in
+/// subject (channel) position.
+fn subject_channel(
+    ident: &Identifier,
+) -> Result<(&Channel, &crate::provenance::Provenance), ReductionError> {
+    match ident {
+        Identifier::Value(av) => match &av.value {
+            Value::Channel(c) => Ok((c, &av.provenance)),
+            Value::Principal(p) => Err(ReductionError::NotAChannel(p.to_string())),
+        },
+        Identifier::Variable(x) => Err(ReductionError::NotClosed(x.to_string())),
+    }
+}
+
+/// Extracts an annotated value from an identifier in object position.
+fn object_value(ident: &Identifier) -> Result<&AnnotatedValue, ReductionError> {
+    match ident {
+        Identifier::Value(av) => Ok(av),
+        Identifier::Variable(x) => Err(ReductionError::NotClosed(x.to_string())),
+    }
+}
+
+/// Enumerates every redex currently enabled in the configuration.
+///
+/// The enumeration is deterministic: redexes are listed in thread order,
+/// and for receives in message order then branch order.  Schedulers build
+/// on this to implement their policies.
+pub fn enumerate_redexes<P, L>(cfg: &Configuration<P>, matcher: &L) -> Vec<Redex>
+where
+    P: Clone,
+    L: PatternLanguage<Pattern = P>,
+{
+    // Replication bodies are explored up to a bounded nesting depth: a redex
+    // under k nested replications needs k virtual unfoldings to be seen.
+    // Depth 4 covers any realistic system while keeping enumeration total.
+    enumerate_redexes_bounded(cfg, matcher, 4)
+}
+
+fn enumerate_redexes_bounded<P, L>(
+    cfg: &Configuration<P>,
+    matcher: &L,
+    replication_depth: usize,
+) -> Vec<Redex>
+where
+    P: Clone,
+    L: PatternLanguage<Pattern = P>,
+{
+    let mut out = Vec::new();
+    for (i, thread) in cfg.threads.iter().enumerate() {
+        match &thread.process {
+            Process::Output { .. } => out.push(Redex {
+                target: RedexTarget::Direct { thread: i },
+                action: RedexAction::Send,
+            }),
+            Process::Match { .. } => out.push(Redex {
+                target: RedexTarget::Direct { thread: i },
+                action: RedexAction::Match,
+            }),
+            Process::InputSum { channel, branches } => {
+                if let Ok((name, _)) = subject_channel(channel) {
+                    for (mi, message) in cfg.messages.iter().enumerate() {
+                        if &message.channel != name {
+                            continue;
+                        }
+                        for (bi, branch) in branches.iter().enumerate() {
+                            if branch.arity() != message.arity() {
+                                continue;
+                            }
+                            let all_match = branch
+                                .bindings
+                                .iter()
+                                .zip(message.payload.iter())
+                                .all(|((pat, _), value)| {
+                                    matcher.satisfies(&value.provenance, pat)
+                                });
+                            if all_match {
+                                out.push(Redex {
+                                    target: RedexTarget::Direct { thread: i },
+                                    action: RedexAction::Receive {
+                                        message: mi,
+                                        branch: bi,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            Process::Replicate(body) => {
+                if replication_depth == 0 {
+                    continue;
+                }
+                // Fast path: when the body has no top-level restriction, its
+                // guarded components can be examined in place, without the
+                // expensive clone-and-unfold of the general case.  The
+                // component order matches `Configuration::add_process`, so
+                // `sub` indices agree with what application will produce.
+                let mut components = Vec::new();
+                if decompose_replication_body(body, &mut components) {
+                    for (sub, component) in components.iter().enumerate() {
+                        match component {
+                            Process::Output { .. } => out.push(Redex {
+                                target: RedexTarget::Replicated { thread: i, sub },
+                                action: RedexAction::Send,
+                            }),
+                            Process::Match { .. } => out.push(Redex {
+                                target: RedexTarget::Replicated { thread: i, sub },
+                                action: RedexAction::Match,
+                            }),
+                            Process::InputSum { channel, branches } => {
+                                if let Ok((name, _)) = subject_channel(channel) {
+                                    for (mi, message) in cfg.messages.iter().enumerate() {
+                                        if &message.channel != name {
+                                            continue;
+                                        }
+                                        for (bi, branch) in branches.iter().enumerate() {
+                                            if branch.arity() != message.arity() {
+                                                continue;
+                                            }
+                                            let all_match = branch
+                                                .bindings
+                                                .iter()
+                                                .zip(message.payload.iter())
+                                                .all(|((pat, _), value)| {
+                                                    matcher.satisfies(&value.provenance, pat)
+                                                });
+                                            if all_match {
+                                                out.push(Redex {
+                                                    target: RedexTarget::Replicated {
+                                                        thread: i,
+                                                        sub,
+                                                    },
+                                                    action: RedexAction::Receive {
+                                                        message: mi,
+                                                        branch: bi,
+                                                    },
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            // Nested replications not under a guard are only
+                            // explored by the general path below.
+                            _ => {}
+                        }
+                    }
+                    continue;
+                }
+                // General path: virtually unfold one copy and enumerate its
+                // redexes (needed when the body opens fresh restrictions).
+                let mut scratch = cfg.clone();
+                let start = scratch.threads.len();
+                unfold_replication(&mut scratch, i);
+                let end = scratch.threads.len();
+                let inner = enumerate_redexes_bounded(&scratch, matcher, replication_depth - 1);
+                for redex in inner {
+                    if let RedexTarget::Direct { thread } = redex.target {
+                        if thread >= start && thread < end {
+                            out.push(Redex {
+                                target: RedexTarget::Replicated {
+                                    thread: i,
+                                    sub: thread - start,
+                                },
+                                action: redex.action,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Flattens a replication body into its guarded components, in the same
+/// order `Configuration::add_process` would create threads for them.
+///
+/// Returns `false` (and should not be used) if the body contains a
+/// top-level restriction, which requires the general unfold path because
+/// fresh names must be generated.
+fn decompose_replication_body<P: Clone>(body: &Process<P>, out: &mut Vec<Process<P>>) -> bool {
+    match body {
+        Process::Nil => true,
+        Process::Parallel(ps) => ps.iter().all(|q| decompose_replication_body(q, out)),
+        Process::Restriction { .. } => false,
+        Process::InputSum { branches, .. } if branches.is_empty() => true,
+        guarded => {
+            out.push(guarded.clone());
+            true
+        }
+    }
+}
+
+/// Unfolds one copy of the replication at `thread`, appending the copy's
+/// guarded components to the configuration (the `*P` thread itself stays).
+///
+/// Returns the number of threads appended.
+fn unfold_replication<P: Clone>(cfg: &mut Configuration<P>, thread: usize) -> usize {
+    let (principal, body) = match &cfg.threads[thread].process {
+        Process::Replicate(body) => (cfg.threads[thread].principal.clone(), (**body).clone()),
+        _ => return 0,
+    };
+    let before = cfg.threads.len();
+    cfg.add_process(principal, body);
+    cfg.threads.len() - before
+}
+
+/// Applies a redex, returning the successor configuration and the step
+/// event describing what happened.
+///
+/// # Errors
+///
+/// Returns a [`ReductionError`] if the redex is stale (indices out of
+/// range), if the thread shape does not match, if the system is not closed,
+/// or if a receive's pattern or arity no longer matches.
+pub fn apply_redex<P, L>(
+    cfg: &Configuration<P>,
+    redex: &Redex,
+    matcher: &L,
+) -> Result<(Configuration<P>, StepEvent), ReductionError>
+where
+    P: Clone,
+    L: PatternLanguage<Pattern = P>,
+{
+    let mut next = cfg.clone();
+    let thread_index = match redex.target {
+        RedexTarget::Direct { thread } => {
+            if thread >= next.threads.len() {
+                return Err(ReductionError::StaleRedex);
+            }
+            thread
+        }
+        RedexTarget::Replicated { thread, sub } => {
+            if thread >= next.threads.len() {
+                return Err(ReductionError::StaleRedex);
+            }
+            let start = next.threads.len();
+            let added = unfold_replication(&mut next, thread);
+            if sub >= added {
+                return Err(ReductionError::StaleRedex);
+            }
+            start + sub
+        }
+    };
+    apply_to_thread(next, thread_index, redex.action, matcher)
+}
+
+fn apply_to_thread<P, L>(
+    mut cfg: Configuration<P>,
+    thread_index: usize,
+    action: RedexAction,
+    matcher: &L,
+) -> Result<(Configuration<P>, StepEvent), ReductionError>
+where
+    P: Clone,
+    L: PatternLanguage<Pattern = P>,
+{
+    let thread = cfg.threads[thread_index].clone();
+    match (&thread.process, action) {
+        (Process::Output { channel, payload }, RedexAction::Send) => {
+            let (name, channel_prov) = subject_channel(channel)?;
+            let mut sent = Vec::with_capacity(payload.len());
+            let mut plain = Vec::with_capacity(payload.len());
+            for w in payload {
+                let av = object_value(w)?;
+                plain.push(av.value.clone());
+                sent.push(av.sent_by(&thread.principal, channel_prov));
+            }
+            let message = Message {
+                channel: name.clone(),
+                payload: sent,
+            };
+            cfg.threads.remove(thread_index);
+            cfg.messages.push(message);
+            let event = StepEvent {
+                principal: thread.principal,
+                kind: StepKind::Send {
+                    channel: name.clone(),
+                    payload: plain,
+                },
+            };
+            Ok((cfg, event))
+        }
+        (Process::InputSum { channel, branches }, RedexAction::Receive { message, branch }) => {
+            if message >= cfg.messages.len() || branch >= branches.len() {
+                return Err(ReductionError::StaleRedex);
+            }
+            let (name, channel_prov) = subject_channel(channel)?;
+            let msg = cfg.messages[message].clone();
+            if &msg.channel != name {
+                return Err(ReductionError::StaleRedex);
+            }
+            let chosen = &branches[branch];
+            if chosen.arity() != msg.arity() {
+                return Err(ReductionError::ArityMismatch {
+                    expected: msg.arity(),
+                    found: chosen.arity(),
+                });
+            }
+            let mut received = Vec::with_capacity(msg.payload.len());
+            let mut plain = Vec::with_capacity(msg.payload.len());
+            for ((pat, _), value) in chosen.bindings.iter().zip(msg.payload.iter()) {
+                if !matcher.satisfies(&value.provenance, pat) {
+                    return Err(ReductionError::PatternMismatch);
+                }
+                plain.push(value.value.clone());
+                received.push(value.received_by(&thread.principal, channel_prov));
+            }
+            let binders: Vec<_> = chosen.binders().cloned().collect();
+            let substitution = Substitution::parallel(&binders, &received);
+            let continuation = {
+                let mut supply = cfg.supply.clone();
+                let p = substitution.apply_process(&chosen.continuation, &mut supply);
+                cfg.supply = supply;
+                p
+            };
+            cfg.threads.remove(thread_index);
+            cfg.messages.remove(message);
+            cfg.add_process(thread.principal.clone(), continuation);
+            let event = StepEvent {
+                principal: thread.principal,
+                kind: StepKind::Receive {
+                    channel: name.clone(),
+                    payload: plain,
+                    branch,
+                },
+            };
+            Ok((cfg, event))
+        }
+        (
+            Process::Match {
+                lhs,
+                rhs,
+                then_branch,
+                else_branch,
+            },
+            RedexAction::Match,
+        ) => {
+            let left = object_value(lhs)?;
+            let right = object_value(rhs)?;
+            // Only the plain values are compared; provenance is ignored.
+            let equal = left.value == right.value;
+            let continuation = if equal {
+                (**then_branch).clone()
+            } else {
+                (**else_branch).clone()
+            };
+            cfg.threads.remove(thread_index);
+            cfg.add_process(thread.principal.clone(), continuation);
+            let event = StepEvent {
+                principal: thread.principal,
+                kind: if equal {
+                    StepKind::IfTrue {
+                        lhs: left.value.clone(),
+                        rhs: right.value.clone(),
+                    }
+                } else {
+                    StepKind::IfFalse {
+                        lhs: left.value.clone(),
+                        rhs: right.value.clone(),
+                    }
+                },
+            };
+            Ok((cfg, event))
+        }
+        _ => Err(ReductionError::RuleMismatch),
+    }
+}
+
+/// Computes all one-step successors of a system, as `(event, successor)`
+/// pairs.
+///
+/// This is the small-step relation used by the exhaustive explorers in the
+/// meta-theory tests; for long runs prefer the
+/// [`Executor`](crate::interpreter::Executor), which avoids repeated
+/// renormalization.
+///
+/// # Errors
+///
+/// Returns an error if the system is not closed.
+pub fn successors<P, L>(
+    system: &System<P>,
+    matcher: &L,
+) -> Result<Vec<(StepEvent, System<P>)>, ReductionError>
+where
+    P: Clone,
+    L: PatternLanguage<Pattern = P>,
+{
+    if let Some(x) = system.free_variables().into_iter().next() {
+        return Err(ReductionError::NotClosed(x.to_string()));
+    }
+    let cfg = Configuration::from_system(system);
+    let mut out = Vec::new();
+    for redex in enumerate_redexes(&cfg, matcher) {
+        let (next, event) = apply_redex(&cfg, &redex, matcher)?;
+        out.push((event, next.to_system()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{AnyPattern, FnMatcher, TrivialPatterns};
+    use crate::process::InputBranch;
+    use crate::provenance::Provenance;
+
+    type S = System<AnyPattern>;
+
+    fn send_recv_system() -> S {
+        // a[m<v>] ‖ b[m(Any as x).x<w>]   (x used as a channel afterwards)
+        System::par(
+            System::located(
+                "a",
+                Process::output(Identifier::channel("m"), Identifier::channel("v")),
+            ),
+            System::located(
+                "b",
+                Process::input(
+                    Identifier::channel("m"),
+                    AnyPattern,
+                    "x",
+                    Process::output(Identifier::variable("x"), Identifier::channel("w")),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn r_send_produces_message_with_updated_provenance() {
+        let cfg = Configuration::from_system(&send_recv_system());
+        let redexes = enumerate_redexes(&cfg, &TrivialPatterns);
+        // only the send is enabled (no message yet for the input)
+        assert_eq!(redexes.len(), 1);
+        let (next, event) = apply_redex(&cfg, &redexes[0], &TrivialPatterns).unwrap();
+        assert_eq!(next.message_count(), 1);
+        assert_eq!(next.thread_count(), 1);
+        let msg = &next.messages[0];
+        assert_eq!(msg.channel, Channel::new("m"));
+        assert_eq!(msg.payload[0].provenance.to_string(), "a!ε");
+        match event.kind {
+            StepKind::Send { ref channel, ref payload } => {
+                assert_eq!(channel, &Channel::new("m"));
+                assert_eq!(payload, &vec![Value::Channel(Channel::new("v"))]);
+            }
+            ref other => panic!("unexpected event {:?}", other),
+        }
+    }
+
+    #[test]
+    fn r_recv_substitutes_and_updates_provenance() {
+        let cfg = Configuration::from_system(&send_recv_system());
+        let matcher = TrivialPatterns;
+        let send = enumerate_redexes(&cfg, &matcher)[0];
+        let (cfg, _) = apply_redex(&cfg, &send, &matcher).unwrap();
+        let redexes = enumerate_redexes(&cfg, &matcher);
+        assert_eq!(redexes.len(), 1, "only the receive should be enabled");
+        let (cfg, event) = apply_redex(&cfg, &redexes[0], &matcher).unwrap();
+        assert_eq!(cfg.message_count(), 0);
+        assert_eq!(cfg.thread_count(), 1);
+        // b's continuation is x<w> with x := v : b?ε; a!ε
+        match &cfg.threads[0].process {
+            Process::Output { channel, .. } => match channel {
+                Identifier::Value(av) => {
+                    assert_eq!(av.value, Value::Channel(Channel::new("v")));
+                    assert_eq!(av.provenance.to_string(), "b?ε; a!ε");
+                }
+                other => panic!("unexpected identifier {:?}", other),
+            },
+            other => panic!("unexpected process {:?}", other),
+        }
+        match event.kind {
+            StepKind::Receive { ref channel, .. } => assert_eq!(channel, &Channel::new("m")),
+            ref other => panic!("unexpected event {:?}", other),
+        }
+    }
+
+    #[test]
+    fn r_ift_and_r_iff_ignore_provenance() {
+        // a[if v:κ1 = v:κ2 then m<v> else n<v>] — equal plain values, different provenance.
+        let k1 = Provenance::single(crate::provenance::Event::output(
+            Principal::new("x"),
+            Provenance::empty(),
+        ));
+        let thenp = Process::output(Identifier::channel("m"), Identifier::channel("v"));
+        let elsep = Process::output(Identifier::channel("n"), Identifier::channel("v"));
+        let s: S = System::located(
+            "a",
+            Process::matching(
+                Identifier::Value(AnnotatedValue::new(Channel::new("v"), k1)),
+                Identifier::channel("v"),
+                thenp.clone(),
+                elsep.clone(),
+            ),
+        );
+        let succ = successors(&s, &TrivialPatterns).unwrap();
+        assert_eq!(succ.len(), 1);
+        let (event, next) = &succ[0];
+        assert!(matches!(event.kind, StepKind::IfTrue { .. }));
+        assert!(crate::configuration::structurally_congruent(
+            next,
+            &System::located("a", thenp)
+        ));
+
+        // Different plain values take the else branch.
+        let s2: S = System::located(
+            "a",
+            Process::matching(
+                Identifier::channel("u"),
+                Identifier::channel("v"),
+                Process::nil(),
+                elsep.clone(),
+            ),
+        );
+        let succ2 = successors(&s2, &TrivialPatterns).unwrap();
+        assert_eq!(succ2.len(), 1);
+        assert!(matches!(succ2[0].0.kind, StepKind::IfFalse { .. }));
+        assert!(crate::configuration::structurally_congruent(
+            &succ2[0].1,
+            &System::located("a", elsep)
+        ));
+    }
+
+    #[test]
+    fn receive_respects_patterns() {
+        // Pattern language: maximum provenance length.  Message provenance has
+        // length 1 after the send, so a branch demanding length 0 is disabled.
+        let matcher: FnMatcher<usize> = FnMatcher::new(|k, max| k.len() <= *max);
+        let system: System<usize> = System::par(
+            System::located(
+                "a",
+                Process::output(Identifier::channel("m"), Identifier::channel("v")),
+            ),
+            System::located(
+                "b",
+                Process::input_sum(
+                    Identifier::channel("m"),
+                    vec![
+                        InputBranch::monadic(0usize, "x", Process::nil()),
+                        InputBranch::monadic(5usize, "y", Process::nil()),
+                    ],
+                ),
+            ),
+        );
+        let cfg = Configuration::from_system(&system);
+        let send = enumerate_redexes(&cfg, &matcher)[0];
+        let (cfg, _) = apply_redex(&cfg, &send, &matcher).unwrap();
+        let redexes = enumerate_redexes(&cfg, &matcher);
+        assert_eq!(redexes.len(), 1, "only the permissive branch matches");
+        match redexes[0].action {
+            RedexAction::Receive { branch, .. } => assert_eq!(branch, 1),
+            other => panic!("unexpected action {:?}", other),
+        }
+    }
+
+    #[test]
+    fn nondeterministic_market_has_two_successors() {
+        // a[n<v1>] ‖ b[n<v2>] ‖ c[n(x).0] — after both sends, c can take either.
+        let s: S = System::par_all(vec![
+            System::located(
+                "a",
+                Process::output(Identifier::channel("n"), Identifier::channel("v1")),
+            ),
+            System::located(
+                "b",
+                Process::output(Identifier::channel("n"), Identifier::channel("v2")),
+            ),
+            System::located(
+                "c",
+                Process::input(Identifier::channel("n"), AnyPattern, "x", Process::nil()),
+            ),
+        ]);
+        let m = TrivialPatterns;
+        let mut cfg = Configuration::from_system(&s);
+        // Fire both sends.
+        for _ in 0..2 {
+            let sends: Vec<_> = enumerate_redexes(&cfg, &m)
+                .into_iter()
+                .filter(|r| r.action == RedexAction::Send)
+                .collect();
+            let (next, _) = apply_redex(&cfg, &sends[0], &m).unwrap();
+            cfg = next;
+        }
+        let receives = enumerate_redexes(&cfg, &m);
+        assert_eq!(receives.len(), 2, "the consumer may pick either value");
+    }
+
+    #[test]
+    fn replication_unfolds_lazily() {
+        // o[*(sub(Any as x).res<x>)] ‖ sub<<v>>
+        let s: S = System::par(
+            System::located(
+                "o",
+                Process::replicate(Process::input(
+                    Identifier::channel("sub"),
+                    AnyPattern,
+                    "x",
+                    Process::output(Identifier::channel("res"), Identifier::variable("x")),
+                )),
+            ),
+            System::message(Message::new("sub", AnnotatedValue::channel("v"))),
+        );
+        let m = TrivialPatterns;
+        let cfg = Configuration::from_system(&s);
+        let redexes = enumerate_redexes(&cfg, &m);
+        assert_eq!(redexes.len(), 1);
+        assert!(matches!(
+            redexes[0].target,
+            RedexTarget::Replicated { .. }
+        ));
+        let (next, event) = apply_redex(&cfg, &redexes[0], &m).unwrap();
+        assert!(matches!(event.kind, StepKind::Receive { .. }));
+        // The replication survives and the continuation is spawned.
+        assert_eq!(next.thread_count(), 2);
+        assert_eq!(next.message_count(), 0);
+        assert!(next
+            .threads
+            .iter()
+            .any(|t| matches!(t.process, Process::Replicate(_))));
+    }
+
+    #[test]
+    fn successors_rejects_open_systems() {
+        let s: S = System::located(
+            "a",
+            Process::output(Identifier::variable("x"), Identifier::channel("v")),
+        );
+        let err = successors(&s, &TrivialPatterns).unwrap_err();
+        assert!(matches!(err, ReductionError::NotClosed(_)));
+    }
+
+    #[test]
+    fn sending_on_a_principal_is_an_error() {
+        let s: S = System::located(
+            "a",
+            Process::output(Identifier::principal("b"), Identifier::channel("v")),
+        );
+        let cfg = Configuration::from_system(&s);
+        let redexes = enumerate_redexes(&cfg, &TrivialPatterns);
+        assert_eq!(redexes.len(), 1);
+        let err = apply_redex(&cfg, &redexes[0], &TrivialPatterns).unwrap_err();
+        assert!(matches!(err, ReductionError::NotAChannel(_)));
+    }
+
+    #[test]
+    fn arity_mismatch_blocks_receive() {
+        let s: S = System::par(
+            System::message(Message::tuple(
+                "m",
+                vec![AnnotatedValue::channel("v"), AnnotatedValue::channel("w")],
+            )),
+            System::located(
+                "b",
+                Process::input(Identifier::channel("m"), AnyPattern, "x", Process::nil()),
+            ),
+        );
+        let cfg = Configuration::from_system(&s);
+        let redexes = enumerate_redexes(&cfg, &TrivialPatterns);
+        assert!(redexes.is_empty(), "monadic input cannot consume a pair");
+    }
+
+    #[test]
+    fn stale_redex_detected() {
+        let cfg = Configuration::from_system(&send_recv_system());
+        let redex = Redex {
+            target: RedexTarget::Direct { thread: 99 },
+            action: RedexAction::Send,
+        };
+        assert_eq!(
+            apply_redex(&cfg, &redex, &TrivialPatterns).unwrap_err(),
+            ReductionError::StaleRedex
+        );
+    }
+
+    #[test]
+    fn step_event_display() {
+        let ev = StepEvent {
+            principal: Principal::new("a"),
+            kind: StepKind::Send {
+                channel: Channel::new("m"),
+                payload: vec![Value::Channel(Channel::new("v"))],
+            },
+        };
+        assert_eq!(ev.to_string(), "a.snd(m, v)");
+        assert!(ev.is_communication());
+        let ev2 = StepEvent {
+            principal: Principal::new("a"),
+            kind: StepKind::IfTrue {
+                lhs: Value::Channel(Channel::new("v")),
+                rhs: Value::Channel(Channel::new("v")),
+            },
+        };
+        assert_eq!(ev2.to_string(), "a.ift(v, v)");
+        assert!(!ev2.is_communication());
+    }
+}

@@ -1,0 +1,473 @@
+//! Capture-avoiding substitution of annotated values for variables.
+//!
+//! The substitution `P{w̃/x̃}` replaces free occurrences of the variables
+//! `x̃` by the annotated values `w̃`.  Two forms of capture must be avoided:
+//!
+//! * *variable capture* — we never substitute inside the continuation of an
+//!   input branch that re-binds a variable in the substitution's domain
+//!   (shadowing);
+//! * *channel capture* — a substituted value may mention a channel name `n`
+//!   that is bound by a restriction `(νn)` inside the target process; in
+//!   that case the restriction is alpha-converted to a fresh name drawn
+//!   from a [`NameSupply`].
+
+use crate::name::{Channel, NameSupply, Variable};
+use crate::process::{InputBranch, Process};
+use crate::value::{AnnotatedValue, Identifier, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite map from variables to annotated values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    map: BTreeMap<Variable, AnnotatedValue>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Substitution::default()
+    }
+
+    /// The singleton substitution `{value/variable}`.
+    pub fn single(variable: impl Into<Variable>, value: AnnotatedValue) -> Self {
+        let mut s = Substitution::new();
+        s.bind(variable, value);
+        s
+    }
+
+    /// Builds a substitution from parallel lists of binders and values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two lists have different lengths; the reduction engine
+    /// checks arity before constructing substitutions.
+    pub fn parallel(variables: &[Variable], values: &[AnnotatedValue]) -> Self {
+        assert_eq!(
+            variables.len(),
+            values.len(),
+            "substitution arity mismatch: {} binders vs {} values",
+            variables.len(),
+            values.len()
+        );
+        let mut s = Substitution::new();
+        for (x, v) in variables.iter().zip(values.iter()) {
+            s.bind(x.clone(), v.clone());
+        }
+        s
+    }
+
+    /// Adds a binding, replacing any previous binding for the variable.
+    pub fn bind(&mut self, variable: impl Into<Variable>, value: AnnotatedValue) -> &mut Self {
+        self.map.insert(variable.into(), value);
+        self
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, variable: &Variable) -> Option<&AnnotatedValue> {
+        self.map.get(variable)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when there are no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The domain of the substitution.
+    pub fn domain(&self) -> impl Iterator<Item = &Variable> {
+        self.map.keys()
+    }
+
+    /// Returns a copy of the substitution with the given variables removed
+    /// from its domain (used when passing under a binder that shadows them).
+    fn without<'a>(&self, shadowed: impl Iterator<Item = &'a Variable>) -> Substitution {
+        let mut map = self.map.clone();
+        for x in shadowed {
+            map.remove(x);
+        }
+        Substitution { map }
+    }
+
+    /// Channel names occurring in the range of the substitution (these are
+    /// the names that a restriction must not capture).
+    fn range_channels(&self) -> Vec<Channel> {
+        let mut out = Vec::new();
+        for v in self.map.values() {
+            if let Value::Channel(c) = &v.value {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies the substitution to an identifier.
+    pub fn apply_identifier(&self, w: &Identifier) -> Identifier {
+        match w {
+            Identifier::Variable(x) => match self.map.get(x) {
+                Some(v) => Identifier::Value(v.clone()),
+                None => w.clone(),
+            },
+            Identifier::Value(_) => w.clone(),
+        }
+    }
+
+    /// Applies the substitution to a process, alpha-converting restrictions
+    /// as needed to avoid channel capture.
+    pub fn apply_process<P: Clone>(
+        &self,
+        process: &Process<P>,
+        supply: &mut NameSupply,
+    ) -> Process<P> {
+        if self.is_empty() {
+            return process.clone();
+        }
+        match process {
+            Process::Output { channel, payload } => Process::Output {
+                channel: self.apply_identifier(channel),
+                payload: payload.iter().map(|w| self.apply_identifier(w)).collect(),
+            },
+            Process::InputSum { channel, branches } => Process::InputSum {
+                channel: self.apply_identifier(channel),
+                branches: branches
+                    .iter()
+                    .map(|b| {
+                        let inner = self.without(b.binders());
+                        InputBranch {
+                            bindings: b.bindings.clone(),
+                            continuation: inner.apply_process(&b.continuation, supply),
+                        }
+                    })
+                    .collect(),
+            },
+            Process::Match {
+                lhs,
+                rhs,
+                then_branch,
+                else_branch,
+            } => Process::Match {
+                lhs: self.apply_identifier(lhs),
+                rhs: self.apply_identifier(rhs),
+                then_branch: Box::new(self.apply_process(then_branch, supply)),
+                else_branch: Box::new(self.apply_process(else_branch, supply)),
+            },
+            Process::Restriction { name, body } => {
+                if self.range_channels().contains(name) {
+                    // The restricted name would capture a substituted value:
+                    // alpha-convert the restriction before going under it.
+                    let fresh = supply.fresh_channel(name);
+                    let renamed = rename_channel_process(body, name, &fresh);
+                    Process::Restriction {
+                        name: fresh,
+                        body: Box::new(self.apply_process(&renamed, supply)),
+                    }
+                } else {
+                    Process::Restriction {
+                        name: name.clone(),
+                        body: Box::new(self.apply_process(body, supply)),
+                    }
+                }
+            }
+            Process::Parallel(ps) => {
+                Process::Parallel(ps.iter().map(|q| self.apply_process(q, supply)).collect())
+            }
+            Process::Replicate(body) => {
+                Process::Replicate(Box::new(self.apply_process(body, supply)))
+            }
+            Process::Nil => Process::Nil,
+        }
+    }
+}
+
+impl fmt::Display for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (x, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", v, x)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Variable, AnnotatedValue)> for Substitution {
+    fn from_iter<T: IntoIterator<Item = (Variable, AnnotatedValue)>>(iter: T) -> Self {
+        Substitution {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Renames *free* occurrences of channel `from` to `to` in a process.
+///
+/// Occurrences under a restriction that re-binds `from` are left untouched.
+/// Provenance annotations are unaffected because provenance never mentions
+/// channel names.
+pub fn rename_channel_process<P: Clone>(
+    process: &Process<P>,
+    from: &Channel,
+    to: &Channel,
+) -> Process<P> {
+    let rename_ident = |w: &Identifier| -> Identifier {
+        match w {
+            Identifier::Value(av) => Identifier::Value(rename_channel_value(av, from, to)),
+            Identifier::Variable(_) => w.clone(),
+        }
+    };
+    match process {
+        Process::Output { channel, payload } => Process::Output {
+            channel: rename_ident(channel),
+            payload: payload.iter().map(rename_ident).collect(),
+        },
+        Process::InputSum { channel, branches } => Process::InputSum {
+            channel: rename_ident(channel),
+            branches: branches
+                .iter()
+                .map(|b| InputBranch {
+                    bindings: b.bindings.clone(),
+                    continuation: rename_channel_process(&b.continuation, from, to),
+                })
+                .collect(),
+        },
+        Process::Match {
+            lhs,
+            rhs,
+            then_branch,
+            else_branch,
+        } => Process::Match {
+            lhs: rename_ident(lhs),
+            rhs: rename_ident(rhs),
+            then_branch: Box::new(rename_channel_process(then_branch, from, to)),
+            else_branch: Box::new(rename_channel_process(else_branch, from, to)),
+        },
+        Process::Restriction { name, body } => {
+            if name == from {
+                // `from` is re-bound here; do not rename inside.
+                Process::Restriction {
+                    name: name.clone(),
+                    body: body.clone(),
+                }
+            } else {
+                Process::Restriction {
+                    name: name.clone(),
+                    body: Box::new(rename_channel_process(body, from, to)),
+                }
+            }
+        }
+        Process::Parallel(ps) => Process::Parallel(
+            ps.iter()
+                .map(|q| rename_channel_process(q, from, to))
+                .collect(),
+        ),
+        Process::Replicate(body) => {
+            Process::Replicate(Box::new(rename_channel_process(body, from, to)))
+        }
+        Process::Nil => Process::Nil,
+    }
+}
+
+/// Renames the plain value of an annotated value if it is the channel
+/// `from`; the provenance is left untouched.
+pub fn rename_channel_value(av: &AnnotatedValue, from: &Channel, to: &Channel) -> AnnotatedValue {
+    match &av.value {
+        Value::Channel(c) if c == from => AnnotatedValue {
+            value: Value::Channel(to.clone()),
+            provenance: av.provenance.clone(),
+        },
+        _ => av.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AnyPattern;
+    use crate::provenance::{Event, Provenance};
+
+    type P = Process<AnyPattern>;
+
+    fn supply() -> NameSupply {
+        NameSupply::new()
+    }
+
+    #[test]
+    fn substitutes_free_variable_in_output() {
+        let p: P = Process::output(Identifier::variable("x"), Identifier::variable("y"));
+        let s = Substitution::parallel(
+            &[Variable::new("x"), Variable::new("y")],
+            &[AnnotatedValue::channel("m"), AnnotatedValue::channel("v")],
+        );
+        let q = s.apply_process(&p, &mut supply());
+        assert_eq!(
+            q,
+            Process::output(Identifier::channel("m"), Identifier::channel("v"))
+        );
+    }
+
+    #[test]
+    fn substitution_keeps_provenance_of_value() {
+        let annotated = AnnotatedValue::channel("v").sent_by(
+            &crate::name::Principal::new("a"),
+            &Provenance::empty(),
+        );
+        let p: P = Process::output(Identifier::channel("m"), Identifier::variable("x"));
+        let s = Substitution::single("x", annotated.clone());
+        let q = s.apply_process(&p, &mut supply());
+        match q {
+            Process::Output { payload, .. } => {
+                assert_eq!(payload[0], Identifier::Value(annotated));
+            }
+            _ => panic!("expected output"),
+        }
+    }
+
+    #[test]
+    fn shadowed_binder_blocks_substitution() {
+        // m(Any as x). x<v>   with substitution {w/x}: the inner x is bound, untouched.
+        let p: P = Process::input(
+            Identifier::channel("m"),
+            AnyPattern,
+            "x",
+            Process::output(Identifier::variable("x"), Identifier::channel("v")),
+        );
+        let s = Substitution::single("x", AnnotatedValue::channel("w"));
+        let q = s.apply_process(&p, &mut supply());
+        assert_eq!(q, p, "bound occurrences must not be substituted");
+    }
+
+    #[test]
+    fn unshadowed_sibling_branch_is_substituted() {
+        let b1 = InputBranch::monadic(AnyPattern, "x", Process::nil());
+        let b2 = InputBranch::monadic(
+            AnyPattern,
+            "y",
+            Process::output(Identifier::variable("x"), Identifier::channel("v")),
+        );
+        let p: P = Process::input_sum(Identifier::channel("m"), vec![b1, b2]);
+        let s = Substitution::single("x", AnnotatedValue::channel("w"));
+        let q = s.apply_process(&p, &mut supply());
+        match q {
+            Process::InputSum { branches, .. } => match &branches[1].continuation {
+                Process::Output { channel, .. } => {
+                    assert_eq!(channel, &Identifier::channel("w"));
+                }
+                other => panic!("unexpected continuation {:?}", other),
+            },
+            other => panic!("unexpected process {:?}", other),
+        }
+    }
+
+    #[test]
+    fn restriction_is_alpha_converted_to_avoid_capture() {
+        // (νn) x<u>  with {n/x}: naive substitution would capture n.
+        let p: P = Process::restrict(
+            "n",
+            Process::output(Identifier::variable("x"), Identifier::channel("u")),
+        );
+        let s = Substitution::single("x", AnnotatedValue::channel("n"));
+        let q = s.apply_process(&p, &mut supply());
+        match q {
+            Process::Restriction { name, body } => {
+                assert_ne!(name, Channel::new("n"), "binder must be renamed");
+                assert!(name.is_generated());
+                match *body {
+                    Process::Output { ref channel, .. } => {
+                        // The substituted free n must refer to the *outer* n.
+                        assert_eq!(channel, &Identifier::channel("n"));
+                    }
+                    ref other => panic!("unexpected body {:?}", other),
+                }
+            }
+            other => panic!("expected restriction, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn restriction_untouched_when_no_capture() {
+        let p: P = Process::restrict(
+            "n",
+            Process::output(Identifier::variable("x"), Identifier::channel("u")),
+        );
+        let s = Substitution::single("x", AnnotatedValue::channel("m"));
+        let q = s.apply_process(&p, &mut supply());
+        match q {
+            Process::Restriction { name, .. } => assert_eq!(name, Channel::new("n")),
+            other => panic!("expected restriction, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn rename_respects_rebinding() {
+        let p: P = Process::par(
+            Process::output(Identifier::channel("n"), Identifier::channel("v")),
+            Process::restrict(
+                "n",
+                Process::output(Identifier::channel("n"), Identifier::channel("v")),
+            ),
+        );
+        let q = rename_channel_process(&p, &Channel::new("n"), &Channel::new("fresh"));
+        match q {
+            Process::Parallel(ps) => {
+                assert_eq!(
+                    ps[0],
+                    Process::output(Identifier::channel("fresh"), Identifier::channel("v"))
+                );
+                // The restricted copy keeps its bound n.
+                match &ps[1] {
+                    Process::Restriction { name, body } => {
+                        assert_eq!(name, &Channel::new("n"));
+                        assert_eq!(
+                            **body,
+                            Process::output(Identifier::channel("n"), Identifier::channel("v"))
+                        );
+                    }
+                    other => panic!("unexpected {:?}", other),
+                }
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn rename_value_only_changes_matching_channel() {
+        let ev = Event::output(crate::name::Principal::new("a"), Provenance::empty());
+        let av = AnnotatedValue::new(Channel::new("n"), Provenance::single(ev.clone()));
+        let renamed = rename_channel_value(&av, &Channel::new("n"), &Channel::new("m"));
+        assert_eq!(renamed.value, Value::Channel(Channel::new("m")));
+        assert_eq!(renamed.provenance, Provenance::single(ev));
+        let untouched = rename_channel_value(&av, &Channel::new("z"), &Channel::new("m"));
+        assert_eq!(untouched, av);
+    }
+
+    #[test]
+    fn empty_substitution_is_identity() {
+        let p: P = Process::restrict(
+            "n",
+            Process::input(Identifier::channel("n"), AnyPattern, "x", Process::nil()),
+        );
+        let s = Substitution::new();
+        assert_eq!(s.apply_process(&p, &mut supply()), p);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn display_shows_bindings() {
+        let s = Substitution::single("x", AnnotatedValue::channel("v"));
+        assert_eq!(s.to_string(), "{v:ε/x}");
+    }
+
+    #[test]
+    #[should_panic(expected = "substitution arity mismatch")]
+    fn parallel_panics_on_arity_mismatch() {
+        let _ = Substitution::parallel(&[Variable::new("x")], &[]);
+    }
+}

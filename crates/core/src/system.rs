@@ -1,0 +1,485 @@
+//! System syntax (Table 1 of the paper).
+//!
+//! A system is a flat composition of *located processes* `a[P]`, *messages
+//! in flight* `n⟨⟨ṽ⟩⟩`, restrictions and parallel compositions.  Systems are
+//! the unit on which the provenance-tracking reduction relation operates.
+
+use crate::name::{Channel, Principal, Variable};
+use crate::process::Process;
+use crate::value::{AnnotatedValue, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A message in flight: a tuple of annotated values addressed to a channel.
+///
+/// In the paper a message `m⟨⟨v:κ⟩⟩` is produced by rule R-Send and consumed
+/// by rule R-Recv; it models an asynchronous datagram sitting in the
+/// network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The destination channel.
+    pub channel: Channel,
+    /// The annotated values carried by the message.
+    pub payload: Vec<AnnotatedValue>,
+}
+
+impl Message {
+    /// Creates a message carrying a single value.
+    pub fn new(channel: impl Into<Channel>, value: AnnotatedValue) -> Self {
+        Message {
+            channel: channel.into(),
+            payload: vec![value],
+        }
+    }
+
+    /// Creates a polyadic message.
+    pub fn tuple(channel: impl Into<Channel>, payload: Vec<AnnotatedValue>) -> Self {
+        Message {
+            channel: channel.into(),
+            payload,
+        }
+    }
+
+    /// Number of values carried.
+    pub fn arity(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<<", self.channel)?;
+        for (i, v) in self.payload.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", v)?;
+        }
+        write!(f, ">>")
+    }
+}
+
+/// A system of the provenance calculus.
+///
+/// ```text
+/// S ::= a[P]        located process
+///     | n⟨⟨w̃⟩⟩       message
+///     | (νn)S        restriction
+///     | S ‖ T        parallel composition
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum System<P> {
+    /// A process running under the authority of a principal.
+    Located {
+        /// The principal the process runs at.
+        principal: Principal,
+        /// The process itself.
+        process: Process<P>,
+    },
+    /// A message in flight.
+    Message(Message),
+    /// Channel restriction `(νn)S`.
+    Restriction {
+        /// The private channel name.
+        name: Channel,
+        /// The scope of the restriction.
+        body: Box<System<P>>,
+    },
+    /// Parallel composition of zero or more systems.  The empty composition
+    /// is the inert system `0`.
+    Parallel(Vec<System<P>>),
+}
+
+/// An annotated value occurring in a system, together with the restriction
+/// binders that were in scope at its occurrence.
+///
+/// Used by `piprov-logs` to implement the paper's `values(−)` function,
+/// which substitutes the unknown marker `?` for restricted channel names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopedValue {
+    /// The annotated value as written in the system.
+    pub value: AnnotatedValue,
+    /// Restriction binders enclosing the occurrence, outermost first.
+    pub binders: Vec<Channel>,
+}
+
+impl<P> System<P> {
+    /// The inert system.
+    pub fn nil() -> Self {
+        System::Parallel(Vec::new())
+    }
+
+    /// A located process `principal[process]`.
+    pub fn located(principal: impl Into<Principal>, process: Process<P>) -> Self {
+        System::Located {
+            principal: principal.into(),
+            process,
+        }
+    }
+
+    /// A message in flight.
+    pub fn message(message: Message) -> Self {
+        System::Message(message)
+    }
+
+    /// Restriction `(νname)body`.
+    pub fn restrict(name: impl Into<Channel>, body: System<P>) -> Self {
+        System::Restriction {
+            name: name.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Binary parallel composition `left ‖ right`.
+    pub fn par(left: System<P>, right: System<P>) -> Self {
+        System::Parallel(vec![left, right])
+    }
+
+    /// N-ary parallel composition.
+    pub fn par_all(systems: Vec<System<P>>) -> Self {
+        System::Parallel(systems)
+    }
+
+    /// Number of syntax nodes in the system (including its processes).
+    pub fn size(&self) -> usize {
+        match self {
+            System::Located { process, .. } => 1 + process.size(),
+            System::Message(_) => 1,
+            System::Restriction { body, .. } => 1 + body.size(),
+            System::Parallel(ss) => 1 + ss.iter().map(System::size).sum::<usize>(),
+        }
+    }
+
+    /// `true` if no located process can ever act and no message is in
+    /// flight.
+    pub fn is_inert(&self) -> bool {
+        match self {
+            System::Located { process, .. } => process.is_inert(),
+            System::Message(_) => false,
+            System::Restriction { body, .. } => body.is_inert(),
+            System::Parallel(ss) => ss.iter().all(System::is_inert),
+        }
+    }
+
+    /// The free variables of the system.  Reduction is only defined on
+    /// *closed* systems, i.e. those with no free variables.
+    pub fn free_variables(&self) -> BTreeSet<Variable> {
+        match self {
+            System::Located { process, .. } => process.free_variables(),
+            System::Message(_) => BTreeSet::new(),
+            System::Restriction { body, .. } => body.free_variables(),
+            System::Parallel(ss) => ss.iter().flat_map(System::free_variables).collect(),
+        }
+    }
+
+    /// `true` when the system has no free variables.
+    pub fn is_closed(&self) -> bool {
+        self.free_variables().is_empty()
+    }
+
+    /// The free channel names of the system.
+    pub fn free_channels(&self) -> BTreeSet<Channel> {
+        fn value_fc(av: &AnnotatedValue, bound: &BTreeSet<Channel>, out: &mut BTreeSet<Channel>) {
+            if let Value::Channel(c) = &av.value {
+                if !bound.contains(c) {
+                    out.insert(c.clone());
+                }
+            }
+        }
+        fn go<P>(s: &System<P>, bound: &mut BTreeSet<Channel>, out: &mut BTreeSet<Channel>) {
+            match s {
+                System::Located { process, .. } => {
+                    // A process's free channels are computed without knowledge
+                    // of the enclosing system-level binders, so filter here.
+                    for c in process.free_channels() {
+                        if !bound.contains(&c) {
+                            out.insert(c);
+                        }
+                    }
+                }
+                System::Message(m) => {
+                    if !bound.contains(&m.channel) {
+                        out.insert(m.channel.clone());
+                    }
+                    for v in &m.payload {
+                        value_fc(v, bound, out);
+                    }
+                }
+                System::Restriction { name, body } => {
+                    let fresh = bound.insert(name.clone());
+                    go(body, bound, out);
+                    if fresh {
+                        bound.remove(name);
+                    }
+                }
+                System::Parallel(ss) => {
+                    for t in ss {
+                        go(t, bound, out);
+                    }
+                }
+            }
+        }
+        let mut bound = BTreeSet::new();
+        let mut out = BTreeSet::new();
+        go(self, &mut bound, &mut out);
+        out
+    }
+
+    /// All principals hosting a located process somewhere in the system.
+    pub fn principals(&self) -> BTreeSet<Principal> {
+        match self {
+            System::Located { principal, .. } => [principal.clone()].into_iter().collect(),
+            System::Message(_) => BTreeSet::new(),
+            System::Restriction { body, .. } => body.principals(),
+            System::Parallel(ss) => ss.iter().flat_map(System::principals).collect(),
+        }
+    }
+
+    /// Number of messages currently in flight.
+    pub fn message_count(&self) -> usize {
+        match self {
+            System::Located { .. } => 0,
+            System::Message(_) => 1,
+            System::Restriction { body, .. } => body.message_count(),
+            System::Parallel(ss) => ss.iter().map(System::message_count).sum(),
+        }
+    }
+
+    /// Collects every annotated value occurring in the system (in messages
+    /// and in located processes), together with the restriction binders in
+    /// scope at each occurrence.
+    ///
+    /// This is the raw material for the paper's `values(−)` function: the
+    /// logs crate replaces channels bound by the collected binders with the
+    /// unknown marker `?`.
+    pub fn collect_annotated_values(&self) -> Vec<ScopedValue> {
+        fn from_process<P>(
+            p: &Process<P>,
+            binders: &mut Vec<Channel>,
+            out: &mut Vec<ScopedValue>,
+        ) {
+            let push_ident = |w: &crate::value::Identifier,
+                              binders: &Vec<Channel>,
+                              out: &mut Vec<ScopedValue>| {
+                if let crate::value::Identifier::Value(av) = w {
+                    out.push(ScopedValue {
+                        value: av.clone(),
+                        binders: binders.clone(),
+                    });
+                }
+            };
+            match p {
+                Process::Output { channel, payload } => {
+                    push_ident(channel, binders, out);
+                    for w in payload {
+                        push_ident(w, binders, out);
+                    }
+                }
+                Process::InputSum { channel, branches } => {
+                    push_ident(channel, binders, out);
+                    for b in branches {
+                        from_process(&b.continuation, binders, out);
+                    }
+                }
+                Process::Match {
+                    lhs,
+                    rhs,
+                    then_branch,
+                    else_branch,
+                } => {
+                    push_ident(lhs, binders, out);
+                    push_ident(rhs, binders, out);
+                    from_process(then_branch, binders, out);
+                    from_process(else_branch, binders, out);
+                }
+                Process::Restriction { name, body } => {
+                    binders.push(name.clone());
+                    from_process(body, binders, out);
+                    binders.pop();
+                }
+                Process::Parallel(ps) => {
+                    for q in ps {
+                        from_process(q, binders, out);
+                    }
+                }
+                Process::Replicate(body) => from_process(body, binders, out),
+                Process::Nil => {}
+            }
+        }
+        fn go<P>(s: &System<P>, binders: &mut Vec<Channel>, out: &mut Vec<ScopedValue>) {
+            match s {
+                System::Located { process, .. } => from_process(process, binders, out),
+                System::Message(m) => {
+                    for v in &m.payload {
+                        out.push(ScopedValue {
+                            value: v.clone(),
+                            binders: binders.clone(),
+                        });
+                    }
+                }
+                System::Restriction { name, body } => {
+                    binders.push(name.clone());
+                    go(body, binders, out);
+                    binders.pop();
+                }
+                System::Parallel(ss) => {
+                    for t in ss {
+                        go(t, binders, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut binders = Vec::new();
+        go(self, &mut binders, &mut out);
+        out
+    }
+
+    /// Applies `f` to every pattern in the system.
+    pub fn map_patterns<Q>(&self, f: &impl Fn(&P) -> Q) -> System<Q>
+    where
+        P: Clone,
+    {
+        match self {
+            System::Located { principal, process } => System::Located {
+                principal: principal.clone(),
+                process: process.map_patterns(f),
+            },
+            System::Message(m) => System::Message(m.clone()),
+            System::Restriction { name, body } => System::Restriction {
+                name: name.clone(),
+                body: Box::new(body.map_patterns(f)),
+            },
+            System::Parallel(ss) => {
+                System::Parallel(ss.iter().map(|t| t.map_patterns(f)).collect())
+            }
+        }
+    }
+}
+
+impl<P: fmt::Display> fmt::Display for System<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            System::Located { principal, process } => write!(f, "{}[{}]", principal, process),
+            System::Message(m) => write!(f, "{}", m),
+            System::Restriction { name, body } => write!(f, "(new {})({})", name, body),
+            System::Parallel(ss) => {
+                if ss.is_empty() {
+                    return write!(f, "0");
+                }
+                for (i, t) in ss.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    match t {
+                        System::Parallel(_) => write!(f, "({})", t)?,
+                        _ => write!(f, "{}", t)?,
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AnyPattern;
+    use crate::value::Identifier;
+
+    type S = System<AnyPattern>;
+
+    fn out_proc(chan: &str, val: &str) -> Process<AnyPattern> {
+        Process::output(Identifier::channel(chan), Identifier::channel(val))
+    }
+
+    #[test]
+    fn nil_system_is_inert_and_closed() {
+        let s: S = System::nil();
+        assert!(s.is_inert());
+        assert!(s.is_closed());
+        assert_eq!(s.message_count(), 0);
+        assert_eq!(s.to_string(), "0");
+    }
+
+    #[test]
+    fn located_process_display() {
+        let s: S = System::located("a", out_proc("m", "v"));
+        assert_eq!(s.to_string(), "a[m:ε<v:ε>]");
+        assert_eq!(s.principals(), [Principal::new("a")].into_iter().collect());
+    }
+
+    #[test]
+    fn message_display_and_count() {
+        let s: S = System::par(
+            System::message(Message::new("m", AnnotatedValue::channel("v"))),
+            System::located("a", Process::nil()),
+        );
+        assert_eq!(s.message_count(), 1);
+        assert!(!s.is_inert(), "a pending message keeps the system live");
+        assert_eq!(s.to_string(), "m<<v:ε>> || a[0]");
+    }
+
+    #[test]
+    fn restriction_hides_channel() {
+        let s: S = System::restrict("n", System::located("a", out_proc("n", "v")));
+        let free = s.free_channels();
+        assert!(!free.contains(&Channel::new("n")));
+        assert!(free.contains(&Channel::new("v")));
+    }
+
+    #[test]
+    fn free_variables_come_from_processes() {
+        let p = Process::output(Identifier::variable("x"), Identifier::channel("v"));
+        let s: S = System::located("a", p);
+        assert!(!s.is_closed());
+        assert_eq!(
+            s.free_variables(),
+            [Variable::new("x")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn collect_annotated_values_tracks_binders() {
+        let inner = System::located("a", out_proc("n", "v"));
+        let s: S = System::restrict("n", inner);
+        let values = s.collect_annotated_values();
+        assert_eq!(values.len(), 2);
+        for sv in &values {
+            assert_eq!(sv.binders, vec![Channel::new("n")]);
+        }
+    }
+
+    #[test]
+    fn collect_annotated_values_from_messages() {
+        let s: S = System::message(Message::tuple(
+            "m",
+            vec![AnnotatedValue::channel("v"), AnnotatedValue::principal("a")],
+        ));
+        let values = s.collect_annotated_values();
+        assert_eq!(values.len(), 2);
+        assert!(values.iter().all(|sv| sv.binders.is_empty()));
+    }
+
+    #[test]
+    fn size_accumulates() {
+        let s: S = System::par(
+            System::located("a", out_proc("m", "v")),
+            System::message(Message::new("m", AnnotatedValue::channel("v"))),
+        );
+        // par(1) + located(1)+output(1) + message(1)
+        assert_eq!(s.size(), 4);
+    }
+
+    #[test]
+    fn map_patterns_preserves_structure() {
+        let s: S = System::located(
+            "a",
+            Process::input(Identifier::channel("m"), AnyPattern, "x", Process::nil()),
+        );
+        let t: System<u8> = s.map_patterns(&|_| 3u8);
+        assert_eq!(t.principals(), s.principals());
+        assert_eq!(t.size(), s.size());
+    }
+}

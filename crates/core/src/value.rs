@@ -1,0 +1,346 @@
+//! Plain values, annotated values and identifiers.
+//!
+//! * A *plain value* `u, v ∈ V = C ∪ A` is either a channel name or a
+//!   principal name.
+//! * An *annotated value* `v : κ ∈ D` pairs a plain value with its
+//!   provenance.
+//! * An *identifier* `w ∈ I = D ∪ X` is either an annotated value or a
+//!   variable; process syntax is written in terms of identifiers so that a
+//!   process may mention data it has not received yet.
+
+use crate::name::{Channel, Principal, Variable};
+use crate::provenance::{Event, Provenance};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A plain value: a channel name or a principal name.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A channel name used as data.
+    Channel(Channel),
+    /// A principal name used as data.
+    Principal(Principal),
+}
+
+impl Value {
+    /// Returns the channel name if this value is a channel.
+    pub fn as_channel(&self) -> Option<&Channel> {
+        match self {
+            Value::Channel(c) => Some(c),
+            Value::Principal(_) => None,
+        }
+    }
+
+    /// Returns the principal name if this value is a principal.
+    pub fn as_principal(&self) -> Option<&Principal> {
+        match self {
+            Value::Principal(p) => Some(p),
+            Value::Channel(_) => None,
+        }
+    }
+
+    /// `true` if the value is a channel name.
+    pub fn is_channel(&self) -> bool {
+        matches!(self, Value::Channel(_))
+    }
+
+    /// `true` if the value is a principal name.
+    pub fn is_principal(&self) -> bool {
+        matches!(self, Value::Principal(_))
+    }
+
+    /// The textual form of the underlying name.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Channel(c) => c.as_str(),
+            Value::Principal(p) => p.as_str(),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Channel(c) => write!(f, "Channel({})", c),
+            Value::Principal(p) => write!(f, "Principal({})", p),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<Channel> for Value {
+    fn from(c: Channel) -> Self {
+        Value::Channel(c)
+    }
+}
+
+impl From<Principal> for Value {
+    fn from(p: Principal) -> Self {
+        Value::Principal(p)
+    }
+}
+
+/// An annotated value `v : κ`: a plain value paired with its provenance.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AnnotatedValue {
+    /// The plain value.
+    pub value: Value,
+    /// The provenance attached to the value.
+    pub provenance: Provenance,
+}
+
+impl AnnotatedValue {
+    /// Annotates `value` with provenance `provenance`.
+    pub fn new(value: impl Into<Value>, provenance: Provenance) -> Self {
+        AnnotatedValue {
+            value: value.into(),
+            provenance,
+        }
+    }
+
+    /// Annotates `value` with the empty provenance `ε` (a locally
+    /// originated value).
+    pub fn pristine(value: impl Into<Value>) -> Self {
+        AnnotatedValue::new(value, Provenance::empty())
+    }
+
+    /// A pristine channel value.
+    pub fn channel(name: impl Into<Channel>) -> Self {
+        AnnotatedValue::pristine(Value::Channel(name.into()))
+    }
+
+    /// A pristine principal value.
+    pub fn principal(name: impl Into<Principal>) -> Self {
+        AnnotatedValue::pristine(Value::Principal(name.into()))
+    }
+
+    /// Returns a copy whose provenance has `event` prepended as the most
+    /// recent event; the plain value is unchanged.
+    pub fn with_event(&self, event: Event) -> Self {
+        AnnotatedValue {
+            value: self.value.clone(),
+            provenance: self.provenance.prepend(event),
+        }
+    }
+
+    /// Records that `principal` sent this value on a channel whose
+    /// provenance is `channel_provenance` (rule R-Send's annotation update).
+    pub fn sent_by(&self, principal: &Principal, channel_provenance: &Provenance) -> Self {
+        self.with_event(Event::output(principal.clone(), channel_provenance.clone()))
+    }
+
+    /// Records that `principal` received this value on a channel whose
+    /// provenance is `channel_provenance` (rule R-Recv's annotation update).
+    pub fn received_by(&self, principal: &Principal, channel_provenance: &Provenance) -> Self {
+        self.with_event(Event::input(principal.clone(), channel_provenance.clone()))
+    }
+}
+
+impl fmt::Debug for AnnotatedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for AnnotatedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.value, self.provenance)
+    }
+}
+
+impl From<Value> for AnnotatedValue {
+    fn from(value: Value) -> Self {
+        AnnotatedValue::pristine(value)
+    }
+}
+
+impl From<Channel> for AnnotatedValue {
+    fn from(c: Channel) -> Self {
+        AnnotatedValue::channel(c)
+    }
+}
+
+impl From<Principal> for AnnotatedValue {
+    fn from(p: Principal) -> Self {
+        AnnotatedValue::principal(p)
+    }
+}
+
+/// An identifier `w ∈ I = D ∪ X`: an annotated value or a variable.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Identifier {
+    /// A concrete annotated value.
+    Value(AnnotatedValue),
+    /// A variable waiting to be substituted by an input.
+    Variable(Variable),
+}
+
+impl Identifier {
+    /// A pristine channel-valued identifier.
+    pub fn channel(name: impl Into<Channel>) -> Self {
+        Identifier::Value(AnnotatedValue::channel(name))
+    }
+
+    /// A pristine principal-valued identifier.
+    pub fn principal(name: impl Into<Principal>) -> Self {
+        Identifier::Value(AnnotatedValue::principal(name))
+    }
+
+    /// A variable identifier.
+    pub fn variable(name: impl Into<Variable>) -> Self {
+        Identifier::Variable(name.into())
+    }
+
+    /// Returns the annotated value if this identifier is concrete.
+    pub fn as_value(&self) -> Option<&AnnotatedValue> {
+        match self {
+            Identifier::Value(v) => Some(v),
+            Identifier::Variable(_) => None,
+        }
+    }
+
+    /// Returns the variable if this identifier is a variable.
+    pub fn as_variable(&self) -> Option<&Variable> {
+        match self {
+            Identifier::Variable(x) => Some(x),
+            Identifier::Value(_) => None,
+        }
+    }
+
+    /// `true` if this identifier is a concrete (closed) value.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, Identifier::Value(_))
+    }
+}
+
+impl fmt::Debug for Identifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Identifier::Value(v) => write!(f, "{}", v),
+            Identifier::Variable(x) => write!(f, "{}", x),
+        }
+    }
+}
+
+impl fmt::Display for Identifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Identifier::Value(v) => write!(f, "{}", v),
+            Identifier::Variable(x) => write!(f, "{}", x),
+        }
+    }
+}
+
+impl From<AnnotatedValue> for Identifier {
+    fn from(v: AnnotatedValue) -> Self {
+        Identifier::Value(v)
+    }
+}
+
+impl From<Variable> for Identifier {
+    fn from(x: Variable) -> Self {
+        Identifier::Variable(x)
+    }
+}
+
+impl From<Channel> for Identifier {
+    fn from(c: Channel) -> Self {
+        Identifier::channel(c)
+    }
+}
+
+impl From<Principal> for Identifier {
+    fn from(p: Principal) -> Self {
+        Identifier::principal(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let c = Value::Channel(Channel::new("m"));
+        let p = Value::Principal(Principal::new("a"));
+        assert!(c.is_channel());
+        assert!(!c.is_principal());
+        assert_eq!(c.as_channel(), Some(&Channel::new("m")));
+        assert_eq!(c.as_principal(), None);
+        assert!(p.is_principal());
+        assert_eq!(p.as_principal(), Some(&Principal::new("a")));
+        assert_eq!(p.as_channel(), None);
+        assert_eq!(c.to_string(), "m");
+        assert_eq!(p.to_string(), "a");
+    }
+
+    #[test]
+    fn channel_and_principal_values_with_same_text_differ() {
+        let c = Value::Channel(Channel::new("n"));
+        let p = Value::Principal(Principal::new("n"));
+        assert_ne!(c, p);
+    }
+
+    #[test]
+    fn pristine_has_empty_provenance() {
+        let v = AnnotatedValue::channel("m");
+        assert!(v.provenance.is_empty());
+        assert_eq!(v.to_string(), "m:ε");
+    }
+
+    #[test]
+    fn sent_by_prepends_output_event() {
+        let v = AnnotatedValue::channel("v");
+        let km = Provenance::empty();
+        let sent = v.sent_by(&Principal::new("a"), &km);
+        assert_eq!(sent.value, v.value);
+        assert_eq!(sent.provenance.len(), 1);
+        let head = sent.provenance.head().unwrap();
+        assert!(head.is_output());
+        assert_eq!(head.principal, Principal::new("a"));
+        assert_eq!(head.channel_provenance, km);
+    }
+
+    #[test]
+    fn received_by_prepends_input_event() {
+        let v = AnnotatedValue::channel("v").sent_by(&Principal::new("a"), &Provenance::empty());
+        let recv = v.received_by(&Principal::new("b"), &Provenance::empty());
+        assert_eq!(recv.provenance.len(), 2);
+        assert!(recv.provenance.head().unwrap().is_input());
+        assert_eq!(recv.provenance.to_string(), "b?ε; a!ε");
+    }
+
+    #[test]
+    fn identifier_closedness() {
+        assert!(Identifier::channel("m").is_closed());
+        assert!(Identifier::principal("a").is_closed());
+        assert!(!Identifier::variable("x").is_closed());
+        assert_eq!(
+            Identifier::variable("x").as_variable(),
+            Some(&Variable::new("x"))
+        );
+        assert!(Identifier::variable("x").as_value().is_none());
+    }
+
+    #[test]
+    fn conversions_into_identifier() {
+        let from_chan: Identifier = Channel::new("m").into();
+        let from_prin: Identifier = Principal::new("a").into();
+        let from_var: Identifier = Variable::new("x").into();
+        assert!(from_chan.is_closed());
+        assert!(from_prin.is_closed());
+        assert!(!from_var.is_closed());
+    }
+
+    #[test]
+    fn display_of_annotated_value_includes_provenance() {
+        let v = AnnotatedValue::channel("v").sent_by(&Principal::new("a"), &Provenance::empty());
+        assert_eq!(v.to_string(), "v:a!ε");
+        assert_eq!(format!("{:?}", v), "v:a!ε");
+    }
+}

@@ -1,0 +1,300 @@
+//! Actions recorded in logs (§3.1).
+//!
+//! ```text
+//! α ::= a.snd(V, V) | a.rcv(V, V) | a.ift(V, V) | a.iff(V, V)
+//! ```
+//!
+//! The operands range over `Dx = V ∪ X ∪ {?}`: plain values, variables
+//! standing for unknown values, and the special marker `?` denoting an
+//! unknown private channel name.
+
+use piprov_core::name::{Principal, Variable};
+use piprov_core::reduction::{StepEvent, StepKind};
+use piprov_core::value::Value;
+use std::fmt;
+
+/// An operand of an action: a known value, an unknown value named by a
+/// variable, or the anonymous unknown `?`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A known plain value.
+    Value(Value),
+    /// An unknown value, named so that several occurrences can be related.
+    Variable(Variable),
+    /// An unknown private channel name (the paper's `?`).
+    Unknown,
+}
+
+impl Term {
+    /// A channel-valued term.
+    pub fn channel(name: impl Into<piprov_core::name::Channel>) -> Self {
+        Term::Value(Value::Channel(name.into()))
+    }
+
+    /// A principal-valued term.
+    pub fn principal(name: impl Into<Principal>) -> Self {
+        Term::Value(Value::Principal(name.into()))
+    }
+
+    /// A variable term.
+    pub fn variable(name: impl Into<Variable>) -> Self {
+        Term::Variable(name.into())
+    }
+
+    /// `true` if the term is a known value.
+    pub fn is_value(&self) -> bool {
+        matches!(self, Term::Value(_))
+    }
+
+    /// The variable, if the term is one.
+    pub fn as_variable(&self) -> Option<&Variable> {
+        match self {
+            Term::Variable(x) => Some(x),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Value(v) => write!(f, "{}", v),
+            Term::Variable(x) => write!(f, "{}", x),
+            Term::Unknown => write!(f, "?"),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Value(v)
+    }
+}
+
+impl From<Variable> for Term {
+    fn from(x: Variable) -> Self {
+        Term::Variable(x)
+    }
+}
+
+/// The four kinds of logged action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ActionKind {
+    /// `a.snd(V, V')`: `a` sent `V'` on `V`.
+    Send,
+    /// `a.rcv(V, V')`: `a` received `V'` on `V`.
+    Receive,
+    /// `a.ift(V, V')`: `a` compared `V` and `V'` and they were equal.
+    IfTrue,
+    /// `a.iff(V, V')`: `a` compared `V` and `V'` and they differed.
+    IfFalse,
+}
+
+impl ActionKind {
+    /// The textual tag used in the paper.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ActionKind::Send => "snd",
+            ActionKind::Receive => "rcv",
+            ActionKind::IfTrue => "ift",
+            ActionKind::IfFalse => "iff",
+        }
+    }
+}
+
+/// A logged action `a.kind(subject, object)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Action {
+    /// The acting principal.
+    pub principal: Principal,
+    /// What was done.
+    pub kind: ActionKind,
+    /// First operand (the channel for send/receive, the left value for if).
+    pub subject: Term,
+    /// Second operand (the value for send/receive, the right value for if).
+    pub object: Term,
+}
+
+impl Action {
+    /// Builds `a.snd(subject, object)`.
+    pub fn send(principal: impl Into<Principal>, subject: Term, object: Term) -> Self {
+        Action {
+            principal: principal.into(),
+            kind: ActionKind::Send,
+            subject,
+            object,
+        }
+    }
+
+    /// Builds `a.rcv(subject, object)`.
+    pub fn receive(principal: impl Into<Principal>, subject: Term, object: Term) -> Self {
+        Action {
+            principal: principal.into(),
+            kind: ActionKind::Receive,
+            subject,
+            object,
+        }
+    }
+
+    /// Builds `a.ift(subject, object)`.
+    pub fn if_true(principal: impl Into<Principal>, subject: Term, object: Term) -> Self {
+        Action {
+            principal: principal.into(),
+            kind: ActionKind::IfTrue,
+            subject,
+            object,
+        }
+    }
+
+    /// Builds `a.iff(subject, object)`.
+    pub fn if_false(principal: impl Into<Principal>, subject: Term, object: Term) -> Self {
+        Action {
+            principal: principal.into(),
+            kind: ActionKind::IfFalse,
+            subject,
+            object,
+        }
+    }
+
+    /// The variables occurring in the action.
+    pub fn variables(&self) -> Vec<Variable> {
+        let mut out = Vec::new();
+        for t in [&self.subject, &self.object] {
+            if let Term::Variable(x) = t {
+                if !out.contains(x) {
+                    out.push(x.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if the action mentions no variables.
+    pub fn is_closed(&self) -> bool {
+        self.variables().is_empty()
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}({}, {})",
+            self.principal,
+            self.kind.tag(),
+            self.subject,
+            self.object
+        )
+    }
+}
+
+/// Converts a reduction step of the core semantics into the actions the
+/// monitored semantics (Table 4) records for it.
+///
+/// The paper's rules are monadic; for polyadic messages we record one
+/// `snd`/`rcv` action per payload value, all on the same channel — each
+/// value's provenance denotation then finds its own supporting action in
+/// the log.
+pub fn actions_of_step(event: &StepEvent) -> Vec<Action> {
+    match &event.kind {
+        StepKind::Send { channel, payload } => payload
+            .iter()
+            .map(|v| {
+                Action::send(
+                    event.principal.clone(),
+                    Term::Value(Value::Channel(channel.clone())),
+                    Term::Value(v.clone()),
+                )
+            })
+            .collect(),
+        StepKind::Receive {
+            channel, payload, ..
+        } => payload
+            .iter()
+            .map(|v| {
+                Action::receive(
+                    event.principal.clone(),
+                    Term::Value(Value::Channel(channel.clone())),
+                    Term::Value(v.clone()),
+                )
+            })
+            .collect(),
+        StepKind::IfTrue { lhs, rhs } => vec![Action::if_true(
+            event.principal.clone(),
+            Term::Value(lhs.clone()),
+            Term::Value(rhs.clone()),
+        )],
+        StepKind::IfFalse { lhs, rhs } => vec![Action::if_false(
+            event.principal.clone(),
+            Term::Value(lhs.clone()),
+            Term::Value(rhs.clone()),
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piprov_core::name::Channel;
+
+    #[test]
+    fn term_display() {
+        assert_eq!(Term::channel("m").to_string(), "m");
+        assert_eq!(Term::variable("x").to_string(), "x");
+        assert_eq!(Term::Unknown.to_string(), "?");
+        assert_eq!(Term::principal("a").to_string(), "a");
+    }
+
+    #[test]
+    fn action_display_matches_paper() {
+        let a = Action::send("a", Term::channel("m"), Term::channel("v"));
+        assert_eq!(a.to_string(), "a.snd(m, v)");
+        let b = Action::receive("b", Term::variable("x"), Term::channel("v"));
+        assert_eq!(b.to_string(), "b.rcv(x, v)");
+        let c = Action::if_true("c", Term::channel("m"), Term::channel("m"));
+        assert_eq!(c.to_string(), "c.ift(m, m)");
+        let d = Action::if_false("c", Term::channel("m"), Term::channel("n"));
+        assert_eq!(d.to_string(), "c.iff(m, n)");
+    }
+
+    #[test]
+    fn variables_and_closedness() {
+        let open = Action::send("a", Term::variable("x"), Term::channel("v"));
+        assert_eq!(open.variables(), vec![Variable::new("x")]);
+        assert!(!open.is_closed());
+        let closed = Action::send("a", Term::channel("m"), Term::Unknown);
+        assert!(closed.is_closed(), "? is not a variable");
+    }
+
+    #[test]
+    fn actions_of_send_step_are_one_per_value() {
+        let event = StepEvent {
+            principal: Principal::new("a"),
+            kind: StepKind::Send {
+                channel: Channel::new("m"),
+                payload: vec![
+                    Value::Channel(Channel::new("v")),
+                    Value::Channel(Channel::new("w")),
+                ],
+            },
+        };
+        let actions = actions_of_step(&event);
+        assert_eq!(actions.len(), 2);
+        assert_eq!(actions[0].to_string(), "a.snd(m, v)");
+        assert_eq!(actions[1].to_string(), "a.snd(m, w)");
+    }
+
+    #[test]
+    fn actions_of_if_steps() {
+        let event = StepEvent {
+            principal: Principal::new("a"),
+            kind: StepKind::IfFalse {
+                lhs: Value::Channel(Channel::new("m")),
+                rhs: Value::Channel(Channel::new("n")),
+            },
+        };
+        let actions = actions_of_step(&event);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].kind, ActionKind::IfFalse);
+    }
+}

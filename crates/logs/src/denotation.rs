@@ -1,0 +1,197 @@
+//! The denotation of provenance as a log (Definition 2).
+//!
+//! ```text
+//! ⟦V : ε⟧       = ∅
+//! ⟦V : a!κ'; κ⟧ = a.snd(x, V); (⟦V : κ⟧ | ⟦x : κ'⟧)
+//! ⟦V : a?κ'; κ⟧ = a.rcv(x, V); (⟦V : κ⟧ | ⟦x : κ'⟧)
+//! ```
+//!
+//! where `x` is a fresh variable standing for the (unknown) channel the
+//! exchange happened on.  The resulting log is a *partial* record of the
+//! past: it neither names the channels used nor orders the events of the
+//! channel's provenance relative to the value's own older events.
+
+use crate::action::{Action, Term};
+use crate::log::Log;
+use piprov_core::name::Variable;
+use piprov_core::provenance::{Direction, Provenance};
+use piprov_core::value::AnnotatedValue;
+
+/// A supply of fresh log variables (`x0, x1, …`), used for the unknown
+/// channels introduced by the denotation.
+#[derive(Debug, Default, Clone)]
+pub struct VariableSupply {
+    counter: u64,
+}
+
+impl VariableSupply {
+    /// A supply starting at `x0`.
+    pub fn new() -> Self {
+        VariableSupply::default()
+    }
+
+    /// Produces the next fresh variable.
+    pub fn fresh(&mut self) -> Variable {
+        let v = Variable::new(format!("x{}", self.counter));
+        self.counter += 1;
+        v
+    }
+}
+
+/// Computes `⟦term : provenance⟧` with fresh variables drawn from `supply`.
+pub fn denote_term(term: &Term, provenance: &Provenance, supply: &mut VariableSupply) -> Log {
+    match provenance.head() {
+        None => Log::Empty,
+        Some(event) => {
+            let rest = provenance
+                .tail()
+                .cloned()
+                .unwrap_or_else(Provenance::empty);
+            let chan_var = supply.fresh();
+            let chan_term = Term::Variable(chan_var.clone());
+            let action = match event.direction {
+                Direction::Output => {
+                    Action::send(event.principal.clone(), chan_term.clone(), term.clone())
+                }
+                Direction::Input => {
+                    Action::receive(event.principal.clone(), chan_term.clone(), term.clone())
+                }
+            };
+            let older = denote_term(term, &rest, supply);
+            let channel_history =
+                denote_term(&chan_term, &event.channel_provenance, supply);
+            older.par(channel_history).prefixed(action)
+        }
+    }
+}
+
+/// Computes the denotation `⟦v : κ⟧` of an annotated value.
+pub fn denote(value: &AnnotatedValue) -> Log {
+    let mut supply = VariableSupply::new();
+    denote_term(
+        &Term::Value(value.value.clone()),
+        &value.provenance,
+        &mut supply,
+    )
+}
+
+/// Computes the denotation of a value whose plain part may itself be
+/// unknown (a restricted channel replaced by `?` by the `values(−)`
+/// function of monitored systems).
+pub fn denote_observed(term: &Term, provenance: &Provenance) -> Log {
+    let mut supply = VariableSupply::new();
+    denote_term(term, provenance, &mut supply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piprov_core::name::Principal;
+    use piprov_core::provenance::Event;
+
+    #[test]
+    fn empty_provenance_denotes_empty_log() {
+        let v = AnnotatedValue::channel("v");
+        assert_eq!(denote(&v), Log::Empty);
+    }
+
+    #[test]
+    fn single_output_event() {
+        // ⟦v : a!ε⟧ = a.snd(x0, v)
+        let v = AnnotatedValue::channel("v")
+            .sent_by(&Principal::new("a"), &Provenance::empty());
+        let log = denote(&v);
+        assert_eq!(log.action_count(), 1);
+        assert_eq!(log.to_string(), "a.snd(x0, v)");
+        // The unknown channel variable is bound by the action itself.
+        assert!(log.is_closed());
+    }
+
+    #[test]
+    fn output_then_input_orders_events() {
+        // κ = b?ε; a!ε   (b received it most recently, a sent it before)
+        let v = AnnotatedValue::channel("v")
+            .sent_by(&Principal::new("a"), &Provenance::empty())
+            .received_by(&Principal::new("b"), &Provenance::empty());
+        let log = denote(&v);
+        assert_eq!(log.action_count(), 2);
+        // b.rcv must be more recent (closer to the root) than a.snd.
+        let actions = log.actions();
+        assert_eq!(actions[0].principal, Principal::new("b"));
+        assert_eq!(actions[1].principal, Principal::new("a"));
+        assert_eq!(log.depth(), 2);
+    }
+
+    #[test]
+    fn channel_provenance_becomes_a_sibling_branch() {
+        // κm = c!ε (the channel was sent by c); κ = a!κm
+        let km = Provenance::single(Event::output(Principal::new("c"), Provenance::empty()));
+        let v = AnnotatedValue::channel("v").sent_by(&Principal::new("a"), &km);
+        let log = denote(&v);
+        assert_eq!(log.action_count(), 2);
+        // Root is a.snd(x0, v); below it, in parallel, c.snd(x1, x0).
+        match &log {
+            Log::Prefix(action, below) => {
+                assert_eq!(action.principal, Principal::new("a"));
+                let subject_var = action.subject.as_variable().unwrap().clone();
+                let inner_actions = below.actions();
+                assert_eq!(inner_actions.len(), 1);
+                assert_eq!(inner_actions[0].principal, Principal::new("c"));
+                // The channel's own history talks about the channel variable.
+                assert_eq!(
+                    inner_actions[0].object,
+                    Term::Variable(subject_var)
+                );
+            }
+            other => panic!("unexpected log {:?}", other),
+        }
+        assert!(log.is_closed(), "x0 is bound by the root action");
+    }
+
+    #[test]
+    fn siblings_do_not_order_value_and_channel_history() {
+        // κ = a?κm; κv with κm = d!ε and κv = c!ε: the denotation must not
+        // impose an order between d's and c's actions.
+        let km = Provenance::single(Event::output(Principal::new("d"), Provenance::empty()));
+        let v = AnnotatedValue::channel("v")
+            .sent_by(&Principal::new("c"), &Provenance::empty())
+            .received_by(&Principal::new("a"), &km);
+        let log = denote(&v);
+        match &log {
+            Log::Prefix(root, below) => {
+                assert_eq!(root.principal, Principal::new("a"));
+                match &**below {
+                    Log::Par(_, _) => {}
+                    other => panic!("expected parallel branches, got {}", other),
+                }
+            }
+            other => panic!("unexpected log {:?}", other),
+        }
+        assert_eq!(log.action_count(), 3);
+    }
+
+    #[test]
+    fn unknown_value_denotes_with_question_mark() {
+        let prov = Provenance::single(Event::output(Principal::new("a"), Provenance::empty()));
+        let log = denote_observed(&Term::Unknown, &prov);
+        assert_eq!(log.to_string(), "a.snd(x0, ?)");
+    }
+
+    #[test]
+    fn fresh_variables_are_distinct() {
+        let mut supply = VariableSupply::new();
+        let a = supply.fresh();
+        let b = supply.fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn denotation_size_matches_total_provenance_size() {
+        // Each provenance event (top-level or nested) contributes exactly one action.
+        let km = Provenance::single(Event::output(Principal::new("c"), Provenance::empty()));
+        let v = AnnotatedValue::channel("v")
+            .sent_by(&Principal::new("a"), &km)
+            .received_by(&Principal::new("b"), &km);
+        assert_eq!(denote(&v).action_count(), v.provenance.total_size());
+    }
+}

@@ -1,0 +1,61 @@
+//! # piprov-logs
+//!
+//! The meta-theory of provenance from §3 of *"A Formal Model of Provenance
+//! in Distributed Systems"*:
+//!
+//! * **logs** — edge-labelled trees of past actions ([`log`], [`action`]),
+//! * the **information ordering** `φ ⊑ ψ` and its decision procedure
+//!   ([`order`]),
+//! * the **denotation** of provenance as a partial log, `⟦v:κ⟧`
+//!   ([`denotation`]),
+//! * **monitored systems** `φ ▷ S` and the monitored reduction relation
+//!   `→ₘ` that records every action in the global log ([`monitored`]),
+//! * **correctness** (Definition 3 / Theorem 1) and **completeness**
+//!   (Definition 4 / Proposition 3) checkers ([`properties`]),
+//! * an exhaustive state-space explorer for checking the theorems on whole
+//!   reachable state spaces of small systems ([`explore`]).
+//!
+//! ```
+//! use piprov_core::pattern::{AnyPattern, TrivialPatterns};
+//! use piprov_core::process::Process;
+//! use piprov_core::system::System;
+//! use piprov_core::value::Identifier;
+//! use piprov_logs::monitored::{MonitoredExecutor};
+//! use piprov_logs::properties::has_correct_provenance;
+//!
+//! // a sends v to b through channel m; the global log records both actions
+//! // and the value's provenance stays correct throughout (Theorem 1).
+//! let system: System<AnyPattern> = System::par(
+//!     System::located("a", Process::output(Identifier::channel("m"), Identifier::channel("v"))),
+//!     System::located("b", Process::input(Identifier::channel("m"), AnyPattern, "x", Process::nil())),
+//! );
+//! let mut exec = MonitoredExecutor::new(&system, TrivialPatterns);
+//! exec.run(100)?;
+//! assert!(has_correct_provenance(&exec.as_monitored_system()));
+//! # Ok::<(), piprov_core::reduction::ReductionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod action;
+pub mod denotation;
+pub mod explore;
+pub mod log;
+pub mod monitored;
+pub mod order;
+pub mod properties;
+
+pub use action::{actions_of_step, Action, ActionKind, Term};
+pub use denotation::{denote, denote_observed, VariableSupply};
+pub use explore::{explore_correctness, explore_systems, ExploreOptions, ExploreOutcome};
+pub use log::Log;
+pub use monitored::{
+    monitored_successors, values_of_system, MonitoredExecutor, MonitoredSystem, ObservedValue,
+};
+pub use order::{log_equivalent_information, log_leq, log_leq_with_witness};
+pub use properties::{
+    check_correctness_preserved, check_provenance, has_complete_provenance,
+    has_correct_provenance, incompleteness_counterexample, ProvenanceReport, ValueVerdict,
+};

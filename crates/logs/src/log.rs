@@ -1,0 +1,341 @@
+//! Logs: edge-labelled trees recording the past behaviour of systems
+//! (§3.1).
+//!
+//! ```text
+//! φ ::= ∅ | α; φ | φ | ψ
+//! ```
+//!
+//! An edge leading out of a parent represents an action that occurred more
+//! recently than those below it; sibling subtrees are temporally
+//! independent.  Logs are considered up to alpha-conversion of bound
+//! variables and the commutative-monoid laws of `|` with unit `∅`.
+
+use crate::action::{Action, Term};
+use piprov_core::name::Variable;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A log `φ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Log {
+    /// The empty log `∅`.
+    Empty,
+    /// `α; φ` — the action `α` happened, more recently than everything in
+    /// `φ`.
+    Prefix(Action, Box<Log>),
+    /// `φ | ψ` — two temporally independent records.
+    Par(Box<Log>, Box<Log>),
+}
+
+impl Log {
+    /// The empty log.
+    pub fn empty() -> Self {
+        Log::Empty
+    }
+
+    /// `action; self`.
+    pub fn prefixed(self, action: Action) -> Self {
+        Log::Prefix(action, Box::new(self))
+    }
+
+    /// A log consisting of a single action.
+    pub fn single(action: Action) -> Self {
+        Log::Empty.prefixed(action)
+    }
+
+    /// `self | other`.
+    pub fn par(self, other: Log) -> Self {
+        match (self, other) {
+            (Log::Empty, o) => o,
+            (s, Log::Empty) => s,
+            (s, o) => Log::Par(Box::new(s), Box::new(o)),
+        }
+    }
+
+    /// A chain `α₁; α₂; …; αₙ; ∅` from a list of actions, most recent
+    /// first (the shape produced by the monitored reduction semantics).
+    pub fn chain<I>(actions: I) -> Self
+    where
+        I: IntoIterator<Item = Action>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        let mut log = Log::Empty;
+        for action in actions.into_iter().rev() {
+            log = log.prefixed(action);
+        }
+        log
+    }
+
+    /// `true` if the log is `∅` (up to the monoid laws).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Log::Empty => true,
+            Log::Prefix(_, _) => false,
+            Log::Par(a, b) => a.is_empty() && b.is_empty(),
+        }
+    }
+
+    /// Total number of actions recorded.
+    pub fn action_count(&self) -> usize {
+        match self {
+            Log::Empty => 0,
+            Log::Prefix(_, rest) => 1 + rest.action_count(),
+            Log::Par(a, b) => a.action_count() + b.action_count(),
+        }
+    }
+
+    /// Depth of the longest chain of actions.
+    pub fn depth(&self) -> usize {
+        match self {
+            Log::Empty => 0,
+            Log::Prefix(_, rest) => 1 + rest.depth(),
+            Log::Par(a, b) => a.depth().max(b.depth()),
+        }
+    }
+
+    /// All actions in the log, in preorder.
+    pub fn actions(&self) -> Vec<&Action> {
+        let mut out = Vec::new();
+        self.collect_actions(&mut out);
+        out
+    }
+
+    fn collect_actions<'a>(&'a self, out: &mut Vec<&'a Action>) {
+        match self {
+            Log::Empty => {}
+            Log::Prefix(a, rest) => {
+                out.push(a);
+                rest.collect_actions(out);
+            }
+            Log::Par(a, b) => {
+                a.collect_actions(out);
+                b.collect_actions(out);
+            }
+        }
+    }
+
+    /// The free variables of the log.
+    ///
+    /// In `a.snd(x, V); φ` and `a.rcv(x, V); φ` the variable `x` in subject
+    /// position binds its occurrences in `φ`; every other occurrence is
+    /// free.
+    pub fn free_variables(&self) -> BTreeSet<Variable> {
+        fn go(log: &Log, bound: &mut Vec<Variable>, out: &mut BTreeSet<Variable>) {
+            match log {
+                Log::Empty => {}
+                Log::Prefix(action, rest) => {
+                    // A variable in subject position of a snd/rcv action is a
+                    // *binder* occurrence: it binds occurrences in the rest of
+                    // the log and is not itself free.
+                    let binder = match (&action.kind, &action.subject) {
+                        (
+                            crate::action::ActionKind::Send | crate::action::ActionKind::Receive,
+                            Term::Variable(x),
+                        ) => Some(x.clone()),
+                        _ => None,
+                    };
+                    let free_here: Vec<&Term> = if binder.is_some() {
+                        vec![&action.object]
+                    } else {
+                        vec![&action.subject, &action.object]
+                    };
+                    for term in free_here {
+                        if let Term::Variable(x) = term {
+                            if !bound.contains(x) {
+                                out.insert(x.clone());
+                            }
+                        }
+                    }
+                    if let Some(x) = binder.clone() {
+                        bound.push(x);
+                    }
+                    go(rest, bound, out);
+                    if binder.is_some() {
+                        bound.pop();
+                    }
+                }
+                Log::Par(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// `true` when the log has no free variables.
+    pub fn is_closed(&self) -> bool {
+        self.free_variables().is_empty()
+    }
+
+    /// A canonical form modulo the commutative-monoid laws of `|`:
+    /// `∅` units are dropped and parallel branches are flattened and
+    /// sorted.  Two closed, variable-free logs are equivalent iff their
+    /// canonical forms are equal.
+    pub fn canonical(&self) -> Log {
+        fn flatten(log: &Log, out: &mut Vec<Log>) {
+            match log {
+                Log::Empty => {}
+                Log::Prefix(a, rest) => out.push(Log::Prefix(a.clone(), Box::new(rest.canonical()))),
+                Log::Par(l, r) => {
+                    flatten(l, out);
+                    flatten(r, out);
+                }
+            }
+        }
+        let mut branches = Vec::new();
+        flatten(self, &mut branches);
+        branches.sort_by_key(|b| b.to_string());
+        let mut iter = branches.into_iter();
+        match iter.next() {
+            None => Log::Empty,
+            Some(first) => iter.fold(first, |acc, b| Log::Par(Box::new(acc), Box::new(b))),
+        }
+    }
+
+    /// Structural equivalence modulo the `|` monoid laws (sufficient for
+    /// closed logs; alpha-conversion is not needed because canonical forms
+    /// of denotations are compared via the [`crate::order`] relation
+    /// instead).
+    pub fn equivalent(&self, other: &Log) -> bool {
+        self.canonical() == other.canonical()
+    }
+}
+
+impl Default for Log {
+    fn default() -> Self {
+        Log::Empty
+    }
+}
+
+impl fmt::Display for Log {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Log::Empty => write!(f, "0"),
+            Log::Prefix(action, rest) => {
+                if rest.is_empty() {
+                    write!(f, "{}", action)
+                } else {
+                    write!(f, "{}; {}", action, rest)
+                }
+            }
+            Log::Par(a, b) => {
+                let wrap = |log: &Log, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                    match log {
+                        Log::Prefix(_, rest) if !rest.is_empty() => write!(f, "({})", log),
+                        _ => write!(f, "{}", log),
+                    }
+                };
+                wrap(a, f)?;
+                write!(f, " | ")?;
+                wrap(b, f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, Term};
+
+    fn snd(p: &str, chan: Term, val: &str) -> Action {
+        Action::send(p, chan, Term::channel(val))
+    }
+
+    #[test]
+    fn empty_log_properties() {
+        let log = Log::empty();
+        assert!(log.is_empty());
+        assert!(log.is_closed());
+        assert_eq!(log.action_count(), 0);
+        assert_eq!(log.depth(), 0);
+        assert_eq!(log.to_string(), "0");
+    }
+
+    #[test]
+    fn chain_builds_in_order() {
+        let log = Log::chain(vec![
+            snd("a", Term::channel("m"), "v"),
+            snd("b", Term::channel("n"), "w"),
+        ]);
+        assert_eq!(log.action_count(), 2);
+        assert_eq!(log.depth(), 2);
+        assert_eq!(log.to_string(), "a.snd(m, v); b.snd(n, w)");
+    }
+
+    #[test]
+    fn par_drops_empty_units() {
+        let a = Log::single(snd("a", Term::channel("m"), "v"));
+        assert_eq!(a.clone().par(Log::Empty), a);
+        assert_eq!(Log::Empty.par(a.clone()), a);
+    }
+
+    #[test]
+    fn canonical_is_order_insensitive() {
+        let a = Log::single(snd("a", Term::channel("m"), "v"));
+        let b = Log::single(snd("b", Term::channel("n"), "w"));
+        let ab = a.clone().par(b.clone());
+        let ba = b.par(a);
+        assert!(ab.equivalent(&ba));
+        assert_eq!(ab.canonical(), ba.canonical());
+    }
+
+    #[test]
+    fn canonical_distinguishes_prefix_order() {
+        let a = snd("a", Term::channel("m"), "v");
+        let b = snd("b", Term::channel("n"), "w");
+        let ab = Log::chain(vec![a.clone(), b.clone()]);
+        let ba = Log::chain(vec![b, a]);
+        assert!(!ab.equivalent(&ba), "prefixing order is meaningful");
+    }
+
+    #[test]
+    fn free_variables_respect_binding() {
+        // a.snd(x, v); a.rcv(n, x) — x is bound by the first action.
+        let log = Log::chain(vec![
+            Action::send("a", Term::variable("x"), Term::channel("v")),
+            Action::receive("a", Term::channel("n"), Term::variable("x")),
+        ]);
+        assert!(log.is_closed());
+        // The object variable does not bind.
+        let log2 = Log::chain(vec![
+            Action::send("a", Term::channel("m"), Term::variable("y")),
+            Action::receive("a", Term::channel("n"), Term::variable("y")),
+        ]);
+        assert_eq!(
+            log2.free_variables(),
+            [Variable::new("y")].into_iter().collect()
+        );
+        // A variable used before any binder is free.
+        let log3 = Log::single(Action::receive("a", Term::channel("n"), Term::variable("z")));
+        assert!(!log3.is_closed());
+    }
+
+    #[test]
+    fn display_nests_parallel_chains() {
+        let left = Log::chain(vec![
+            snd("a", Term::channel("m"), "v"),
+            snd("a", Term::channel("m"), "w"),
+        ]);
+        let right = Log::single(snd("b", Term::channel("n"), "u"));
+        let log = left.par(right);
+        assert_eq!(
+            log.to_string(),
+            "(a.snd(m, v); a.snd(m, w)) | b.snd(n, u)"
+        );
+    }
+
+    #[test]
+    fn actions_are_collected_in_preorder() {
+        let log = Log::chain(vec![
+            snd("a", Term::channel("m"), "v"),
+            snd("b", Term::channel("n"), "w"),
+        ])
+        .par(Log::single(snd("c", Term::channel("o"), "u")));
+        let names: Vec<String> = log.actions().iter().map(|a| a.principal.to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Monitored systems (§3.3): systems paired with a global log recording
+//! every action that takes place.
+//!
+//! The global log is a proof device: it is not accessible to principals and
+//! exists only so that the correctness of provenance annotations can be
+//! stated and checked against it.  The monitored reduction relation `→ₘ`
+//! behaves exactly like `→` on the system component (Proposition 2,
+//! *erasure*) and in addition prepends the corresponding action(s) to the
+//! log (Table 4).
+
+use crate::action::{actions_of_step, Term};
+use crate::log::Log;
+use piprov_core::pattern::PatternLanguage;
+use piprov_core::reduction::{successors, ReductionError, StepEvent};
+use piprov_core::system::System;
+use piprov_core::value::Value;
+use piprov_core::{Executor, SchedulerPolicy};
+use piprov_core::provenance::Provenance;
+use std::fmt;
+
+/// A monitored system `φ ▷ S`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitoredSystem<P> {
+    /// The global log `φ`.
+    pub log: Log,
+    /// The system `S`.
+    pub system: System<P>,
+}
+
+/// An annotated value as observed by the `values(−)` function: restricted
+/// channel names occurring under a restriction *inside* the system are
+/// replaced by the unknown marker `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedValue {
+    /// The plain value, or `?` if it was a private channel.
+    pub term: Term,
+    /// Its provenance annotation.
+    pub provenance: Provenance,
+}
+
+impl fmt::Display for ObservedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.term, self.provenance)
+    }
+}
+
+impl<P> MonitoredSystem<P> {
+    /// Wraps a system with the empty global log (`∅ ▷ S`).
+    pub fn new(system: System<P>) -> Self {
+        MonitoredSystem {
+            log: Log::Empty,
+            system,
+        }
+    }
+
+    /// Wraps a system with an existing log.
+    pub fn with_log(log: Log, system: System<P>) -> Self {
+        MonitoredSystem { log, system }
+    }
+
+    /// The log erasure function `|M|`: drops the log and returns the system.
+    pub fn erase(&self) -> &System<P> {
+        &self.system
+    }
+
+    /// The `log(−)` function of the paper.
+    pub fn log(&self) -> &Log {
+        &self.log
+    }
+
+    /// The `values(−)` function of the paper: every annotated value
+    /// occurring in the system, with channel names bound by restrictions
+    /// *inside* the system replaced by `?`.
+    ///
+    /// Note that restrictions at the top level of the monitored system are
+    /// considered known to the global log, hence we only substitute `?` for
+    /// binders strictly inside located processes or nested system
+    /// restrictions when they were not already extruded to the top.
+    pub fn values(&self) -> Vec<ObservedValue> {
+        values_of_system(&self.system)
+    }
+}
+
+/// Computes the `values(−)` function on a bare system (used by
+/// [`MonitoredSystem::values`] and directly by tests).
+pub fn values_of_system<P>(system: &System<P>) -> Vec<ObservedValue> {
+    system
+        .collect_annotated_values()
+        .into_iter()
+        .map(|scoped| {
+            let hidden = match &scoped.value.value {
+                Value::Channel(c) => scoped.binders.contains(c),
+                Value::Principal(_) => false,
+            };
+            ObservedValue {
+                term: if hidden {
+                    Term::Unknown
+                } else {
+                    Term::Value(scoped.value.value.clone())
+                },
+                provenance: scoped.value.provenance.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Computes all one-step successors of a monitored system under `→ₘ`.
+///
+/// Each successor extends the global log with the actions of the step and
+/// carries the reduced system; by construction `|M| → |M'|` (erasure).
+///
+/// # Errors
+///
+/// Returns an error if the underlying system is not closed or malformed.
+pub fn monitored_successors<P, L>(
+    monitored: &MonitoredSystem<P>,
+    matcher: &L,
+) -> Result<Vec<(StepEvent, MonitoredSystem<P>)>, ReductionError>
+where
+    P: Clone,
+    L: PatternLanguage<Pattern = P>,
+{
+    let next = successors(&monitored.system, matcher)?;
+    Ok(next
+        .into_iter()
+        .map(|(event, system)| {
+            let log = extend_log(monitored.log.clone(), &event);
+            (event.clone(), MonitoredSystem { log, system })
+        })
+        .collect())
+}
+
+/// Prepends the actions of a reduction step to a global log (most recent
+/// first, as in rules MR-Send / MR-Recv / MR-IfT / MR-IfF).
+pub fn extend_log(log: Log, event: &StepEvent) -> Log {
+    let mut out = log;
+    for action in actions_of_step(event).into_iter().rev() {
+        out = out.prefixed(action);
+    }
+    out
+}
+
+/// A monitored executor: runs a system with the efficient configuration
+///-based [`Executor`] while accumulating the global log, so that
+/// correctness can be checked at any point of a long run.
+#[derive(Debug, Clone)]
+pub struct MonitoredExecutor<P, L> {
+    executor: Executor<P, L>,
+    log: Log,
+}
+
+impl<P, L> MonitoredExecutor<P, L>
+where
+    P: Clone,
+    L: PatternLanguage<Pattern = P>,
+{
+    /// Creates a monitored executor with the empty global log.
+    pub fn new(system: &System<P>, matcher: L) -> Self {
+        MonitoredExecutor {
+            executor: Executor::new(system, matcher),
+            log: Log::Empty,
+        }
+    }
+
+    /// Sets the scheduling policy of the underlying executor.
+    pub fn with_policy(mut self, policy: SchedulerPolicy) -> Self {
+        self.executor = self.executor.with_policy(policy);
+        self
+    }
+
+    /// The global log accumulated so far.
+    pub fn log(&self) -> &Log {
+        &self.log
+    }
+
+    /// The underlying executor.
+    pub fn executor(&self) -> &Executor<P, L> {
+        &self.executor
+    }
+
+    /// The monitored system corresponding to the current state.
+    pub fn as_monitored_system(&self) -> MonitoredSystem<P> {
+        MonitoredSystem {
+            log: self.log.clone(),
+            system: self.executor.configuration().to_system(),
+        }
+    }
+
+    /// Performs one monitored reduction step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction errors from the underlying executor.
+    pub fn step(&mut self) -> Result<Option<StepEvent>, ReductionError> {
+        match self.executor.step()? {
+            None => Ok(None),
+            Some(event) => {
+                self.log = extend_log(std::mem::take(&mut self.log), &event);
+                Ok(Some(event))
+            }
+        }
+    }
+
+    /// Runs until quiescence or `max_steps`, returning the number of steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction errors from the underlying executor.
+    pub fn run(&mut self, max_steps: usize) -> Result<usize, ReductionError> {
+        let mut steps = 0;
+        while steps < max_steps {
+            if self.step()?.is_none() {
+                break;
+            }
+            steps += 1;
+        }
+        Ok(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piprov_core::pattern::{AnyPattern, TrivialPatterns};
+    use piprov_core::process::Process;
+    use piprov_core::system::Message;
+    use piprov_core::value::{AnnotatedValue, Identifier};
+
+    type S = System<AnyPattern>;
+
+    fn simple() -> S {
+        System::par(
+            System::located(
+                "a",
+                Process::output(Identifier::channel("m"), Identifier::channel("v")),
+            ),
+            System::located(
+                "b",
+                Process::input(Identifier::channel("m"), AnyPattern, "x", Process::nil()),
+            ),
+        )
+    }
+
+    #[test]
+    fn erasure_returns_the_system() {
+        let m = MonitoredSystem::new(simple());
+        assert_eq!(m.erase(), &simple());
+        assert!(m.log().is_empty());
+    }
+
+    #[test]
+    fn monitored_step_records_the_action() {
+        let m = MonitoredSystem::new(simple());
+        let succ = monitored_successors(&m, &TrivialPatterns).unwrap();
+        assert_eq!(succ.len(), 1);
+        let (_, next) = &succ[0];
+        assert_eq!(next.log.action_count(), 1);
+        assert_eq!(next.log.actions()[0].to_string(), "a.snd(m, v)");
+    }
+
+    #[test]
+    fn erasure_commutes_with_reduction() {
+        // Proposition 2, checked on one step: the system components of the
+        // monitored successors are exactly the plain successors.
+        let m = MonitoredSystem::new(simple());
+        let plain: Vec<_> = successors(&simple(), &TrivialPatterns)
+            .unwrap()
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        let monitored: Vec<_> = monitored_successors(&m, &TrivialPatterns)
+            .unwrap()
+            .into_iter()
+            .map(|(_, m)| m.system)
+            .collect();
+        assert_eq!(plain, monitored);
+    }
+
+    #[test]
+    fn values_substitutes_unknown_for_inner_private_channels() {
+        // a[(νn) m<n:κ>] — the occurrence of n is under an inner restriction.
+        let s: S = System::located(
+            "a",
+            Process::restrict(
+                "n",
+                Process::output(Identifier::channel("m"), Identifier::channel("n")),
+            ),
+        );
+        let observed = values_of_system(&s);
+        // Values: the channel m (known) and the private n (unknown).
+        assert_eq!(observed.len(), 2);
+        assert!(observed.iter().any(|v| v.term == Term::Unknown));
+        assert!(observed
+            .iter()
+            .any(|v| v.term == Term::channel("m")));
+    }
+
+    #[test]
+    fn values_keeps_top_level_names() {
+        let s: S = System::message(Message::new("m", AnnotatedValue::channel("v")));
+        let observed = values_of_system(&s);
+        assert_eq!(observed.len(), 1);
+        assert_eq!(observed[0].term, Term::channel("v"));
+    }
+
+    #[test]
+    fn monitored_executor_accumulates_log() {
+        let mut exec = MonitoredExecutor::new(&simple(), TrivialPatterns);
+        let steps = exec.run(100).unwrap();
+        assert_eq!(steps, 2);
+        assert_eq!(exec.log().action_count(), 2);
+        // Most recent action first: the receive.
+        assert_eq!(exec.log().actions()[0].to_string(), "b.rcv(m, v)");
+        assert_eq!(exec.log().actions()[1].to_string(), "a.snd(m, v)");
+        let m = exec.as_monitored_system();
+        assert!(m.system.is_inert());
+    }
+
+    #[test]
+    fn extend_log_prepends_polyadic_sends_in_order() {
+        use piprov_core::name::{Channel, Principal};
+        use piprov_core::reduction::StepKind;
+        let event = StepEvent {
+            principal: Principal::new("a"),
+            kind: StepKind::Send {
+                channel: Channel::new("m"),
+                payload: vec![
+                    Value::Channel(Channel::new("v")),
+                    Value::Channel(Channel::new("w")),
+                ],
+            },
+        };
+        let log = extend_log(Log::Empty, &event);
+        assert_eq!(log.action_count(), 2);
+        assert_eq!(log.actions()[0].to_string(), "a.snd(m, v)");
+        assert_eq!(log.actions()[1].to_string(), "a.snd(m, w)");
+    }
+}

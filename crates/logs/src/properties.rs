@@ -1,0 +1,299 @@
+//! Provenance correctness and completeness (§3.4, §3.5).
+//!
+//! * A monitored system has **correct provenance** (Definition 3) if for
+//!   every annotated value `V:κ` in `values(M)`, `⟦V:κ⟧ ⊑ log(M)`: what the
+//!   provenance claims about the past is supported by what actually
+//!   happened.  Theorem 1 states that correctness is preserved by `→ₘ`.
+//! * A monitored system has **complete provenance** (Definition 4) if
+//!   `log(M) ⊑ ⟦V:κ⟧` for every value: each value knows everything that
+//!   happened.  Proposition 3 shows completeness is *not* preserved, with a
+//!   one-step counterexample.
+//!
+//! This module provides checkers for both properties, detailed reports for
+//! debugging violations, and the paper's counterexample as a constructor.
+
+use crate::denotation::denote_observed;
+use crate::log::Log;
+use crate::monitored::{monitored_successors, MonitoredSystem, ObservedValue};
+use crate::order::log_leq;
+use piprov_core::pattern::{AnyPattern, PatternLanguage};
+use piprov_core::process::Process;
+use piprov_core::reduction::ReductionError;
+use piprov_core::system::System;
+use piprov_core::value::Identifier;
+use std::fmt;
+
+/// The verdict for one annotated value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueVerdict {
+    /// The value that was checked.
+    pub value: ObservedValue,
+    /// Its provenance denotation.
+    pub denotation: Log,
+    /// Whether `⟦V:κ⟧ ⊑ log(M)` holds.
+    pub correct: bool,
+    /// Whether `log(M) ⊑ ⟦V:κ⟧` holds.
+    pub complete: bool,
+}
+
+/// The result of checking a monitored system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvenanceReport {
+    /// Verdicts, one per value occurrence in the system.
+    pub verdicts: Vec<ValueVerdict>,
+    /// Number of actions in the global log at check time.
+    pub log_actions: usize,
+}
+
+impl ProvenanceReport {
+    /// `true` if every value has correct provenance (Definition 3).
+    pub fn is_correct(&self) -> bool {
+        self.verdicts.iter().all(|v| v.correct)
+    }
+
+    /// `true` if every value has complete provenance (Definition 4).
+    pub fn is_complete(&self) -> bool {
+        self.verdicts.iter().all(|v| v.complete)
+    }
+
+    /// The values whose provenance is not supported by the log.
+    pub fn incorrect_values(&self) -> Vec<&ValueVerdict> {
+        self.verdicts.iter().filter(|v| !v.correct).collect()
+    }
+
+    /// The values that do not know the whole history of the system.
+    pub fn incomplete_values(&self) -> Vec<&ValueVerdict> {
+        self.verdicts.iter().filter(|v| !v.complete).collect()
+    }
+}
+
+impl fmt::Display for ProvenanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "provenance report: {} values, log has {} actions",
+            self.verdicts.len(),
+            self.log_actions
+        )?;
+        for v in &self.verdicts {
+            writeln!(
+                f,
+                "  {} -> correct={} complete={}",
+                v.value, v.correct, v.complete
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks correctness and completeness of every value in a monitored
+/// system and returns the detailed report.
+pub fn check_provenance<P>(monitored: &MonitoredSystem<P>) -> ProvenanceReport {
+    let log = monitored.log();
+    let verdicts = monitored
+        .values()
+        .into_iter()
+        .map(|observed| {
+            let denotation = denote_observed(&observed.term, &observed.provenance);
+            let correct = log_leq(&denotation, log);
+            // Completeness compares the closed global log against a possibly
+            // open denotation; it only makes sense (and can only hold) when
+            // the denotation is closed, which is the case exactly when the
+            // provenance is empty (no unknown-channel variables appear free
+            // anyway, they are bound), so compare directly when possible.
+            let complete = denotation.is_closed() && log.is_closed() && {
+                // log ⊑ ⟦V:κ⟧ requires the right-hand side closed; our
+                // denotations are closed (channel variables are bound), so
+                // reuse the same decision procedure with sides swapped —
+                // but the procedure requires a *variable-free* right side.
+                // Denotations with events always contain variables, so
+                // completeness can only hold for the empty log.
+                if denotation.actions().iter().all(|a| a.is_closed()) {
+                    log_leq(log, &denotation)
+                } else {
+                    log.is_empty()
+                }
+            };
+            ValueVerdict {
+                value: observed,
+                denotation,
+                correct,
+                complete,
+            }
+        })
+        .collect();
+    ProvenanceReport {
+        verdicts,
+        log_actions: monitored.log().action_count(),
+    }
+}
+
+/// `true` iff the monitored system has correct provenance (Definition 3).
+pub fn has_correct_provenance<P>(monitored: &MonitoredSystem<P>) -> bool {
+    check_provenance(monitored).is_correct()
+}
+
+/// `true` iff the monitored system has complete provenance (Definition 4).
+pub fn has_complete_provenance<P>(monitored: &MonitoredSystem<P>) -> bool {
+    check_provenance(monitored).is_complete()
+}
+
+/// Checks Theorem 1 along every path of the monitored reduction graph up to
+/// `depth` steps: starting from a correct monitored system, every reachable
+/// monitored system must be correct.
+///
+/// Returns the number of monitored states checked, or the first violating
+/// state.
+///
+/// # Errors
+///
+/// Propagates reduction errors (malformed systems).
+pub fn check_correctness_preserved<P, L>(
+    initial: &MonitoredSystem<P>,
+    matcher: &L,
+    depth: usize,
+    max_states: usize,
+) -> Result<Result<usize, Box<MonitoredSystem<P>>>, ReductionError>
+where
+    P: Clone + PartialEq,
+    L: PatternLanguage<Pattern = P>,
+{
+    let mut frontier = vec![initial.clone()];
+    let mut checked = 0usize;
+    for _ in 0..=depth {
+        let mut next_frontier = Vec::new();
+        for state in frontier {
+            if checked >= max_states {
+                return Ok(Ok(checked));
+            }
+            checked += 1;
+            if !has_correct_provenance(&state) {
+                return Ok(Err(Box::new(state)));
+            }
+            for (_, succ) in monitored_successors(&state, matcher)? {
+                next_frontier.push(succ);
+            }
+        }
+        if next_frontier.is_empty() {
+            break;
+        }
+        frontier = next_frontier;
+    }
+    Ok(Ok(checked))
+}
+
+/// The counterexample of Proposition 3: `∅ ▷ a[m:ε⟨v:ε⟩] ‖ b[m:ε(x).P]`
+/// with `P = 0`.
+///
+/// The initial monitored system has complete provenance (vacuously: the log
+/// is empty), but after the send the message's value only knows about the
+/// send, while `m:ε` in `b`'s input knows nothing at all, so completeness
+/// fails.
+pub fn incompleteness_counterexample() -> MonitoredSystem<AnyPattern> {
+    MonitoredSystem::new(System::par(
+        System::located(
+            "a",
+            Process::output(Identifier::channel("m"), Identifier::channel("v")),
+        ),
+        System::located(
+            "b",
+            Process::input(Identifier::channel("m"), AnyPattern, "x", Process::nil()),
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitored::MonitoredExecutor;
+    use piprov_core::pattern::TrivialPatterns;
+    use piprov_core::system::Message;
+    use piprov_core::value::AnnotatedValue;
+    use piprov_core::Provenance;
+
+    #[test]
+    fn pristine_system_is_correct_and_complete() {
+        let m = incompleteness_counterexample();
+        let report = check_provenance(&m);
+        assert!(report.is_correct());
+        assert!(report.is_complete(), "empty log, empty provenance");
+    }
+
+    #[test]
+    fn correctness_is_preserved_one_step_but_completeness_is_not() {
+        // Proposition 3: after a's send, completeness fails.
+        let m = incompleteness_counterexample();
+        let succ = monitored_successors(&m, &TrivialPatterns).unwrap();
+        assert_eq!(succ.len(), 1);
+        let after_send = &succ[0].1;
+        assert!(has_correct_provenance(after_send), "Theorem 1");
+        assert!(
+            !has_complete_provenance(after_send),
+            "Proposition 3: the input's channel value knows nothing of the send"
+        );
+        let report = check_provenance(after_send);
+        assert!(!report.incomplete_values().is_empty());
+        assert!(report.incorrect_values().is_empty());
+    }
+
+    #[test]
+    fn forged_provenance_is_detected_as_incorrect() {
+        // A message claiming to have been sent by c, while the log records
+        // nothing of the sort.
+        let forged = AnnotatedValue::channel("v").sent_by(
+            &piprov_core::name::Principal::new("c"),
+            &Provenance::empty(),
+        );
+        let m: MonitoredSystem<AnyPattern> =
+            MonitoredSystem::new(System::message(Message::new("m", forged)));
+        assert!(!has_correct_provenance(&m));
+        let report = check_provenance(&m);
+        assert_eq!(report.incorrect_values().len(), 1);
+        assert!(report.to_string().contains("correct=false"));
+    }
+
+    #[test]
+    fn correctness_preserved_over_full_runs() {
+        // Theorem 1 checked along every path of a small system.
+        let m = incompleteness_counterexample();
+        let result = check_correctness_preserved(&m, &TrivialPatterns, 10, 1_000).unwrap();
+        match result {
+            Ok(states) => assert!(states >= 3),
+            Err(bad) => panic!("correctness violated at {}", bad.system),
+        }
+    }
+
+    #[test]
+    fn monitored_executor_runs_stay_correct() {
+        let relay: System<AnyPattern> = System::par_all(vec![
+            System::located(
+                "a",
+                Process::output(Identifier::channel("c0"), Identifier::channel("v")),
+            ),
+            System::located(
+                "s",
+                Process::input(
+                    Identifier::channel("c0"),
+                    AnyPattern,
+                    "x",
+                    Process::output(Identifier::channel("c1"), Identifier::variable("x")),
+                ),
+            ),
+            System::located(
+                "b",
+                Process::input(Identifier::channel("c1"), AnyPattern, "y", Process::nil()),
+            ),
+        ]);
+        let mut exec = MonitoredExecutor::new(&relay, TrivialPatterns);
+        loop {
+            let m = exec.as_monitored_system();
+            assert!(
+                has_correct_provenance(&m),
+                "correctness must hold at every step"
+            );
+            if exec.step().unwrap().is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The reference satisfaction relation `κ ⊨ π` (Table 3, lower half).
+//!
+//! This is a direct transcription of the paper's inference rules as a
+//! recursive, backtracking matcher.  It is the semantic reference against
+//! which the compiled [`crate::nfa`] engine is checked (they must agree on
+//! every input), but its worst case is exponential in the pattern size —
+//! sequencing and repetition try every split point.
+
+use crate::ast::{EventPattern, Pattern};
+use piprov_core::provenance::{Event, Provenance};
+
+/// Decides `κ ⊨ π` by structural recursion on the pattern.
+pub fn satisfies(provenance: &Provenance, pattern: &Pattern) -> bool {
+    let events = provenance.to_vec();
+    satisfies_events(&events, pattern)
+}
+
+/// Decides whether a slice of events (most recent first) satisfies a
+/// pattern.
+pub fn satisfies_events(events: &[Event], pattern: &Pattern) -> bool {
+    match pattern {
+        // S-Any: every sequence matches Any.
+        Pattern::Any => true,
+        // S-Empty: only the empty sequence matches ε.
+        Pattern::Empty => events.is_empty(),
+        // S-Send / S-Recv: exactly one event, whose principal is in the
+        // group, whose direction matches, and whose channel provenance
+        // satisfies the nested pattern.
+        Pattern::Event(ep) => events.len() == 1 && event_satisfies(&events[0], ep),
+        // S-Concat: some split of the sequence satisfies the two parts.
+        Pattern::Seq(first, second) => (0..=events.len()).any(|i| {
+            satisfies_events(&events[..i], first) && satisfies_events(&events[i..], second)
+        }),
+        // S-AltL / S-AltR.
+        Pattern::Alt(left, right) => {
+            satisfies_events(events, left) || satisfies_events(events, right)
+        }
+        // S-Rep: the sequence splits into zero or more chunks, each
+        // satisfying the repeated pattern.  Chunks are non-empty, so the
+        // recursion terminates even when the inner pattern is nullable.
+        Pattern::Star(inner) => {
+            if events.is_empty() {
+                return true;
+            }
+            (1..=events.len()).any(|i| {
+                satisfies_events(&events[..i], inner)
+                    && satisfies_events(&events[i..], pattern)
+            })
+        }
+    }
+}
+
+/// Decides whether a single event satisfies an event pattern `G!π` / `G?π`.
+pub fn event_satisfies(event: &Event, pattern: &EventPattern) -> bool {
+    event.direction == pattern.direction
+        && pattern.group.contains(&event.principal)
+        && satisfies(&event.channel_provenance, &pattern.channel_pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::GroupExpr;
+    use piprov_core::name::Principal;
+
+    fn out(p: &str) -> Event {
+        Event::output(Principal::new(p), Provenance::empty())
+    }
+    fn inp(p: &str) -> Event {
+        Event::input(Principal::new(p), Provenance::empty())
+    }
+    fn seq(events: Vec<Event>) -> Provenance {
+        Provenance::from_events(events)
+    }
+
+    #[test]
+    fn empty_matches_only_empty() {
+        assert!(satisfies(&Provenance::empty(), &Pattern::Empty));
+        assert!(!satisfies(&seq(vec![out("a")]), &Pattern::Empty));
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(satisfies(&Provenance::empty(), &Pattern::Any));
+        assert!(satisfies(&seq(vec![out("a"), inp("b")]), &Pattern::Any));
+    }
+
+    #[test]
+    fn single_event_patterns() {
+        let p = Pattern::send(GroupExpr::single("a"), Pattern::Any);
+        assert!(satisfies(&seq(vec![out("a")]), &p));
+        assert!(!satisfies(&seq(vec![inp("a")]), &p), "direction matters");
+        assert!(!satisfies(&seq(vec![out("b")]), &p), "principal matters");
+        assert!(
+            !satisfies(&seq(vec![out("a"), out("a")]), &p),
+            "event patterns match exactly one event"
+        );
+        assert!(!satisfies(&Provenance::empty(), &p));
+    }
+
+    #[test]
+    fn nested_channel_pattern_is_checked() {
+        // a!(b!Any) : a sent the value on a channel that b had sent somewhere.
+        let inner = Pattern::send(GroupExpr::single("b"), Pattern::Any).then(Pattern::Any);
+        let p = Pattern::send(GroupExpr::single("a"), inner);
+        let chan_prov = Provenance::single(Event::output(Principal::new("b"), Provenance::empty()));
+        let good = Provenance::single(Event::output(Principal::new("a"), chan_prov));
+        let bad = Provenance::single(Event::output(Principal::new("a"), Provenance::empty()));
+        assert!(satisfies(&good, &p));
+        assert!(!satisfies(&bad, &p));
+    }
+
+    #[test]
+    fn sequencing_tries_all_splits() {
+        // (Any; a!Any) — last (oldest) event is a send by a.
+        let p = Pattern::originated_at(GroupExpr::single("a"));
+        assert!(satisfies(&seq(vec![out("a")]), &p));
+        assert!(satisfies(&seq(vec![inp("c"), out("b"), out("a")]), &p));
+        assert!(!satisfies(&seq(vec![out("a"), out("b")]), &p));
+        assert!(!satisfies(&Provenance::empty(), &p), "needs the a! event");
+    }
+
+    #[test]
+    fn immediate_sender_pattern() {
+        // c!Any; Any — most recent event is a send by c.
+        let p = Pattern::immediately_sent_by(GroupExpr::single("c"));
+        assert!(satisfies(&seq(vec![out("c")]), &p));
+        assert!(satisfies(&seq(vec![out("c"), inp("b"), out("a")]), &p));
+        assert!(!satisfies(&seq(vec![inp("c"), out("c")]), &p));
+    }
+
+    #[test]
+    fn alternation() {
+        let p = Pattern::send(GroupExpr::single("a"), Pattern::Any)
+            .or(Pattern::send(GroupExpr::single("b"), Pattern::Any));
+        assert!(satisfies(&seq(vec![out("a")]), &p));
+        assert!(satisfies(&seq(vec![out("b")]), &p));
+        assert!(!satisfies(&seq(vec![out("c")]), &p));
+    }
+
+    #[test]
+    fn repetition_allows_zero_or_more() {
+        let p = Pattern::send(GroupExpr::all(), Pattern::Any).star();
+        assert!(satisfies(&Provenance::empty(), &p));
+        assert!(satisfies(&seq(vec![out("a")]), &p));
+        assert!(satisfies(&seq(vec![out("a"), out("b"), out("c")]), &p));
+        assert!(!satisfies(&seq(vec![out("a"), inp("b")]), &p));
+    }
+
+    #[test]
+    fn only_touched_by_group() {
+        let p = Pattern::only_touched_by(GroupExpr::any_of(["a", "b"]));
+        assert!(satisfies(&seq(vec![out("a"), inp("b"), out("b")]), &p));
+        assert!(!satisfies(&seq(vec![out("a"), inp("c")]), &p));
+        assert!(satisfies(&Provenance::empty(), &p));
+    }
+
+    #[test]
+    fn group_difference_excludes() {
+        let p = Pattern::immediately_sent_by(GroupExpr::everyone_but("mallory"));
+        assert!(satisfies(&seq(vec![out("alice")]), &p));
+        assert!(!satisfies(&seq(vec![out("mallory")]), &p));
+    }
+
+    #[test]
+    fn star_of_nullable_pattern_terminates() {
+        // (Any)* where Any is nullable: must not loop forever.
+        let p = Pattern::Any.star();
+        assert!(satisfies(&seq(vec![out("a"), out("b")]), &p));
+        assert!(satisfies(&Provenance::empty(), &p));
+        let q = Pattern::Empty.star();
+        assert!(satisfies(&Provenance::empty(), &q));
+        assert!(!satisfies(&seq(vec![out("a")]), &q));
+    }
+
+    #[test]
+    fn paper_competition_patterns() {
+        // π1 = (c1 + c3)!Any; Any and π2 = c2!Any; Any
+        let pi1 = Pattern::immediately_sent_by(GroupExpr::any_of(["c1", "c3"]));
+        let pi2 = Pattern::immediately_sent_by(GroupExpr::single("c2"));
+        let from_c1 = seq(vec![out("c1")]);
+        let from_c2 = seq(vec![out("c2")]);
+        let from_c3 = seq(vec![out("c3")]);
+        assert!(satisfies(&from_c1, &pi1));
+        assert!(satisfies(&from_c3, &pi1));
+        assert!(!satisfies(&from_c2, &pi1));
+        assert!(satisfies(&from_c2, &pi2));
+        assert!(!satisfies(&from_c1, &pi2));
+    }
+}

@@ -1,0 +1,385 @@
+//! A compiled matching engine for the sample pattern language.
+//!
+//! The reference matcher in [`crate::matching`] follows the paper's
+//! inference rules directly, which makes sequencing and repetition try every
+//! split point — exponential in the worst case.  Patterns are, however,
+//! ordinary regular expressions over an alphabet of *event predicates*, so
+//! we compile them once (Thompson construction) and then simulate the NFA
+//! over the provenance sequence in `O(|κ| · |states|)` transitions; nested
+//! channel patterns are compiled recursively and evaluated when their atom
+//! is crossed.
+//!
+//! The equivalence of the two engines is checked by unit tests here and by
+//! property-based tests over random patterns and provenances.
+
+use crate::ast::{EventPattern, Pattern};
+use crate::matching::event_satisfies;
+use piprov_core::provenance::{Event, Provenance};
+use std::fmt;
+
+/// A transition label: either free (`ε`) or guarded by an atom predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Label {
+    /// Move without consuming an event.
+    Epsilon,
+    /// Consume one event that satisfies the indexed atom.
+    Atom(usize),
+    /// Consume any one event.
+    AnyEvent,
+}
+
+/// A single transition of the NFA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Transition {
+    to: usize,
+    label: Label,
+}
+
+/// A pattern compiled to a non-deterministic finite automaton over event
+/// predicates.
+///
+/// ```
+/// use piprov_patterns::ast::{GroupExpr, Pattern};
+/// use piprov_patterns::nfa::CompiledPattern;
+/// use piprov_core::provenance::{Event, Provenance};
+/// use piprov_core::name::Principal;
+///
+/// let pattern = Pattern::immediately_sent_by(GroupExpr::single("c"));
+/// let compiled = CompiledPattern::compile(&pattern);
+/// let prov = Provenance::single(Event::output(Principal::new("c"), Provenance::empty()));
+/// assert!(compiled.matches(&prov));
+/// ```
+#[derive(Clone)]
+pub struct CompiledPattern {
+    /// The source pattern (kept for display and introspection).
+    source: Pattern,
+    /// Transitions per state.
+    transitions: Vec<Vec<Transition>>,
+    /// Atom predicates; nested channel patterns are compiled too.
+    atoms: Vec<CompiledAtom>,
+    start: usize,
+    accept: usize,
+}
+
+/// A compiled event predicate: the group/direction test plus a compiled
+/// nested pattern for the channel provenance.
+#[derive(Clone)]
+struct CompiledAtom {
+    pattern: EventPattern,
+    channel: Box<CompiledPattern>,
+}
+
+impl fmt::Debug for CompiledPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledPattern")
+            .field("source", &self.source.to_string())
+            .field("states", &self.transitions.len())
+            .field("atoms", &self.atoms.len())
+            .finish()
+    }
+}
+
+/// Builder state for the Thompson construction.
+struct Builder {
+    transitions: Vec<Vec<Transition>>,
+    atoms: Vec<CompiledAtom>,
+}
+
+impl Builder {
+    fn new_state(&mut self) -> usize {
+        self.transitions.push(Vec::new());
+        self.transitions.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize, label: Label) {
+        self.transitions[from].push(Transition { to, label });
+    }
+
+    /// Compiles `pattern` into a fragment with fresh start/accept states.
+    fn fragment(&mut self, pattern: &Pattern) -> (usize, usize) {
+        match pattern {
+            Pattern::Empty => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.edge(s, a, Label::Epsilon);
+                (s, a)
+            }
+            Pattern::Any => {
+                // Any ≡ (any single event)*
+                let s = self.new_state();
+                let a = self.new_state();
+                self.edge(s, a, Label::Epsilon);
+                self.edge(s, s, Label::AnyEvent);
+                (s, a)
+            }
+            Pattern::Event(ep) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let idx = self.atoms.len();
+                self.atoms.push(CompiledAtom {
+                    pattern: ep.clone(),
+                    channel: Box::new(CompiledPattern::compile(&ep.channel_pattern)),
+                });
+                self.edge(s, a, Label::Atom(idx));
+                (s, a)
+            }
+            Pattern::Seq(first, second) => {
+                let (s1, a1) = self.fragment(first);
+                let (s2, a2) = self.fragment(second);
+                self.edge(a1, s2, Label::Epsilon);
+                (s1, a2)
+            }
+            Pattern::Alt(left, right) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (sl, al) = self.fragment(left);
+                let (sr, ar) = self.fragment(right);
+                self.edge(s, sl, Label::Epsilon);
+                self.edge(s, sr, Label::Epsilon);
+                self.edge(al, a, Label::Epsilon);
+                self.edge(ar, a, Label::Epsilon);
+                (s, a)
+            }
+            Pattern::Star(inner) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (si, ai) = self.fragment(inner);
+                self.edge(s, a, Label::Epsilon);
+                self.edge(s, si, Label::Epsilon);
+                self.edge(ai, si, Label::Epsilon);
+                self.edge(ai, a, Label::Epsilon);
+                (s, a)
+            }
+        }
+    }
+}
+
+impl CompiledPattern {
+    /// Compiles a pattern into an NFA.
+    pub fn compile(pattern: &Pattern) -> Self {
+        let mut builder = Builder {
+            transitions: Vec::new(),
+            atoms: Vec::new(),
+        };
+        let (start, accept) = builder.fragment(pattern);
+        CompiledPattern {
+            source: pattern.clone(),
+            transitions: builder.transitions,
+            atoms: builder.atoms,
+            start,
+            accept,
+        }
+    }
+
+    /// The pattern this automaton was compiled from.
+    pub fn source(&self) -> &Pattern {
+        &self.source
+    }
+
+    /// Number of NFA states (including states of *this* level only; nested
+    /// channel patterns have their own automata).
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Decides `κ ⊨ π` by NFA simulation.
+    pub fn matches(&self, provenance: &Provenance) -> bool {
+        let events = provenance.to_vec();
+        self.matches_events(&events)
+    }
+
+    /// Decides whether a slice of events (most recent first) matches.
+    pub fn matches_events(&self, events: &[Event]) -> bool {
+        let mut current = vec![false; self.transitions.len()];
+        current[self.start] = true;
+        self.epsilon_closure(&mut current);
+        for event in events {
+            let mut next = vec![false; self.transitions.len()];
+            for (state, active) in current.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                for t in &self.transitions[state] {
+                    let crosses = match t.label {
+                        Label::Epsilon => false,
+                        Label::AnyEvent => true,
+                        Label::Atom(idx) => self.atom_matches(idx, event),
+                    };
+                    if crosses {
+                        next[t.to] = true;
+                    }
+                }
+            }
+            self.epsilon_closure(&mut next);
+            current = next;
+            if !current.iter().any(|&b| b) {
+                return false;
+            }
+        }
+        current[self.accept]
+    }
+
+    fn atom_matches(&self, idx: usize, event: &Event) -> bool {
+        let atom = &self.atoms[idx];
+        event.direction == atom.pattern.direction
+            && atom.pattern.group.contains(&event.principal)
+            && atom.channel.matches(&event.channel_provenance)
+    }
+
+    fn epsilon_closure(&self, states: &mut [bool]) {
+        let mut stack: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| if b { Some(i) } else { None })
+            .collect();
+        while let Some(state) = stack.pop() {
+            for t in &self.transitions[state] {
+                if t.label == Label::Epsilon && !states[t.to] {
+                    states[t.to] = true;
+                    stack.push(t.to);
+                }
+            }
+        }
+    }
+
+    /// Checks that the NFA agrees with the reference matcher on a single
+    /// input; used by the property-based test suite.
+    pub fn agrees_with_reference(&self, provenance: &Provenance) -> bool {
+        self.matches(provenance) == crate::matching::satisfies(provenance, &self.source)
+    }
+}
+
+/// Convenience: checks one event against an event pattern using the same
+/// logic as the reference matcher (re-exported for the static analysis).
+pub fn compiled_event_satisfies(event: &Event, pattern: &EventPattern) -> bool {
+    event_satisfies(event, pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::GroupExpr;
+    use crate::matching::satisfies;
+    use piprov_core::name::Principal;
+
+    fn out(p: &str) -> Event {
+        Event::output(Principal::new(p), Provenance::empty())
+    }
+    fn inp(p: &str) -> Event {
+        Event::input(Principal::new(p), Provenance::empty())
+    }
+    fn seq(events: Vec<Event>) -> Provenance {
+        Provenance::from_events(events)
+    }
+
+    fn check_agreement(pattern: &Pattern, provenances: &[Provenance]) {
+        let compiled = CompiledPattern::compile(pattern);
+        for p in provenances {
+            assert_eq!(
+                compiled.matches(p),
+                satisfies(p, pattern),
+                "engines disagree on {} ⊨ {}",
+                p,
+                pattern
+            );
+        }
+    }
+
+    fn sample_provenances() -> Vec<Provenance> {
+        vec![
+            Provenance::empty(),
+            seq(vec![out("a")]),
+            seq(vec![inp("a")]),
+            seq(vec![out("b")]),
+            seq(vec![out("c"), inp("b"), out("a")]),
+            seq(vec![inp("b"), out("a"), out("a")]),
+            seq(vec![out("a"), out("a"), out("a"), out("a")]),
+            Provenance::single(Event::output(
+                Principal::new("a"),
+                seq(vec![out("b"), inp("c")]),
+            )),
+        ]
+    }
+
+    #[test]
+    fn engines_agree_on_basic_patterns() {
+        let patterns = vec![
+            Pattern::Empty,
+            Pattern::Any,
+            Pattern::send(GroupExpr::single("a"), Pattern::Any),
+            Pattern::receive(GroupExpr::all(), Pattern::Any),
+            Pattern::immediately_sent_by(GroupExpr::single("c")),
+            Pattern::originated_at(GroupExpr::single("a")),
+            Pattern::only_touched_by(GroupExpr::any_of(["a", "b"])),
+            Pattern::send(GroupExpr::everyone_but("a"), Pattern::Any).star(),
+            Pattern::Any.then(Pattern::Any).then(Pattern::Empty),
+            Pattern::Empty.or(Pattern::send(GroupExpr::single("a"), Pattern::Any)),
+            Pattern::send(
+                GroupExpr::single("a"),
+                Pattern::send(GroupExpr::single("b"), Pattern::Any).then(Pattern::Any),
+            ),
+        ];
+        let provenances = sample_provenances();
+        for p in &patterns {
+            check_agreement(p, &provenances);
+        }
+    }
+
+    #[test]
+    fn nested_channel_patterns_are_simulated_recursively() {
+        let inner = Pattern::send(GroupExpr::single("b"), Pattern::Any).then(Pattern::Any);
+        let pattern = Pattern::send(GroupExpr::single("a"), inner);
+        let compiled = CompiledPattern::compile(&pattern);
+        let chan_prov = seq(vec![out("b"), inp("c")]);
+        let good = Provenance::single(Event::output(Principal::new("a"), chan_prov));
+        let bad = Provenance::single(Event::output(Principal::new("a"), seq(vec![inp("c")])));
+        assert!(compiled.matches(&good));
+        assert!(!compiled.matches(&bad));
+    }
+
+    #[test]
+    fn pathological_pattern_is_fast() {
+        // (Any; Any)* over a long provenance: the reference matcher would
+        // explore exponentially many splits; the NFA stays linear.
+        let pattern = Pattern::Any.then(Pattern::Any).star();
+        let compiled = CompiledPattern::compile(&pattern);
+        let long = Provenance::from_events((0..200).map(|_| out("a")).collect::<Vec<_>>());
+        assert!(compiled.matches(&long));
+    }
+
+    #[test]
+    fn star_requires_all_chunks_to_match() {
+        let pattern = Pattern::send(GroupExpr::single("a"), Pattern::Any).star();
+        let compiled = CompiledPattern::compile(&pattern);
+        assert!(compiled.matches(&seq(vec![out("a"), out("a")])));
+        assert!(!compiled.matches(&seq(vec![out("a"), out("b")])));
+        assert!(compiled.matches(&Provenance::empty()));
+    }
+
+    #[test]
+    fn dead_states_short_circuit() {
+        let pattern = Pattern::send(GroupExpr::single("a"), Pattern::Any);
+        let compiled = CompiledPattern::compile(&pattern);
+        // Second event can never be consumed: no live state remains.
+        assert!(!compiled.matches(&seq(vec![out("a"), out("a"), out("a")])));
+    }
+
+    #[test]
+    fn debug_and_introspection() {
+        let pattern = Pattern::immediately_sent_by(GroupExpr::single("c"));
+        let compiled = CompiledPattern::compile(&pattern);
+        assert!(compiled.state_count() >= 4);
+        assert_eq!(compiled.source(), &pattern);
+        let dbg = format!("{:?}", compiled);
+        assert!(dbg.contains("CompiledPattern"));
+    }
+
+    #[test]
+    fn agreement_helper() {
+        let pattern = Pattern::originated_at(GroupExpr::single("d"));
+        let compiled = CompiledPattern::compile(&pattern);
+        for p in sample_provenances() {
+            assert!(compiled.agrees_with_reference(&p));
+        }
+    }
+}

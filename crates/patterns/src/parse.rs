@@ -1,0 +1,401 @@
+//! A concrete textual syntax for patterns, with a lexer and a
+//! recursive-descent parser.
+//!
+//! Grammar (whitespace insensitive):
+//!
+//! ```text
+//! pattern  := alt
+//! alt      := seq ('|' seq)*
+//! seq      := postfix (';' postfix)*
+//! postfix  := primary '*'*
+//! primary  := 'Any' | 'eps' | event | '(' pattern ')'
+//! event    := group ('!' | '?') postfix
+//! group    := gterm (('+' | '-') gterm)*
+//! gterm    := '~' | identifier | '(' group ')'
+//! ```
+//!
+//! Examples: `c!Any; Any`, `Any; d!Any`, `(c1 + c3)!Any; Any`,
+//! `(~ - mallory)!eps`, `(a!Any | a?Any)*`.
+
+use crate::ast::{GroupExpr, Pattern};
+use piprov_core::name::Principal;
+use piprov_core::provenance::Direction;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a pattern fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset in the input where the problem was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParsePatternError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Any,
+    Eps,
+    Bang,
+    Question,
+    Semi,
+    Pipe,
+    Star,
+    Plus,
+    Minus,
+    Tilde,
+    LParen,
+    RParen,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    token: Token,
+    position: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<Spanned>, ParsePatternError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let position = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+                continue;
+            }
+            '!' => out.push(Spanned { token: Token::Bang, position }),
+            '?' => out.push(Spanned { token: Token::Question, position }),
+            ';' => out.push(Spanned { token: Token::Semi, position }),
+            '|' => out.push(Spanned { token: Token::Pipe, position }),
+            '*' => out.push(Spanned { token: Token::Star, position }),
+            '+' => out.push(Spanned { token: Token::Plus, position }),
+            '-' => out.push(Spanned { token: Token::Minus, position }),
+            '~' => out.push(Spanned { token: Token::Tilde, position }),
+            '(' => out.push(Spanned { token: Token::LParen, position }),
+            ')' => out.push(Spanned { token: Token::RParen, position }),
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut word = String::new();
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    word.push(bytes[i]);
+                    i += 1;
+                }
+                let token = match word.as_str() {
+                    "Any" | "any" => Token::Any,
+                    "eps" | "epsilon" | "empty" => Token::Eps,
+                    _ => Token::Ident(word),
+                };
+                out.push(Spanned { token, position });
+                continue;
+            }
+            other => {
+                return Err(ParsePatternError {
+                    message: format!("unexpected character '{}'", other),
+                    position,
+                })
+            }
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    cursor: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.cursor).map(|s| &s.token)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.cursor)
+            .map(|s| s.position)
+            .unwrap_or_else(|| self.tokens.last().map(|s| s.position + 1).unwrap_or(0))
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.cursor).map(|s| s.token.clone());
+        if t.is_some() {
+            self.cursor += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<(), ParsePatternError> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.advance();
+                Ok(())
+            }
+            _ => Err(self.error(format!("expected {}", what))),
+        }
+    }
+
+    fn error(&self, message: String) -> ParsePatternError {
+        ParsePatternError {
+            message,
+            position: self.position(),
+        }
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, ParsePatternError> {
+        self.alt()
+    }
+
+    fn alt(&mut self) -> Result<Pattern, ParsePatternError> {
+        let mut left = self.seq()?;
+        while self.peek() == Some(&Token::Pipe) {
+            self.advance();
+            let right = self.seq()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn seq(&mut self) -> Result<Pattern, ParsePatternError> {
+        let mut left = self.postfix()?;
+        while self.peek() == Some(&Token::Semi) {
+            self.advance();
+            let right = self.postfix()?;
+            left = left.then(right);
+        }
+        Ok(left)
+    }
+
+    fn postfix(&mut self) -> Result<Pattern, ParsePatternError> {
+        let mut inner = self.primary()?;
+        while self.peek() == Some(&Token::Star) {
+            self.advance();
+            inner = inner.star();
+        }
+        Ok(inner)
+    }
+
+    fn primary(&mut self) -> Result<Pattern, ParsePatternError> {
+        match self.peek() {
+            Some(Token::Any) => {
+                self.advance();
+                Ok(Pattern::Any)
+            }
+            Some(Token::Eps) => {
+                self.advance();
+                Ok(Pattern::Empty)
+            }
+            Some(Token::Ident(_)) | Some(Token::Tilde) => self.event(),
+            Some(Token::LParen) => {
+                // Could be a parenthesised pattern or a parenthesised group
+                // starting an event.  Try the event interpretation first and
+                // backtrack on failure.
+                let saved = self.cursor;
+                match self.event() {
+                    Ok(ev) => Ok(ev),
+                    Err(_) => {
+                        self.cursor = saved;
+                        self.advance(); // consume '('
+                        let inner = self.pattern()?;
+                        self.expect(&Token::RParen, "')'")?;
+                        Ok(inner)
+                    }
+                }
+            }
+            _ => Err(self.error("expected a pattern".to_string())),
+        }
+    }
+
+    fn event(&mut self) -> Result<Pattern, ParsePatternError> {
+        let group = self.group()?;
+        let direction = match self.peek() {
+            Some(Token::Bang) => Direction::Output,
+            Some(Token::Question) => Direction::Input,
+            _ => return Err(self.error("expected '!' or '?' after group".to_string())),
+        };
+        self.advance();
+        let channel_pattern = self.postfix()?;
+        Ok(match direction {
+            Direction::Output => Pattern::send(group, channel_pattern),
+            Direction::Input => Pattern::receive(group, channel_pattern),
+        })
+    }
+
+    fn group(&mut self) -> Result<GroupExpr, ParsePatternError> {
+        let mut left = self.gterm()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.advance();
+                    left = left.union(self.gterm()?);
+                }
+                Some(Token::Minus) => {
+                    self.advance();
+                    left = left.difference(self.gterm()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(left)
+    }
+
+    fn gterm(&mut self) -> Result<GroupExpr, ParsePatternError> {
+        match self.advance() {
+            Some(Token::Tilde) => Ok(GroupExpr::All),
+            Some(Token::Ident(name)) => Ok(GroupExpr::Single(Principal::new(name))),
+            Some(Token::LParen) => {
+                let inner = self.group()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            _ => Err(self.error("expected a group expression".to_string())),
+        }
+    }
+}
+
+/// Parses a pattern from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParsePatternError`] describing the first syntax error.
+///
+/// ```
+/// use piprov_patterns::parse::parse_pattern;
+/// let p = parse_pattern("(c1 + c3)!Any; Any")?;
+/// assert_eq!(p.to_string(), "(c1 + c3)!Any; Any");
+/// # Ok::<(), piprov_patterns::parse::ParsePatternError>(())
+/// ```
+pub fn parse_pattern(input: &str) -> Result<Pattern, ParsePatternError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser { tokens, cursor: 0 };
+    let pattern = parser.pattern()?;
+    if parser.cursor != parser.tokens.len() {
+        return Err(parser.error("unexpected trailing input".to_string()));
+    }
+    Ok(pattern)
+}
+
+impl std::str::FromStr for Pattern {
+    type Err = ParsePatternError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_pattern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::GroupExpr;
+
+    #[test]
+    fn parses_paper_examples() {
+        assert_eq!(
+            parse_pattern("c!Any; Any").unwrap(),
+            Pattern::immediately_sent_by(GroupExpr::single("c"))
+        );
+        assert_eq!(
+            parse_pattern("Any; d!Any").unwrap(),
+            Pattern::originated_at(GroupExpr::single("d"))
+        );
+        assert_eq!(
+            parse_pattern("(c1 + c3)!Any; Any").unwrap(),
+            Pattern::immediately_sent_by(GroupExpr::any_of(["c1", "c3"]))
+        );
+    }
+
+    #[test]
+    fn parses_epsilon_and_any() {
+        assert_eq!(parse_pattern("eps").unwrap(), Pattern::Empty);
+        assert_eq!(parse_pattern("empty").unwrap(), Pattern::Empty);
+        assert_eq!(parse_pattern("Any").unwrap(), Pattern::Any);
+    }
+
+    #[test]
+    fn parses_groups() {
+        let p = parse_pattern("(~ - mallory)!Any").unwrap();
+        assert_eq!(
+            p,
+            Pattern::send(GroupExpr::everyone_but("mallory"), Pattern::Any)
+        );
+        let q = parse_pattern("~?eps").unwrap();
+        assert_eq!(q, Pattern::receive(GroupExpr::All, Pattern::Empty));
+    }
+
+    #[test]
+    fn parses_alternation_and_star() {
+        let p = parse_pattern("(a!Any | a?Any)*").unwrap();
+        assert_eq!(p, Pattern::only_touched_by(GroupExpr::single("a")));
+        let q = parse_pattern("a!Any*").unwrap();
+        // The star binds to the nested channel pattern: a!(Any*).
+        assert_eq!(q, Pattern::send(GroupExpr::single("a"), Pattern::Any.star()));
+    }
+
+    #[test]
+    fn sequencing_is_right_nested_but_flat_semantically() {
+        let p = parse_pattern("Any; Any; Any").unwrap();
+        assert_eq!(
+            p,
+            Pattern::Any.then(Pattern::Any).then(Pattern::Any)
+        );
+    }
+
+    #[test]
+    fn parenthesised_pattern_vs_group() {
+        // '(' here opens a pattern, not a group.
+        let p = parse_pattern("(Any; a!Any) | eps").unwrap();
+        assert_eq!(
+            p,
+            Pattern::Any
+                .then(Pattern::send(GroupExpr::single("a"), Pattern::Any))
+                .or(Pattern::Empty)
+        );
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let sources = [
+            "c!Any; Any",
+            "Any; d!Any",
+            "(c1 + c3)!Any; Any",
+            "(a!Any | a?Any)*",
+            "(~ - mallory)!eps",
+            "a!(b!Any; Any)",
+            "eps",
+        ];
+        for src in sources {
+            let parsed = parse_pattern(src).unwrap();
+            let reparsed = parse_pattern(&parsed.to_string()).unwrap();
+            assert_eq!(parsed, reparsed, "round trip failed for {}", src);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_with_position() {
+        let err = parse_pattern("c!Any;; Any").unwrap_err();
+        assert!(err.position > 0);
+        assert!(err.to_string().contains("parse error"));
+        assert!(parse_pattern("").is_err());
+        assert!(parse_pattern("a!").is_err());
+        assert!(parse_pattern("a Any").is_err());
+        assert!(parse_pattern("€").is_err());
+        assert!(parse_pattern("(a!Any").is_err());
+    }
+
+    #[test]
+    fn from_str_impl() {
+        let p: Pattern = "c!Any; Any".parse().unwrap();
+        assert_eq!(p, Pattern::immediately_sent_by(GroupExpr::single("c")));
+    }
+}

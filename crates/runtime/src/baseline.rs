@@ -1,0 +1,240 @@
+//! The manual-tagging baseline from the paper's introduction.
+//!
+//! Before introducing calculus-level provenance, the paper shows how
+//! principals could emulate it by *convention*: senders attach their own
+//! identity to every message (`a[n⟨a, v₁⟩]`) and receivers branch on the
+//! tag.  The encoding has two flaws the paper points out:
+//!
+//! 1. it is cumbersome and muddles the computation; and
+//! 2. it cannot be enforced — nothing stops `b` from forging `a`'s tag with
+//!    `b[n⟨a, v₂⟩]`.
+//!
+//! This module implements that encoding so the benchmarks can compare its
+//! cost against middleware tracking (experiment E9) and so the forgery
+//! example can be demonstrated and contrasted with the calculus-level
+//! defence (which a forger cannot subvert because provenance is written by
+//! the runtime, not by the sender).
+
+use piprov_core::pattern::AnyPattern;
+use piprov_core::process::Process;
+use piprov_core::system::System;
+use piprov_core::value::Identifier;
+use piprov_patterns::{GroupExpr, Pattern};
+
+/// A manually tagged pipeline: every message is a pair `⟨sender, value⟩`
+/// and every stage checks the tag against the expected upstream principal
+/// before forwarding (re-tagging with its own name).
+///
+/// Topology mirrors [`crate::workload::pipeline`], so the two are directly
+/// comparable in the overhead benchmarks.
+pub fn pipeline_manual_tagging(stages: usize, messages: usize) -> System<AnyPattern> {
+    let mut parts = Vec::new();
+    let outputs: Vec<Process<AnyPattern>> = (0..messages)
+        .map(|k| {
+            Process::output_tuple(
+                Identifier::channel("hop1"),
+                vec![
+                    Identifier::principal("stage0"),
+                    Identifier::channel(format!("v{}", k).as_str()),
+                ],
+            )
+        })
+        .collect();
+    parts.push(System::located("stage0", Process::par_all(outputs)));
+    for i in 1..stages {
+        let me = format!("stage{}", i);
+        let upstream = format!("stage{}", i - 1);
+        let from = format!("hop{}", i);
+        let to = format!("hop{}", i + 1);
+        // stage_i(tag, x): if tag = upstream then hop_{i+1}<me, x> else 0
+        let forward = Process::matching(
+            Identifier::variable("tag"),
+            Identifier::principal(upstream.as_str()),
+            Process::output_tuple(
+                Identifier::channel(to.as_str()),
+                vec![
+                    Identifier::principal(me.as_str()),
+                    Identifier::variable("x"),
+                ],
+            ),
+            Process::nil(),
+        );
+        parts.push(System::located(
+            me.as_str(),
+            Process::replicate(Process::InputSum {
+                channel: Identifier::channel(from.as_str()),
+                branches: vec![piprov_core::process::InputBranch::polyadic(
+                    vec![(AnyPattern, "tag".into()), (AnyPattern, "x".into())],
+                    forward,
+                )],
+            }),
+        ));
+    }
+    parts.push(System::located(
+        "sink",
+        Process::replicate(Process::InputSum {
+            channel: Identifier::channel(format!("hop{}", stages).as_str()),
+            branches: vec![piprov_core::process::InputBranch::polyadic(
+                vec![(AnyPattern, "tag".into()), (AnyPattern, "x".into())],
+                Process::nil(),
+            )],
+        }),
+    ));
+    System::par_all(parts)
+}
+
+/// The forgery scenario under manual tagging: `a` sends its value tagged
+/// `a`, the adversary `b` sends its own value *also* tagged `a`, and the
+/// consumer `c` accepts anything whose tag equals `a`.
+///
+/// There exist executions in which `c` accepts the forged value — manual
+/// tagging provides no authenticity.
+pub fn forgery_under_manual_tagging() -> System<AnyPattern> {
+    let consumer = Process::InputSum {
+        channel: Identifier::channel("n"),
+        branches: vec![piprov_core::process::InputBranch::polyadic(
+            vec![(AnyPattern, "tag".into()), (AnyPattern, "x".into())],
+            Process::matching(
+                Identifier::variable("tag"),
+                Identifier::principal("a"),
+                // Accept: record the acceptance by emitting on `accepted`.
+                Process::output(
+                    Identifier::channel("accepted"),
+                    Identifier::variable("x"),
+                ),
+                Process::nil(),
+            ),
+        )],
+    };
+    System::par_all(vec![
+        System::located(
+            "a",
+            Process::output_tuple(
+                Identifier::channel("n"),
+                vec![Identifier::principal("a"), Identifier::channel("v1")],
+            ),
+        ),
+        System::located(
+            "b",
+            Process::output_tuple(
+                Identifier::channel("n"),
+                vec![
+                    Identifier::principal("a"), // forged tag
+                    Identifier::channel("v2"),
+                ],
+            ),
+        ),
+        System::located("c", consumer),
+    ])
+}
+
+/// The same scenario under calculus-level tracking: the consumer demands
+/// that the value was *actually sent by* `a` (`a!Any; Any`), which the
+/// runtime-maintained provenance makes unforgeable — `b`'s value can never
+/// be accepted.
+pub fn forgery_under_provenance_tracking() -> System<Pattern> {
+    System::par_all(vec![
+        System::located(
+            "a",
+            Process::output(Identifier::channel("n"), Identifier::channel("v1")),
+        ),
+        System::located(
+            "b",
+            Process::output(Identifier::channel("n"), Identifier::channel("v2")),
+        ),
+        System::located(
+            "c",
+            Process::input(
+                Identifier::channel("n"),
+                Pattern::immediately_sent_by(GroupExpr::single("a")),
+                "x",
+                Process::output(Identifier::channel("accepted"), Identifier::variable("x")),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piprov_core::interpreter::{Executor, SchedulerPolicy, StopReason};
+    use piprov_core::pattern::TrivialPatterns;
+    use piprov_core::value::Value;
+    use piprov_core::name::Channel;
+    use piprov_patterns::SamplePatterns;
+
+    /// Runs a system to quiescence and returns the plain values left in
+    /// flight on the given channel.
+    fn leftovers<P: Clone, L>(system: &System<P>, matcher: L, channel: &str, seed: u64) -> Vec<Value>
+    where
+        L: piprov_core::pattern::PatternLanguage<Pattern = P>,
+    {
+        let mut exec =
+            Executor::new(system, matcher).with_policy(SchedulerPolicy::Random { seed });
+        let outcome = exec.run(100_000).unwrap();
+        assert_eq!(outcome.reason, StopReason::Quiescent);
+        exec.configuration()
+            .messages
+            .iter()
+            .filter(|m| m.channel == Channel::new(channel))
+            .flat_map(|m| m.payload.iter().map(|v| v.value.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn manual_pipeline_delivers_like_the_tracked_one() {
+        let s = pipeline_manual_tagging(4, 2);
+        let mut exec = Executor::new(&s, TrivialPatterns);
+        let outcome = exec.run(100_000).unwrap();
+        assert_eq!(outcome.reason, StopReason::Quiescent);
+        // 2 messages × 4 hops of sends; matches happen at 3 forwarding stages.
+        assert_eq!(exec.stats().sends, 8);
+        assert_eq!(exec.stats().matches, 6);
+    }
+
+    #[test]
+    fn manual_tagging_is_forgeable() {
+        // Across schedulings, the consumer sometimes accepts the forged v2.
+        let mut accepted_forged = false;
+        for seed in 0..20 {
+            let accepted = leftovers(
+                &forgery_under_manual_tagging(),
+                TrivialPatterns,
+                "accepted",
+                seed,
+            );
+            if accepted.contains(&Value::Channel(Channel::new("v2"))) {
+                accepted_forged = true;
+                break;
+            }
+        }
+        assert!(
+            accepted_forged,
+            "some scheduling must let the forged value through"
+        );
+    }
+
+    #[test]
+    fn provenance_tracking_defeats_the_forgery() {
+        // Under calculus-level tracking, no scheduling can make c accept v2:
+        // the provenance of b's value records b as the sender.
+        for seed in 0..20 {
+            let accepted = leftovers(
+                &forgery_under_provenance_tracking(),
+                SamplePatterns::new(),
+                "accepted",
+                seed,
+            );
+            assert!(
+                !accepted.contains(&Value::Channel(Channel::new("v2"))),
+                "forged value accepted under seed {}",
+                seed
+            );
+            assert!(
+                accepted.contains(&Value::Channel(Channel::new("v1"))),
+                "the genuine value is always accepted (seed {})",
+                seed
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Fault injection for simulation runs.
+//!
+//! Faults model the failure and adversarial scenarios the paper motivates
+//! provenance with: silent message loss (network partitions) and forged
+//! provenance claims (the introduction's `b[n⟨a, v₂⟩]` identity-forging
+//! attack, which the calculus-level tracking prevents but a manual tagging
+//! convention cannot).
+
+use crate::network::VirtualTime;
+use piprov_core::name::{Channel, Principal};
+
+/// A single injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// From `time` on, everything `principal` sends is dropped.
+    PartitionAt {
+        /// When the partition starts.
+        time: VirtualTime,
+        /// The principal being cut off.
+        principal: Principal,
+    },
+    /// At `time`, a previous partition of `principal` is healed.
+    HealAt {
+        /// When the partition ends.
+        time: VirtualTime,
+        /// The principal being reconnected.
+        principal: Principal,
+    },
+    /// At `time`, the provenance of every delivered message on `channel`
+    /// is overwritten to claim it was sent by `claimed_sender`.
+    ForgeOnChannel {
+        /// When the forgery happens.
+        time: VirtualTime,
+        /// The channel whose messages are tampered with.
+        channel: Channel,
+        /// The identity being forged.
+        claimed_sender: Principal,
+    },
+}
+
+impl Fault {
+    /// The virtual time at which the fault fires.
+    pub fn time(&self) -> VirtualTime {
+        match self {
+            Fault::PartitionAt { time, .. }
+            | Fault::HealAt { time, .. }
+            | Fault::ForgeOnChannel { time, .. } => *time,
+        }
+    }
+}
+
+/// A schedule of faults to inject during a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pending: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault to the plan.
+    pub fn push(&mut self, fault: Fault) -> &mut Self {
+        self.pending.push(fault);
+        self
+    }
+
+    /// Builds a plan from a list of faults.
+    pub fn from_faults(faults: Vec<Fault>) -> Self {
+        FaultPlan { pending: faults }
+    }
+
+    /// Number of faults not yet fired.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Removes and returns every fault due at or before `now`.
+    pub fn due(&mut self, now: VirtualTime) -> Vec<Fault> {
+        let (due, rest): (Vec<Fault>, Vec<Fault>) =
+            self.pending.drain(..).partition(|f| f.time() <= now);
+        self.pending = rest;
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_in_time_order() {
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::PartitionAt {
+            time: 10,
+            principal: Principal::new("a"),
+        });
+        plan.push(Fault::HealAt {
+            time: 20,
+            principal: Principal::new("a"),
+        });
+        assert_eq!(plan.pending(), 2);
+        assert!(plan.due(5).is_empty());
+        let first = plan.due(10);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].time(), 10);
+        assert_eq!(plan.pending(), 1);
+        let second = plan.due(100);
+        assert_eq!(second.len(), 1);
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn forgery_fault_carries_its_target() {
+        let fault = Fault::ForgeOnChannel {
+            time: 3,
+            channel: Channel::new("n"),
+            claimed_sender: Principal::new("a"),
+        };
+        assert_eq!(fault.time(), 3);
+        let plan = FaultPlan::from_faults(vec![fault.clone()]);
+        assert_eq!(plan.pending(), 1);
+    }
+}

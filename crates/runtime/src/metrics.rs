@@ -1,0 +1,136 @@
+//! Metrics collected by a simulation run.
+//!
+//! These are the quantities the overhead experiments (E9, E12, E13 in
+//! `DESIGN.md`) report: how much work provenance tracking added, how large
+//! annotations grew, how many pattern checks were performed.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters accumulated over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimMetrics {
+    /// Reduction steps executed.
+    pub steps: usize,
+    /// Send steps.
+    pub sends: usize,
+    /// Receive steps.
+    pub receives: usize,
+    /// Match (if) steps.
+    pub matches: usize,
+    /// Messages handed to the network.
+    pub messages_sent: usize,
+    /// Messages delivered to the message pool.
+    pub messages_delivered: usize,
+    /// Messages dropped by the network.
+    pub messages_dropped: usize,
+    /// Messages duplicated by the network.
+    pub messages_duplicated: usize,
+    /// Pattern-satisfaction queries answered by the middleware.
+    pub pattern_checks: usize,
+    /// Sum of the total provenance sizes (event counts, nested included) of
+    /// every value at the moment it was delivered.
+    pub provenance_events_delivered: usize,
+    /// Largest single provenance annotation observed.
+    pub max_provenance_size: usize,
+    /// Virtual time at the end of the run.
+    pub virtual_time: u64,
+    /// Wall-clock time spent inside the simulator.
+    pub wall_time: Duration,
+}
+
+impl SimMetrics {
+    /// Average provenance size per delivered value (0 if none).
+    pub fn mean_provenance_size(&self) -> f64 {
+        if self.messages_delivered == 0 {
+            0.0
+        } else {
+            self.provenance_events_delivered as f64 / self.messages_delivered as f64
+        }
+    }
+
+    /// Delivery ratio (delivered / sent), 1.0 when nothing was sent.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            1.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+
+    /// Throughput in reduction steps per wall-clock second (0 if no time
+    /// elapsed).
+    pub fn steps_per_second(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.steps as f64 / secs
+        }
+    }
+}
+
+impl fmt::Display for SimMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "simulation metrics:")?;
+        writeln!(f, "  steps              {}", self.steps)?;
+        writeln!(
+            f,
+            "  sends/receives/ifs {}/{}/{}",
+            self.sends, self.receives, self.matches
+        )?;
+        writeln!(
+            f,
+            "  messages           {} sent, {} delivered, {} dropped, {} duplicated",
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_dropped,
+            self.messages_duplicated
+        )?;
+        writeln!(f, "  pattern checks     {}", self.pattern_checks)?;
+        writeln!(
+            f,
+            "  provenance         {} events delivered (mean {:.2}, max {})",
+            self.provenance_events_delivered,
+            self.mean_provenance_size(),
+            self.max_provenance_size
+        )?;
+        writeln!(f, "  virtual time       {}", self.virtual_time)?;
+        write!(f, "  wall time          {:?}", self.wall_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let mut m = SimMetrics::default();
+        assert_eq!(m.mean_provenance_size(), 0.0);
+        assert_eq!(m.delivery_ratio(), 1.0);
+        assert_eq!(m.steps_per_second(), 0.0);
+        m.messages_sent = 10;
+        m.messages_delivered = 8;
+        m.provenance_events_delivered = 40;
+        m.steps = 100;
+        m.wall_time = Duration::from_millis(500);
+        assert!((m.delivery_ratio() - 0.8).abs() < 1e-9);
+        assert!((m.mean_provenance_size() - 5.0).abs() < 1e-9);
+        assert!((m.steps_per_second() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let m = SimMetrics {
+            steps: 3,
+            sends: 1,
+            receives: 1,
+            matches: 1,
+            ..SimMetrics::default()
+        };
+        let text = m.to_string();
+        assert!(text.contains("steps              3"));
+        assert!(text.contains("1/1/1"));
+    }
+}

@@ -1,0 +1,293 @@
+//! The network model of the simulator.
+//!
+//! Messages produced by send steps do not become available to receivers
+//! immediately: the network assigns each one a delivery time (base latency
+//! plus jitter) and may drop or duplicate it.  All randomness is drawn from
+//! a seeded generator, so simulations are reproducible.
+
+use piprov_core::name::Principal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Virtual time, in abstract "ticks".
+pub type VirtualTime = u64;
+
+/// Configuration of the network model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkConfig {
+    /// Minimum latency applied to every message.
+    pub base_latency: VirtualTime,
+    /// Maximum extra latency added uniformly at random.
+    pub jitter: VirtualTime,
+    /// Probability that a message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability that a message is delivered twice.
+    pub duplicate_probability: f64,
+    /// Seed for the network's random decisions.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            base_latency: 1,
+            jitter: 4,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A perfectly reliable, zero-jitter network (useful for deterministic
+    /// tests).
+    pub fn reliable() -> Self {
+        NetworkConfig {
+            base_latency: 1,
+            jitter: 0,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A lossy wide-area-like network.
+    pub fn lossy(drop_probability: f64, seed: u64) -> Self {
+        NetworkConfig {
+            base_latency: 5,
+            jitter: 20,
+            drop_probability,
+            duplicate_probability: 0.0,
+            seed,
+        }
+    }
+}
+
+/// The fate the network decided for one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver once at the given time.
+    Deliver(VirtualTime),
+    /// Deliver twice (duplication) at the given times.
+    Duplicate(VirtualTime, VirtualTime),
+    /// Never deliver.
+    Drop,
+}
+
+impl Delivery {
+    /// The delivery times implied by this fate.
+    pub fn times(&self) -> Vec<VirtualTime> {
+        match self {
+            Delivery::Deliver(t) => vec![*t],
+            Delivery::Duplicate(t1, t2) => vec![*t1, *t2],
+            Delivery::Drop => vec![],
+        }
+    }
+}
+
+/// The simulated network.
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NetworkConfig,
+    rng: StdRng,
+    partitioned: BTreeSet<Principal>,
+    sent: u64,
+    dropped: u64,
+    duplicated: u64,
+}
+
+impl Network {
+    /// Creates a network with the given configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Network {
+            config,
+            rng,
+            partitioned: BTreeSet::new(),
+            sent: 0,
+            dropped: 0,
+            duplicated: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Cuts a principal off from the network: everything it sends from now
+    /// on is dropped (used by fault-injection scenarios).
+    pub fn partition(&mut self, principal: Principal) {
+        self.partitioned.insert(principal);
+    }
+
+    /// Heals a previous partition.
+    pub fn heal(&mut self, principal: &Principal) {
+        self.partitioned.remove(principal);
+    }
+
+    /// `true` if the principal is currently partitioned away.
+    pub fn is_partitioned(&self, principal: &Principal) -> bool {
+        self.partitioned.contains(principal)
+    }
+
+    /// Decides the fate of a message sent by `sender` at time `now`.
+    pub fn route(&mut self, sender: &Principal, now: VirtualTime) -> Delivery {
+        self.sent += 1;
+        if self.partitioned.contains(sender) {
+            self.dropped += 1;
+            return Delivery::Drop;
+        }
+        if self.config.drop_probability > 0.0 && self.rng.gen_bool(self.config.drop_probability) {
+            self.dropped += 1;
+            return Delivery::Drop;
+        }
+        let latency = |rng: &mut StdRng, cfg: &NetworkConfig| {
+            cfg.base_latency
+                + if cfg.jitter > 0 {
+                    rng.gen_range(0..=cfg.jitter)
+                } else {
+                    0
+                }
+        };
+        let first = now + latency(&mut self.rng, &self.config);
+        if self.config.duplicate_probability > 0.0
+            && self.rng.gen_bool(self.config.duplicate_probability)
+        {
+            self.duplicated += 1;
+            let second = now + latency(&mut self.rng, &self.config);
+            return Delivery::Duplicate(first, second);
+        }
+        Delivery::Deliver(first)
+    }
+
+    /// Number of messages routed so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Number of messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of messages duplicated so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "network: {} sent, {} dropped, {} duplicated",
+            self.sent, self.dropped, self.duplicated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_network_always_delivers_once() {
+        let mut net = Network::new(NetworkConfig::reliable());
+        for t in 0..100 {
+            match net.route(&Principal::new("a"), t) {
+                Delivery::Deliver(at) => assert_eq!(at, t + 1),
+                other => panic!("unexpected {:?}", other),
+            }
+        }
+        assert_eq!(net.sent(), 100);
+        assert_eq!(net.dropped(), 0);
+    }
+
+    #[test]
+    fn drops_happen_at_the_configured_rate() {
+        let mut net = Network::new(NetworkConfig {
+            drop_probability: 0.5,
+            ..NetworkConfig::reliable()
+        });
+        for t in 0..1000 {
+            net.route(&Principal::new("a"), t);
+        }
+        let rate = net.dropped() as f64 / net.sent() as f64;
+        assert!((0.4..0.6).contains(&rate), "drop rate {}", rate);
+    }
+
+    #[test]
+    fn duplication_yields_two_delivery_times() {
+        let mut net = Network::new(NetworkConfig {
+            duplicate_probability: 1.0,
+            ..NetworkConfig::reliable()
+        });
+        match net.route(&Principal::new("a"), 10) {
+            Delivery::Duplicate(t1, t2) => {
+                assert!(t1 > 10 && t2 > 10);
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+        assert_eq!(net.duplicated(), 1);
+        assert_eq!(Delivery::Drop.times().len(), 0);
+        assert_eq!(Delivery::Deliver(3).times(), vec![3]);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let mut net = Network::new(NetworkConfig {
+            base_latency: 10,
+            jitter: 5,
+            ..NetworkConfig::reliable()
+        });
+        for t in 0..200 {
+            if let Delivery::Deliver(at) = net.route(&Principal::new("a"), t) {
+                assert!(at >= t + 10 && at <= t + 15);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_principals_cannot_send() {
+        let mut net = Network::new(NetworkConfig::reliable());
+        net.partition(Principal::new("a"));
+        assert!(net.is_partitioned(&Principal::new("a")));
+        assert_eq!(net.route(&Principal::new("a"), 0), Delivery::Drop);
+        assert!(matches!(
+            net.route(&Principal::new("b"), 0),
+            Delivery::Deliver(_)
+        ));
+        net.heal(&Principal::new("a"));
+        assert!(matches!(
+            net.route(&Principal::new("a"), 0),
+            Delivery::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn routing_is_reproducible_per_seed() {
+        let run = |seed| {
+            let mut net = Network::new(NetworkConfig {
+                drop_probability: 0.3,
+                jitter: 10,
+                seed,
+                ..NetworkConfig::default()
+            });
+            (0..50)
+                .map(|t| net.route(&Principal::new("a"), t))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn display_summarises_counters() {
+        let mut net = Network::new(NetworkConfig::reliable());
+        net.route(&Principal::new("a"), 0);
+        assert!(net.to_string().contains("1 sent"));
+    }
+}

@@ -1,0 +1,487 @@
+//! The discrete-event simulator.
+//!
+//! A [`Simulation`] runs a provenance-calculus system "in the wild": the
+//! trusted middleware (the provenance-tracking reduction semantics) runs at
+//! every principal, while messages produced by send steps travel through a
+//! [`Network`] that delays, drops or duplicates them.  Virtual time
+//! advances by a fixed cost per local step and jumps to the next delivery
+//! when every principal is blocked waiting for input.
+//!
+//! The middleware can run in two modes (experiment E9):
+//!
+//! * [`TrackingMode::Full`] — the paper's semantics: provenance is updated
+//!   on every send and receive and vetted against patterns;
+//! * [`TrackingMode::Stripped`] — annotations are erased after every send,
+//!   approximating a runtime without provenance tracking (the cost
+//!   baseline).
+
+use crate::fault::{Fault, FaultPlan};
+use crate::metrics::SimMetrics;
+use crate::network::{Delivery, Network, NetworkConfig, VirtualTime};
+use piprov_core::configuration::Configuration;
+use piprov_core::pattern::{CountingMatcher, PatternLanguage};
+use piprov_core::provenance::Provenance;
+use piprov_core::reduction::{
+    apply_redex, enumerate_redexes, ReductionError, StepKind,
+};
+use piprov_core::system::{Message, System};
+use piprov_core::value::AnnotatedValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::time::Instant;
+
+/// How the middleware treats provenance annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrackingMode {
+    /// Track and vet provenance exactly as the calculus prescribes.
+    #[default]
+    Full,
+    /// Erase provenance after every send: the no-tracking cost baseline.
+    Stripped,
+}
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Network behaviour.
+    pub network: NetworkConfig,
+    /// Middleware tracking mode.
+    pub tracking: TrackingMode,
+    /// Virtual-time cost of one local reduction step.
+    pub local_step_cost: VirtualTime,
+    /// Scheduler seed (choice among enabled redexes).
+    pub scheduler_seed: u64,
+    /// Injected faults.
+    pub faults: FaultPlan,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            network: NetworkConfig::default(),
+            tracking: TrackingMode::Full,
+            local_step_cost: 1,
+            scheduler_seed: 0,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InTransit {
+    deliver_at: VirtualTime,
+    sequence: u64,
+    message: Message,
+}
+
+impl PartialEq for InTransit {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.sequence == other.sequence
+    }
+}
+impl Eq for InTransit {}
+impl PartialOrd for InTransit {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InTransit {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.sequence).cmp(&(other.deliver_at, other.sequence))
+    }
+}
+
+/// Why a simulation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimStop {
+    /// No thread can act and nothing is in flight.
+    Terminated,
+    /// The step budget was exhausted.
+    StepLimit,
+}
+
+/// A discrete-event simulation of a provenance-calculus system.
+#[derive(Debug)]
+pub struct Simulation<P, L> {
+    configuration: Configuration<P>,
+    matcher: CountingMatcher<L>,
+    network: Network,
+    in_transit: BinaryHeap<Reverse<InTransit>>,
+    clock: VirtualTime,
+    sequence: u64,
+    tracking: TrackingMode,
+    local_step_cost: VirtualTime,
+    rng: StdRng,
+    faults: FaultPlan,
+    /// Channels whose deliveries an adversary rewrites, with the identity
+    /// being forged (activated by [`Fault::ForgeOnChannel`]).
+    forgeries: Vec<(piprov_core::name::Channel, piprov_core::name::Principal)>,
+    metrics: SimMetrics,
+}
+
+impl<P, L> Simulation<P, L>
+where
+    P: Clone,
+    L: PatternLanguage<Pattern = P>,
+{
+    /// Creates a simulation of `system`.
+    pub fn new(system: &System<P>, matcher: L, config: SimConfig) -> Self {
+        Simulation {
+            configuration: Configuration::from_system(system),
+            matcher: CountingMatcher::new(matcher),
+            network: Network::new(config.network),
+            in_transit: BinaryHeap::new(),
+            clock: 0,
+            sequence: 0,
+            tracking: config.tracking,
+            local_step_cost: config.local_step_cost.max(1),
+            rng: StdRng::seed_from_u64(config.scheduler_seed),
+            faults: config.faults,
+            forgeries: Vec::new(),
+            metrics: SimMetrics::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn clock(&self) -> VirtualTime {
+        self.clock
+    }
+
+    /// The current configuration (delivered messages only).
+    pub fn configuration(&self) -> &Configuration<P> {
+        &self.configuration
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// The network (counters, partitions).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Number of messages currently in flight (accepted by the network but
+    /// not yet delivered).
+    pub fn in_flight(&self) -> usize {
+        self.in_transit.len()
+    }
+
+    /// Runs until termination or `max_steps` reduction steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction errors (malformed systems).
+    pub fn run(&mut self, max_steps: usize) -> Result<SimStop, ReductionError> {
+        let started = Instant::now();
+        let mut steps = 0usize;
+        let outcome = loop {
+            if steps >= max_steps {
+                break SimStop::StepLimit;
+            }
+            self.apply_due_faults();
+            let redexes = enumerate_redexes(&self.configuration, &self.matcher);
+            if redexes.is_empty() {
+                if !self.deliver_next() {
+                    break SimStop::Terminated;
+                }
+                continue;
+            }
+            let chosen = redexes[self.rng.gen_range(0..redexes.len())];
+            let (next, event) = apply_redex(&self.configuration, &chosen, &self.matcher)?;
+            self.configuration = next;
+            self.clock += self.local_step_cost;
+            steps += 1;
+            self.metrics.steps += 1;
+            match &event.kind {
+                StepKind::Send { .. } => {
+                    self.metrics.sends += 1;
+                    self.route_last_message(&event.principal);
+                }
+                StepKind::Receive { .. } => self.metrics.receives += 1,
+                StepKind::IfTrue { .. } | StepKind::IfFalse { .. } => self.metrics.matches += 1,
+            }
+        };
+        self.metrics.pattern_checks = self.matcher.calls() as usize;
+        self.metrics.virtual_time = self.clock;
+        self.metrics.wall_time += started.elapsed();
+        self.metrics.messages_dropped = self.network.dropped() as usize;
+        self.metrics.messages_duplicated = self.network.duplicated() as usize;
+        Ok(outcome)
+    }
+
+    /// Hands the most recently produced message to the network.
+    fn route_last_message(&mut self, sender: &piprov_core::name::Principal) {
+        let Some(mut message) = self.configuration.messages.pop() else {
+            return;
+        };
+        if self.tracking == TrackingMode::Stripped {
+            message = strip_provenance(message);
+        }
+        self.metrics.messages_sent += 1;
+        match self.network.route(sender, self.clock) {
+            Delivery::Drop => {}
+            Delivery::Deliver(at) => self.enqueue(message, at),
+            Delivery::Duplicate(first, second) => {
+                self.enqueue(message.clone(), first);
+                self.enqueue(message, second);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, message: Message, deliver_at: VirtualTime) {
+        self.sequence += 1;
+        self.in_transit.push(Reverse(InTransit {
+            deliver_at,
+            sequence: self.sequence,
+            message,
+        }));
+    }
+
+    /// Advances the clock to the next delivery and moves every message due
+    /// by then into the configuration.  Returns `false` if nothing was in
+    /// flight.
+    fn deliver_next(&mut self) -> bool {
+        let Some(Reverse(first)) = self.in_transit.pop() else {
+            return false;
+        };
+        self.clock = self.clock.max(first.deliver_at);
+        self.deliver(first.message);
+        while let Some(Reverse(next)) = self.in_transit.peek() {
+            if next.deliver_at <= self.clock {
+                let Reverse(item) = self.in_transit.pop().expect("peeked");
+                self.deliver(item.message);
+            } else {
+                break;
+            }
+        }
+        true
+    }
+
+    fn deliver(&mut self, mut message: Message) {
+        // An active forgery on this channel rewrites the annotations of
+        // everything delivered on it from the fault's activation onwards.
+        if let Some((_, forged_sender)) = self
+            .forgeries
+            .iter()
+            .find(|(channel, _)| channel == &message.channel)
+        {
+            for value in &mut message.payload {
+                *value = AnnotatedValue::new(
+                    value.value.clone(),
+                    Provenance::single(piprov_core::provenance::Event::output(
+                        forged_sender.clone(),
+                        Provenance::empty(),
+                    )),
+                );
+            }
+        }
+        self.metrics.messages_delivered += 1;
+        for value in &message.payload {
+            let size = value.provenance.total_size();
+            self.metrics.provenance_events_delivered += size;
+            self.metrics.max_provenance_size = self.metrics.max_provenance_size.max(size);
+        }
+        self.configuration.add_message(message);
+    }
+
+    fn apply_due_faults(&mut self) {
+        let due = self.faults.due(self.clock);
+        for fault in due {
+            match fault {
+                Fault::PartitionAt { principal, .. } => self.network.partition(principal),
+                Fault::HealAt { principal, .. } => self.network.heal(&principal),
+                Fault::ForgeOnChannel {
+                    channel,
+                    claimed_sender,
+                    ..
+                } => {
+                    // Rewrite the provenance of every message already
+                    // delivered on the channel, and keep forging everything
+                    // delivered on it from now on — the attack the paper's
+                    // introduction warns about.
+                    for message in &mut self.configuration.messages {
+                        if message.channel == channel {
+                            for value in &mut message.payload {
+                                *value = AnnotatedValue::new(
+                                    value.value.clone(),
+                                    Provenance::single(piprov_core::provenance::Event::output(
+                                        claimed_sender.clone(),
+                                        Provenance::empty(),
+                                    )),
+                                );
+                            }
+                        }
+                    }
+                    self.forgeries.push((channel, claimed_sender));
+                }
+            }
+        }
+    }
+}
+
+/// Erases the provenance annotations of a message's payload.
+pub fn strip_provenance(message: Message) -> Message {
+    Message {
+        channel: message.channel,
+        payload: message
+            .payload
+            .into_iter()
+            .map(|v| AnnotatedValue::new(v.value, Provenance::empty()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use piprov_core::pattern::TrivialPatterns;
+    use piprov_core::name::Principal;
+
+    #[test]
+    fn reliable_pipeline_terminates_and_delivers_everything() {
+        let system = workload::pipeline(4, 3);
+        let mut sim = Simulation::new(
+            &system,
+            TrivialPatterns,
+            SimConfig {
+                network: NetworkConfig::reliable(),
+                ..SimConfig::default()
+            },
+        );
+        let stop = sim.run(100_000).unwrap();
+        assert_eq!(stop, SimStop::Terminated);
+        let m = sim.metrics();
+        assert_eq!(m.messages_sent, m.messages_delivered);
+        assert!(m.sends >= 12, "3 messages through 4 stages");
+        assert!(sim.clock() > 0);
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn provenance_grows_along_the_pipeline_in_full_mode() {
+        let system = workload::pipeline(6, 1);
+        let mut sim = Simulation::new(
+            &system,
+            TrivialPatterns,
+            SimConfig {
+                network: NetworkConfig::reliable(),
+                tracking: TrackingMode::Full,
+                ..SimConfig::default()
+            },
+        );
+        sim.run(100_000).unwrap();
+        assert!(
+            sim.metrics().max_provenance_size >= 6,
+            "provenance accumulates one send+receive pair per hop: {}",
+            sim.metrics().max_provenance_size
+        );
+    }
+
+    #[test]
+    fn stripped_mode_keeps_provenance_empty() {
+        let system = workload::pipeline(6, 1);
+        let mut sim = Simulation::new(
+            &system,
+            TrivialPatterns,
+            SimConfig {
+                network: NetworkConfig::reliable(),
+                tracking: TrackingMode::Stripped,
+                ..SimConfig::default()
+            },
+        );
+        sim.run(100_000).unwrap();
+        assert_eq!(sim.metrics().max_provenance_size, 0);
+        assert_eq!(sim.metrics().provenance_events_delivered, 0);
+    }
+
+    #[test]
+    fn lossy_network_loses_messages_and_the_pipeline_stalls() {
+        let system = workload::pipeline(3, 5);
+        let mut sim = Simulation::new(
+            &system,
+            TrivialPatterns,
+            SimConfig {
+                network: NetworkConfig {
+                    drop_probability: 1.0,
+                    ..NetworkConfig::reliable()
+                },
+                ..SimConfig::default()
+            },
+        );
+        let stop = sim.run(100_000).unwrap();
+        assert_eq!(stop, SimStop::Terminated);
+        assert_eq!(sim.metrics().messages_delivered, 0);
+        assert_eq!(sim.metrics().receives, 0);
+        assert_eq!(sim.metrics().messages_dropped, sim.metrics().messages_sent);
+    }
+
+    #[test]
+    fn duplication_can_deliver_more_than_sent() {
+        let system = workload::pipeline(2, 4);
+        let mut sim = Simulation::new(
+            &system,
+            TrivialPatterns,
+            SimConfig {
+                network: NetworkConfig {
+                    duplicate_probability: 1.0,
+                    ..NetworkConfig::reliable()
+                },
+                ..SimConfig::default()
+            },
+        );
+        sim.run(100_000).unwrap();
+        assert!(sim.metrics().messages_delivered > sim.metrics().messages_sent);
+    }
+
+    #[test]
+    fn partition_fault_silences_a_principal() {
+        let system = workload::pipeline(3, 2);
+        let mut faults = FaultPlan::default();
+        faults.push(Fault::PartitionAt {
+            time: 0,
+            principal: Principal::new("stage0"),
+        });
+        let mut sim = Simulation::new(
+            &system,
+            TrivialPatterns,
+            SimConfig {
+                network: NetworkConfig::reliable(),
+                faults,
+                ..SimConfig::default()
+            },
+        );
+        sim.run(100_000).unwrap();
+        // stage0 is the source: nothing it sends is ever delivered.
+        assert_eq!(sim.metrics().messages_delivered, 0);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_fixed_seed() {
+        let run = |seed| {
+            let system = workload::fan_out(3, 2, 4);
+            let mut sim = Simulation::new(
+                &system,
+                TrivialPatterns,
+                SimConfig {
+                    scheduler_seed: seed,
+                    network: NetworkConfig {
+                        jitter: 7,
+                        seed,
+                        ..NetworkConfig::default()
+                    },
+                    ..SimConfig::default()
+                },
+            );
+            sim.run(100_000).unwrap();
+            let mut metrics = sim.metrics().clone();
+            metrics.wall_time = std::time::Duration::ZERO; // wall time is not deterministic
+            (metrics, sim.clock())
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

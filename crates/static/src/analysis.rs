@@ -1,0 +1,653 @@
+//! The provenance-flow analysis.
+//!
+//! For every channel the analysis computes an over-approximation of the
+//! provenance annotations of the values that may ever be sent on it, by
+//! abstractly executing the system to a fixpoint: outputs contribute their
+//! (abstracted) payload annotation extended with the sender's output event;
+//! inputs bind the channel's current approximation extended with the
+//! receiver's input event and flow it into the continuation.
+//!
+//! The result classifies every pattern check of the system:
+//!
+//! * `AlwaysMatches` — the dynamic check is redundant and can be elided
+//!   (replaced by `Any`), which is the optimisation the paper sketches in
+//!   §5;
+//! * `NeverMatches` — the branch is dead;
+//! * `MayMatch` — the check must remain;
+//! * `NothingFlows` — no value can reach the input at all.
+//!
+//! The analysis is sound but deliberately coarse: positions of polyadic
+//! messages are conflated per channel, nested channel provenance is
+//! abstracted away, and sequences are k-limited.  Anything it cannot prove
+//! is reported as `MayMatch`.
+
+use crate::domain::{AbstractEvent, AbstractProvenance, AbstractSet, SetVerdict};
+use piprov_core::name::{Channel, Principal, Variable};
+use piprov_core::process::Process;
+use piprov_core::provenance::Direction;
+use piprov_core::system::System;
+use piprov_core::value::{Identifier, Value};
+use piprov_patterns::Pattern;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Configuration of the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// k-limit on abstract provenance length.
+    pub max_events: usize,
+    /// Maximum number of abstractions per channel before widening to ⊤.
+    pub max_set_size: usize,
+    /// Maximum fixpoint iterations (a safety net; the domain is finite).
+    pub max_iterations: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            max_events: 6,
+            max_set_size: 128,
+            max_iterations: 64,
+        }
+    }
+}
+
+/// The verdict for one pattern check occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// The principal performing the input.
+    pub principal: Principal,
+    /// The channel listened on (if statically known).
+    pub channel: Option<Channel>,
+    /// Index of the branch within its input sum.
+    pub branch: usize,
+    /// Position within the branch's (polyadic) binding list.
+    pub position: usize,
+    /// The pattern, printed.
+    pub pattern: String,
+    /// The analysis verdict.
+    pub verdict: SetVerdict,
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{}[branch {}, pos {}] {} -> {}",
+            self.principal,
+            self.channel
+                .as_ref()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "?".to_string()),
+            self.branch,
+            self.position,
+            self.pattern,
+            self.verdict
+        )
+    }
+}
+
+/// The full analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisResult {
+    /// Per-channel approximation of the provenance of values flowing on it.
+    pub channels: BTreeMap<Channel, AbstractSet>,
+    /// Verdicts for every pattern check in the system.
+    pub checks: Vec<CheckReport>,
+    /// Number of fixpoint iterations performed.
+    pub iterations: usize,
+}
+
+impl AnalysisResult {
+    /// Checks proven redundant (`AlwaysMatches`).
+    pub fn redundant_checks(&self) -> Vec<&CheckReport> {
+        self.checks
+            .iter()
+            .filter(|c| c.verdict == SetVerdict::AlwaysMatches)
+            .collect()
+    }
+
+    /// Branches proven dead (`NeverMatches` or `NothingFlows`).
+    pub fn dead_checks(&self) -> Vec<&CheckReport> {
+        self.checks
+            .iter()
+            .filter(|c| matches!(c.verdict, SetVerdict::NeverMatches | SetVerdict::NothingFlows))
+            .collect()
+    }
+
+    /// Fraction of checks proven redundant (0 when there are no checks).
+    pub fn redundancy_ratio(&self) -> f64 {
+        if self.checks.is_empty() {
+            0.0
+        } else {
+            self.redundant_checks().len() as f64 / self.checks.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for AnalysisResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "provenance-flow analysis: {} channels, {} checks, {} redundant, {} dead ({} iterations)",
+            self.channels.len(),
+            self.checks.len(),
+            self.redundant_checks().len(),
+            self.dead_checks().len(),
+            self.iterations
+        )?;
+        for check in &self.checks {
+            writeln!(f, "  {}", check)?;
+        }
+        Ok(())
+    }
+}
+
+struct Analyzer {
+    config: AnalysisConfig,
+    channels: BTreeMap<Channel, AbstractSet>,
+    changed: bool,
+}
+
+impl Analyzer {
+    fn join_channel(&mut self, channel: &Channel, values: &AbstractSet) {
+        let entry = self.channels.entry(channel.clone()).or_default();
+        if entry.join(values) {
+            self.changed = true;
+        }
+        if entry.len() > self.config.max_set_size {
+            *entry = AbstractSet::top();
+            self.changed = true;
+        }
+    }
+
+    fn channel_set(&self, channel: &Channel) -> AbstractSet {
+        self.channels.get(channel).cloned().unwrap_or_default()
+    }
+
+    fn prepend_all(&self, set: &AbstractSet, event: AbstractEvent) -> AbstractSet {
+        if set.is_top() {
+            return AbstractSet::top();
+        }
+        let mut out = AbstractSet::bottom();
+        for member in set.iter() {
+            out.insert(member.prepend(event.clone(), self.config.max_events));
+        }
+        out
+    }
+
+    fn identifier_set(
+        &self,
+        ident: &Identifier,
+        env: &BTreeMap<Variable, AbstractSet>,
+    ) -> AbstractSet {
+        match ident {
+            Identifier::Value(av) => {
+                let mut set = AbstractSet::bottom();
+                set.insert(AbstractProvenance::of(&av.provenance, self.config.max_events));
+                set
+            }
+            Identifier::Variable(x) => env.get(x).cloned().unwrap_or_else(AbstractSet::top),
+        }
+    }
+
+    fn static_channel(ident: &Identifier) -> Option<Channel> {
+        match ident {
+            Identifier::Value(av) => match &av.value {
+                Value::Channel(c) => Some(c.clone()),
+                Value::Principal(_) => None,
+            },
+            Identifier::Variable(_) => None,
+        }
+    }
+
+    fn flow_process(
+        &mut self,
+        principal: &Principal,
+        process: &Process<Pattern>,
+        env: &BTreeMap<Variable, AbstractSet>,
+    ) {
+        match process {
+            Process::Nil => {}
+            Process::Output { channel, payload } => {
+                let sent_event = AbstractEvent {
+                    principal: principal.clone(),
+                    direction: Direction::Output,
+                };
+                let target = Self::static_channel(channel);
+                for item in payload {
+                    let values = self.prepend_all(&self.identifier_set(item, env), sent_event.clone());
+                    match &target {
+                        Some(c) => self.join_channel(c, &values),
+                        None => {
+                            // Destination unknown: conservatively poison
+                            // every channel already known to the analysis.
+                            let known: Vec<Channel> = self.channels.keys().cloned().collect();
+                            for c in known {
+                                self.join_channel(&c, &AbstractSet::top());
+                            }
+                        }
+                    }
+                }
+            }
+            Process::InputSum { channel, branches } => {
+                let incoming = match Self::static_channel(channel) {
+                    Some(c) => self.channel_set(&c),
+                    None => AbstractSet::top(),
+                };
+                let recv_event = AbstractEvent {
+                    principal: principal.clone(),
+                    direction: Direction::Input,
+                };
+                for branch in branches {
+                    let mut inner_env = env.clone();
+                    for (pattern, var) in &branch.bindings {
+                        // Values the variable may take: everything flowing on
+                        // the channel that may satisfy the pattern, extended
+                        // with this receive event.
+                        let feasible = if incoming.is_top() {
+                            AbstractSet::top()
+                        } else {
+                            let mut set = AbstractSet::bottom();
+                            for member in incoming.iter() {
+                                if member.satisfies(pattern) != Some(false) {
+                                    set.insert(member.clone());
+                                }
+                            }
+                            set
+                        };
+                        let bound = self.prepend_all(&feasible, recv_event.clone());
+                        inner_env.insert(var.clone(), bound);
+                    }
+                    self.flow_process(principal, &branch.continuation, &inner_env);
+                }
+            }
+            Process::Match {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.flow_process(principal, then_branch, env);
+                self.flow_process(principal, else_branch, env);
+            }
+            Process::Restriction { body, .. } => self.flow_process(principal, body, env),
+            Process::Parallel(ps) => {
+                for p in ps {
+                    self.flow_process(principal, p, env);
+                }
+            }
+            Process::Replicate(body) => self.flow_process(principal, body, env),
+        }
+    }
+
+    fn seed_messages(&mut self, system: &System<Pattern>) {
+        match system {
+            System::Message(m) => {
+                let mut set = AbstractSet::bottom();
+                for v in &m.payload {
+                    set.insert(AbstractProvenance::of(&v.provenance, self.config.max_events));
+                }
+                self.join_channel(&m.channel, &set);
+            }
+            System::Restriction { body, .. } => self.seed_messages(body),
+            System::Parallel(ss) => {
+                for s in ss {
+                    self.seed_messages(s);
+                }
+            }
+            System::Located { .. } => {}
+        }
+    }
+
+    fn located(system: &System<Pattern>, out: &mut Vec<(Principal, Process<Pattern>)>) {
+        match system {
+            System::Located { principal, process } => out.push((principal.clone(), process.clone())),
+            System::Restriction { body, .. } => Self::located(body, out),
+            System::Parallel(ss) => {
+                for s in ss {
+                    Self::located(s, out);
+                }
+            }
+            System::Message(_) => {}
+        }
+    }
+
+    fn collect_checks(
+        &self,
+        principal: &Principal,
+        process: &Process<Pattern>,
+        out: &mut Vec<CheckReport>,
+    ) {
+        match process {
+            Process::InputSum { channel, branches } => {
+                let chan = Self::static_channel(channel);
+                let incoming = match &chan {
+                    Some(c) => self.channel_set(c),
+                    None => AbstractSet::top(),
+                };
+                for (bi, branch) in branches.iter().enumerate() {
+                    for (pi, (pattern, _)) in branch.bindings.iter().enumerate() {
+                        out.push(CheckReport {
+                            principal: principal.clone(),
+                            channel: chan.clone(),
+                            branch: bi,
+                            position: pi,
+                            pattern: pattern.to_string(),
+                            verdict: incoming.verdict(pattern),
+                        });
+                    }
+                    self.collect_checks(principal, &branch.continuation, out);
+                }
+            }
+            Process::Match {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.collect_checks(principal, then_branch, out);
+                self.collect_checks(principal, else_branch, out);
+            }
+            Process::Restriction { body, .. } | Process::Replicate(body) => {
+                self.collect_checks(principal, body, out)
+            }
+            Process::Parallel(ps) => {
+                for p in ps {
+                    self.collect_checks(principal, p, out);
+                }
+            }
+            Process::Output { .. } | Process::Nil => {}
+        }
+    }
+}
+
+/// Runs the provenance-flow analysis on a system.
+pub fn analyze(system: &System<Pattern>, config: AnalysisConfig) -> AnalysisResult {
+    let mut analyzer = Analyzer {
+        config,
+        channels: BTreeMap::new(),
+        changed: true,
+    };
+    analyzer.seed_messages(system);
+    let mut located = Vec::new();
+    Analyzer::located(system, &mut located);
+    let mut iterations = 0;
+    while analyzer.changed && iterations < config.max_iterations {
+        analyzer.changed = false;
+        iterations += 1;
+        for (principal, process) in &located {
+            analyzer.flow_process(principal, process, &BTreeMap::new());
+        }
+    }
+    let mut checks = Vec::new();
+    for (principal, process) in &located {
+        analyzer.collect_checks(principal, process, &mut checks);
+    }
+    AnalysisResult {
+        channels: analyzer.channels,
+        checks,
+        iterations,
+    }
+}
+
+/// Rewrites the system, replacing every pattern the analysis proved
+/// `AlwaysMatches` with `Any`, so the dynamic vetting cost disappears while
+/// behaviour is preserved (the ablation of experiment E12).
+pub fn elide_redundant_checks(system: &System<Pattern>, config: AnalysisConfig) -> System<Pattern> {
+    let result = analyze(system, config);
+    // The rewrite is driven by verdicts per channel: a pattern is elided
+    // only if *every* check occurrence with that textual form and channel
+    // was proven redundant.
+    let redundant: Vec<(Option<Channel>, String)> = result
+        .redundant_checks()
+        .iter()
+        .map(|c| (c.channel.clone(), c.pattern.clone()))
+        .collect();
+    let contested: Vec<(Option<Channel>, String)> = result
+        .checks
+        .iter()
+        .filter(|c| c.verdict != SetVerdict::AlwaysMatches)
+        .map(|c| (c.channel.clone(), c.pattern.clone()))
+        .collect();
+    rewrite_system(system, &|channel, pattern| {
+        let key = (channel.cloned(), pattern.to_string());
+        redundant.contains(&key) && !contested.contains(&key)
+    })
+}
+
+fn rewrite_system(
+    system: &System<Pattern>,
+    elide: &impl Fn(Option<&Channel>, &Pattern) -> bool,
+) -> System<Pattern> {
+    match system {
+        System::Located { principal, process } => System::Located {
+            principal: principal.clone(),
+            process: rewrite_process(process, elide),
+        },
+        System::Message(m) => System::Message(m.clone()),
+        System::Restriction { name, body } => System::Restriction {
+            name: name.clone(),
+            body: Box::new(rewrite_system(body, elide)),
+        },
+        System::Parallel(ss) => {
+            System::Parallel(ss.iter().map(|s| rewrite_system(s, elide)).collect())
+        }
+    }
+}
+
+fn rewrite_process(
+    process: &Process<Pattern>,
+    elide: &impl Fn(Option<&Channel>, &Pattern) -> bool,
+) -> Process<Pattern> {
+    match process {
+        Process::InputSum { channel, branches } => {
+            let chan = Analyzer::static_channel(channel);
+            Process::InputSum {
+                channel: channel.clone(),
+                branches: branches
+                    .iter()
+                    .map(|b| piprov_core::process::InputBranch {
+                        bindings: b
+                            .bindings
+                            .iter()
+                            .map(|(p, x)| {
+                                if elide(chan.as_ref(), p) {
+                                    (Pattern::Any, x.clone())
+                                } else {
+                                    (p.clone(), x.clone())
+                                }
+                            })
+                            .collect(),
+                        continuation: rewrite_process(&b.continuation, elide),
+                    })
+                    .collect(),
+            }
+        }
+        Process::Match {
+            lhs,
+            rhs,
+            then_branch,
+            else_branch,
+        } => Process::Match {
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+            then_branch: Box::new(rewrite_process(then_branch, elide)),
+            else_branch: Box::new(rewrite_process(else_branch, elide)),
+        },
+        Process::Restriction { name, body } => Process::Restriction {
+            name: name.clone(),
+            body: Box::new(rewrite_process(body, elide)),
+        },
+        Process::Parallel(ps) => {
+            Process::Parallel(ps.iter().map(|p| rewrite_process(p, elide)).collect())
+        }
+        Process::Replicate(body) => Process::Replicate(Box::new(rewrite_process(body, elide))),
+        Process::Output { .. } | Process::Nil => process.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piprov_core::process::Process;
+    use piprov_core::value::Identifier;
+    use piprov_patterns::GroupExpr;
+
+    /// Only `c` ever sends on `m`, and the receiver demands exactly that.
+    fn provably_safe() -> System<Pattern> {
+        System::par(
+            System::located(
+                "c",
+                Process::output(Identifier::channel("m"), Identifier::channel("v")),
+            ),
+            System::located(
+                "a",
+                Process::input(
+                    Identifier::channel("m"),
+                    Pattern::immediately_sent_by(GroupExpr::single("c")),
+                    "x",
+                    Process::nil(),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn redundant_check_is_detected() {
+        let result = analyze(&provably_safe(), AnalysisConfig::default());
+        assert_eq!(result.checks.len(), 1);
+        assert_eq!(result.checks[0].verdict, SetVerdict::AlwaysMatches);
+        assert_eq!(result.redundant_checks().len(), 1);
+        assert!(result.redundancy_ratio() > 0.99);
+        assert!(result.to_string().contains("always-matches"));
+    }
+
+    #[test]
+    fn contested_channel_stays_dynamic() {
+        // Both c and mallory send on m; the check can no longer be elided.
+        let system = System::par(
+            provably_safe(),
+            System::located(
+                "mallory",
+                Process::output(Identifier::channel("m"), Identifier::channel("w")),
+            ),
+        );
+        let result = analyze(&system, AnalysisConfig::default());
+        assert_eq!(result.checks[0].verdict, SetVerdict::MayMatch);
+        assert!(result.redundant_checks().is_empty());
+    }
+
+    #[test]
+    fn dead_branch_is_detected() {
+        // Nobody ever sends anything d-originated on m.
+        let system = System::par(
+            System::located(
+                "c",
+                Process::output(Identifier::channel("m"), Identifier::channel("v")),
+            ),
+            System::located(
+                "b",
+                Process::input(
+                    Identifier::channel("m"),
+                    Pattern::originated_at(GroupExpr::single("d")),
+                    "x",
+                    Process::nil(),
+                ),
+            ),
+        );
+        let result = analyze(&system, AnalysisConfig::default());
+        assert_eq!(result.checks[0].verdict, SetVerdict::NeverMatches);
+        assert_eq!(result.dead_checks().len(), 1);
+    }
+
+    #[test]
+    fn nothing_flows_on_unused_channels() {
+        let system: System<Pattern> = System::located(
+            "a",
+            Process::input(Identifier::channel("silent"), Pattern::Any, "x", Process::nil()),
+        );
+        let result = analyze(&system, AnalysisConfig::default());
+        assert_eq!(result.checks[0].verdict, SetVerdict::NothingFlows);
+    }
+
+    #[test]
+    fn relayed_flows_accumulate_events() {
+        // c sends on k; f forwards from k to m; the receiver on m demands
+        // origination at c — provable because the abstraction keeps the
+        // whole (short) history.
+        let system = System::par_all(vec![
+            System::located(
+                "c",
+                Process::output(Identifier::channel("k"), Identifier::channel("v")),
+            ),
+            System::located(
+                "f",
+                Process::input(
+                    Identifier::channel("k"),
+                    Pattern::Any,
+                    "z",
+                    Process::output(Identifier::channel("m"), Identifier::variable("z")),
+                ),
+            ),
+            System::located(
+                "a",
+                Process::input(
+                    Identifier::channel("m"),
+                    Pattern::originated_at(GroupExpr::single("c")),
+                    "x",
+                    Process::nil(),
+                ),
+            ),
+        ]);
+        let result = analyze(&system, AnalysisConfig::default());
+        let final_check = result
+            .checks
+            .iter()
+            .find(|c| c.channel == Some(Channel::new("m")))
+            .unwrap();
+        assert_eq!(final_check.verdict, SetVerdict::AlwaysMatches);
+        assert!(result.iterations >= 2, "fixpoint needs propagation");
+    }
+
+    #[test]
+    fn elision_preserves_behaviour_and_removes_patterns() {
+        use piprov_core::interpreter::Executor;
+        use piprov_patterns::SamplePatterns;
+        let original = provably_safe();
+        let optimized = elide_redundant_checks(&original, AnalysisConfig::default());
+        // The optimized system uses Any where the original had a real pattern.
+        let shown = format!("{}", optimized);
+        assert!(shown.contains("Any as x"), "{}", shown);
+        // Both run to the same quiescent shape.
+        let mut e1 = Executor::new(&original, SamplePatterns::new());
+        let mut e2 = Executor::new(&optimized, SamplePatterns::new());
+        let o1 = e1.run(1_000).unwrap();
+        let o2 = e2.run(1_000).unwrap();
+        assert_eq!(o1.steps, o2.steps);
+    }
+
+    #[test]
+    fn widening_to_top_is_applied() {
+        let config = AnalysisConfig {
+            max_set_size: 1,
+            ..AnalysisConfig::default()
+        };
+        let system = System::par_all(vec![
+            System::located(
+                "a",
+                Process::output(Identifier::channel("m"), Identifier::channel("v")),
+            ),
+            System::located(
+                "b",
+                Process::output(Identifier::channel("m"), Identifier::channel("w")),
+            ),
+            System::located(
+                "r",
+                Process::input(Identifier::channel("m"), Pattern::Any, "x", Process::nil()),
+            ),
+        ]);
+        let result = analyze(&system, config);
+        assert!(result.channels.get(&Channel::new("m")).unwrap().is_top());
+        // Any still holds on ⊤.
+        assert_eq!(result.checks[0].verdict, SetVerdict::AlwaysMatches);
+    }
+}

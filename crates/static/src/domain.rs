@@ -1,0 +1,360 @@
+//! The abstract domain of the provenance-flow analysis.
+//!
+//! Concrete provenance sequences are unbounded, so the analysis abstracts
+//! them to sequences of events whose nested channel provenance is dropped
+//! and whose length is truncated at a configurable bound `k`
+//! (k-limiting).  An abstract provenance therefore either *exactly*
+//! represents a concrete one (when no truncation happened and no nested
+//! channel provenance was lost) or over-approximates it; the `exact` flag
+//! records which, so that pattern verdicts stay sound.
+
+use piprov_core::name::Principal;
+use piprov_core::provenance::{Direction, Event, Provenance};
+use piprov_patterns::{matching, Pattern};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One abstract event: who acted and in which direction (nested channel
+/// provenance is abstracted away).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AbstractEvent {
+    /// The acting principal.
+    pub principal: Principal,
+    /// Send or receive.
+    pub direction: Direction,
+}
+
+impl fmt::Display for AbstractEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.principal, self.direction.symbol())
+    }
+}
+
+/// An abstract provenance sequence: at most `k` most-recent events, plus a
+/// flag recording whether information was lost.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AbstractProvenance {
+    /// Most recent first, truncated at the analysis bound.
+    pub events: Vec<AbstractEvent>,
+    /// `true` if this abstraction represents its concrete counterparts
+    /// exactly (no truncation, no dropped nested channel provenance).
+    pub exact: bool,
+}
+
+impl AbstractProvenance {
+    /// The abstraction of the empty provenance `ε` (exact).
+    pub fn empty() -> Self {
+        AbstractProvenance {
+            events: Vec::new(),
+            exact: true,
+        }
+    }
+
+    /// Abstracts a concrete provenance with bound `k`.
+    pub fn of(provenance: &Provenance, k: usize) -> Self {
+        let events: Vec<AbstractEvent> = provenance
+            .iter()
+            .take(k)
+            .map(|e| AbstractEvent {
+                principal: e.principal.clone(),
+                direction: e.direction,
+            })
+            .collect();
+        let truncated = provenance.len() > k;
+        let dropped_nested = provenance.iter().take(k).any(|e| !e.channel_provenance.is_empty());
+        AbstractProvenance {
+            events,
+            exact: !truncated && !dropped_nested,
+        }
+    }
+
+    /// Prepends an abstract event, respecting the bound `k`.
+    pub fn prepend(&self, event: AbstractEvent, k: usize) -> Self {
+        let mut events = Vec::with_capacity((self.events.len() + 1).min(k));
+        events.push(event);
+        events.extend(self.events.iter().cloned());
+        let truncated = events.len() > k;
+        events.truncate(k);
+        AbstractProvenance {
+            events,
+            exact: self.exact && !truncated,
+        }
+    }
+
+    /// Reconstructs the (unique) concrete provenance this abstraction
+    /// describes when it is exact; nested channel provenances are empty by
+    /// construction.
+    pub fn to_concrete(&self) -> Provenance {
+        Provenance::from_events(self.events.iter().map(|e| match e.direction {
+            Direction::Output => Event::output(e.principal.clone(), Provenance::empty()),
+            Direction::Input => Event::input(e.principal.clone(), Provenance::empty()),
+        }))
+    }
+
+    /// Conservative satisfaction test against a pattern.
+    ///
+    /// Returns `Some(true)`/`Some(false)` only when the verdict is certain;
+    /// `None` when the abstraction is not exact (the dynamic check cannot
+    /// be elided).
+    pub fn satisfies(&self, pattern: &Pattern) -> Option<bool> {
+        if matches!(pattern, Pattern::Any) {
+            return Some(true);
+        }
+        if self.exact {
+            Some(matching::satisfies(&self.to_concrete(), pattern))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for AbstractProvenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            write!(f, "ε")?;
+        } else {
+            for (i, e) in self.events.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{}", e)?;
+            }
+        }
+        if !self.exact {
+            write!(f, " …")?;
+        }
+        Ok(())
+    }
+}
+
+/// A finite set of abstract provenances: the analysis value attached to
+/// each channel.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AbstractSet {
+    members: BTreeSet<AbstractProvenance>,
+    /// The set is `⊤` (anything possible), used when the analysis loses
+    /// track (e.g. a send on a channel it cannot identify).
+    top: bool,
+}
+
+impl AbstractSet {
+    /// The empty set (no value can flow here).
+    pub fn bottom() -> Self {
+        AbstractSet::default()
+    }
+
+    /// The set of all provenances (analysis gave up).
+    pub fn top() -> Self {
+        AbstractSet {
+            members: BTreeSet::new(),
+            top: true,
+        }
+    }
+
+    /// `true` if this is the ⊤ element.
+    pub fn is_top(&self) -> bool {
+        self.top
+    }
+
+    /// `true` if no value can flow here.
+    pub fn is_bottom(&self) -> bool {
+        !self.top && self.members.is_empty()
+    }
+
+    /// Adds one abstraction; returns `true` if the set changed.
+    pub fn insert(&mut self, value: AbstractProvenance) -> bool {
+        if self.top {
+            return false;
+        }
+        self.members.insert(value)
+    }
+
+    /// Joins another set into this one; returns `true` if this set changed.
+    pub fn join(&mut self, other: &AbstractSet) -> bool {
+        if self.top {
+            return false;
+        }
+        if other.top {
+            self.top = true;
+            self.members.clear();
+            return true;
+        }
+        let before = self.members.len();
+        self.members.extend(other.members.iter().cloned());
+        self.members.len() != before
+    }
+
+    /// Iterates over the members (empty for ⊤ — use [`AbstractSet::is_top`]
+    /// first).
+    pub fn iter(&self) -> impl Iterator<Item = &AbstractProvenance> {
+        self.members.iter()
+    }
+
+    /// Number of members (0 for ⊤).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the set has no explicit members (also true for ⊤).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Conservative verdict for "does every value flowing here satisfy
+    /// `pattern`?" / "does no value satisfy it?".
+    pub fn verdict(&self, pattern: &Pattern) -> SetVerdict {
+        if self.top {
+            return if matches!(pattern, Pattern::Any) {
+                SetVerdict::AlwaysMatches
+            } else {
+                SetVerdict::MayMatch
+            };
+        }
+        if self.members.is_empty() {
+            return SetVerdict::NothingFlows;
+        }
+        let mut all_true = true;
+        let mut all_false = true;
+        for member in &self.members {
+            match member.satisfies(pattern) {
+                Some(true) => all_false = false,
+                Some(false) => all_true = false,
+                None => {
+                    all_true = false;
+                    all_false = false;
+                }
+            }
+        }
+        match (all_true, all_false) {
+            (true, _) => SetVerdict::AlwaysMatches,
+            (_, true) => SetVerdict::NeverMatches,
+            _ => SetVerdict::MayMatch,
+        }
+    }
+}
+
+/// The analysis verdict for one pattern check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetVerdict {
+    /// Every value that can reach the input satisfies the pattern: the
+    /// dynamic check is redundant.
+    AlwaysMatches,
+    /// No value that can reach the input satisfies the pattern: the branch
+    /// is dead.
+    NeverMatches,
+    /// The check must stay.
+    MayMatch,
+    /// No value can flow to this input at all.
+    NothingFlows,
+}
+
+impl fmt::Display for SetVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetVerdict::AlwaysMatches => write!(f, "always-matches"),
+            SetVerdict::NeverMatches => write!(f, "never-matches"),
+            SetVerdict::MayMatch => write!(f, "may-match"),
+            SetVerdict::NothingFlows => write!(f, "nothing-flows"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piprov_patterns::GroupExpr;
+
+    fn ev(p: &str, d: Direction) -> AbstractEvent {
+        AbstractEvent {
+            principal: Principal::new(p),
+            direction: d,
+        }
+    }
+
+    #[test]
+    fn abstraction_of_concrete_provenance() {
+        let concrete = Provenance::from_events(vec![
+            Event::input(Principal::new("b"), Provenance::empty()),
+            Event::output(Principal::new("a"), Provenance::empty()),
+        ]);
+        let abs = AbstractProvenance::of(&concrete, 4);
+        assert!(abs.exact);
+        assert_eq!(abs.events.len(), 2);
+        assert_eq!(abs.to_concrete(), concrete);
+        // Truncation loses exactness.
+        let truncated = AbstractProvenance::of(&concrete, 1);
+        assert!(!truncated.exact);
+        assert_eq!(truncated.events.len(), 1);
+    }
+
+    #[test]
+    fn nested_channel_provenance_loses_exactness() {
+        let km = Provenance::single(Event::output(Principal::new("c"), Provenance::empty()));
+        let concrete = Provenance::single(Event::output(Principal::new("a"), km));
+        let abs = AbstractProvenance::of(&concrete, 4);
+        assert!(!abs.exact);
+        assert_eq!(abs.satisfies(&Pattern::Any), Some(true));
+        assert_eq!(
+            abs.satisfies(&Pattern::immediately_sent_by(GroupExpr::single("a"))),
+            None,
+            "inexact abstractions cannot certify non-Any patterns"
+        );
+    }
+
+    #[test]
+    fn exact_abstractions_decide_patterns() {
+        let abs = AbstractProvenance::empty().prepend(ev("a", Direction::Output), 4);
+        assert_eq!(
+            abs.satisfies(&Pattern::immediately_sent_by(GroupExpr::single("a"))),
+            Some(true)
+        );
+        assert_eq!(
+            abs.satisfies(&Pattern::immediately_sent_by(GroupExpr::single("b"))),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn set_join_and_verdicts() {
+        let mut set = AbstractSet::bottom();
+        assert!(set.is_bottom());
+        assert_eq!(set.verdict(&Pattern::Any), SetVerdict::NothingFlows);
+        set.insert(AbstractProvenance::empty().prepend(ev("a", Direction::Output), 4));
+        let pattern = Pattern::immediately_sent_by(GroupExpr::single("a"));
+        assert_eq!(set.verdict(&pattern), SetVerdict::AlwaysMatches);
+        let mut other = AbstractSet::bottom();
+        other.insert(AbstractProvenance::empty().prepend(ev("b", Direction::Output), 4));
+        assert!(set.join(&other));
+        assert!(!set.join(&other), "join is idempotent");
+        assert_eq!(set.verdict(&pattern), SetVerdict::MayMatch);
+        assert_eq!(
+            set.verdict(&Pattern::immediately_sent_by(GroupExpr::single("z"))),
+            SetVerdict::NeverMatches
+        );
+    }
+
+    #[test]
+    fn top_absorbs_everything() {
+        let mut top = AbstractSet::top();
+        assert!(top.is_top());
+        assert!(!top.insert(AbstractProvenance::empty()));
+        assert_eq!(top.verdict(&Pattern::Any), SetVerdict::AlwaysMatches);
+        assert_eq!(
+            top.verdict(&Pattern::immediately_sent_by(GroupExpr::single("a"))),
+            SetVerdict::MayMatch
+        );
+        let mut set = AbstractSet::bottom();
+        assert!(set.join(&AbstractSet::top()));
+        assert!(set.is_top());
+    }
+
+    #[test]
+    fn display_forms() {
+        let abs = AbstractProvenance::empty()
+            .prepend(ev("a", Direction::Output), 1)
+            .prepend(ev("b", Direction::Input), 1);
+        assert!(abs.to_string().contains("…"), "truncation is visible: {}", abs);
+        assert_eq!(AbstractProvenance::empty().to_string(), "ε");
+        assert_eq!(SetVerdict::AlwaysMatches.to_string(), "always-matches");
+    }
+}

@@ -1,0 +1,45 @@
+//! # piprov-static
+//!
+//! A **static provenance-flow analysis** for the provenance calculus — the
+//! extension sketched in §5 of the paper: "a static analysis that would
+//! alleviate the need for dynamic provenance tracking … analyse the flow of
+//! data between principals and make sure that principals would only receive
+//! data with provenance that matches their expectations".
+//!
+//! * [`domain`] — the abstract domain: k-limited provenance abstractions
+//!   and per-channel sets with a ⊤ element;
+//! * [`analysis`] — the fixpoint analysis, per-check verdicts, and a
+//!   rewriter that elides checks proven redundant.
+//!
+//! ```
+//! use piprov_core::process::Process;
+//! use piprov_core::system::System;
+//! use piprov_core::value::Identifier;
+//! use piprov_patterns::{GroupExpr, Pattern};
+//! use piprov_static::{analyze, AnalysisConfig};
+//!
+//! // Only c ever sends on m, so the receiver's check is provably redundant.
+//! let system: System<Pattern> = System::par(
+//!     System::located("c", Process::output(Identifier::channel("m"), Identifier::channel("v"))),
+//!     System::located("a", Process::input(
+//!         Identifier::channel("m"),
+//!         Pattern::immediately_sent_by(GroupExpr::single("c")),
+//!         "x",
+//!         Process::nil(),
+//!     )),
+//! );
+//! let result = analyze(&system, AnalysisConfig::default());
+//! assert_eq!(result.redundant_checks().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod domain;
+
+pub use analysis::{
+    analyze, elide_redundant_checks, AnalysisConfig, AnalysisResult, CheckReport,
+};
+pub use domain::{AbstractEvent, AbstractProvenance, AbstractSet, SetVerdict};

@@ -1,0 +1,295 @@
+//! Binary encoding of provenance records.
+//!
+//! Each record is framed as
+//!
+//! ```text
+//! ┌─────────┬─────────┬──────────────────────────────┐
+//! │ len u32 │ crc u32 │ body (len bytes)             │
+//! └─────────┴─────────┴──────────────────────────────┘
+//! ```
+//!
+//! where the CRC covers the body.  The body is a sequence of
+//! length-prefixed fields in a fixed order; provenance sequences are stored
+//! as a preorder `(depth, principal, direction)` list (see
+//! [`crate::record::flatten_provenance`]).  The format is self-contained:
+//! decoding never requires information outside the frame.
+
+use crate::error::StoreError;
+use crate::record::{
+    direction_from_tag, direction_tag, flatten_provenance, unflatten_provenance, Operation,
+    ProvenanceRecord,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use piprov_core::name::{Channel, Principal};
+use piprov_core::provenance::Event;
+use piprov_core::value::Value;
+
+/// Magic byte identifying a value stored as a channel name.
+const VALUE_CHANNEL: u8 = 0;
+/// Magic byte identifying a value stored as a principal name.
+const VALUE_PRINCIPAL: u8 = 1;
+
+/// CRC-32 (IEEE polynomial, bitwise implementation — fast enough for the
+/// record sizes involved and dependency-free).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, StoreError> {
+    if buf.remaining() < 2 {
+        return Err(StoreError::Corrupt("truncated string length".into()));
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return Err(StoreError::Corrupt("truncated string body".into()));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| StoreError::Corrupt("invalid utf-8 in record".into()))
+}
+
+fn put_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Channel(c) => {
+            buf.put_u8(VALUE_CHANNEL);
+            put_str(buf, c.as_str());
+        }
+        Value::Principal(p) => {
+            buf.put_u8(VALUE_PRINCIPAL);
+            put_str(buf, p.as_str());
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value, StoreError> {
+    if buf.remaining() < 1 {
+        return Err(StoreError::Corrupt("truncated value tag".into()));
+    }
+    match buf.get_u8() {
+        VALUE_CHANNEL => Ok(Value::Channel(Channel::new(get_str(buf)?))),
+        VALUE_PRINCIPAL => Ok(Value::Principal(Principal::new(get_str(buf)?))),
+        other => Err(StoreError::Corrupt(format!("unknown value tag {}", other))),
+    }
+}
+
+/// Encodes a record body (without framing).
+pub fn encode_body(record: &ProvenanceRecord) -> Bytes {
+    let mut buf = BytesMut::with_capacity(record.estimated_size());
+    buf.put_u64(record.sequence);
+    buf.put_u64(record.logical_time);
+    buf.put_u8(record.operation.tag());
+    put_str(&mut buf, record.principal.as_str());
+    put_str(&mut buf, record.channel.as_str());
+    put_value(&mut buf, &record.value);
+    let flat = flatten_provenance(&record.provenance);
+    buf.put_u32(flat.len() as u32);
+    for (depth, event) in &flat {
+        buf.put_u32(*depth);
+        buf.put_u8(direction_tag(event.direction));
+        put_str(&mut buf, event.principal.as_str());
+    }
+    buf.freeze()
+}
+
+/// Decodes a record body (without framing).
+pub fn decode_body(mut buf: Bytes) -> Result<ProvenanceRecord, StoreError> {
+    if buf.remaining() < 17 {
+        return Err(StoreError::Corrupt("record body too short".into()));
+    }
+    let sequence = buf.get_u64();
+    let logical_time = buf.get_u64();
+    let operation = Operation::from_tag(buf.get_u8())
+        .ok_or_else(|| StoreError::Corrupt("unknown operation tag".into()))?;
+    let principal = Principal::new(get_str(&mut buf)?);
+    let channel = Channel::new(get_str(&mut buf)?);
+    let value = get_value(&mut buf)?;
+    if buf.remaining() < 4 {
+        return Err(StoreError::Corrupt("truncated provenance length".into()));
+    }
+    let count = buf.get_u32() as usize;
+    let mut flat = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 5 {
+            return Err(StoreError::Corrupt("truncated provenance entry".into()));
+        }
+        let depth = buf.get_u32();
+        let direction = direction_from_tag(buf.get_u8())
+            .ok_or_else(|| StoreError::Corrupt("unknown direction tag".into()))?;
+        let p = Principal::new(get_str(&mut buf)?);
+        let event = match direction {
+            piprov_core::provenance::Direction::Output => {
+                Event::output(p, piprov_core::provenance::Provenance::empty())
+            }
+            piprov_core::provenance::Direction::Input => {
+                Event::input(p, piprov_core::provenance::Provenance::empty())
+            }
+        };
+        flat.push((depth, event));
+    }
+    let provenance = unflatten_provenance(&flat);
+    Ok(ProvenanceRecord {
+        sequence,
+        logical_time,
+        principal,
+        operation,
+        channel,
+        value,
+        provenance,
+    })
+}
+
+/// Encodes a record with framing (length + CRC + body).
+pub fn encode_framed(record: &ProvenanceRecord) -> Bytes {
+    let body = encode_body(record);
+    let mut out = BytesMut::with_capacity(body.len() + 8);
+    out.put_u32(body.len() as u32);
+    out.put_u32(crc32(&body));
+    out.put_slice(&body);
+    out.freeze()
+}
+
+/// Attempts to decode one framed record from the front of `buf`.
+///
+/// Returns `Ok(None)` if the buffer does not contain a complete frame
+/// (clean end of segment); returns an error if the frame is corrupt.
+pub fn decode_framed(buf: &mut Bytes) -> Result<Option<ProvenanceRecord>, StoreError> {
+    if buf.remaining() == 0 {
+        return Ok(None);
+    }
+    if buf.remaining() < 8 {
+        return Err(StoreError::Corrupt("truncated frame header".into()));
+    }
+    let len = buf.get_u32() as usize;
+    let expected_crc = buf.get_u32();
+    if buf.remaining() < len {
+        return Err(StoreError::Corrupt("truncated frame body".into()));
+    }
+    let body = buf.copy_to_bytes(len);
+    if crc32(&body) != expected_crc {
+        return Err(StoreError::ChecksumMismatch);
+    }
+    decode_body(body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piprov_core::provenance::Provenance;
+
+    fn sample_record() -> ProvenanceRecord {
+        let km = Provenance::single(Event::output(Principal::new("c"), Provenance::empty()));
+        let provenance = Provenance::empty()
+            .prepend(Event::output(Principal::new("a"), km.clone()))
+            .prepend(Event::input(Principal::new("b"), km));
+        ProvenanceRecord {
+            sequence: 42,
+            logical_time: 7,
+            principal: Principal::new("b"),
+            operation: Operation::Receive,
+            channel: Channel::new("m"),
+            value: Value::Channel(Channel::new("v")),
+            provenance,
+        }
+    }
+
+    #[test]
+    fn crc_is_stable_and_sensitive() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"hello"), crc32(b"hello"));
+        assert_ne!(crc32(b"hello"), crc32(b"hellp"));
+    }
+
+    #[test]
+    fn body_round_trip() {
+        let record = sample_record();
+        let body = encode_body(&record);
+        let decoded = decode_body(body).unwrap();
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn framed_round_trip() {
+        let record = sample_record();
+        let mut framed = encode_framed(&record);
+        let decoded = decode_framed(&mut framed).unwrap().unwrap();
+        assert_eq!(decoded, record);
+        assert_eq!(decode_framed(&mut framed).unwrap(), None, "buffer consumed");
+    }
+
+    #[test]
+    fn multiple_frames_decode_in_sequence() {
+        let mut r1 = sample_record();
+        r1.sequence = 1;
+        let mut r2 = sample_record();
+        r2.sequence = 2;
+        r2.value = Value::Principal(Principal::new("a"));
+        let mut joined = BytesMut::new();
+        joined.put_slice(&encode_framed(&r1));
+        joined.put_slice(&encode_framed(&r2));
+        let mut buf = joined.freeze();
+        assert_eq!(decode_framed(&mut buf).unwrap().unwrap(), r1);
+        assert_eq!(decode_framed(&mut buf).unwrap().unwrap(), r2);
+        assert_eq!(decode_framed(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupted_crc_is_detected() {
+        let record = sample_record();
+        let framed = encode_framed(&record);
+        let mut bytes = framed.to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut buf = Bytes::from(bytes);
+        assert!(matches!(
+            decode_framed(&mut buf),
+            Err(StoreError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_errors() {
+        let record = sample_record();
+        let framed = encode_framed(&record);
+        let mut truncated = Bytes::from(framed[..framed.len() - 3].to_vec());
+        assert!(decode_framed(&mut truncated).is_err());
+        let mut tiny = Bytes::from(vec![0u8, 1, 2]);
+        assert!(decode_framed(&mut tiny).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let record = sample_record();
+        let mut body = encode_body(&record).to_vec();
+        body[16] = 200; // operation tag
+        assert!(decode_body(Bytes::from(body)).is_err());
+    }
+
+    #[test]
+    fn empty_provenance_encodes_compactly() {
+        let record = ProvenanceRecord {
+            sequence: 1,
+            logical_time: 1,
+            principal: Principal::new("a"),
+            operation: Operation::Send,
+            channel: Channel::new("m"),
+            value: Value::Channel(Channel::new("v")),
+            provenance: Provenance::empty(),
+        };
+        let body = encode_body(&record);
+        let decoded = decode_body(body).unwrap();
+        assert!(decoded.provenance.is_empty());
+    }
+}

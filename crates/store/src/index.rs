@@ -1,0 +1,163 @@
+//! In-memory indexes over the record log.
+//!
+//! The store keeps the authoritative data in its append-only segments; the
+//! indexes here are rebuilt on recovery by scanning the segments and are
+//! used to answer audit queries without a full scan.
+
+use crate::record::{ProvenanceRecord, SequenceNumber};
+use piprov_core::name::{Channel, Principal};
+use piprov_core::value::Value;
+use std::collections::BTreeMap;
+
+/// Secondary indexes mapping principals, channels and values to the
+/// sequence numbers of the records that mention them.
+#[derive(Debug, Default, Clone)]
+pub struct StoreIndex {
+    by_principal: BTreeMap<Principal, Vec<SequenceNumber>>,
+    by_channel: BTreeMap<Channel, Vec<SequenceNumber>>,
+    by_value: BTreeMap<Value, Vec<SequenceNumber>>,
+    /// Principals that appear anywhere in a record's provenance, not just
+    /// as the acting principal.
+    by_involved_principal: BTreeMap<Principal, Vec<SequenceNumber>>,
+}
+
+impl StoreIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        StoreIndex::default()
+    }
+
+    /// Indexes one record.
+    pub fn insert(&mut self, record: &ProvenanceRecord) {
+        let seq = record.sequence;
+        self.by_principal
+            .entry(record.principal.clone())
+            .or_default()
+            .push(seq);
+        self.by_channel
+            .entry(record.channel.clone())
+            .or_default()
+            .push(seq);
+        self.by_value
+            .entry(record.value.clone())
+            .or_default()
+            .push(seq);
+        for p in record.principals_involved() {
+            self.by_involved_principal.entry(p).or_default().push(seq);
+        }
+    }
+
+    /// Rebuilds an index from scratch.
+    pub fn rebuild<'a>(records: impl IntoIterator<Item = &'a ProvenanceRecord>) -> Self {
+        let mut index = StoreIndex::new();
+        for r in records {
+            index.insert(r);
+        }
+        index
+    }
+
+    /// Sequence numbers of records where `principal` acted.
+    pub fn by_principal(&self, principal: &Principal) -> &[SequenceNumber] {
+        self.by_principal
+            .get(principal)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Sequence numbers of records on `channel`.
+    pub fn by_channel(&self, channel: &Channel) -> &[SequenceNumber] {
+        self.by_channel
+            .get(channel)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Sequence numbers of records whose exchanged value is `value`.
+    pub fn by_value(&self, value: &Value) -> &[SequenceNumber] {
+        self.by_value.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Sequence numbers of records whose provenance mentions `principal`
+    /// anywhere (acting or historical).
+    pub fn by_involved_principal(&self, principal: &Principal) -> &[SequenceNumber] {
+        self.by_involved_principal
+            .get(principal)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All principals that ever acted.
+    pub fn principals(&self) -> impl Iterator<Item = &Principal> {
+        self.by_principal.keys()
+    }
+
+    /// All channels that ever carried a value.
+    pub fn channels(&self) -> impl Iterator<Item = &Channel> {
+        self.by_channel.keys()
+    }
+
+    /// All distinct values ever exchanged.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.by_value.keys()
+    }
+
+    /// Number of index entries (for introspection and tests).
+    pub fn entry_count(&self) -> usize {
+        self.by_principal.values().map(Vec::len).sum::<usize>()
+            + self.by_channel.values().map(Vec::len).sum::<usize>()
+            + self.by_value.values().map(Vec::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Operation;
+    use piprov_core::provenance::{Event, Provenance};
+
+    fn record(seq: u64, principal: &str, channel: &str, value: &str) -> ProvenanceRecord {
+        ProvenanceRecord {
+            sequence: seq,
+            logical_time: seq,
+            principal: Principal::new(principal),
+            operation: Operation::Send,
+            channel: Channel::new(channel),
+            value: Value::Channel(Channel::new(value)),
+            provenance: Provenance::single(Event::output(
+                Principal::new("origin"),
+                Provenance::empty(),
+            )),
+        }
+    }
+
+    #[test]
+    fn indexes_by_all_dimensions() {
+        let records = vec![
+            record(1, "a", "m", "v"),
+            record(2, "b", "m", "w"),
+            record(3, "a", "n", "v"),
+        ];
+        let index = StoreIndex::rebuild(&records);
+        assert_eq!(index.by_principal(&Principal::new("a")), &[1, 3]);
+        assert_eq!(index.by_principal(&Principal::new("b")), &[2]);
+        assert_eq!(index.by_channel(&Channel::new("m")), &[1, 2]);
+        assert_eq!(index.by_value(&Value::Channel(Channel::new("v"))), &[1, 3]);
+        assert!(index.by_principal(&Principal::new("zz")).is_empty());
+        assert_eq!(index.principals().count(), 2);
+        assert_eq!(index.channels().count(), 2);
+        assert_eq!(index.values().count(), 2);
+        assert_eq!(index.entry_count(), 9);
+    }
+
+    #[test]
+    fn involved_principals_include_provenance_history() {
+        let records = vec![record(1, "a", "m", "v")];
+        let index = StoreIndex::rebuild(&records);
+        assert_eq!(
+            index.by_involved_principal(&Principal::new("origin")),
+            &[1],
+            "the historical sender appears via the provenance"
+        );
+        assert_eq!(index.by_involved_principal(&Principal::new("a")), &[1]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Append-only segment files.
+//!
+//! A segment is a file containing a sequence of framed records (see
+//! [`crate::codec`]).  Segments are written strictly append-only; once a
+//! segment reaches its size budget the store seals it and opens a new one.
+//! Reading a segment scans it front to back, stopping cleanly at the end
+//! or reporting corruption (torn final frame after a crash is reported so
+//! that recovery can truncate it).
+
+use crate::codec::{decode_framed, encode_framed};
+use crate::error::StoreError;
+use crate::record::ProvenanceRecord;
+use bytes::Bytes;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Default size budget for a segment before rotation (bytes).
+pub const DEFAULT_SEGMENT_BUDGET: usize = 4 * 1024 * 1024;
+
+/// A writable, append-only segment.
+#[derive(Debug)]
+pub struct Segment {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    written: usize,
+    records: usize,
+}
+
+impl Segment {
+    /// Creates (or truncates) a segment file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Segment {
+            path,
+            writer: BufWriter::new(file),
+            written: 0,
+            records: 0,
+        })
+    }
+
+    /// Opens an existing segment for appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be opened; the current size is
+    /// read so rotation accounting stays correct.
+    pub fn open_append(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let written = file.metadata()?.len() as usize;
+        Ok(Segment {
+            path,
+            writer: BufWriter::new(file),
+            written,
+            records: 0,
+        })
+    }
+
+    /// The segment's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes written so far (including pre-existing content for reopened
+    /// segments).
+    pub fn bytes_written(&self) -> usize {
+        self.written
+    }
+
+    /// Records appended through this handle.
+    pub fn records_appended(&self) -> usize {
+        self.records
+    }
+
+    /// Appends a record, returning the number of bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the write fails.
+    pub fn append(&mut self, record: &ProvenanceRecord) -> Result<usize, StoreError> {
+        let framed = encode_framed(record);
+        self.writer.write_all(&framed)?;
+        self.written += framed.len();
+        self.records += 1;
+        Ok(framed.len())
+    }
+
+    /// Flushes buffered writes to the operating system.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the flush fails.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and syncs the segment to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the flush or sync fails.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// `true` when the segment has reached its size budget.
+    pub fn is_full(&self, budget: usize) -> bool {
+        self.written >= budget
+    }
+}
+
+/// The result of scanning a segment file.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// Records successfully decoded, in file order.
+    pub records: Vec<ProvenanceRecord>,
+    /// `Some(error)` if the scan stopped early due to a torn or corrupt
+    /// frame (everything before it is still returned).
+    pub error: Option<StoreError>,
+}
+
+impl SegmentScan {
+    /// `true` if the whole segment decoded cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Reads every record from a segment file.
+///
+/// # Errors
+///
+/// Returns an error only if the file cannot be read at all; decode errors
+/// are reported inside the returned [`SegmentScan`] so that recovery can
+/// keep the valid prefix.
+pub fn scan_segment(path: impl AsRef<Path>) -> Result<SegmentScan, StoreError> {
+    let mut file = File::open(path.as_ref())?;
+    let mut contents = Vec::new();
+    file.read_to_end(&mut contents)?;
+    let mut buf = Bytes::from(contents);
+    let mut records = Vec::new();
+    loop {
+        match decode_framed(&mut buf) {
+            Ok(Some(record)) => records.push(record),
+            Ok(None) => return Ok(SegmentScan { records, error: None }),
+            Err(e) => {
+                return Ok(SegmentScan {
+                    records,
+                    error: Some(e),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Operation;
+    use piprov_core::name::{Channel, Principal};
+    use piprov_core::provenance::Provenance;
+    use piprov_core::value::Value;
+
+    fn record(seq: u64) -> ProvenanceRecord {
+        ProvenanceRecord {
+            sequence: seq,
+            logical_time: seq,
+            principal: Principal::new("a"),
+            operation: Operation::Send,
+            channel: Channel::new("m"),
+            value: Value::Channel(Channel::new(format!("v{}", seq))),
+            provenance: Provenance::empty(),
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("piprov-segment-{}-{}", std::process::id(), name));
+        dir
+    }
+
+    #[test]
+    fn write_then_scan_round_trip() {
+        let path = temp_path("roundtrip");
+        {
+            let mut seg = Segment::create(&path).unwrap();
+            for i in 0..10 {
+                seg.append(&record(i)).unwrap();
+            }
+            assert_eq!(seg.records_appended(), 10);
+            assert!(seg.bytes_written() > 0);
+            seg.sync().unwrap();
+        }
+        let scan = scan_segment(&path).unwrap();
+        assert!(scan.is_clean());
+        assert_eq!(scan.records.len(), 10);
+        assert_eq!(scan.records[3], record(3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_records() {
+        let path = temp_path("reopen");
+        {
+            let mut seg = Segment::create(&path).unwrap();
+            seg.append(&record(0)).unwrap();
+            seg.flush().unwrap();
+        }
+        {
+            let mut seg = Segment::open_append(&path).unwrap();
+            assert!(seg.bytes_written() > 0);
+            seg.append(&record(1)).unwrap();
+            seg.flush().unwrap();
+        }
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_reported_but_prefix_survives() {
+        let path = temp_path("torn");
+        {
+            let mut seg = Segment::create(&path).unwrap();
+            seg.append(&record(0)).unwrap();
+            seg.append(&record(1)).unwrap();
+            seg.flush().unwrap();
+        }
+        // Simulate a crash mid-write: append garbage that looks like the
+        // start of a frame.
+        {
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(&[0, 0, 0, 50, 1, 2, 3]).unwrap();
+        }
+        let scan = scan_segment(&path).unwrap();
+        assert!(!scan.is_clean());
+        assert_eq!(scan.records.len(), 2, "valid prefix is preserved");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rotation_budget() {
+        let path = temp_path("budget");
+        let mut seg = Segment::create(&path).unwrap();
+        assert!(!seg.is_full(1024));
+        for i in 0..50 {
+            seg.append(&record(i)).unwrap();
+        }
+        assert!(seg.is_full(64), "tiny budget should be exceeded");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's authentication example (§2.3.2).
+//!
+//! Principal `a` accepts on channel `m` only data coming *directly* from
+//! `c` (pattern `c!Any; Any`), while `b` accepts only data that
+//! *originated* at `d` (pattern `Any; d!Any`), no matter which
+//! intermediaries relayed it.
+//!
+//! Run with: `cargo run --example authentication`
+
+use piprov::prelude::*;
+use piprov::runtime::workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = workload::authentication();
+    println!("system:\n  {}\n", system);
+
+    // Explore every scheduling: whatever the order of events, a ends up
+    // with c's value and b with d's relayed value.
+    let matcher = SamplePatterns::new();
+    let mut exec = Executor::new(&system, matcher).with_policy(SchedulerPolicy::Random { seed: 7 });
+    let outcome = exec.run(10_000)?;
+    println!("run finished after {} steps; trace:", outcome.steps);
+    for event in exec.trace() {
+        println!("  {}", event);
+    }
+
+    // Check who received what by looking at the receive events.
+    let mut a_received = Vec::new();
+    let mut b_received = Vec::new();
+    for event in exec.trace() {
+        if let StepKind::Receive { payload, .. } = &event.kind {
+            if event.principal == Principal::new("a") {
+                a_received.extend(payload.iter().cloned());
+            }
+            if event.principal == Principal::new("b") {
+                b_received.extend(payload.iter().cloned());
+            }
+        }
+    }
+    println!("\na received: {:?}", a_received);
+    println!("b received: {:?}", b_received);
+    assert_eq!(a_received, vec![Value::Channel(Channel::new("v1"))]);
+    assert_eq!(b_received, vec![Value::Channel(Channel::new("v2"))]);
+
+    // The same guarantees hold under every scheduling seed.
+    for seed in 0..25 {
+        let mut exec = Executor::new(&system, SamplePatterns::new())
+            .with_policy(SchedulerPolicy::Random { seed });
+        exec.run(10_000)?;
+        for event in exec.trace() {
+            if let StepKind::Receive { payload, .. } = &event.kind {
+                if event.principal == Principal::new("a") {
+                    assert_eq!(payload[0].as_str(), "v1", "a only ever accepts c's value");
+                }
+                if event.principal == Principal::new("b") {
+                    assert_eq!(payload[0].as_str(), "v2", "b only ever accepts d's value");
+                }
+            }
+        }
+    }
+    println!("\nverified across 25 schedulings: the patterns route values by provenance.");
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Theorem 1 and Proposition 3, live.
+//!
+//! A monitored system pairs the running system with a global log of every
+//! action.  This example runs the paper's own counterexample system and a
+//! larger relay, checking at every step that provenance stays **correct**
+//! (Theorem 1) while **completeness** is lost as soon as anything happens
+//! (Proposition 3).  It also shows that a *forged* annotation is flagged as
+//! incorrect.
+//!
+//! Run with: `cargo run --example monitored_correctness`
+
+use piprov::core::pattern::TrivialPatterns;
+use piprov::logs::{
+    check_provenance, has_complete_provenance, has_correct_provenance,
+    incompleteness_counterexample, monitored_successors, MonitoredExecutor, MonitoredSystem,
+};
+use piprov::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Proposition 3: completeness is not preserved. -------------------
+    let m0 = incompleteness_counterexample();
+    println!("initial monitored system: {}", m0.system);
+    println!(
+        "  correct = {}, complete = {}",
+        has_correct_provenance(&m0),
+        has_complete_provenance(&m0)
+    );
+    let (_, m1) = monitored_successors(&m0, &TrivialPatterns)?.remove(0);
+    println!("after a's send, the global log is: {}", m1.log());
+    println!(
+        "  correct = {}, complete = {}   <-- Proposition 3",
+        has_correct_provenance(&m1),
+        has_complete_provenance(&m1)
+    );
+    assert!(has_correct_provenance(&m1));
+    assert!(!has_complete_provenance(&m1));
+
+    // --- Theorem 1 along a longer run. ------------------------------------
+    let relay: System<AnyPattern> = System::par_all(vec![
+        System::located(
+            "a",
+            Process::output(Identifier::channel("c0"), Identifier::channel("v")),
+        ),
+        System::located(
+            "s",
+            Process::input(
+                Identifier::channel("c0"),
+                AnyPattern,
+                "x",
+                Process::output(Identifier::channel("c1"), Identifier::variable("x")),
+            ),
+        ),
+        System::located(
+            "t",
+            Process::input(
+                Identifier::channel("c1"),
+                AnyPattern,
+                "y",
+                Process::output(Identifier::channel("c2"), Identifier::variable("y")),
+            ),
+        ),
+        System::located(
+            "b",
+            Process::input(Identifier::channel("c2"), AnyPattern, "z", Process::nil()),
+        ),
+    ]);
+    println!("\nrelay system: {}", relay);
+    let mut exec = MonitoredExecutor::new(&relay, TrivialPatterns);
+    let mut step = 0;
+    loop {
+        let monitored = exec.as_monitored_system();
+        let report = check_provenance(&monitored);
+        println!(
+            "  step {:>2}: log has {:>2} actions, {} values, correct = {}",
+            step,
+            monitored.log().action_count(),
+            report.verdicts.len(),
+            report.is_correct()
+        );
+        assert!(report.is_correct(), "Theorem 1 must hold at every step");
+        if exec.step()?.is_none() {
+            break;
+        }
+        step += 1;
+    }
+    println!("\nglobal log at quiescence (most recent first):\n  {}", exec.log());
+
+    // --- Forged provenance is detected as incorrect. ----------------------
+    let forged = AnnotatedValue::channel("v")
+        .sent_by(&Principal::new("alice"), &Provenance::empty());
+    let bogus: MonitoredSystem<AnyPattern> =
+        MonitoredSystem::new(System::message(Message::new("m", forged)));
+    let report = check_provenance(&bogus);
+    println!(
+        "\na value claiming 'sent by alice' with an empty global log: correct = {}",
+        report.is_correct()
+    );
+    assert!(!report.is_correct());
+    for bad in report.incorrect_values() {
+        println!("  flagged: {}   (denotation: {})", bad.value, bad.denotation);
+    }
+    Ok(())
+}

@@ -1,0 +1,249 @@
+//! Integration tests for the meta-theory of §3 (experiments E5–E8):
+//! the ⊑ ordering, erasure, preservation of correctness, and the
+//! incompleteness counterexample — checked on the paper's own systems, on
+//! exhaustively explored small systems and on randomly generated ones.
+
+use piprov::core::configuration::structurally_congruent;
+use piprov::core::generate::{GeneratorConfig, SystemGenerator};
+use piprov::core::pattern::TrivialPatterns;
+use piprov::core::reduction::successors;
+use piprov::logs::{
+    check_correctness_preserved, denote, explore_correctness, explore_systems,
+    has_complete_provenance, has_correct_provenance, incompleteness_counterexample, log_leq,
+    monitored_successors, Action, ExploreOptions, Log, MonitoredExecutor, MonitoredSystem, Term,
+};
+use piprov::prelude::*;
+
+fn random_monitored_runs(seed: u64, steps: usize) -> MonitoredSystem<AnyPattern> {
+    let mut generator = SystemGenerator::new(GeneratorConfig::small(), seed);
+    let system = generator.system();
+    let mut exec = MonitoredExecutor::new(&system, TrivialPatterns);
+    exec.run(steps).unwrap();
+    exec.as_monitored_system()
+}
+
+/// E5 — Proposition 1: ⊑ is reflexive and transitive on closed logs
+/// (antisymmetry holds on the quotient by mutual ⊑ by construction).
+#[test]
+fn ordering_is_reflexive_and_transitive_on_generated_logs() {
+    for seed in 0..10u64 {
+        let monitored = random_monitored_runs(seed, 30);
+        let log = monitored.log().clone();
+        assert!(log_leq(&log, &log), "reflexivity on {}", log);
+        // Prefixes of the global log are below the full log (transitivity
+        // through the chain of one-action extensions).
+        let actions: Vec<Action> = log.actions().into_iter().cloned().collect();
+        for take in 0..actions.len() {
+            let suffix = Log::chain(actions[actions.len() - take..].to_vec());
+            assert!(log_leq(&suffix, &log), "suffix of length {} below full log", take);
+        }
+    }
+}
+
+/// E5 — denotations of annotated values are always below the global log
+/// that produced them, and the empty log is below everything.
+#[test]
+fn ordering_bottom_element() {
+    for seed in 0..5u64 {
+        let monitored = random_monitored_runs(seed, 20);
+        assert!(log_leq(&Log::Empty, monitored.log()));
+    }
+}
+
+/// E6 — Proposition 2 (erasure): monitored reduction and plain reduction
+/// have exactly the same system successors.
+#[test]
+fn erasure_monitored_and_plain_reduction_agree() {
+    for seed in 0..15u64 {
+        let mut generator = SystemGenerator::new(GeneratorConfig::small(), seed);
+        let system = generator.system();
+        let monitored = MonitoredSystem::new(system.clone());
+        let plain: Vec<_> = successors(&system, &TrivialPatterns)
+            .unwrap()
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        let monitored_succ: Vec<_> = monitored_successors(&monitored, &TrivialPatterns)
+            .unwrap()
+            .into_iter()
+            .map(|(_, m)| m.system)
+            .collect();
+        assert_eq!(plain.len(), monitored_succ.len());
+        for (p, m) in plain.iter().zip(monitored_succ.iter()) {
+            assert!(structurally_congruent(p, m));
+        }
+    }
+}
+
+/// E7 — Theorem 1 on the full reachable state space of the paper's
+/// counterexample system and of the authentication example.
+#[test]
+fn correctness_preserved_exhaustively_on_small_systems() {
+    let outcome = explore_correctness(
+        &incompleteness_counterexample(),
+        &TrivialPatterns,
+        ExploreOptions::default(),
+    )
+    .unwrap();
+    match outcome {
+        Ok(o) => assert!(o.states >= 3),
+        Err(bad) => panic!("correctness violated: {}", bad.system),
+    }
+
+    let auth = piprov::runtime::workload::authentication();
+    let outcome = explore_correctness(
+        &MonitoredSystem::new(auth),
+        &SamplePatterns::new(),
+        ExploreOptions {
+            max_depth: 16,
+            max_states: 20_000,
+        },
+    )
+    .unwrap();
+    match outcome {
+        Ok(o) => assert!(o.states > 5),
+        Err(bad) => panic!("correctness violated: {}", bad.system),
+    }
+}
+
+/// E7 — Theorem 1 along random runs of random systems: correctness holds
+/// at every step.
+#[test]
+fn correctness_preserved_on_random_runs() {
+    for seed in 0..10u64 {
+        let mut generator = SystemGenerator::new(GeneratorConfig::small(), seed);
+        let system = generator.system();
+        let mut exec = MonitoredExecutor::new(&system, TrivialPatterns)
+            .with_policy(SchedulerPolicy::Random { seed });
+        for _ in 0..25 {
+            let monitored = exec.as_monitored_system();
+            assert!(
+                has_correct_provenance(&monitored),
+                "correctness violated for seed {} at {}",
+                seed,
+                monitored.system
+            );
+            if exec.step().unwrap().is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// E7 — the BFS variant bounded by depth, as exposed by the properties API.
+#[test]
+fn correctness_preserved_bfs() {
+    let market: System<AnyPattern> = System::par_all(vec![
+        System::located(
+            "a",
+            Process::output(Identifier::channel("n"), Identifier::channel("v1")),
+        ),
+        System::located(
+            "b",
+            Process::output(Identifier::channel("n"), Identifier::channel("v2")),
+        ),
+        System::located(
+            "c",
+            Process::input(Identifier::channel("n"), AnyPattern, "x", Process::nil()),
+        ),
+    ]);
+    let result =
+        check_correctness_preserved(&MonitoredSystem::new(market), &TrivialPatterns, 8, 5_000)
+            .unwrap();
+    match result {
+        Ok(states) => assert!(states >= 10),
+        Err(bad) => panic!("violated at {}", bad.system),
+    }
+}
+
+/// E8 — Proposition 3: the paper's counterexample loses completeness after
+/// one step, while correctness survives.
+#[test]
+fn incompleteness_counterexample_behaves_as_in_the_paper() {
+    let m = incompleteness_counterexample();
+    assert!(has_correct_provenance(&m));
+    assert!(has_complete_provenance(&m));
+    let succ = monitored_successors(&m, &TrivialPatterns).unwrap();
+    assert_eq!(succ.len(), 1);
+    let after = &succ[0].1;
+    assert!(has_correct_provenance(after));
+    assert!(!has_complete_provenance(after));
+}
+
+/// Forging provenance breaks correctness — the property the global log is
+/// there to detect.
+#[test]
+fn forged_annotations_violate_correctness() {
+    // Take a legitimately produced monitored state and tamper with the
+    // provenance of one in-flight value.
+    let system: System<AnyPattern> = System::par(
+        System::located(
+            "a",
+            Process::output(Identifier::channel("m"), Identifier::channel("v")),
+        ),
+        System::located(
+            "b",
+            Process::input(Identifier::channel("m"), AnyPattern, "x", Process::nil()),
+        ),
+    );
+    let m = MonitoredSystem::new(system);
+    let (_, after_send) = monitored_successors(&m, &TrivialPatterns).unwrap().remove(0);
+    assert!(has_correct_provenance(&after_send));
+    // Forge: claim the value was sent by "mallory" instead.
+    let forged_system: System<AnyPattern> = System::message(Message::new(
+        "m",
+        AnnotatedValue::channel("v").sent_by(&Principal::new("mallory"), &Provenance::empty()),
+    ));
+    let forged = MonitoredSystem::with_log(after_send.log().clone(), forged_system);
+    assert!(!has_correct_provenance(&forged));
+}
+
+/// The denotation of every value produced during a run is supported by the
+/// global log (the pointwise statement underlying Definition 3).
+#[test]
+fn denotations_are_below_the_global_log() {
+    let system = piprov::runtime::workload::pipeline(4, 2);
+    let mut exec = MonitoredExecutor::new(&system, TrivialPatterns);
+    exec.run(10_000).unwrap();
+    let monitored = exec.as_monitored_system();
+    for observed in monitored.values() {
+        if let Term::Value(_) = observed.term {
+            let value = AnnotatedValue::new(
+                match &observed.term {
+                    Term::Value(v) => v.clone(),
+                    _ => unreachable!(),
+                },
+                observed.provenance.clone(),
+            );
+            assert!(log_leq(&denote(&value), monitored.log()));
+        }
+    }
+}
+
+/// Exhaustive exploration of the market agrees with the hand count of
+/// distinct states, demonstrating the structural-congruence deduplication.
+#[test]
+fn exploration_counts_market_states() {
+    let market: System<AnyPattern> = System::par_all(vec![
+        System::located(
+            "a",
+            Process::output(Identifier::channel("n"), Identifier::channel("v1")),
+        ),
+        System::located(
+            "b",
+            Process::output(Identifier::channel("n"), Identifier::channel("v2")),
+        ),
+        System::located(
+            "c",
+            Process::input(Identifier::channel("n"), AnyPattern, "x", Process::nil()),
+        ),
+    ]);
+    let outcome = explore_systems(&market, &TrivialPatterns, ExploreOptions::default(), |_| true)
+        .unwrap()
+        .unwrap();
+    assert!(outcome.exhaustive);
+    // initial; a sent; b sent; both sent; c took v1 (b pending / sent);
+    // c took v2 (a pending / sent); final states after both sends and one
+    // consumption; the exact count is implementation-canonical but bounded.
+    assert!(outcome.states >= 6 && outcome.states <= 12, "{}", outcome);
+}

@@ -1,0 +1,226 @@
+//! Integration tests reproducing the worked examples of the paper
+//! (experiments E1–E4 of DESIGN.md), end to end across the workspace
+//! crates.
+
+use piprov::prelude::*;
+use piprov::runtime::workload;
+
+/// E1 — the §1 "market of values": without provenance the consumer may end
+/// up with either value; with a pattern it can only get the one genuinely
+/// sent by `a`.
+#[test]
+fn intro_market() {
+    // Without provenance restrictions both outcomes are reachable.
+    let naive: System<AnyPattern> = System::par_all(vec![
+        System::located(
+            "a",
+            Process::output(Identifier::channel("n"), Identifier::channel("v1")),
+        ),
+        System::located(
+            "b",
+            Process::output(Identifier::channel("n"), Identifier::channel("v2")),
+        ),
+        System::located(
+            "c",
+            Process::input(Identifier::channel("n"), AnyPattern, "x", Process::nil()),
+        ),
+    ]);
+    let mut got_v1 = false;
+    let mut got_v2 = false;
+    for seed in 0..32 {
+        let mut exec = Executor::new(&naive, TrivialPatterns)
+            .with_policy(SchedulerPolicy::Random { seed });
+        exec.run(1_000).unwrap();
+        for event in exec.trace() {
+            if let StepKind::Receive { payload, .. } = &event.kind {
+                match payload[0].as_str() {
+                    "v1" => got_v1 = true,
+                    "v2" => got_v2 = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert!(got_v1 && got_v2, "both outcomes must be reachable without vetting");
+
+    // With the pattern `a!Any; Any` only v1 is ever consumed.
+    let vetted: System<Pattern> = System::par_all(vec![
+        System::located(
+            "a",
+            Process::output(Identifier::channel("n"), Identifier::channel("v1")),
+        ),
+        System::located(
+            "b",
+            Process::output(Identifier::channel("n"), Identifier::channel("v2")),
+        ),
+        System::located(
+            "c",
+            Process::input(
+                Identifier::channel("n"),
+                parse_pattern("a!Any; Any").unwrap(),
+                "x",
+                Process::nil(),
+            ),
+        ),
+    ]);
+    for seed in 0..32 {
+        let mut exec = Executor::new(&vetted, SamplePatterns::new())
+            .with_policy(SchedulerPolicy::Random { seed });
+        exec.run(1_000).unwrap();
+        for event in exec.trace() {
+            if let StepKind::Receive { payload, .. } = &event.kind {
+                assert_eq!(payload[0].as_str(), "v1");
+            }
+        }
+        // b's message is never consumed.
+        assert_eq!(exec.configuration().message_count(), 1);
+    }
+}
+
+/// E2 — §2.3.2 authentication: `a` insists on the immediate sender, `b` on
+/// the originator.
+#[test]
+fn authentication() {
+    let system = workload::authentication();
+    for seed in 0..32 {
+        let mut exec = Executor::new(&system, SamplePatterns::new())
+            .with_policy(SchedulerPolicy::Random { seed });
+        let outcome = exec.run(10_000).unwrap();
+        assert_eq!(outcome.reason, StopReason::Quiescent);
+        for event in exec.trace() {
+            if let StepKind::Receive { payload, .. } = &event.kind {
+                match event.principal.as_str() {
+                    "a" => assert_eq!(payload[0].as_str(), "v1"),
+                    "b" => assert_eq!(payload[0].as_str(), "v2"),
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(exec.configuration().message_count(), 0);
+    }
+}
+
+/// E3 — §2.3.2 auditing: the value ends up at `c` with provenance
+/// `c?ε; s!ε; s?ε; a!ε`, implicating exactly a, s and c.
+#[test]
+fn auditing() {
+    let system = workload::auditing();
+    let mut exec = Executor::new(&system, TrivialPatterns);
+    let outcome = exec.run(10_000).unwrap();
+    assert_eq!(outcome.reason, StopReason::Quiescent);
+
+    // Find the provenance c received: it is recorded in the trace as the
+    // last receive, and the value's annotation inside c's continuation has
+    // the expected shape.  Reconstruct it by replaying through a monitored
+    // executor and checking the store-backed audit instead.
+    let received: Vec<_> = exec
+        .trace()
+        .iter()
+        .filter(|e| matches!(e.kind, StepKind::Receive { .. }))
+        .collect();
+    assert_eq!(received.len(), 2, "s receives, then c receives");
+    assert_eq!(received[1].principal, Principal::new("c"));
+
+    // The paper's provenance for the value at c: c?ε; s!ε; s?ε; a!ε.
+    // Check it via the store recorder, which captures annotations.
+    let dir = std::env::temp_dir().join(format!("piprov-test-audit-{}", std::process::id()));
+    let mut store = ProvenanceStore::open(&dir).unwrap();
+    run_and_record(&system, TrivialPatterns, &mut store, 10_000).unwrap();
+    let query = StoreQuery::new(&store);
+    let trail = query.audit_trail(&Value::Channel(Channel::new("v")));
+    let involved: Vec<String> = trail.principals.iter().map(|p| p.to_string()).collect();
+    assert!(involved.contains(&"a".to_string()));
+    assert!(involved.contains(&"s".to_string()));
+    assert!(involved.contains(&"c".to_string()));
+    assert!(!involved.contains(&"b".to_string()));
+    assert_eq!(trail.origin(), Some(Principal::new("a")));
+    // The forwarded message's provenance has the paper's shape: the value c
+    // eventually holds is this plus c's own receive event added on delivery
+    // (`c?ε; s!ε; s?ε; a!ε` in the paper's notation).
+    let forwarded = trail
+        .records
+        .iter()
+        .filter(|r| r.channel == Channel::new("nprime") && r.operation == piprov::store::Operation::Send)
+        .next_back()
+        .unwrap();
+    let shape: Vec<(String, Direction)> = forwarded
+        .provenance
+        .iter()
+        .map(|e| (e.principal.to_string(), e.direction))
+        .collect();
+    assert_eq!(
+        shape,
+        vec![
+            ("s".to_string(), Direction::Output),
+            ("s".to_string(), Direction::Input),
+            ("a".to_string(), Direction::Output),
+        ],
+        "the forwarded message carries s!; s?; a!"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// E4 — §2.3.2 photography competition: every contestant gets exactly its
+/// own result, and the provenance shapes match the paper's κ-expressions.
+#[test]
+fn photo_competition() {
+    let contestants = 3;
+    let judges = 2;
+    let system = workload::competition(contestants, judges);
+    for seed in [0u64, 1, 2, 3] {
+        let mut exec = Executor::new(&system, SamplePatterns::new())
+            .with_policy(SchedulerPolicy::Random { seed });
+        let outcome = exec.run(100_000).unwrap();
+        assert_eq!(outcome.reason, StopReason::Quiescent);
+        // Every contestant received exactly one published pair, their own.
+        let mut collected = std::collections::BTreeMap::new();
+        for event in exec.trace() {
+            if let StepKind::Receive { channel, payload, .. } = &event.kind {
+                if channel.as_str() == "pub" {
+                    collected.insert(event.principal.to_string(), payload[0].as_str().to_string());
+                }
+            }
+        }
+        assert_eq!(collected.len(), contestants);
+        for (who, entry) in &collected {
+            assert_eq!(entry, &format!("e{}", who.trim_start_matches('c')));
+        }
+        // Judges only saw entries from their assigned contestants.
+        for event in exec.trace() {
+            if let StepKind::Receive { channel, payload, .. } = &event.kind {
+                if channel.as_str().starts_with("in") {
+                    let judge: usize = event.principal.as_str()[1..].parse().unwrap();
+                    let entry: usize = payload[0].as_str()[1..].parse().unwrap();
+                    assert_eq!(entry % judges, judge);
+                }
+            }
+        }
+        assert_eq!(exec.configuration().message_count(), 0);
+    }
+}
+
+/// The paper's expected provenance shape for a competition result as seen
+/// by the contestant: the entry's provenance starts with the contestant's
+/// own receive on `pub` and ends with its original submission.
+#[test]
+fn photo_competition_provenance_shape() {
+    let system = workload::competition(2, 1);
+    // Run monitored so we can inspect annotated values and correctness.
+    let mut exec = piprov::logs::MonitoredExecutor::new(&system, SamplePatterns::new());
+    exec.run(100_000).unwrap();
+    let monitored = exec.as_monitored_system();
+    assert!(piprov::logs::has_correct_provenance(&monitored));
+    // Every entry value still recorded anywhere must have provenance whose
+    // oldest event is the contestant's original send on sub.
+    for observed in monitored.values() {
+        let name = observed.term.to_string();
+        if let Some(idx) = name.strip_prefix('e') {
+            if observed.provenance.is_empty() {
+                continue;
+            }
+            let oldest = observed.provenance.to_vec().last().cloned().unwrap();
+            assert_eq!(oldest.principal, Principal::new(format!("c{}", idx)));
+            assert_eq!(oldest.direction, Direction::Output);
+        }
+    }
+}

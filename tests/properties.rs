@@ -1,0 +1,141 @@
+//! Cross-crate property-based tests: invariants of the calculus that must
+//! hold for *every* system, checked on randomly generated ones.
+
+use piprov::core::configuration::{structurally_congruent, Configuration};
+use piprov::core::generate::{GeneratorConfig, SystemGenerator};
+use piprov::core::pattern::TrivialPatterns;
+use piprov::core::reduction::successors;
+use piprov::logs::{denote, has_correct_provenance, log_leq, MonitoredExecutor};
+use piprov::prelude::*;
+use proptest::prelude::*;
+
+fn generated_system(seed: u64) -> System<AnyPattern> {
+    SystemGenerator::new(GeneratorConfig::small(), seed).system()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reduction preserves closedness: a closed system only ever reduces to
+    /// closed systems.
+    #[test]
+    fn reduction_preserves_closedness(seed in 0u64..10_000) {
+        let system = generated_system(seed);
+        prop_assert!(system.is_closed());
+        for (_, successor) in successors(&system, &TrivialPatterns).unwrap() {
+            prop_assert!(successor.is_closed());
+        }
+    }
+
+    /// Normalizing to a configuration and back is structurally congruent to
+    /// the original system.
+    #[test]
+    fn configuration_round_trip_is_congruent(seed in 0u64..10_000) {
+        let system = generated_system(seed);
+        let cfg = Configuration::from_system(&system);
+        prop_assert!(structurally_congruent(&system, &cfg.to_system()));
+    }
+
+    /// The number of messages in flight changes by exactly one on every
+    /// communication step (+1 on send, −1 on receive) and is unchanged by
+    /// match steps.
+    #[test]
+    fn message_count_accounting(seed in 0u64..10_000) {
+        let system = generated_system(seed);
+        let before = system.message_count();
+        for (event, successor) in successors(&system, &TrivialPatterns).unwrap() {
+            let after = successor.message_count();
+            match event.kind {
+                StepKind::Send { .. } => prop_assert_eq!(after, before + 1),
+                StepKind::Receive { .. } => prop_assert_eq!(after + 1, before),
+                StepKind::IfTrue { .. } | StepKind::IfFalse { .. } => {
+                    prop_assert_eq!(after, before)
+                }
+            }
+        }
+    }
+
+    /// Theorem 1 on random runs: correctness of provenance holds after
+    /// every step of a monitored run of a random system.
+    #[test]
+    fn correctness_holds_on_random_runs(seed in 0u64..5_000) {
+        let system = generated_system(seed);
+        let mut exec = MonitoredExecutor::new(&system, TrivialPatterns)
+            .with_policy(SchedulerPolicy::Random { seed });
+        for _ in 0..15 {
+            if exec.step().unwrap().is_none() {
+                break;
+            }
+        }
+        prop_assert!(has_correct_provenance(&exec.as_monitored_system()));
+    }
+
+    /// Every in-flight value's denotation is supported by the global log of
+    /// the run that produced it (the pointwise content of Definition 3).
+    #[test]
+    fn in_flight_denotations_below_log(seed in 0u64..5_000) {
+        let system = generated_system(seed);
+        let mut exec = MonitoredExecutor::new(&system, TrivialPatterns);
+        for _ in 0..20 {
+            if exec.step().unwrap().is_none() {
+                break;
+            }
+        }
+        for message in &exec.executor().configuration().messages {
+            for value in &message.payload {
+                prop_assert!(log_leq(&denote(value), exec.log()));
+            }
+        }
+    }
+
+    /// Provenance growth: a receive step extends the consumed value's
+    /// provenance by exactly one event relative to the message it consumed.
+    #[test]
+    fn receive_extends_provenance_by_one(seed in 0u64..10_000) {
+        let system = generated_system(seed);
+        // Drive a few sends first so receives are possible.
+        let mut exec = Executor::new(&system, TrivialPatterns)
+            .with_policy(SchedulerPolicy::Random { seed });
+        for _ in 0..6 {
+            let before: usize = exec
+                .configuration()
+                .messages
+                .iter()
+                .map(|m| m.payload.iter().map(|v| v.provenance.len()).sum::<usize>())
+                .sum();
+            let msg_count = exec.configuration().message_count();
+            match exec.step().unwrap() {
+                None => break,
+                Some(event) => {
+                    if let StepKind::Receive { .. } = event.kind {
+                        let after: usize = exec
+                            .configuration()
+                            .messages
+                            .iter()
+                            .map(|m| m.payload.iter().map(|v| v.provenance.len()).sum::<usize>())
+                            .sum();
+                        // One message left the pool; the remaining pool's
+                        // total top-level provenance length can only have
+                        // shrunk by that message's contribution.
+                        prop_assert!(after <= before);
+                        prop_assert_eq!(exec.configuration().message_count() + 1, msg_count);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The executor's statistics are consistent with its trace.
+    #[test]
+    fn stats_match_trace(seed in 0u64..10_000) {
+        let system = generated_system(seed);
+        let mut exec = Executor::new(&system, TrivialPatterns);
+        exec.run(60).unwrap();
+        let stats = exec.stats();
+        let sends = exec.trace().iter().filter(|e| matches!(e.kind, StepKind::Send { .. })).count();
+        let receives = exec.trace().iter().filter(|e| matches!(e.kind, StepKind::Receive { .. })).count();
+        prop_assert_eq!(stats.sends, sends);
+        prop_assert_eq!(stats.receives, receives);
+        prop_assert_eq!(stats.steps, exec.trace().len());
+    }
+}
