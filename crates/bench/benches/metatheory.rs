@@ -9,16 +9,21 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use piprov_bench::quick_criterion;
 use piprov_core::pattern::TrivialPatterns;
+use piprov_core::value::AnnotatedValue;
 use piprov_logs::{
     check_provenance, denote, explore_correctness, log_leq, ExploreOptions, MonitoredExecutor,
     MonitoredSystem,
 };
-use piprov_core::value::AnnotatedValue;
 use piprov_runtime::workload;
 
 /// Runs the pipeline monitored and returns the final monitored system plus
 /// the most-travelled annotated value (largest provenance).
-fn monitored_pipeline(stages: usize) -> (MonitoredSystem<piprov_core::pattern::AnyPattern>, AnnotatedValue) {
+fn monitored_pipeline(
+    stages: usize,
+) -> (
+    MonitoredSystem<piprov_core::pattern::AnyPattern>,
+    AnnotatedValue,
+) {
     let system = workload::pipeline(stages, 2);
     let mut exec = MonitoredExecutor::new(&system, TrivialPatterns);
     exec.run(1_000_000).unwrap();
@@ -56,9 +61,11 @@ fn bench_correctness_check(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_correctness_check");
     for stages in [2usize, 4, 8] {
         let (monitored, _) = monitored_pipeline(stages);
-        group.bench_with_input(BenchmarkId::new("check_provenance", stages), &stages, |b, _| {
-            b.iter(|| check_provenance(&monitored).is_correct())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("check_provenance", stages),
+            &stages,
+            |b, _| b.iter(|| check_provenance(&monitored).is_correct()),
+        );
     }
     group.finish();
 }

@@ -31,8 +31,14 @@ fn provenance_of_length(n: usize) -> Provenance {
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_engines");
     let patterns = vec![
-        ("immediate_sender", Pattern::immediately_sent_by(GroupExpr::single("a"))),
-        ("originated_at", Pattern::originated_at(GroupExpr::single("a"))),
+        (
+            "immediate_sender",
+            Pattern::immediately_sent_by(GroupExpr::single("a")),
+        ),
+        (
+            "originated_at",
+            Pattern::originated_at(GroupExpr::single("a")),
+        ),
         (
             "only_touched_by",
             Pattern::only_touched_by(GroupExpr::any_of(["a", "b", "c", "d"])),

@@ -47,9 +47,11 @@ fn bench_traversal(c: &mut Criterion) {
     let mut group = c.benchmark_group("repr_traverse");
     for len in [64usize, 512] {
         let shared = shared_of_length(len);
-        group.bench_with_input(BenchmarkId::new("principals_involved", len), &len, |b, _| {
-            b.iter(|| shared.principals_involved().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("principals_involved", len),
+            &len,
+            |b, _| b.iter(|| shared.principals_involved().len()),
+        );
         group.bench_with_input(BenchmarkId::new("total_size", len), &len, |b, _| {
             b.iter(|| shared.total_size())
         });

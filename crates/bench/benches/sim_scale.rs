@@ -7,7 +7,10 @@ use piprov_core::pattern::TrivialPatterns;
 use piprov_runtime::workload;
 use piprov_runtime::{NetworkConfig, SimConfig, Simulation};
 
-fn run(system: &piprov_core::system::System<piprov_core::pattern::AnyPattern>, network: NetworkConfig) -> usize {
+fn run(
+    system: &piprov_core::system::System<piprov_core::pattern::AnyPattern>,
+    network: NetworkConfig,
+) -> usize {
     let mut sim = Simulation::new(
         system,
         TrivialPatterns,
@@ -24,9 +27,11 @@ fn bench_principal_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("e13_principals");
     for producers in [8usize, 16, 32, 64] {
         let system = workload::fan_out(producers, producers / 4, 2);
-        group.bench_with_input(BenchmarkId::new("fan_out", producers), &producers, |b, _| {
-            b.iter(|| run(&system, NetworkConfig::reliable()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fan_out", producers),
+            &producers,
+            |b, _| b.iter(|| run(&system, NetworkConfig::reliable())),
+        );
     }
     group.finish();
 }

@@ -12,7 +12,8 @@ use piprov_store::{Operation, ProvenanceRecord, ProvenanceStore, StoreConfig, St
 use std::path::PathBuf;
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("piprov-bench-store-{}-{}", std::process::id(), tag));
+    let dir =
+        std::env::temp_dir().join(format!("piprov-bench-store-{}-{}", std::process::id(), tag));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -49,20 +50,16 @@ fn populated_store(dir: &PathBuf, records: usize) -> ProvenanceStore {
 fn bench_append(c: &mut Criterion) {
     let mut group = c.benchmark_group("e11_append");
     for depth in [0usize, 8, 32] {
-        group.bench_with_input(
-            BenchmarkId::new("buffered", depth),
-            &depth,
-            |b, &depth| {
-                let dir = temp_dir(&format!("append-{}", depth));
-                let mut store = ProvenanceStore::open(&dir).unwrap();
-                let mut i = 0u64;
-                b.iter(|| {
-                    store.append(record(i, depth)).unwrap();
-                    i += 1;
-                });
-                std::fs::remove_dir_all(&dir).ok();
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("buffered", depth), &depth, |b, &depth| {
+            let dir = temp_dir(&format!("append-{}", depth));
+            let mut store = ProvenanceStore::open(&dir).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                store.append(record(i, depth)).unwrap();
+                i += 1;
+            });
+            std::fs::remove_dir_all(&dir).ok();
+        });
     }
     group.bench_function("synced_every_append", |b| {
         let dir = temp_dir("append-sync");

@@ -62,11 +62,9 @@ fn bench_pipeline_depth(c: &mut Criterion) {
             &stages,
             |b, _| b.iter(|| run_sim(&system, TrackingMode::Full)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("stripped", stages),
-            &stages,
-            |b, _| b.iter(|| run_sim(&system, TrackingMode::Stripped)),
-        );
+        group.bench_with_input(BenchmarkId::new("stripped", stages), &stages, |b, _| {
+            b.iter(|| run_sim(&system, TrackingMode::Stripped))
+        });
     }
     group.finish();
 }

@@ -140,7 +140,10 @@ impl<P: Clone> Configuration<P> {
                         return; // the empty sum is 0
                     }
                 }
-                self.threads.push(Thread { principal, process: guarded });
+                self.threads.push(Thread {
+                    principal,
+                    process: guarded,
+                });
             }
         }
     }
@@ -161,10 +164,7 @@ impl<P: Clone> Configuration<P> {
             .iter()
             .any(|t| t.process.free_channels().contains(name))
             || self.messages.iter().any(|m| {
-                &m.channel == name
-                    || m.payload
-                        .iter()
-                        .any(|v| v.value.as_channel() == Some(name))
+                &m.channel == name || m.payload.iter().any(|v| v.value.as_channel() == Some(name))
             })
     }
 
@@ -250,11 +250,7 @@ impl<P: fmt::Display> fmt::Display for Configuration<P> {
 }
 
 /// Renames free occurrences of a channel name inside a system.
-pub fn rename_in_system<P: Clone>(
-    system: &System<P>,
-    from: &Channel,
-    to: &Channel,
-) -> System<P> {
+pub fn rename_in_system<P: Clone>(system: &System<P>, from: &Channel, to: &Channel) -> System<P> {
     match system {
         System::Located { principal, process } => System::Located {
             principal: principal.clone(),
@@ -357,7 +353,10 @@ mod tests {
         let s: S = System::located("a", Process::par(out("m", "v"), out("n", "w")));
         let cfg = Configuration::from_system(&s);
         assert_eq!(cfg.thread_count(), 2);
-        assert!(cfg.threads.iter().all(|t| t.principal == Principal::new("a")));
+        assert!(cfg
+            .threads
+            .iter()
+            .all(|t| t.principal == Principal::new("a")));
     }
 
     #[test]

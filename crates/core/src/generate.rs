@@ -158,9 +158,7 @@ impl SystemGenerator {
                 self.process(depth - 1, bound),
                 self.process(depth - 1, bound),
             ])
-        } else if roll
-            < self.config.output_bias + 0.50 + self.config.restriction_probability
-        {
+        } else if roll < self.config.output_bias + 0.50 + self.config.restriction_probability {
             Process::Restriction {
                 name: self.fresh_channel(),
                 body: Box::new(self.process(depth - 1, bound)),
@@ -173,7 +171,7 @@ impl SystemGenerator {
         {
             // Keep replication bodies tiny so runs stay bounded in practice.
             Process::Replicate(Box::new(Process::InputSum {
-                channel: self.identifier(&mut Vec::new()),
+                channel: self.identifier(&[]),
                 branches: vec![InputBranch::monadic(
                     AnyPattern,
                     self.variable(),
@@ -185,7 +183,7 @@ impl SystemGenerator {
         }
     }
 
-    fn identifier(&mut self, bound: &mut Vec<Variable>) -> Identifier {
+    fn identifier(&mut self, bound: &[Variable]) -> Identifier {
         // Only channels (or variables that will be substituted by channels)
         // are generated, so that every output has a well-formed subject even
         // after substitution.  Principals still occur as located identities.

@@ -16,9 +16,10 @@ use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// How the executor resolves non-determinism among enabled redexes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerPolicy {
     /// Always pick the first enabled redex (deterministic, depth-first-ish).
+    #[default]
     FirstEnabled,
     /// Cycle through threads in round-robin order.
     RoundRobin,
@@ -28,12 +29,6 @@ pub enum SchedulerPolicy {
         /// RNG seed.
         seed: u64,
     },
-}
-
-impl Default for SchedulerPolicy {
-    fn default() -> Self {
-        SchedulerPolicy::FirstEnabled
-    }
 }
 
 impl fmt::Display for SchedulerPolicy {
@@ -240,9 +235,8 @@ where
         match &event.kind {
             crate::reduction::StepKind::Send { .. } => self.stats.sends += 1,
             crate::reduction::StepKind::Receive { .. } => self.stats.receives += 1,
-            crate::reduction::StepKind::IfTrue { .. } | crate::reduction::StepKind::IfFalse { .. } => {
-                self.stats.matches += 1
-            }
+            crate::reduction::StepKind::IfTrue { .. }
+            | crate::reduction::StepKind::IfFalse { .. } => self.stats.matches += 1,
         }
         if let crate::reduction::StepKind::Receive { .. } = &event.kind {
             // Approximate the provenance work by the size of provenance on
@@ -251,7 +245,12 @@ where
                 .configuration
                 .messages
                 .iter()
-                .map(|m| m.payload.iter().map(|v| v.provenance.total_size()).sum::<usize>())
+                .map(|m| {
+                    m.payload
+                        .iter()
+                        .map(|v| v.provenance.total_size())
+                        .sum::<usize>()
+                })
                 .sum::<usize>();
         }
     }

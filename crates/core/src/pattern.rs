@@ -59,6 +59,9 @@ impl PatternLanguage for TrivialPatterns {
     }
 }
 
+/// The boxed satisfaction function an [`FnMatcher`] wraps.
+type MatchFn<P> = Box<dyn Fn(&Provenance, &P) -> bool + Send + Sync>;
+
 /// A pattern language whose satisfaction relation is an arbitrary function
 /// over `(κ, π)`.
 ///
@@ -71,7 +74,7 @@ impl PatternLanguage for TrivialPatterns {
 /// assert!(matcher.satisfies(&Provenance::empty(), &0));
 /// ```
 pub struct FnMatcher<P> {
-    f: Box<dyn Fn(&Provenance, &P) -> bool + Send + Sync>,
+    f: MatchFn<P>,
     _marker: PhantomData<P>,
 }
 

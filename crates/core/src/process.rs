@@ -370,11 +370,7 @@ impl<P> Process<P> {
                 branches: branches
                     .iter()
                     .map(|b| InputBranch {
-                        bindings: b
-                            .bindings
-                            .iter()
-                            .map(|(p, x)| (f(p), x.clone()))
-                            .collect(),
+                        bindings: b.bindings.iter().map(|(p, x)| (f(p), x.clone())).collect(),
                         continuation: b.continuation.map_patterns(f),
                     })
                     .collect(),
@@ -406,9 +402,10 @@ impl<P> Process<P> {
     pub fn count_outputs(&self) -> usize {
         match self {
             Process::Output { .. } => 1,
-            Process::InputSum { branches, .. } => {
-                branches.iter().map(|b| b.continuation.count_outputs()).sum()
-            }
+            Process::InputSum { branches, .. } => branches
+                .iter()
+                .map(|b| b.continuation.count_outputs())
+                .sum(),
             Process::Match {
                 then_branch,
                 else_branch,

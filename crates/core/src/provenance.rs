@@ -443,7 +443,10 @@ pub mod compact {
         #[test]
         fn round_trip_between_representations() {
             let shared = Provenance::from_events(vec![
-                Event::input("b", Provenance::single(Event::output("x", Provenance::empty()))),
+                Event::input(
+                    "b",
+                    Provenance::single(Event::output("x", Provenance::empty())),
+                ),
                 Event::output("a", Provenance::empty()),
             ]);
             let flat = FlatProvenance::from_shared(&shared);

@@ -91,11 +91,23 @@ impl fmt::Display for StepEvent {
         };
         match &self.kind {
             StepKind::Send { channel, payload } => {
-                write!(f, "{}.snd({}, {})", self.principal, channel, fmt_values(payload))
+                write!(
+                    f,
+                    "{}.snd({}, {})",
+                    self.principal,
+                    channel,
+                    fmt_values(payload)
+                )
             }
             StepKind::Receive {
                 channel, payload, ..
-            } => write!(f, "{}.rcv({}, {})", self.principal, channel, fmt_values(payload)),
+            } => write!(
+                f,
+                "{}.rcv({}, {})",
+                self.principal,
+                channel,
+                fmt_values(payload)
+            ),
             StepKind::IfTrue { lhs, rhs } => {
                 write!(f, "{}.ift({}, {})", self.principal, lhs, rhs)
             }
@@ -192,7 +204,10 @@ impl fmt::Display for ReductionError {
                 write!(f, "message provenance does not satisfy the branch pattern")
             }
             ReductionError::RuleMismatch => {
-                write!(f, "thread shape does not match the requested reduction rule")
+                write!(
+                    f,
+                    "thread shape does not match the requested reduction rule"
+                )
             }
         }
     }
@@ -268,13 +283,10 @@ where
                             if branch.arity() != message.arity() {
                                 continue;
                             }
-                            let all_match = branch
-                                .bindings
-                                .iter()
-                                .zip(message.payload.iter())
-                                .all(|((pat, _), value)| {
-                                    matcher.satisfies(&value.provenance, pat)
-                                });
+                            let all_match =
+                                branch.bindings.iter().zip(message.payload.iter()).all(
+                                    |((pat, _), value)| matcher.satisfies(&value.provenance, pat),
+                                );
                             if all_match {
                                 out.push(Redex {
                                     target: RedexTarget::Direct { thread: i },
@@ -643,7 +655,10 @@ mod tests {
         assert_eq!(msg.channel, Channel::new("m"));
         assert_eq!(msg.payload[0].provenance.to_string(), "a!ε");
         match event.kind {
-            StepKind::Send { ref channel, ref payload } => {
+            StepKind::Send {
+                ref channel,
+                ref payload,
+            } => {
                 assert_eq!(channel, &Channel::new("m"));
                 assert_eq!(payload, &vec![Value::Channel(Channel::new("v"))]);
             }
@@ -808,10 +823,7 @@ mod tests {
         let cfg = Configuration::from_system(&s);
         let redexes = enumerate_redexes(&cfg, &m);
         assert_eq!(redexes.len(), 1);
-        assert!(matches!(
-            redexes[0].target,
-            RedexTarget::Replicated { .. }
-        ));
+        assert!(matches!(redexes[0].target, RedexTarget::Replicated { .. }));
         let (next, event) = apply_redex(&cfg, &redexes[0], &m).unwrap();
         assert!(matches!(event.kind, StepKind::Receive { .. }));
         // The replication survives and the continuation is spawned.

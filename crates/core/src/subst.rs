@@ -314,10 +314,8 @@ mod tests {
 
     #[test]
     fn substitution_keeps_provenance_of_value() {
-        let annotated = AnnotatedValue::channel("v").sent_by(
-            &crate::name::Principal::new("a"),
-            &Provenance::empty(),
-        );
+        let annotated = AnnotatedValue::channel("v")
+            .sent_by(&crate::name::Principal::new("a"), &Provenance::empty());
         let p: P = Process::output(Identifier::channel("m"), Identifier::variable("x"));
         let s = Substitution::single("x", annotated.clone());
         let q = s.apply_process(&p, &mut supply());

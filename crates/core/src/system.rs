@@ -253,11 +253,7 @@ impl<P> System<P> {
     /// logs crate replaces channels bound by the collected binders with the
     /// unknown marker `?`.
     pub fn collect_annotated_values(&self) -> Vec<ScopedValue> {
-        fn from_process<P>(
-            p: &Process<P>,
-            binders: &mut Vec<Channel>,
-            out: &mut Vec<ScopedValue>,
-        ) {
+        fn from_process<P>(p: &Process<P>, binders: &mut Vec<Channel>, out: &mut Vec<ScopedValue>) {
             let push_ident = |w: &crate::value::Identifier,
                               binders: &Vec<Channel>,
                               out: &mut Vec<ScopedValue>| {

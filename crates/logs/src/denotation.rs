@@ -43,10 +43,7 @@ pub fn denote_term(term: &Term, provenance: &Provenance, supply: &mut VariableSu
     match provenance.head() {
         None => Log::Empty,
         Some(event) => {
-            let rest = provenance
-                .tail()
-                .cloned()
-                .unwrap_or_else(Provenance::empty);
+            let rest = provenance.tail().cloned().unwrap_or_else(Provenance::empty);
             let chan_var = supply.fresh();
             let chan_term = Term::Variable(chan_var.clone());
             let action = match event.direction {
@@ -58,8 +55,7 @@ pub fn denote_term(term: &Term, provenance: &Provenance, supply: &mut VariableSu
                 }
             };
             let older = denote_term(term, &rest, supply);
-            let channel_history =
-                denote_term(&chan_term, &event.channel_provenance, supply);
+            let channel_history = denote_term(&chan_term, &event.channel_provenance, supply);
             older.par(channel_history).prefixed(action)
         }
     }
@@ -98,8 +94,7 @@ mod tests {
     #[test]
     fn single_output_event() {
         // ⟦v : a!ε⟧ = a.snd(x0, v)
-        let v = AnnotatedValue::channel("v")
-            .sent_by(&Principal::new("a"), &Provenance::empty());
+        let v = AnnotatedValue::channel("v").sent_by(&Principal::new("a"), &Provenance::empty());
         let log = denote(&v);
         assert_eq!(log.action_count(), 1);
         assert_eq!(log.to_string(), "a.snd(x0, v)");
@@ -138,10 +133,7 @@ mod tests {
                 assert_eq!(inner_actions.len(), 1);
                 assert_eq!(inner_actions[0].principal, Principal::new("c"));
                 // The channel's own history talks about the channel variable.
-                assert_eq!(
-                    inner_actions[0].object,
-                    Term::Variable(subject_var)
-                );
+                assert_eq!(inner_actions[0].object, Term::Variable(subject_var));
             }
             other => panic!("unexpected log {:?}", other),
         }

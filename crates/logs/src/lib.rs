@@ -56,6 +56,6 @@ pub use monitored::{
 };
 pub use order::{log_equivalent_information, log_leq, log_leq_with_witness};
 pub use properties::{
-    check_correctness_preserved, check_provenance, has_complete_provenance,
-    has_correct_provenance, incompleteness_counterexample, ProvenanceReport, ValueVerdict,
+    check_correctness_preserved, check_provenance, has_complete_provenance, has_correct_provenance,
+    incompleteness_counterexample, ProvenanceReport, ValueVerdict,
 };

@@ -16,9 +16,10 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// A log `φ`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum Log {
     /// The empty log `∅`.
+    #[default]
     Empty,
     /// `α; φ` — the action `α` happened, more recently than everything in
     /// `φ`.
@@ -178,7 +179,9 @@ impl Log {
         fn flatten(log: &Log, out: &mut Vec<Log>) {
             match log {
                 Log::Empty => {}
-                Log::Prefix(a, rest) => out.push(Log::Prefix(a.clone(), Box::new(rest.canonical()))),
+                Log::Prefix(a, rest) => {
+                    out.push(Log::Prefix(a.clone(), Box::new(rest.canonical())))
+                }
                 Log::Par(l, r) => {
                     flatten(l, out);
                     flatten(r, out);
@@ -201,12 +204,6 @@ impl Log {
     /// instead).
     pub fn equivalent(&self, other: &Log) -> bool {
         self.canonical() == other.canonical()
-    }
-}
-
-impl Default for Log {
-    fn default() -> Self {
-        Log::Empty
     }
 }
 
@@ -310,7 +307,11 @@ mod tests {
             [Variable::new("y")].into_iter().collect()
         );
         // A variable used before any binder is free.
-        let log3 = Log::single(Action::receive("a", Term::channel("n"), Term::variable("z")));
+        let log3 = Log::single(Action::receive(
+            "a",
+            Term::channel("n"),
+            Term::variable("z"),
+        ));
         assert!(!log3.is_closed());
     }
 
@@ -322,10 +323,7 @@ mod tests {
         ]);
         let right = Log::single(snd("b", Term::channel("n"), "u"));
         let log = left.par(right);
-        assert_eq!(
-            log.to_string(),
-            "(a.snd(m, v); a.snd(m, w)) | b.snd(n, u)"
-        );
+        assert_eq!(log.to_string(), "(a.snd(m, v); a.snd(m, w)) | b.snd(n, u)");
     }
 
     #[test]
@@ -335,7 +333,11 @@ mod tests {
             snd("b", Term::channel("n"), "w"),
         ])
         .par(Log::single(snd("c", Term::channel("o"), "u")));
-        let names: Vec<String> = log.actions().iter().map(|a| a.principal.to_string()).collect();
+        let names: Vec<String> = log
+            .actions()
+            .iter()
+            .map(|a| a.principal.to_string())
+            .collect();
         assert_eq!(names, vec!["a", "b", "c"]);
     }
 }

@@ -11,11 +11,11 @@
 use crate::action::{actions_of_step, Term};
 use crate::log::Log;
 use piprov_core::pattern::PatternLanguage;
+use piprov_core::provenance::Provenance;
 use piprov_core::reduction::{successors, ReductionError, StepEvent};
 use piprov_core::system::System;
 use piprov_core::value::Value;
 use piprov_core::{Executor, SchedulerPolicy};
-use piprov_core::provenance::Provenance;
 use std::fmt;
 
 /// A monitored system `φ ▷ S`.
@@ -290,9 +290,7 @@ mod tests {
         // Values: the channel m (known) and the private n (unknown).
         assert_eq!(observed.len(), 2);
         assert!(observed.iter().any(|v| v.term == Term::Unknown));
-        assert!(observed
-            .iter()
-            .any(|v| v.term == Term::channel("m")));
+        assert!(observed.iter().any(|v| v.term == Term::channel("m")));
     }
 
     #[test]

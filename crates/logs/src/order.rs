@@ -116,11 +116,7 @@ fn seek(
 
 /// `α ⪯ α'`: does there exist an extension of `subst` such that
 /// `α' = α·subst`?  Returns the extended substitution on success.
-fn match_action(
-    left: &Action,
-    right: &Action,
-    subst: &LogSubstitution,
-) -> Option<LogSubstitution> {
+fn match_action(left: &Action, right: &Action, subst: &LogSubstitution) -> Option<LogSubstitution> {
     if left.principal != right.principal || left.kind != right.kind {
         return None;
     }
@@ -220,14 +216,8 @@ mod tests {
             snd("a", var("x"), ch("v")),
             rcv("a", var("x"), ch("w")),
         ]);
-        let consistent = Log::chain(vec![
-            snd("a", ch("m"), ch("v")),
-            rcv("a", ch("m"), ch("w")),
-        ]);
-        let inconsistent = Log::chain(vec![
-            snd("a", ch("m"), ch("v")),
-            rcv("a", ch("n"), ch("w")),
-        ]);
+        let consistent = Log::chain(vec![snd("a", ch("m"), ch("v")), rcv("a", ch("m"), ch("w"))]);
+        let inconsistent = Log::chain(vec![snd("a", ch("m"), ch("v")), rcv("a", ch("n"), ch("w"))]);
         assert!(log_leq(&phi, &consistent));
         assert!(!log_leq(&phi, &inconsistent));
     }
@@ -239,10 +229,7 @@ mod tests {
             rcv("a", Term::Unknown, ch("v")),
         ]);
         // The two ? may stand for different channels.
-        let psi = Log::chain(vec![
-            snd("a", ch("m"), ch("v")),
-            rcv("a", ch("n"), ch("v")),
-        ]);
+        let psi = Log::chain(vec![snd("a", ch("m"), ch("v")), rcv("a", ch("n"), ch("v"))]);
         assert!(log_leq(&phi, &psi));
     }
 
@@ -279,16 +266,16 @@ mod tests {
     #[test]
     fn comp2_descends_into_either_branch() {
         let phi = Log::single(snd("a", ch("m"), ch("v")));
-        let psi = Log::single(snd("b", ch("n"), ch("w")))
-            .par(Log::single(snd("a", ch("m"), ch("v"))));
+        let psi =
+            Log::single(snd("b", ch("n"), ch("w"))).par(Log::single(snd("a", ch("m"), ch("v"))));
         assert!(log_leq(&phi, &psi));
     }
 
     #[test]
     fn independent_branches_need_independent_support() {
         // φ = a.snd(m,v) | a.snd(m,w): needs both actions somewhere in ψ.
-        let phi = Log::single(snd("a", ch("m"), ch("v")))
-            .par(Log::single(snd("a", ch("m"), ch("w"))));
+        let phi =
+            Log::single(snd("a", ch("m"), ch("v"))).par(Log::single(snd("a", ch("m"), ch("w"))));
         let good = Log::chain(vec![snd("a", ch("m"), ch("w")), snd("a", ch("m"), ch("v"))]);
         let bad = Log::single(snd("a", ch("m"), ch("v")));
         assert!(log_leq(&phi, &good));

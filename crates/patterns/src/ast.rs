@@ -367,7 +367,9 @@ mod tests {
         assert!(!Pattern::send(GroupExpr::all(), Pattern::Any)
             .then(Pattern::Any)
             .nullable());
-        assert!(Pattern::Empty.or(Pattern::send(GroupExpr::all(), Pattern::Any)).nullable());
+        assert!(Pattern::Empty
+            .or(Pattern::send(GroupExpr::all(), Pattern::Any))
+            .nullable());
     }
 
     #[test]

@@ -263,6 +263,9 @@ mod proptests {
     }
 
     proptest! {
+        // 128 cases by default; the PIPROV_PROPTEST_CASES environment
+        // variable overrides it (handled inside with_cases) for deeper CI
+        // runs.
         #![proptest_config(ProptestConfig::with_cases(128))]
 
         #[test]

@@ -43,8 +43,7 @@ pub fn satisfies_events(events: &[Event], pattern: &Pattern) -> bool {
                 return true;
             }
             (1..=events.len()).any(|i| {
-                satisfies_events(&events[..i], inner)
-                    && satisfies_events(&events[i..], pattern)
+                satisfies_events(&events[..i], inner) && satisfies_events(&events[i..], pattern)
             })
         }
     }

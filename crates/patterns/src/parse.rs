@@ -34,7 +34,11 @@ pub struct ParsePatternError {
 
 impl fmt::Display for ParsePatternError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pattern parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "pattern parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -75,16 +79,46 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParsePatternError> {
                 i += 1;
                 continue;
             }
-            '!' => out.push(Spanned { token: Token::Bang, position }),
-            '?' => out.push(Spanned { token: Token::Question, position }),
-            ';' => out.push(Spanned { token: Token::Semi, position }),
-            '|' => out.push(Spanned { token: Token::Pipe, position }),
-            '*' => out.push(Spanned { token: Token::Star, position }),
-            '+' => out.push(Spanned { token: Token::Plus, position }),
-            '-' => out.push(Spanned { token: Token::Minus, position }),
-            '~' => out.push(Spanned { token: Token::Tilde, position }),
-            '(' => out.push(Spanned { token: Token::LParen, position }),
-            ')' => out.push(Spanned { token: Token::RParen, position }),
+            '!' => out.push(Spanned {
+                token: Token::Bang,
+                position,
+            }),
+            '?' => out.push(Spanned {
+                token: Token::Question,
+                position,
+            }),
+            ';' => out.push(Spanned {
+                token: Token::Semi,
+                position,
+            }),
+            '|' => out.push(Spanned {
+                token: Token::Pipe,
+                position,
+            }),
+            '*' => out.push(Spanned {
+                token: Token::Star,
+                position,
+            }),
+            '+' => out.push(Spanned {
+                token: Token::Plus,
+                position,
+            }),
+            '-' => out.push(Spanned {
+                token: Token::Minus,
+                position,
+            }),
+            '~' => out.push(Spanned {
+                token: Token::Tilde,
+                position,
+            }),
+            '(' => out.push(Spanned {
+                token: Token::LParen,
+                position,
+            }),
+            ')' => out.push(Spanned {
+                token: Token::RParen,
+                position,
+            }),
             c if c.is_alphanumeric() || c == '_' => {
                 let mut word = String::new();
                 while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
@@ -339,16 +373,16 @@ mod tests {
         assert_eq!(p, Pattern::only_touched_by(GroupExpr::single("a")));
         let q = parse_pattern("a!Any*").unwrap();
         // The star binds to the nested channel pattern: a!(Any*).
-        assert_eq!(q, Pattern::send(GroupExpr::single("a"), Pattern::Any.star()));
+        assert_eq!(
+            q,
+            Pattern::send(GroupExpr::single("a"), Pattern::Any.star())
+        );
     }
 
     #[test]
     fn sequencing_is_right_nested_but_flat_semantically() {
         let p = parse_pattern("Any; Any; Any").unwrap();
-        assert_eq!(
-            p,
-            Pattern::Any.then(Pattern::Any).then(Pattern::Any)
-        );
+        assert_eq!(p, Pattern::Any.then(Pattern::Any).then(Pattern::Any));
     }
 
     #[test]

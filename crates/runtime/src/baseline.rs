@@ -98,10 +98,7 @@ pub fn forgery_under_manual_tagging() -> System<AnyPattern> {
                 Identifier::variable("tag"),
                 Identifier::principal("a"),
                 // Accept: record the acceptance by emitting on `accepted`.
-                Process::output(
-                    Identifier::channel("accepted"),
-                    Identifier::variable("x"),
-                ),
+                Process::output(Identifier::channel("accepted"), Identifier::variable("x")),
                 Process::nil(),
             ),
         )],
@@ -158,19 +155,23 @@ pub fn forgery_under_provenance_tracking() -> System<Pattern> {
 mod tests {
     use super::*;
     use piprov_core::interpreter::{Executor, SchedulerPolicy, StopReason};
+    use piprov_core::name::Channel;
     use piprov_core::pattern::TrivialPatterns;
     use piprov_core::value::Value;
-    use piprov_core::name::Channel;
     use piprov_patterns::SamplePatterns;
 
     /// Runs a system to quiescence and returns the plain values left in
     /// flight on the given channel.
-    fn leftovers<P: Clone, L>(system: &System<P>, matcher: L, channel: &str, seed: u64) -> Vec<Value>
+    fn leftovers<P: Clone, L>(
+        system: &System<P>,
+        matcher: L,
+        channel: &str,
+        seed: u64,
+    ) -> Vec<Value>
     where
         L: piprov_core::pattern::PatternLanguage<Pattern = P>,
     {
-        let mut exec =
-            Executor::new(system, matcher).with_policy(SchedulerPolicy::Random { seed });
+        let mut exec = Executor::new(system, matcher).with_policy(SchedulerPolicy::Random { seed });
         let outcome = exec.run(100_000).unwrap();
         assert_eq!(outcome.reason, StopReason::Quiescent);
         exec.configuration()

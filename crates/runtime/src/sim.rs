@@ -21,15 +21,13 @@ use crate::network::{Delivery, Network, NetworkConfig, VirtualTime};
 use piprov_core::configuration::Configuration;
 use piprov_core::pattern::{CountingMatcher, PatternLanguage};
 use piprov_core::provenance::Provenance;
-use piprov_core::reduction::{
-    apply_redex, enumerate_redexes, ReductionError, StepKind,
-};
+use piprov_core::reduction::{apply_redex, enumerate_redexes, ReductionError, StepKind};
 use piprov_core::system::{Message, System};
 use piprov_core::value::AnnotatedValue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
 /// How the middleware treats provenance annotations.
@@ -339,8 +337,8 @@ pub fn strip_provenance(message: Message) -> Message {
 mod tests {
     use super::*;
     use crate::workload;
-    use piprov_core::pattern::TrivialPatterns;
     use piprov_core::name::Principal;
+    use piprov_core::pattern::TrivialPatterns;
 
     #[test]
     fn reliable_pipeline_terminates_and_delivers_everything() {

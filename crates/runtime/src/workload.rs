@@ -60,7 +60,11 @@ pub fn pipeline(stages: usize, messages: usize) -> System<AnyPattern> {
 /// A fan-out/fan-in workload: `producers` principals each send
 /// `messages_per_producer` values on a shared channel `mkt`; `consumers`
 /// principals repeatedly read from it.
-pub fn fan_out(producers: usize, consumers: usize, messages_per_producer: usize) -> System<AnyPattern> {
+pub fn fan_out(
+    producers: usize,
+    consumers: usize,
+    messages_per_producer: usize,
+) -> System<AnyPattern> {
     let mut parts = Vec::new();
     for p in 0..producers {
         let outputs: Vec<Process<AnyPattern>> = (0..messages_per_producer)
@@ -104,7 +108,10 @@ pub fn ring(nodes: usize) -> System<AnyPattern> {
                 Identifier::channel(from.as_str()),
                 AnyPattern,
                 "tok",
-                Process::output(Identifier::channel(to.as_str()), Identifier::variable("tok")),
+                Process::output(
+                    Identifier::channel(to.as_str()),
+                    Identifier::variable("tok"),
+                ),
             ),
         ));
     }
@@ -126,7 +133,10 @@ pub fn ring(nodes: usize) -> System<AnyPattern> {
 /// * Judge `j{k}` rates entries received on `in{k}` (the rating is modelled
 ///   as a fresh channel name `rate{k}`).
 pub fn competition(contestants: usize, judges: usize) -> System<Pattern> {
-    assert!(contestants > 0 && judges > 0, "need at least one contestant and judge");
+    assert!(
+        contestants > 0 && judges > 0,
+        "need at least one contestant and judge"
+    );
     let mut parts = Vec::new();
     // Contestants.
     for i in 0..contestants {
@@ -140,10 +150,7 @@ pub fn competition(contestants: usize, judges: usize) -> System<Pattern> {
         let collect = Process::InputSum {
             channel: Identifier::channel("pub"),
             branches: vec![InputBranch::polyadic(
-                vec![
-                    (own_result, "x".into()),
-                    (Pattern::Any, "y".into()),
-                ],
+                vec![(own_result, "x".into()), (Pattern::Any, "y".into())],
                 Process::nil(),
             )],
         };
@@ -273,11 +280,21 @@ pub fn auditing() -> System<AnyPattern> {
         ),
         System::located(
             "c",
-            Process::input(Identifier::channel("nprime"), AnyPattern, "x", Process::nil()),
+            Process::input(
+                Identifier::channel("nprime"),
+                AnyPattern,
+                "x",
+                Process::nil(),
+            ),
         ),
         System::located(
             "b",
-            Process::input(Identifier::channel("nsecond"), AnyPattern, "x", Process::nil()),
+            Process::input(
+                Identifier::channel("nsecond"),
+                AnyPattern,
+                "x",
+                Process::nil(),
+            ),
         ),
     ])
 }
@@ -286,8 +303,8 @@ pub fn auditing() -> System<AnyPattern> {
 mod tests {
     use super::*;
     use piprov_core::interpreter::{Executor, StopReason};
-    use piprov_core::pattern::TrivialPatterns;
     use piprov_core::name::Principal;
+    use piprov_core::pattern::TrivialPatterns;
     use piprov_patterns::SamplePatterns;
 
     #[test]
@@ -339,7 +356,11 @@ mod tests {
         // Every contestant's result reaches them: 3 submissions, 3 routed,
         // 3 judged, 3 published, 3 collected = 12 receives in total.
         assert_eq!(exec.stats().receives, 12);
-        assert_eq!(exec.configuration().message_count(), 0, "no unclaimed results");
+        assert_eq!(
+            exec.configuration().message_count(),
+            0,
+            "no unclaimed results"
+        );
     }
 
     #[test]
@@ -350,7 +371,11 @@ mod tests {
         assert_eq!(outcome.reason, StopReason::Quiescent);
         // a consumed c's direct value; b consumed d's relayed value.
         assert_eq!(exec.configuration().message_count(), 0);
-        assert_eq!(exec.stats().receives, 3, "a, b and the relay f each received once");
+        assert_eq!(
+            exec.stats().receives,
+            3,
+            "a, b and the relay f each received once"
+        );
     }
 
     #[test]
@@ -361,7 +386,10 @@ mod tests {
         // b is still waiting: its channel nsecond never carries anything.
         let waiting: Vec<Principal> = exec.configuration().principals().into_iter().collect();
         assert!(waiting.contains(&Principal::new("b")));
-        assert!(!waiting.contains(&Principal::new("c")), "c finished (got the value)");
+        assert!(
+            !waiting.contains(&Principal::new("c")),
+            "c finished (got the value)"
+        );
     }
 
     #[test]

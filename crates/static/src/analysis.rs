@@ -111,7 +111,12 @@ impl AnalysisResult {
     pub fn dead_checks(&self) -> Vec<&CheckReport> {
         self.checks
             .iter()
-            .filter(|c| matches!(c.verdict, SetVerdict::NeverMatches | SetVerdict::NothingFlows))
+            .filter(|c| {
+                matches!(
+                    c.verdict,
+                    SetVerdict::NeverMatches | SetVerdict::NothingFlows
+                )
+            })
             .collect()
     }
 
@@ -184,7 +189,10 @@ impl Analyzer {
         match ident {
             Identifier::Value(av) => {
                 let mut set = AbstractSet::bottom();
-                set.insert(AbstractProvenance::of(&av.provenance, self.config.max_events));
+                set.insert(AbstractProvenance::of(
+                    &av.provenance,
+                    self.config.max_events,
+                ));
                 set
             }
             Identifier::Variable(x) => env.get(x).cloned().unwrap_or_else(AbstractSet::top),
@@ -216,7 +224,8 @@ impl Analyzer {
                 };
                 let target = Self::static_channel(channel);
                 for item in payload {
-                    let values = self.prepend_all(&self.identifier_set(item, env), sent_event.clone());
+                    let values =
+                        self.prepend_all(&self.identifier_set(item, env), sent_event.clone());
                     match &target {
                         Some(c) => self.join_channel(c, &values),
                         None => {
@@ -285,7 +294,10 @@ impl Analyzer {
             System::Message(m) => {
                 let mut set = AbstractSet::bottom();
                 for v in &m.payload {
-                    set.insert(AbstractProvenance::of(&v.provenance, self.config.max_events));
+                    set.insert(AbstractProvenance::of(
+                        &v.provenance,
+                        self.config.max_events,
+                    ));
                 }
                 self.join_channel(&m.channel, &set);
             }
@@ -301,7 +313,9 @@ impl Analyzer {
 
     fn located(system: &System<Pattern>, out: &mut Vec<(Principal, Process<Pattern>)>) {
         match system {
-            System::Located { principal, process } => out.push((principal.clone(), process.clone())),
+            System::Located { principal, process } => {
+                out.push((principal.clone(), process.clone()))
+            }
             System::Restriction { body, .. } => Self::located(body, out),
             System::Parallel(ss) => {
                 for s in ss {
@@ -563,7 +577,12 @@ mod tests {
     fn nothing_flows_on_unused_channels() {
         let system: System<Pattern> = System::located(
             "a",
-            Process::input(Identifier::channel("silent"), Pattern::Any, "x", Process::nil()),
+            Process::input(
+                Identifier::channel("silent"),
+                Pattern::Any,
+                "x",
+                Process::nil(),
+            ),
         );
         let result = analyze(&system, AnalysisConfig::default());
         assert_eq!(result.checks[0].verdict, SetVerdict::NothingFlows);

@@ -61,7 +61,10 @@ impl AbstractProvenance {
             })
             .collect();
         let truncated = provenance.len() > k;
-        let dropped_nested = provenance.iter().take(k).any(|e| !e.channel_provenance.is_empty());
+        let dropped_nested = provenance
+            .iter()
+            .take(k)
+            .any(|e| !e.channel_provenance.is_empty());
         AbstractProvenance {
             events,
             exact: !truncated && !dropped_nested,
@@ -353,7 +356,11 @@ mod tests {
         let abs = AbstractProvenance::empty()
             .prepend(ev("a", Direction::Output), 1)
             .prepend(ev("b", Direction::Input), 1);
-        assert!(abs.to_string().contains("…"), "truncation is visible: {}", abs);
+        assert!(
+            abs.to_string().contains("…"),
+            "truncation is visible: {}",
+            abs
+        );
         assert_eq!(AbstractProvenance::empty().to_string(), "ε");
         assert_eq!(SetVerdict::AlwaysMatches.to_string(), "always-matches");
     }

@@ -39,7 +39,5 @@
 pub mod analysis;
 pub mod domain;
 
-pub use analysis::{
-    analyze, elide_redundant_checks, AnalysisConfig, AnalysisResult, CheckReport,
-};
+pub use analysis::{analyze, elide_redundant_checks, AnalysisConfig, AnalysisResult, CheckReport};
 pub use domain::{AbstractEvent, AbstractProvenance, AbstractSet, SetVerdict};

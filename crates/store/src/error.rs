@@ -54,8 +54,13 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        assert_eq!(StoreError::ChecksumMismatch.to_string(), "record checksum mismatch");
-        assert!(StoreError::Corrupt("bad tag".into()).to_string().contains("bad tag"));
+        assert_eq!(
+            StoreError::ChecksumMismatch.to_string(),
+            "record checksum mismatch"
+        );
+        assert!(StoreError::Corrupt("bad tag".into())
+            .to_string()
+            .contains("bad tag"));
         assert!(StoreError::UnknownSequence(9).to_string().contains('9'));
         assert!(StoreError::InvalidDirectory("/nope".into())
             .to_string()

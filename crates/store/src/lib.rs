@@ -61,4 +61,4 @@ pub use query::{AuditTrail, StoreQuery};
 pub use record::{Operation, ProvenanceRecord, SequenceNumber};
 pub use recorder::{run_and_record, TraceRecorder};
 pub use segment::{scan_segment, Segment, SegmentScan};
-pub use store::{ProvenanceStore, StoreConfig, StoreStats};
+pub use store::{ProvenanceStore, RepairReport, StoreConfig, StoreStats};

@@ -212,22 +212,50 @@ mod tests {
         // a sends v on m.
         let k1 = empty.prepend(Event::output(a.clone(), empty.clone()));
         store
-            .append(ProvenanceRecord::new(1, "a", Operation::Send, "m", v.clone(), k1.clone()))
+            .append(ProvenanceRecord::new(
+                1,
+                "a",
+                Operation::Send,
+                "m",
+                v.clone(),
+                k1.clone(),
+            ))
             .unwrap();
         // s receives it on m.
         let k2 = k1.prepend(Event::input(s.clone(), empty.clone()));
         store
-            .append(ProvenanceRecord::new(2, "s", Operation::Receive, "m", v.clone(), k2.clone()))
+            .append(ProvenanceRecord::new(
+                2,
+                "s",
+                Operation::Receive,
+                "m",
+                v.clone(),
+                k2.clone(),
+            ))
             .unwrap();
         // s forwards it on n' (the wrong channel).
         let k3 = k2.prepend(Event::output(s.clone(), empty.clone()));
         store
-            .append(ProvenanceRecord::new(3, "s", Operation::Send, "nprime", v.clone(), k3.clone()))
+            .append(ProvenanceRecord::new(
+                3,
+                "s",
+                Operation::Send,
+                "nprime",
+                v.clone(),
+                k3.clone(),
+            ))
             .unwrap();
         // c receives it.
         let k4 = k3.prepend(Event::input(c.clone(), empty.clone()));
         store
-            .append(ProvenanceRecord::new(4, "c", Operation::Receive, "nprime", v, k4))
+            .append(ProvenanceRecord::new(
+                4,
+                "c",
+                Operation::Receive,
+                "nprime",
+                v,
+                k4,
+            ))
             .unwrap();
         store
     }
@@ -243,7 +271,10 @@ mod tests {
         assert!(trail.involves(&Principal::new("a")));
         assert!(trail.involves(&Principal::new("s")));
         assert!(trail.involves(&Principal::new("c")));
-        assert!(!trail.involves(&Principal::new("b")), "b never saw the value");
+        assert!(
+            !trail.involves(&Principal::new("b")),
+            "b never saw the value"
+        );
         assert_eq!(trail.origin(), Some(Principal::new("a")));
         assert_eq!(
             trail.channels,
@@ -286,9 +317,7 @@ mod tests {
         let query = StoreQuery::new(&store);
         let originated = query.values_originating_at(&Principal::new("a"));
         assert_eq!(originated, vec![Value::Channel(Channel::new("v"))]);
-        assert!(query
-            .values_originating_at(&Principal::new("c"))
-            .is_empty());
+        assert!(query.values_originating_at(&Principal::new("c")).is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -111,9 +111,16 @@ impl ProvenanceRecord {
     /// Send and receive steps yield one record per payload value; `if`
     /// steps yield a single record whose channel field holds the left-hand
     /// value's name.
-    pub fn from_step(event: &StepEvent, logical_time: u64, provenances: &[Provenance]) -> Vec<Self> {
+    pub fn from_step(
+        event: &StepEvent,
+        logical_time: u64,
+        provenances: &[Provenance],
+    ) -> Vec<Self> {
         match &event.kind {
-            StepKind::Send { channel, payload } | StepKind::Receive { channel, payload, .. } => {
+            StepKind::Send { channel, payload }
+            | StepKind::Receive {
+                channel, payload, ..
+            } => {
                 let operation = if matches!(event.kind, StepKind::Send { .. }) {
                     Operation::Send
                 } else {
@@ -273,8 +280,14 @@ mod tests {
 
     #[test]
     fn direction_tags_round_trip() {
-        assert_eq!(direction_from_tag(direction_tag(Direction::Output)), Some(Direction::Output));
-        assert_eq!(direction_from_tag(direction_tag(Direction::Input)), Some(Direction::Input));
+        assert_eq!(
+            direction_from_tag(direction_tag(Direction::Output)),
+            Some(Direction::Output)
+        );
+        assert_eq!(
+            direction_from_tag(direction_tag(Direction::Input)),
+            Some(Direction::Input)
+        );
         assert_eq!(direction_from_tag(7), None);
     }
 

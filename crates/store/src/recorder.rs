@@ -147,7 +147,12 @@ mod tests {
             ),
             System::located(
                 "c",
-                Process::input(Identifier::channel("nprime"), AnyPattern, "y", Process::nil()),
+                Process::input(
+                    Identifier::channel("nprime"),
+                    AnyPattern,
+                    "y",
+                    Process::nil(),
+                ),
             ),
         ])
     }
@@ -192,7 +197,9 @@ mod tests {
         let mut executor = Executor::new(&relay(), TrivialPatterns);
         let mut recorder = TraceRecorder::new(&mut store);
         while let Some(event) = executor.step().unwrap() {
-            recorder.record_step(&event, executor.configuration()).unwrap();
+            recorder
+                .record_step(&event, executor.configuration())
+                .unwrap();
         }
         assert_eq!(recorder.recorded(), 4);
         std::fs::remove_dir_all(&dir).ok();

@@ -10,7 +10,7 @@
 use crate::codec::{decode_framed, encode_framed};
 use crate::error::StoreError;
 use crate::record::ProvenanceRecord;
-use bytes::Bytes;
+use bytes::{Buf, Bytes};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -127,6 +127,15 @@ impl Segment {
 pub struct SegmentScan {
     /// Records successfully decoded, in file order.
     pub records: Vec<ProvenanceRecord>,
+    /// Length in bytes of the cleanly decodable prefix; recovery truncates
+    /// a torn segment to this length before resuming appends.
+    pub valid_len: usize,
+    /// When a decode error stopped the scan, `true` iff no decodable frame
+    /// exists anywhere after the failing one: the signature of an append
+    /// interrupted by a crash.  `false` means valid frames follow the bad
+    /// one — that is mid-file corruption, which recovery must never
+    /// truncate away.
+    pub torn_tail: bool,
     /// `Some(error)` if the scan stopped early due to a torn or corrupt
     /// frame (everything before it is still returned).
     pub error: Option<StoreError>,
@@ -150,20 +159,77 @@ pub fn scan_segment(path: impl AsRef<Path>) -> Result<SegmentScan, StoreError> {
     let mut file = File::open(path.as_ref())?;
     let mut contents = Vec::new();
     file.read_to_end(&mut contents)?;
-    let mut buf = Bytes::from(contents);
+    let total = contents.len();
+    let full = Bytes::from(contents);
+    let mut buf = full.clone();
     let mut records = Vec::new();
     loop {
+        let clean_prefix = total - buf.remaining();
         match decode_framed(&mut buf) {
             Ok(Some(record)) => records.push(record),
-            Ok(None) => return Ok(SegmentScan { records, error: None }),
-            Err(e) => {
+            Ok(None) => {
                 return Ok(SegmentScan {
                     records,
-                    error: Some(e),
+                    valid_len: total - buf.remaining(),
+                    torn_tail: false,
+                    error: None,
                 })
+            }
+            Err(e) => {
+                // A failing frame with nothing decodable after it is a torn
+                // append; decodable frames after it mean mid-file
+                // corruption.  The bad frame's own length prefix cannot be
+                // trusted to find "after" (the flipped bit may be *in* the
+                // prefix), so scan for any CRC-valid frame at a later
+                // offset instead.
+                let tail = total - clean_prefix;
+                let torn_tail = tail < 8 || !contains_valid_frame(&full, clean_prefix + 1);
+                return Ok(SegmentScan {
+                    records,
+                    valid_len: clean_prefix,
+                    torn_tail,
+                    error: Some(e),
+                });
             }
         }
     }
+}
+
+/// Whether any complete, CRC-valid, decodable frame starts at or after
+/// byte `from`.  Used only on the scan error path to tell a torn final
+/// append (safe to truncate) from mid-file corruption (must be preserved).
+/// A candidate only counts if its body also decodes, so runs of zero bytes
+/// left by out-of-order block writes cannot masquerade as frames.
+fn contains_valid_frame(data: &[u8], from: usize) -> bool {
+    // The smallest real body is well above decode_body's 17-byte floor.
+    const MIN_BODY: usize = 17;
+    let total = data.len();
+    let mut offset = from;
+    while offset + 8 + MIN_BODY <= total {
+        let len = u32::from_be_bytes([
+            data[offset],
+            data[offset + 1],
+            data[offset + 2],
+            data[offset + 3],
+        ]) as usize;
+        let body_start = offset + 8;
+        if (MIN_BODY..=total - body_start).contains(&len) {
+            let crc = u32::from_be_bytes([
+                data[offset + 4],
+                data[offset + 5],
+                data[offset + 6],
+                data[offset + 7],
+            ]);
+            let body = &data[body_start..body_start + len];
+            if crate::codec::crc32(body) == crc
+                && crate::codec::decode_body(Bytes::copy_from_slice(body)).is_ok()
+            {
+                return true;
+            }
+        }
+        offset += 1;
+    }
+    false
 }
 
 #[cfg(test)]
@@ -248,6 +314,86 @@ mod tests {
         let scan = scan_segment(&path).unwrap();
         assert!(!scan.is_clean());
         assert_eq!(scan.records.len(), 2, "valid prefix is preserved");
+        assert!(scan.torn_tail, "a trailing partial frame is a torn append");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_followed_by_valid_frames_is_not_a_torn_tail() {
+        let path = temp_path("midfile");
+        {
+            let mut seg = Segment::create(&path).unwrap();
+            for i in 0..4 {
+                seg.append(&record(i)).unwrap();
+            }
+            seg.flush().unwrap();
+        }
+        // Flip a byte inside the first record's body (past the 8-byte
+        // header, so the frame length stays intact).
+        let mut contents = std::fs::read(&path).unwrap();
+        contents[12] ^= 0xFF;
+        std::fs::write(&path, &contents).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert!(!scan.is_clean());
+        assert_eq!(scan.records.len(), 0, "scan stops at the corrupt frame");
+        assert!(
+            !scan.torn_tail,
+            "complete frames after the bad one mean mid-file corruption"
+        );
+        assert_eq!(scan.valid_len, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_length_prefix_with_valid_frames_after_is_not_torn() {
+        let path = temp_path("badlen");
+        {
+            let mut seg = Segment::create(&path).unwrap();
+            for i in 0..5 {
+                seg.append(&record(i)).unwrap();
+            }
+            seg.flush().unwrap();
+        }
+        // Inflate the SECOND frame's length prefix so the bad frame claims
+        // to reach past end-of-file; the three valid frames after it must
+        // still defeat the torn-tail classification.
+        let first_frame_len = encode_framed(&record(0)).len();
+        let mut contents = std::fs::read(&path).unwrap();
+        contents[first_frame_len] = 0xFF;
+        std::fs::write(&path, &contents).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert!(!scan.is_clean());
+        assert_eq!(scan.records.len(), 1, "only the first record decodes");
+        assert!(
+            !scan.torn_tail,
+            "valid frames after a corrupt length prefix mean mid-file corruption"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_final_frame_with_nothing_after_counts_as_torn() {
+        let path = temp_path("badfinal");
+        {
+            let mut seg = Segment::create(&path).unwrap();
+            seg.append(&record(0)).unwrap();
+            seg.append(&record(1)).unwrap();
+            seg.flush().unwrap();
+        }
+        // Corrupt the last byte of the file: the final frame's CRC breaks
+        // but the frame is still exactly the last thing in the file — the
+        // signature of an append torn by out-of-order block writes.
+        let mut contents = std::fs::read(&path).unwrap();
+        let last = contents.len() - 1;
+        contents[last] ^= 0xFF;
+        std::fs::write(&path, &contents).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert!(!scan.is_clean());
+        assert_eq!(scan.records.len(), 1);
+        assert!(
+            scan.torn_tail,
+            "a bad final frame is recoverable by truncation"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -14,6 +14,7 @@ use crate::segment::{scan_segment, Segment, DEFAULT_SEGMENT_BUDGET};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
+use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
 
 /// Configuration of a [`ProvenanceStore`].
@@ -70,28 +71,89 @@ pub struct ProvenanceStore {
     bytes_on_disk: usize,
 }
 
+/// What [`ProvenanceStore::repair`] did to a store directory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RepairReport {
+    /// Bytes cut off the newest segment (0 when it was clean).
+    pub truncated_bytes: usize,
+    /// Sealed segments that still contain undecodable frames; repair never
+    /// rewrites sealed files, so these need manual attention (or
+    /// [`ProvenanceStore::compact`] from a restored copy).
+    pub corrupt_sealed_segments: Vec<PathBuf>,
+}
+
 impl ProvenanceStore {
     /// Opens (or creates) a store in `directory`, recovering any existing
     /// segments.
     ///
+    /// A torn final append (crash mid-write) is repaired automatically.
+    /// Corruption that recovery cannot attribute to a torn append — a bad
+    /// frame with decodable frames after it, or any bad frame in a sealed
+    /// segment — makes `open` refuse, leaving every byte in place; see
+    /// [`ProvenanceStore::repair`] for the explicit, destructive way to
+    /// accept the data loss and bring such a store back online.
+    ///
     /// # Errors
     ///
-    /// Returns an error if the directory cannot be created or a segment
-    /// cannot be read.
+    /// Returns an error if the directory cannot be created, a segment
+    /// cannot be read, or a segment holds unrepairable corruption.
     pub fn open(directory: impl AsRef<Path>) -> Result<Self, StoreError> {
         Self::open_with(directory, StoreConfig::default())
     }
 
-    /// Opens a store with an explicit configuration.
+    /// Explicitly repairs a store directory that [`ProvenanceStore::open`]
+    /// refuses to open: truncates the newest segment to its cleanly
+    /// decodable prefix — discarding everything after the first bad frame,
+    /// including any later frames that individually decode — and reports
+    /// sealed segments that still hold corruption (those are never
+    /// modified).
+    ///
+    /// This is the operator's decision, not recovery's: a crash can leave
+    /// a hole in the unsynced tail (a later page flushed, an earlier one
+    /// not), which is indistinguishable from mid-file bitrot by file
+    /// contents alone.  Nothing after the last `sync` was durable, so
+    /// truncating the tail is sound for the crash case; calling this on a
+    /// genuinely bitrotten store destroys whatever followed the rot.
     ///
     /// # Errors
     ///
-    /// Returns an error if the directory cannot be created or a segment
-    /// cannot be read.
-    pub fn open_with(
-        directory: impl AsRef<Path>,
-        config: StoreConfig,
-    ) -> Result<Self, StoreError> {
+    /// Returns an error if the directory or a segment cannot be read, or
+    /// the truncation fails.
+    pub fn repair(directory: impl AsRef<Path>) -> Result<RepairReport, StoreError> {
+        let directory = directory.as_ref();
+        let mut segment_paths = existing_segments(directory)?;
+        segment_paths.sort();
+        let mut report = RepairReport::default();
+        let Some((newest, sealed)) = segment_paths.split_last() else {
+            return Ok(report);
+        };
+        for path in sealed {
+            if !scan_segment(path)?.is_clean() {
+                report.corrupt_sealed_segments.push(path.clone());
+            }
+        }
+        let scan = scan_segment(newest)?;
+        if !scan.is_clean() {
+            let disk_len = fs::metadata(newest)?.len() as usize;
+            let file = OpenOptions::new().write(true).open(newest)?;
+            file.set_len(scan.valid_len as u64)?;
+            file.sync_data()?;
+            report.truncated_bytes = disk_len - scan.valid_len;
+        }
+        Ok(report)
+    }
+
+    /// Opens a store with an explicit configuration.
+    ///
+    /// Torn-append repair and the refuse-to-open policy for unrepairable
+    /// corruption are as described on [`ProvenanceStore::open`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created, a segment
+    /// cannot be read, or a segment holds unrepairable corruption (see
+    /// [`ProvenanceStore::repair`]).
+    pub fn open_with(directory: impl AsRef<Path>, config: StoreConfig) -> Result<Self, StoreError> {
         let directory = directory.as_ref().to_path_buf();
         fs::create_dir_all(&directory)?;
         if !directory.is_dir() {
@@ -103,15 +165,35 @@ impl ProvenanceStore {
         segment_paths.sort();
         let mut records = BTreeMap::new();
         let mut bytes_on_disk = 0usize;
-        for path in &segment_paths {
+        for (position, path) in segment_paths.iter().enumerate() {
             let scan = scan_segment(path)?;
-            bytes_on_disk += fs::metadata(path).map(|m| m.len() as usize).unwrap_or(0);
+            let disk_len = fs::metadata(path).map(|m| m.len() as usize).unwrap_or(0);
+            let is_last = position == segment_paths.len() - 1;
+            match scan.error {
+                // A torn tail of the newest segment is an append
+                // interrupted by a crash: keep the valid prefix and
+                // truncate the partial frame away, so that new appends
+                // cannot land after unreadable bytes and be lost on the
+                // next recovery.
+                Some(_) if is_last && scan.torn_tail => {
+                    let file = OpenOptions::new().write(true).open(path)?;
+                    file.set_len(scan.valid_len as u64)?;
+                    file.sync_data()?;
+                    bytes_on_disk += scan.valid_len;
+                }
+                // Anything else is corruption that recovery cannot repair:
+                // a bad frame with valid frames after it (bitrot, partial
+                // sector rewrite) in the newest segment, or any decode
+                // error in a sealed segment, which is never written again
+                // and so can never have a legitimately torn tail.  Refuse
+                // to open rather than silently serving a partial store:
+                // the file is left untouched as evidence for repair.
+                Some(error) => return Err(error),
+                None => bytes_on_disk += disk_len,
+            }
             for record in scan.records {
                 records.insert(record.sequence, record);
             }
-            // A torn tail in any but the last segment indicates real
-            // corruption; in the last segment it is an interrupted append
-            // and the valid prefix is kept.
         }
         let next_sequence = records.keys().next_back().map(|s| s + 1).unwrap_or(1);
         let (active_id, active, sealed) = match segment_paths.last() {
@@ -329,7 +411,10 @@ mod tests {
             Operation::Send,
             "m",
             Value::Channel(Channel::new(value)),
-            Provenance::single(Event::output(Principal::new(principal), Provenance::empty())),
+            Provenance::single(Event::output(
+                Principal::new(principal),
+                Provenance::empty(),
+            )),
         )
     }
 
@@ -443,9 +528,7 @@ mod tests {
         drop(store);
         let store = ProvenanceStore::open(&dir).unwrap();
         assert_eq!(store.len(), 10);
-        assert!(store
-            .iter()
-            .all(|r| r.principal == Principal::new("keep")));
+        assert!(store.iter().all(|r| r.principal == Principal::new("keep")));
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -456,6 +539,269 @@ mod tests {
         store.append(record(1, "a", "v")).unwrap();
         let shown = store.stats().to_string();
         assert!(shown.contains("1 records"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Truncates the highest-numbered segment file by `cut` bytes,
+    /// simulating a crash that tore the last append mid-record.
+    fn tear_last_segment(dir: &Path, cut: u64) {
+        let mut segments = existing_segments(dir).unwrap();
+        segments.sort();
+        let last = segments.last().expect("store has at least one segment");
+        let file = OpenOptions::new().write(true).open(last).unwrap();
+        let len = file.metadata().unwrap().len();
+        assert!(cut < len, "tear must leave a partial frame behind");
+        file.set_len(len - cut).unwrap();
+    }
+
+    #[test]
+    fn torn_write_recovery_drops_only_the_torn_record() {
+        let dir = temp_dir("torn-write");
+        {
+            let mut store = ProvenanceStore::open(&dir).unwrap();
+            for i in 0..10 {
+                store.append(record(i, "a", &format!("v{}", i))).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // Cut 3 bytes off the tail: the final record's frame is torn, every
+        // earlier record is untouched.
+        tear_last_segment(&dir, 3);
+        let store = ProvenanceStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 9, "exactly the torn record is dropped");
+        for (seq, i) in (1..=9u64).zip(0..) {
+            let recovered = store.get(seq).unwrap();
+            assert_eq!(recovered.logical_time, i);
+            assert_eq!(
+                recovered.value,
+                Value::Channel(Channel::new(format!("v{}", i)))
+            );
+        }
+        assert!(store.get(10).is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_in_last_segment_leaves_sealed_segments_whole() {
+        let dir = temp_dir("torn-multi");
+        let written = {
+            let mut store = ProvenanceStore::open_with(
+                &dir,
+                StoreConfig {
+                    segment_budget: 256,
+                    sync_every_append: false,
+                },
+            )
+            .unwrap();
+            for i in 0..50 {
+                store.append(record(i, "a", "v")).unwrap();
+            }
+            store.sync().unwrap();
+            assert!(store.stats().segments > 1, "test needs several segments");
+            store.len()
+        };
+        tear_last_segment(&dir, 2);
+        let store = ProvenanceStore::open(&dir).unwrap();
+        assert_eq!(
+            store.len(),
+            written - 1,
+            "only the torn tail record is lost"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_refuses_to_open_and_preserves_the_file() {
+        let dir = temp_dir("midfile-corrupt");
+        {
+            let mut store = ProvenanceStore::open(&dir).unwrap();
+            for i in 0..5 {
+                store.append(record(i, "a", "v")).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // Flip a byte inside the FIRST record's body (well past the 8-byte
+        // frame header, so both length prefixes stay intact): the CRC
+        // breaks while four complete, valid frames follow.
+        let mut segments = existing_segments(&dir).unwrap();
+        segments.sort();
+        let path = segments.last().unwrap().clone();
+        let mut contents = fs::read(&path).unwrap();
+        let len_before = contents.len();
+        contents[12] ^= 0xFF;
+        fs::write(&path, &contents).unwrap();
+
+        let result = ProvenanceStore::open(&dir);
+        assert!(
+            result.is_err(),
+            "mid-file corruption must refuse to open, not truncate"
+        );
+        assert_eq!(
+            fs::metadata(&path).unwrap().len() as usize,
+            len_before,
+            "the corrupt file is preserved as evidence"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_length_prefix_midfile_refuses_to_open() {
+        let dir = temp_dir("midfile-badlen");
+        {
+            let mut store = ProvenanceStore::open(&dir).unwrap();
+            for i in 0..5 {
+                store.append(record(i, "a", "v")).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // Inflate the second frame's length prefix: the bad frame claims
+        // to run past end-of-file, but three durable records follow it and
+        // must not be truncated away.
+        let mut segments = existing_segments(&dir).unwrap();
+        segments.sort();
+        let path = segments.last().unwrap().clone();
+        let mut contents = fs::read(&path).unwrap();
+        let len_before = contents.len();
+        let first_frame_len = {
+            // The first record the store persisted: logical time 0, and
+            // append assigned it sequence 1.
+            let mut first = record(0, "a", "v");
+            first.sequence = 1;
+            crate::codec::encode_framed(&first).len()
+        };
+        contents[first_frame_len] = 0xFF;
+        fs::write(&path, &contents).unwrap();
+
+        assert!(ProvenanceStore::open(&dir).is_err());
+        assert_eq!(
+            fs::metadata(&path).unwrap().len() as usize,
+            len_before,
+            "no byte of the suspect file is destroyed"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_hole_in_unsynced_tail_refuses_then_repairs() {
+        let dir = temp_dir("crash-hole");
+        {
+            let mut store = ProvenanceStore::open(&dir).unwrap();
+            for i in 0..3 {
+                store.append(record(i, "a", "v")).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // Simulate a crash where the OS flushed a LATER page of the
+        // unsynced tail but not an earlier one: garbage where frame A
+        // would be, followed by a fully valid frame C.
+        let mut segments = existing_segments(&dir).unwrap();
+        segments.sort();
+        let path = segments.last().unwrap().clone();
+        let mut contents = fs::read(&path).unwrap();
+        let synced_len = contents.len();
+        let mut unflushed = record(7, "a", "v");
+        unflushed.sequence = 4;
+        let valid_frame = crate::codec::encode_framed(&unflushed);
+        contents.extend_from_slice(&vec![0u8; valid_frame.len()]); // the hole
+        contents.extend_from_slice(&valid_frame);
+        fs::write(&path, &contents).unwrap();
+
+        // File contents alone cannot distinguish this from bitrot, so open
+        // refuses rather than destroying data…
+        assert!(ProvenanceStore::open(&dir).is_err());
+        // …and the operator's explicit repair truncates the unsynced tail
+        // and brings the store back.
+        let report = ProvenanceStore::repair(&dir).unwrap();
+        assert_eq!(report.truncated_bytes, 2 * valid_frame.len());
+        assert!(report.corrupt_sealed_segments.is_empty());
+        assert_eq!(
+            fs::metadata(&path).unwrap().len() as usize,
+            synced_len,
+            "repair keeps exactly the synced prefix"
+        );
+        let mut store = ProvenanceStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 3);
+        store.append(record(9, "b", "w")).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        assert_eq!(ProvenanceStore::open(&dir).unwrap().len(), 4);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repair_on_a_clean_store_is_a_no_op() {
+        let dir = temp_dir("repair-clean");
+        {
+            let mut store = ProvenanceStore::open(&dir).unwrap();
+            store.append(record(1, "a", "v")).unwrap();
+            store.sync().unwrap();
+        }
+        let report = ProvenanceStore::repair(&dir).unwrap();
+        assert_eq!(report, RepairReport::default());
+        assert_eq!(ProvenanceStore::open(&dir).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_in_a_sealed_segment_refuses_to_open() {
+        let dir = temp_dir("sealed-corrupt");
+        {
+            let mut store = ProvenanceStore::open_with(
+                &dir,
+                StoreConfig {
+                    segment_budget: 256,
+                    sync_every_append: false,
+                },
+            )
+            .unwrap();
+            for i in 0..50 {
+                store.append(record(i, "a", "v")).unwrap();
+            }
+            store.sync().unwrap();
+            assert!(store.stats().segments > 1, "test needs a sealed segment");
+        }
+        // Flip a byte inside the FIRST (sealed) segment's first record
+        // body: sealed segments are never legitimately torn, so recovery
+        // must refuse rather than silently serve a partial store.
+        let mut segments = existing_segments(&dir).unwrap();
+        segments.sort();
+        let sealed = segments.first().unwrap().clone();
+        let mut contents = fs::read(&sealed).unwrap();
+        contents[12] ^= 0xFF;
+        fs::write(&sealed, &contents).unwrap();
+
+        assert!(ProvenanceStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_truncates_torn_tail_so_appends_survive_the_next_reopen() {
+        let dir = temp_dir("torn-resume");
+        {
+            let mut store = ProvenanceStore::open(&dir).unwrap();
+            for i in 0..5 {
+                store.append(record(i, "a", "v")).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        tear_last_segment(&dir, 4);
+        {
+            let mut store = ProvenanceStore::open(&dir).unwrap();
+            assert_eq!(store.len(), 4);
+            // Appending after recovery must land where the torn frame was
+            // truncated, not after leftover garbage.
+            store.append(record(99, "b", "w")).unwrap();
+            store.sync().unwrap();
+        }
+        let store = ProvenanceStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 5, "post-recovery append survives a reopen");
+        assert_eq!(
+            store
+                .iter()
+                .filter(|r| r.principal == Principal::new("b"))
+                .count(),
+            1
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("piprov-auditing-{}", std::process::id()));
     let mut store = ProvenanceStore::open(&dir)?;
     let steps = run_and_record(&system, TrivialPatterns, &mut store, 10_000)?;
-    println!("executed {} steps; store now holds {} records\n", steps, store.len());
+    println!(
+        "executed {} steps; store now holds {} records\n",
+        steps,
+        store.len()
+    );
 
     // Re-run in-memory to inspect the provenance c ended up with.
     let mut exec = Executor::new(&system, TrivialPatterns);
@@ -43,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Who handled anything that passed through the suspect intermediary?
     let tainted = query.tainted_by(&Principal::new("s"));
-    println!("principals that handled data passing through s: {:?}", tainted);
+    println!(
+        "principals that handled data passing through s: {:?}",
+        tainted
+    );
 
     // Activity summary, the starting point of an investigation.
     println!("\nactivity summary:");

@@ -83,11 +83,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         step += 1;
     }
-    println!("\nglobal log at quiescence (most recent first):\n  {}", exec.log());
+    println!(
+        "\nglobal log at quiescence (most recent first):\n  {}",
+        exec.log()
+    );
 
     // --- Forged provenance is detected as incorrect. ----------------------
-    let forged = AnnotatedValue::channel("v")
-        .sent_by(&Principal::new("alice"), &Provenance::empty());
+    let forged =
+        AnnotatedValue::channel("v").sent_by(&Principal::new("alice"), &Provenance::empty());
     let bogus: MonitoredSystem<AnyPattern> =
         MonitoredSystem::new(System::message(Message::new("m", forged)));
     let report = check_provenance(&bogus);
@@ -97,7 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(!report.is_correct());
     for bad in report.incorrect_values() {
-        println!("  flagged: {}   (denotation: {})", bad.value, bad.denotation);
+        println!(
+            "  flagged: {}   (denotation: {})",
+            bad.value, bad.denotation
+        );
     }
     Ok(())
 }

@@ -29,13 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reconstruct who received which published result.
     println!("results collected by contestants:");
     for event in exec.trace() {
-        if let StepKind::Receive { channel, payload, .. } = &event.kind {
+        if let StepKind::Receive {
+            channel, payload, ..
+        } = &event.kind
+        {
             if channel.as_str() == "pub" {
                 println!(
                     "  {} collected ({}, {})",
-                    event.principal,
-                    payload[0],
-                    payload[1]
+                    event.principal, payload[0], payload[1]
                 );
                 // Every contestant c{i} collects its own entry e{i}.
                 let who = event.principal.as_str().trim_start_matches('c');
@@ -47,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Judges only ever rated the entries routed to them.
     println!("\nentries rated by each judge:");
     for event in exec.trace() {
-        if let StepKind::Receive { channel, payload, .. } = &event.kind {
+        if let StepKind::Receive {
+            channel, payload, ..
+        } = &event.kind
+        {
             if channel.as_str().starts_with("in") {
                 println!("  {} judged {}", event.principal, payload[0]);
                 let judge: usize = event.principal.as_str()[1..].parse()?;

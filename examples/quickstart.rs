@@ -28,13 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     println!("naive system:\n  {}\n", naive);
 
-    let mut exec = Executor::new(&naive, TrivialPatterns)
-        .with_policy(SchedulerPolicy::Random { seed: 42 });
+    let mut exec =
+        Executor::new(&naive, TrivialPatterns).with_policy(SchedulerPolicy::Random { seed: 42 });
     let outcome = exec.run(1_000)?;
-    println!(
-        "naive run finished after {} steps; trace:",
-        outcome.steps
-    );
+    println!("naive run finished after {} steps; trace:", outcome.steps);
     for event in exec.trace() {
         println!("  {}", event);
     }

@@ -35,7 +35,10 @@ fn simulate_persist_and_audit_a_pipeline() {
     );
     let stop = sim.run(1_000_000).unwrap();
     assert_eq!(stop, SimStop::Terminated);
-    assert_eq!(sim.metrics().messages_sent, sim.metrics().messages_delivered);
+    assert_eq!(
+        sim.metrics().messages_sent,
+        sim.metrics().messages_delivered
+    );
     assert!(sim.metrics().max_provenance_size >= 8);
 
     // Record the same workload into a store and audit it.
@@ -58,8 +61,8 @@ fn simulate_persist_and_audit_a_pipeline() {
         // 5 sends + 5 receives along the chain.
         assert_eq!(trail.records.len(), 10);
     }
-    // Reopen the store (recovery) and check the data survived.
-    drop(query);
+    // Close and reopen the store (recovery) and check the data survived.
+    drop(store);
     let reopened = ProvenanceStore::open(&dir).unwrap();
     assert_eq!(reopened.len(), 40);
     std::fs::remove_dir_all(&dir).ok();
@@ -153,10 +156,7 @@ fn injected_forgery_breaks_correctness() {
     // faulted configuration contains the forged annotation.
     let mut honest = piprov::logs::MonitoredExecutor::new(&system, TrivialPatterns);
     honest.run(1_000_000).unwrap();
-    let tampered = MonitoredSystem::with_log(
-        honest.log().clone(),
-        sim.configuration().to_system(),
-    );
+    let tampered = MonitoredSystem::with_log(honest.log().clone(), sim.configuration().to_system());
     // The forged claim (sent by mallory) is not supported by the true log.
     assert!(!has_correct_provenance(&tampered));
 }
@@ -184,7 +184,9 @@ fn static_elision_preserves_competition_behaviour() {
             .trace()
             .iter()
             .filter_map(|e| match &e.kind {
-                StepKind::Receive { channel, payload, .. } if channel.as_str() == "pub" => {
+                StepKind::Receive {
+                    channel, payload, ..
+                } if channel.as_str() == "pub" => {
                     Some((e.principal.to_string(), payload[0].as_str().to_string()))
                 }
                 _ => None,

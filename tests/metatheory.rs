@@ -35,7 +35,11 @@ fn ordering_is_reflexive_and_transitive_on_generated_logs() {
         let actions: Vec<Action> = log.actions().into_iter().cloned().collect();
         for take in 0..actions.len() {
             let suffix = Log::chain(actions[actions.len() - take..].to_vec());
-            assert!(log_leq(&suffix, &log), "suffix of length {} below full log", take);
+            assert!(
+                log_leq(&suffix, &log),
+                "suffix of length {} below full log",
+                take
+            );
         }
     }
 }
@@ -187,7 +191,9 @@ fn forged_annotations_violate_correctness() {
         ),
     );
     let m = MonitoredSystem::new(system);
-    let (_, after_send) = monitored_successors(&m, &TrivialPatterns).unwrap().remove(0);
+    let (_, after_send) = monitored_successors(&m, &TrivialPatterns)
+        .unwrap()
+        .remove(0);
     assert!(has_correct_provenance(&after_send));
     // Forge: claim the value was sent by "mallory" instead.
     let forged_system: System<AnyPattern> = System::message(Message::new(
@@ -238,9 +244,11 @@ fn exploration_counts_market_states() {
             Process::input(Identifier::channel("n"), AnyPattern, "x", Process::nil()),
         ),
     ]);
-    let outcome = explore_systems(&market, &TrivialPatterns, ExploreOptions::default(), |_| true)
-        .unwrap()
-        .unwrap();
+    let outcome = explore_systems(&market, &TrivialPatterns, ExploreOptions::default(), |_| {
+        true
+    })
+    .unwrap()
+    .unwrap();
     assert!(outcome.exhaustive);
     // initial; a sent; b sent; both sent; c took v1 (b pending / sent);
     // c took v2 (a pending / sent); final states after both sends and one

@@ -28,8 +28,8 @@ fn intro_market() {
     let mut got_v1 = false;
     let mut got_v2 = false;
     for seed in 0..32 {
-        let mut exec = Executor::new(&naive, TrivialPatterns)
-            .with_policy(SchedulerPolicy::Random { seed });
+        let mut exec =
+            Executor::new(&naive, TrivialPatterns).with_policy(SchedulerPolicy::Random { seed });
         exec.run(1_000).unwrap();
         for event in exec.trace() {
             if let StepKind::Receive { payload, .. } = &event.kind {
@@ -41,7 +41,10 @@ fn intro_market() {
             }
         }
     }
-    assert!(got_v1 && got_v2, "both outcomes must be reachable without vetting");
+    assert!(
+        got_v1 && got_v2,
+        "both outcomes must be reachable without vetting"
+    );
 
     // With the pattern `a!Any; Any` only v1 is ever consumed.
     let vetted: System<Pattern> = System::par_all(vec![
@@ -140,8 +143,9 @@ fn auditing() {
     let forwarded = trail
         .records
         .iter()
-        .filter(|r| r.channel == Channel::new("nprime") && r.operation == piprov::store::Operation::Send)
-        .next_back()
+        .rfind(|r| {
+            r.channel == Channel::new("nprime") && r.operation == piprov::store::Operation::Send
+        })
         .unwrap();
     let shape: Vec<(String, Direction)> = forwarded
         .provenance
@@ -175,7 +179,10 @@ fn photo_competition() {
         // Every contestant received exactly one published pair, their own.
         let mut collected = std::collections::BTreeMap::new();
         for event in exec.trace() {
-            if let StepKind::Receive { channel, payload, .. } = &event.kind {
+            if let StepKind::Receive {
+                channel, payload, ..
+            } = &event.kind
+            {
                 if channel.as_str() == "pub" {
                     collected.insert(event.principal.to_string(), payload[0].as_str().to_string());
                 }
@@ -187,7 +194,10 @@ fn photo_competition() {
         }
         // Judges only saw entries from their assigned contestants.
         for event in exec.trace() {
-            if let StepKind::Receive { channel, payload, .. } = &event.kind {
+            if let StepKind::Receive {
+                channel, payload, ..
+            } = &event.kind
+            {
                 if channel.as_str().starts_with("in") {
                     let judge: usize = event.principal.as_str()[1..].parse().unwrap();
                     let entry: usize = payload[0].as_str()[1..].parse().unwrap();

@@ -14,6 +14,8 @@ fn generated_system(seed: u64) -> System<AnyPattern> {
 }
 
 proptest! {
+    // 48 cases by default; the PIPROV_PROPTEST_CASES environment variable
+    // overrides it (handled inside with_cases) for deeper CI runs.
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Reduction preserves closedness: a closed system only ever reduces to

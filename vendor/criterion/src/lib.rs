@@ -1,0 +1,350 @@
+//! Offline shim for the subset of the `criterion` API that piprov's bench
+//! targets use: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so this crate keeps
+//! `cargo bench` runnable: it measures a mean wall-clock time per iteration
+//! over a bounded measurement window and prints one line per benchmark.
+//! It does **no** statistical analysis, outlier rejection or HTML
+//! reporting — for publication-grade numbers swap the real crate back in
+//! (one line in the workspace `Cargo.toml`); every bench target compiles
+//! unchanged against either.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: holds measurement settings and a CLI filter.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark (each sample is many iterations).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// How long to run a benchmark before measuring.
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// How long the measured phase of each benchmark runs.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Applies command-line arguments: the first free argument becomes a
+    /// substring filter on benchmark ids; harness flags cargo passes
+    /// (`--bench`, `--exact`, …) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                self.filter = Some(arg);
+                break;
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            mean_ns: None,
+        };
+        f(&mut bencher);
+        match bencher.mean_ns {
+            Some(mean_ns) => println!("{:<60} time: [{}]", id, format_ns(mean_ns)),
+            None => println!("{:<60} (no measurement: Bencher::iter never called)", id),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(full, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark; the input is passed back to the
+    /// closure by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in this shim; the real crate renders the
+    /// group's summary here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, optionally with a parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, shown as `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into the string id a benchmark is reported under.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to each benchmark closure; [`iter`](Bencher::iter) does the
+/// timing.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring in samples until
+    /// the measurement window is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: at least one call, then as many as fit the window.
+        let warm_up_start = Instant::now();
+        let mut iters_per_sample: u64 = 0;
+        loop {
+            black_box(routine());
+            iters_per_sample += 1;
+            if warm_up_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Aim each sample at measurement_time / sample_size using the
+        // warm-up's observed rate.
+        let warm_up_elapsed = warm_up_start.elapsed().max(Duration::from_nanos(1));
+        let per_iter_ns = (warm_up_elapsed.as_nanos() as f64 / iters_per_sample as f64).max(0.1);
+        let sample_budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((sample_budget_ns / per_iter_ns).ceil() as u64).max(1);
+
+        let mut total_ns: f64 = 0.0;
+        let mut total_iters: u64 = 0;
+        let measurement_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let sample_start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total_ns += sample_start.elapsed().as_nanos() as f64;
+            total_iters += iters;
+            if measurement_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean_ns = Some(total_ns / total_iters as f64);
+    }
+}
+
+/// Renders nanoseconds with the unit criterion would pick.
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{:.4} ns", ns)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro: either
+/// `criterion_group!(name, target1, target2)` or the long form with
+/// `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut criterion = quick();
+        let mut bencher_ran = false;
+        criterion.bench_function("smoke", |b| {
+            bencher_ran = true;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        assert!(bencher_ran);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut criterion = quick();
+        let mut group = criterion.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(0u8)));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut criterion = quick();
+        criterion.filter = Some("nomatch".into());
+        let mut ran = false;
+        criterion.bench_function("other", |_b| ran = true);
+        assert!(!ran, "filtered-out benchmarks never invoke their closure");
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 8).into_benchmark_id(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).into_benchmark_id(), "8");
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(format_ns(12.0), "12.0000 ns");
+        assert_eq!(format_ns(1_500.0), "1.5000 µs");
+        assert_eq!(format_ns(2_000_000.0), "2.0000 ms");
+        assert_eq!(format_ns(3e9), "3.0000 s");
+    }
+}

@@ -1,0 +1,38 @@
+//! The [`any`] entry point: a strategy over a type's whole domain.
+
+use crate::strategy::StandardAny;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+///
+/// In this shim that is any type with a [`rand::Standard`] distribution
+/// (`bool`, the integer types, floats); structured types build their
+/// strategies by combination instead.
+pub trait Arbitrary: rand::Standard + fmt::Debug {}
+
+impl<T: rand::Standard + fmt::Debug> Arbitrary for T {}
+
+/// A strategy generating uniformly across `T`'s domain, e.g.
+/// `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> StandardAny<T> {
+    StandardAny(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::for_case("any_bool", 0);
+        let strategy = any::<bool>();
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            seen[strategy.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt;
+use std::ops::Range;
+
+/// A strategy for `Vec`s whose length is drawn from `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: fmt::Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_size_range_and_element_strategy() {
+        let strategy = vec(Just(7u8), 0..5);
+        let mut rng = TestRng::for_case("vec", 0);
+        let mut lengths_seen = [false; 5];
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!(v.len() < 5);
+            assert!(v.iter().all(|&x| x == 7));
+            lengths_seen[v.len()] = true;
+        }
+        assert!(
+            lengths_seen.iter().all(|&s| s),
+            "every length in 0..5 drawn"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline shim for the subset of the `proptest` API that piprov's
+//! property-based tests use.
+//!
+//! The build environment has no access to crates.io, so this crate stands
+//! in for the real `proptest` with the same surface syntax:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(…)]`, multiple
+//!   `#[test]` functions, `name in strategy` bindings),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` and
+//!   `boxed`, strategies for integer ranges, tuples, [`Just`](strategy::Just),
+//!   weighted [`prop_oneof!`], [`collection::vec`] and
+//!   [`arbitrary::any`],
+//! * [`ProptestConfig`](test_runner::ProptestConfig) with `with_cases`.
+//!
+//! Differences from the real crate, deliberately accepted for a test-only
+//! shim: generation is purely random with **no shrinking** (a failing case
+//! is reported verbatim instead of minimized), and runs are deterministic —
+//! the RNG seed is derived from the test name and case index, so a failure
+//! reproduces on re-run without a regression file.  Set
+//! `PIPROV_PROPTEST_SEED` to an integer to perturb the stream and explore
+//! different cases.
+//!
+//! Swapping back to the real crate is a one-line change in the workspace
+//! `Cargo.toml`; `proptest-regressions/` directories it would create are
+//! already gitignored (see the repository README).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every proptest-using module starts with.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+///
+/// In this shim it is a plain `assert!`; the surrounding harness catches
+/// the panic and reports the generated inputs before re-raising.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Picks among strategies producing the same value type, optionally
+/// weighted: `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+}
+
+/// Declares property tests: each function body runs for every generated
+/// case of its `name in strategy` bindings.
+///
+/// In a test module each function carries `#[test]` above it, exactly like
+/// the real crate; the doctest below omits the attribute (doctests never
+/// run unit tests) and calls the generated function directly instead.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+///
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_functions! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_functions! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each function, threading
+/// the shared config expression through.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_functions {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let strategies = ( $($strategy,)+ );
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                let values =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let described = format!("{:?}", values);
+                let ( $($arg,)+ ) = values;
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed with inputs ({}) = {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        stringify!($($arg),+),
+                        described,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_functions! { ($config) $($rest)* }
+    };
+}

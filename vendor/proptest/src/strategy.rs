@@ -1,0 +1,275 @@
+//! The [`Strategy`] trait and the combinators piprov's tests use.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+macro_rules! fmt_as_name {
+    ($name:literal) => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str($name)
+        }
+    };
+}
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike the real proptest there is no value *tree* (no shrinking): a
+/// strategy is just a generator.  Values must be `Debug` so that a failing
+/// case can be reported.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so differently-shaped strategies of the
+    /// same value type can be stored together (recursion, [`Union`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            generate: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generate: Rc::clone(&self.generate),
+        }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fmt_as_name!("BoxedStrategy");
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A weighted choice among strategies with the same value type; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// A union of `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs at least one arm with weight > 0"
+        );
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.gen_range(0..self.total_weight);
+        for (weight, strategy) in &self.arms {
+            if roll < *weight as u64 {
+                return strategy.generate(rng);
+            }
+            roll -= *weight as u64;
+        }
+        unreachable!("roll below total weight always lands in an arm")
+    }
+}
+
+impl<T> fmt::Debug for Union<T> {
+    fmt_as_name!("Union");
+}
+
+/// Yields values of `T`'s whole domain via [`rand`]'s standard
+/// distribution; built by [`any`](crate::arbitrary::any).
+pub struct StandardAny<T>(pub(crate) PhantomData<T>);
+
+impl<T> fmt::Debug for StandardAny<T> {
+    fmt_as_name!("StandardAny");
+}
+
+impl<T: rand::Standard + fmt::Debug> Strategy for StandardAny<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy_tests", 0)
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        assert_eq!(Just(9u8).generate(&mut rng()), 9);
+    }
+
+    #[test]
+    fn map_applies() {
+        let s = (0u64..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng());
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (5u64..8).generate(&mut r);
+            assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b) = ((0u64..4), Just("x")).generate(&mut r);
+        assert!(a < 4);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn union_respects_zero_weight() {
+        let s = crate::prop_oneof![1 => Just(1u8), 0 => Just(2u8)];
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn union_reaches_every_positive_arm() {
+        let s = crate::prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn boxed_preserves_behaviour() {
+        let s = (3u64..4).boxed();
+        assert_eq!(s.generate(&mut rng()), 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Run configuration and the RNG behind the [`proptest!`](crate::proptest)
+//! harness.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// How many cases each property runs, mirroring the real crate's
+/// `ProptestConfig { cases, .. }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    ///
+    /// Deviation from the real crate, so every suite shares one deep-run
+    /// knob: the `PIPROV_PROPTEST_CASES` environment variable (when set to
+    /// a parsable integer) overrides the explicit count, letting CI run
+    /// far more cases without a code change.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: env_cases("PIPROV_PROPTEST_CASES").unwrap_or(cases),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, like the real crate; `PIPROV_PROPTEST_CASES` (then
+    /// `PROPTEST_CASES`, which the real crate honors) overrides it.
+    fn default() -> Self {
+        let cases = env_cases("PIPROV_PROPTEST_CASES")
+            .or_else(|| env_cases("PROPTEST_CASES"))
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+fn env_cases(variable: &str) -> Option<u32> {
+    std::env::var(variable).ok().and_then(|v| v.parse().ok())
+}
+
+/// The RNG driving generation: seeded per `(test name, case index)`, so
+/// every run of a test binary explores the same deterministic sequence and
+/// a failure message's case index is reproducible.
+///
+/// Set `PIPROV_PROPTEST_SEED` to an integer to shift the whole stream and
+/// explore fresh cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for one case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name gives stable, well-spread per-test seeds.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let env_seed = std::env::var("PIPROV_PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        let seed = hash ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ env_seed;
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test covers both the explicit count and the env override, so no
+    /// parallel test observes a half-set environment variable.
+    #[test]
+    fn config_with_cases_and_env_override() {
+        assert_eq!(ProptestConfig::with_cases(48).cases, 48);
+        std::env::set_var("PIPROV_PROPTEST_CASES", "777");
+        assert_eq!(ProptestConfig::with_cases(48).cases, 777);
+        std::env::set_var("PIPROV_PROPTEST_CASES", "not-a-number");
+        assert_eq!(
+            ProptestConfig::with_cases(48).cases,
+            48,
+            "garbage falls back"
+        );
+        std::env::remove_var("PIPROV_PROPTEST_CASES");
+        assert_eq!(ProptestConfig::with_cases(9).cases, 9);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(TestRng::for_case("t", 3).next_u64(), c.next_u64());
+        assert_ne!(
+            TestRng::for_case("t", 0).next_u64(),
+            TestRng::for_case("u", 0).next_u64()
+        );
+    }
+}

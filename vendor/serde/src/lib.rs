@@ -1,0 +1,105 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate stands
+//! in for the real `serde`.  `Serialize` and `Deserialize` are **marker
+//! traits** here: the piprov data model derives them so that downstream
+//! code can state serialization bounds and the real crate can be swapped in
+//! (one line in the workspace `Cargo.toml`) without touching any derive
+//! site, but no wire format is implemented.  The binary encoding piprov
+//! actually persists lives in `piprov-store::codec` and does not go through
+//! serde.
+//!
+//! The derive macros (re-exported from the vendored `serde_derive`) emit
+//! the marker impls with serde's usual bound behaviour: every type
+//! parameter of the deriving type is required to implement the trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets the `::serde::…` paths the derives emit resolve inside this crate's
+// own tests (the same trick the real serde uses).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Implemented by `#[derive(Serialize)]`; carries no methods in this shim.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// Implemented by `#[derive(Deserialize)]`; carries no methods in this
+/// shim.  The real trait's `<'de>` lifetime parameter is dropped because no
+/// borrowing deserializer exists here; derive sites are unaffected since
+/// they never name the lifetime.
+pub trait Deserialize {}
+
+macro_rules! impl_markers {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {}
+        impl Deserialize for $ty {}
+    )*};
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<T: Deserialize + ?Sized> Deserialize for Box<T> {}
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {}
+impl<T: Deserialize + ?Sized> Deserialize for std::sync::Arc<T> {}
+impl Serialize for str {}
+impl<T: Serialize> Serialize for [T] {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Sum {
+        _A,
+        _B(String),
+    }
+
+    #[derive(Serialize, Deserialize)]
+    pub struct Generic<T> {
+        _items: Vec<T>,
+    }
+
+    fn assert_both<T: Serialize + Deserialize>() {}
+
+    #[test]
+    fn derives_emit_marker_impls() {
+        assert_both::<Plain>();
+        assert_both::<Sum>();
+        assert_both::<Generic<u64>>();
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The vendored [`serde`](../serde) crate defines `Serialize` and
+//! `Deserialize` as *marker* traits (see its crate docs for why); these
+//! derives emit the corresponding marker impls.  The implementation parses
+//! just enough of the item — attributes, visibility, `struct`/`enum`
+//! keyword, type name, optional generics — with raw `proc_macro` tokens, so
+//! it needs no `syn`/`quote` dependency.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The name and generic parameters of the type a derive was applied to.
+struct DeriveTarget {
+    name: String,
+    /// The bare generic parameter names (lifetimes excluded), e.g. `["T"]`.
+    type_params: Vec<String>,
+}
+
+/// Extracts the type name and generic parameter list from the tokens of a
+/// `struct`/`enum`/`union` item.
+fn parse_target(input: TokenStream) -> Option<DeriveTarget> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let name = loop {
+        match tokens.next()? {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // The attribute body is the next bracketed group.
+                tokens.next()?;
+            }
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    match tokens.next()? {
+                        TokenTree::Ident(name) => break name.to_string(),
+                        _ => return None,
+                    }
+                }
+                // `pub`, `pub(crate)` (the group is consumed on its own
+                // turn), or other modifiers: keep scanning.
+            }
+            _ => {}
+        }
+    };
+    // Collect generic parameter names if a `<...>` list follows.
+    let mut type_params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while depth > 0 {
+                match tokens.next()? {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '\'' => {
+                        // A lifetime: swallow its name, it is not a type param.
+                        tokens.next()?;
+                        expect_param = false;
+                    }
+                    TokenTree::Ident(ident) if depth == 1 && expect_param => {
+                        let word = ident.to_string();
+                        if word == "const" {
+                            // `const N: usize`: the next ident is a const
+                            // param, which still needs to appear in the
+                            // impl's parameter list.
+                            if let TokenTree::Ident(name) = tokens.next()? {
+                                type_params.push(name.to_string());
+                            }
+                        } else {
+                            type_params.push(word);
+                        }
+                        expect_param = false;
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::None => {}
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some(DeriveTarget { name, type_params })
+}
+
+/// Emits `impl <trait> for <type>` with the type's own generics forwarded
+/// and a `<trait>` bound on every type parameter (mirroring serde's default
+/// bound behaviour).
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let Some(target) = parse_target(input) else {
+        // Not a shape we understand; emitting nothing keeps the build
+        // going, and any generic use of the trait will say what's missing.
+        return TokenStream::new();
+    };
+    let impl_code = if target.type_params.is_empty() {
+        format!("impl {} for {} {{}}", trait_path, target.name)
+    } else {
+        let params = target.type_params.join(", ");
+        let bounds = target
+            .type_params
+            .iter()
+            .map(|p| format!("{}: {}", p, trait_path))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "impl<{params}> {trait_path} for {name}<{params}> where {bounds} {{}}",
+            params = params,
+            trait_path = trait_path,
+            name = target.name,
+            bounds = bounds,
+        )
+    };
+    impl_code.parse().unwrap_or_default()
+}
+
+/// Derives the shim's marker `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// Derives the shim's marker `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", input)
+}
