@@ -1,15 +1,33 @@
-//! Design-choice ablation (DESIGN.md §6): provenance representation.
+//! Design-choice ablation (DESIGN.md §6, experiment E9): provenance
+//! representation, three ways.
 //!
-//! The canonical representation shares the tail of the sequence between the
-//! pre- and post-event values (O(1) prepend); the flat representation
-//! copies the whole vector, which is what a naive implementation of the
-//! paper would do.  The gap grows linearly with the provenance length.
+//! * **interned** — the canonical representation: hash-consed DAG nodes
+//!   with O(1) equality/hash and cached `len`/`depth`/`total_size`;
+//! * **cons** — the seed's structurally shared cons list: O(1) prepend,
+//!   but deep equality/hash and O(tree) size queries;
+//! * **flat** — an eagerly cloned vector: what a naive implementation of
+//!   the paper would do; every prepend copies the whole history.
+//!
+//! Three workloads expose the differences:
+//!
+//! * `repr_prepend` — the hot operation of the reduction semantics; all
+//!   three are measured so the interner's hash-consing overhead on
+//!   construction is visible, not hidden;
+//! * `repr_eq` — comparing two structurally equal histories (what every
+//!   receive-side vetting and store lookup does);
+//! * `repr_deep_sharing` — the adversarial shape from the paper's
+//!   semantics: each hop's channel carries the full history, so the
+//!   logical tree doubles per hop while the DAG grows by one node.  Size
+//!   queries and equality stay O(1) for the interned representation and
+//!   degrade to O(2^depth) for the baselines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use piprov_bench::quick_criterion;
 use piprov_core::name::Principal;
 use piprov_core::provenance::compact::{FlatEvent, FlatProvenance};
+use piprov_core::provenance::cons::ConsProvenance;
 use piprov_core::provenance::{Direction, Event, Provenance};
+use std::hash::{DefaultHasher, Hash, Hasher};
 
 fn shared_of_length(n: usize) -> Provenance {
     let mut p = Provenance::empty();
@@ -22,22 +40,79 @@ fn shared_of_length(n: usize) -> Provenance {
     p
 }
 
+/// Channel-chained provenance: each hop travels on a channel carrying the
+/// full history so far.  `total_size` is ~2^hops; `dag_size` is ~hops.
+fn chained(hops: usize) -> Provenance {
+    let mut p = Provenance::single(Event::output(Principal::new("origin"), Provenance::empty()));
+    for i in 0..hops {
+        p = p.prepend(Event::output(
+            Principal::new(format!("hop{}", i % 4)),
+            p.clone(),
+        ));
+    }
+    p
+}
+
+fn hash_of<T: Hash>(value: &T) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
 fn bench_prepend(c: &mut Criterion) {
     let mut group = c.benchmark_group("repr_prepend");
     for len in [8usize, 64, 512] {
-        let shared = shared_of_length(len);
-        let flat = FlatProvenance::from_shared(&shared);
+        let interned = shared_of_length(len);
+        let cons = ConsProvenance::from_shared(&interned);
+        let flat = FlatProvenance::from_shared(&interned);
         let event = Event::input(Principal::new("x"), Provenance::empty());
+        let cons_event = piprov_core::provenance::cons::ConsEvent {
+            principal: Principal::new("x"),
+            direction: Direction::Input,
+            channel_provenance: ConsProvenance::empty(),
+        };
         let flat_event = FlatEvent {
             principal: Principal::new("x"),
             direction: Direction::Input,
             channel_provenance: FlatProvenance::empty(),
         };
-        group.bench_with_input(BenchmarkId::new("shared", len), &len, |b, _| {
-            b.iter(|| shared.prepend(event.clone()))
+        group.bench_with_input(BenchmarkId::new("interned", len), &len, |b, _| {
+            b.iter(|| interned.prepend(event.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("cons", len), &len, |b, _| {
+            b.iter(|| cons.prepend(cons_event.clone()))
         });
         group.bench_with_input(BenchmarkId::new("flat_copy", len), &len, |b, _| {
             b.iter(|| flat.prepend(flat_event.clone()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eq_and_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repr_eq");
+    for len in [64usize, 512] {
+        // Two independently built, structurally equal histories.
+        let a = shared_of_length(len);
+        let b_ = shared_of_length(len);
+        let cons_a = ConsProvenance::from_shared(&a);
+        let cons_b = ConsProvenance::from_shared(&b_);
+        let flat_a = FlatProvenance::from_shared(&a);
+        let flat_b = FlatProvenance::from_shared(&b_);
+        group.bench_with_input(BenchmarkId::new("interned", len), &len, |b, _| {
+            b.iter(|| a == b_)
+        });
+        group.bench_with_input(BenchmarkId::new("cons", len), &len, |b, _| {
+            b.iter(|| cons_a == cons_b)
+        });
+        group.bench_with_input(BenchmarkId::new("flat", len), &len, |b, _| {
+            b.iter(|| flat_a == flat_b)
+        });
+        group.bench_with_input(BenchmarkId::new("interned_hash", len), &len, |b, _| {
+            b.iter(|| hash_of(&a))
+        });
+        group.bench_with_input(BenchmarkId::new("cons_hash", len), &len, |b, _| {
+            b.iter(|| hash_of(&cons_a))
         });
     }
     group.finish();
@@ -59,9 +134,44 @@ fn bench_traversal(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_deep_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repr_deep_sharing");
+    for hops in [12usize, 16] {
+        let interned = chained(hops);
+        let cons = ConsProvenance::from_shared(&interned);
+        // The flat representation materializes the whole tree; building it
+        // once here is already O(2^hops) memory.
+        let flat = FlatProvenance::from_shared(&interned);
+        assert!(interned.total_size() > 1 << hops);
+        group.bench_with_input(
+            BenchmarkId::new("interned_total_size", hops),
+            &hops,
+            |b, _| b.iter(|| interned.total_size()),
+        );
+        group.bench_with_input(BenchmarkId::new("cons_total_size", hops), &hops, |b, _| {
+            b.iter(|| cons.total_size())
+        });
+        group.bench_with_input(BenchmarkId::new("flat_total_size", hops), &hops, |b, _| {
+            b.iter(|| flat.total_size())
+        });
+        // Equality of two structurally equal deep-sharing histories.
+        let interned_b = chained(hops);
+        let cons_b = ConsProvenance::from_shared(&interned_b);
+        group.bench_with_input(BenchmarkId::new("interned_eq", hops), &hops, |b, _| {
+            b.iter(|| interned == interned_b)
+        });
+        group.bench_with_input(BenchmarkId::new("cons_eq", hops), &hops, |b, _| {
+            b.iter(|| cons == cons_b)
+        });
+    }
+    group.finish();
+}
+
 fn all(c: &mut Criterion) {
     bench_prepend(c);
+    bench_eq_and_hash(c);
     bench_traversal(c);
+    bench_deep_sharing(c);
 }
 
 criterion_group! {

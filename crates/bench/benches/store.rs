@@ -1,14 +1,20 @@
 //! E11 — provenance store throughput and query latency.
 //!
 //! Measures append throughput (with and without per-append sync), recovery
-//! scans, and audit-trail queries as the number of stored records grows.
+//! scans, audit-trail queries as the number of stored records grows, and
+//! codec cost on deeply *shared* channel provenance (where the DAG format
+//! encodes each interned node once while the legacy preorder format pays
+//! for the whole logical tree).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use piprov_bench::quick_criterion;
 use piprov_core::name::{Channel, Principal};
 use piprov_core::provenance::{Event, Provenance};
 use piprov_core::value::Value;
-use piprov_store::{Operation, ProvenanceRecord, ProvenanceStore, StoreConfig, StoreQuery};
+use piprov_store::codec::{decode_body, encode_body_with};
+use piprov_store::{
+    BodyFormat, Operation, ProvenanceRecord, ProvenanceStore, StoreConfig, StoreQuery,
+};
 use std::path::PathBuf;
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -115,9 +121,68 @@ fn bench_queries_and_recovery(c: &mut Criterion) {
     group.finish();
 }
 
+/// A record whose provenance tree doubles per hop while the DAG grows by
+/// two nodes per hop: every relay's channel carries the full history.
+fn shared_record(hops: usize) -> ProvenanceRecord {
+    let mut prov = Provenance::single(Event::output(Principal::new("origin"), Provenance::empty()));
+    for i in 0..hops {
+        let p = Principal::new(format!("relay{}", i % 4));
+        prov = prov
+            .prepend(Event::output(p.clone(), prov.clone()))
+            .prepend(Event::input(p, prov.clone()));
+    }
+    ProvenanceRecord::new(
+        1,
+        "auditor",
+        Operation::Receive,
+        "m",
+        Value::Channel(Channel::new("v")),
+        prov,
+    )
+}
+
+fn bench_shared_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_shared_codec");
+    for hops in [6usize, 9] {
+        let record = shared_record(hops);
+        let dag_body = encode_body_with(&record, BodyFormat::Dag);
+        let legacy_body = encode_body_with(&record, BodyFormat::LegacyPreorder);
+        println!(
+            "e11_shared_codec: hops={} tree={} dag_nodes={} dag_body={}B legacy_body={}B",
+            hops,
+            record.provenance.total_size(),
+            record.provenance.dag_size(),
+            dag_body.len(),
+            legacy_body.len(),
+        );
+        group.bench_with_input(BenchmarkId::new("encode_dag", hops), &hops, |b, _| {
+            b.iter(|| encode_body_with(&record, BodyFormat::Dag).len())
+        });
+        group.bench_with_input(BenchmarkId::new("encode_legacy", hops), &hops, |b, _| {
+            b.iter(|| encode_body_with(&record, BodyFormat::LegacyPreorder).len())
+        });
+        group.bench_with_input(BenchmarkId::new("decode_dag", hops), &hops, |b, _| {
+            b.iter(|| decode_body(dag_body.clone()).unwrap().sequence)
+        });
+        group.bench_with_input(BenchmarkId::new("decode_legacy", hops), &hops, |b, _| {
+            b.iter(|| decode_body(legacy_body.clone()).unwrap().sequence)
+        });
+        // The round trip a real append+recovery pays, DAG end to end.
+        group.bench_with_input(BenchmarkId::new("round_trip_dag", hops), &hops, |b, _| {
+            b.iter(|| {
+                decode_body(encode_body_with(&record, BodyFormat::Dag))
+                    .unwrap()
+                    .sequence
+            })
+        });
+    }
+    group.finish();
+}
+
 fn all(c: &mut Criterion) {
     bench_append(c);
     bench_queries_and_recovery(c);
+    bench_shared_codec(c);
 }
 
 criterion_group! {

@@ -240,18 +240,18 @@ where
         }
         if let crate::reduction::StepKind::Receive { .. } = &event.kind {
             // Approximate the provenance work by the size of provenance on
-            // all in-flight values (they were just updated).
-            self.stats.provenance_work += self
+            // all in-flight values (they were just updated).  total_size is
+            // an O(1) cached read off the interned node, so this accounting
+            // stays cheap even when annotations grow exponentially — and
+            // saturates rather than overflowing when they do.
+            self.stats.provenance_work = self
                 .configuration
                 .messages
                 .iter()
-                .map(|m| {
-                    m.payload
-                        .iter()
-                        .map(|v| v.provenance.total_size())
-                        .sum::<usize>()
-                })
-                .sum::<usize>();
+                .flat_map(|m| m.payload.iter())
+                .fold(self.stats.provenance_work, |acc, v| {
+                    acc.saturating_add(v.provenance.total_size())
+                });
         }
     }
 }

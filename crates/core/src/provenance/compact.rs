@@ -1,0 +1,155 @@
+//! A flat, eagerly cloned provenance representation used as an ablation
+//! baseline for the interned representation (experiment E9).
+//!
+//! Functionally equivalent to [`Provenance`] but every
+//! prepend copies the whole vector, so cost grows linearly with history
+//! length — this is what a naive implementation of the paper would do.
+//! Its size queries ([`FlatProvenance::total_size`],
+//! [`FlatProvenance::depth`]) recurse over the eagerly expanded vectors,
+//! which makes them an *independent* oracle for the cached values the
+//! interner stores: the metamorphic test suite checks the two
+//! representations agree on every derived quantity.
+
+use super::{Direction, Event, Provenance};
+use crate::name::Principal;
+
+/// A flat provenance sequence: a vector of events, most recent first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlatProvenance {
+    events: Vec<FlatEvent>,
+}
+
+/// A flat event mirroring [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatEvent {
+    /// Principal that performed the action.
+    pub principal: Principal,
+    /// Send or receive.
+    pub direction: Direction,
+    /// Provenance of the channel used.
+    pub channel_provenance: FlatProvenance,
+}
+
+impl FlatProvenance {
+    /// The empty sequence.
+    pub fn empty() -> Self {
+        FlatProvenance { events: Vec::new() }
+    }
+
+    /// Number of top-level events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of events in the logical tree, nested channel
+    /// provenances included, computed by recursion over the flat vectors.
+    pub fn total_size(&self) -> usize {
+        self.events.iter().fold(0usize, |acc, ev| {
+            acc.saturating_add(1)
+                .saturating_add(ev.channel_provenance.total_size())
+        })
+    }
+
+    /// Maximum nesting depth of channel provenances (ε has depth 0),
+    /// computed by recursion over the flat vectors.
+    pub fn depth(&self) -> usize {
+        self.events
+            .iter()
+            .map(|ev| 1 + ev.channel_provenance.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Prepends an event by copying the entire sequence.
+    pub fn prepend(&self, event: FlatEvent) -> Self {
+        let mut events = Vec::with_capacity(self.events.len() + 1);
+        events.push(event);
+        events.extend(self.events.iter().cloned());
+        FlatProvenance { events }
+    }
+
+    /// Converts to the canonical interned representation.
+    pub fn to_shared(&self) -> Provenance {
+        Provenance::from_events(self.events.iter().map(|ev| Event {
+            principal: ev.principal.clone(),
+            direction: ev.direction,
+            channel_provenance: ev.channel_provenance.to_shared(),
+        }))
+    }
+
+    /// Builds a flat copy of an interned provenance sequence.
+    pub fn from_shared(p: &Provenance) -> Self {
+        FlatProvenance {
+            events: p
+                .iter()
+                .map(|ev| FlatEvent {
+                    principal: ev.principal.clone(),
+                    direction: ev.direction,
+                    channel_provenance: FlatEvent::flatten(&ev.channel_provenance),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl FlatEvent {
+    fn flatten(p: &Provenance) -> FlatProvenance {
+        FlatProvenance::from_shared(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::{Event, Provenance};
+
+    #[test]
+    fn round_trip_between_representations() {
+        let shared = Provenance::from_events(vec![
+            Event::input(
+                "b",
+                Provenance::single(Event::output("x", Provenance::empty())),
+            ),
+            Event::output("a", Provenance::empty()),
+        ]);
+        let flat = FlatProvenance::from_shared(&shared);
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.to_shared(), shared);
+    }
+
+    #[test]
+    fn flat_prepend_matches_shared_prepend() {
+        let base = Provenance::single(Event::output("a", Provenance::empty()));
+        let flat = FlatProvenance::from_shared(&base);
+        let ev = Event::input("b", Provenance::empty());
+        let flat_ev = FlatEvent {
+            principal: ev.principal.clone(),
+            direction: ev.direction,
+            channel_provenance: FlatProvenance::empty(),
+        };
+        assert_eq!(flat.prepend(flat_ev).to_shared(), base.prepend(ev));
+    }
+
+    #[test]
+    fn empty_flat_is_empty_shared() {
+        assert_eq!(FlatProvenance::empty().to_shared(), Provenance::empty());
+        assert!(FlatProvenance::empty().is_empty());
+    }
+
+    #[test]
+    fn flat_sizes_agree_with_cached_sizes() {
+        let km = Provenance::single(Event::output("c", Provenance::empty()));
+        let shared = Provenance::empty()
+            .prepend(Event::output("a", km.clone()))
+            .prepend(Event::input("b", km));
+        let flat = FlatProvenance::from_shared(&shared);
+        assert_eq!(flat.total_size(), shared.total_size());
+        assert_eq!(flat.depth(), shared.depth());
+        assert_eq!(flat.len(), shared.len());
+    }
+}

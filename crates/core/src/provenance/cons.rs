@@ -1,0 +1,200 @@
+//! The non-interned cons-list provenance representation, kept as an
+//! ablation baseline (experiment E9).
+//!
+//! This is the seed's canonical representation: a persistent, structurally
+//! shared cons list with O(1) prepend.  It shares tails *in memory* via
+//! `Arc`, but — unlike the interned [`Provenance`] —
+//! equality, hashing, `total_size` and `depth` are **deep**: they walk the
+//! logical tree, re-visiting shared substructure once per occurrence, so
+//! their cost is O(tree) even when the DAG is tiny.  The three-way
+//! `prov_repr` bench measures exactly this gap.
+
+use super::{Direction, Provenance};
+use crate::name::Principal;
+use std::sync::Arc;
+
+/// An event of the cons-list representation; mirrors
+/// [`Event`](super::Event) but nests a [`ConsProvenance`] so the whole
+/// structure stays non-interned.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConsEvent {
+    /// Principal that performed the action.
+    pub principal: Principal,
+    /// Send or receive.
+    pub direction: Direction,
+    /// Provenance of the channel used.
+    pub channel_provenance: ConsProvenance,
+}
+
+#[derive(Debug, PartialEq, Eq, Hash)]
+enum Node {
+    Nil,
+    Cons(ConsEvent, ConsProvenance),
+}
+
+/// A provenance sequence as a structurally shared cons list with deep
+/// (structural) equality and hashing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConsProvenance {
+    node: Arc<Node>,
+    len: usize,
+}
+
+impl ConsProvenance {
+    /// The empty sequence `ε`.
+    pub fn empty() -> Self {
+        ConsProvenance {
+            node: Arc::new(Node::Nil),
+            len: 0,
+        }
+    }
+
+    /// Returns a new sequence with `event` prepended; O(1), shares the
+    /// tail.
+    pub fn prepend(&self, event: ConsEvent) -> Self {
+        ConsProvenance {
+            len: self.len + 1,
+            node: Arc::new(Node::Cons(event, self.clone())),
+        }
+    }
+
+    /// Number of top-level events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the sequence is `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The most recent event, if any.
+    pub fn head(&self) -> Option<&ConsEvent> {
+        match &*self.node {
+            Node::Nil => None,
+            Node::Cons(ev, _) => Some(ev),
+        }
+    }
+
+    /// Everything but the most recent event; `None` on `ε`.
+    pub fn tail(&self) -> Option<&ConsProvenance> {
+        match &*self.node {
+            Node::Nil => None,
+            Node::Cons(_, rest) => Some(rest),
+        }
+    }
+
+    /// Total number of events in the logical tree, nested channel
+    /// provenances included.  Deep: O(tree), the cost the interned
+    /// representation caches away.
+    pub fn total_size(&self) -> usize {
+        let mut sum = 0usize;
+        let mut cursor = self;
+        while let Node::Cons(ev, rest) = &*cursor.node {
+            sum = sum
+                .saturating_add(1)
+                .saturating_add(ev.channel_provenance.total_size());
+            cursor = rest;
+        }
+        sum
+    }
+
+    /// Maximum nesting depth of channel provenances (ε has depth 0).
+    /// Deep: O(tree).
+    pub fn depth(&self) -> usize {
+        let mut max = 0usize;
+        let mut cursor = self;
+        while let Node::Cons(ev, rest) = &*cursor.node {
+            max = max.max(1 + ev.channel_provenance.depth());
+            cursor = rest;
+        }
+        max
+    }
+
+    /// Builds a cons-list copy of an interned sequence.
+    pub fn from_shared(p: &Provenance) -> Self {
+        let events: Vec<ConsEvent> = p
+            .iter()
+            .map(|ev| ConsEvent {
+                principal: ev.principal.clone(),
+                direction: ev.direction,
+                channel_provenance: ConsProvenance::from_shared(&ev.channel_provenance),
+            })
+            .collect();
+        let mut acc = ConsProvenance::empty();
+        for ev in events.into_iter().rev() {
+            acc = acc.prepend(ev);
+        }
+        acc
+    }
+
+    /// Converts back to the canonical interned representation.
+    pub fn to_shared(&self) -> Provenance {
+        let mut events = Vec::with_capacity(self.len);
+        let mut cursor = self;
+        while let Node::Cons(ev, rest) = &*cursor.node {
+            events.push(super::Event {
+                principal: ev.principal.clone(),
+                direction: ev.direction,
+                channel_provenance: ev.channel_provenance.to_shared(),
+            });
+            cursor = rest;
+        }
+        Provenance::from_events(events)
+    }
+}
+
+impl Default for ConsProvenance {
+    fn default() -> Self {
+        ConsProvenance::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::{Event, Provenance};
+
+    #[test]
+    fn round_trip_preserves_structure_and_sizes() {
+        let km = Provenance::single(Event::output(Principal::new("c"), Provenance::empty()));
+        let shared = Provenance::empty()
+            .prepend(Event::output(Principal::new("a"), km.clone()))
+            .prepend(Event::input(Principal::new("b"), km));
+        let cons = ConsProvenance::from_shared(&shared);
+        assert_eq!(cons.len(), shared.len());
+        assert_eq!(cons.total_size(), shared.total_size());
+        assert_eq!(cons.depth(), shared.depth());
+        assert_eq!(cons.to_shared(), shared);
+    }
+
+    #[test]
+    fn prepend_shares_tail_but_equality_is_deep() {
+        let base = ConsProvenance::empty().prepend(ConsEvent {
+            principal: Principal::new("a"),
+            direction: Direction::Output,
+            channel_provenance: ConsProvenance::empty(),
+        });
+        let e = ConsEvent {
+            principal: Principal::new("b"),
+            direction: Direction::Input,
+            channel_provenance: ConsProvenance::empty(),
+        };
+        let x = base.prepend(e.clone());
+        let y = base.prepend(e);
+        assert_eq!(x, y, "structural equality holds");
+        assert!(!Arc::ptr_eq(&x.node, &y.node), "but nodes are not shared");
+        assert_eq!(x.head(), y.head());
+        assert_eq!(x.tail(), Some(&base));
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        assert!(ConsProvenance::empty().is_empty());
+        assert_eq!(ConsProvenance::empty().to_shared(), Provenance::empty());
+        assert_eq!(
+            ConsProvenance::from_shared(&Provenance::empty()),
+            ConsProvenance::empty()
+        );
+    }
+}

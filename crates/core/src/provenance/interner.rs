@@ -1,0 +1,197 @@
+//! The global provenance interner (hash-consing table).
+//!
+//! Every distinct provenance node — a `(event, tail)` pair, where the
+//! event's channel provenance and the tail are themselves interned — is
+//! created exactly once and assigned a stable [`ProvId`].  All
+//! [`Provenance`] construction funnels through the crate-internal
+//! `intern` entry point, which gives the calculus three properties the
+//! tree representation cannot offer:
+//!
+//! * **O(1) equality and hashing** — structural equality coincides with id
+//!   equality, by induction over the construction;
+//! * **O(1) size queries** — `len`, `depth` and `total_size` are computed
+//!   once, when the node is interned, from the already-cached values of
+//!   its children;
+//! * **DAG-sized serialization** — downstream layers (the store codec, the
+//!   pattern-match memo, the simulator's sharing metrics) can key work by
+//!   `ProvId` and pay per *distinct* node instead of per tree occurrence.
+//!
+//! The table is process-global, append-only and guarded by a single
+//! [`Mutex`]; nodes are never reclaimed.  Sharding the table and
+//! compacting unreferenced nodes are tracked as ROADMAP open items.
+
+use super::{Direction, Event, Provenance};
+use crate::name::Principal;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Stable identifier of an interned provenance node.
+///
+/// `ProvId::EMPTY` (id 0) is reserved for the empty sequence `ε`; every
+/// non-empty sequence gets a positive id in interning order.  Ids are
+/// stable for the lifetime of the process and totally ordered, which makes
+/// them usable as compact map keys (the pattern engine memoizes match
+/// results per `(ProvId, state set)`, the simulator deduplicates delivered
+/// nodes per `ProvId`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProvId(u32);
+
+impl ProvId {
+    /// The id of the empty provenance sequence `ε`.
+    pub const EMPTY: ProvId = ProvId(0);
+
+    /// The raw numeric form of the id (0 for `ε`).
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// `true` if this is the id of `ε`.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for ProvId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "κ#{}", self.0)
+    }
+}
+
+/// An interned provenance node: one event plus the (interned) rest of the
+/// sequence, with the derived quantities cached at construction time.
+pub(super) struct Node {
+    pub(super) id: ProvId,
+    pub(super) event: Event,
+    pub(super) tail: Provenance,
+    pub(super) len: usize,
+    pub(super) depth: usize,
+    pub(super) total_size: usize,
+}
+
+/// Shared handle onto an interned node.
+pub(super) type NodeHandle = Arc<Node>;
+
+/// Hash-consing key: the event's principal and direction plus the ids of
+/// the event's channel provenance and of the tail.  Because channel and
+/// tail are already interned, comparing ids is exactly structural
+/// comparison, and the key is O(1)-sized regardless of history depth.
+type Key = (Principal, Direction, u32, u32);
+
+#[derive(Default)]
+struct Interner {
+    map: HashMap<Key, NodeHandle>,
+}
+
+fn table() -> &'static Mutex<Interner> {
+    static TABLE: OnceLock<Mutex<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Interner::default()))
+}
+
+/// Interns the node `event; tail`, returning the canonical handle.
+///
+/// The event is cloned only when the `(event, tail)` pair has not been
+/// seen before; on a cache hit the existing node is returned and the
+/// caller's borrow is untouched.
+pub(super) fn intern(event: &Event, tail: &Provenance) -> NodeHandle {
+    let key: Key = (
+        event.principal.clone(),
+        event.direction,
+        event.channel_provenance.id().as_u32(),
+        tail.id().as_u32(),
+    );
+    // Derived quantities read cached values off the children, outside the
+    // lock; saturating arithmetic because the logical tree size grows
+    // exponentially under channel-chained histories.
+    let channel = &event.channel_provenance;
+    let len = tail.len() + 1;
+    let depth = tail.depth().max(1 + channel.depth());
+    let total_size = 1usize
+        .saturating_add(channel.total_size())
+        .saturating_add(tail.total_size());
+    let mut interner = match table().lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(existing) = interner.map.get(&key) {
+        return existing.clone();
+    }
+    let id = ProvId(u32::try_from(interner.map.len() + 1).expect("provenance interner overflow"));
+    let node = Arc::new(Node {
+        id,
+        event: event.clone(),
+        tail: tail.clone(),
+        len,
+        depth,
+        total_size,
+    });
+    interner.map.insert(key, node.clone());
+    node
+}
+
+/// A snapshot of the interner's occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Number of distinct provenance nodes interned so far in this process
+    /// (the empty sequence is not counted).
+    pub interned_nodes: usize,
+}
+
+/// Reads the current interner occupancy.
+///
+/// The counter is process-global and monotone: it counts every distinct
+/// provenance node ever built, across all systems, simulations and tests
+/// that ran in this process.
+pub fn interner_stats() -> InternerStats {
+    let interner = match table().lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    InternerStats {
+        interned_nodes: interner.map.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_deduplicated() {
+        let p = Principal::new("interner-test-a");
+        let e = Event::output(p, Provenance::empty());
+        let k1 = Provenance::single(e.clone());
+        let k2 = Provenance::single(e);
+        assert_eq!(k1.id(), k2.id());
+        assert!(!k1.id().is_empty());
+        assert!(ProvId::EMPTY.is_empty());
+        assert_eq!(ProvId::EMPTY.as_u32(), 0);
+        assert_eq!(format!("{:?}", ProvId::EMPTY), "κ#0");
+    }
+
+    #[test]
+    fn stats_grow_with_fresh_nodes() {
+        let before = interner_stats().interned_nodes;
+        let _k = Provenance::single(Event::output(
+            Principal::new("interner-stats-unique-xyzzy"),
+            Provenance::empty(),
+        ));
+        let after = interner_stats().interned_nodes;
+        assert!(after > before);
+    }
+
+    #[test]
+    fn distinct_channels_make_distinct_nodes() {
+        let chan = Provenance::single(Event::output(
+            Principal::new("interner-chan"),
+            Provenance::empty(),
+        ));
+        let on_empty = Provenance::single(Event::output(
+            Principal::new("interner-x"),
+            Provenance::empty(),
+        ));
+        let on_chan = Provenance::single(Event::output(Principal::new("interner-x"), chan));
+        assert_ne!(on_empty.id(), on_chan.id());
+        assert_ne!(on_empty, on_chan);
+    }
+}

@@ -6,16 +6,38 @@
 //! channel whose provenance is `κ`) or an input event `a?κ` (the value was
 //! received by principal `a` on a channel whose provenance is `κ`).
 //!
-//! The canonical representation here is a persistent, structurally shared
-//! cons list: the common operation during reduction is prefixing a single
-//! event (`κ ↦ a!κₘ; κ`), which is O(1) and shares the entire old sequence.
-//! A flat, eagerly cloned representation used for the representation
-//! ablation (experiment E9 in `DESIGN.md`) lives in [`compact`].
+//! Because every event embeds the *entire* provenance of the channel it
+//! travelled on, the logical term is a tree that can be exponentially
+//! larger than its underlying DAG.  The canonical representation here is a
+//! **hash-consed (interned) DAG**: every distinct `(event, tail)` node is
+//! created exactly once by the global [`interner`], carries a stable
+//! [`ProvId`], and caches its `len`, `depth` and `total_size`.  As a
+//! result:
+//!
+//! * [`Provenance::prepend`] — the operation performed by the reduction
+//!   rules (`κ ↦ a!κₘ; κ`) — is O(1) plus one interner lookup and shares
+//!   the entire old sequence;
+//! * equality and hashing are O(1) (they compare ids — two provenances are
+//!   structurally equal if and only if they intern to the same node);
+//! * [`Provenance::len`], [`Provenance::depth`] and
+//!   [`Provenance::total_size`] are O(1) cached reads, even when the
+//!   logical tree has exponentially many events.
+//!
+//! Two non-interned representations are kept as ablation baselines for
+//! experiment E9 (`DESIGN.md` §6): the seed's structurally shared cons
+//! list ([`cons`]) with deep equality, and a flat eagerly cloned vector
+//! ([`compact`]).
 
 use crate::name::Principal;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::fmt;
-use std::sync::Arc;
+
+pub mod compact;
+pub mod cons;
+pub mod interner;
+
+pub use interner::{interner_stats, InternerStats, ProvId};
 
 /// The direction of a provenance event: output (`!`) or input (`?`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -43,6 +65,10 @@ impl fmt::Display for Direction {
 }
 
 /// A single provenance event `a!κ` or `a?κ`.
+///
+/// The channel provenance is itself an interned [`Provenance`], so cloning,
+/// comparing and hashing events is cheap regardless of how deeply the
+/// channel's history nests.
 #[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Event {
     /// The principal that performed the send or receive.
@@ -83,9 +109,10 @@ impl Event {
     }
 
     /// Total number of events reachable from this event, including itself
-    /// and everything nested inside the channel provenance.
+    /// and everything nested inside the channel provenance (O(1): the
+    /// nested size is cached on the interned channel provenance).
     pub fn total_size(&self) -> usize {
-        1 + self.channel_provenance.total_size()
+        1usize.saturating_add(self.channel_provenance.total_size())
     }
 
     /// Nesting depth of the event (an event over an empty channel
@@ -115,18 +142,14 @@ impl fmt::Display for Event {
     }
 }
 
-#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-enum Node {
-    Nil,
-    Cons(Event, Provenance),
-}
-
 /// A provenance sequence `κ ::= ε | e | κ;κ`, kept in the flattened
 /// (right-associated) normal form the paper works with: a list of events,
 /// most recent first.
 ///
-/// `Provenance` values are immutable and cheap to clone; prefixing an event
-/// with [`Provenance::prepend`] is O(1) and shares the tail.
+/// `Provenance` values are immutable handles onto interned DAG nodes:
+/// cloning is an `Arc` bump, equality and hashing compare [`ProvId`]s in
+/// O(1), and prefixing an event with [`Provenance::prepend`] shares the
+/// tail (one interner lookup).
 ///
 /// ```
 /// use piprov_core::provenance::{Event, Provenance};
@@ -136,21 +159,34 @@ enum Node {
 ///     .prepend(Event::input("b", Provenance::empty()));
 /// assert_eq!(kappa.to_string(), "b?ε; a!ε");
 /// assert_eq!(kappa.len(), 2);
+///
+/// // Structurally equal sequences intern to the same node.
+/// let again = Provenance::from_events(kappa.to_vec());
+/// assert_eq!(again.id(), kappa.id());
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Provenance {
-    node: Arc<Node>,
-    len: usize,
+    node: Option<interner::NodeHandle>,
 }
 
 impl Provenance {
     /// The empty provenance sequence `ε`: the value originated locally and
     /// has never been exchanged.
     pub fn empty() -> Self {
-        Provenance {
-            node: Arc::new(Node::Nil),
-            len: 0,
-        }
+        Provenance { node: None }
+    }
+
+    fn from_node(node: interner::NodeHandle) -> Self {
+        Provenance { node: Some(node) }
+    }
+
+    /// The stable identifier of the interned node backing this sequence
+    /// ([`ProvId::EMPTY`] for `ε`).
+    ///
+    /// Ids are stable for the lifetime of the process: two `Provenance`
+    /// values are structurally equal if and only if their ids are equal.
+    pub fn id(&self) -> ProvId {
+        self.node.as_ref().map(|n| n.id).unwrap_or(ProvId::EMPTY)
     }
 
     /// Builds a provenance sequence from events given *most recent first*.
@@ -174,52 +210,59 @@ impl Provenance {
     /// Returns a new sequence with `event` as the new most-recent event.
     ///
     /// This is the operation performed by the provenance-tracking reduction
-    /// rules: `κ ↦ a!κₘ; κ` on output and `κ ↦ a?κₘ; κ` on input.
+    /// rules: `κ ↦ a!κₘ; κ` on output and `κ ↦ a?κₘ; κ` on input.  The
+    /// node is built through the global interner, so repeated histories
+    /// share storage and compare in O(1).
     pub fn prepend(&self, event: Event) -> Self {
-        Provenance {
-            len: self.len + 1,
-            node: Arc::new(Node::Cons(event, self.clone())),
-        }
+        Provenance::from_node(interner::intern(&event, self))
     }
 
     /// Concatenates two sequences: `self ; other` (all of `self` is more
     /// recent than all of `other`).
+    ///
+    /// Runs in a single reverse pass over `self`'s spine, re-interning each
+    /// node on top of `other`; events are only cloned when the interner has
+    /// not seen the `(event, tail)` pair before.
     pub fn concat(&self, other: &Provenance) -> Self {
         if other.is_empty() {
             return self.clone();
         }
+        if self.is_empty() {
+            return other.clone();
+        }
+        let mut spine: Vec<&interner::NodeHandle> = Vec::with_capacity(self.len());
+        let mut cursor = &self.node;
+        while let Some(node) = cursor {
+            spine.push(node);
+            cursor = &node.tail.node;
+        }
         let mut acc = other.clone();
-        for ev in self.iter().collect::<Vec<_>>().into_iter().rev() {
-            acc = acc.prepend(ev.clone());
+        for node in spine.into_iter().rev() {
+            acc = Provenance::from_node(interner::intern(&node.event, &acc));
         }
         acc
     }
 
     /// `true` when the sequence is `ε`.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.node.is_none()
     }
 
     /// Number of top-level events in the sequence (nested channel
-    /// provenances are not counted; see [`Provenance::total_size`]).
+    /// provenances are not counted; see [`Provenance::total_size`]).  O(1):
+    /// cached on the interned node.
     pub fn len(&self) -> usize {
-        self.len
+        self.node.as_ref().map(|n| n.len).unwrap_or(0)
     }
 
     /// The most recent event, if any.
     pub fn head(&self) -> Option<&Event> {
-        match &*self.node {
-            Node::Nil => None,
-            Node::Cons(ev, _) => Some(ev),
-        }
+        self.node.as_ref().map(|n| &n.event)
     }
 
     /// Everything but the most recent event.  Returns `None` on `ε`.
     pub fn tail(&self) -> Option<&Provenance> {
-        match &*self.node {
-            Node::Nil => None,
-            Node::Cons(_, rest) => Some(rest),
-        }
+        self.node.as_ref().map(|n| &n.tail)
     }
 
     /// Iterates over the top-level events, most recent first.
@@ -232,16 +275,76 @@ impl Provenance {
         self.iter().cloned().collect()
     }
 
-    /// Total number of events including those nested inside channel
-    /// provenances.  This is the quantity that grows during long runs and
-    /// drives the tracking-overhead experiments.
+    /// Total number of events in the *logical tree*, i.e. including those
+    /// nested inside channel provenances, counting shared substructure once
+    /// per occurrence.  This is the quantity that grows (potentially
+    /// exponentially) during long runs; it is cached on the interned node,
+    /// so reading it is O(1).  Saturates at `usize::MAX`.
     pub fn total_size(&self) -> usize {
-        self.iter().map(Event::total_size).sum()
+        self.node.as_ref().map(|n| n.total_size).unwrap_or(0)
     }
 
     /// Maximum nesting depth of channel provenances (ε has depth 0).
+    /// O(1): cached on the interned node.
     pub fn depth(&self) -> usize {
-        self.iter().map(Event::depth).max().unwrap_or(0)
+        self.node.as_ref().map(|n| n.depth).unwrap_or(0)
+    }
+
+    /// Number of *distinct* interned nodes reachable from this sequence
+    /// through tail and channel-provenance edges — the size of the DAG, as
+    /// opposed to [`Provenance::total_size`] which is the size of the tree.
+    ///
+    /// The ratio `total_size / dag_size` measures how much sharing the
+    /// interned representation exploits.
+    pub fn dag_size(&self) -> usize {
+        let mut visited: HashSet<ProvId> = HashSet::new();
+        let mut stack = vec![self.clone()];
+        while let Some(start) = stack.pop() {
+            let mut cursor = start;
+            while let Some(node) = cursor.node.as_ref() {
+                if !visited.insert(node.id) {
+                    break;
+                }
+                let channel = node.event.channel_provenance.clone();
+                if !channel.is_empty() {
+                    stack.push(channel);
+                }
+                let tail = node.tail.clone();
+                cursor = tail;
+            }
+        }
+        visited.len()
+    }
+
+    /// All distinct interned nodes reachable from this sequence, in
+    /// postorder: the channel provenance and tail of a node are listed
+    /// before the node itself, and `ε` is never listed.
+    ///
+    /// This is the enumeration the store's DAG codec serializes: because
+    /// children precede parents, every node can refer to its children by
+    /// their position in this list.
+    pub fn dag_nodes(&self) -> Vec<Provenance> {
+        let mut visited: HashSet<ProvId> = HashSet::new();
+        let mut order = Vec::new();
+        let mut stack: Vec<(Provenance, bool)> = vec![(self.clone(), false)];
+        while let Some((current, expanded)) = stack.pop() {
+            let Some(node) = current.node.as_ref() else {
+                continue;
+            };
+            if expanded {
+                order.push(current.clone());
+                continue;
+            }
+            if !visited.insert(node.id) {
+                continue;
+            }
+            let tail = node.tail.clone();
+            let channel = node.event.channel_provenance.clone();
+            stack.push((current.clone(), true));
+            stack.push((tail, false));
+            stack.push((channel, false));
+        }
+        order
     }
 
     /// All principals mentioned anywhere in the sequence, in order of first
@@ -278,10 +381,26 @@ impl Provenance {
     /// Corresponds to the "original sender" authentication check of the
     /// paper's first example.
     pub fn originated_at(&self, principal: &Principal) -> bool {
-        let events = self.to_vec();
-        matches!(events.last(), Some(ev) if ev.is_output() && &ev.principal == principal)
+        matches!(self.iter().last(), Some(ev) if ev.is_output() && &ev.principal == principal)
     }
 }
+
+impl PartialEq for Provenance {
+    fn eq(&self, other: &Self) -> bool {
+        self.id() == other.id()
+    }
+}
+
+impl Eq for Provenance {}
+
+impl std::hash::Hash for Provenance {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id().hash(state);
+    }
+}
+
+impl Serialize for Provenance {}
+impl Deserialize for Provenance {}
 
 impl Default for Provenance {
     fn default() -> Self {
@@ -314,17 +433,13 @@ impl<'a> Iterator for Iter<'a> {
     type Item = &'a Event;
 
     fn next(&mut self) -> Option<Self::Item> {
-        match &*self.current.node {
-            Node::Nil => None,
-            Node::Cons(ev, rest) => {
-                self.current = rest;
-                Some(ev)
-            }
-        }
+        let node = self.current.node.as_ref()?;
+        self.current = &node.tail;
+        Some(&node.event)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.current.len, Some(self.current.len))
+        (self.current.len(), Some(self.current.len()))
     }
 }
 
@@ -353,128 +468,6 @@ impl fmt::Display for Provenance {
     }
 }
 
-pub mod compact {
-    //! A flat, eagerly cloned provenance representation used as the ablation
-    //! baseline for the persistent representation (experiment E9).
-    //!
-    //! Functionally equivalent to [`Provenance`](super::Provenance) but every
-    //! prepend copies the whole vector, so cost grows linearly with history
-    //! length — this is what a naive implementation of the paper would do.
-
-    use super::{Direction, Event, Provenance};
-    use crate::name::Principal;
-
-    /// A flat provenance sequence: a vector of events, most recent first.
-    #[derive(Debug, Clone, PartialEq, Eq, Default)]
-    pub struct FlatProvenance {
-        events: Vec<FlatEvent>,
-    }
-
-    /// A flat event mirroring [`Event`](super::Event).
-    #[derive(Debug, Clone, PartialEq, Eq)]
-    pub struct FlatEvent {
-        /// Principal that performed the action.
-        pub principal: Principal,
-        /// Send or receive.
-        pub direction: Direction,
-        /// Provenance of the channel used.
-        pub channel_provenance: FlatProvenance,
-    }
-
-    impl FlatProvenance {
-        /// The empty sequence.
-        pub fn empty() -> Self {
-            FlatProvenance { events: Vec::new() }
-        }
-
-        /// Number of top-level events.
-        pub fn len(&self) -> usize {
-            self.events.len()
-        }
-
-        /// `true` when empty.
-        pub fn is_empty(&self) -> bool {
-            self.events.is_empty()
-        }
-
-        /// Prepends an event by copying the entire sequence.
-        pub fn prepend(&self, event: FlatEvent) -> Self {
-            let mut events = Vec::with_capacity(self.events.len() + 1);
-            events.push(event);
-            events.extend(self.events.iter().cloned());
-            FlatProvenance { events }
-        }
-
-        /// Converts to the canonical shared representation.
-        pub fn to_shared(&self) -> Provenance {
-            Provenance::from_events(self.events.iter().map(|ev| Event {
-                principal: ev.principal.clone(),
-                direction: ev.direction,
-                channel_provenance: ev.channel_provenance.to_shared(),
-            }))
-        }
-
-        /// Builds a flat copy of a shared provenance sequence.
-        pub fn from_shared(p: &Provenance) -> Self {
-            FlatProvenance {
-                events: p
-                    .iter()
-                    .map(|ev| FlatEvent {
-                        principal: ev.principal.clone(),
-                        direction: ev.direction,
-                        channel_provenance: FlatEvent::flatten(&ev.channel_provenance),
-                    })
-                    .collect(),
-            }
-        }
-    }
-
-    impl FlatEvent {
-        fn flatten(p: &Provenance) -> FlatProvenance {
-            FlatProvenance::from_shared(p)
-        }
-    }
-
-    #[cfg(test)]
-    mod tests {
-        use super::*;
-        use crate::provenance::{Event, Provenance};
-
-        #[test]
-        fn round_trip_between_representations() {
-            let shared = Provenance::from_events(vec![
-                Event::input(
-                    "b",
-                    Provenance::single(Event::output("x", Provenance::empty())),
-                ),
-                Event::output("a", Provenance::empty()),
-            ]);
-            let flat = FlatProvenance::from_shared(&shared);
-            assert_eq!(flat.len(), 2);
-            assert_eq!(flat.to_shared(), shared);
-        }
-
-        #[test]
-        fn flat_prepend_matches_shared_prepend() {
-            let base = Provenance::single(Event::output("a", Provenance::empty()));
-            let flat = FlatProvenance::from_shared(&base);
-            let ev = Event::input("b", Provenance::empty());
-            let flat_ev = FlatEvent {
-                principal: ev.principal.clone(),
-                direction: ev.direction,
-                channel_provenance: FlatProvenance::empty(),
-            };
-            assert_eq!(flat.prepend(flat_ev).to_shared(), base.prepend(ev));
-        }
-
-        #[test]
-        fn empty_flat_is_empty_shared() {
-            assert_eq!(FlatProvenance::empty().to_shared(), Provenance::empty());
-            assert!(FlatProvenance::empty().is_empty());
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +489,8 @@ mod tests {
         assert_eq!(e.to_string(), "ε");
         assert_eq!(e.depth(), 0);
         assert_eq!(e.total_size(), 0);
+        assert_eq!(e.id(), ProvId::EMPTY);
+        assert_eq!(e.dag_size(), 0);
     }
 
     #[test]
@@ -534,6 +529,38 @@ mod tests {
         let k = Provenance::single(Event::output(a(), Provenance::empty()));
         assert_eq!(k.concat(&Provenance::empty()), k);
         assert_eq!(Provenance::empty().concat(&k), k);
+    }
+
+    #[test]
+    fn concat_preserves_structural_sharing() {
+        // Build a long right-hand side and a moderate left-hand side; the
+        // concatenation must share the *entire* right-hand side (same
+        // interned node, not a copy), and the result must be the same node
+        // as prepending the left events one by one.
+        let right = Provenance::from_events(
+            (0..64)
+                .map(|i| Event::output(Principal::new(format!("r{}", i)), Provenance::empty()))
+                .collect::<Vec<_>>(),
+        );
+        let left = Provenance::from_events(
+            (0..16)
+                .map(|i| Event::input(Principal::new(format!("l{}", i)), Provenance::empty()))
+                .collect::<Vec<_>>(),
+        );
+        let joined = left.concat(&right);
+        assert_eq!(joined.len(), 80);
+        // Walk past the left part: what remains must be `right` itself.
+        let mut suffix = &joined;
+        for _ in 0..left.len() {
+            suffix = suffix.tail().unwrap();
+        }
+        assert_eq!(suffix.id(), right.id(), "tail is shared, not rebuilt");
+        // And concat agrees node-for-node with the fold over prepend.
+        let mut expected = right.clone();
+        for ev in left.to_vec().into_iter().rev() {
+            expected = expected.prepend(ev);
+        }
+        assert_eq!(joined.id(), expected.id());
     }
 
     #[test]
@@ -586,14 +613,15 @@ mod tests {
     fn clone_shares_structure() {
         let base = Provenance::from_events(vec![Event::output(a(), Provenance::empty())]);
         let extended = base.prepend(Event::input(b(), Provenance::empty()));
-        // The tail of the extended sequence is the same allocation as `base`.
+        // The tail of the extended sequence is the same interned node as `base`.
         assert_eq!(extended.tail(), Some(&base));
+        assert_eq!(extended.tail().unwrap().id(), base.id());
         assert_eq!(base.len(), 1);
         assert_eq!(extended.len(), 2);
     }
 
     #[test]
-    fn equality_is_structural() {
+    fn equality_is_structural_and_o1() {
         let k1 = Provenance::from_events(vec![
             Event::output(a(), Provenance::empty()),
             Event::input(b(), Provenance::empty()),
@@ -602,6 +630,68 @@ mod tests {
             .prepend(Event::input(b(), Provenance::empty()))
             .prepend(Event::output(a(), Provenance::empty()));
         assert_eq!(k1, k2);
+        // Hash-consing: structural equality coincides with id equality.
+        assert_eq!(k1.id(), k2.id());
+        let k3 = k1.prepend(Event::output(a(), Provenance::empty()));
+        assert_ne!(k1, k3);
+        assert_ne!(k1.id(), k3.id());
+    }
+
+    #[test]
+    fn interner_deduplicates_across_construction_paths() {
+        let build = || {
+            Provenance::from_events(vec![
+                Event::output(Principal::new("dedup-x"), Provenance::empty()),
+                Event::input(Principal::new("dedup-y"), Provenance::empty()),
+            ])
+        };
+        let k1 = build();
+        let k2 = build();
+        // Hash-consing: both builds resolve to the same interned node, so
+        // the handles are pointer-identical, not merely structurally equal.
+        assert_eq!(k1.id(), k2.id());
+        assert!(interner_stats().interned_nodes >= 2);
+    }
+
+    #[test]
+    fn dag_size_is_linear_under_exponential_tree_growth() {
+        // Channel-chained growth: each event travels on a channel whose
+        // provenance is the entire current history.  The tree doubles every
+        // step; the DAG grows by one node per step.
+        let mut k = Provenance::single(Event::output(a(), Provenance::empty()));
+        for _ in 0..20 {
+            k = Provenance::single(Event::input(b(), k.clone())).concat(&k);
+        }
+        assert!(k.total_size() > 1 << 20, "tree is exponential");
+        assert!(k.dag_size() <= 64, "DAG stays linear: {}", k.dag_size());
+    }
+
+    #[test]
+    fn dag_nodes_is_postorder_and_deduplicated() {
+        let shared = Provenance::single(Event::output(a(), Provenance::empty()));
+        let k = Provenance::single(Event::input(b(), shared.clone()))
+            .prepend(Event::output(a(), shared.clone()));
+        let nodes = k.dag_nodes();
+        // Distinct nodes only.
+        let ids: Vec<ProvId> = nodes.iter().map(Provenance::id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "no duplicates");
+        // Children precede parents.
+        for (i, node) in nodes.iter().enumerate() {
+            for child in [
+                node.tail().unwrap(),
+                &node.head().unwrap().channel_provenance,
+            ] {
+                if !child.is_empty() {
+                    let pos = nodes.iter().position(|n| n.id() == child.id()).unwrap();
+                    assert!(pos < i, "child listed before parent");
+                }
+            }
+        }
+        // The root is last.
+        assert_eq!(nodes.last().unwrap().id(), k.id());
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub enum Engine {
 }
 
 /// The sample pattern language packaged as a
-/// [`PatternLanguage`](piprov_core::pattern::PatternLanguage) instance, so it
+/// [`PatternLanguage`] instance, so it
 /// can drive the reduction semantics of `piprov-core`.
 ///
 /// The compiled engine memoises compilations keyed by the pattern's textual

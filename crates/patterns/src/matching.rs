@@ -11,13 +11,18 @@ use piprov_core::provenance::{Event, Provenance};
 
 /// Decides `κ ⊨ π` by structural recursion on the pattern.
 pub fn satisfies(provenance: &Provenance, pattern: &Pattern) -> bool {
-    let events = provenance.to_vec();
+    let events: Vec<&Event> = provenance.iter().collect();
     satisfies_events(&events, pattern)
 }
 
-/// Decides whether a slice of events (most recent first) satisfies a
-/// pattern.
-pub fn satisfies_events(events: &[Event], pattern: &Pattern) -> bool {
+/// Decides whether a slice of borrowed events (most recent first)
+/// satisfies a pattern.
+///
+/// The matcher works over `&[&Event]` cursor slices so that the
+/// exponentially many splits tried by sequencing and repetition never
+/// clone an event: every recursive call re-borrows a sub-slice of the
+/// original sequence.
+pub fn satisfies_events(events: &[&Event], pattern: &Pattern) -> bool {
     match pattern {
         // S-Any: every sequence matches Any.
         Pattern::Any => true,
@@ -26,7 +31,7 @@ pub fn satisfies_events(events: &[Event], pattern: &Pattern) -> bool {
         // S-Send / S-Recv: exactly one event, whose principal is in the
         // group, whose direction matches, and whose channel provenance
         // satisfies the nested pattern.
-        Pattern::Event(ep) => events.len() == 1 && event_satisfies(&events[0], ep),
+        Pattern::Event(ep) => events.len() == 1 && event_satisfies(events[0], ep),
         // S-Concat: some split of the sequence satisfies the two parts.
         Pattern::Seq(first, second) => (0..=events.len()).any(|i| {
             satisfies_events(&events[..i], first) && satisfies_events(&events[i..], second)

@@ -9,13 +9,26 @@
 //! channel patterns are compiled recursively and evaluated when their atom
 //! is crossed.
 //!
+//! On top of the simulation sits a **match memo** keyed by
+//! `(ProvId, state set)`: provenance sequences are interned DAG nodes
+//! (see [`piprov_core::provenance::interner`]), and NFA simulation from a
+//! given state set over a given suffix is deterministic, so its verdict
+//! can be cached per interned node.  Long runs vet the same channel
+//! provenance thousands of times (every value exchanged on a channel
+//! carries that channel's history in its events); with the memo each
+//! distinct `(suffix, state set)` pair is simulated once per automaton and
+//! every later query is a hash lookup.  Nested channel automata carry
+//! their own memos, so the sharing compounds through nesting levels.
+//!
 //! The equivalence of the two engines is checked by unit tests here and by
 //! property-based tests over random patterns and provenances.
 
 use crate::ast::{EventPattern, Pattern};
 use crate::matching::event_satisfies;
-use piprov_core::provenance::{Event, Provenance};
+use piprov_core::provenance::{Event, ProvId, Provenance};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// A transition label: either free (`ε`) or guarded by an atom predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +48,36 @@ struct Transition {
     label: Label,
 }
 
+/// A set of NFA states as a fixed-width bitmask (one bit per state).
+type StateSet = Box<[u64]>;
+
+fn set_bit(states: &mut StateSet, bit: usize) {
+    states[bit / 64] |= 1u64 << (bit % 64);
+}
+
+fn get_bit(states: &StateSet, bit: usize) -> bool {
+    states[bit / 64] & (1u64 << (bit % 64)) != 0
+}
+
+fn is_zero(states: &StateSet) -> bool {
+    states.iter().all(|&w| w == 0)
+}
+
+fn iter_bits(states: &StateSet) -> impl Iterator<Item = usize> + '_ {
+    states.iter().enumerate().flat_map(|(word, &bits)| {
+        let mut bits = bits;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(word * 64 + bit)
+            }
+        })
+    })
+}
+
 /// A pattern compiled to a non-deterministic finite automaton over event
 /// predicates.
 ///
@@ -49,7 +92,6 @@ struct Transition {
 /// let prov = Provenance::single(Event::output(Principal::new("c"), Provenance::empty()));
 /// assert!(compiled.matches(&prov));
 /// ```
-#[derive(Clone)]
 pub struct CompiledPattern {
     /// The source pattern (kept for display and introspection).
     source: Pattern,
@@ -59,6 +101,11 @@ pub struct CompiledPattern {
     atoms: Vec<CompiledAtom>,
     start: usize,
     accept: usize,
+    /// Match memo: verdict of simulating from a state set over the suffix
+    /// identified by an interned `ProvId`.  Outer key is the suffix id,
+    /// inner key the state set at that point.  Append-only for the
+    /// automaton's lifetime.
+    memo: Mutex<HashMap<ProvId, HashMap<StateSet, bool>>>,
 }
 
 /// A compiled event predicate: the group/direction test plus a compiled
@@ -69,12 +116,27 @@ struct CompiledAtom {
     channel: Box<CompiledPattern>,
 }
 
+impl Clone for CompiledPattern {
+    fn clone(&self) -> Self {
+        CompiledPattern {
+            source: self.source.clone(),
+            transitions: self.transitions.clone(),
+            atoms: self.atoms.clone(),
+            start: self.start,
+            accept: self.accept,
+            // The memo is a cache: clones start cold.
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
 impl fmt::Debug for CompiledPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CompiledPattern")
             .field("source", &self.source.to_string())
             .field("states", &self.transitions.len())
             .field("atoms", &self.atoms.len())
+            .field("memo_entries", &self.memo_entries())
             .finish()
     }
 }
@@ -168,6 +230,7 @@ impl CompiledPattern {
             atoms: builder.atoms,
             start,
             accept,
+            memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -182,41 +245,111 @@ impl CompiledPattern {
         self.transitions.len()
     }
 
-    /// Decides `κ ⊨ π` by NFA simulation.
-    pub fn matches(&self, provenance: &Provenance) -> bool {
-        let events = provenance.to_vec();
-        self.matches_events(&events)
+    /// Number of `(suffix, state set)` verdicts currently memoized at this
+    /// level (nested channel automata keep their own memos).
+    pub fn memo_entries(&self) -> usize {
+        match self.memo.lock() {
+            Ok(memo) => memo.values().map(HashMap::len).sum(),
+            Err(poisoned) => poisoned.into_inner().values().map(HashMap::len).sum(),
+        }
     }
 
-    /// Decides whether a slice of events (most recent first) matches.
-    pub fn matches_events(&self, events: &[Event]) -> bool {
-        let mut current = vec![false; self.transitions.len()];
-        current[self.start] = true;
-        self.epsilon_closure(&mut current);
-        for event in events {
-            let mut next = vec![false; self.transitions.len()];
-            for (state, active) in current.iter().enumerate() {
-                if !active {
-                    continue;
+    fn empty_states(&self) -> StateSet {
+        vec![0u64; self.transitions.len().div_ceil(64)].into_boxed_slice()
+    }
+
+    fn initial_states(&self) -> StateSet {
+        let mut states = self.empty_states();
+        set_bit(&mut states, self.start);
+        self.epsilon_closure(&mut states);
+        states
+    }
+
+    /// Consumes one event from every active state, returning the closure
+    /// of the successor set.
+    fn step(&self, states: &StateSet, event: &Event) -> StateSet {
+        let mut next = self.empty_states();
+        for state in iter_bits(states) {
+            for t in &self.transitions[state] {
+                let crosses = match t.label {
+                    Label::Epsilon => false,
+                    Label::AnyEvent => true,
+                    Label::Atom(idx) => self.atom_matches(idx, event),
+                };
+                if crosses {
+                    set_bit(&mut next, t.to);
                 }
-                for t in &self.transitions[state] {
-                    let crosses = match t.label {
-                        Label::Epsilon => false,
-                        Label::AnyEvent => true,
-                        Label::Atom(idx) => self.atom_matches(idx, event),
-                    };
-                    if crosses {
-                        next[t.to] = true;
-                    }
-                }
-            }
-            self.epsilon_closure(&mut next);
-            current = next;
-            if !current.iter().any(|&b| b) {
-                return false;
             }
         }
-        current[self.accept]
+        self.epsilon_closure(&mut next);
+        next
+    }
+
+    fn memo_lookup(&self, id: ProvId, states: &StateSet) -> Option<bool> {
+        let memo = match self.memo.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        memo.get(&id).and_then(|m| m.get(states)).copied()
+    }
+
+    /// Decides `κ ⊨ π` by NFA simulation, memoized per
+    /// `(ProvId, state set)`.
+    ///
+    /// The walk follows the interned spine of `κ`; at each node it first
+    /// consults the memo (simulation from a state set over a fixed suffix
+    /// is deterministic, so the cached verdict is exact) and otherwise
+    /// records the node on a trail that is back-filled with the final
+    /// verdict.  Re-vetting a provenance whose suffix was seen before —
+    /// the common case when every message on a channel carries that
+    /// channel's history — therefore costs one hash lookup per *new* node
+    /// only.
+    pub fn matches(&self, provenance: &Provenance) -> bool {
+        let mut states = self.initial_states();
+        let mut cursor = provenance.clone();
+        let mut trail: Vec<(ProvId, StateSet)> = Vec::new();
+        let verdict = loop {
+            let id = cursor.id();
+            if let Some(cached) = self.memo_lookup(id, &states) {
+                break cached;
+            }
+            trail.push((id, states.clone()));
+            match cursor.head() {
+                None => break get_bit(&states, self.accept),
+                Some(event) => {
+                    let next = self.step(&states, event);
+                    if is_zero(&next) {
+                        break false;
+                    }
+                    let tail = cursor.tail().expect("non-empty provenance").clone();
+                    states = next;
+                    cursor = tail;
+                }
+            }
+        };
+        if !trail.is_empty() {
+            let mut memo = match self.memo.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for (id, states) in trail {
+                memo.entry(id).or_default().insert(states, verdict);
+            }
+        }
+        verdict
+    }
+
+    /// Decides whether a slice of borrowed events (most recent first)
+    /// matches, by plain (unmemoized) NFA simulation.
+    pub fn matches_events(&self, events: &[&Event]) -> bool {
+        let mut current = self.initial_states();
+        for &event in events {
+            if is_zero(&current) {
+                return false;
+            }
+            current = self.step(&current, event);
+        }
+        get_bit(&current, self.accept)
     }
 
     fn atom_matches(&self, idx: usize, event: &Event) -> bool {
@@ -226,16 +359,12 @@ impl CompiledPattern {
             && atom.channel.matches(&event.channel_provenance)
     }
 
-    fn epsilon_closure(&self, states: &mut [bool]) {
-        let mut stack: Vec<usize> = states
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| if b { Some(i) } else { None })
-            .collect();
+    fn epsilon_closure(&self, states: &mut StateSet) {
+        let mut stack: Vec<usize> = iter_bits(states).collect();
         while let Some(state) = stack.pop() {
             for t in &self.transitions[state] {
-                if t.label == Label::Epsilon && !states[t.to] {
-                    states[t.to] = true;
+                if t.label == Label::Epsilon && !get_bit(states, t.to) {
+                    set_bit(states, t.to);
                     stack.push(t.to);
                 }
             }
@@ -362,6 +491,58 @@ mod tests {
         let compiled = CompiledPattern::compile(&pattern);
         // Second event can never be consumed: no live state remains.
         assert!(!compiled.matches(&seq(vec![out("a"), out("a"), out("a")])));
+    }
+
+    #[test]
+    fn memo_returns_consistent_verdicts() {
+        let pattern = Pattern::only_touched_by(GroupExpr::any_of(["a", "b"]));
+        let compiled = CompiledPattern::compile(&pattern);
+        let yes = seq(vec![out("a"), inp("b"), out("b")]);
+        let no = seq(vec![out("a"), inp("c")]);
+        for _ in 0..3 {
+            assert!(compiled.matches(&yes));
+            assert!(!compiled.matches(&no));
+        }
+        assert!(compiled.memo_entries() > 0, "verdicts were memoized");
+    }
+
+    #[test]
+    fn memo_is_reused_across_shared_suffixes() {
+        let pattern = Pattern::send(GroupExpr::all(), Pattern::Any).star();
+        let compiled = CompiledPattern::compile(&pattern);
+        // Grow one history; every extension shares the previous spine, so
+        // the memo grows by O(1) nodes per query instead of re-simulating
+        // the whole sequence.
+        let mut prov = Provenance::empty();
+        for i in 0..32 {
+            prov = prov.prepend(out(&format!("p{}", i % 4)));
+            assert!(compiled.matches(&prov));
+        }
+        let entries_after_growth = compiled.memo_entries();
+        // Re-vetting the full history is answered from the memo alone.
+        assert!(compiled.matches(&prov));
+        assert_eq!(compiled.memo_entries(), entries_after_growth);
+    }
+
+    #[test]
+    fn matches_events_agrees_with_matches() {
+        let pattern = Pattern::immediately_sent_by(GroupExpr::single("c"));
+        let compiled = CompiledPattern::compile(&pattern);
+        for prov in sample_provenances() {
+            let events: Vec<&Event> = prov.iter().collect();
+            assert_eq!(compiled.matches_events(&events), compiled.matches(&prov));
+        }
+    }
+
+    #[test]
+    fn clones_start_with_a_cold_memo() {
+        let pattern = Pattern::Any;
+        let compiled = CompiledPattern::compile(&pattern);
+        assert!(compiled.matches(&seq(vec![out("a")])));
+        assert!(compiled.memo_entries() > 0);
+        let cloned = compiled.clone();
+        assert_eq!(cloned.memo_entries(), 0);
+        assert!(cloned.matches(&seq(vec![out("a")])));
     }
 
     #[test]

@@ -29,10 +29,17 @@ pub struct SimMetrics {
     /// Pattern-satisfaction queries answered by the middleware.
     pub pattern_checks: usize,
     /// Sum of the total provenance sizes (event counts, nested included) of
-    /// every value at the moment it was delivered.
+    /// every value at the moment it was delivered.  This is the *logical
+    /// tree* size: shared substructure is counted once per occurrence.
     pub provenance_events_delivered: usize,
     /// Largest single provenance annotation observed.
     pub max_provenance_size: usize,
+    /// Number of *distinct* interned provenance DAG nodes among everything
+    /// delivered — the physical footprint, as opposed to
+    /// [`provenance_events_delivered`](SimMetrics::provenance_events_delivered)
+    /// which is the logical tree size.  The gap between the two is the
+    /// sharing the interner exploits.
+    pub unique_prov_nodes: usize,
     /// Virtual time at the end of the run.
     pub virtual_time: u64,
     /// Wall-clock time spent inside the simulator.
@@ -55,6 +62,19 @@ impl SimMetrics {
             1.0
         } else {
             self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+
+    /// How many logical tree events each distinct interned node stands for:
+    /// `provenance_events_delivered / unique_prov_nodes` (1.0 when nothing
+    /// distinct was delivered).  A factor of *k* means the cons-list or
+    /// flat representations would store and compare *k×* the data the
+    /// interned DAG does.
+    pub fn sharing_factor(&self) -> f64 {
+        if self.unique_prov_nodes == 0 {
+            1.0
+        } else {
+            self.provenance_events_delivered as f64 / self.unique_prov_nodes as f64
         }
     }
 
@@ -95,6 +115,12 @@ impl fmt::Display for SimMetrics {
             self.mean_provenance_size(),
             self.max_provenance_size
         )?;
+        writeln!(
+            f,
+            "  sharing            {} unique DAG nodes (factor {:.2}×)",
+            self.unique_prov_nodes,
+            self.sharing_factor()
+        )?;
         writeln!(f, "  virtual time       {}", self.virtual_time)?;
         write!(f, "  wall time          {:?}", self.wall_time)
     }
@@ -110,14 +136,17 @@ mod tests {
         assert_eq!(m.mean_provenance_size(), 0.0);
         assert_eq!(m.delivery_ratio(), 1.0);
         assert_eq!(m.steps_per_second(), 0.0);
+        assert_eq!(m.sharing_factor(), 1.0);
         m.messages_sent = 10;
         m.messages_delivered = 8;
         m.provenance_events_delivered = 40;
+        m.unique_prov_nodes = 10;
         m.steps = 100;
         m.wall_time = Duration::from_millis(500);
         assert!((m.delivery_ratio() - 0.8).abs() < 1e-9);
         assert!((m.mean_provenance_size() - 5.0).abs() < 1e-9);
         assert!((m.steps_per_second() - 200.0).abs() < 1e-6);
+        assert!((m.sharing_factor() - 4.0).abs() < 1e-9);
     }
 
     #[test]

@@ -20,14 +20,14 @@ use crate::metrics::SimMetrics;
 use crate::network::{Delivery, Network, NetworkConfig, VirtualTime};
 use piprov_core::configuration::Configuration;
 use piprov_core::pattern::{CountingMatcher, PatternLanguage};
-use piprov_core::provenance::Provenance;
+use piprov_core::provenance::{ProvId, Provenance};
 use piprov_core::reduction::{apply_redex, enumerate_redexes, ReductionError, StepKind};
 use piprov_core::system::{Message, System};
 use piprov_core::value::AnnotatedValue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::time::Instant;
 
 /// How the middleware treats provenance annotations.
@@ -116,6 +116,9 @@ pub struct Simulation<P, L> {
     /// Channels whose deliveries an adversary rewrites, with the identity
     /// being forged (activated by [`Fault::ForgeOnChannel`]).
     forgeries: Vec<(piprov_core::name::Channel, piprov_core::name::Principal)>,
+    /// Interned provenance nodes seen among delivered values; feeds the
+    /// sharing metrics (unique DAG nodes vs. logical tree size).
+    seen_prov_nodes: HashSet<ProvId>,
     metrics: SimMetrics,
 }
 
@@ -138,6 +141,7 @@ where
             rng: StdRng::seed_from_u64(config.scheduler_seed),
             faults: config.faults,
             forgeries: Vec::new(),
+            seen_prov_nodes: HashSet::new(),
             metrics: SimMetrics::default(),
         }
     }
@@ -279,10 +283,17 @@ where
         }
         self.metrics.messages_delivered += 1;
         for value in &message.payload {
+            // total_size is a cached O(1) read off the interned node, even
+            // when the logical tree is exponential in the DAG.
             let size = value.provenance.total_size();
-            self.metrics.provenance_events_delivered += size;
+            self.metrics.provenance_events_delivered = self
+                .metrics
+                .provenance_events_delivered
+                .saturating_add(size);
             self.metrics.max_provenance_size = self.metrics.max_provenance_size.max(size);
+            record_delivered_nodes(&mut self.seen_prov_nodes, &value.provenance);
         }
+        self.metrics.unique_prov_nodes = self.seen_prov_nodes.len();
         self.configuration.add_message(message);
     }
 
@@ -317,6 +328,34 @@ where
                     self.forgeries.push((channel, claimed_sender));
                 }
             }
+        }
+    }
+}
+
+/// Walks the provenance DAG, adding every interned node reachable from
+/// `provenance` (through tail and channel-provenance edges) to `seen`.
+///
+/// Already-seen nodes prune the walk, so across a whole run the total cost
+/// is O(distinct nodes delivered), not O(tree) per delivery.
+fn record_delivered_nodes(seen: &mut HashSet<ProvId>, provenance: &Provenance) {
+    let mut stack = vec![provenance.clone()];
+    while let Some(start) = stack.pop() {
+        let mut cursor = start;
+        while !cursor.is_empty() {
+            if !seen.insert(cursor.id()) {
+                break;
+            }
+            let (channel, tail) = {
+                let event = cursor.head().expect("non-empty provenance");
+                (
+                    event.channel_provenance.clone(),
+                    cursor.tail().expect("non-empty provenance").clone(),
+                )
+            };
+            if !channel.is_empty() {
+                stack.push(channel);
+            }
+            cursor = tail;
         }
     }
 }
@@ -395,6 +434,42 @@ mod tests {
         sim.run(100_000).unwrap();
         assert_eq!(sim.metrics().max_provenance_size, 0);
         assert_eq!(sim.metrics().provenance_events_delivered, 0);
+    }
+
+    #[test]
+    fn sharing_metrics_track_unique_nodes() {
+        let system = workload::pipeline(6, 3);
+        let mut sim = Simulation::new(
+            &system,
+            TrivialPatterns,
+            SimConfig {
+                network: NetworkConfig::reliable(),
+                tracking: TrackingMode::Full,
+                ..SimConfig::default()
+            },
+        );
+        sim.run(100_000).unwrap();
+        let m = sim.metrics();
+        assert!(m.unique_prov_nodes > 0, "full tracking interns nodes");
+        assert!(
+            m.unique_prov_nodes <= m.provenance_events_delivered,
+            "distinct nodes never exceed the logical tree events"
+        );
+        assert!(m.sharing_factor() >= 1.0);
+        assert!(m.to_string().contains("unique DAG nodes"));
+
+        // Stripped mode delivers only empty provenance: nothing interned.
+        let mut stripped = Simulation::new(
+            &workload::pipeline(6, 3),
+            TrivialPatterns,
+            SimConfig {
+                network: NetworkConfig::reliable(),
+                tracking: TrackingMode::Stripped,
+                ..SimConfig::default()
+            },
+        );
+        stripped.run(100_000).unwrap();
+        assert_eq!(stripped.metrics().unique_prov_nodes, 0);
     }
 
     #[test]

@@ -8,11 +8,29 @@
 //! └─────────┴─────────┴──────────────────────────────┘
 //! ```
 //!
-//! where the CRC covers the body.  The body is a sequence of
-//! length-prefixed fields in a fixed order; provenance sequences are stored
-//! as a preorder `(depth, principal, direction)` list (see
-//! [`crate::record::flatten_provenance`]).  The format is self-contained:
-//! decoding never requires information outside the frame.
+//! where the CRC covers the body.  The body starts with a one-byte
+//! **format version tag** followed by length-prefixed fields in a fixed
+//! order; the two versions differ only in how the provenance annotation is
+//! laid out:
+//!
+//! * [`BodyFormat::LegacyPreorder`] (tag 1) — the original format: the
+//!   provenance *tree* as a preorder `(depth, principal, direction)` list
+//!   (see [`crate::record::flatten_provenance`]).  Record size is
+//!   O(`total_size`), i.e. proportional to the logical tree, which blows
+//!   up exponentially under channel-chained histories.
+//! * [`BodyFormat::Dag`] (tag 2, the default) — the provenance *DAG*:
+//!   every distinct interned node is encoded exactly once, in postorder,
+//!   and refers to its channel provenance and tail by back-reference.
+//!   Record size is O(distinct nodes), matching the in-memory sharing of
+//!   the interner.
+//!
+//! Bodies written before the version tag existed are still readable: the
+//! untagged format began with the record's `u64` sequence number, whose
+//! first byte is 0 for any sequence below 2⁵⁶, and 0 is not a valid tag —
+//! so the decoder treats a leading 0 as an untagged preorder body.  All
+//! formats are self-contained (decoding never requires information outside
+//! the frame) and remain readable forever; only the encoder's default
+//! moved to the DAG format.
 
 use crate::error::StoreError;
 use crate::record::{
@@ -21,13 +39,46 @@ use crate::record::{
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use piprov_core::name::{Channel, Principal};
-use piprov_core::provenance::Event;
+use piprov_core::provenance::{Direction, Event, ProvId, Provenance};
 use piprov_core::value::Value;
+use std::collections::HashMap;
 
 /// Magic byte identifying a value stored as a channel name.
 const VALUE_CHANNEL: u8 = 0;
 /// Magic byte identifying a value stored as a principal name.
 const VALUE_PRINCIPAL: u8 = 1;
+
+/// How a record body lays out the provenance annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BodyFormat {
+    /// Version 1: preorder expansion of the provenance tree (the seed
+    /// format, O(tree) sized).  Kept readable for old segments; no longer
+    /// written by default.
+    LegacyPreorder,
+    /// Version 2: one entry per distinct interned DAG node with
+    /// back-references (O(DAG) sized).  The default.
+    #[default]
+    Dag,
+}
+
+impl BodyFormat {
+    /// The on-disk version tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            BodyFormat::LegacyPreorder => 1,
+            BodyFormat::Dag => 2,
+        }
+    }
+
+    /// Inverse of [`BodyFormat::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(BodyFormat::LegacyPreorder),
+            2 => Some(BodyFormat::Dag),
+            _ => None,
+        }
+    }
+}
 
 /// CRC-32 (IEEE polynomial, bitwise implementation — fast enough for the
 /// record sizes involved and dependency-free).
@@ -85,42 +136,27 @@ fn get_value(buf: &mut Bytes) -> Result<Value, StoreError> {
     }
 }
 
-/// Encodes a record body (without framing).
-pub fn encode_body(record: &ProvenanceRecord) -> Bytes {
-    let mut buf = BytesMut::with_capacity(record.estimated_size());
-    buf.put_u64(record.sequence);
-    buf.put_u64(record.logical_time);
-    buf.put_u8(record.operation.tag());
-    put_str(&mut buf, record.principal.as_str());
-    put_str(&mut buf, record.channel.as_str());
-    put_value(&mut buf, &record.value);
-    let flat = flatten_provenance(&record.provenance);
+/// Writes the provenance section of a legacy (preorder) body.
+fn put_provenance_preorder(buf: &mut BytesMut, provenance: &Provenance) {
+    let flat = flatten_provenance(provenance);
     buf.put_u32(flat.len() as u32);
     for (depth, event) in &flat {
         buf.put_u32(*depth);
         buf.put_u8(direction_tag(event.direction));
-        put_str(&mut buf, event.principal.as_str());
+        put_str(buf, event.principal.as_str());
     }
-    buf.freeze()
 }
 
-/// Decodes a record body (without framing).
-pub fn decode_body(mut buf: Bytes) -> Result<ProvenanceRecord, StoreError> {
-    if buf.remaining() < 17 {
-        return Err(StoreError::Corrupt("record body too short".into()));
-    }
-    let sequence = buf.get_u64();
-    let logical_time = buf.get_u64();
-    let operation = Operation::from_tag(buf.get_u8())
-        .ok_or_else(|| StoreError::Corrupt("unknown operation tag".into()))?;
-    let principal = Principal::new(get_str(&mut buf)?);
-    let channel = Channel::new(get_str(&mut buf)?);
-    let value = get_value(&mut buf)?;
+/// Reads the provenance section of a legacy (preorder) body.
+fn get_provenance_preorder(buf: &mut Bytes) -> Result<Provenance, StoreError> {
     if buf.remaining() < 4 {
         return Err(StoreError::Corrupt("truncated provenance length".into()));
     }
     let count = buf.get_u32() as usize;
-    let mut flat = Vec::with_capacity(count);
+    // A valid entry consumes at least 7 bytes; cap the pre-allocation so a
+    // corrupt count cannot request unbounded memory before the bounds
+    // checks below reject it.
+    let mut flat = Vec::with_capacity(count.min(buf.remaining() / 7 + 1));
     for _ in 0..count {
         if buf.remaining() < 5 {
             return Err(StoreError::Corrupt("truncated provenance entry".into()));
@@ -128,18 +164,170 @@ pub fn decode_body(mut buf: Bytes) -> Result<ProvenanceRecord, StoreError> {
         let depth = buf.get_u32();
         let direction = direction_from_tag(buf.get_u8())
             .ok_or_else(|| StoreError::Corrupt("unknown direction tag".into()))?;
-        let p = Principal::new(get_str(&mut buf)?);
+        let p = Principal::new(get_str(buf)?);
         let event = match direction {
-            piprov_core::provenance::Direction::Output => {
-                Event::output(p, piprov_core::provenance::Provenance::empty())
-            }
-            piprov_core::provenance::Direction::Input => {
-                Event::input(p, piprov_core::provenance::Provenance::empty())
-            }
+            Direction::Output => Event::output(p, Provenance::empty()),
+            Direction::Input => Event::input(p, Provenance::empty()),
         };
         flat.push((depth, event));
     }
-    let provenance = unflatten_provenance(&flat);
+    Ok(unflatten_provenance(&flat))
+}
+
+/// Writes the provenance section of a DAG body: one entry per distinct
+/// interned node, children (channel provenance and tail) before parents,
+/// then the root reference.  Reference 0 is `ε`; reference `k` is the
+/// `k`-th node of the section (1-based).
+fn put_provenance_dag(buf: &mut BytesMut, provenance: &Provenance, nodes: &[Provenance]) {
+    let mut index: HashMap<ProvId, u32> = HashMap::with_capacity(nodes.len());
+    let reference = |index: &HashMap<ProvId, u32>, p: &Provenance| -> u32 {
+        if p.is_empty() {
+            0
+        } else {
+            *index.get(&p.id()).expect("postorder lists children first")
+        }
+    };
+    buf.put_u32(nodes.len() as u32);
+    for (i, node) in nodes.iter().enumerate() {
+        let event = node.head().expect("dag nodes are non-empty");
+        let tail = node.tail().expect("dag nodes are non-empty");
+        buf.put_u8(direction_tag(event.direction));
+        put_str(buf, event.principal.as_str());
+        buf.put_u32(reference(&index, &event.channel_provenance));
+        buf.put_u32(reference(&index, tail));
+        index.insert(node.id(), (i + 1) as u32);
+    }
+    buf.put_u32(reference(&index, provenance));
+}
+
+/// Reads the provenance section of a DAG body, rebuilding nodes through
+/// the interner so the decoded value shares structure with everything else
+/// in the process.
+fn get_provenance_dag(buf: &mut Bytes) -> Result<Provenance, StoreError> {
+    if buf.remaining() < 4 {
+        return Err(StoreError::Corrupt(
+            "truncated provenance node count".into(),
+        ));
+    }
+    let count = buf.get_u32() as usize;
+    // A valid node consumes at least 11 bytes; cap the pre-allocation so a
+    // corrupt count cannot request unbounded memory before the bounds
+    // checks below reject it.
+    let mut built: Vec<Provenance> = Vec::with_capacity(count.min(buf.remaining() / 11) + 1);
+    built.push(Provenance::empty());
+    for _ in 0..count {
+        if buf.remaining() < 1 {
+            return Err(StoreError::Corrupt("truncated provenance node".into()));
+        }
+        let direction = direction_from_tag(buf.get_u8())
+            .ok_or_else(|| StoreError::Corrupt("unknown direction tag".into()))?;
+        let principal = Principal::new(get_str(buf)?);
+        if buf.remaining() < 8 {
+            return Err(StoreError::Corrupt("truncated provenance node refs".into()));
+        }
+        let channel_ref = buf.get_u32() as usize;
+        let tail_ref = buf.get_u32() as usize;
+        if channel_ref >= built.len() || tail_ref >= built.len() {
+            return Err(StoreError::Corrupt(
+                "provenance node references a later node".into(),
+            ));
+        }
+        let channel = built[channel_ref].clone();
+        let event = match direction {
+            Direction::Output => Event::output(principal, channel),
+            Direction::Input => Event::input(principal, channel),
+        };
+        let node = built[tail_ref].prepend(event);
+        built.push(node);
+    }
+    if buf.remaining() < 4 {
+        return Err(StoreError::Corrupt("truncated provenance root".into()));
+    }
+    let root = buf.get_u32() as usize;
+    if root >= built.len() {
+        return Err(StoreError::Corrupt(
+            "provenance root references a missing node".into(),
+        ));
+    }
+    Ok(built[root].clone())
+}
+
+/// Encodes a record body (without framing) in the given format.
+pub fn encode_body_with(record: &ProvenanceRecord, format: BodyFormat) -> Bytes {
+    // Enumerate the DAG once: both the capacity hint and the provenance
+    // section consume the same postorder.
+    let dag_nodes = match format {
+        BodyFormat::Dag => Some(record.provenance.dag_nodes()),
+        BodyFormat::LegacyPreorder => None,
+    };
+    let base = 80
+        + record.channel.as_str().len()
+        + record.value.as_str().len()
+        + record.principal.as_str().len();
+    let capacity = match &dag_nodes {
+        Some(nodes) => base + nodes.len() * 24,
+        // The preorder section is O(tree); cap the hint and let the buffer
+        // grow, rather than requesting exponential capacity up front.
+        None => {
+            base + record
+                .provenance
+                .total_size()
+                .saturating_mul(12)
+                .min(1 << 16)
+        }
+    };
+    let mut buf = BytesMut::with_capacity(capacity);
+    buf.put_u8(format.tag());
+    buf.put_u64(record.sequence);
+    buf.put_u64(record.logical_time);
+    buf.put_u8(record.operation.tag());
+    put_str(&mut buf, record.principal.as_str());
+    put_str(&mut buf, record.channel.as_str());
+    put_value(&mut buf, &record.value);
+    match &dag_nodes {
+        Some(nodes) => put_provenance_dag(&mut buf, &record.provenance, nodes),
+        None => put_provenance_preorder(&mut buf, &record.provenance),
+    }
+    buf.freeze()
+}
+
+/// Encodes a record body (without framing) in the default (DAG) format.
+pub fn encode_body(record: &ProvenanceRecord) -> Bytes {
+    encode_body_with(record, BodyFormat::default())
+}
+
+/// Decodes a record body (without framing), dispatching on its version
+/// tag.  Tagged preorder (1) and DAG (2) bodies are accepted, as are
+/// untagged bodies written before the version header existed: those begin
+/// with the `u64` sequence number, whose first byte is 0 for any sequence
+/// below 2⁵⁶ — never a valid tag.
+pub fn decode_body(mut buf: Bytes) -> Result<ProvenanceRecord, StoreError> {
+    if buf.remaining() < 17 {
+        return Err(StoreError::Corrupt("record body too short".into()));
+    }
+    let format = match buf[0] {
+        0 => BodyFormat::LegacyPreorder,
+        tag => {
+            let format = BodyFormat::from_tag(tag)
+                .ok_or_else(|| StoreError::Corrupt("unknown record format version".into()))?;
+            buf.advance(1);
+            if buf.remaining() < 17 {
+                return Err(StoreError::Corrupt("record body too short".into()));
+            }
+            format
+        }
+    };
+    let sequence = buf.get_u64();
+    let logical_time = buf.get_u64();
+    let operation = Operation::from_tag(buf.get_u8())
+        .ok_or_else(|| StoreError::Corrupt("unknown operation tag".into()))?;
+    let principal = Principal::new(get_str(&mut buf)?);
+    let channel = Channel::new(get_str(&mut buf)?);
+    let value = get_value(&mut buf)?;
+    let provenance = match format {
+        BodyFormat::LegacyPreorder => get_provenance_preorder(&mut buf)?,
+        BodyFormat::Dag => get_provenance_dag(&mut buf)?,
+    };
     Ok(ProvenanceRecord {
         sequence,
         logical_time,
@@ -151,14 +339,21 @@ pub fn decode_body(mut buf: Bytes) -> Result<ProvenanceRecord, StoreError> {
     })
 }
 
-/// Encodes a record with framing (length + CRC + body).
-pub fn encode_framed(record: &ProvenanceRecord) -> Bytes {
-    let body = encode_body(record);
+/// Encodes a record with framing (length + CRC + body) in the given
+/// format.
+pub fn encode_framed_with(record: &ProvenanceRecord, format: BodyFormat) -> Bytes {
+    let body = encode_body_with(record, format);
     let mut out = BytesMut::with_capacity(body.len() + 8);
     out.put_u32(body.len() as u32);
     out.put_u32(crc32(&body));
     out.put_slice(&body);
     out.freeze()
+}
+
+/// Encodes a record with framing (length + CRC + body) in the default
+/// (DAG) format.
+pub fn encode_framed(record: &ProvenanceRecord) -> Bytes {
+    encode_framed_with(record, BodyFormat::default())
 }
 
 /// Attempts to decode one framed record from the front of `buf`.
@@ -205,6 +400,28 @@ mod tests {
         }
     }
 
+    /// A record whose provenance tree is exponentially larger than its
+    /// DAG: every hop travels on a channel carrying the full history.
+    fn chained_record(hops: usize) -> ProvenanceRecord {
+        let mut provenance =
+            Provenance::single(Event::output(Principal::new("origin"), Provenance::empty()));
+        for i in 0..hops {
+            let principal = Principal::new(format!("hop{}", i));
+            provenance = provenance
+                .prepend(Event::output(principal.clone(), provenance.clone()))
+                .prepend(Event::input(principal, provenance.clone()));
+        }
+        ProvenanceRecord {
+            sequence: 1,
+            logical_time: 1,
+            principal: Principal::new("auditor"),
+            operation: Operation::Receive,
+            channel: Channel::new("m"),
+            value: Value::Channel(Channel::new("v")),
+            provenance,
+        }
+    }
+
     #[test]
     fn crc_is_stable_and_sensitive() {
         assert_eq!(crc32(b""), 0);
@@ -213,11 +430,26 @@ mod tests {
     }
 
     #[test]
-    fn body_round_trip() {
+    fn body_format_tags_round_trip() {
+        for format in [BodyFormat::LegacyPreorder, BodyFormat::Dag] {
+            assert_eq!(BodyFormat::from_tag(format.tag()), Some(format));
+        }
+        assert_eq!(BodyFormat::from_tag(0), None);
+        assert_eq!(BodyFormat::from_tag(99), None);
+        assert_eq!(BodyFormat::default(), BodyFormat::Dag);
+    }
+
+    #[test]
+    fn body_round_trip_in_both_formats() {
         let record = sample_record();
-        let body = encode_body(&record);
-        let decoded = decode_body(body).unwrap();
-        assert_eq!(decoded, record);
+        for format in [BodyFormat::LegacyPreorder, BodyFormat::Dag] {
+            let body = encode_body_with(&record, format);
+            let decoded = decode_body(body).unwrap();
+            assert_eq!(decoded, record, "round trip through {:?}", format);
+            // Equality above is O(1) id comparison; be explicit that the
+            // decoder rebuilt the very same interned node.
+            assert_eq!(decoded.provenance.id(), record.provenance.id());
+        }
     }
 
     #[test]
@@ -230,6 +462,27 @@ mod tests {
     }
 
     #[test]
+    fn legacy_frames_remain_readable() {
+        let record = sample_record();
+        let mut framed = encode_framed_with(&record, BodyFormat::LegacyPreorder);
+        let decoded = decode_framed(&mut framed).unwrap().unwrap();
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn untagged_seed_bodies_remain_readable() {
+        // Bodies written before the version header are byte-for-byte a
+        // tagged preorder body minus the leading tag: they start with the
+        // u64 sequence, whose first byte is 0 below 2⁵⁶.
+        let record = sample_record();
+        let tagged = encode_body_with(&record, BodyFormat::LegacyPreorder);
+        let untagged = Bytes::from(tagged[1..].to_vec());
+        assert_eq!(untagged[0], 0, "sequence high byte is 0");
+        let decoded = decode_body(untagged).unwrap();
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
     fn multiple_frames_decode_in_sequence() {
         let mut r1 = sample_record();
         r1.sequence = 1;
@@ -238,7 +491,7 @@ mod tests {
         r2.value = Value::Principal(Principal::new("a"));
         let mut joined = BytesMut::new();
         joined.put_slice(&encode_framed(&r1));
-        joined.put_slice(&encode_framed(&r2));
+        joined.put_slice(&encode_framed_with(&r2, BodyFormat::LegacyPreorder));
         let mut buf = joined.freeze();
         assert_eq!(decode_framed(&mut buf).unwrap().unwrap(), r1);
         assert_eq!(decode_framed(&mut buf).unwrap().unwrap(), r2);
@@ -272,9 +525,26 @@ mod tests {
     #[test]
     fn unknown_tags_are_rejected() {
         let record = sample_record();
+        // Unknown operation tag (byte 17: after version + sequence + time).
         let mut body = encode_body(&record).to_vec();
-        body[16] = 200; // operation tag
+        body[17] = 200;
         assert!(decode_body(Bytes::from(body)).is_err());
+        // Unknown format version tag (byte 0).
+        let mut body = encode_body(&record).to_vec();
+        body[0] = 77;
+        assert!(decode_body(Bytes::from(body)).is_err());
+    }
+
+    #[test]
+    fn dag_body_with_forward_reference_is_rejected() {
+        let record = sample_record();
+        let body = encode_body(&record);
+        // The last 4 bytes are the root reference; point it past the node
+        // list.
+        let mut bytes = body.to_vec();
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode_body(Bytes::from(bytes)).is_err());
     }
 
     #[test]
@@ -291,5 +561,29 @@ mod tests {
         let body = encode_body(&record);
         let decoded = decode_body(body).unwrap();
         assert!(decoded.provenance.is_empty());
+    }
+
+    #[test]
+    fn dag_encoding_of_shared_provenance_is_exponentially_smaller() {
+        let record = chained_record(8);
+        assert!(
+            record.provenance.total_size() > 1 << 8,
+            "tree is exponential: {}",
+            record.provenance.total_size()
+        );
+        let dag = encode_body_with(&record, BodyFormat::Dag);
+        let legacy = encode_body_with(&record, BodyFormat::LegacyPreorder);
+        assert!(
+            dag.len() < legacy.len(),
+            "dag {} bytes vs legacy {} bytes",
+            dag.len(),
+            legacy.len()
+        );
+        // O(DAG nodes), not O(tree): generous constant per node.
+        assert!(dag.len() < 64 * (record.provenance.dag_size() + 4));
+        // And the shared record still round-trips exactly.
+        let decoded = decode_body(dag).unwrap();
+        assert_eq!(decoded, record);
+        assert_eq!(decoded.provenance.id(), record.provenance.id());
     }
 }

@@ -8,7 +8,7 @@
 //! trust decisions) all need the provenance that the calculus tracks at run
 //! time to be *persisted* and *queryable* afterwards — the role played by
 //! provenance-aware storage systems such as PASS (the paper's citation
-//! [20]).  This crate provides that substrate:
+//! \[20\]).  This crate provides that substrate:
 //!
 //! * [`record`] — provenance records, one per exchanged value per step;
 //! * [`codec`] — a checksummed, length-prefixed binary encoding;
@@ -55,6 +55,7 @@ pub mod recorder;
 pub mod segment;
 pub mod store;
 
+pub use codec::BodyFormat;
 pub use error::StoreError;
 pub use index::StoreIndex;
 pub use query::{AuditTrail, StoreQuery};

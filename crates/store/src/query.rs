@@ -39,8 +39,7 @@ impl AuditTrail {
             .iter()
             .rev()
             .filter_map(|r| {
-                let events = r.provenance.to_vec();
-                events.last().and_then(|e| {
+                r.provenance.iter().last().and_then(|e| {
                     if e.is_output() {
                         Some(e.principal.clone())
                     } else {

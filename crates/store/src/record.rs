@@ -5,7 +5,7 @@
 //! channel, which plain value was exchanged, and the full provenance
 //! annotation the value carried *after* the step — i.e. exactly the
 //! information a provenance-aware storage system (in the spirit of PASS,
-//! the paper's citation [20]) must retain to answer audit queries later.
+//! the paper's citation \[20\]) must retain to answer audit queries later.
 
 use piprov_core::name::{Channel, Principal};
 use piprov_core::provenance::{Direction, Event, Provenance};
@@ -172,12 +172,18 @@ impl ProvenanceRecord {
         out
     }
 
-    /// Size estimate of the record in bytes (used by segment rotation).
+    /// Size estimate of the record in bytes (used by segment rotation and
+    /// as the encoder's buffer capacity hint).
+    ///
+    /// Scales with the number of *distinct* provenance DAG nodes, matching
+    /// the DAG codec: an estimate based on `total_size` would grow with the
+    /// logical tree, which is exponentially larger under channel-chained
+    /// histories.
     pub fn estimated_size(&self) -> usize {
         64 + self.channel.as_str().len()
             + self.value.as_str().len()
             + self.principal.as_str().len()
-            + self.provenance.total_size() * 24
+            + self.provenance.dag_size() * 24
     }
 }
 
@@ -200,6 +206,11 @@ impl fmt::Display for ProvenanceRecord {
 /// Flattens a provenance sequence (with its nested channel provenances)
 /// into a preorder list of `(depth, event)` pairs; the inverse operation is
 /// performed by the codec when decoding.
+///
+/// This expands all sharing — the list has `total_size` entries, i.e. one
+/// per *tree* occurrence — and is used only by the legacy preorder record
+/// format; the default DAG format serializes each distinct node once (see
+/// [`crate::codec::BodyFormat`]).
 pub fn flatten_provenance(provenance: &Provenance) -> Vec<(u32, Event)> {
     fn go(provenance: &Provenance, depth: u32, out: &mut Vec<(u32, Event)>) {
         for event in provenance.iter() {

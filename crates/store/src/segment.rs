@@ -201,8 +201,9 @@ pub fn scan_segment(path: impl AsRef<Path>) -> Result<SegmentScan, StoreError> {
 /// A candidate only counts if its body also decodes, so runs of zero bytes
 /// left by out-of-order block writes cannot masquerade as frames.
 fn contains_valid_frame(data: &[u8], from: usize) -> bool {
-    // The smallest real body is well above decode_body's 17-byte floor.
-    const MIN_BODY: usize = 17;
+    // The smallest real body is well above decode_body's 18-byte floor
+    // (version tag + sequence + logical time + operation tag).
+    const MIN_BODY: usize = 18;
     let total = data.len();
     let mut offset = from;
     while offset + 8 + MIN_BODY <= total {

@@ -596,7 +596,21 @@ mod tests {
             for i in 0..50 {
                 store.append(record(i, "a", "v")).unwrap();
             }
-            store.sync().unwrap();
+            // An append can land exactly on a rotation boundary, leaving a
+            // fresh empty active segment; keep appending until the newest
+            // segment holds a record so the tear hits a partial frame.
+            let mut extra = 50;
+            loop {
+                store.sync().unwrap();
+                let mut segments = existing_segments(&dir).unwrap();
+                segments.sort();
+                let last_len = fs::metadata(segments.last().unwrap()).unwrap().len();
+                if last_len > 2 {
+                    break;
+                }
+                store.append(record(extra, "a", "v")).unwrap();
+                extra += 1;
+            }
             assert!(store.stats().segments > 1, "test needs several segments");
             store.len()
         };

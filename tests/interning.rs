@@ -1,0 +1,191 @@
+//! Metamorphic tests of the interned provenance representation.
+//!
+//! The interner caches `len`, `depth` and `total_size` on every node and
+//! replaces structural equality with id comparison; the `compact` (flat,
+//! eagerly expanded) and `cons` (non-interned cons list) ablation
+//! representations compute the same quantities independently, by recursion
+//! over their own structure.  These tests drive the *real* reduction
+//! semantics over randomly parameterised workloads from
+//! `piprov::runtime::workload`, harvest every provenance annotation the
+//! middleware vets, and check that the representations agree on
+//!
+//! * every derived quantity (`len`, `depth`, `total_size`),
+//! * round-tripping (converting away from the interned form and back lands
+//!   on the *same* interned node), and
+//! * pattern-satisfaction verdicts (the memoized NFA over the interned
+//!   DAG versus the paper's reference matcher over a reconstruction from
+//!   the flat copy).
+
+use piprov::core::interpreter::{Executor, SchedulerPolicy};
+use piprov::core::pattern::{AnyPattern, PatternLanguage, TrivialPatterns};
+use piprov::core::provenance::compact::FlatProvenance;
+use piprov::core::provenance::cons::ConsProvenance;
+use piprov::core::provenance::{ProvId, Provenance};
+use piprov::core::system::System;
+use piprov::patterns::{matching, CompiledPattern, GroupExpr, Pattern};
+use piprov::runtime::workload;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// A pattern language that records every provenance it is asked to vet —
+/// exactly the annotations the reduction semantics inspects at receives.
+struct Harvest<L> {
+    inner: L,
+    seen: Rc<RefCell<Vec<Provenance>>>,
+}
+
+impl<L: PatternLanguage> PatternLanguage for Harvest<L> {
+    type Pattern = L::Pattern;
+
+    fn satisfies(&self, provenance: &Provenance, pattern: &Self::Pattern) -> bool {
+        self.seen.borrow_mut().push(provenance.clone());
+        self.inner.satisfies(provenance, pattern)
+    }
+}
+
+/// Runs `system` for up to `steps` reduction steps and returns the distinct
+/// provenances the middleware vetted (deduplicated by interned id).
+fn harvest(system: &System<AnyPattern>, steps: usize, seed: u64) -> Vec<Provenance> {
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    let matcher = Harvest {
+        inner: TrivialPatterns,
+        seen: seen.clone(),
+    };
+    let mut exec = Executor::new(system, matcher).with_policy(SchedulerPolicy::Random { seed });
+    exec.run(steps).expect("workload systems are closed");
+    let mut distinct = Vec::new();
+    let mut ids: HashSet<ProvId> = HashSet::new();
+    for p in seen.borrow().iter() {
+        if ids.insert(p.id()) {
+            distinct.push(p.clone());
+        }
+    }
+    distinct
+}
+
+/// Patterns exercising every connective, anchored on a principal actually
+/// occurring in the harvested provenance (when one exists).
+fn probe_patterns(provenance: &Provenance) -> Vec<Pattern> {
+    let mut patterns = vec![
+        Pattern::Any,
+        Pattern::Empty,
+        Pattern::send(GroupExpr::all(), Pattern::Any).star(),
+    ];
+    if let Some(principal) = provenance.principals_involved().into_iter().next() {
+        let name = principal.as_str();
+        patterns.push(Pattern::immediately_sent_by(GroupExpr::single(name)));
+        patterns.push(Pattern::originated_at(GroupExpr::single(name)));
+        patterns.push(Pattern::only_touched_by(GroupExpr::single(name)));
+        patterns.push(
+            Pattern::receive(GroupExpr::single(name), Pattern::Any)
+                .or(Pattern::send(GroupExpr::all(), Pattern::Any))
+                .then(Pattern::Any),
+        );
+    }
+    patterns
+}
+
+/// The core metamorphic check for one harvested provenance.
+fn check_representations_agree(kappa: &Provenance) {
+    let flat = FlatProvenance::from_shared(kappa);
+    let cons = ConsProvenance::from_shared(kappa);
+
+    // Derived quantities: cached (interned) vs. independently recomputed.
+    assert_eq!(flat.len(), kappa.len(), "len disagrees on {}", kappa);
+    assert_eq!(cons.len(), kappa.len());
+    assert_eq!(
+        flat.total_size(),
+        kappa.total_size(),
+        "total_size disagrees on {}",
+        kappa
+    );
+    assert_eq!(cons.total_size(), kappa.total_size());
+    assert_eq!(flat.depth(), kappa.depth(), "depth disagrees on {}", kappa);
+    assert_eq!(cons.depth(), kappa.depth());
+    assert!(kappa.dag_size() <= kappa.total_size());
+
+    // Round trips land on the same interned node, not merely an equal one.
+    assert_eq!(flat.to_shared().id(), kappa.id());
+    assert_eq!(cons.to_shared().id(), kappa.id());
+
+    // Pattern verdicts: memoized NFA over the interned DAG vs. the
+    // reference matcher over the reconstruction from the flat copy.
+    let reconstructed = flat.to_shared();
+    for pattern in probe_patterns(kappa) {
+        let compiled = CompiledPattern::compile(&pattern);
+        let nfa_verdict = compiled.matches(kappa);
+        assert_eq!(
+            nfa_verdict,
+            matching::satisfies(&reconstructed, &pattern),
+            "verdict disagrees on {} ⊨ {}",
+            kappa,
+            pattern
+        );
+        // The memo must be stable: asking again cannot flip the verdict.
+        assert_eq!(nfa_verdict, compiled.matches(kappa));
+    }
+}
+
+proptest! {
+    // Each case runs a full (bounded) simulation; keep the default modest
+    // and let PIPROV_PROPTEST_CASES raise it in CI.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn representations_agree_on_pipeline_workloads(
+        stages in 2usize..6,
+        messages in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let system = workload::pipeline(stages, messages);
+        for kappa in harvest(&system, 400, seed) {
+            check_representations_agree(&kappa);
+        }
+    }
+
+    #[test]
+    fn representations_agree_on_fan_out_workloads(
+        producers in 1usize..4,
+        consumers in 1usize..3,
+        messages in 1usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let system = workload::fan_out(producers, consumers, messages);
+        for kappa in harvest(&system, 400, seed) {
+            check_representations_agree(&kappa);
+        }
+    }
+
+    #[test]
+    fn representations_agree_on_ring_workloads(
+        nodes in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let system = workload::ring(nodes);
+        for kappa in harvest(&system, 400, seed) {
+            check_representations_agree(&kappa);
+        }
+    }
+}
+
+#[test]
+fn pipeline_provenance_is_actually_harvested() {
+    // Guard against the metamorphic suite silently checking nothing: a
+    // 4-stage pipeline must vet non-empty provenance at every relay.
+    let system = workload::pipeline(4, 2);
+    let harvested = harvest(&system, 1_000, 7);
+    assert!(
+        !harvested.is_empty(),
+        "workload produced no vetted provenance"
+    );
+    assert!(
+        harvested.iter().any(|k| !k.is_empty()),
+        "some vetted provenance is non-empty"
+    );
+    assert!(
+        harvested.iter().any(|k| k.len() > 1),
+        "relayed values accumulate history across hops"
+    );
+}

@@ -83,9 +83,14 @@ mod tests {
     use super::*;
 
     /// One test covers both the explicit count and the env override, so no
-    /// parallel test observes a half-set environment variable.
+    /// parallel test observes a half-set environment variable.  The
+    /// ambient value (CI exports `PIPROV_PROPTEST_CASES` for its deep
+    /// runs) is saved and restored so the assertions are deterministic in
+    /// any environment.
     #[test]
     fn config_with_cases_and_env_override() {
+        let ambient = std::env::var("PIPROV_PROPTEST_CASES").ok();
+        std::env::remove_var("PIPROV_PROPTEST_CASES");
         assert_eq!(ProptestConfig::with_cases(48).cases, 48);
         std::env::set_var("PIPROV_PROPTEST_CASES", "777");
         assert_eq!(ProptestConfig::with_cases(48).cases, 777);
@@ -97,6 +102,9 @@ mod tests {
         );
         std::env::remove_var("PIPROV_PROPTEST_CASES");
         assert_eq!(ProptestConfig::with_cases(9).cases, 9);
+        if let Some(value) = ambient {
+            std::env::set_var("PIPROV_PROPTEST_CASES", value);
+        }
     }
 
     #[test]
