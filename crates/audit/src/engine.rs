@@ -1,0 +1,653 @@
+//! The thread-safe audit engine.
+//!
+//! An [`AuditEngine`] owns a [`ProvenanceStore`] behind a reader-writer
+//! lock and a registry of named, pre-compiled policy patterns.  Many
+//! auditor threads call [`AuditEngine::handle`] concurrently: each request
+//! takes the store's *read* lock (queries go through the
+//! [`piprov_store::StoreIndex`] posting lists, never a full scan) and the
+//! pattern memos synchronize internally; only [`AuditEngine::ingest`]
+//! takes the write lock, so ingest interleaves with — but never starves
+//! behind — a single query.
+//!
+//! Two shared structures make the concurrency real rather than nominal:
+//! the core provenance interner is sharded (auditor threads re-interning
+//! decoded histories contend per shard, not on one global mutex), and each
+//! registered pattern's `(ProvId, state set)` memo is bounded with
+//! epoch-based eviction ([`AuditConfig::memo_bound`]), so a long-lived
+//! engine cannot grow without bound.
+
+use crate::request::{AuditOutcome, AuditRequest, AuditResponse, RequestStats};
+use piprov_patterns::{CompiledPattern, MemoStats, Pattern};
+use piprov_store::{ProvenanceRecord, ProvenanceStore, SequenceNumber, StoreError, StoreStats};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Configuration of an [`AuditEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Bound on each registered pattern's match memo (per automaton
+    /// level); see [`piprov_patterns::DEFAULT_MEMO_BOUND`].
+    pub memo_bound: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            memo_bound: piprov_patterns::DEFAULT_MEMO_BOUND,
+        }
+    }
+}
+
+/// Monotone counters accumulated over the engine's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Requests served, by any thread.
+    pub requests: u64,
+    /// Records ingested.
+    pub ingested: u64,
+    /// Vet requests that answered `true`.
+    pub vets_passed: u64,
+    /// Vet requests that answered `false`.
+    pub vets_failed: u64,
+    /// Posting-list entries supplied by the store indexes, summed over
+    /// all requests.
+    pub index_hits: u64,
+    /// Pattern-memo hits, summed over all vet requests.
+    pub memo_hits: u64,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests ({} vets: {} pass / {} fail), {} ingested, {} index hits, {} memo hits",
+            self.requests,
+            self.vets_passed + self.vets_failed,
+            self.vets_passed,
+            self.vets_failed,
+            self.ingested,
+            self.index_hits,
+            self.memo_hits
+        )
+    }
+}
+
+/// A concurrent audit service over a provenance store and a registry of
+/// compiled policy patterns.
+///
+/// The engine is `Sync`: share it across auditor threads behind an
+/// [`Arc`] and call [`AuditEngine::handle`] from each.
+#[derive(Debug)]
+pub struct AuditEngine {
+    store: RwLock<ProvenanceStore>,
+    patterns: RwLock<HashMap<String, Arc<CompiledPattern>>>,
+    config: AuditConfig,
+    requests: AtomicU64,
+    ingested: AtomicU64,
+    vets_passed: AtomicU64,
+    vets_failed: AtomicU64,
+    index_hits: AtomicU64,
+    memo_hits: AtomicU64,
+}
+
+impl AuditEngine {
+    /// Opens (or creates) a store in `directory` and wraps it in an
+    /// engine with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProvenanceStore::open`] failures.
+    pub fn open(directory: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Ok(AuditEngine::new(ProvenanceStore::open(directory)?))
+    }
+
+    /// Wraps an already-open store with the default configuration.
+    pub fn new(store: ProvenanceStore) -> Self {
+        AuditEngine::with_config(store, AuditConfig::default())
+    }
+
+    /// Wraps an already-open store with an explicit configuration.
+    pub fn with_config(store: ProvenanceStore, config: AuditConfig) -> Self {
+        AuditEngine {
+            store: RwLock::new(store),
+            patterns: RwLock::new(HashMap::new()),
+            config,
+            requests: AtomicU64::new(0),
+            ingested: AtomicU64::new(0),
+            vets_passed: AtomicU64::new(0),
+            vets_failed: AtomicU64::new(0),
+            index_hits: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AuditConfig {
+        &self.config
+    }
+
+    /// Compiles `pattern` and registers it under `name`, replacing any
+    /// previous pattern of that name.  The compiled automaton's memo (and
+    /// every nested channel automaton's) is bounded by
+    /// [`AuditConfig::memo_bound`].
+    pub fn register_pattern(&self, name: impl Into<String>, pattern: Pattern) {
+        let compiled = CompiledPattern::compile(&pattern);
+        compiled.set_memo_bound(self.config.memo_bound);
+        self.write_patterns()
+            .insert(name.into(), Arc::new(compiled));
+    }
+
+    /// Names of the registered patterns, sorted.
+    pub fn pattern_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read_patterns().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Memo statistics of the named pattern's top-level automaton.
+    pub fn pattern_memo_stats(&self, name: &str) -> Option<MemoStats> {
+        self.read_patterns().get(name).map(|p| p.memo_stats())
+    }
+
+    /// Appends one record to the store (write lock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store append failures.
+    pub fn ingest(&self, record: ProvenanceRecord) -> Result<SequenceNumber, StoreError> {
+        let seq = self.write_store().append(record)?;
+        self.ingested.fetch_add(1, Ordering::Relaxed);
+        Ok(seq)
+    }
+
+    /// Flushes and syncs the underlying store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store sync failures.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.write_store().sync()
+    }
+
+    /// Serves one request (read lock; safe to call from many threads).
+    pub fn handle(&self, request: &AuditRequest) -> AuditResponse {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match request {
+            AuditRequest::VetValue { value, pattern } => self.vet_value(value, pattern),
+            AuditRequest::AuditTrail { value } => self.audit_trail(value),
+            AuditRequest::WhoTouched { principal } => self.who_touched(principal),
+            AuditRequest::OriginOf { value } => self.origin_of(value),
+        };
+        self.index_hits
+            .fetch_add(response.stats.index_hits as u64, Ordering::Relaxed);
+        self.memo_hits
+            .fetch_add(response.stats.memo_hits as u64, Ordering::Relaxed);
+        response
+    }
+
+    /// A snapshot of the engine's lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            ingested: self.ingested.load(Ordering::Relaxed),
+            vets_passed: self.vets_passed.load(Ordering::Relaxed),
+            vets_failed: self.vets_failed.load(Ordering::Relaxed),
+            index_hits: self.index_hits.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Statistics of the underlying store (read lock).
+    pub fn store_stats(&self) -> StoreStats {
+        self.read_store().stats()
+    }
+
+    /// Number of records currently held (read lock).
+    pub fn record_count(&self) -> usize {
+        self.read_store().len()
+    }
+
+    fn vet_value(&self, value: &piprov_core::value::Value, pattern: &str) -> AuditResponse {
+        let Some(compiled) = self.read_patterns().get(pattern).cloned() else {
+            return AuditResponse::new(AuditOutcome::UnknownPattern, RequestStats::default());
+        };
+        let store = self.read_store();
+        let postings = store.index().by_value(value);
+        let mut stats = RequestStats {
+            index_hits: postings.len(),
+            ..RequestStats::default()
+        };
+        // The newest record carries the value's current history.
+        let Some(record) = postings.last().and_then(|seq| store.get(*seq)) else {
+            return AuditResponse::new(AuditOutcome::UnknownValue, stats);
+        };
+        let (verdict, match_stats) = compiled.matches_with_stats(&record.provenance);
+        stats.memo_hits = match_stats.memo_hits;
+        stats.dag_nodes_visited = match_stats.nodes_visited;
+        if verdict {
+            self.vets_passed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.vets_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        AuditResponse::new(
+            AuditOutcome::Vetted {
+                verdict,
+                sequence: record.sequence,
+            },
+            stats,
+        )
+    }
+
+    fn audit_trail(&self, value: &piprov_core::value::Value) -> AuditResponse {
+        let store = self.read_store();
+        // One posting-list lookup serves both the existence check and the
+        // index_hits accounting: the trail holds exactly the records the
+        // by_value list names.
+        let trail = store.query().audit_trail(value);
+        if trail.records.is_empty() {
+            return AuditResponse::new(AuditOutcome::UnknownValue, RequestStats::default());
+        }
+        let index_hits = trail.records.len();
+        // O(1) per record: the spine lengths are cached on the interned
+        // nodes; a per-request DAG walk under the read lock would defeat
+        // the pay-per-new-node discipline.
+        let dag_nodes_visited = trail.records.iter().map(|r| r.provenance.len()).sum();
+        AuditResponse::new(
+            AuditOutcome::Trail(trail),
+            RequestStats {
+                index_hits,
+                memo_hits: 0,
+                dag_nodes_visited,
+            },
+        )
+    }
+
+    fn who_touched(&self, principal: &piprov_core::name::Principal) -> AuditResponse {
+        let store = self.read_store();
+        let postings = store.index().by_involved_principal(principal);
+        let records: Vec<SequenceNumber> = postings.to_vec();
+        let index_hits = records.len();
+        // First-appearance order with set-based dedup: a busy relay can
+        // appear in every record's history, and this runs under the
+        // store's read lock.
+        let mut seen = std::collections::HashSet::new();
+        let mut values = Vec::new();
+        for record in store.get_many(records.iter().copied()) {
+            if seen.insert(record.value.clone()) {
+                values.push(record.value.clone());
+            }
+        }
+        AuditResponse::new(
+            AuditOutcome::Touched { records, values },
+            RequestStats {
+                index_hits,
+                ..RequestStats::default()
+            },
+        )
+    }
+
+    fn origin_of(&self, value: &piprov_core::value::Value) -> AuditResponse {
+        let store = self.read_store();
+        let trail = store.query().audit_trail(value);
+        if trail.records.is_empty() {
+            return AuditResponse::new(AuditOutcome::UnknownValue, RequestStats::default());
+        }
+        let index_hits = trail.records.len();
+        // Origin scans each record's top-level events oldest-first; charge
+        // the spine events available to that scan.
+        let dag_nodes_visited = trail.records.iter().map(|r| r.provenance.len()).sum();
+        AuditResponse::new(
+            AuditOutcome::Origin {
+                principal: trail.origin(),
+            },
+            RequestStats {
+                index_hits,
+                memo_hits: 0,
+                dag_nodes_visited,
+            },
+        )
+    }
+
+    fn read_store(&self) -> RwLockReadGuard<'_, ProvenanceStore> {
+        match self.store.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write_store(&self) -> RwLockWriteGuard<'_, ProvenanceStore> {
+        match self.store.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn read_patterns(&self) -> RwLockReadGuard<'_, HashMap<String, Arc<CompiledPattern>>> {
+        match self.patterns.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write_patterns(&self) -> RwLockWriteGuard<'_, HashMap<String, Arc<CompiledPattern>>> {
+        match self.patterns.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piprov_core::name::{Channel, Principal};
+    use piprov_core::provenance::{Event, Provenance};
+    use piprov_core::value::Value;
+    use piprov_patterns::GroupExpr;
+    use piprov_store::Operation;
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("piprov-audit-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn value(name: &str) -> Value {
+        Value::Channel(Channel::new(name))
+    }
+
+    /// Replays the paper's auditing scenario into an engine: a sends v,
+    /// the faulty s forwards it to c.
+    fn seeded_engine(dir: &PathBuf) -> AuditEngine {
+        let engine = AuditEngine::open(dir).unwrap();
+        let empty = Provenance::empty();
+        let a = Principal::new("a");
+        let s = Principal::new("s");
+        let c = Principal::new("c");
+        let k1 = empty.prepend(Event::output(a.clone(), empty.clone()));
+        let k2 = k1.prepend(Event::input(s.clone(), empty.clone()));
+        let k3 = k2.prepend(Event::output(s.clone(), empty.clone()));
+        let k4 = k3.prepend(Event::input(c.clone(), empty.clone()));
+        for (t, who, op, chan, k) in [
+            (1u64, "a", Operation::Send, "m", k1),
+            (2, "s", Operation::Receive, "m", k2),
+            (3, "s", Operation::Send, "nprime", k3),
+            (4, "c", Operation::Receive, "nprime", k4),
+        ] {
+            engine
+                .ingest(ProvenanceRecord::new(t, who, op, chan, value("v"), k))
+                .unwrap();
+        }
+        engine
+    }
+
+    #[test]
+    fn vet_value_answers_from_the_newest_record() {
+        let dir = temp_dir("vet");
+        let engine = seeded_engine(&dir);
+        engine.register_pattern("origin-a", Pattern::originated_at(GroupExpr::single("a")));
+        engine.register_pattern(
+            "only-trusted",
+            Pattern::only_touched_by(GroupExpr::any_of(["a", "b"])),
+        );
+        let pass = engine.handle(&AuditRequest::VetValue {
+            value: value("v"),
+            pattern: "origin-a".into(),
+        });
+        assert!(
+            matches!(
+                pass.outcome,
+                AuditOutcome::Vetted {
+                    verdict: true,
+                    sequence: 4
+                }
+            ),
+            "{:?}",
+            pass.outcome
+        );
+        assert_eq!(pass.stats.index_hits, 4, "four postings for v");
+        assert!(pass.stats.dag_nodes_visited > 0, "cold vet simulates");
+        let fail = engine.handle(&AuditRequest::VetValue {
+            value: value("v"),
+            pattern: "only-trusted".into(),
+        });
+        assert!(matches!(
+            fail.outcome,
+            AuditOutcome::Vetted { verdict: false, .. }
+        ));
+        // Re-vetting the same history is answered from the memo.
+        let warm = engine.handle(&AuditRequest::VetValue {
+            value: value("v"),
+            pattern: "origin-a".into(),
+        });
+        assert_eq!(warm.stats.dag_nodes_visited, 0);
+        assert!(warm.stats.memo_hits >= 1);
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.vets_passed, 2);
+        assert_eq!(stats.vets_failed, 1);
+        assert!(stats.memo_hits >= 1);
+        assert!(stats.to_string().contains("3 requests"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_value_and_pattern_are_structured_errors() {
+        let dir = temp_dir("unknown");
+        let engine = seeded_engine(&dir);
+        engine.register_pattern("any", Pattern::Any);
+        let no_pattern = engine.handle(&AuditRequest::VetValue {
+            value: value("v"),
+            pattern: "nope".into(),
+        });
+        assert_eq!(no_pattern.outcome, AuditOutcome::UnknownPattern);
+        let no_value = engine.handle(&AuditRequest::VetValue {
+            value: value("ghost"),
+            pattern: "any".into(),
+        });
+        assert_eq!(no_value.outcome, AuditOutcome::UnknownValue);
+        assert_eq!(
+            engine
+                .handle(&AuditRequest::AuditTrail {
+                    value: value("ghost")
+                })
+                .outcome,
+            AuditOutcome::UnknownValue
+        );
+        assert_eq!(
+            engine
+                .handle(&AuditRequest::OriginOf {
+                    value: value("ghost")
+                })
+                .outcome,
+            AuditOutcome::UnknownValue
+        );
+        assert_eq!(engine.pattern_names(), vec!["any".to_string()]);
+        assert!(engine.pattern_memo_stats("nope").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trail_touched_and_origin_answer_via_the_index() {
+        let dir = temp_dir("queries");
+        let engine = seeded_engine(&dir);
+        let trail = engine.handle(&AuditRequest::AuditTrail { value: value("v") });
+        let AuditOutcome::Trail(trail_data) = &trail.outcome else {
+            panic!("expected a trail, got {:?}", trail.outcome);
+        };
+        assert_eq!(trail_data.records.len(), 4);
+        assert!(trail_data.involves(&Principal::new("s")));
+        assert_eq!(trail.stats.index_hits, 4);
+        assert!(trail.stats.dag_nodes_visited > 0);
+
+        let touched = engine.handle(&AuditRequest::WhoTouched {
+            principal: Principal::new("a"),
+        });
+        let AuditOutcome::Touched { records, values } = &touched.outcome else {
+            panic!("expected touched, got {:?}", touched.outcome);
+        };
+        assert_eq!(records, &vec![1, 2, 3, 4], "a is in every history");
+        assert_eq!(values, &vec![value("v")]);
+
+        let origin = engine.handle(&AuditRequest::OriginOf { value: value("v") });
+        assert_eq!(
+            origin.outcome,
+            AuditOutcome::Origin {
+                principal: Some(Principal::new("a"))
+            }
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn engine_memo_stays_under_its_configured_bound_on_a_long_workload() {
+        let dir = temp_dir("bound");
+        let store = ProvenanceStore::open(&dir).unwrap();
+        let engine = AuditEngine::with_config(store, AuditConfig { memo_bound: 32 });
+        engine.register_pattern(
+            "sends-only",
+            Pattern::send(GroupExpr::all(), Pattern::Any).star(),
+        );
+        // A long-lived service: many distinct values with distinct
+        // histories, each ingested then vetted.
+        for i in 0..500u64 {
+            let who = format!("p{}", i % 17);
+            let mut k = Provenance::empty();
+            for j in 0..=(i % 11) {
+                k = k.prepend(Event::output(
+                    Principal::new(format!("{}-{}", who, j)),
+                    Provenance::empty(),
+                ));
+            }
+            engine
+                .ingest(ProvenanceRecord::new(
+                    i,
+                    who.as_str(),
+                    Operation::Send,
+                    "m",
+                    value(&format!("item{}", i)),
+                    k,
+                ))
+                .unwrap();
+            let response = engine.handle(&AuditRequest::VetValue {
+                value: value(&format!("item{}", i)),
+                pattern: "sends-only".into(),
+            });
+            assert!(matches!(
+                response.outcome,
+                AuditOutcome::Vetted { verdict: true, .. }
+            ));
+            let memo = engine.pattern_memo_stats("sends-only").unwrap();
+            assert!(
+                memo.entries <= 32,
+                "memo exceeded its bound: {} > 32",
+                memo.entries
+            );
+        }
+        let memo = engine.pattern_memo_stats("sends-only").unwrap();
+        assert_eq!(memo.bound, 32);
+        assert!(memo.epochs > 0, "500 distinct histories forced eviction");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_auditors_agree_while_ingest_streams() {
+        use std::sync::Arc;
+        use std::thread;
+        let dir = temp_dir("concurrent");
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        engine.register_pattern(
+            "origin-supplier",
+            Pattern::originated_at(GroupExpr::any_of(["s0", "s1", "s2", "s3"])),
+        );
+        // Seed one value so auditors always have something to ask about.
+        let k0 = Provenance::single(Event::output(Principal::new("s0"), Provenance::empty()));
+        engine
+            .ingest(ProvenanceRecord::new(
+                0,
+                "s0",
+                Operation::Send,
+                "m",
+                value("item0"),
+                k0,
+            ))
+            .unwrap();
+        let total = 200u64;
+        let writer = {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                for i in 1..total {
+                    let who = format!("s{}", i % 4);
+                    let k = Provenance::single(Event::output(
+                        Principal::new(who.as_str()),
+                        Provenance::empty(),
+                    ))
+                    .prepend(Event::input(Principal::new("relay"), Provenance::empty()));
+                    engine
+                        .ingest(ProvenanceRecord::new(
+                            i,
+                            who.as_str(),
+                            Operation::Send,
+                            "m",
+                            value(&format!("item{}", i)),
+                            k,
+                        ))
+                        .unwrap();
+                }
+            })
+        };
+        let auditors: Vec<_> = (0..4)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                thread::spawn(move || {
+                    let mut vets = 0u64;
+                    for i in 0..total {
+                        let target = value(&format!("item{}", (i + t) % total));
+                        let response = engine.handle(&AuditRequest::VetValue {
+                            value: target.clone(),
+                            pattern: "origin-supplier".into(),
+                        });
+                        match response.outcome {
+                            // Every ingested item originates at a supplier.
+                            AuditOutcome::Vetted { verdict, .. } => {
+                                assert!(verdict, "vet of {} failed", target);
+                                vets += 1;
+                            }
+                            // The writer may simply not have got there yet.
+                            AuditOutcome::UnknownValue => {}
+                            other => panic!("unexpected outcome {:?}", other),
+                        }
+                        let touched = engine.handle(&AuditRequest::WhoTouched {
+                            principal: Principal::new("s0"),
+                        });
+                        assert!(matches!(touched.outcome, AuditOutcome::Touched { .. }));
+                    }
+                    vets
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        let vetted: u64 = auditors.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(vetted > 0, "auditors vetted at least the seeded item");
+        // After the writer finishes, every value vets true.
+        for i in 0..total {
+            let response = engine.handle(&AuditRequest::VetValue {
+                value: value(&format!("item{}", i)),
+                pattern: "origin-supplier".into(),
+            });
+            assert!(matches!(
+                response.outcome,
+                AuditOutcome::Vetted { verdict: true, .. }
+            ));
+        }
+        assert_eq!(engine.record_count(), total as usize);
+        assert_eq!(engine.stats().ingested, total);
+        engine.sync().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

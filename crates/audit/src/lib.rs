@@ -1,0 +1,66 @@
+//! # piprov-audit
+//!
+//! A concurrent, in-process **audit service** over recorded provenance.
+//!
+//! The paper's whole point is that recorded provenance lets an auditor ask
+//! *after the fact*: who touched this value, where did it originate, and
+//! did its history satisfy policy `π`?  The store crate answers those
+//! questions single-threaded; this crate packages them as a serving layer
+//! in the shape a production deployment wants — a policy *engine* that
+//! owns the store plus a registry of compiled patterns and vets many
+//! requests concurrently:
+//!
+//! * [`engine`] — the [`AuditEngine`]: a thread-safe facade over a
+//!   [`piprov_store::ProvenanceStore`] (readers share, ingest excludes)
+//!   and named, pre-compiled patterns with bounded memos;
+//! * [`request`] — the typed request/response vocabulary:
+//!   [`AuditRequest`] (`VetValue`, `AuditTrail`, `WhoTouched`,
+//!   `OriginOf`), [`AuditResponse`] and per-request [`RequestStats`]
+//!   (index hits, memo hits, DAG nodes visited);
+//! * [`recorder`] — the [`AuditRecorder`]: a
+//!   [`piprov_runtime::DeliverySink`] that streams a simulation's
+//!   delivered messages into the engine while auditors query it.
+//!
+//! Every query is answered through the store's secondary indexes — never
+//! by a full scan — and every vet goes through the NFA engine's
+//! `(ProvId, state set)` memo, so a long-lived service pays per *new*
+//! history node, not per query.
+//!
+//! ```
+//! use piprov_audit::{AuditEngine, AuditOutcome, AuditRequest};
+//! use piprov_core::name::{Channel, Principal};
+//! use piprov_core::provenance::{Event, Provenance};
+//! use piprov_core::value::Value;
+//! use piprov_store::{Operation, ProvenanceRecord};
+//!
+//! # fn main() -> Result<(), piprov_store::StoreError> {
+//! let dir = std::env::temp_dir().join(format!("piprov-audit-doc-{}", std::process::id()));
+//! let engine = AuditEngine::open(&dir)?;
+//! engine.register_pattern("from-a", piprov_patterns::Pattern::originated_at(
+//!     piprov_patterns::GroupExpr::single("a"),
+//! ));
+//! let k = Provenance::single(Event::output(Principal::new("a"), Provenance::empty()));
+//! engine.ingest(ProvenanceRecord::new(
+//!     1, "a", Operation::Send, "m", Value::Channel(Channel::new("v")), k,
+//! ))?;
+//! let response = engine.handle(&AuditRequest::VetValue {
+//!     value: Value::Channel(Channel::new("v")),
+//!     pattern: "from-a".into(),
+//! });
+//! assert!(matches!(response.outcome, AuditOutcome::Vetted { verdict: true, .. }));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod recorder;
+pub mod request;
+
+pub use engine::{AuditConfig, AuditEngine, EngineStats};
+pub use recorder::AuditRecorder;
+pub use request::{AuditOutcome, AuditRequest, AuditResponse, RequestStats};

@@ -1,0 +1,151 @@
+//! The typed request/response vocabulary of the audit service.
+//!
+//! Requests name the four questions the paper motivates recorded
+//! provenance with; responses carry a structured outcome plus
+//! [`RequestStats`], the per-request work accounting that makes the
+//! service's index-and-memo discipline observable (and testable): a
+//! healthy engine answers warm queries almost entirely from posting lists
+//! and memoized verdicts.
+
+use piprov_core::name::Principal;
+use piprov_core::value::Value;
+use piprov_store::{AuditTrail, SequenceNumber};
+use std::fmt;
+
+/// A question posed to the [`crate::AuditEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditRequest {
+    /// Does the value's current (most recently recorded) history satisfy
+    /// the named policy pattern?
+    VetValue {
+        /// The value whose history is vetted.
+        value: Value,
+        /// Name of a pattern previously registered with the engine.
+        pattern: String,
+    },
+    /// Reconstruct the full audit trail of a value: every record that
+    /// exchanged it, the principals involved, the channels it travelled.
+    AuditTrail {
+        /// The value being audited.
+        value: Value,
+    },
+    /// Which records (and which values) did `principal` touch, whether as
+    /// the acting principal or anywhere in a recorded history?
+    WhoTouched {
+        /// The principal under investigation.
+        principal: Principal,
+    },
+    /// Where did the value originate — the oldest recorded output event?
+    OriginOf {
+        /// The value whose origin is sought.
+        value: Value,
+    },
+}
+
+impl fmt::Display for AuditRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditRequest::VetValue { value, pattern } => {
+                write!(f, "vet({}, {})", value, pattern)
+            }
+            AuditRequest::AuditTrail { value } => write!(f, "trail({})", value),
+            AuditRequest::WhoTouched { principal } => write!(f, "touched({})", principal),
+            AuditRequest::OriginOf { value } => write!(f, "origin({})", value),
+        }
+    }
+}
+
+/// Work accounting for one served request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestStats {
+    /// Posting-list entries the store's secondary indexes supplied — the
+    /// records the request consulted *without* scanning the store.
+    pub index_hits: usize,
+    /// Pattern-memo lookups answered from a cache (vet requests only).
+    pub memo_hits: usize,
+    /// Provenance DAG nodes actually walked: spine nodes the NFA
+    /// simulated for a vet; for trails and origins, the top-level events
+    /// of the consulted records (an O(1) cached read per record).
+    pub dag_nodes_visited: usize,
+}
+
+/// The structured answer to one [`AuditRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// Answer to [`AuditRequest::VetValue`].
+    Vetted {
+        /// Whether the value's latest recorded history satisfies the
+        /// pattern.
+        verdict: bool,
+        /// The record whose provenance was vetted (the newest mentioning
+        /// the value).
+        sequence: SequenceNumber,
+    },
+    /// Answer to [`AuditRequest::AuditTrail`].
+    Trail(AuditTrail),
+    /// Answer to [`AuditRequest::WhoTouched`].
+    Touched {
+        /// Sequence numbers of every record the principal appears in
+        /// (acting or historical), in sequence order.
+        records: Vec<SequenceNumber>,
+        /// Distinct values among those records, in order of first
+        /// appearance.
+        values: Vec<Value>,
+    },
+    /// Answer to [`AuditRequest::OriginOf`].
+    Origin {
+        /// The principal whose output event is the oldest recorded for
+        /// the value, if any output was recorded.
+        principal: Option<Principal>,
+    },
+    /// The requested value has no records in the store.
+    UnknownValue,
+    /// The request named a pattern the engine has not registered.
+    UnknownPattern,
+}
+
+/// Response to one request: the outcome plus its work accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditResponse {
+    /// The structured answer.
+    pub outcome: AuditOutcome,
+    /// What serving the answer cost.
+    pub stats: RequestStats,
+}
+
+impl AuditResponse {
+    pub(crate) fn new(outcome: AuditOutcome, stats: RequestStats) -> Self {
+        AuditResponse { outcome, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piprov_core::name::Channel;
+
+    #[test]
+    fn requests_display_compactly() {
+        let v = Value::Channel(Channel::new("v"));
+        assert_eq!(
+            AuditRequest::VetValue {
+                value: v.clone(),
+                pattern: "p".into()
+            }
+            .to_string(),
+            "vet(v, p)"
+        );
+        assert_eq!(
+            AuditRequest::AuditTrail { value: v.clone() }.to_string(),
+            "trail(v)"
+        );
+        assert_eq!(
+            AuditRequest::WhoTouched {
+                principal: Principal::new("a")
+            }
+            .to_string(),
+            "touched(a)"
+        );
+        assert_eq!(AuditRequest::OriginOf { value: v }.to_string(), "origin(v)");
+    }
+}

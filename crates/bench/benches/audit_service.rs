@@ -1,0 +1,277 @@
+//! E12 — the concurrent audit service.
+//!
+//! Two questions, both about whether the serving layer's concurrency is
+//! real rather than nominal:
+//!
+//! * **`e12_audit/vet_throughput`** — aggregate vet throughput of one
+//!   shared [`AuditEngine`] as the number of auditor threads grows
+//!   (1/2/4/8).  Queries are answered through the store's read lock, the
+//!   sharded interner and the bounded pattern memo, so adding threads
+//!   should add throughput on multicore hardware (the summary table
+//!   reports the measured 1→4 speedup; on a single hardware thread the
+//!   honest expectation is ≈1×).
+//! * **`e12_audit/interner_ablation`** — the same multi-threaded
+//!   intern-heavy workload against a 1-shard table (the old global
+//!   `Mutex<HashMap>` design) and a 16-shard table, demonstrating what
+//!   sharding buys the hot path every vet and ingest goes through.
+//!
+//! The bench also drives a long mixed workload and asserts the engine's
+//! pattern memo stayed under its configured bound (epoch eviction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piprov_audit::{AuditConfig, AuditEngine, AuditOutcome, AuditRecorder, AuditRequest};
+use piprov_bench::quick_criterion;
+use piprov_core::name::Principal;
+use piprov_core::pattern::TrivialPatterns;
+use piprov_core::provenance::{Event, InternTable, Provenance};
+use piprov_core::value::Value;
+use piprov_patterns::{GroupExpr, Pattern};
+use piprov_runtime::sim::{SimConfig, Simulation};
+use piprov_runtime::{workload, NetworkConfig};
+use piprov_store::ProvenanceStore;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+const SUPPLIERS: usize = 4;
+const RELAYS: usize = 3;
+const ITEMS_PER_SUPPLIER: usize = 16;
+const QUERIES_PER_THREAD: usize = 1024;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("piprov-e12-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds an engine pre-loaded with a simulated supply chain's records and
+/// the two policy patterns the auditors vet against.
+fn seeded_engine(dir: &PathBuf) -> Arc<AuditEngine> {
+    let store = ProvenanceStore::open(dir).expect("open store");
+    let engine = Arc::new(AuditEngine::with_config(
+        store,
+        AuditConfig { memo_bound: 8192 },
+    ));
+    let suppliers: Vec<String> = (0..SUPPLIERS).map(|i| format!("supplier{}", i)).collect();
+    engine.register_pattern(
+        "from-supplier",
+        Pattern::originated_at(GroupExpr::any_of(suppliers.clone())),
+    );
+    let mut chain = suppliers;
+    chain.extend((0..RELAYS).map(|i| format!("relay{}", i)));
+    engine.register_pattern(
+        "chain-only",
+        Pattern::only_touched_by(GroupExpr::any_of(chain)),
+    );
+    let system = workload::supply_chain(SUPPLIERS, RELAYS, ITEMS_PER_SUPPLIER);
+    let mut sim = Simulation::new(
+        &system,
+        TrivialPatterns,
+        SimConfig {
+            network: NetworkConfig::reliable(),
+            ..SimConfig::default()
+        },
+    );
+    let mut recorder = AuditRecorder::new(Arc::clone(&engine));
+    sim.run_with_sink(5_000_000, &mut recorder)
+        .expect("simulation must not error");
+    recorder.finish().expect("recorder finish");
+    engine
+}
+
+/// One auditor thread's batch: a fixed mixed stream dominated by vets.
+fn auditor_batch(engine: &AuditEngine, salt: usize, queries: usize) -> usize {
+    let mut passed = 0usize;
+    for q in 0..queries {
+        let s = (q + salt) % SUPPLIERS;
+        let k = (q * 7 + salt) % ITEMS_PER_SUPPLIER;
+        let item = Value::Channel(piprov_core::name::Channel::new(format!("item{}_{}", s, k)));
+        let request = match q % 8 {
+            0 => AuditRequest::OriginOf { value: item },
+            1 => AuditRequest::WhoTouched {
+                principal: Principal::new(format!("relay{}", q % RELAYS)),
+            },
+            n if n % 2 == 0 => AuditRequest::VetValue {
+                value: item,
+                pattern: "from-supplier".into(),
+            },
+            _ => AuditRequest::VetValue {
+                value: item,
+                pattern: "chain-only".into(),
+            },
+        };
+        let response = engine.handle(&request);
+        if matches!(response.outcome, AuditOutcome::Vetted { verdict: true, .. }) {
+            passed += 1;
+        }
+    }
+    passed
+}
+
+/// Runs `threads` auditors over the shared engine, returning (wall seconds,
+/// aggregate queries served).
+fn timed_auditor_run(engine: &Arc<AuditEngine>, threads: usize) -> (f64, usize) {
+    let started = Instant::now();
+    let passed: usize = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let engine = Arc::clone(engine);
+                scope.spawn(move || auditor_batch(&engine, t * 13, QUERIES_PER_THREAD))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert!(passed > 0, "vets must pass");
+    (
+        started.elapsed().as_secs_f64(),
+        threads * QUERIES_PER_THREAD,
+    )
+}
+
+fn bench_vet_throughput(c: &mut Criterion) {
+    let dir = temp_dir("throughput");
+    let engine = seeded_engine(&dir);
+    let mut group = c.benchmark_group("e12_audit/vet_throughput");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("auditor_threads", threads),
+            &threads,
+            |b, &threads| b.iter(|| timed_auditor_run(&engine, threads).1),
+        );
+    }
+    group.finish();
+
+    // Summary: measured aggregate throughput and the 1→4 scaling factor.
+    println!("\ne12 summary — aggregate vet throughput vs auditor threads");
+    println!(
+        "  {:<8} {:>12} {:>12} {:>9}",
+        "threads", "queries", "queries/s", "speedup"
+    );
+    let mut baseline_qps = 0.0f64;
+    let mut four_thread_speedup = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        // Best of three runs: scheduling noise hits multithreaded batches.
+        let (secs, queries) = (0..3)
+            .map(|_| timed_auditor_run(&engine, threads))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .unwrap();
+        let qps = queries as f64 / secs;
+        if threads == 1 {
+            baseline_qps = qps;
+        }
+        let speedup = qps / baseline_qps;
+        if threads == 4 {
+            four_thread_speedup = speedup;
+        }
+        println!(
+            "  {:<8} {:>12} {:>12.0} {:>8.2}x",
+            threads, queries, qps, speedup
+        );
+    }
+    let cores = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "  1→4 threads: {:.2}x on {} hardware thread(s){}",
+        four_thread_speedup,
+        cores,
+        if cores >= 4 {
+            " (target ≥2x)"
+        } else {
+            " (≥2x expected only with ≥4 hardware threads)"
+        }
+    );
+
+    // The long mixed workload must not have grown the memo past its bound.
+    for name in ["from-supplier", "chain-only"] {
+        let memo = engine.pattern_memo_stats(name).unwrap();
+        assert!(
+            memo.entries <= memo.bound,
+            "{} memo over bound: {} > {}",
+            name,
+            memo.entries,
+            memo.bound
+        );
+        println!(
+            "  memo[{}]: {} entries / bound {} ({} epochs, {} hits)",
+            name, memo.entries, memo.bound, memo.epochs, memo.hits
+        );
+    }
+    println!("  engine: {}", engine.stats());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The intern-heavy inner loop every vet and ingest pays: re-interning
+/// overlapping histories (mostly hits, occasionally a fresh tail).
+fn intern_batch(table: &InternTable, salt: usize, rounds: usize) {
+    for r in 0..rounds {
+        let mut k = Provenance::empty();
+        for i in 0..24 {
+            // 4 shared event identities per depth + one per-thread branch
+            // near the tip: threads overlap heavily but not totally.
+            let who = if i == 23 && r % 4 == 0 {
+                format!("abl-{}-{}", salt, r)
+            } else {
+                format!("abl-{}", (i + r) % 4)
+            };
+            k = table.intern_on(&Event::output(Principal::new(who), Provenance::empty()), &k);
+        }
+    }
+}
+
+fn timed_intern_run(shards: usize, threads: usize, rounds: usize) -> f64 {
+    let table = InternTable::with_shards(shards);
+    let started = Instant::now();
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let table = &table;
+            scope.spawn(move || intern_batch(table, t, rounds));
+        }
+    });
+    started.elapsed().as_secs_f64()
+}
+
+fn bench_interner_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_audit/interner_ablation");
+    let threads = 4usize;
+    let rounds = 64usize;
+    for shards in [1usize, 16] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| timed_intern_run(shards, threads, rounds))
+        });
+    }
+    group.finish();
+
+    println!(
+        "\ne12 summary — sharded vs single-lock interner ({} threads)",
+        threads
+    );
+    let single = (0..3)
+        .map(|_| timed_intern_run(1, threads, rounds * 4))
+        .min_by(|a, b| a.total_cmp(b))
+        .unwrap();
+    let sharded = (0..3)
+        .map(|_| timed_intern_run(16, threads, rounds * 4))
+        .min_by(|a, b| a.total_cmp(b))
+        .unwrap();
+    println!("  1 shard (global mutex): {:>9.3} ms", single * 1e3);
+    println!(
+        "  16 shards:              {:>9.3} ms  ({:.2}x vs single lock)",
+        sharded * 1e3,
+        single / sharded
+    );
+}
+
+fn all(c: &mut Criterion) {
+    bench_vet_throughput(c);
+    bench_interner_ablation(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = all
+}
+criterion_main!(benches);

@@ -37,7 +37,9 @@ pub mod compact;
 pub mod cons;
 pub mod interner;
 
-pub use interner::{interner_stats, InternerStats, ProvId};
+pub use interner::{
+    interner_shard_stats, interner_stats, InternTable, InternerStats, ProvId, ShardStats,
+};
 
 /// The direction of a provenance event: output (`!`) or input (`?`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]

@@ -20,6 +20,18 @@
 //! every later query is a hash lookup.  Nested channel automata carry
 //! their own memos, so the sharing compounds through nesting levels.
 //!
+//! The memo is **bounded**: a long-lived automaton (an audit service vets
+//! requests for the lifetime of the process) caps the number of cached
+//! verdicts at a configurable bound ([`CompiledPattern::set_memo_bound`],
+//! default [`DEFAULT_MEMO_BOUND`]) and, when an insert would exceed it,
+//! starts a fresh **epoch**: the memo is cleared wholesale and refills
+//! from the live working set.  Clearing wholesale rather than evicting
+//! piecemeal is deliberate — verdicts for a suffix transitively depend on
+//! verdicts for its sub-suffixes, so any subset eviction keeps entries
+//! whose cost to recompute is the same as the entries it freed.
+//! [`CompiledPattern::memo_stats`] reports entries, hits, misses and the
+//! epoch counter.
+//!
 //! The equivalence of the two engines is checked by unit tests here and by
 //! property-based tests over random patterns and provenances.
 
@@ -50,6 +62,105 @@ struct Transition {
 
 /// A set of NFA states as a fixed-width bitmask (one bit per state).
 type StateSet = Box<[u64]>;
+
+/// Default bound on the number of `(suffix, state set)` verdicts one
+/// automaton level memoizes before starting a fresh epoch.
+pub const DEFAULT_MEMO_BOUND: usize = 65_536;
+
+/// The bounded match memo of one automaton level.
+struct Memo {
+    /// Verdicts per suffix id, per state set at that suffix.
+    verdicts: HashMap<ProvId, HashMap<StateSet, bool>>,
+    /// Total `(suffix, state set)` pairs held (kept incrementally; summing
+    /// the inner maps on every insert would be quadratic).
+    entries: usize,
+    /// Maximum entries before the next insert starts a new epoch.
+    bound: usize,
+    /// Number of wholesale clears performed so far.
+    epochs: u64,
+    /// Lookups answered from the memo.
+    hits: u64,
+    /// Lookups that had to fall through to simulation.
+    misses: u64,
+}
+
+impl Memo {
+    fn new(bound: usize) -> Self {
+        Memo {
+            verdicts: HashMap::new(),
+            entries: 0,
+            bound: bound.max(1),
+            epochs: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn lookup(&mut self, id: ProvId, states: &StateSet) -> Option<bool> {
+        let found = self.verdicts.get(&id).and_then(|m| m.get(states)).copied();
+        match found {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        found
+    }
+
+    /// Inserts one verdict, clearing the memo first if it is full.  The
+    /// invariant `entries <= bound` holds after every insert, whatever
+    /// order verdicts arrive in.
+    fn insert(&mut self, id: ProvId, states: StateSet, verdict: bool) {
+        if self.entries >= self.bound {
+            self.verdicts.clear();
+            self.entries = 0;
+            self.epochs += 1;
+        }
+        if self
+            .verdicts
+            .entry(id)
+            .or_default()
+            .insert(states, verdict)
+            .is_none()
+        {
+            self.entries += 1;
+        }
+    }
+
+    fn stats(&self) -> MemoStats {
+        MemoStats {
+            entries: self.entries,
+            bound: self.bound,
+            epochs: self.epochs,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+/// A snapshot of one automaton level's memo occupancy and traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// `(suffix, state set)` verdicts currently held.
+    pub entries: usize,
+    /// Configured bound; `entries` never exceeds it.
+    pub bound: usize,
+    /// Wholesale clears performed so far (0 until the bound is first hit).
+    pub epochs: u64,
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that fell through to NFA simulation.
+    pub misses: u64,
+}
+
+/// Work accounting for one [`CompiledPattern::matches_with_stats`] call,
+/// accumulated across this automaton and every nested channel automaton it
+/// consulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchStats {
+    /// Memo lookups answered from a cache (this level and nested levels).
+    pub memo_hits: usize,
+    /// Spine nodes actually simulated (events consumed by some automaton).
+    pub nodes_visited: usize,
+}
 
 fn set_bit(states: &mut StateSet, bit: usize) {
     states[bit / 64] |= 1u64 << (bit % 64);
@@ -102,10 +213,9 @@ pub struct CompiledPattern {
     start: usize,
     accept: usize,
     /// Match memo: verdict of simulating from a state set over the suffix
-    /// identified by an interned `ProvId`.  Outer key is the suffix id,
-    /// inner key the state set at that point.  Append-only for the
-    /// automaton's lifetime.
-    memo: Mutex<HashMap<ProvId, HashMap<StateSet, bool>>>,
+    /// identified by an interned `ProvId`.  Bounded, with epoch-based
+    /// wholesale eviction (see the module docs).
+    memo: Mutex<Memo>,
 }
 
 /// A compiled event predicate: the group/direction test plus a compiled
@@ -124,8 +234,8 @@ impl Clone for CompiledPattern {
             atoms: self.atoms.clone(),
             start: self.start,
             accept: self.accept,
-            // The memo is a cache: clones start cold.
-            memo: Mutex::new(HashMap::new()),
+            // The memo is a cache: clones start cold but keep the bound.
+            memo: Mutex::new(Memo::new(self.lock_memo().bound)),
         }
     }
 }
@@ -230,7 +340,7 @@ impl CompiledPattern {
             atoms: builder.atoms,
             start,
             accept,
-            memo: Mutex::new(HashMap::new()),
+            memo: Mutex::new(Memo::new(DEFAULT_MEMO_BOUND)),
         }
     }
 
@@ -248,9 +358,39 @@ impl CompiledPattern {
     /// Number of `(suffix, state set)` verdicts currently memoized at this
     /// level (nested channel automata keep their own memos).
     pub fn memo_entries(&self) -> usize {
+        self.lock_memo().entries
+    }
+
+    /// A snapshot of this level's memo occupancy and traffic (nested
+    /// channel automata keep their own memos and stats).
+    pub fn memo_stats(&self) -> MemoStats {
+        self.lock_memo().stats()
+    }
+
+    /// Sets the memo bound of this automaton *and every nested channel
+    /// automaton*, clamped to at least 1.  If the memo currently holds
+    /// more entries than the new bound, it is cleared immediately (a new
+    /// epoch), so `memo_entries() <= bound` holds from the moment this
+    /// returns.
+    pub fn set_memo_bound(&self, bound: usize) {
+        {
+            let mut memo = self.lock_memo();
+            memo.bound = bound.max(1);
+            if memo.entries > memo.bound {
+                memo.verdicts.clear();
+                memo.entries = 0;
+                memo.epochs += 1;
+            }
+        }
+        for atom in &self.atoms {
+            atom.channel.set_memo_bound(bound);
+        }
+    }
+
+    fn lock_memo(&self) -> std::sync::MutexGuard<'_, Memo> {
         match self.memo.lock() {
-            Ok(memo) => memo.values().map(HashMap::len).sum(),
-            Err(poisoned) => poisoned.into_inner().values().map(HashMap::len).sum(),
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
         }
     }
 
@@ -267,14 +407,14 @@ impl CompiledPattern {
 
     /// Consumes one event from every active state, returning the closure
     /// of the successor set.
-    fn step(&self, states: &StateSet, event: &Event) -> StateSet {
+    fn step(&self, states: &StateSet, event: &Event, stats: &mut MatchStats) -> StateSet {
         let mut next = self.empty_states();
         for state in iter_bits(states) {
             for t in &self.transitions[state] {
                 let crosses = match t.label {
                     Label::Epsilon => false,
                     Label::AnyEvent => true,
-                    Label::Atom(idx) => self.atom_matches(idx, event),
+                    Label::Atom(idx) => self.atom_matches(idx, event, stats),
                 };
                 if crosses {
                     set_bit(&mut next, t.to);
@@ -283,14 +423,6 @@ impl CompiledPattern {
         }
         self.epsilon_closure(&mut next);
         next
-    }
-
-    fn memo_lookup(&self, id: ProvId, states: &StateSet) -> Option<bool> {
-        let memo = match self.memo.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        memo.get(&id).and_then(|m| m.get(states)).copied()
     }
 
     /// Decides `κ ⊨ π` by NFA simulation, memoized per
@@ -305,19 +437,34 @@ impl CompiledPattern {
     /// channel's history — therefore costs one hash lookup per *new* node
     /// only.
     pub fn matches(&self, provenance: &Provenance) -> bool {
+        self.matches_collect(provenance, &mut MatchStats::default())
+    }
+
+    /// Like [`CompiledPattern::matches`], but also reports how much work
+    /// the query cost: memo hits and spine nodes simulated, accumulated
+    /// across this automaton and every nested channel automaton consulted.
+    pub fn matches_with_stats(&self, provenance: &Provenance) -> (bool, MatchStats) {
+        let mut stats = MatchStats::default();
+        let verdict = self.matches_collect(provenance, &mut stats);
+        (verdict, stats)
+    }
+
+    fn matches_collect(&self, provenance: &Provenance, stats: &mut MatchStats) -> bool {
         let mut states = self.initial_states();
         let mut cursor = provenance.clone();
         let mut trail: Vec<(ProvId, StateSet)> = Vec::new();
         let verdict = loop {
             let id = cursor.id();
-            if let Some(cached) = self.memo_lookup(id, &states) {
+            if let Some(cached) = self.lock_memo().lookup(id, &states) {
+                stats.memo_hits += 1;
                 break cached;
             }
             trail.push((id, states.clone()));
             match cursor.head() {
                 None => break get_bit(&states, self.accept),
                 Some(event) => {
-                    let next = self.step(&states, event);
+                    stats.nodes_visited += 1;
+                    let next = self.step(&states, event, stats);
                     if is_zero(&next) {
                         break false;
                     }
@@ -328,12 +475,9 @@ impl CompiledPattern {
             }
         };
         if !trail.is_empty() {
-            let mut memo = match self.memo.lock() {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let mut memo = self.lock_memo();
             for (id, states) in trail {
-                memo.entry(id).or_default().insert(states, verdict);
+                memo.insert(id, states, verdict);
             }
         }
         verdict
@@ -342,21 +486,24 @@ impl CompiledPattern {
     /// Decides whether a slice of borrowed events (most recent first)
     /// matches, by plain (unmemoized) NFA simulation.
     pub fn matches_events(&self, events: &[&Event]) -> bool {
+        let mut stats = MatchStats::default();
         let mut current = self.initial_states();
         for &event in events {
             if is_zero(&current) {
                 return false;
             }
-            current = self.step(&current, event);
+            current = self.step(&current, event, &mut stats);
         }
         get_bit(&current, self.accept)
     }
 
-    fn atom_matches(&self, idx: usize, event: &Event) -> bool {
+    fn atom_matches(&self, idx: usize, event: &Event, stats: &mut MatchStats) -> bool {
         let atom = &self.atoms[idx];
         event.direction == atom.pattern.direction
             && atom.pattern.group.contains(&event.principal)
-            && atom.channel.matches(&event.channel_provenance)
+            && atom
+                .channel
+                .matches_collect(&event.channel_provenance, stats)
     }
 
     fn epsilon_closure(&self, states: &mut StateSet) {
@@ -532,6 +679,93 @@ mod tests {
             let events: Vec<&Event> = prov.iter().collect();
             assert_eq!(compiled.matches_events(&events), compiled.matches(&prov));
         }
+    }
+
+    #[test]
+    fn memo_stays_under_its_bound_on_a_long_workload() {
+        let pattern = Pattern::send(GroupExpr::all(), Pattern::Any).star();
+        let compiled = CompiledPattern::compile(&pattern);
+        compiled.set_memo_bound(16);
+        // Vet far more distinct histories than the bound admits.
+        for i in 0..400 {
+            let prov = Provenance::from_events(
+                (0..(1 + i % 7))
+                    .map(|j| out(&format!("bound-{}-{}", i, j)))
+                    .collect::<Vec<_>>(),
+            );
+            assert!(compiled.matches(&prov));
+            assert!(
+                compiled.memo_entries() <= 16,
+                "memo exceeded its bound: {}",
+                compiled.memo_entries()
+            );
+        }
+        let stats = compiled.memo_stats();
+        assert_eq!(stats.bound, 16);
+        assert!(stats.epochs > 0, "the bound forced at least one epoch");
+        assert!(stats.misses > 0);
+        // Verdicts stay correct across epochs.
+        assert!(compiled.matches(&seq(vec![out("fresh")])));
+        assert!(!compiled.matches(&seq(vec![inp("fresh")])));
+    }
+
+    #[test]
+    fn set_memo_bound_reaches_nested_channel_automata() {
+        let inner = Pattern::send(GroupExpr::single("b"), Pattern::Any).then(Pattern::Any);
+        let pattern = Pattern::send(GroupExpr::single("a"), inner);
+        let compiled = CompiledPattern::compile(&pattern);
+        compiled.set_memo_bound(4);
+        for i in 0..64 {
+            let chan = seq(vec![out("b"), inp(&format!("nested-{}", i))]);
+            let prov = Provenance::single(Event::output(Principal::new("a"), chan));
+            assert!(compiled.matches(&prov));
+        }
+        // The nested automaton (vetting channel histories) saw 64 distinct
+        // suffixes under a bound of 4: it must have cycled epochs.
+        let nested_epochs: u64 = compiled
+            .atoms
+            .iter()
+            .map(|a| a.channel.memo_stats().epochs)
+            .sum();
+        assert!(nested_epochs > 0, "nested memos respect the bound too");
+        assert!(compiled.atoms.iter().all(|a| a.channel.memo_entries() <= 4));
+    }
+
+    #[test]
+    fn shrinking_the_bound_clears_excess_entries_immediately() {
+        let pattern = Pattern::Any;
+        let compiled = CompiledPattern::compile(&pattern);
+        for i in 0..32 {
+            assert!(compiled.matches(&seq(vec![out(&format!("shrink-{}", i))])));
+        }
+        assert!(compiled.memo_entries() > 8);
+        compiled.set_memo_bound(8);
+        assert!(compiled.memo_entries() <= 8);
+        assert!(compiled.memo_stats().epochs >= 1);
+    }
+
+    #[test]
+    fn matches_with_stats_reports_memo_reuse() {
+        let pattern = Pattern::send(GroupExpr::all(), Pattern::Any).star();
+        let compiled = CompiledPattern::compile(&pattern);
+        let prov = seq(vec![out("ws-a"), out("ws-b"), out("ws-c")]);
+        let (verdict, cold) = compiled.matches_with_stats(&prov);
+        assert!(verdict);
+        // The outer spine is fully simulated; the only hits come from the
+        // nested channel automaton re-vetting the (memoized) ε history.
+        assert_eq!(cold.nodes_visited, 3);
+        assert_eq!(cold.memo_hits, 2);
+        let (verdict, warm) = compiled.matches_with_stats(&prov);
+        assert!(verdict);
+        assert_eq!(warm.nodes_visited, 0, "second query simulates nothing");
+        assert_eq!(warm.memo_hits, 1, "…it is answered by one memo lookup");
+        // Extending the history costs O(new nodes): the new event plus at
+        // most one more step until the state set re-enters a memoized
+        // (suffix, states) pair — never a re-simulation of the whole spine.
+        let grown = prov.prepend(out("ws-d"));
+        let (_, incremental) = compiled.matches_with_stats(&grown);
+        assert!(incremental.nodes_visited <= 2);
+        assert!(incremental.memo_hits >= 1);
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub mod workload;
 pub use fault::{Fault, FaultPlan};
 pub use metrics::SimMetrics;
 pub use network::{Delivery, Network, NetworkConfig, VirtualTime};
-pub use sim::{SimConfig, SimStop, Simulation, TrackingMode};
+pub use sim::{DeliverySink, NullSink, SimConfig, SimStop, Simulation, TrackingMode};

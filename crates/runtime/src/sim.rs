@@ -67,10 +67,56 @@ impl Default for SimConfig {
     }
 }
 
+/// Observer of message deliveries, the hook an external consumer (a
+/// provenance recorder, an audit-service ingest sink) uses to see every
+/// message the moment the network hands it to the message pool.
+///
+/// The sink sees the message exactly as delivered: after tracking-mode
+/// stripping and after any active forgery rewrote its annotations — i.e.
+/// what the paper's trusted middleware would be asked to persist.
+///
+/// Implemented for any `FnMut(&Principal, &Message, VirtualTime)` closure.
+pub trait DeliverySink {
+    /// Called once per delivered message (duplicated messages are observed
+    /// once per delivery).
+    fn delivered(
+        &mut self,
+        sender: &piprov_core::name::Principal,
+        message: &Message,
+        at: VirtualTime,
+    );
+}
+
+impl<F: FnMut(&piprov_core::name::Principal, &Message, VirtualTime)> DeliverySink for F {
+    fn delivered(
+        &mut self,
+        sender: &piprov_core::name::Principal,
+        message: &Message,
+        at: VirtualTime,
+    ) {
+        self(sender, message, at)
+    }
+}
+
+/// A sink that ignores every delivery; what [`Simulation::run`] uses.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl DeliverySink for NullSink {
+    fn delivered(
+        &mut self,
+        _sender: &piprov_core::name::Principal,
+        _message: &Message,
+        _at: VirtualTime,
+    ) {
+    }
+}
+
 #[derive(Debug, Clone)]
 struct InTransit {
     deliver_at: VirtualTime,
     sequence: u64,
+    sender: piprov_core::name::Principal,
     message: Message,
 }
 
@@ -178,6 +224,25 @@ where
     ///
     /// Propagates reduction errors (malformed systems).
     pub fn run(&mut self, max_steps: usize) -> Result<SimStop, ReductionError> {
+        self.run_with_sink(max_steps, &mut NullSink)
+    }
+
+    /// Like [`Simulation::run`], but hands every delivered message to
+    /// `sink` the moment it enters the message pool.
+    ///
+    /// This is how delivered records stream out of the simulator and into
+    /// an external consumer — the audit-service demo feeds an
+    /// `AuditRecorder` here while auditor threads query the engine
+    /// concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction errors (malformed systems).
+    pub fn run_with_sink(
+        &mut self,
+        max_steps: usize,
+        sink: &mut dyn DeliverySink,
+    ) -> Result<SimStop, ReductionError> {
         let started = Instant::now();
         let mut steps = 0usize;
         let outcome = loop {
@@ -187,7 +252,7 @@ where
             self.apply_due_faults();
             let redexes = enumerate_redexes(&self.configuration, &self.matcher);
             if redexes.is_empty() {
-                if !self.deliver_next() {
+                if !self.deliver_next(sink) {
                     break SimStop::Terminated;
                 }
                 continue;
@@ -226,19 +291,25 @@ where
         self.metrics.messages_sent += 1;
         match self.network.route(sender, self.clock) {
             Delivery::Drop => {}
-            Delivery::Deliver(at) => self.enqueue(message, at),
+            Delivery::Deliver(at) => self.enqueue(message, sender.clone(), at),
             Delivery::Duplicate(first, second) => {
-                self.enqueue(message.clone(), first);
-                self.enqueue(message, second);
+                self.enqueue(message.clone(), sender.clone(), first);
+                self.enqueue(message, sender.clone(), second);
             }
         }
     }
 
-    fn enqueue(&mut self, message: Message, deliver_at: VirtualTime) {
+    fn enqueue(
+        &mut self,
+        message: Message,
+        sender: piprov_core::name::Principal,
+        deliver_at: VirtualTime,
+    ) {
         self.sequence += 1;
         self.in_transit.push(Reverse(InTransit {
             deliver_at,
             sequence: self.sequence,
+            sender,
             message,
         }));
     }
@@ -246,16 +317,16 @@ where
     /// Advances the clock to the next delivery and moves every message due
     /// by then into the configuration.  Returns `false` if nothing was in
     /// flight.
-    fn deliver_next(&mut self) -> bool {
+    fn deliver_next(&mut self, sink: &mut dyn DeliverySink) -> bool {
         let Some(Reverse(first)) = self.in_transit.pop() else {
             return false;
         };
         self.clock = self.clock.max(first.deliver_at);
-        self.deliver(first.message);
+        self.deliver(first.sender, first.message, sink);
         while let Some(Reverse(next)) = self.in_transit.peek() {
             if next.deliver_at <= self.clock {
                 let Reverse(item) = self.in_transit.pop().expect("peeked");
-                self.deliver(item.message);
+                self.deliver(item.sender, item.message, sink);
             } else {
                 break;
             }
@@ -263,7 +334,12 @@ where
         true
     }
 
-    fn deliver(&mut self, mut message: Message) {
+    fn deliver(
+        &mut self,
+        sender: piprov_core::name::Principal,
+        mut message: Message,
+        sink: &mut dyn DeliverySink,
+    ) {
         // An active forgery on this channel rewrites the annotations of
         // everything delivered on it from the fault's activation onwards.
         if let Some((_, forged_sender)) = self
@@ -294,6 +370,7 @@ where
             record_delivered_nodes(&mut self.seen_prov_nodes, &value.provenance);
         }
         self.metrics.unique_prov_nodes = self.seen_prov_nodes.len();
+        sink.delivered(&sender, &message, self.clock);
         self.configuration.add_message(message);
     }
 
@@ -531,6 +608,33 @@ mod tests {
         sim.run(100_000).unwrap();
         // stage0 is the source: nothing it sends is ever delivered.
         assert_eq!(sim.metrics().messages_delivered, 0);
+    }
+
+    #[test]
+    fn delivery_sink_observes_every_delivery_with_its_sender() {
+        let system = workload::supply_chain(2, 2, 2);
+        let mut sim = Simulation::new(
+            &system,
+            TrivialPatterns,
+            SimConfig {
+                network: NetworkConfig::reliable(),
+                ..SimConfig::default()
+            },
+        );
+        let mut observed: Vec<(Principal, String, VirtualTime)> = Vec::new();
+        let mut sink = |sender: &Principal, message: &Message, at: VirtualTime| {
+            observed.push((sender.clone(), message.channel.as_str().to_string(), at));
+        };
+        sim.run_with_sink(100_000, &mut sink).unwrap();
+        assert_eq!(observed.len(), sim.metrics().messages_delivered);
+        assert!(observed
+            .iter()
+            .any(|(p, _, _)| p == &Principal::new("supplier0")));
+        assert!(observed
+            .iter()
+            .any(|(p, chan, _)| p == &Principal::new("relay1") && chan == "lane3"));
+        // Delivery times are observed in non-decreasing clock order.
+        assert!(observed.windows(2).all(|w| w[0].2 <= w[1].2));
     }
 
     #[test]

@@ -122,6 +122,62 @@ pub fn ring(nodes: usize) -> System<AnyPattern> {
     System::par_all(parts)
 }
 
+/// A supply chain with many distinct origins: `suppliers` principals each
+/// inject `messages_per_supplier` distinct values on `lane1`; `relays`
+/// relay stages forward everything lane by lane; a final `sink` consumes
+/// from the last lane.
+///
+/// This is the audit service's reference workload: every value has a
+/// nameable origin (`supplier{i}`), travels through the same relays
+/// (`relay{j}`), and accumulates a multi-hop history — so `OriginOf`,
+/// `WhoTouched` and `VetValue` queries all have non-trivial answers.
+/// Principals are `supplier0…`, `relay0…`, `sink`; lane channels are
+/// `lane1…lane{relays+1}`.
+pub fn supply_chain(
+    suppliers: usize,
+    relays: usize,
+    messages_per_supplier: usize,
+) -> System<AnyPattern> {
+    let mut parts = Vec::new();
+    for s in 0..suppliers {
+        let outputs: Vec<Process<AnyPattern>> = (0..messages_per_supplier)
+            .map(|k| {
+                Process::output(
+                    Identifier::channel("lane1"),
+                    Identifier::channel(format!("item{}_{}", s, k).as_str()),
+                )
+            })
+            .collect();
+        parts.push(System::located(
+            format!("supplier{}", s).as_str(),
+            Process::par_all(outputs),
+        ));
+    }
+    for r in 0..relays {
+        let from = format!("lane{}", r + 1);
+        let to = format!("lane{}", r + 2);
+        parts.push(System::located(
+            format!("relay{}", r).as_str(),
+            Process::replicate(Process::input(
+                Identifier::channel(from.as_str()),
+                AnyPattern,
+                "x",
+                Process::output(Identifier::channel(to.as_str()), Identifier::variable("x")),
+            )),
+        ));
+    }
+    parts.push(System::located(
+        "sink",
+        Process::replicate(Process::input(
+            Identifier::channel(format!("lane{}", relays + 1).as_str()),
+            AnyPattern,
+            "x",
+            Process::nil(),
+        )),
+    ));
+    System::par_all(parts)
+}
+
 /// The paper's photography competition (§2.3.2), generalised.
 ///
 /// * Contestant `c{i}` submits entry `e{i}` on `sub` and waits on `pub` for
@@ -344,6 +400,21 @@ mod tests {
         let token = &exec.configuration().messages[0];
         assert_eq!(token.channel.as_str(), "ring0");
         assert_eq!(token.payload[0].provenance.len(), 10);
+    }
+
+    #[test]
+    fn supply_chain_relays_every_item_to_the_sink() {
+        let s = supply_chain(3, 2, 2);
+        assert!(s.is_closed());
+        assert_eq!(s.principals().len(), 6, "3 suppliers, 2 relays, sink");
+        let mut exec = Executor::new(&s, TrivialPatterns);
+        let outcome = exec.run(100_000).unwrap();
+        assert_eq!(outcome.reason, StopReason::Quiescent);
+        // 6 items each sent 3 times (supplier + 2 relays) and received 3
+        // times (2 relays + sink).
+        assert_eq!(exec.stats().sends, 18);
+        assert_eq!(exec.stats().receives, 18);
+        assert_eq!(exec.configuration().message_count(), 0);
     }
 
     #[test]

@@ -28,22 +28,28 @@ impl StoreIndex {
     }
 
     /// Indexes one record.
+    ///
+    /// Posting lists are kept duplicate-free: sequence numbers arrive in
+    /// non-decreasing order (appends are monotone; rebuilds replay in
+    /// sequence order), so a record that maps to the same key several
+    /// times — or an insert replayed for a record already indexed — only
+    /// ever tries to append the sequence number the list already ends
+    /// with, and checking the tail suffices.
     pub fn insert(&mut self, record: &ProvenanceRecord) {
         let seq = record.sequence;
-        self.by_principal
-            .entry(record.principal.clone())
-            .or_default()
-            .push(seq);
-        self.by_channel
-            .entry(record.channel.clone())
-            .or_default()
-            .push(seq);
-        self.by_value
-            .entry(record.value.clone())
-            .or_default()
-            .push(seq);
+        push_unique(
+            self.by_principal
+                .entry(record.principal.clone())
+                .or_default(),
+            seq,
+        );
+        push_unique(
+            self.by_channel.entry(record.channel.clone()).or_default(),
+            seq,
+        );
+        push_unique(self.by_value.entry(record.value.clone()).or_default(), seq);
         for p in record.principals_involved() {
-            self.by_involved_principal.entry(p).or_default().push(seq);
+            push_unique(self.by_involved_principal.entry(p).or_default(), seq);
         }
     }
 
@@ -109,6 +115,13 @@ impl StoreIndex {
     }
 }
 
+/// Appends `seq` to a posting list unless it is already the tail entry.
+fn push_unique(list: &mut Vec<SequenceNumber>, seq: SequenceNumber) {
+    if list.last() != Some(&seq) {
+        list.push(seq);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +160,34 @@ mod tests {
         assert_eq!(index.channels().count(), 2);
         assert_eq!(index.values().count(), 2);
         assert_eq!(index.entry_count(), 9);
+    }
+
+    #[test]
+    fn posting_lists_stay_duplicate_free() {
+        // A record whose provenance mentions the same value's carriers
+        // repeatedly still yields one posting per list, and replaying the
+        // same record through insert (as a segment replay that revisits a
+        // frame would) cannot double-count it.
+        let km = Provenance::single(Event::output(Principal::new("origin"), Provenance::empty()));
+        let r = ProvenanceRecord {
+            sequence: 7,
+            logical_time: 7,
+            principal: Principal::new("origin"),
+            operation: Operation::Send,
+            channel: Channel::new("m"),
+            value: Value::Channel(Channel::new("v")),
+            // origin appears as actor, as a top-level event and nested in
+            // the channel provenance of a later event.
+            provenance: Provenance::single(Event::output(Principal::new("origin"), km)),
+        };
+        let mut index = StoreIndex::new();
+        index.insert(&r);
+        index.insert(&r);
+        assert_eq!(index.by_principal(&Principal::new("origin")), &[7]);
+        assert_eq!(index.by_channel(&Channel::new("m")), &[7]);
+        assert_eq!(index.by_value(&Value::Channel(Channel::new("v"))), &[7]);
+        assert_eq!(index.by_involved_principal(&Principal::new("origin")), &[7]);
+        assert_eq!(index.entry_count(), 3);
     }
 
     #[test]

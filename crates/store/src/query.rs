@@ -32,22 +32,25 @@ impl AuditTrail {
         self.principals.contains(principal)
     }
 
-    /// The principal that (according to the latest recorded provenance)
-    /// originally sent the value, if any provenance was recorded.
+    /// The principal that originally sent the value: the *oldest* output
+    /// event recorded anywhere in the trail.
+    ///
+    /// Records are scanned oldest-first and each record's provenance
+    /// oldest-event-first, so the earliest recorded history wins.  Trusting
+    /// the newest record instead would mis-attribute relayed values: a
+    /// relay's record can carry a history that starts at the relay (its
+    /// receive record was persisted without provenance, or an intermediary
+    /// re-tagged the value), and the true origin then only survives in the
+    /// older records of the trail.
     pub fn origin(&self) -> Option<Principal> {
         self.records
             .iter()
-            .rev()
-            .filter_map(|r| {
-                r.provenance.iter().last().and_then(|e| {
-                    if e.is_output() {
-                        Some(e.principal.clone())
-                    } else {
-                        None
-                    }
-                })
+            .flat_map(|r| {
+                let events = r.provenance.to_vec();
+                events.into_iter().rev()
             })
-            .next()
+            .find(|e| e.is_output())
+            .map(|e| e.principal)
     }
 }
 
@@ -293,6 +296,86 @@ mod tests {
         assert_eq!(query.records_in_range(2, 4).len(), 2);
         let v = Value::Channel(Channel::new("v"));
         assert_eq!(query.records_of_value(&v).len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn origin_prefers_the_oldest_output_over_a_relay_retag() {
+        // A relayed value whose newest record carries a history that
+        // starts at the relay: a sent v (recorded), then the relay s
+        // re-sent it with a provenance that only mentions s — the shape an
+        // AuditRecorder produces when the relay's receive was persisted
+        // without provenance, or when an intermediary re-tagged the value.
+        let dir = temp_dir("relay-origin");
+        let mut store = ProvenanceStore::open(&dir).unwrap();
+        let v = Value::Channel(Channel::new("v"));
+        let a = Principal::new("a");
+        let s = Principal::new("s");
+        let empty = Provenance::empty();
+        let k1 = empty.prepend(Event::output(a.clone(), empty.clone()));
+        store
+            .append(ProvenanceRecord::new(
+                1,
+                "a",
+                Operation::Send,
+                "m",
+                v.clone(),
+                k1,
+            ))
+            .unwrap();
+        let retag = empty.prepend(Event::output(s.clone(), empty.clone()));
+        store
+            .append(ProvenanceRecord::new(
+                2,
+                "s",
+                Operation::Send,
+                "nprime",
+                v.clone(),
+                retag,
+            ))
+            .unwrap();
+        let trail = store.query().audit_trail(&v);
+        assert_eq!(
+            trail.origin(),
+            Some(a),
+            "the oldest recorded output wins, not the relay's re-tag"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn origin_skips_records_without_an_output_event() {
+        let dir = temp_dir("origin-skip");
+        let mut store = ProvenanceStore::open(&dir).unwrap();
+        let v = Value::Channel(Channel::new("v"));
+        let empty = Provenance::empty();
+        // Oldest record: a receive persisted with input-only provenance.
+        let k_in = empty.prepend(Event::input(Principal::new("c"), empty.clone()));
+        store
+            .append(ProvenanceRecord::new(
+                1,
+                "c",
+                Operation::Receive,
+                "m",
+                v.clone(),
+                k_in,
+            ))
+            .unwrap();
+        let k_out = empty
+            .prepend(Event::output(Principal::new("a"), empty.clone()))
+            .prepend(Event::input(Principal::new("c"), empty.clone()));
+        store
+            .append(ProvenanceRecord::new(
+                2,
+                "c",
+                Operation::Receive,
+                "m",
+                v.clone(),
+                k_out,
+            ))
+            .unwrap();
+        let trail = store.query().audit_trail(&v);
+        assert_eq!(trail.origin(), Some(Principal::new("a")));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -330,6 +330,15 @@ impl ProvenanceStore {
         &self.index
     }
 
+    /// A query handle over this store.
+    ///
+    /// Equivalent to `StoreQuery::new(&store)`; callers that serve many
+    /// audit requests (the `piprov-audit` engine) create one handle per
+    /// request under their read lock.
+    pub fn query(&self) -> crate::query::StoreQuery<'_> {
+        crate::query::StoreQuery::new(self)
+    }
+
     /// Store statistics.
     pub fn stats(&self) -> StoreStats {
         StoreStats {

@@ -17,6 +17,7 @@
 //! | [`store`] | `piprov-store` | append-only provenance store with audit queries |
 //! | [`runtime`] | `piprov-runtime` | discrete-event simulator, workloads, fault injection |
 //! | [`analysis`] | `piprov-static` | static provenance-flow analysis |
+//! | [`audit`] | `piprov-audit` | concurrent audit service: engine, typed requests, recorder sink |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use piprov_audit as audit;
 pub use piprov_core as core;
 pub use piprov_logs as logs;
 pub use piprov_patterns as patterns;
@@ -55,6 +57,7 @@ pub use piprov_store as store;
 /// Convenient re-exports of the items almost every user of the library
 /// needs.
 pub mod prelude {
+    pub use piprov_audit::{AuditEngine, AuditOutcome, AuditRecorder, AuditRequest, AuditResponse};
     pub use piprov_core::interpreter::{Executor, SchedulerPolicy, StopReason};
     pub use piprov_core::name::{Channel, Principal, Variable};
     pub use piprov_core::pattern::{AnyPattern, PatternLanguage, TrivialPatterns};
