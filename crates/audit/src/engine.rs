@@ -41,7 +41,8 @@ impl Default for AuditConfig {
     }
 }
 
-/// Monotone counters accumulated over the engine's lifetime.
+/// Monotone counters (and one gauge) accumulated over the engine's
+/// lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Requests served, by any thread.
@@ -57,18 +58,32 @@ pub struct EngineStats {
     pub index_hits: u64,
     /// Pattern-memo hits, summed over all vet requests.
     pub memo_hits: u64,
+    /// Ingest batches applied (each under a single write-lock
+    /// acquisition); single-record [`AuditEngine::ingest`] calls count as
+    /// one-record batches.
+    pub ingest_batches: u64,
+    /// Ingest batches rejected with a typed `Busy` because the bounded
+    /// ingest queue was full.
+    pub busy_rejections: u64,
+    /// **Gauge**: batches currently waiting in the ingest queue (0 when no
+    /// queue is attached; see [`crate::IngestQueue`]).
+    pub queue_depth: u64,
 }
 
 impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} requests ({} vets: {} pass / {} fail), {} ingested, {} index hits, {} memo hits",
+            "{} requests ({} vets: {} pass / {} fail), {} ingested in {} batches \
+             ({} busy rejections, queue depth {}), {} index hits, {} memo hits",
             self.requests,
             self.vets_passed + self.vets_failed,
             self.vets_passed,
             self.vets_failed,
             self.ingested,
+            self.ingest_batches,
+            self.busy_rejections,
+            self.queue_depth,
             self.index_hits,
             self.memo_hits
         )
@@ -91,6 +106,9 @@ pub struct AuditEngine {
     vets_failed: AtomicU64,
     index_hits: AtomicU64,
     memo_hits: AtomicU64,
+    ingest_batches: AtomicU64,
+    busy_rejections: AtomicU64,
+    queue_depth: AtomicU64,
 }
 
 impl AuditEngine {
@@ -121,6 +139,9 @@ impl AuditEngine {
             vets_failed: AtomicU64::new(0),
             index_hits: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
+            ingest_batches: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
         }
     }
 
@@ -160,7 +181,54 @@ impl AuditEngine {
     pub fn ingest(&self, record: ProvenanceRecord) -> Result<SequenceNumber, StoreError> {
         let seq = self.write_store().append(record)?;
         self.ingested.fetch_add(1, Ordering::Relaxed);
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
         Ok(seq)
+    }
+
+    /// Appends a whole batch under **one** write-lock acquisition, so a
+    /// burst of ingest pays for the lock (and the readers it excludes)
+    /// once per batch instead of once per record.
+    ///
+    /// Records appended before a failure stay appended; the error reports
+    /// the first record that could not be written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first store append failure.
+    pub fn ingest_batch(
+        &self,
+        records: Vec<ProvenanceRecord>,
+    ) -> Result<Vec<SequenceNumber>, StoreError> {
+        if records.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut sequences = Vec::with_capacity(records.len());
+        let mut store = self.write_store();
+        for record in records {
+            match store.append(record) {
+                Ok(seq) => {
+                    sequences.push(seq);
+                    self.ingested.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(error) => {
+                    self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+                    return Err(error);
+                }
+            }
+        }
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        Ok(sequences)
+    }
+
+    /// Records one `Busy` rejection of an ingest batch (called by the
+    /// bounded [`crate::IngestQueue`]; the engine itself never rejects).
+    pub(crate) fn note_busy_rejection(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the current ingest-queue depth gauge.
+    pub(crate) fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
     }
 
     /// Flushes and syncs the underlying store.
@@ -197,6 +265,9 @@ impl AuditEngine {
             vets_failed: self.vets_failed.load(Ordering::Relaxed),
             index_hits: self.index_hits.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
         }
     }
 

@@ -1,0 +1,426 @@
+//! Bounded, batched ingest with typed back-pressure.
+//!
+//! The serving layer must never buffer a hostile or merely over-eager
+//! writer without bound: the [`IngestQueue`] holds at most a configured
+//! number of *batches*; a submission that finds the queue full is rejected
+//! immediately with [`SubmitOutcome::Busy`] (counted in
+//! [`crate::EngineStats::busy_rejections`]) instead of growing the heap.
+//! Accepted batches are drained by one worker thread that applies each
+//! batch to the [`AuditEngine`] under a **single write-lock acquisition**
+//! ([`AuditEngine::ingest_batch`]), so ingest pays for the lock — and for
+//! the auditors it excludes — once per batch rather than once per record.
+//!
+//! The queue is what a network front-end (see `piprov-serve`) answers
+//! `IngestBatch` requests with: `Accepted` becomes an `IngestAck` frame,
+//! `Busy` becomes a typed `Busy` frame the client can back off on.
+
+use crate::engine::AuditEngine;
+use piprov_store::{ProvenanceRecord, StoreError};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// The immediate answer to one batch submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The batch was queued; `queue_depth` batches (including this one)
+    /// are now waiting for the worker.
+    Accepted {
+        /// Batches waiting after the submission.
+        queue_depth: usize,
+    },
+    /// The queue was full (or shut down): nothing was buffered, the caller
+    /// should back off and retry.
+    Busy {
+        /// Batches waiting at the moment of rejection.
+        queue_depth: usize,
+    },
+}
+
+impl SubmitOutcome {
+    /// `true` for [`SubmitOutcome::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, SubmitOutcome::Accepted { .. })
+    }
+}
+
+/// Mutable queue state, guarded by one mutex.
+struct QueueState {
+    batches: VecDeque<Vec<ProvenanceRecord>>,
+    /// The worker is currently applying a popped batch (it no longer counts
+    /// against the capacity, but a flush must still wait for it).
+    in_flight: bool,
+    /// While paused the worker leaves the queue untouched — a test hook
+    /// that makes back-pressure deterministic to observe.
+    paused: bool,
+    closed: bool,
+    /// First store error the worker hit; surfaced by flush/shutdown.
+    error: Option<StoreError>,
+}
+
+struct Shared {
+    engine: Arc<AuditEngine>,
+    state: Mutex<QueueState>,
+    /// Wakes the worker: new batch, unpause, or close.
+    work: Condvar,
+    /// Wakes flushers: the queue drained and the worker went idle.
+    idle: Condvar,
+    capacity: usize,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A bounded ingest queue with one drain worker.
+///
+/// Dropping the queue shuts it down: remaining batches are drained, the
+/// worker joins.  Use [`IngestQueue::shutdown`] to also observe errors.
+#[derive(Debug)]
+pub struct IngestQueue {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestQueueShared")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IngestQueue {
+    /// Starts a queue holding at most `capacity` batches (clamped to at
+    /// least 1) draining into `engine`.
+    pub fn start(engine: Arc<AuditEngine>, capacity: usize) -> Self {
+        let shared = Arc::new(Shared {
+            engine,
+            state: Mutex::new(QueueState {
+                batches: VecDeque::new(),
+                in_flight: false,
+                paused: false,
+                closed: false,
+                error: None,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("piprov-ingest".into())
+            .spawn(move || drain_loop(&worker_shared))
+            .expect("spawn ingest worker");
+        IngestQueue {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// The engine this queue drains into.
+    pub fn engine(&self) -> &Arc<AuditEngine> {
+        &self.shared.engine
+    }
+
+    /// Maximum number of batches held.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Batches currently waiting (excluding one the worker may be
+    /// applying).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().batches.len()
+    }
+
+    /// Submits one batch without blocking.  An empty batch is accepted as
+    /// a no-op.  A full (or shut-down) queue rejects with
+    /// [`SubmitOutcome::Busy`] — nothing is buffered, and the rejection is
+    /// counted in the engine's `busy_rejections`.
+    pub fn try_submit(&self, batch: Vec<ProvenanceRecord>) -> SubmitOutcome {
+        let mut state = self.shared.lock();
+        let depth = state.batches.len();
+        if batch.is_empty() {
+            return SubmitOutcome::Accepted { queue_depth: depth };
+        }
+        if state.closed || depth >= self.shared.capacity {
+            drop(state);
+            self.shared.engine.note_busy_rejection();
+            return SubmitOutcome::Busy { queue_depth: depth };
+        }
+        state.batches.push_back(batch);
+        let queue_depth = state.batches.len();
+        self.shared.engine.set_queue_depth(queue_depth);
+        drop(state);
+        self.shared.work.notify_one();
+        SubmitOutcome::Accepted { queue_depth }
+    }
+
+    /// Pauses or resumes the drain worker.  While paused, accepted batches
+    /// stay queued and overflow turns into `Busy` — the hook that makes
+    /// back-pressure tests deterministic.
+    pub fn set_paused(&self, paused: bool) {
+        self.shared.lock().paused = paused;
+        self.shared.work.notify_all();
+    }
+
+    /// Blocks until every queued batch has been applied and the worker is
+    /// idle, then syncs the engine's store, so everything submitted before
+    /// the call is both queryable and durable after it.
+    ///
+    /// Unpauses the worker first (a paused queue would otherwise never
+    /// drain).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first error the worker hit since the last flush, or a
+    /// sync failure.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let mut state = self.shared.lock();
+        state.paused = false;
+        self.shared.work.notify_all();
+        while !state.batches.is_empty() || state.in_flight {
+            state = match self.shared.idle.wait(state) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        if let Some(error) = state.error.take() {
+            return Err(error);
+        }
+        drop(state);
+        self.shared.engine.sync()
+    }
+
+    /// Drains the queue, stops the worker and surfaces any deferred error.
+    ///
+    /// # Errors
+    ///
+    /// As [`IngestQueue::flush`].
+    pub fn shutdown(mut self) -> Result<(), StoreError> {
+        let result = self.flush();
+        self.close_and_join();
+        result
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.closed = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for IngestQueue {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// The worker: pop a batch (unless paused), apply it under one write lock,
+/// publish the depth gauge, repeat until closed and drained.
+fn drain_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut state = shared.lock();
+            loop {
+                // A closed queue still drains what was accepted.
+                if !state.paused || state.closed {
+                    if let Some(batch) = state.batches.pop_front() {
+                        state.in_flight = true;
+                        shared.engine.set_queue_depth(state.batches.len());
+                        break Some(batch);
+                    }
+                }
+                if state.closed {
+                    break None;
+                }
+                state = match shared.work.wait(state) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        let Some(batch) = batch else {
+            shared.idle.notify_all();
+            return;
+        };
+        let result = shared.engine.ingest_batch(batch);
+        let mut state = shared.lock();
+        state.in_flight = false;
+        if let (Err(error), None) = (result, state.error.as_ref()) {
+            state.error = Some(error);
+        }
+        if state.batches.is_empty() {
+            drop(state);
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piprov_core::name::{Channel, Principal};
+    use piprov_core::provenance::{Event, Provenance};
+    use piprov_core::value::Value;
+    use piprov_store::Operation;
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("piprov-ingestq-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(i: u64) -> ProvenanceRecord {
+        let who = Principal::new(format!("p{}", i % 5));
+        let k = Provenance::single(Event::output(who.clone(), Provenance::empty()));
+        ProvenanceRecord::new(
+            i,
+            who,
+            Operation::Send,
+            "m",
+            Value::Channel(Channel::new(format!("item{}", i))),
+            k,
+        )
+    }
+
+    fn batch(from: u64, len: u64) -> Vec<ProvenanceRecord> {
+        (from..from + len).map(record).collect()
+    }
+
+    #[test]
+    fn flooding_a_one_deep_queue_yields_busy_not_buffering() {
+        let dir = temp_dir("busy");
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        let queue = IngestQueue::start(Arc::clone(&engine), 1);
+        queue.set_paused(true);
+        assert!(queue.try_submit(batch(0, 4)).is_accepted());
+        // The queue is full and the worker is paused: every further batch
+        // is rejected with a typed Busy — no unbounded buffering.
+        for _ in 0..3 {
+            assert_eq!(
+                queue.try_submit(batch(100, 2)),
+                SubmitOutcome::Busy { queue_depth: 1 }
+            );
+        }
+        assert_eq!(queue.queue_depth(), 1);
+        let stats = engine.stats();
+        assert_eq!(stats.busy_rejections, 3);
+        assert_eq!(stats.queue_depth, 1);
+        assert_eq!(stats.ingested, 0, "nothing applied while paused");
+        // Resume: the accepted batch lands, the rejected ones never will.
+        queue.flush().unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.ingested, 4);
+        assert_eq!(stats.ingest_batches, 1);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(engine.record_count(), 4);
+        // The queue accepts again after draining.
+        assert!(queue.try_submit(batch(200, 1)).is_accepted());
+        queue.shutdown().unwrap();
+        assert_eq!(engine.record_count(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batches_apply_under_one_lock_acquisition_each() {
+        let dir = temp_dir("batches");
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        let queue = IngestQueue::start(Arc::clone(&engine), 8);
+        for b in 0..5u64 {
+            assert!(queue.try_submit(batch(b * 10, 10)).is_accepted());
+        }
+        queue.flush().unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.ingested, 50);
+        assert_eq!(stats.ingest_batches, 5, "one lock acquisition per batch");
+        assert_eq!(stats.busy_rejections, 0);
+        queue.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_batches_are_accepted_no_ops() {
+        let dir = temp_dir("empty");
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        let queue = IngestQueue::start(Arc::clone(&engine), 1);
+        assert_eq!(
+            queue.try_submit(Vec::new()),
+            SubmitOutcome::Accepted { queue_depth: 0 }
+        );
+        queue.shutdown().unwrap();
+        assert_eq!(engine.stats().ingest_batches, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_drains_accepted_batches() {
+        let dir = temp_dir("drop");
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        {
+            let queue = IngestQueue::start(Arc::clone(&engine), 4);
+            assert!(queue.try_submit(batch(0, 3)).is_accepted());
+            assert!(queue.try_submit(batch(10, 2)).is_accepted());
+            // Dropped without an explicit flush.
+        }
+        assert_eq!(engine.record_count(), 5, "drop drains, not discards");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_submitters_never_exceed_capacity() {
+        use std::thread;
+        let dir = temp_dir("concurrent");
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        let queue = Arc::new(IngestQueue::start(Arc::clone(&engine), 2));
+        let submitters: Vec<_> = (0..4)
+            .map(|t| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut accepted = 0u64;
+                    let mut attempts = 0u64;
+                    for i in 0..200u64 {
+                        attempts += 1;
+                        if queue
+                            .try_submit(batch(t * 10_000 + i * 10, 3))
+                            .is_accepted()
+                        {
+                            accepted += 1;
+                        }
+                        assert!(queue.queue_depth() <= 2);
+                    }
+                    (accepted, attempts)
+                })
+            })
+            .collect();
+        let mut accepted = 0u64;
+        for handle in submitters {
+            let (a, _) = handle.join().unwrap();
+            accepted += a;
+        }
+        let queue = Arc::try_unwrap(queue).expect("all submitters joined");
+        queue.shutdown().unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.ingested, accepted * 3);
+        assert_eq!(stats.ingest_batches, accepted);
+        assert_eq!(
+            stats.busy_rejections,
+            4 * 200 - accepted,
+            "every attempt either lands or is counted busy"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,7 +19,10 @@
 //!   (index hits, memo hits, DAG nodes visited);
 //! * [`recorder`] — the [`AuditRecorder`]: a
 //!   [`piprov_runtime::DeliverySink`] that streams a simulation's
-//!   delivered messages into the engine while auditors query it.
+//!   delivered messages into the engine while auditors query it;
+//! * [`ingest`] — the bounded [`IngestQueue`]: batched ingest with typed
+//!   back-pressure (`Busy` instead of unbounded buffering), each batch
+//!   applied under one write-lock acquisition.
 //!
 //! Every query is answered through the store's secondary indexes — never
 //! by a full scan — and every vet goes through the NFA engine's
@@ -58,9 +61,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod ingest;
 pub mod recorder;
 pub mod request;
 
 pub use engine::{AuditConfig, AuditEngine, EngineStats};
+pub use ingest::{IngestQueue, SubmitOutcome};
 pub use recorder::AuditRecorder;
 pub use request::{AuditOutcome, AuditRequest, AuditResponse, RequestStats};

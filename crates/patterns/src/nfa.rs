@@ -24,13 +24,14 @@
 //! requests for the lifetime of the process) caps the number of cached
 //! verdicts at a configurable bound ([`CompiledPattern::set_memo_bound`],
 //! default [`DEFAULT_MEMO_BOUND`]) and, when an insert would exceed it,
-//! starts a fresh **epoch**: the memo is cleared wholesale and refills
-//! from the live working set.  Clearing wholesale rather than evicting
-//! piecemeal is deliberate — verdicts for a suffix transitively depend on
-//! verdicts for its sub-suffixes, so any subset eviction keeps entries
-//! whose cost to recompute is the same as the entries it freed.
-//! [`CompiledPattern::memo_stats`] reports entries, hits, misses and the
-//! epoch counter.
+//! starts a fresh **epoch**.  What the rollover does with the old epoch is
+//! the [`MemoEviction`] policy: [`MemoEviction::Wholesale`] clears
+//! everything (the original scheme), while the default
+//! [`MemoEviction::Generational`] keeps the entries that actually answered
+//! lookups during the ending epoch — up to half the bound — so a stable
+//! working set survives the rollover and only the one-shot tail pays the
+//! cold-start cost again.  [`CompiledPattern::memo_stats`] reports entries,
+//! hits, misses, the epoch counter and the cumulative survivors.
 //!
 //! The equivalence of the two engines is checked by unit tests here and by
 //! property-based tests over random patterns and provenances.
@@ -67,21 +68,48 @@ type StateSet = Box<[u64]>;
 /// automaton level memoizes before starting a fresh epoch.
 pub const DEFAULT_MEMO_BOUND: usize = 65_536;
 
+/// What an epoch rollover does with the entries it is evicting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoEviction {
+    /// Clear the memo wholesale (the original scheme): every cached verdict
+    /// is dropped and the working set re-simulates from cold.
+    Wholesale,
+    /// Keep the **hot** entries of the ending epoch — those answered from
+    /// the memo since the last rollover — up to half the bound, so a stable
+    /// working set survives and only the one-shot tail is evicted.  The
+    /// default.
+    #[default]
+    Generational,
+}
+
+/// One cached verdict plus its generation bit: `hot` is set when the entry
+/// answers a lookup and cleared when it survives a rollover, so "hot" means
+/// *used during the current epoch*.
+#[derive(Debug, Clone, Copy)]
+struct Cached {
+    verdict: bool,
+    hot: bool,
+}
+
 /// The bounded match memo of one automaton level.
 struct Memo {
     /// Verdicts per suffix id, per state set at that suffix.
-    verdicts: HashMap<ProvId, HashMap<StateSet, bool>>,
+    verdicts: HashMap<ProvId, HashMap<StateSet, Cached>>,
     /// Total `(suffix, state set)` pairs held (kept incrementally; summing
     /// the inner maps on every insert would be quadratic).
     entries: usize,
     /// Maximum entries before the next insert starts a new epoch.
     bound: usize,
-    /// Number of wholesale clears performed so far.
+    /// Number of epoch rollovers performed so far.
     epochs: u64,
     /// Lookups answered from the memo.
     hits: u64,
     /// Lookups that had to fall through to simulation.
     misses: u64,
+    /// Entries that survived a rollover, summed over all rollovers.
+    retained: u64,
+    /// What a rollover does with the evicted epoch.
+    eviction: MemoEviction,
 }
 
 impl Memo {
@@ -93,11 +121,20 @@ impl Memo {
             epochs: 0,
             hits: 0,
             misses: 0,
+            retained: 0,
+            eviction: MemoEviction::default(),
         }
     }
 
     fn lookup(&mut self, id: ProvId, states: &StateSet) -> Option<bool> {
-        let found = self.verdicts.get(&id).and_then(|m| m.get(states)).copied();
+        let found = self
+            .verdicts
+            .get_mut(&id)
+            .and_then(|m| m.get_mut(states))
+            .map(|cached| {
+                cached.hot = true;
+                cached.verdict
+            });
         match found {
             Some(_) => self.hits += 1,
             None => self.misses += 1,
@@ -105,20 +142,60 @@ impl Memo {
         found
     }
 
-    /// Inserts one verdict, clearing the memo first if it is full.  The
-    /// invariant `entries <= bound` holds after every insert, whatever
-    /// order verdicts arrive in.
+    /// Starts a new epoch.  Under [`MemoEviction::Wholesale`] everything is
+    /// dropped; under [`MemoEviction::Generational`] up to `bound / 2` hot
+    /// entries survive with their hotness reset (they must earn their place
+    /// in the new epoch too).  Capping the survivors at half the bound
+    /// guarantees every rollover frees at least half the memo, so a fully
+    /// hot working set cannot wedge the memo into rolling over on every
+    /// insert.
+    fn rollover(&mut self) {
+        match self.eviction {
+            MemoEviction::Wholesale => {
+                self.verdicts.clear();
+                self.entries = 0;
+            }
+            MemoEviction::Generational => {
+                let budget = self.bound / 2;
+                let mut kept = 0usize;
+                self.verdicts.retain(|_, per_states| {
+                    per_states.retain(|_, cached| {
+                        if cached.hot && kept < budget {
+                            cached.hot = false;
+                            kept += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    !per_states.is_empty()
+                });
+                self.entries = kept;
+                self.retained += kept as u64;
+            }
+        }
+        self.epochs += 1;
+    }
+
+    /// Inserts one verdict, rolling the epoch over first if the memo is
+    /// full.  The invariant `entries <= bound` holds after every insert,
+    /// whatever order verdicts arrive in (the rollover keeps at most
+    /// `bound / 2 < bound` entries).
     fn insert(&mut self, id: ProvId, states: StateSet, verdict: bool) {
         if self.entries >= self.bound {
-            self.verdicts.clear();
-            self.entries = 0;
-            self.epochs += 1;
+            self.rollover();
         }
         if self
             .verdicts
             .entry(id)
             .or_default()
-            .insert(states, verdict)
+            .insert(
+                states,
+                Cached {
+                    verdict,
+                    hot: false,
+                },
+            )
             .is_none()
         {
             self.entries += 1;
@@ -132,6 +209,7 @@ impl Memo {
             epochs: self.epochs,
             hits: self.hits,
             misses: self.misses,
+            retained: self.retained,
         }
     }
 }
@@ -143,12 +221,15 @@ pub struct MemoStats {
     pub entries: usize,
     /// Configured bound; `entries` never exceeds it.
     pub bound: usize,
-    /// Wholesale clears performed so far (0 until the bound is first hit).
+    /// Epoch rollovers performed so far (0 until the bound is first hit).
     pub epochs: u64,
     /// Lookups answered from the memo.
     pub hits: u64,
     /// Lookups that fell through to NFA simulation.
     pub misses: u64,
+    /// Entries that survived a rollover because they were hot, summed over
+    /// all rollovers (always 0 under [`MemoEviction::Wholesale`]).
+    pub retained: u64,
 }
 
 /// Work accounting for one [`CompiledPattern::matches_with_stats`] call,
@@ -234,8 +315,14 @@ impl Clone for CompiledPattern {
             atoms: self.atoms.clone(),
             start: self.start,
             accept: self.accept,
-            // The memo is a cache: clones start cold but keep the bound.
-            memo: Mutex::new(Memo::new(self.lock_memo().bound)),
+            // The memo is a cache: clones start cold but keep the bound and
+            // eviction policy.
+            memo: Mutex::new({
+                let source = self.lock_memo();
+                let mut memo = Memo::new(source.bound);
+                memo.eviction = source.eviction;
+                memo
+            }),
         }
     }
 }
@@ -377,13 +464,23 @@ impl CompiledPattern {
             let mut memo = self.lock_memo();
             memo.bound = bound.max(1);
             if memo.entries > memo.bound {
-                memo.verdicts.clear();
-                memo.entries = 0;
-                memo.epochs += 1;
+                memo.rollover();
             }
         }
         for atom in &self.atoms {
             atom.channel.set_memo_bound(bound);
+        }
+    }
+
+    /// Sets the eviction policy applied at epoch rollover, for this
+    /// automaton *and every nested channel automaton*.  The default is
+    /// [`MemoEviction::Generational`]; [`MemoEviction::Wholesale`] is the
+    /// original clear-everything scheme, kept selectable as the ablation
+    /// baseline.
+    pub fn set_memo_eviction(&self, eviction: MemoEviction) {
+        self.lock_memo().eviction = eviction;
+        for atom in &self.atoms {
+            atom.channel.set_memo_eviction(eviction);
         }
     }
 
@@ -766,6 +863,84 @@ mod tests {
         let (_, incremental) = compiled.matches_with_stats(&grown);
         assert!(incremental.nodes_visited <= 2);
         assert!(incremental.memo_hits >= 1);
+    }
+
+    /// Drives one compiled pattern through the hot-set-plus-cold-stream
+    /// workload that distinguishes the eviction policies: a small working
+    /// set is re-vetted on every iteration while a stream of one-shot
+    /// histories forces epoch rollovers.  Returns the memo stats.
+    fn hot_and_cold_workload(eviction: MemoEviction) -> MemoStats {
+        let pattern = Pattern::send(GroupExpr::all(), Pattern::Any).star();
+        let compiled = CompiledPattern::compile(&pattern);
+        compiled.set_memo_bound(16);
+        compiled.set_memo_eviction(eviction);
+        let hot: Vec<Provenance> = (0..4)
+            .map(|i| seq(vec![out(&format!("hot-{}", i)), out("shared")]))
+            .collect();
+        for i in 0..300 {
+            assert!(compiled.matches(&hot[i % hot.len()]));
+            let cold = seq(vec![out(&format!("cold-{}", i))]);
+            assert!(compiled.matches(&cold));
+            assert!(
+                compiled.memo_entries() <= 16,
+                "memo exceeded its bound: {}",
+                compiled.memo_entries()
+            );
+        }
+        compiled.memo_stats()
+    }
+
+    #[test]
+    fn generational_eviction_retains_the_hot_working_set() {
+        let generational = hot_and_cold_workload(MemoEviction::Generational);
+        let wholesale = hot_and_cold_workload(MemoEviction::Wholesale);
+        assert!(generational.epochs > 0, "the cold stream forced rollovers");
+        assert!(wholesale.epochs > 0);
+        assert!(
+            generational.retained > 0,
+            "hot entries survived at least one rollover"
+        );
+        assert_eq!(wholesale.retained, 0, "wholesale keeps nothing");
+        // The regression the policy exists for: after a rollover the hot
+        // working set still answers from the memo instead of re-simulating
+        // from cold, so the identical workload misses less.
+        assert!(
+            generational.misses < wholesale.misses,
+            "generational {} misses must beat wholesale {}",
+            generational.misses,
+            wholesale.misses
+        );
+    }
+
+    #[test]
+    fn generational_rollover_frees_at_least_half_the_memo() {
+        // A workload where *every* entry is hot: vet the same histories
+        // repeatedly so all cached verdicts answer lookups, then overflow.
+        // The survivor cap (bound / 2) must still free room for the new
+        // epoch rather than thrashing a rollover per insert.
+        let pattern = Pattern::send(GroupExpr::all(), Pattern::Any).star();
+        let compiled = CompiledPattern::compile(&pattern);
+        compiled.set_memo_bound(8);
+        let working: Vec<Provenance> = (0..8)
+            .map(|i| seq(vec![out(&format!("w-{}", i))]))
+            .collect();
+        for _ in 0..3 {
+            for prov in &working {
+                assert!(compiled.matches(prov));
+            }
+        }
+        // Overflow with fresh histories; entries never exceed the bound and
+        // the memo never holds more than bound/2 survivors post-rollover.
+        for i in 0..64 {
+            assert!(compiled.matches(&seq(vec![out(&format!("fresh-{}", i))])));
+            assert!(compiled.memo_entries() <= 8);
+        }
+        let stats = compiled.memo_stats();
+        assert!(stats.epochs > 0);
+        assert!(
+            stats.retained <= stats.epochs * 4,
+            "each rollover keeps at most bound/2 = 4 entries"
+        );
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub trait DeliverySink {
         message: &Message,
         at: VirtualTime,
     );
+
+    /// Called when a run ends ([`Simulation::run_with_sink`] invokes it
+    /// before returning), so sinks that buffer — a batching network client,
+    /// a write-behind recorder — can push their tail without waiting for
+    /// drop.  The default does nothing.
+    fn flush(&mut self) {}
 }
 
 impl<F: FnMut(&piprov_core::name::Principal, &Message, VirtualTime)> DeliverySink for F {
@@ -272,6 +278,7 @@ where
                 StepKind::IfTrue { .. } | StepKind::IfFalse { .. } => self.metrics.matches += 1,
             }
         };
+        sink.flush();
         self.metrics.pattern_checks = self.matcher.calls() as usize;
         self.metrics.virtual_time = self.clock;
         self.metrics.wall_time += started.elapsed();

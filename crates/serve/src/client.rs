@@ -1,0 +1,401 @@
+//! The blocking audit client.
+//!
+//! An [`AuditClient`] speaks the framed wire protocol over one TCP
+//! connection.  Queries are simple round trips ([`AuditClient::request`]),
+//! or many-at-once via [`AuditClient::pipeline`] (all requests written
+//! before any response is read — the server answers strictly in order).
+//!
+//! Ingest has two modes:
+//!
+//! * **blocking** — [`AuditClient::ingest_batch`] sends one batch and
+//!   returns the server's typed answer ([`IngestOutcome::Acked`] or
+//!   [`IngestOutcome::Busy`]); [`AuditClient::ingest_blocking`] layers a
+//!   bounded busy-retry loop on top, turning the server's back-pressure
+//!   into client-side blocking;
+//! * **fire-and-batch** — [`AuditClient::buffer`] accumulates records
+//!   locally and ships a batch only when [`ClientConfig::batch_size`] is
+//!   reached (or on [`AuditClient::flush`]), so a streaming producer pays
+//!   one round trip per batch, not per record.
+
+use crate::codec::{
+    decode_response, encode_ingest_batch, encode_request, WireRequest, WireResponse,
+};
+use crate::wire::{read_frame, write_frame, WireError, WireLimits};
+use piprov_audit::{AuditRequest, AuditResponse, EngineStats};
+use piprov_store::ProvenanceRecord;
+use std::fmt;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Configuration of an [`AuditClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Records accumulated by [`AuditClient::buffer`] before a batch is
+    /// shipped.
+    pub batch_size: usize,
+    /// How long [`AuditClient::ingest_blocking`] sleeps after a `Busy`
+    /// answer before retrying.
+    pub busy_backoff: Duration,
+    /// How many `Busy` answers [`AuditClient::ingest_blocking`] tolerates
+    /// before giving up with [`ClientError::Rejected`].
+    pub busy_retries: usize,
+    /// Decode-side caps applied to server responses.
+    pub limits: WireLimits,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            batch_size: 32,
+            busy_backoff: Duration::from_millis(1),
+            busy_retries: 10_000,
+            limits: WireLimits::default(),
+        }
+    }
+}
+
+/// Everything that can go wrong on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A framing/codec/transport failure.
+    Wire(WireError),
+    /// The server answered with a response kind the request cannot have.
+    UnexpectedResponse(String),
+    /// The server reported a serving failure ([`WireResponse::ServerError`]).
+    Server(String),
+    /// The server stayed `Busy` through every configured retry.
+    Rejected {
+        /// Queue depth reported by the final rejection.
+        queue_depth: u32,
+    },
+    /// The stream closed where a response was due.
+    ConnectionClosed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {}", e),
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "protocol violation: unexpected {}", what)
+            }
+            ClientError::Server(message) => write!(f, "server error: {}", message),
+            ClientError::Rejected { queue_depth } => write!(
+                f,
+                "ingest rejected: server stayed busy (queue depth {})",
+                queue_depth
+            ),
+            ClientError::ConnectionClosed => write!(f, "connection closed mid-conversation"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// The server's typed answer to one ingest batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The batch was queued server-side.
+    Acked {
+        /// Records accepted.
+        accepted: u32,
+        /// Server queue depth after queuing.
+        queue_depth: u32,
+    },
+    /// The server's bounded queue was full; nothing was buffered.
+    Busy {
+        /// Server queue depth at rejection.
+        queue_depth: u32,
+    },
+}
+
+/// A blocking client for one [`crate::AuditServer`] connection.
+#[derive(Debug)]
+pub struct AuditClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    config: ClientConfig,
+    batch: Vec<ProvenanceRecord>,
+    /// `Busy` answers observed (including those retried through).
+    busy_observed: u64,
+}
+
+impl AuditClient {
+    /// Connects with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        AuditClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(AuditClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            config,
+            batch: Vec::new(),
+            busy_observed: 0,
+        })
+    }
+
+    /// `Busy` answers this client has observed so far.
+    pub fn busy_observed(&self) -> u64 {
+        self.busy_observed
+    }
+
+    fn send(&mut self, request: &WireRequest) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &encode_request(request))?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Result<WireResponse, ClientError> {
+        let Some(frame) = read_frame(&mut self.reader, self.config.limits.max_frame_len)? else {
+            return Err(ClientError::ConnectionClosed);
+        };
+        let response = decode_response(frame, &self.config.limits)?;
+        if let WireResponse::Busy { .. } = &response {
+            self.busy_observed += 1;
+        }
+        Ok(response)
+    }
+
+    fn round_trip(&mut self, request: &WireRequest) -> Result<WireResponse, ClientError> {
+        self.send(request)?;
+        self.receive()
+    }
+
+    /// Poses one audit question and returns the typed answer.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ClientError::Server`] /
+    /// [`ClientError::UnexpectedResponse`] protocol violations.
+    pub fn request(&mut self, request: &AuditRequest) -> Result<AuditResponse, ClientError> {
+        match self.round_trip(&WireRequest::Audit(request.clone()))? {
+            WireResponse::Audit(response) => Ok(response),
+            WireResponse::ServerError { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
+        }
+    }
+
+    /// Writes every request, *then* reads every response — pipelining that
+    /// amortizes the round-trip latency over the whole slice.  Responses
+    /// are returned in request order (the order the server guarantees).
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditClient::request`].
+    pub fn pipeline(
+        &mut self,
+        requests: &[AuditRequest],
+    ) -> Result<Vec<AuditResponse>, ClientError> {
+        for request in requests {
+            write_frame(
+                &mut self.writer,
+                &encode_request(&WireRequest::Audit(request.clone())),
+            )?;
+        }
+        self.writer.flush()?;
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            match self.receive()? {
+                WireResponse::Audit(response) => responses.push(response),
+                WireResponse::ServerError { message } => return Err(ClientError::Server(message)),
+                other => {
+                    return Err(ClientError::UnexpectedResponse(format!("{:?}", other)));
+                }
+            }
+        }
+        Ok(responses)
+    }
+
+    /// Sends one already-encoded ingest body and reads the typed answer.
+    fn ingest_encoded(&mut self, body: &[u8]) -> Result<IngestOutcome, ClientError> {
+        write_frame(&mut self.writer, body)?;
+        self.writer.flush()?;
+        match self.receive()? {
+            WireResponse::IngestAck {
+                accepted,
+                queue_depth,
+            } => Ok(IngestOutcome::Acked {
+                accepted,
+                queue_depth,
+            }),
+            WireResponse::Busy { queue_depth } => Ok(IngestOutcome::Busy { queue_depth }),
+            WireResponse::ServerError { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
+        }
+    }
+
+    fn frame_too_large(&self, body_len: usize) -> ClientError {
+        ClientError::Wire(WireError::FrameTooLarge {
+            len: body_len.min(u32::MAX as usize) as u32,
+            max: self.config.limits.max_frame_len,
+        })
+    }
+
+    /// Ships one batch and returns the server's typed answer without
+    /// retrying.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`IngestOutcome::Busy`] is an `Ok`
+    /// answer, not an error); a batch that encodes past
+    /// [`crate::WireLimits::max_frame_len`] is a client-side
+    /// [`WireError::FrameTooLarge`] — nothing is sent.
+    pub fn ingest_batch(
+        &mut self,
+        records: Vec<ProvenanceRecord>,
+    ) -> Result<IngestOutcome, ClientError> {
+        let body = encode_ingest_batch(&records);
+        if body.len() as u64 > self.config.limits.max_frame_len as u64 {
+            return Err(self.frame_too_large(body.len()));
+        }
+        self.ingest_encoded(&body)
+    }
+
+    /// Ships one batch, blocking through the server's back-pressure:
+    /// every `Busy` answer sleeps [`ClientConfig::busy_backoff`] and
+    /// retries (the batch is encoded **once** and the same frame resent —
+    /// no per-attempt clone), up to [`ClientConfig::busy_retries`] times.
+    /// A multi-record batch that encodes past
+    /// [`crate::WireLimits::max_frame_len`] is split in half and shipped
+    /// as two batches, recursively, so record-count batching can never
+    /// produce a frame the server would kill the connection over.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] when the retries are exhausted,
+    /// [`WireError::FrameTooLarge`] for a *single* record too big for any
+    /// frame, or any transport/protocol failure.
+    pub fn ingest_blocking(&mut self, records: Vec<ProvenanceRecord>) -> Result<(), ClientError> {
+        self.ingest_blocking_slice(&records)
+    }
+
+    fn ingest_blocking_slice(&mut self, records: &[ProvenanceRecord]) -> Result<(), ClientError> {
+        let body = encode_ingest_batch(records);
+        if body.len() as u64 > self.config.limits.max_frame_len as u64 {
+            if records.len() <= 1 {
+                return Err(self.frame_too_large(body.len()));
+            }
+            let mid = records.len() / 2;
+            self.ingest_blocking_slice(&records[..mid])?;
+            return self.ingest_blocking_slice(&records[mid..]);
+        }
+        let mut attempt = 0usize;
+        loop {
+            match self.ingest_encoded(&body)? {
+                IngestOutcome::Acked { .. } => return Ok(()),
+                IngestOutcome::Busy { queue_depth } => {
+                    if attempt >= self.config.busy_retries {
+                        return Err(ClientError::Rejected { queue_depth });
+                    }
+                    attempt += 1;
+                    std::thread::sleep(self.config.busy_backoff);
+                }
+            }
+        }
+    }
+
+    /// Fire-and-batch ingest: buffers `record` locally and ships a batch
+    /// (via [`AuditClient::ingest_blocking`]) once
+    /// [`ClientConfig::batch_size`] records have accumulated.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditClient::ingest_blocking`] (only when a batch ships).
+    pub fn buffer(&mut self, record: ProvenanceRecord) -> Result<(), ClientError> {
+        self.batch.push(record);
+        if self.batch.len() >= self.config.batch_size.max(1) {
+            let batch = std::mem::take(&mut self.batch);
+            self.ingest_blocking(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Records currently buffered locally (not yet shipped).
+    pub fn buffered(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Ships any buffered tail, then asks the server to drain its ingest
+    /// queue and sync its store.  After this returns, everything buffered
+    /// or acked before the call is queryable and durable server-side.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditClient::ingest_blocking`], plus flush-side server errors.
+    pub fn flush(&mut self) -> Result<u64, ClientError> {
+        if !self.batch.is_empty() {
+            let batch = std::mem::take(&mut self.batch);
+            self.ingest_blocking(batch)?;
+        }
+        match self.round_trip(&WireRequest::Flush)? {
+            WireResponse::Flushed { ingested } => Ok(ingested),
+            WireResponse::ServerError { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
+        }
+    }
+
+    /// Snapshot of the server engine's lifetime counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditClient::request`].
+    pub fn stats(&mut self) -> Result<EngineStats, ClientError> {
+        match self.round_trip(&WireRequest::Stats)? {
+            WireResponse::Stats(stats) => Ok(stats),
+            WireResponse::ServerError { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
+        }
+    }
+
+    /// Sends raw bytes as one frame — a test hook for malformed-input
+    /// handling (hostile length prefixes, bad CRCs).
+    #[doc(hidden)]
+    pub fn send_raw(&mut self, frame: &[u8]) -> Result<(), ClientError> {
+        let writer = self.writer.get_mut();
+        writer.write_all(frame)?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one raw response — companion to [`AuditClient::send_raw`].
+    #[doc(hidden)]
+    pub fn receive_response(&mut self) -> Result<WireResponse, ClientError> {
+        self.receive()
+    }
+}

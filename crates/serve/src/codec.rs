@@ -1,0 +1,599 @@
+//! Binary codec for the wire vocabulary: the audit crate's typed
+//! [`AuditRequest`]/[`AuditResponse`] plus the ingest and control messages
+//! the cross-process service adds.
+//!
+//! Every message body is `version u8 | tag u8 | payload`.  The payload
+//! reuses the store codec's primitive vocabulary
+//! ([`piprov_store::codec::put_str`] and friends) and embeds whole
+//! [`ProvenanceRecord`]s in the store's DAG body format — a record crosses
+//! the socket in exactly the bytes it would occupy in a segment file, so
+//! sharing-heavy provenance stays O(DAG) on the wire too, and the decoder
+//! rebuilds it through the interner on the receiving side.
+//!
+//! Decode-side discipline: every count read off the wire is either capped
+//! by [`WireLimits`] (record lists) or its pre-allocation is capped by the
+//! bytes actually remaining, so no hostile count can request unbounded
+//! memory before the per-element bounds checks reject it.
+
+use crate::wire::{WireError, WireLimits, WIRE_VERSION};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use piprov_audit::{AuditOutcome, AuditRequest, AuditResponse, EngineStats, RequestStats};
+use piprov_core::name::{Channel, Principal};
+use piprov_store::codec::{decode_body, encode_body, get_str, get_value, put_str, put_value};
+use piprov_store::{AuditTrail, ProvenanceRecord};
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRequest {
+    /// One typed audit question.
+    Audit(AuditRequest),
+    /// A batch of records for the bounded ingest queue.
+    IngestBatch(Vec<ProvenanceRecord>),
+    /// Barrier: drain the ingest queue and sync the store, so everything
+    /// submitted before this request is queryable and durable after it.
+    Flush,
+    /// Snapshot of the engine's lifetime counters.
+    Stats,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResponse {
+    /// Answer to [`WireRequest::Audit`].
+    Audit(AuditResponse),
+    /// The batch was queued.
+    IngestAck {
+        /// Records accepted (the whole batch; acceptance is atomic).
+        accepted: u32,
+        /// Ingest-queue depth after queuing, in batches.
+        queue_depth: u32,
+    },
+    /// The bounded ingest queue was full: nothing was buffered, back off
+    /// and retry.
+    Busy {
+        /// Queue depth at the moment of rejection.
+        queue_depth: u32,
+    },
+    /// Answer to [`WireRequest::Flush`].
+    Flushed {
+        /// Records ingested over the engine's lifetime, after the drain.
+        ingested: u64,
+    },
+    /// Answer to [`WireRequest::Stats`].
+    Stats(EngineStats),
+    /// The server failed to serve an otherwise well-formed request (store
+    /// error on flush, for example), or reports why it is closing the
+    /// connection.
+    ServerError {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+const REQ_AUDIT: u8 = 1;
+const REQ_INGEST: u8 = 2;
+const REQ_FLUSH: u8 = 3;
+const REQ_STATS: u8 = 4;
+
+const AUDIT_VET: u8 = 1;
+const AUDIT_TRAIL: u8 = 2;
+const AUDIT_TOUCHED: u8 = 3;
+const AUDIT_ORIGIN: u8 = 4;
+
+const RESP_AUDIT: u8 = 1;
+const RESP_ACK: u8 = 2;
+const RESP_BUSY: u8 = 3;
+const RESP_FLUSHED: u8 = 4;
+const RESP_STATS: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+const OUTCOME_VETTED: u8 = 1;
+const OUTCOME_TRAIL: u8 = 2;
+const OUTCOME_TOUCHED: u8 = 3;
+const OUTCOME_ORIGIN: u8 = 4;
+const OUTCOME_UNKNOWN_VALUE: u8 = 5;
+const OUTCOME_UNKNOWN_PATTERN: u8 = 6;
+
+fn malformed(what: impl Into<String>) -> WireError {
+    WireError::Malformed(what.into())
+}
+
+/// Maps a store decode error (the embedded record codec) onto the wire
+/// error vocabulary.
+fn store_err(e: piprov_store::StoreError) -> WireError {
+    malformed(format!("embedded record: {}", e))
+}
+
+fn need(buf: &Bytes, bytes: usize, what: &str) -> Result<(), WireError> {
+    if buf.remaining() < bytes {
+        return Err(malformed(format!("truncated {}", what)));
+    }
+    Ok(())
+}
+
+fn wire_str(buf: &mut Bytes) -> Result<String, WireError> {
+    get_str(buf).map_err(store_err)
+}
+
+fn wire_value(buf: &mut Bytes) -> Result<piprov_core::value::Value, WireError> {
+    get_value(buf).map_err(store_err)
+}
+
+fn put_record(buf: &mut BytesMut, record: &ProvenanceRecord) {
+    let body = encode_body(record);
+    buf.put_u32(body.len() as u32);
+    buf.put_slice(&body);
+}
+
+fn get_record(buf: &mut Bytes) -> Result<ProvenanceRecord, WireError> {
+    need(buf, 4, "record length")?;
+    let len = buf.get_u32() as usize;
+    need(buf, len, "record body")?;
+    decode_body(buf.copy_to_bytes(len)).map_err(store_err)
+}
+
+fn put_records(buf: &mut BytesMut, records: &[ProvenanceRecord]) {
+    buf.put_u32(records.len() as u32);
+    for record in records {
+        put_record(buf, record);
+    }
+}
+
+fn get_records(
+    buf: &mut Bytes,
+    limits: &WireLimits,
+    what: &str,
+) -> Result<Vec<ProvenanceRecord>, WireError> {
+    need(buf, 4, "record count")?;
+    let count = buf.get_u32();
+    if count > limits.max_records {
+        return Err(malformed(format!(
+            "{} of {} records exceeds the {} record cap",
+            what, count, limits.max_records
+        )));
+    }
+    let count = count as usize;
+    // Each record costs at least 4 length bytes + the 18-byte minimum body.
+    let mut records = Vec::with_capacity(count.min(buf.remaining() / 22 + 1));
+    for _ in 0..count {
+        records.push(get_record(buf)?);
+    }
+    Ok(records)
+}
+
+fn put_names<S: AsRef<str>>(buf: &mut BytesMut, names: &[S]) {
+    buf.put_u32(names.len() as u32);
+    for name in names {
+        put_str(buf, name.as_ref());
+    }
+}
+
+fn get_names(buf: &mut Bytes) -> Result<Vec<String>, WireError> {
+    need(buf, 4, "name count")?;
+    let count = buf.get_u32() as usize;
+    // A name costs at least its 2 length bytes.
+    let mut names = Vec::with_capacity(count.min(buf.remaining() / 2 + 1));
+    for _ in 0..count {
+        names.push(wire_str(buf)?);
+    }
+    Ok(names)
+}
+
+fn finish_message(tag: u8, payload: impl FnOnce(&mut BytesMut)) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(tag);
+    payload(&mut buf);
+    buf.freeze()
+}
+
+/// Strips and checks the version byte, returning the message tag.
+fn open_message(buf: &mut Bytes) -> Result<u8, WireError> {
+    if buf.remaining() < 2 {
+        return Err(malformed("message shorter than version + tag"));
+    }
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    Ok(buf.get_u8())
+}
+
+/// Encodes an `IngestBatch` request body from a borrowed slice — what the
+/// client's batching/splitting path uses to encode once (or re-encode a
+/// half) without cloning the records.  Byte-identical to
+/// `encode_request(&WireRequest::IngestBatch(..))`.
+pub fn encode_ingest_batch(records: &[ProvenanceRecord]) -> Bytes {
+    finish_message(REQ_INGEST, |buf| put_records(buf, records))
+}
+
+/// Encodes one request body (to be framed by [`crate::wire::write_frame`]).
+pub fn encode_request(request: &WireRequest) -> Bytes {
+    match request {
+        WireRequest::Audit(audit) => finish_message(REQ_AUDIT, |buf| match audit {
+            AuditRequest::VetValue { value, pattern } => {
+                buf.put_u8(AUDIT_VET);
+                put_value(buf, value);
+                put_str(buf, pattern);
+            }
+            AuditRequest::AuditTrail { value } => {
+                buf.put_u8(AUDIT_TRAIL);
+                put_value(buf, value);
+            }
+            AuditRequest::WhoTouched { principal } => {
+                buf.put_u8(AUDIT_TOUCHED);
+                put_str(buf, principal.as_str());
+            }
+            AuditRequest::OriginOf { value } => {
+                buf.put_u8(AUDIT_ORIGIN);
+                put_value(buf, value);
+            }
+        }),
+        WireRequest::IngestBatch(records) => {
+            finish_message(REQ_INGEST, |buf| put_records(buf, records))
+        }
+        WireRequest::Flush => finish_message(REQ_FLUSH, |_| {}),
+        WireRequest::Stats => finish_message(REQ_STATS, |_| {}),
+    }
+}
+
+/// Decodes one request body.
+///
+/// # Errors
+///
+/// [`WireError::UnsupportedVersion`] or [`WireError::Malformed`]; record
+/// counts above [`WireLimits::max_records`] are rejected before any
+/// per-record work.
+pub fn decode_request(mut buf: Bytes, limits: &WireLimits) -> Result<WireRequest, WireError> {
+    let request = match open_message(&mut buf)? {
+        REQ_AUDIT => {
+            need(&buf, 1, "audit request tag")?;
+            let audit = match buf.get_u8() {
+                AUDIT_VET => AuditRequest::VetValue {
+                    value: wire_value(&mut buf)?,
+                    pattern: wire_str(&mut buf)?,
+                },
+                AUDIT_TRAIL => AuditRequest::AuditTrail {
+                    value: wire_value(&mut buf)?,
+                },
+                AUDIT_TOUCHED => AuditRequest::WhoTouched {
+                    principal: Principal::new(wire_str(&mut buf)?),
+                },
+                AUDIT_ORIGIN => AuditRequest::OriginOf {
+                    value: wire_value(&mut buf)?,
+                },
+                other => return Err(malformed(format!("unknown audit request tag {}", other))),
+            };
+            WireRequest::Audit(audit)
+        }
+        REQ_INGEST => WireRequest::IngestBatch(get_records(&mut buf, limits, "ingest batch")?),
+        REQ_FLUSH => WireRequest::Flush,
+        REQ_STATS => WireRequest::Stats,
+        other => return Err(malformed(format!("unknown request tag {}", other))),
+    };
+    if buf.has_remaining() {
+        return Err(malformed("trailing bytes after request"));
+    }
+    Ok(request)
+}
+
+fn put_request_stats(buf: &mut BytesMut, stats: &RequestStats) {
+    buf.put_u64(stats.index_hits as u64);
+    buf.put_u64(stats.memo_hits as u64);
+    buf.put_u64(stats.dag_nodes_visited as u64);
+}
+
+fn get_request_stats(buf: &mut Bytes) -> Result<RequestStats, WireError> {
+    need(buf, 24, "request stats")?;
+    Ok(RequestStats {
+        index_hits: buf.get_u64() as usize,
+        memo_hits: buf.get_u64() as usize,
+        dag_nodes_visited: buf.get_u64() as usize,
+    })
+}
+
+fn put_engine_stats(buf: &mut BytesMut, stats: &EngineStats) {
+    for field in [
+        stats.requests,
+        stats.ingested,
+        stats.vets_passed,
+        stats.vets_failed,
+        stats.index_hits,
+        stats.memo_hits,
+        stats.ingest_batches,
+        stats.busy_rejections,
+        stats.queue_depth,
+    ] {
+        buf.put_u64(field);
+    }
+}
+
+fn get_engine_stats(buf: &mut Bytes) -> Result<EngineStats, WireError> {
+    need(buf, 72, "engine stats")?;
+    Ok(EngineStats {
+        requests: buf.get_u64(),
+        ingested: buf.get_u64(),
+        vets_passed: buf.get_u64(),
+        vets_failed: buf.get_u64(),
+        index_hits: buf.get_u64(),
+        memo_hits: buf.get_u64(),
+        ingest_batches: buf.get_u64(),
+        busy_rejections: buf.get_u64(),
+        queue_depth: buf.get_u64(),
+    })
+}
+
+/// Encodes one response body (to be framed by
+/// [`crate::wire::write_frame`]).
+pub fn encode_response(response: &WireResponse) -> Bytes {
+    match response {
+        WireResponse::Audit(audit) => finish_message(RESP_AUDIT, |buf| {
+            match &audit.outcome {
+                AuditOutcome::Vetted { verdict, sequence } => {
+                    buf.put_u8(OUTCOME_VETTED);
+                    buf.put_u8(*verdict as u8);
+                    buf.put_u64(*sequence);
+                }
+                AuditOutcome::Trail(trail) => {
+                    buf.put_u8(OUTCOME_TRAIL);
+                    put_value(buf, &trail.value);
+                    put_records(buf, &trail.records);
+                    put_names(
+                        buf,
+                        &trail
+                            .principals
+                            .iter()
+                            .map(|p| p.as_str())
+                            .collect::<Vec<_>>(),
+                    );
+                    put_names(
+                        buf,
+                        &trail
+                            .channels
+                            .iter()
+                            .map(|c| c.as_str())
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                AuditOutcome::Touched { records, values } => {
+                    buf.put_u8(OUTCOME_TOUCHED);
+                    buf.put_u32(records.len() as u32);
+                    for seq in records {
+                        buf.put_u64(*seq);
+                    }
+                    buf.put_u32(values.len() as u32);
+                    for value in values {
+                        put_value(buf, value);
+                    }
+                }
+                AuditOutcome::Origin { principal } => {
+                    buf.put_u8(OUTCOME_ORIGIN);
+                    match principal {
+                        Some(p) => {
+                            buf.put_u8(1);
+                            put_str(buf, p.as_str());
+                        }
+                        None => buf.put_u8(0),
+                    }
+                }
+                AuditOutcome::UnknownValue => buf.put_u8(OUTCOME_UNKNOWN_VALUE),
+                AuditOutcome::UnknownPattern => buf.put_u8(OUTCOME_UNKNOWN_PATTERN),
+            }
+            put_request_stats(buf, &audit.stats);
+        }),
+        WireResponse::IngestAck {
+            accepted,
+            queue_depth,
+        } => finish_message(RESP_ACK, |buf| {
+            buf.put_u32(*accepted);
+            buf.put_u32(*queue_depth);
+        }),
+        WireResponse::Busy { queue_depth } => finish_message(RESP_BUSY, |buf| {
+            buf.put_u32(*queue_depth);
+        }),
+        WireResponse::Flushed { ingested } => finish_message(RESP_FLUSHED, |buf| {
+            buf.put_u64(*ingested);
+        }),
+        WireResponse::Stats(stats) => finish_message(RESP_STATS, |buf| {
+            put_engine_stats(buf, stats);
+        }),
+        WireResponse::ServerError { message } => finish_message(RESP_ERROR, |buf| {
+            put_str(buf, message);
+        }),
+    }
+}
+
+/// Decodes one response body.
+///
+/// # Errors
+///
+/// As [`decode_request`].
+pub fn decode_response(mut buf: Bytes, limits: &WireLimits) -> Result<WireResponse, WireError> {
+    let response = match open_message(&mut buf)? {
+        RESP_AUDIT => {
+            need(&buf, 1, "audit outcome tag")?;
+            let outcome = match buf.get_u8() {
+                OUTCOME_VETTED => {
+                    need(&buf, 9, "vet outcome")?;
+                    let verdict = match buf.get_u8() {
+                        0 => false,
+                        1 => true,
+                        other => {
+                            return Err(malformed(format!("bad verdict byte {}", other)));
+                        }
+                    };
+                    AuditOutcome::Vetted {
+                        verdict,
+                        sequence: buf.get_u64(),
+                    }
+                }
+                OUTCOME_TRAIL => {
+                    let value = wire_value(&mut buf)?;
+                    let records = get_records(&mut buf, limits, "audit trail")?;
+                    let principals = get_names(&mut buf)?
+                        .into_iter()
+                        .map(Principal::new)
+                        .collect();
+                    let channels = get_names(&mut buf)?.into_iter().map(Channel::new).collect();
+                    AuditOutcome::Trail(AuditTrail {
+                        value,
+                        records,
+                        principals,
+                        channels,
+                    })
+                }
+                OUTCOME_TOUCHED => {
+                    need(&buf, 4, "touched record count")?;
+                    let count = buf.get_u32() as usize;
+                    let mut records = Vec::with_capacity(count.min(buf.remaining() / 8 + 1));
+                    for _ in 0..count {
+                        need(&buf, 8, "touched sequence")?;
+                        records.push(buf.get_u64());
+                    }
+                    need(&buf, 4, "touched value count")?;
+                    let count = buf.get_u32() as usize;
+                    let mut values = Vec::with_capacity(count.min(buf.remaining() / 3 + 1));
+                    for _ in 0..count {
+                        values.push(wire_value(&mut buf)?);
+                    }
+                    AuditOutcome::Touched { records, values }
+                }
+                OUTCOME_ORIGIN => {
+                    need(&buf, 1, "origin flag")?;
+                    let principal = match buf.get_u8() {
+                        0 => None,
+                        1 => Some(Principal::new(wire_str(&mut buf)?)),
+                        other => return Err(malformed(format!("bad origin flag {}", other))),
+                    };
+                    AuditOutcome::Origin { principal }
+                }
+                OUTCOME_UNKNOWN_VALUE => AuditOutcome::UnknownValue,
+                OUTCOME_UNKNOWN_PATTERN => AuditOutcome::UnknownPattern,
+                other => return Err(malformed(format!("unknown audit outcome tag {}", other))),
+            };
+            let stats = get_request_stats(&mut buf)?;
+            WireResponse::Audit(AuditResponse { outcome, stats })
+        }
+        RESP_ACK => {
+            need(&buf, 8, "ingest ack")?;
+            WireResponse::IngestAck {
+                accepted: buf.get_u32(),
+                queue_depth: buf.get_u32(),
+            }
+        }
+        RESP_BUSY => {
+            need(&buf, 4, "busy response")?;
+            WireResponse::Busy {
+                queue_depth: buf.get_u32(),
+            }
+        }
+        RESP_FLUSHED => {
+            need(&buf, 8, "flushed response")?;
+            WireResponse::Flushed {
+                ingested: buf.get_u64(),
+            }
+        }
+        RESP_STATS => WireResponse::Stats(get_engine_stats(&mut buf)?),
+        RESP_ERROR => WireResponse::ServerError {
+            message: wire_str(&mut buf)?,
+        },
+        other => return Err(malformed(format!("unknown response tag {}", other))),
+    };
+    if buf.has_remaining() {
+        return Err(malformed("trailing bytes after response"));
+    }
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piprov_core::provenance::{Event, Provenance};
+    use piprov_core::value::Value;
+    use piprov_store::Operation;
+
+    fn record(i: u64) -> ProvenanceRecord {
+        let who = Principal::new(format!("p{}", i));
+        let k = Provenance::single(Event::output(who.clone(), Provenance::empty()));
+        ProvenanceRecord::new(
+            i,
+            who,
+            Operation::Send,
+            "m",
+            Value::Channel(Channel::new(format!("v{}", i))),
+            k,
+        )
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let limits = WireLimits::default();
+        let requests = vec![
+            WireRequest::Audit(AuditRequest::VetValue {
+                value: Value::Channel(Channel::new("v")),
+                pattern: "from-a".into(),
+            }),
+            WireRequest::Audit(AuditRequest::AuditTrail {
+                value: Value::Principal(Principal::new("b")),
+            }),
+            WireRequest::Audit(AuditRequest::WhoTouched {
+                principal: Principal::new("s"),
+            }),
+            WireRequest::Audit(AuditRequest::OriginOf {
+                value: Value::Channel(Channel::new("x")),
+            }),
+            WireRequest::IngestBatch(vec![record(1), record(2)]),
+            WireRequest::IngestBatch(Vec::new()),
+            WireRequest::Flush,
+            WireRequest::Stats,
+        ];
+        for request in requests {
+            let decoded = decode_request(encode_request(&request), &limits).unwrap();
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn over_cap_batches_are_rejected_before_decoding_records() {
+        let limits = WireLimits {
+            max_records: 2,
+            ..WireLimits::default()
+        };
+        let request = WireRequest::IngestBatch(vec![record(1), record(2), record(3)]);
+        let err = decode_request(encode_request(&request), &limits).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{:?}", err);
+        assert!(err.to_string().contains("cap"));
+    }
+
+    #[test]
+    fn version_and_tag_errors_are_typed() {
+        let limits = WireLimits::default();
+        let mut body = encode_request(&WireRequest::Flush).to_vec();
+        body[0] = 9;
+        assert!(matches!(
+            decode_request(Bytes::from(body), &limits),
+            Err(WireError::UnsupportedVersion(9))
+        ));
+        let mut body = encode_request(&WireRequest::Flush).to_vec();
+        body[1] = 99;
+        assert!(matches!(
+            decode_request(Bytes::from(body), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_response(Bytes::from(vec![WIRE_VERSION]), &limits),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let limits = WireLimits::default();
+        let mut body = encode_request(&WireRequest::Stats).to_vec();
+        body.push(0);
+        assert!(matches!(
+            decode_request(Bytes::from(body), &limits),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

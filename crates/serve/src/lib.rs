@@ -1,0 +1,80 @@
+//! # piprov-serve
+//!
+//! The **cross-process audit service**: the wire boundary that lets an
+//! auditor (or a provenance-producing deployment) talk to an
+//! [`piprov_audit::AuditEngine`] without sharing its address space.
+//!
+//! The paper's central claim is that recorded provenance lets a *remote*
+//! principal audit where a value came from; until this crate, "remote"
+//! stopped at a thread boundary.  Here the typed
+//! `AuditRequest`/`AuditResponse` vocabulary — plus new `IngestBatch`
+//! ingest and `Flush`/`Stats` control messages — travels a hardened,
+//! versioned binary protocol over TCP:
+//!
+//! * [`wire`] — length-prefixed, CRC-guarded, versioned framing with
+//!   decode-side caps: a hostile length prefix or record count is a typed
+//!   error before any allocation, never memory exhaustion;
+//! * [`codec`] — the binary message codec; embedded records reuse the
+//!   store's DAG body format, so sharing-heavy provenance stays O(DAG) on
+//!   the wire and re-interns on arrival;
+//! * [`server`] — the [`AuditServer`]: a bounded accept/worker pool over
+//!   `std::net::TcpListener`, per-connection request pipelining, and
+//!   **back-pressure on ingest** through the engine's bounded
+//!   [`piprov_audit::IngestQueue`] (overflow answers a typed `Busy`, each
+//!   accepted batch applies under one write-lock acquisition);
+//! * [`client`] — the blocking [`AuditClient`] with pipelined queries and
+//!   two ingest modes (blocking, fire-and-batch);
+//! * [`recorder`] — the [`RemoteRecorder`]
+//!   [`piprov_runtime::DeliverySink`], so a simulation streams deliveries
+//!   into a server in another process.
+//!
+//! ```
+//! use piprov_audit::{AuditEngine, AuditOutcome, AuditRequest};
+//! use piprov_core::name::{Channel, Principal};
+//! use piprov_core::provenance::{Event, Provenance};
+//! use piprov_core::value::Value;
+//! use piprov_serve::{AuditClient, AuditServer, ServeConfig};
+//! use piprov_store::{Operation, ProvenanceRecord};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join(format!("piprov-serve-doc-{}", std::process::id()));
+//! let engine = Arc::new(AuditEngine::open(&dir)?);
+//! engine.register_pattern("from-a", piprov_patterns::Pattern::originated_at(
+//!     piprov_patterns::GroupExpr::single("a"),
+//! ));
+//! let server = AuditServer::bind(engine, "127.0.0.1:0", ServeConfig::default())?;
+//!
+//! // Another process would connect to the same address.
+//! let mut client = AuditClient::connect(server.local_addr())?;
+//! let k = Provenance::single(Event::output(Principal::new("a"), Provenance::empty()));
+//! client.ingest_blocking(vec![ProvenanceRecord::new(
+//!     1, "a", Operation::Send, "m", Value::Channel(Channel::new("v")), k,
+//! )])?;
+//! client.flush()?;
+//! let response = client.request(&AuditRequest::VetValue {
+//!     value: Value::Channel(Channel::new("v")),
+//!     pattern: "from-a".into(),
+//! })?;
+//! assert!(matches!(response.outcome, AuditOutcome::Vetted { verdict: true, .. }));
+//! server.shutdown()?;
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod codec;
+pub mod recorder;
+pub mod server;
+pub mod wire;
+
+pub use client::{AuditClient, ClientConfig, ClientError, IngestOutcome};
+pub use codec::{WireRequest, WireResponse};
+pub use recorder::RemoteRecorder;
+pub use server::{AuditServer, ServeConfig};
+pub use wire::{WireError, WireLimits, DEFAULT_MAX_FRAME_LEN, DEFAULT_MAX_RECORDS, WIRE_VERSION};

@@ -1,0 +1,275 @@
+//! The TCP front-end of the audit engine.
+//!
+//! An [`AuditServer`] owns a bounded **accept/worker pool**: `workers`
+//! threads share one `TcpListener`, each accepting a connection and
+//! serving it to completion, so at most `workers` connections are live at
+//! once and the rest wait in the OS backlog — the pool is the concurrency
+//! bound, not an unbounded thread-per-connection spawn.  Within a
+//! connection, requests are **pipelined**: the worker answers frames
+//! strictly in arrival order, so a client may write many requests before
+//! reading the first response.
+//!
+//! Ingest takes the bounded path: an `IngestBatch` frame is submitted to
+//! the engine's [`IngestQueue`]; a full queue answers a typed
+//! [`WireResponse::Busy`] immediately — the server never buffers a
+//! writer's backlog in its own memory — and accepted batches are applied
+//! under one write-lock acquisition each by the queue's drain worker.
+//!
+//! Malformed input (bad CRC, hostile length prefix, unknown tag) is a
+//! typed error, never a panic: the worker sends a best-effort
+//! [`WireResponse::ServerError`] frame naming the cause and closes that
+//! connection; the pool keeps serving everyone else.
+
+use crate::codec::{decode_request, encode_response, WireRequest, WireResponse};
+use crate::wire::{read_frame, write_frame, WireError, WireLimits};
+use piprov_audit::{AuditEngine, IngestQueue, SubmitOutcome};
+use piprov_store::StoreError;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of an [`AuditServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Size of the accept/worker pool — the maximum number of concurrently
+    /// served connections (further connections wait in the OS backlog).
+    pub workers: usize,
+    /// Capacity of the bounded ingest queue, in batches; overflow answers
+    /// [`WireResponse::Busy`].
+    pub queue_capacity: usize,
+    /// Decode-side caps applied to every frame and record count.
+    pub limits: WireLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            limits: WireLimits::default(),
+        }
+    }
+}
+
+/// A running cross-process audit server.
+///
+/// Dropping the server (or calling [`AuditServer::shutdown`]) stops the
+/// accept loop, waits for in-flight connections to finish, drains the
+/// ingest queue and syncs the store.
+#[derive(Debug)]
+pub struct AuditServer {
+    engine: Arc<AuditEngine>,
+    queue: Arc<IngestQueue>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl AuditServer {
+    /// Binds `addr` and starts the worker pool.  Use port 0 to let the OS
+    /// pick a free port ([`AuditServer::local_addr`] reports it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/listen failures.
+    pub fn bind(
+        engine: Arc<AuditEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
+        let queue = Arc::new(IngestQueue::start(
+            Arc::clone(&engine),
+            config.queue_capacity,
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let engine = Arc::clone(&engine);
+                let queue = Arc::clone(&queue);
+                let stop = Arc::clone(&stop);
+                let limits = config.limits;
+                std::thread::Builder::new()
+                    .name(format!("piprov-serve-{}", i))
+                    .spawn(move || worker_loop(&listener, &engine, &queue, &stop, limits))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Ok(AuditServer {
+            engine,
+            queue,
+            local_addr,
+            stop,
+            workers,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<AuditEngine> {
+        &self.engine
+    }
+
+    /// The bounded ingest queue (exposed for tests and instrumentation —
+    /// pausing it makes back-pressure deterministic to observe).
+    pub fn ingest_queue(&self) -> &Arc<IngestQueue> {
+        &self.queue
+    }
+
+    /// Stops accepting, joins the workers, drains the ingest queue and
+    /// syncs the store.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first deferred ingest error or a sync failure.
+    pub fn shutdown(mut self) -> Result<(), StoreError> {
+        self.stop_workers();
+        self.queue.flush()
+    }
+
+    fn stop_workers(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock workers parked in accept(): one wake-up connection each.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for AuditServer {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop_workers();
+            let _ = self.queue.flush();
+        }
+    }
+}
+
+fn worker_loop(
+    listener: &TcpListener,
+    engine: &Arc<AuditEngine>,
+    queue: &Arc<IngestQueue>,
+    stop: &AtomicBool,
+    limits: WireLimits,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            // Transient accept failures (fd exhaustion, aborted
+            // connections) must not busy-spin the pool; back off briefly
+            // and re-check the stop flag.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Per-connection errors close that connection only; the worker
+        // goes back to accepting.
+        let _ = serve_connection(stream, engine, queue, stop, limits);
+    }
+}
+
+/// Serves one connection until clean close, error, or server shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    engine: &Arc<AuditEngine>,
+    queue: &Arc<IngestQueue>,
+    stop: &AtomicBool,
+    limits: WireLimits,
+) -> Result<(), WireError> {
+    stream.set_nodelay(true).ok();
+    // The idle tick: a read timeout between frames lets the worker notice
+    // a shutdown without dropping a connected client's bytes.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let frame = match read_frame(&mut reader, limits.max_frame_len) {
+            Ok(None) => return Ok(()),
+            Ok(Some(frame)) => frame,
+            Err(e) if e.is_timeout() => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => {
+                // Best effort: name the cause, then close.  The client sees
+                // either the typed error frame or the close — never a hang.
+                send_error(&mut writer, &e);
+                return Err(e);
+            }
+        };
+        let response = match decode_request(frame, &limits) {
+            Ok(request) => handle_request(request, engine, queue),
+            Err(e) => {
+                send_error(&mut writer, &e);
+                return Err(e);
+            }
+        };
+        write_frame(&mut writer, &encode_response(&response))?;
+        writer.flush()?;
+    }
+}
+
+fn send_error(writer: &mut impl Write, error: &WireError) {
+    let response = WireResponse::ServerError {
+        message: error.to_string(),
+    };
+    let _ = write_frame(writer, &encode_response(&response));
+    let _ = writer.flush();
+}
+
+/// Maps one decoded request onto the engine/queue.  Never panics; store
+/// failures become [`WireResponse::ServerError`].
+fn handle_request(
+    request: WireRequest,
+    engine: &Arc<AuditEngine>,
+    queue: &Arc<IngestQueue>,
+) -> WireResponse {
+    match request {
+        WireRequest::Audit(audit) => WireResponse::Audit(engine.handle(&audit)),
+        WireRequest::IngestBatch(records) => {
+            let accepted = records.len() as u32;
+            match queue.try_submit(records) {
+                SubmitOutcome::Accepted { queue_depth } => WireResponse::IngestAck {
+                    accepted,
+                    queue_depth: queue_depth as u32,
+                },
+                SubmitOutcome::Busy { queue_depth } => WireResponse::Busy {
+                    queue_depth: queue_depth as u32,
+                },
+            }
+        }
+        WireRequest::Flush => match queue.flush() {
+            Ok(()) => WireResponse::Flushed {
+                ingested: engine.stats().ingested,
+            },
+            Err(e) => WireResponse::ServerError {
+                message: format!("flush failed: {}", e),
+            },
+        },
+        WireRequest::Stats => WireResponse::Stats(engine.stats()),
+    }
+}

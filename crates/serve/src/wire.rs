@@ -1,0 +1,348 @@
+//! The framing layer: length-prefixed, CRC-guarded, versioned frames.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! ┌─────────┬─────────┬───────────────────────────────────┐
+//! │ len u32 │ crc u32 │ body (len bytes)                  │
+//! └─────────┴─────────┴───────────────────────────────────┘
+//!                       └─ version u8 │ tag u8 │ payload ─┘
+//! ```
+//!
+//! The CRC (the same dependency-free CRC-32 the store's segment files use,
+//! [`piprov_store::codec::crc32`]) covers the body; the body's first byte
+//! is the wire version ([`WIRE_VERSION`]) and its second the message tag —
+//! the same one-byte tag discipline as the store's
+//! [`piprov_store::BodyFormat`], so an unknown version or message kind is a
+//! *typed* decode error, never a guess.
+//!
+//! **Decode-side caps.**  The length prefix is attacker-controlled input:
+//! [`read_frame`] refuses any frame longer than the configured cap
+//! *before* allocating, so a hostile prefix (`0xFFFF_FFFF`) costs the
+//! server a 4-byte compare, not 4 GiB of memory.  The message codec in
+//! [`crate::codec`] applies the same discipline to every embedded count.
+
+use bytes::Bytes;
+use piprov_store::codec::crc32;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+
+/// Version byte every frame body starts with.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Default cap on the length prefix a peer will honour (16 MiB — far above
+/// any legitimate message, far below a memory-exhaustion attack).
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Default cap on the number of records any one decoded message may carry.
+pub const DEFAULT_MAX_RECORDS: u32 = 65_536;
+
+/// Decode-side caps applied to attacker-controlled sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLimits {
+    /// Longest frame body accepted (the length prefix is checked against
+    /// this before any allocation).
+    pub max_frame_len: u32,
+    /// Most records accepted in one `IngestBatch` or `Trail` message.
+    pub max_records: u32,
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        WireLimits {
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_records: DEFAULT_MAX_RECORDS,
+        }
+    }
+}
+
+/// Everything that can go wrong at the wire and codec layers.
+#[derive(Debug)]
+pub enum WireError {
+    /// An I/O error from the underlying stream.
+    Io(std::io::Error),
+    /// The length prefix exceeded the configured cap; nothing was
+    /// allocated.
+    FrameTooLarge {
+        /// The hostile (or merely oversized) length prefix.
+        len: u32,
+        /// The configured cap it exceeded.
+        max: u32,
+    },
+    /// The body did not match its CRC.
+    ChecksumMismatch,
+    /// The body's version byte is not [`WIRE_VERSION`].
+    UnsupportedVersion(u8),
+    /// The body was structurally invalid (truncated field, unknown tag,
+    /// over-cap count, bad UTF-8, …).
+    Malformed(String),
+    /// A read timeout fired at a frame boundary — no header byte had
+    /// arrived.  This is the server's idle tick between frames, not a
+    /// failure: the stream is still positioned at the boundary and the
+    /// caller may simply call [`read_frame`] again.  A timeout *mid-frame*
+    /// is never this variant (it surfaces as [`WireError::Io`]), so
+    /// retrying on `IdleTimeout` can never desynchronize the framing.
+    IdleTimeout,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {}", e),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {} bytes exceeds the {} byte cap", len, max)
+            }
+            WireError::ChecksumMismatch => write!(f, "frame body failed its CRC check"),
+            WireError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported wire version {} (speaking {})",
+                    v, WIRE_VERSION
+                )
+            }
+            WireError::Malformed(what) => write!(f, "malformed frame: {}", what),
+            WireError::IdleTimeout => write!(f, "idle read timeout at a frame boundary"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// `true` only for [`WireError::IdleTimeout`] — the between-frames
+    /// tick it is safe to retry after.  A timeout that fires *mid-frame*
+    /// reports as [`WireError::Io`] and returns `false` here: bytes were
+    /// already consumed, so retrying would desynchronize the framing.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, WireError::IdleTimeout)
+    }
+}
+
+/// Writes one frame (header + body).  The caller flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_frame(writer: &mut impl Write, body: &[u8]) -> Result<(), WireError> {
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&(body.len() as u32).to_be_bytes());
+    header[4..].copy_from_slice(&crc32(body).to_be_bytes());
+    writer.write_all(&header)?;
+    writer.write_all(body)?;
+    Ok(())
+}
+
+/// Reads one frame, returning `Ok(None)` on a clean end-of-stream at a
+/// frame boundary.
+///
+/// A read timeout that fires *before any header byte arrived* surfaces as
+/// [`WireError::IdleTimeout`] and leaves the stream positioned at the
+/// boundary, so the caller can poll a shutdown flag and simply call
+/// again; a timeout mid-frame is a real [`WireError::Io`] error
+/// ([`WireError::is_timeout`] distinguishes the two).
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] if the length prefix exceeds `max_len`
+/// (checked before allocating), [`WireError::ChecksumMismatch`] if the
+/// body fails its CRC, [`WireError::Malformed`] on truncation mid-frame,
+/// or [`WireError::Io`].
+pub fn read_frame(reader: &mut impl Read, max_len: u32) -> Result<Option<Bytes>, WireError> {
+    let mut header = [0u8; 8];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match reader.read(&mut header[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(WireError::Malformed("truncated frame header".into()));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e)
+                if filled == 0
+                    && matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+            {
+                return Err(WireError::IdleTimeout);
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes"));
+    let expected_crc = u32::from_be_bytes(header[4..].try_into().expect("4 bytes"));
+    if len > max_len {
+        return Err(WireError::FrameTooLarge { len, max: max_len });
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            WireError::Malformed("truncated frame body".into())
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    if crc32(&body) != expected_crc {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok(Some(Bytes::from(body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"hello").unwrap();
+        write_frame(&mut out, b"").unwrap();
+        let mut cursor = Cursor::new(out);
+        assert_eq!(
+            read_frame(&mut cursor, 1024).unwrap().unwrap().as_ref(),
+            b"hello"
+        );
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap().unwrap().len(), 0);
+        assert!(
+            read_frame(&mut cursor, 1024).unwrap().is_none(),
+            "clean EOF"
+        );
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocating() {
+        // A 4 GiB length prefix with no body behind it: the cap check must
+        // fire on the prefix alone.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_be_bytes());
+        frame.extend_from_slice(&0u32.to_be_bytes());
+        let mut cursor = Cursor::new(frame);
+        match read_frame(&mut cursor, 1 << 20) {
+            Err(WireError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, 1 << 20);
+            }
+            other => panic!("expected FrameTooLarge, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn bad_crc_is_a_typed_error() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"payload").unwrap();
+        let last = out.len() - 1;
+        out[last] ^= 0xFF;
+        let mut cursor = Cursor::new(out);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(WireError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_not_a_hang_or_panic() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"some body bytes").unwrap();
+        // Mid-header.
+        let mut cursor = Cursor::new(out[..5].to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(WireError::Malformed(_))
+        ));
+        // Mid-body.
+        let mut cursor = Cursor::new(out[..out.len() - 4].to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        assert!(WireError::ChecksumMismatch.to_string().contains("CRC"));
+        assert!(WireError::FrameTooLarge { len: 9, max: 8 }
+            .to_string()
+            .contains("cap"));
+        assert!(WireError::UnsupportedVersion(9).to_string().contains("9"));
+        assert!(!WireError::ChecksumMismatch.is_timeout());
+        assert!(WireError::IdleTimeout.is_timeout());
+    }
+
+    /// Yields `prefix` bytes, then times out on every further read —
+    /// simulating a stalled peer under a socket read timeout.
+    struct StallAfter {
+        prefix: Vec<u8>,
+        served: usize,
+    }
+
+    impl Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.served < self.prefix.len() {
+                let n = buf.len().min(self.prefix.len() - self.served);
+                buf[..n].copy_from_slice(&self.prefix[self.served..self.served + n]);
+                self.served += n;
+                Ok(n)
+            } else {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "stalled"))
+            }
+        }
+    }
+
+    #[test]
+    fn idle_timeout_is_retryable_but_a_mid_frame_stall_is_not() {
+        // Timeout at the frame boundary: typed IdleTimeout, safe to retry.
+        let mut idle = StallAfter {
+            prefix: Vec::new(),
+            served: 0,
+        };
+        let err = read_frame(&mut idle, 1024).unwrap_err();
+        assert!(
+            err.is_timeout(),
+            "boundary stall is the idle tick: {:?}",
+            err
+        );
+
+        // The same timeout after 3 header bytes were consumed must NOT be
+        // retryable — a retry would read the remaining bytes as a fresh
+        // header and desynchronize the framing.
+        let mut frame = Vec::new();
+        write_frame(&mut frame, b"payload").unwrap();
+        let mut stalled = StallAfter {
+            prefix: frame[..3].to_vec(),
+            served: 0,
+        };
+        let err = read_frame(&mut stalled, 1024).unwrap_err();
+        assert!(
+            matches!(&err, WireError::Io(_)),
+            "mid-header stall is a real error: {:?}",
+            err
+        );
+        assert!(!err.is_timeout());
+
+        // Likewise a stall mid-body (full header consumed).
+        let mut stalled = StallAfter {
+            prefix: frame[..frame.len() - 2].to_vec(),
+            served: 0,
+        };
+        let err = read_frame(&mut stalled, 1024).unwrap_err();
+        assert!(
+            !err.is_timeout(),
+            "mid-body stall is a real error: {:?}",
+            err
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! Loopback integration of server and client: pipelined queries,
+//! blocking and fire-and-batch ingest, the flush barrier, and provable
+//! back-pressure on a 1-deep ingest queue.
+
+use piprov_audit::{AuditEngine, AuditOutcome, AuditRequest};
+use piprov_core::name::{Channel, Principal};
+use piprov_core::provenance::{Event, Provenance};
+use piprov_core::value::Value;
+use piprov_patterns::{GroupExpr, Pattern};
+use piprov_serve::{AuditClient, AuditServer, ClientConfig, IngestOutcome, ServeConfig};
+use piprov_store::{Operation, ProvenanceRecord};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("piprov-serve-loop-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn value(name: &str) -> Value {
+    Value::Channel(Channel::new(name))
+}
+
+fn record(i: u64, who: &str) -> ProvenanceRecord {
+    let k = Provenance::single(Event::output(Principal::new(who), Provenance::empty()));
+    ProvenanceRecord::new(
+        i,
+        who,
+        Operation::Send,
+        "m",
+        value(&format!("item{}", i)),
+        k,
+    )
+}
+
+#[test]
+fn queries_match_the_in_process_engine_and_pipelining_preserves_order() {
+    let dir = temp_dir("queries");
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    engine.register_pattern(
+        "from-s",
+        Pattern::originated_at(GroupExpr::any_of(["s0", "s1"])),
+    );
+    let server =
+        AuditServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = AuditClient::connect(server.local_addr()).unwrap();
+
+    // Ingest over the wire, then flush so the records are queryable.
+    for i in 0..8u64 {
+        client
+            .ingest_blocking(vec![record(i, &format!("s{}", i % 2))])
+            .unwrap();
+    }
+    let ingested = client.flush().unwrap();
+    assert_eq!(ingested, 8);
+
+    // Every request kind answers over the wire exactly as in-process.
+    let requests: Vec<AuditRequest> = (0..8u64)
+        .flat_map(|i| {
+            let item = value(&format!("item{}", i));
+            vec![
+                AuditRequest::VetValue {
+                    value: item.clone(),
+                    pattern: "from-s".into(),
+                },
+                AuditRequest::AuditTrail {
+                    value: item.clone(),
+                },
+                AuditRequest::OriginOf { value: item },
+                AuditRequest::WhoTouched {
+                    principal: Principal::new(format!("s{}", i % 2)),
+                },
+            ]
+        })
+        .collect();
+    // Pipelined: all written before any response is read; order holds.
+    let responses = client.pipeline(&requests).unwrap();
+    assert_eq!(responses.len(), requests.len());
+    for (request, wire_response) in requests.iter().zip(&responses) {
+        let local = engine.handle(request);
+        assert_eq!(
+            wire_response.outcome, local.outcome,
+            "wire and in-process answers must agree on {}",
+            request
+        );
+    }
+    // Spot-check a verdict: item0 originated at s0.
+    assert!(matches!(
+        responses[0].outcome,
+        AuditOutcome::Vetted { verdict: true, .. }
+    ));
+
+    // Unknown values/patterns stay structured over the wire.
+    let ghost = client
+        .request(&AuditRequest::OriginOf {
+            value: value("ghost"),
+        })
+        .unwrap();
+    assert_eq!(ghost.outcome, AuditOutcome::UnknownValue);
+    let nope = client
+        .request(&AuditRequest::VetValue {
+            value: value("item0"),
+            pattern: "nope".into(),
+        })
+        .unwrap();
+    assert_eq!(nope.outcome, AuditOutcome::UnknownPattern);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.ingested, 8);
+    assert!(stats.ingest_batches >= 8);
+    drop(client);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flooding_a_one_deep_queue_yields_busy_over_the_wire() {
+    let dir = temp_dir("busy");
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    let server = AuditServer::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig {
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    // Pause the drain worker so the flood is deterministic.
+    server.ingest_queue().set_paused(true);
+
+    let mut client = AuditClient::connect(server.local_addr()).unwrap();
+    assert!(matches!(
+        client.ingest_batch(vec![record(0, "s0")]).unwrap(),
+        IngestOutcome::Acked {
+            accepted: 1,
+            queue_depth: 1
+        }
+    ));
+    // The queue is full: every further batch answers a typed Busy and
+    // buffers nothing server-side.
+    for i in 1..=5u64 {
+        assert!(matches!(
+            client.ingest_batch(vec![record(i, "s0")]).unwrap(),
+            IngestOutcome::Busy { queue_depth: 1 }
+        ));
+    }
+    assert_eq!(client.busy_observed(), 5);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.busy_rejections, 5);
+    assert_eq!(stats.queue_depth, 1);
+    assert_eq!(stats.ingested, 0, "nothing applied while paused");
+
+    // ingest_blocking turns Busy into client-side blocking: unpause from
+    // another thread while the client retries.
+    let queue = Arc::clone(server.ingest_queue());
+    let unpause = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        queue.set_paused(false);
+    });
+    client.ingest_blocking(vec![record(9, "s0")]).unwrap();
+    unpause.join().unwrap();
+    client.flush().unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.ingested, 2, "the accepted batch and the retried one");
+    assert!(stats.busy_rejections >= 5);
+    assert_eq!(stats.queue_depth, 0);
+    drop(client);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fire_and_batch_buffers_locally_and_ships_on_flush() {
+    let dir = temp_dir("batch");
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    let server =
+        AuditServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = AuditClient::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            batch_size: 4,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..10u64 {
+        client.buffer(record(i, "s0")).unwrap();
+    }
+    // 10 records at batch size 4: two batches shipped, two buffered.
+    assert_eq!(client.buffered(), 2);
+    client.flush().unwrap();
+    assert_eq!(client.buffered(), 0);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.ingested, 10);
+    assert_eq!(
+        stats.ingest_batches, 3,
+        "4 + 4 + 2: one write-lock acquisition per shipped batch"
+    );
+    drop(client);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_batches_split_client_side_instead_of_killing_the_connection() {
+    use piprov_serve::{WireError, WireLimits};
+    let dir = temp_dir("split");
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    let server =
+        AuditServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    // A client whose own frame cap is tiny: 64 records won't fit one
+    // frame, so ingest_blocking must split rather than ship a frame the
+    // server would reject.
+    let mut client = AuditClient::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            limits: WireLimits {
+                max_frame_len: 2048,
+                ..WireLimits::default()
+            },
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let records: Vec<ProvenanceRecord> = (0..64).map(|i| record(i, "s0")).collect();
+    let encoded_len = piprov_serve::codec::encode_ingest_batch(&records).len();
+    assert!(encoded_len > 2048, "the batch must overflow the cap");
+
+    // The no-retry path refuses with a typed error, sending nothing.
+    match client.ingest_batch(records.clone()) {
+        Err(piprov_serve::ClientError::Wire(WireError::FrameTooLarge { max, .. })) => {
+            assert_eq!(max, 2048)
+        }
+        other => panic!("expected FrameTooLarge, got {:?}", other),
+    }
+    // The blocking path splits recursively and lands every record — the
+    // connection survives (the refusal above sent no bytes).
+    client.ingest_blocking(records).unwrap();
+    client.flush().unwrap();
+    assert_eq!(engine.stats().ingested, 64);
+    assert!(
+        engine.stats().ingest_batches >= 2,
+        "the flood shipped as multiple sub-frame batches"
+    );
+    drop(client);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_clients_are_served_by_the_worker_pool() {
+    let dir = temp_dir("pool");
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    engine.register_pattern("any", Pattern::Any);
+    let server = AuditServer::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 3,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    {
+        let mut seed = AuditClient::connect(addr).unwrap();
+        seed.ingest_blocking(vec![record(0, "s0")]).unwrap();
+        seed.flush().unwrap();
+    }
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = AuditClient::connect(addr).unwrap();
+                let mut passed = 0usize;
+                for _ in 0..50 {
+                    let response = client
+                        .request(&AuditRequest::VetValue {
+                            value: value("item0"),
+                            pattern: "any".into(),
+                        })
+                        .unwrap();
+                    if matches!(response.outcome, AuditOutcome::Vetted { verdict: true, .. }) {
+                        passed += 1;
+                    }
+                }
+                passed
+            })
+        })
+        .collect();
+    let passed: usize = clients.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(passed, 150);
+    assert_eq!(engine.stats().vets_passed, 150);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

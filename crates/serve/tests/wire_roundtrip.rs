@@ -1,0 +1,391 @@
+//! Property-based round-trip suite for the wire codec, plus
+//! malformed-frame behaviour against a live server.
+//!
+//! * `decode(encode(m)) == m` for **every** request and response variant —
+//!   including deeply shared provenance in embedded records, empty trails,
+//!   and a deterministic near-cap maximum-size batch;
+//! * malformed input (truncated frame, bad CRC, hostile length prefix,
+//!   unknown tags, unsupported version) is a **typed** error on the
+//!   decode side and, against a live [`AuditServer`], a best-effort
+//!   `ServerError` frame followed by a clean close — never a panic, and
+//!   never a wedged server: the pool keeps serving fresh connections.
+
+use bytes::Bytes;
+use piprov_audit::{
+    AuditEngine, AuditOutcome, AuditRequest, AuditResponse, EngineStats, RequestStats,
+};
+use piprov_core::name::{Channel, Principal};
+use piprov_core::provenance::{Event, Provenance};
+use piprov_core::value::Value;
+use piprov_serve::codec::{decode_request, decode_response, encode_request, encode_response};
+use piprov_serve::wire::{read_frame, write_frame};
+use piprov_serve::{
+    AuditClient, AuditServer, ClientError, ServeConfig, WireError, WireLimits, WireResponse,
+};
+use piprov_store::{AuditTrail, Operation, ProvenanceRecord};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0u32..64).prop_map(|i| Value::Channel(Channel::new(format!("v{}", i)))),
+        (0u32..64).prop_map(|i| Value::Principal(Principal::new(format!("q{}", i)))),
+    ]
+}
+
+/// Builds provenance with genuine sharing: each step prepends one event
+/// whose channel provenance and tail are drawn from the pool built so far.
+fn build_provenance(steps: &[(u8, bool, usize, usize)]) -> Provenance {
+    let mut pool: Vec<Provenance> = vec![Provenance::empty()];
+    for (principal, output, channel_pick, tail_pick) in steps {
+        let channel = pool[channel_pick % pool.len()].clone();
+        let tail = pool[tail_pick % pool.len()].clone();
+        let principal = Principal::new(format!("p{}", principal));
+        let event = if *output {
+            Event::output(principal, channel)
+        } else {
+            Event::input(principal, channel)
+        };
+        pool.push(tail.prepend(event));
+    }
+    pool.last().expect("pool starts non-empty").clone()
+}
+
+fn arb_provenance() -> impl Strategy<Value = Provenance> {
+    proptest::collection::vec((0u8..5, any::<bool>(), 0usize..16, 0usize..16), 0..12)
+        .prop_map(|steps| build_provenance(&steps))
+}
+
+fn arb_record() -> impl Strategy<Value = ProvenanceRecord> {
+    (
+        (0u64..1 << 48, 0u64..1 << 32, 0u8..4, 0u32..32),
+        arb_value(),
+        arb_provenance(),
+    )
+        .prop_map(
+            |((sequence, logical_time, op, chan), value, provenance)| ProvenanceRecord {
+                sequence,
+                logical_time,
+                principal: Principal::new(format!("actor{}", op)),
+                operation: Operation::from_tag(op).expect("tag in range"),
+                channel: Channel::new(format!("chan{}", chan)),
+                value,
+                provenance,
+            },
+        )
+}
+
+fn arb_audit_request() -> impl Strategy<Value = AuditRequest> {
+    prop_oneof![
+        (arb_value(), 0u32..16).prop_map(|(value, p)| AuditRequest::VetValue {
+            value,
+            pattern: format!("pattern{}", p),
+        }),
+        arb_value().prop_map(|value| AuditRequest::AuditTrail { value }),
+        (0u32..32).prop_map(|p| AuditRequest::WhoTouched {
+            principal: Principal::new(format!("p{}", p)),
+        }),
+        arb_value().prop_map(|value| AuditRequest::OriginOf { value }),
+    ]
+}
+
+fn arb_request_stats() -> impl Strategy<Value = RequestStats> {
+    (0usize..1 << 20, 0usize..1 << 20, 0usize..1 << 20).prop_map(
+        |(index_hits, memo_hits, dag_nodes_visited)| RequestStats {
+            index_hits,
+            memo_hits,
+            dag_nodes_visited,
+        },
+    )
+}
+
+fn arb_outcome() -> impl Strategy<Value = AuditOutcome> {
+    prop_oneof![
+        (any::<bool>(), 0u64..1 << 40)
+            .prop_map(|(verdict, sequence)| AuditOutcome::Vetted { verdict, sequence }),
+        (
+            arb_value(),
+            proptest::collection::vec(arb_record(), 0..4),
+            proptest::collection::vec(0u32..32, 0..6),
+            proptest::collection::vec(0u32..32, 0..6),
+        )
+            .prop_map(|(value, records, principals, channels)| {
+                AuditOutcome::Trail(AuditTrail {
+                    value,
+                    records,
+                    principals: principals
+                        .into_iter()
+                        .map(|i| Principal::new(format!("p{}", i)))
+                        .collect(),
+                    channels: channels
+                        .into_iter()
+                        .map(|i| Channel::new(format!("c{}", i)))
+                        .collect(),
+                })
+            }),
+        (
+            proptest::collection::vec(0u64..1 << 40, 0..8),
+            proptest::collection::vec(arb_value(), 0..8),
+        )
+            .prop_map(|(records, values)| AuditOutcome::Touched { records, values }),
+        prop_oneof![
+            Just(None),
+            (0u32..32).prop_map(|i| Some(Principal::new(format!("p{}", i)))),
+        ]
+        .prop_map(|principal| AuditOutcome::Origin { principal }),
+        Just(AuditOutcome::UnknownValue),
+        Just(AuditOutcome::UnknownPattern),
+    ]
+}
+
+fn arb_engine_stats() -> impl Strategy<Value = EngineStats> {
+    proptest::collection::vec(0u64..u64::MAX, 9..10).prop_map(|v| EngineStats {
+        requests: v[0],
+        ingested: v[1],
+        vets_passed: v[2],
+        vets_failed: v[3],
+        index_hits: v[4],
+        memo_hits: v[5],
+        ingest_batches: v[6],
+        busy_rejections: v[7],
+        queue_depth: v[8],
+    })
+}
+
+fn arb_wire_request() -> impl Strategy<Value = piprov_serve::WireRequest> {
+    use piprov_serve::WireRequest;
+    prop_oneof![
+        4 => arb_audit_request().prop_map(WireRequest::Audit),
+        2 => proptest::collection::vec(arb_record(), 0..6).prop_map(WireRequest::IngestBatch),
+        1 => Just(WireRequest::Flush),
+        1 => Just(WireRequest::Stats),
+    ]
+}
+
+fn arb_wire_response() -> impl Strategy<Value = WireResponse> {
+    prop_oneof![
+        4 => (arb_outcome(), arb_request_stats())
+            .prop_map(|(outcome, stats)| WireResponse::Audit(AuditResponse { outcome, stats })),
+        1 => (0u32..1 << 16, 0u32..256).prop_map(|(accepted, queue_depth)| {
+            WireResponse::IngestAck {
+                accepted,
+                queue_depth,
+            }
+        }),
+        1 => (0u32..256).prop_map(|queue_depth| WireResponse::Busy { queue_depth }),
+        1 => (0u64..u64::MAX).prop_map(|ingested| WireResponse::Flushed { ingested }),
+        1 => arb_engine_stats().prop_map(WireResponse::Stats),
+        1 => (0u32..64).prop_map(|i| WireResponse::ServerError {
+            message: format!("error {}", i),
+        }),
+    ]
+}
+
+proptest! {
+    // 64 cases by default; PIPROV_PROPTEST_CASES raises it in CI.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_round_trip(request in arb_wire_request()) {
+        let limits = WireLimits::default();
+        let decoded = decode_request(encode_request(&request), &limits).unwrap();
+        prop_assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn responses_round_trip(response in arb_wire_response()) {
+        let limits = WireLimits::default();
+        let decoded = decode_response(encode_response(&response), &limits).unwrap();
+        prop_assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn framing_is_transparent(response in arb_wire_response()) {
+        // Through the actual frame layer (header + CRC), not just the body
+        // codec.
+        let limits = WireLimits::default();
+        let mut out = Vec::new();
+        write_frame(&mut out, &encode_response(&response)).unwrap();
+        let mut cursor = std::io::Cursor::new(out);
+        let frame = read_frame(&mut cursor, limits.max_frame_len).unwrap().unwrap();
+        prop_assert_eq!(decode_response(frame, &limits).unwrap(), response);
+        prop_assert!(read_frame(&mut cursor, limits.max_frame_len).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupting_any_byte_never_panics(response in arb_wire_response(), flip in 0usize..4096) {
+        // Decode of a corrupted body either fails with a typed error or
+        // yields some decoded message — it must never panic or over-read.
+        let mut body = encode_response(&response).to_vec();
+        if body.is_empty() {
+            return;
+        }
+        let idx = flip % body.len();
+        body[idx] ^= 0x41;
+        let _ = decode_response(Bytes::from(body), &WireLimits::default());
+    }
+}
+
+/// The empty-trail edge the codec must not choke on: a trail with no
+/// records, principals, or channels.
+#[test]
+fn empty_trail_round_trips() {
+    let limits = WireLimits::default();
+    let response = WireResponse::Audit(AuditResponse {
+        outcome: AuditOutcome::Trail(AuditTrail {
+            value: Value::Channel(Channel::new("ghost")),
+            records: Vec::new(),
+            principals: Vec::new(),
+            channels: Vec::new(),
+        }),
+        stats: RequestStats::default(),
+    });
+    let decoded = decode_response(encode_response(&response), &limits).unwrap();
+    assert_eq!(decoded, response);
+}
+
+/// A batch right at the configured record cap round-trips; one past it is
+/// rejected before any record is decoded.
+#[test]
+fn max_size_batch_round_trips_and_the_cap_binds() {
+    let limits = WireLimits {
+        max_records: 512,
+        ..WireLimits::default()
+    };
+    let record = |i: u64| {
+        ProvenanceRecord::new(
+            i,
+            "p",
+            Operation::Send,
+            "m",
+            Value::Channel(Channel::new(format!("v{}", i))),
+            Provenance::single(Event::output(Principal::new("p"), Provenance::empty())),
+        )
+    };
+    let at_cap: Vec<ProvenanceRecord> = (0..512).map(record).collect();
+    let request = piprov_serve::WireRequest::IngestBatch(at_cap);
+    let encoded = encode_request(&request);
+    assert_eq!(decode_request(encoded, &limits).unwrap(), request);
+
+    let over_cap: Vec<ProvenanceRecord> = (0..513).map(record).collect();
+    let err = decode_request(
+        encode_request(&piprov_serve::WireRequest::IngestBatch(over_cap)),
+        &limits,
+    )
+    .unwrap_err();
+    assert!(matches!(err, WireError::Malformed(_)), "{:?}", err);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed frames against a live server.
+// ---------------------------------------------------------------------------
+
+fn live_server(name: &str) -> (AuditServer, std::path::PathBuf) {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("piprov-serve-mal-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    let server = AuditServer::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    (server, dir)
+}
+
+fn expect_server_error_then_close(client: &mut AuditClient, what: &str) {
+    // Best effort: the server names the cause in a final frame, then
+    // closes; depending on timing the client may only observe the close.
+    match client.receive_response() {
+        Ok(WireResponse::ServerError { message }) => {
+            assert!(!message.is_empty(), "{}: error frame names a cause", what);
+            assert!(matches!(
+                client.receive_response(),
+                Err(ClientError::ConnectionClosed) | Err(ClientError::Wire(_))
+            ));
+        }
+        Err(ClientError::ConnectionClosed) | Err(ClientError::Wire(_)) => {}
+        other => panic!("{}: expected error-then-close, got {:?}", what, other),
+    }
+}
+
+#[test]
+fn hostile_length_prefix_gets_a_typed_error_and_the_server_survives() {
+    let (server, dir) = live_server("hostile-len");
+    let addr = server.local_addr();
+    {
+        let mut client = AuditClient::connect(addr).unwrap();
+        // A frame header announcing a 4 GiB body.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_be_bytes());
+        frame.extend_from_slice(&0u32.to_be_bytes());
+        client.send_raw(&frame).unwrap();
+        expect_server_error_then_close(&mut client, "hostile length");
+    }
+    // The pool is not wedged: a fresh connection is served normally.
+    let mut fresh = AuditClient::connect(addr).unwrap();
+    assert_eq!(fresh.stats().unwrap().ingested, 0);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_crc_gets_a_typed_error_and_the_server_survives() {
+    let (server, dir) = live_server("bad-crc");
+    let addr = server.local_addr();
+    {
+        let mut client = AuditClient::connect(addr).unwrap();
+        let mut framed = Vec::new();
+        write_frame(
+            &mut framed,
+            &encode_request(&piprov_serve::WireRequest::Stats),
+        )
+        .unwrap();
+        let last = framed.len() - 1;
+        framed[last] ^= 0xFF;
+        client.send_raw(&framed).unwrap();
+        expect_server_error_then_close(&mut client, "bad crc");
+    }
+    let mut fresh = AuditClient::connect(addr).unwrap();
+    assert!(fresh.stats().is_ok());
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_tags_and_versions_get_typed_errors() {
+    let (server, dir) = live_server("bad-body");
+    let addr = server.local_addr();
+    // (byte offset to clobber, value, scenario): version byte, then tag.
+    for (offset, bad_byte, what) in [(0usize, 99u8, "bad version"), (1, 77, "bad tag")] {
+        let mut client = AuditClient::connect(addr).unwrap();
+        let mut body = encode_request(&piprov_serve::WireRequest::Stats).to_vec();
+        body[offset] = bad_byte;
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &body).unwrap();
+        client.send_raw(&framed).unwrap();
+        expect_server_error_then_close(&mut client, what);
+    }
+    let mut fresh = AuditClient::connect(addr).unwrap();
+    assert!(fresh.stats().is_ok());
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_frame_closes_cleanly_without_wedging_the_server() {
+    let (server, dir) = live_server("truncated");
+    let addr = server.local_addr();
+    {
+        let mut client = AuditClient::connect(addr).unwrap();
+        let mut framed = Vec::new();
+        write_frame(
+            &mut framed,
+            &encode_request(&piprov_serve::WireRequest::Stats),
+        )
+        .unwrap();
+        // Send only part of the frame, then drop the connection: the
+        // server sees a truncated body and must just close its side.
+        client.send_raw(&framed[..framed.len() - 3]).unwrap();
+    }
+    let mut fresh = AuditClient::connect(addr).unwrap();
+    assert!(fresh.stats().is_ok());
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

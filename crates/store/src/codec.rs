@@ -94,12 +94,32 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u16(s.len() as u16);
-    buf.put_slice(s.as_bytes());
+/// Writes a length-prefixed (`u16`) UTF-8 string.
+///
+/// Shared with the wire codec of `piprov-serve`: both layers speak the same
+/// primitive vocabulary, so a record travels the socket and the segment file
+/// in one encoding.  Strings longer than `u16::MAX` bytes are not
+/// representable: they are **truncated at the last UTF-8 boundary that
+/// fits** (debug builds assert first) rather than writing a wrapped length
+/// prefix, so an absurd name can never desynchronize the surrounding frame
+/// or poison a segment.  Callers hold names (principals, channels, pattern
+/// names), which are short.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "name too long for u16 prefix");
+    let mut len = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(len) {
+        len -= 1;
+    }
+    buf.put_u16(len as u16);
+    buf.put_slice(&s.as_bytes()[..len]);
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, StoreError> {
+/// Reads a string written by [`put_str`], validating UTF-8 and bounds.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Corrupt`] on truncation or invalid UTF-8.
+pub fn get_str(buf: &mut Bytes) -> Result<String, StoreError> {
     if buf.remaining() < 2 {
         return Err(StoreError::Corrupt("truncated string length".into()));
     }
@@ -112,7 +132,10 @@ fn get_str(buf: &mut Bytes) -> Result<String, StoreError> {
         .map_err(|_| StoreError::Corrupt("invalid utf-8 in record".into()))
 }
 
-fn put_value(buf: &mut BytesMut, value: &Value) {
+/// Writes a tagged [`Value`] (channel or principal name).
+///
+/// Reused by the `piprov-serve` wire codec; see [`put_str`].
+pub fn put_value(buf: &mut BytesMut, value: &Value) {
     match value {
         Value::Channel(c) => {
             buf.put_u8(VALUE_CHANNEL);
@@ -125,7 +148,12 @@ fn put_value(buf: &mut BytesMut, value: &Value) {
     }
 }
 
-fn get_value(buf: &mut Bytes) -> Result<Value, StoreError> {
+/// Reads a value written by [`put_value`].
+///
+/// # Errors
+///
+/// Returns [`StoreError::Corrupt`] on truncation or an unknown tag.
+pub fn get_value(buf: &mut Bytes) -> Result<Value, StoreError> {
     if buf.remaining() < 1 {
         return Err(StoreError::Corrupt("truncated value tag".into()));
     }

@@ -136,7 +136,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. The shared substrates held up under concurrency.
-    println!("\nengine: {}", engine.stats());
+    let engine_stats = engine.stats();
+    println!("\nengine: {}", engine_stats);
+    println!(
+        "ingest: {} batches applied, {} busy rejections, queue depth {}",
+        engine_stats.ingest_batches, engine_stats.busy_rejections, engine_stats.queue_depth
+    );
     println!("store:  {}", engine.store_stats());
     let memo = engine.pattern_memo_stats("chain-only").unwrap();
     println!(

@@ -1,0 +1,46 @@
+//! The server half of the cross-process audit demo: open an engine,
+//! register the supply-chain policies, and serve the framed wire protocol
+//! on a TCP address until killed.
+//!
+//! Run with: `cargo run --example serve_server`
+//! (then drive it with `cargo run --example serve_client` from another
+//! process; both honour `PIPROV_SERVE_ADDR`, default `127.0.0.1:7141`).
+
+use piprov::audit::{AuditConfig, AuditEngine};
+use piprov::prelude::*;
+use piprov::store::ProvenanceStore;
+use std::sync::Arc;
+
+/// Shared with `serve_client.rs`: the workload's principal names.
+const SUPPLIERS: usize = 4;
+const RELAYS: usize = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::var("PIPROV_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7141".to_string());
+    let dir = std::env::temp_dir().join(format!("piprov-serve-server-{}", std::process::id()));
+    let store = ProvenanceStore::open(&dir)?;
+    let engine = Arc::new(AuditEngine::with_config(
+        store,
+        AuditConfig { memo_bound: 4096 },
+    ));
+
+    let suppliers: Vec<String> = (0..SUPPLIERS).map(|i| format!("supplier{}", i)).collect();
+    engine.register_pattern(
+        "from-supplier",
+        Pattern::originated_at(GroupExpr::any_of(suppliers.clone())),
+    );
+    let mut chain = suppliers;
+    chain.extend((0..RELAYS).map(|i| format!("relay{}", i)));
+    engine.register_pattern(
+        "chain-only",
+        Pattern::only_touched_by(GroupExpr::any_of(chain)),
+    );
+
+    let server = AuditServer::bind(Arc::clone(&engine), addr.as_str(), ServeConfig::default())?;
+    println!("piprov-serve listening on {}", server.local_addr());
+    println!("patterns: from-supplier, chain-only — drive me with the serve_client example");
+    // Serve until killed; the worker pool does the rest.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

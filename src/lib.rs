@@ -17,7 +17,8 @@
 //! | [`store`] | `piprov-store` | append-only provenance store with audit queries |
 //! | [`runtime`] | `piprov-runtime` | discrete-event simulator, workloads, fault injection |
 //! | [`analysis`] | `piprov-static` | static provenance-flow analysis |
-//! | [`audit`] | `piprov-audit` | concurrent audit service: engine, typed requests, recorder sink |
+//! | [`audit`] | `piprov-audit` | concurrent audit service: engine, typed requests, recorder sink, bounded ingest queue |
+//! | [`serve`] | `piprov-serve` | cross-process serving: framed wire protocol, TCP server/client, remote recorder |
 //!
 //! ## Quickstart
 //!
@@ -51,13 +52,16 @@ pub use piprov_core as core;
 pub use piprov_logs as logs;
 pub use piprov_patterns as patterns;
 pub use piprov_runtime as runtime;
+pub use piprov_serve as serve;
 pub use piprov_static as analysis;
 pub use piprov_store as store;
 
 /// Convenient re-exports of the items almost every user of the library
 /// needs.
 pub mod prelude {
-    pub use piprov_audit::{AuditEngine, AuditOutcome, AuditRecorder, AuditRequest, AuditResponse};
+    pub use piprov_audit::{
+        AuditEngine, AuditOutcome, AuditRecorder, AuditRequest, AuditResponse, IngestQueue,
+    };
     pub use piprov_core::interpreter::{Executor, SchedulerPolicy, StopReason};
     pub use piprov_core::name::{Channel, Principal, Variable};
     pub use piprov_core::pattern::{AnyPattern, PatternLanguage, TrivialPatterns};
@@ -73,6 +77,7 @@ pub mod prelude {
     pub use piprov_runtime::{
         workload, NetworkConfig, SimConfig, SimStop, Simulation, TrackingMode,
     };
+    pub use piprov_serve::{AuditClient, AuditServer, RemoteRecorder, ServeConfig};
     pub use piprov_static::{analyze, elide_redundant_checks, AnalysisConfig};
     pub use piprov_store::{run_and_record, ProvenanceStore, StoreQuery};
 }
