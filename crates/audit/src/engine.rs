@@ -1,22 +1,46 @@
-//! The thread-safe audit engine.
+//! The thread-safe audit engine with MVCC snapshot reads.
 //!
-//! An [`AuditEngine`] owns a [`ProvenanceStore`] behind a reader-writer
-//! lock and a registry of named, pre-compiled policy patterns.  Many
-//! auditor threads call [`AuditEngine::handle`] concurrently: each request
-//! takes the store's *read* lock (queries go through the
-//! [`piprov_store::StoreIndex`] posting lists, never a full scan) and the
-//! pattern memos synchronize internally; only [`AuditEngine::ingest`]
-//! takes the write lock, so ingest interleaves with — but never starves
-//! behind — a single query.
+//! An [`AuditEngine`] owns a [`ProvenanceStore`] (the durable log) and a
+//! registry of named, pre-compiled policy patterns — but audit queries
+//! never touch the store or its reader-writer lock.  Instead, the ingest
+//! path publishes an immutable [`EngineSnapshot`] (`Arc`'d record chunks +
+//! a structurally shared [`piprov_store::SharedStoreIndex`] + a sequence
+//! watermark) once per applied batch, and [`AuditEngine::handle`] answers
+//! every request from the snapshot current at its start.  Ingest can no
+//! longer starve readers: however large the batch being applied, auditors
+//! keep answering from the previously published snapshot, and pay only a
+//! snapshot load to reach it — an `Arc` clone under a latch held for the
+//! pointer operation alone (see [`crate::snapshot`]), never for the
+//! duration of a batch.
 //!
-//! Two shared structures make the concurrency real rather than nominal:
-//! the core provenance interner is sharded (auditor threads re-interning
-//! decoded histories contend per shard, not on one global mutex), and each
-//! registered pattern's `(ProvId, state set)` memo is bounded with
-//! epoch-based eviction ([`AuditConfig::memo_bound`]), so a long-lived
-//! engine cannot grow without bound.
+//! # Consistency contract
+//!
+//! * **Batch atomicity** — a snapshot is published only after a whole
+//!   ingest batch is appended, so no query ever observes a half-applied
+//!   batch: a response mentions either none of a batch's records or all
+//!   of the ones relevant to it, and never a record above its snapshot's
+//!   watermark.
+//! * **Monotone watermarks** — publications are ordered by the store's
+//!   write lock, so the watermark carried by every [`AuditResponse`] is
+//!   non-decreasing across any sequence of requests to one engine.
+//! * **Read-your-writes** — [`AuditEngine::ingest_batch`] publishes
+//!   before it returns: a caller that observes the returned sequence
+//!   numbers (or polls [`AuditEngine::watermark`], or the wire layer's
+//!   `Flushed` watermark) is guaranteed the next request answers at or
+//!   above that watermark.
+//! * **Repeatable reads** — pin a snapshot with [`AuditEngine::snapshot`]
+//!   and serve any number of requests from it via
+//!   [`AuditEngine::handle_at`]: all of them see the same frozen state.
+//!
+//! Two further shared structures make the concurrency real rather than
+//! nominal: the core provenance interner is sharded (auditor threads
+//! re-interning decoded histories contend per shard, not on one global
+//! mutex), and each registered pattern's `(ProvId, state set)` memo is
+//! bounded with epoch-based eviction ([`AuditConfig::memo_bound`]), so a
+//! long-lived engine cannot grow without bound.
 
 use crate::request::{AuditOutcome, AuditRequest, AuditResponse, RequestStats};
+use crate::snapshot::{EngineSnapshot, SnapshotCell};
 use piprov_patterns::{CompiledPattern, MemoStats, Pattern};
 use piprov_store::{ProvenanceRecord, ProvenanceStore, SequenceNumber, StoreError, StoreStats};
 use std::collections::HashMap;
@@ -68,6 +92,17 @@ pub struct EngineStats {
     /// **Gauge**: batches currently waiting in the ingest queue (0 when no
     /// queue is attached; see [`crate::IngestQueue`]).
     pub queue_depth: u64,
+    /// Snapshots published over the engine's lifetime (one per applied
+    /// ingest batch; the recovery snapshot is not counted).
+    pub snapshots_published: u64,
+    /// **Gauge**: ingest-queue batches accepted but not yet visible to
+    /// snapshot readers (waiting in the queue or mid-application) — the
+    /// read-side staleness an operator watches where `queue_depth` alone
+    /// would hide the batch currently being applied.
+    pub snapshot_lag: u64,
+    /// **Gauge**: the currently published snapshot's watermark — the
+    /// highest sequence number visible to readers.
+    pub watermark: u64,
 }
 
 impl fmt::Display for EngineStats {
@@ -75,7 +110,8 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "{} requests ({} vets: {} pass / {} fail), {} ingested in {} batches \
-             ({} busy rejections, queue depth {}), {} index hits, {} memo hits",
+             ({} busy rejections, queue depth {}), {} index hits, {} memo hits, \
+             watermark {} ({} snapshots published, lag {})",
             self.requests,
             self.vets_passed + self.vets_failed,
             self.vets_passed,
@@ -85,7 +121,10 @@ impl fmt::Display for EngineStats {
             self.busy_rejections,
             self.queue_depth,
             self.index_hits,
-            self.memo_hits
+            self.memo_hits,
+            self.watermark,
+            self.snapshots_published,
+            self.snapshot_lag
         )
     }
 }
@@ -97,7 +136,11 @@ impl fmt::Display for EngineStats {
 /// [`Arc`] and call [`AuditEngine::handle`] from each.
 #[derive(Debug)]
 pub struct AuditEngine {
+    /// The durable log.  Writers only: audit queries answer from the
+    /// published snapshot and never acquire this lock in any mode.
     store: RwLock<ProvenanceStore>,
+    /// The published [`EngineSnapshot`] every query reads.
+    snapshot: SnapshotCell,
     patterns: RwLock<HashMap<String, Arc<CompiledPattern>>>,
     config: AuditConfig,
     requests: AtomicU64,
@@ -109,6 +152,8 @@ pub struct AuditEngine {
     ingest_batches: AtomicU64,
     busy_rejections: AtomicU64,
     queue_depth: AtomicU64,
+    snapshots_published: AtomicU64,
+    snapshot_lag: AtomicU64,
 }
 
 impl AuditEngine {
@@ -129,8 +174,10 @@ impl AuditEngine {
 
     /// Wraps an already-open store with an explicit configuration.
     pub fn with_config(store: ProvenanceStore, config: AuditConfig) -> Self {
+        let recovered = EngineSnapshot::from_records(store.iter().cloned().collect());
         AuditEngine {
             store: RwLock::new(store),
+            snapshot: SnapshotCell::new(recovered),
             patterns: RwLock::new(HashMap::new()),
             config,
             requests: AtomicU64::new(0),
@@ -142,6 +189,8 @@ impl AuditEngine {
             ingest_batches: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
+            snapshots_published: AtomicU64::new(0),
+            snapshot_lag: AtomicU64::new(0),
         }
     }
 
@@ -173,24 +222,29 @@ impl AuditEngine {
         self.read_patterns().get(name).map(|p| p.memo_stats())
     }
 
-    /// Appends one record to the store (write lock).
+    /// Appends one record to the store and publishes it (a one-record
+    /// batch).
     ///
     /// # Errors
     ///
     /// Propagates store append failures.
     pub fn ingest(&self, record: ProvenanceRecord) -> Result<SequenceNumber, StoreError> {
-        let seq = self.write_store().append(record)?;
-        self.ingested.fetch_add(1, Ordering::Relaxed);
-        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
-        Ok(seq)
+        let sequences = self.ingest_batch(vec![record])?;
+        Ok(*sequences.first().expect("one record in, one sequence out"))
     }
 
-    /// Appends a whole batch under **one** write-lock acquisition, so a
-    /// burst of ingest pays for the lock (and the readers it excludes)
-    /// once per batch instead of once per record.
+    /// Appends a whole batch under **one** write-lock acquisition and
+    /// publishes **one** snapshot for it, so a burst of ingest pays for
+    /// the append lock and the publication once per batch instead of once
+    /// per record — and readers observe the batch atomically (all of it
+    /// or none of it), never a torn prefix.
     ///
-    /// Records appended before a failure stay appended; the error reports
-    /// the first record that could not be written.
+    /// Publication happens before this method returns: read-your-writes
+    /// holds for the returned sequence numbers.
+    ///
+    /// Records appended before a failure stay appended — and are
+    /// published, so the snapshot never diverges from the durable log;
+    /// the error reports the first record that could not be written.
     ///
     /// # Errors
     ///
@@ -203,21 +257,43 @@ impl AuditEngine {
             return Ok(Vec::new());
         }
         let mut sequences = Vec::with_capacity(records.len());
+        let mut appended = Vec::with_capacity(records.len());
         let mut store = self.write_store();
+        let mut failure = None;
         for record in records {
+            // Clone for the snapshot before the append consumes the
+            // record; the store-assigned sequence is patched in below, so
+            // no store lookup is needed inside the write-lock window.
+            let mut pending = record.clone();
             match store.append(record) {
                 Ok(seq) => {
                     sequences.push(seq);
                     self.ingested.fetch_add(1, Ordering::Relaxed);
+                    pending.sequence = seq;
+                    appended.push(pending);
                 }
                 Err(error) => {
-                    self.ingest_batches.fetch_add(1, Ordering::Relaxed);
-                    return Err(error);
+                    failure = Some(error);
+                    break;
                 }
             }
         }
         self.ingest_batches.fetch_add(1, Ordering::Relaxed);
-        Ok(sequences)
+        if !appended.is_empty() {
+            // Build the next snapshot off to the side and publish it while
+            // the write lock is still held, so publications carry the same
+            // total order as the appends they describe (monotone
+            // watermarks).  Readers never wait on any of this: they keep
+            // loading the previous snapshot until the single-pointer swap.
+            let next = self.snapshot.load().extended(appended);
+            self.snapshot.publish(next);
+            self.snapshots_published.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(store);
+        match failure {
+            Some(error) => Err(error),
+            None => Ok(sequences),
+        }
     }
 
     /// Records one `Busy` rejection of an ingest batch (called by the
@@ -231,6 +307,12 @@ impl AuditEngine {
         self.queue_depth.store(depth as u64, Ordering::Relaxed);
     }
 
+    /// Publishes the snapshot-lag gauge: queue batches accepted but not
+    /// yet visible to snapshot readers (queued or mid-application).
+    pub(crate) fn set_snapshot_lag(&self, lag: usize) {
+        self.snapshot_lag.store(lag as u64, Ordering::Relaxed);
+    }
+
     /// Flushes and syncs the underlying store.
     ///
     /// # Errors
@@ -240,14 +322,39 @@ impl AuditEngine {
         self.write_store().sync()
     }
 
-    /// Serves one request (read lock; safe to call from many threads).
+    /// The currently published snapshot.
+    ///
+    /// Pinning it and serving several requests through
+    /// [`AuditEngine::handle_at`] gives repeatable reads: all of them see
+    /// the same frozen state at the same watermark, however much ingest
+    /// lands in between.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.snapshot.load()
+    }
+
+    /// The published watermark: the highest sequence number visible to
+    /// readers right now.  Monotone over the engine's lifetime.
+    pub fn watermark(&self) -> SequenceNumber {
+        self.snapshot.load().watermark()
+    }
+
+    /// Serves one request from the currently published snapshot (safe to
+    /// call from many threads; acquires **no** store lock).
     pub fn handle(&self, request: &AuditRequest) -> AuditResponse {
+        let snapshot = self.snapshot.load();
+        self.handle_at(&snapshot, request)
+    }
+
+    /// Serves one request from an explicit snapshot — the repeatable-read
+    /// entry point ([`AuditEngine::handle`] is `handle_at` on the latest
+    /// published snapshot).  The response's watermark is the snapshot's.
+    pub fn handle_at(&self, snapshot: &EngineSnapshot, request: &AuditRequest) -> AuditResponse {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let response = match request {
-            AuditRequest::VetValue { value, pattern } => self.vet_value(value, pattern),
-            AuditRequest::AuditTrail { value } => self.audit_trail(value),
-            AuditRequest::WhoTouched { principal } => self.who_touched(principal),
-            AuditRequest::OriginOf { value } => self.origin_of(value),
+            AuditRequest::VetValue { value, pattern } => self.vet_value(snapshot, value, pattern),
+            AuditRequest::AuditTrail { value } => self.audit_trail(snapshot, value),
+            AuditRequest::WhoTouched { principal } => self.who_touched(snapshot, principal),
+            AuditRequest::OriginOf { value } => self.origin_of(snapshot, value),
         };
         self.index_hits
             .fetch_add(response.stats.index_hits as u64, Ordering::Relaxed);
@@ -268,32 +375,46 @@ impl AuditEngine {
             ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
+            snapshot_lag: self.snapshot_lag.load(Ordering::Relaxed),
+            watermark: self.snapshot.load().watermark(),
         }
     }
 
-    /// Statistics of the underlying store (read lock).
+    /// Statistics of the underlying store (read lock; an operator call,
+    /// not an audit query path).
     pub fn store_stats(&self) -> StoreStats {
         self.read_store().stats()
     }
 
-    /// Number of records currently held (read lock).
+    /// Number of records visible to readers (answered from the published
+    /// snapshot, like every query).
     pub fn record_count(&self) -> usize {
-        self.read_store().len()
+        self.snapshot.load().len()
     }
 
-    fn vet_value(&self, value: &piprov_core::value::Value, pattern: &str) -> AuditResponse {
+    fn vet_value(
+        &self,
+        snapshot: &EngineSnapshot,
+        value: &piprov_core::value::Value,
+        pattern: &str,
+    ) -> AuditResponse {
+        let watermark = snapshot.watermark();
         let Some(compiled) = self.read_patterns().get(pattern).cloned() else {
-            return AuditResponse::new(AuditOutcome::UnknownPattern, RequestStats::default());
+            return AuditResponse::new(
+                AuditOutcome::UnknownPattern,
+                RequestStats::default(),
+                watermark,
+            );
         };
-        let store = self.read_store();
-        let postings = store.index().by_value(value);
+        let postings = snapshot.index().by_value(value);
         let mut stats = RequestStats {
             index_hits: postings.len(),
             ..RequestStats::default()
         };
         // The newest record carries the value's current history.
-        let Some(record) = postings.last().and_then(|seq| store.get(*seq)) else {
-            return AuditResponse::new(AuditOutcome::UnknownValue, stats);
+        let Some(record) = postings.last().and_then(|seq| snapshot.get(*seq)) else {
+            return AuditResponse::new(AuditOutcome::UnknownValue, stats, watermark);
         };
         let (verdict, match_stats) = compiled.matches_with_stats(&record.provenance);
         stats.memo_hits = match_stats.memo_hits;
@@ -309,22 +430,31 @@ impl AuditEngine {
                 sequence: record.sequence,
             },
             stats,
+            watermark,
         )
     }
 
-    fn audit_trail(&self, value: &piprov_core::value::Value) -> AuditResponse {
-        let store = self.read_store();
+    fn audit_trail(
+        &self,
+        snapshot: &EngineSnapshot,
+        value: &piprov_core::value::Value,
+    ) -> AuditResponse {
+        let watermark = snapshot.watermark();
         // One posting-list lookup serves both the existence check and the
         // index_hits accounting: the trail holds exactly the records the
         // by_value list names.
-        let trail = store.query().audit_trail(value);
+        let trail = snapshot.audit_trail(value);
         if trail.records.is_empty() {
-            return AuditResponse::new(AuditOutcome::UnknownValue, RequestStats::default());
+            return AuditResponse::new(
+                AuditOutcome::UnknownValue,
+                RequestStats::default(),
+                watermark,
+            );
         }
         let index_hits = trail.records.len();
         // O(1) per record: the spine lengths are cached on the interned
-        // nodes; a per-request DAG walk under the read lock would defeat
-        // the pay-per-new-node discipline.
+        // nodes; a per-request DAG walk would defeat the pay-per-new-node
+        // discipline.
         let dag_nodes_visited = trail.records.iter().map(|r| r.provenance.len()).sum();
         AuditResponse::new(
             AuditOutcome::Trail(trail),
@@ -333,20 +463,24 @@ impl AuditEngine {
                 memo_hits: 0,
                 dag_nodes_visited,
             },
+            watermark,
         )
     }
 
-    fn who_touched(&self, principal: &piprov_core::name::Principal) -> AuditResponse {
-        let store = self.read_store();
-        let postings = store.index().by_involved_principal(principal);
-        let records: Vec<SequenceNumber> = postings.to_vec();
+    fn who_touched(
+        &self,
+        snapshot: &EngineSnapshot,
+        principal: &piprov_core::name::Principal,
+    ) -> AuditResponse {
+        let watermark = snapshot.watermark();
+        let records: Vec<SequenceNumber> =
+            snapshot.index().by_involved_principal(principal).to_vec();
         let index_hits = records.len();
         // First-appearance order with set-based dedup: a busy relay can
-        // appear in every record's history, and this runs under the
-        // store's read lock.
+        // appear in every record's history.
         let mut seen = std::collections::HashSet::new();
         let mut values = Vec::new();
-        for record in store.get_many(records.iter().copied()) {
+        for record in snapshot.get_many(records.iter().copied()) {
             if seen.insert(record.value.clone()) {
                 values.push(record.value.clone());
             }
@@ -357,14 +491,23 @@ impl AuditEngine {
                 index_hits,
                 ..RequestStats::default()
             },
+            watermark,
         )
     }
 
-    fn origin_of(&self, value: &piprov_core::value::Value) -> AuditResponse {
-        let store = self.read_store();
-        let trail = store.query().audit_trail(value);
+    fn origin_of(
+        &self,
+        snapshot: &EngineSnapshot,
+        value: &piprov_core::value::Value,
+    ) -> AuditResponse {
+        let watermark = snapshot.watermark();
+        let trail = snapshot.audit_trail(value);
         if trail.records.is_empty() {
-            return AuditResponse::new(AuditOutcome::UnknownValue, RequestStats::default());
+            return AuditResponse::new(
+                AuditOutcome::UnknownValue,
+                RequestStats::default(),
+                watermark,
+            );
         }
         let index_hits = trail.records.len();
         // Origin scans each record's top-level events oldest-first; charge
@@ -379,6 +522,7 @@ impl AuditEngine {
                 memo_hits: 0,
                 dag_nodes_visited,
             },
+            watermark,
         )
     }
 
@@ -623,6 +767,125 @@ mod tests {
         let memo = engine.pattern_memo_stats("sends-only").unwrap();
         assert_eq!(memo.bound, 32);
         assert!(memo.epochs > 0, "500 distinct histories forced eviction");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn responses_carry_the_published_watermark_and_pinned_snapshots_freeze() {
+        let dir = temp_dir("watermark");
+        let engine = seeded_engine(&dir);
+        engine.register_pattern("any", Pattern::Any);
+        assert_eq!(engine.watermark(), 4);
+        let response = engine.handle(&AuditRequest::AuditTrail { value: value("v") });
+        assert_eq!(response.watermark, 4);
+        let AuditOutcome::Trail(trail) = &response.outcome else {
+            panic!("expected trail");
+        };
+        assert!(trail
+            .records
+            .iter()
+            .all(|r| r.sequence <= response.watermark));
+
+        // Pin the snapshot, then ingest one more record for v.
+        let pinned = engine.snapshot();
+        let k = Provenance::single(Event::output(Principal::new("d"), Provenance::empty()));
+        engine
+            .ingest(ProvenanceRecord::new(
+                9,
+                "d",
+                Operation::Send,
+                "m",
+                value("v"),
+                k,
+            ))
+            .unwrap();
+        assert_eq!(
+            engine.watermark(),
+            5,
+            "read-your-writes: publish precedes return"
+        );
+
+        // The pinned snapshot is repeatable: it still answers at watermark
+        // 4, with 4 records — however much ingest landed since.
+        let frozen = engine.handle_at(&pinned, &AuditRequest::AuditTrail { value: value("v") });
+        assert_eq!(frozen.watermark, 4);
+        let AuditOutcome::Trail(trail) = &frozen.outcome else {
+            panic!("expected trail");
+        };
+        assert_eq!(trail.records.len(), 4);
+
+        // A fresh handle sees the new state.
+        let fresh = engine.handle(&AuditRequest::AuditTrail { value: value("v") });
+        assert_eq!(fresh.watermark, 5);
+        let AuditOutcome::Trail(trail) = &fresh.outcome else {
+            panic!("expected trail");
+        };
+        assert_eq!(trail.records.len(), 5);
+
+        // Unknown values and patterns still name the watermark they were
+        // answered at.
+        let unknown = engine.handle(&AuditRequest::OriginOf {
+            value: value("ghost"),
+        });
+        assert_eq!(unknown.outcome, AuditOutcome::UnknownValue);
+        assert_eq!(unknown.watermark, 5);
+
+        let stats = engine.stats();
+        assert_eq!(stats.watermark, 5);
+        assert_eq!(
+            stats.snapshots_published, 5,
+            "one publication per ingested batch (5 single-record batches)"
+        );
+        assert_eq!(stats.snapshot_lag, 0, "no queue attached, no lag");
+        assert!(stats.to_string().contains("watermark 5"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn consecutive_snapshots_share_chunks_and_index_buckets() {
+        use std::sync::Arc as StdArc;
+        let dir = temp_dir("sharing");
+        let engine = seeded_engine(&dir);
+        let before = engine.snapshot();
+        let k = Provenance::single(Event::output(Principal::new("z"), Provenance::empty()));
+        engine
+            .ingest_batch(vec![ProvenanceRecord::new(
+                10,
+                "z",
+                Operation::Send,
+                "m",
+                value("fresh"),
+                k,
+            )])
+            .unwrap();
+        let after = engine.snapshot();
+        assert_eq!(after.chunk_count(), before.chunk_count() + 1);
+        // The untouched value's bucket is the same allocation in both
+        // snapshots: publication extended, it did not rebuild.
+        assert!(StdArc::ptr_eq(
+            before.index().value_bucket(&value("v")).unwrap(),
+            after.index().value_bucket(&value("v")).unwrap()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_republishes_the_stored_records() {
+        let dir = temp_dir("recover-snapshot");
+        {
+            let engine = seeded_engine(&dir);
+            engine.sync().unwrap();
+        }
+        let engine = AuditEngine::open(&dir).unwrap();
+        assert_eq!(engine.watermark(), 4);
+        assert_eq!(engine.record_count(), 4);
+        let trail = engine.handle(&AuditRequest::AuditTrail { value: value("v") });
+        assert_eq!(trail.watermark, 4);
+        assert_eq!(
+            engine.stats().snapshots_published,
+            0,
+            "the recovery snapshot is not a publication"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -157,6 +157,9 @@ impl IngestQueue {
         state.batches.push_back(batch);
         let queue_depth = state.batches.len();
         self.shared.engine.set_queue_depth(queue_depth);
+        self.shared
+            .engine
+            .set_snapshot_lag(queue_depth + state.in_flight as usize);
         drop(state);
         self.shared.work.notify_one();
         SubmitOutcome::Accepted { queue_depth }
@@ -239,6 +242,10 @@ fn drain_loop(shared: &Shared) {
                     if let Some(batch) = state.batches.pop_front() {
                         state.in_flight = true;
                         shared.engine.set_queue_depth(state.batches.len());
+                        // The popped batch no longer counts against the
+                        // queue depth but is still invisible to readers
+                        // until its snapshot publishes.
+                        shared.engine.set_snapshot_lag(state.batches.len() + 1);
                         break Some(batch);
                     }
                 }
@@ -258,6 +265,7 @@ fn drain_loop(shared: &Shared) {
         let result = shared.engine.ingest_batch(batch);
         let mut state = shared.lock();
         state.in_flight = false;
+        shared.engine.set_snapshot_lag(state.batches.len());
         if let (Err(error), None) = (result, state.error.as_ref()) {
             state.error = Some(error);
         }

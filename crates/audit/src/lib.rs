@@ -11,8 +11,12 @@
 //! requests concurrently:
 //!
 //! * [`engine`] — the [`AuditEngine`]: a thread-safe facade over a
-//!   [`piprov_store::ProvenanceStore`] (readers share, ingest excludes)
-//!   and named, pre-compiled patterns with bounded memos;
+//!   [`piprov_store::ProvenanceStore`] and named, pre-compiled patterns
+//!   with bounded memos; queries answer from MVCC snapshots, never from
+//!   the store's lock;
+//! * [`snapshot`] — the [`EngineSnapshot`]: the immutable, watermarked
+//!   view (shared record chunks + structurally shared indexes) the ingest
+//!   path publishes once per batch and every query reads;
 //! * [`request`] — the typed request/response vocabulary:
 //!   [`AuditRequest`] (`VetValue`, `AuditTrail`, `WhoTouched`,
 //!   `OriginOf`), [`AuditResponse`] and per-request [`RequestStats`]
@@ -64,8 +68,10 @@ pub mod engine;
 pub mod ingest;
 pub mod recorder;
 pub mod request;
+pub mod snapshot;
 
 pub use engine::{AuditConfig, AuditEngine, EngineStats};
 pub use ingest::{IngestQueue, SubmitOutcome};
 pub use recorder::AuditRecorder;
 pub use request::{AuditOutcome, AuditRequest, AuditResponse, RequestStats};
+pub use snapshot::EngineSnapshot;

@@ -68,22 +68,28 @@ impl DeliverySink for AuditRecorder {
         if self.error.is_some() {
             return;
         }
-        for value in &message.payload {
-            let record = ProvenanceRecord::new(
-                at,
-                sender.clone(),
-                Operation::Send,
-                message.channel.clone(),
-                value.value.clone(),
-                value.provenance.clone(),
-            );
-            match self.engine.ingest(record) {
-                Ok(_) => self.recorded += 1,
-                Err(error) => {
-                    self.error = Some(error);
-                    return;
-                }
-            }
+        // One batch — and so one published snapshot — per delivered
+        // message: concurrent auditors see a multi-value payload
+        // atomically, and the engine pays one publication per delivery
+        // instead of one per value.
+        let records: Vec<ProvenanceRecord> = message
+            .payload
+            .iter()
+            .map(|value| {
+                ProvenanceRecord::new(
+                    at,
+                    sender.clone(),
+                    Operation::Send,
+                    message.channel.clone(),
+                    value.value.clone(),
+                    value.provenance.clone(),
+                )
+            })
+            .collect();
+        let count = records.len();
+        match self.engine.ingest_batch(records) {
+            Ok(_) => self.recorded += count,
+            Err(error) => self.error = Some(error),
         }
     }
 }

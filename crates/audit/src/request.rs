@@ -111,11 +111,25 @@ pub struct AuditResponse {
     pub outcome: AuditOutcome,
     /// What serving the answer cost.
     pub stats: RequestStats,
+    /// The watermark (highest visible sequence number) of the published
+    /// [`crate::EngineSnapshot`] that answered the request.  Every record
+    /// a response mentions has `sequence <= watermark`, and watermarks
+    /// observed through one engine are monotone — together, the engine's
+    /// consistency contract (see [`crate::AuditEngine`]).
+    pub watermark: SequenceNumber,
 }
 
 impl AuditResponse {
-    pub(crate) fn new(outcome: AuditOutcome, stats: RequestStats) -> Self {
-        AuditResponse { outcome, stats }
+    pub(crate) fn new(
+        outcome: AuditOutcome,
+        stats: RequestStats,
+        watermark: SequenceNumber,
+    ) -> Self {
+        AuditResponse {
+            outcome,
+            stats,
+            watermark,
+        }
     }
 }
 

@@ -1,0 +1,508 @@
+//! The MVCC concurrency harness: machine-checked evidence that snapshot
+//! reads are consistent.
+//!
+//! Two complementary attacks on the engine's consistency contract:
+//!
+//! * **Seeded interleavings** — a driver thread steps ingest batches
+//!   through the bounded [`IngestQueue`] at controlled pause points (the
+//!   `set_paused` hook), while ≥ 4 auditor threads hammer all four request
+//!   kinds.  The workload is structured so every legal response is
+//!   computable from the watermark alone: each batch carries exactly one
+//!   record per value, so **batch atomicity** means every observed
+//!   watermark is a batch boundary and every trail holds *exactly* the
+//!   records at or below it — a torn read (a trail mentioning a record
+//!   above its watermark, or a partial batch) fails loudly.  Per-thread
+//!   **watermark monotonicity** is asserted on every response.  A seeded
+//!   RNG decides how long auditors observe each paused state, so reruns
+//!   explore different interleavings deterministically (CI repeats the
+//!   suite 25×).
+//! * **Prefix equivalence** (proptest) — a snapshot pinned at watermark
+//!   `k` must answer every request *identically* to a fresh engine that
+//!   ingested only records `..=k`, even after the original engine has
+//!   ingested far past `k`.
+
+use piprov_audit::{
+    AuditEngine, AuditOutcome, AuditRequest, AuditResponse, EngineSnapshot, IngestQueue,
+};
+use piprov_core::name::{Channel, Principal};
+use piprov_core::provenance::{Event, Provenance};
+use piprov_core::value::Value;
+use piprov_patterns::{GroupExpr, Pattern};
+use piprov_store::{Operation, ProvenanceRecord, SequenceNumber};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("piprov-mvcc-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn value(name: &str) -> Value {
+    Value::Channel(Channel::new(name))
+}
+
+// ---------------------------------------------------------------------------
+// Seeded interleavings.
+// ---------------------------------------------------------------------------
+
+/// Values per batch; every batch carries exactly one record per value, so
+/// the only legal watermarks are multiples of `VALUES`.
+const VALUES: u64 = 6;
+const BATCHES: u64 = 20;
+const AUDITORS: usize = 4;
+
+fn supplier(v: u64) -> String {
+    format!("s{}", v % 3)
+}
+
+/// The record batch `b` carries for value `v`.  Appended in value order,
+/// so its sequence number is `b * VALUES + v + 1`.
+fn workload_record(b: u64, v: u64) -> ProvenanceRecord {
+    let origin = Principal::new(supplier(v));
+    let k = Provenance::single(Event::output(origin.clone(), Provenance::empty()))
+        .prepend(Event::input(Principal::new("relay"), Provenance::empty()));
+    ProvenanceRecord::new(
+        b * VALUES + v,
+        origin,
+        Operation::Send,
+        "m",
+        value(&format!("item{}", v)),
+        k,
+    )
+}
+
+/// Asserts that `response` is fully explained by its own watermark: the
+/// prefix of exactly `watermark / VALUES` whole batches, nothing more and
+/// nothing less.
+fn check_explained_by_watermark(
+    request: &AuditRequest,
+    response: &AuditResponse,
+    last_watermark: &mut SequenceNumber,
+) {
+    let w = response.watermark;
+    assert_eq!(
+        w % VALUES,
+        0,
+        "watermark {} is not a batch boundary: a partially applied batch \
+         was published",
+        w
+    );
+    assert!(
+        w >= *last_watermark,
+        "watermark went backwards: {} after {}",
+        w,
+        *last_watermark
+    );
+    *last_watermark = w;
+    let visible_batches = w / VALUES;
+    match request {
+        AuditRequest::AuditTrail { value } => {
+            let v: u64 = value
+                .to_string()
+                .trim_start_matches("item")
+                .parse()
+                .expect("workload value name");
+            if visible_batches == 0 {
+                assert_eq!(response.outcome, AuditOutcome::UnknownValue);
+                return;
+            }
+            let AuditOutcome::Trail(trail) = &response.outcome else {
+                panic!("expected a trail, got {:?}", response.outcome);
+            };
+            let got: Vec<SequenceNumber> = trail.records.iter().map(|r| r.sequence).collect();
+            let expected: Vec<SequenceNumber> =
+                (0..visible_batches).map(|b| b * VALUES + v + 1).collect();
+            assert_eq!(
+                got, expected,
+                "trail at watermark {} must hold exactly the value's records \
+                 at or below it",
+                w
+            );
+        }
+        AuditRequest::VetValue { value, .. } => {
+            let v: u64 = value
+                .to_string()
+                .trim_start_matches("item")
+                .parse()
+                .expect("workload value name");
+            if visible_batches == 0 {
+                assert_eq!(response.outcome, AuditOutcome::UnknownValue);
+                return;
+            }
+            let newest = (visible_batches - 1) * VALUES + v + 1;
+            match response.outcome {
+                AuditOutcome::Vetted { verdict, sequence } => {
+                    assert!(verdict, "every workload record originates at a supplier");
+                    assert_eq!(
+                        sequence, newest,
+                        "vet at watermark {} must use the newest visible record",
+                        w
+                    );
+                }
+                ref other => panic!("expected a verdict, got {:?}", other),
+            }
+        }
+        AuditRequest::WhoTouched { .. } => {
+            // The relay appears in every record's history.
+            let AuditOutcome::Touched { records, values } = &response.outcome else {
+                panic!("expected touched, got {:?}", response.outcome);
+            };
+            let expected: Vec<SequenceNumber> = (1..=w).collect();
+            assert_eq!(
+                records, &expected,
+                "touched at watermark {} must list exactly the visible records",
+                w
+            );
+            let expected_values = if w == 0 { 0 } else { VALUES as usize };
+            assert_eq!(values.len(), expected_values);
+        }
+        AuditRequest::OriginOf { value } => {
+            let v: u64 = value
+                .to_string()
+                .trim_start_matches("item")
+                .parse()
+                .expect("workload value name");
+            if visible_batches == 0 {
+                assert_eq!(response.outcome, AuditOutcome::UnknownValue);
+                return;
+            }
+            assert_eq!(
+                response.outcome,
+                AuditOutcome::Origin {
+                    principal: Some(Principal::new(supplier(v)))
+                }
+            );
+        }
+    }
+}
+
+/// One auditor thread: seeded request stream, every response checked
+/// against the watermark it claims, watermarks monotone.
+fn auditor_loop(
+    engine: &AuditEngine,
+    seed: u64,
+    stop: &AtomicBool,
+    queries_served: &AtomicU64,
+) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut last_watermark = 0;
+    let mut served = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let v = rng.gen_range(0..VALUES);
+        let request = match rng.gen_range(0u32..4) {
+            0 => AuditRequest::AuditTrail {
+                value: value(&format!("item{}", v)),
+            },
+            1 => AuditRequest::VetValue {
+                value: value(&format!("item{}", v)),
+                pattern: "origin-supplier".into(),
+            },
+            2 => AuditRequest::WhoTouched {
+                principal: Principal::new("relay"),
+            },
+            _ => AuditRequest::OriginOf {
+                value: value(&format!("item{}", v)),
+            },
+        };
+        let response = engine.handle(&request);
+        check_explained_by_watermark(&request, &response, &mut last_watermark);
+        served += 1;
+        queries_served.fetch_add(1, Ordering::Relaxed);
+    }
+    served
+}
+
+fn run_seeded_interleaving(seed: u64) {
+    let dir = temp_dir(&format!("interleave-{}", seed));
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    engine.register_pattern(
+        "origin-supplier",
+        Pattern::originated_at(GroupExpr::any_of(["s0", "s1", "s2"])),
+    );
+    let queue = IngestQueue::start(Arc::clone(&engine), 2);
+    queue.set_paused(true);
+    let stop = AtomicBool::new(false);
+    let queries_served = AtomicU64::new(0);
+
+    thread::scope(|scope| {
+        let auditors: Vec<_> = (0..AUDITORS)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                let stop = &stop;
+                let queries_served = &queries_served;
+                scope.spawn(move || {
+                    auditor_loop(&engine, seed ^ (t as u64) << 32, stop, queries_served)
+                })
+            })
+            .collect();
+
+        // The driver: a seeded scheduler.  For each batch it (1) lets the
+        // auditors observe the *pre-batch* state for an RNG-chosen number
+        // of queries, (2) releases the worker to apply exactly this batch,
+        // (3) re-pauses at the next boundary.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+        for b in 0..BATCHES {
+            let batch: Vec<ProvenanceRecord> = (0..VALUES).map(|v| workload_record(b, v)).collect();
+            assert!(
+                queue.try_submit(batch).is_accepted(),
+                "the driver never outruns a 2-deep queue"
+            );
+            let observe = rng.gen_range(0u64..64);
+            let target = queries_served.load(Ordering::Relaxed) + observe;
+            while queries_served.load(Ordering::Relaxed) < target {
+                thread::yield_now();
+            }
+            queue.set_paused(false);
+            // The pause point: wait for this batch's single publication.
+            while engine.watermark() < (b + 1) * VALUES {
+                thread::yield_now();
+            }
+            queue.set_paused(true);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = auditors.into_iter().map(|a| a.join().unwrap()).sum();
+        assert!(total > 0, "the auditors audited");
+    });
+
+    queue.shutdown().unwrap();
+    // Final state: everything visible, watermark at the last boundary.
+    assert_eq!(engine.watermark(), BATCHES * VALUES);
+    assert_eq!(engine.record_count(), (BATCHES * VALUES) as usize);
+    let stats = engine.stats();
+    assert_eq!(stats.ingested, BATCHES * VALUES);
+    assert_eq!(
+        stats.snapshots_published, BATCHES,
+        "exactly one publication per batch"
+    );
+    assert_eq!(stats.snapshot_lag, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seeded_interleaving_proves_batch_atomicity_and_monotone_watermarks() {
+    // Three deterministic interleavings per run; CI additionally repeats
+    // the whole suite 25× to shake out scheduler-dependent regressions.
+    for seed in [0xC0FFEE, 7, 9_2026] {
+        run_seeded_interleaving(seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic gauge and pinning checks.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn snapshot_lag_counts_accepted_but_unpublished_batches() {
+    let dir = temp_dir("lag");
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    let queue = IngestQueue::start(Arc::clone(&engine), 4);
+    queue.set_paused(true);
+    for b in 0..3u64 {
+        let batch: Vec<ProvenanceRecord> = (0..VALUES).map(|v| workload_record(b, v)).collect();
+        assert!(queue.try_submit(batch).is_accepted());
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.queue_depth, 3);
+    assert_eq!(
+        stats.snapshot_lag, 3,
+        "three accepted batches are invisible to readers"
+    );
+    assert_eq!(stats.watermark, 0, "nothing published while paused");
+    queue.flush().unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.snapshot_lag, 0, "the drain caught readers up");
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.watermark, 3 * VALUES);
+    assert_eq!(stats.snapshots_published, 3);
+    queue.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_pinned_snapshot_survives_the_engine_moving_on() {
+    let dir = temp_dir("pin");
+    let engine = AuditEngine::open(&dir).unwrap();
+    engine
+        .ingest_batch((0..VALUES).map(|v| workload_record(0, v)).collect())
+        .unwrap();
+    let pinned = engine.snapshot();
+    for b in 1..5u64 {
+        engine
+            .ingest_batch((0..VALUES).map(|v| workload_record(b, v)).collect())
+            .unwrap();
+    }
+    // Every request kind, re-asked of the pinned snapshot, answers the
+    // old state exactly.
+    let mut last;
+    for request in [
+        AuditRequest::AuditTrail {
+            value: value("item0"),
+        },
+        AuditRequest::WhoTouched {
+            principal: Principal::new("relay"),
+        },
+        AuditRequest::OriginOf {
+            value: value("item3"),
+        },
+    ] {
+        let response = engine.handle_at(&pinned, &request);
+        assert_eq!(response.watermark, VALUES);
+        last = 0; // pinned responses all sit at the same watermark
+        check_explained_by_watermark(&request, &response, &mut last);
+    }
+    assert_eq!(engine.watermark(), 5 * VALUES);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Prefix equivalence (proptest).
+// ---------------------------------------------------------------------------
+
+/// One generated ingest step: which value, which supplier, how much relay
+/// history.
+fn arb_steps() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((0u8..5, 0u8..4, 0u8..4), 1..32)
+}
+
+fn step_record(t: u64, step: (u8, u8, u8)) -> ProvenanceRecord {
+    let (v, s, depth) = step;
+    let origin = Principal::new(format!("s{}", s));
+    let mut k = Provenance::single(Event::output(origin.clone(), Provenance::empty()));
+    for d in 0..depth {
+        k = k.prepend(Event::input(
+            Principal::new(format!("relay{}", d)),
+            Provenance::empty(),
+        ));
+    }
+    ProvenanceRecord::new(
+        t,
+        origin,
+        Operation::Send,
+        "m",
+        value(&format!("v{}", v)),
+        k,
+    )
+}
+
+/// All the requests whose answers cover the generated state space.
+fn probe_requests() -> Vec<AuditRequest> {
+    let mut requests = Vec::new();
+    for v in 0..5u8 {
+        requests.push(AuditRequest::AuditTrail {
+            value: value(&format!("v{}", v)),
+        });
+        requests.push(AuditRequest::OriginOf {
+            value: value(&format!("v{}", v)),
+        });
+        requests.push(AuditRequest::VetValue {
+            value: value(&format!("v{}", v)),
+            pattern: "from-supplier".into(),
+        });
+    }
+    for s in 0..4u8 {
+        requests.push(AuditRequest::WhoTouched {
+            principal: Principal::new(format!("s{}", s)),
+        });
+    }
+    for d in 0..4u8 {
+        requests.push(AuditRequest::WhoTouched {
+            principal: Principal::new(format!("relay{}", d)),
+        });
+    }
+    requests
+}
+
+fn register_probe_pattern(engine: &AuditEngine) {
+    engine.register_pattern(
+        "from-supplier",
+        Pattern::originated_at(GroupExpr::any_of(["s0", "s1", "s2", "s3"])),
+    );
+}
+
+/// Compares a snapshot answer against a fresh engine holding exactly the
+/// snapshot's prefix: outcomes and watermarks must agree request for
+/// request (work stats may differ — memo warmth is not part of the
+/// contract).
+fn assert_snapshot_equals_prefix_engine(
+    engine: &AuditEngine,
+    snapshot: &EngineSnapshot,
+    prefix: &[ProvenanceRecord],
+    scratch: &PathBuf,
+) {
+    let fresh = AuditEngine::open(scratch).unwrap();
+    register_probe_pattern(&fresh);
+    let mut strip = |mut r: ProvenanceRecord| {
+        r.sequence = 0;
+        r
+    };
+    fresh
+        .ingest_batch(prefix.iter().cloned().map(&mut strip).collect())
+        .unwrap();
+    assert_eq!(fresh.watermark(), snapshot.watermark());
+    for request in probe_requests() {
+        let from_snapshot = engine.handle_at(snapshot, &request);
+        let from_fresh = fresh.handle(&request);
+        assert_eq!(
+            from_snapshot.outcome,
+            from_fresh.outcome,
+            "snapshot at watermark {} diverges from the prefix engine on {}",
+            snapshot.watermark(),
+            request
+        );
+        assert_eq!(from_snapshot.watermark, from_fresh.watermark);
+    }
+}
+
+proptest! {
+    // 24 cases locally; PIPROV_PROPTEST_CASES raises it in the CI deep run.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn snapshot_at_watermark_k_answers_like_a_fresh_engine_of_records_to_k(
+        steps in arb_steps(),
+        batch_size in 1usize..6,
+    ) {
+        let records: Vec<ProvenanceRecord> = steps
+            .iter()
+            .enumerate()
+            .map(|(t, step)| step_record(t as u64, *step))
+            .collect();
+        let dir = temp_dir("equiv");
+        let engine = AuditEngine::open(&dir).unwrap();
+        register_probe_pattern(&engine);
+
+        // Ingest batch by batch, pinning the snapshot after each batch.
+        let mut checkpoints: Vec<(Arc<EngineSnapshot>, usize)> = Vec::new();
+        let mut ingested = 0usize;
+        for batch in records.chunks(batch_size) {
+            engine.ingest_batch(batch.to_vec()).unwrap();
+            ingested += batch.len();
+            checkpoints.push((engine.snapshot(), ingested));
+        }
+
+        // Check the middle and final checkpoints: the pinned snapshot at
+        // watermark k answers exactly like a fresh engine of records ..=k
+        // — even though the pinned one's engine has long moved past k.
+        let picks = [checkpoints.len() / 2, checkpoints.len() - 1];
+        for (i, pick) in picks.iter().enumerate() {
+            let (snapshot, prefix_len) = &checkpoints[*pick];
+            prop_assert_eq!(snapshot.watermark(), *prefix_len as u64);
+            let scratch = temp_dir(&format!("equiv-fresh-{}", i));
+            assert_snapshot_equals_prefix_engine(
+                &engine,
+                snapshot,
+                &records[..*prefix_len],
+                &scratch,
+            );
+            std::fs::remove_dir_all(&scratch).ok();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

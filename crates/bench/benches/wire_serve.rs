@@ -84,6 +84,7 @@ fn bench_codec(c: &mut Criterion) {
                 channels: vec![Channel::new("m")],
             }),
             stats: piprov_audit::RequestStats::default(),
+            watermark: size as u64,
         });
         let trail_encoded = encode_response(&trail);
         group.bench_with_input(BenchmarkId::new("encode_trail", size), &trail, |b, t| {

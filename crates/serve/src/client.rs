@@ -112,6 +112,20 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// The server's answer to a flush barrier: what is durable and — via the
+/// snapshot watermark — what is visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushAck {
+    /// Records ingested over the server engine's lifetime, after the
+    /// drain.
+    pub ingested: u64,
+    /// The published snapshot watermark after the drain.  Every record
+    /// this client submitted before the flush is visible at (or below)
+    /// this sequence number: any later query's response watermark is `>=`
+    /// it, which is the wire protocol's read-your-writes guarantee.
+    pub watermark: u64,
+}
+
 /// The server's typed answer to one ingest batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IngestOutcome {
@@ -353,18 +367,26 @@ impl AuditClient {
 
     /// Ships any buffered tail, then asks the server to drain its ingest
     /// queue and sync its store.  After this returns, everything buffered
-    /// or acked before the call is queryable and durable server-side.
+    /// or acked before the call is queryable and durable server-side; the
+    /// returned [`FlushAck::watermark`] names the snapshot that makes it
+    /// so (any later query answers at or above it).
     ///
     /// # Errors
     ///
     /// As [`AuditClient::ingest_blocking`], plus flush-side server errors.
-    pub fn flush(&mut self) -> Result<u64, ClientError> {
+    pub fn flush(&mut self) -> Result<FlushAck, ClientError> {
         if !self.batch.is_empty() {
             let batch = std::mem::take(&mut self.batch);
             self.ingest_blocking(batch)?;
         }
         match self.round_trip(&WireRequest::Flush)? {
-            WireResponse::Flushed { ingested } => Ok(ingested),
+            WireResponse::Flushed {
+                ingested,
+                watermark,
+            } => Ok(FlushAck {
+                ingested,
+                watermark,
+            }),
             WireResponse::ServerError { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
         }

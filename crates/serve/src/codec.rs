@@ -58,6 +58,11 @@ pub enum WireResponse {
     Flushed {
         /// Records ingested over the engine's lifetime, after the drain.
         ingested: u64,
+        /// The snapshot watermark published by the drain: every record
+        /// submitted before the flush is visible at (or below) this
+        /// sequence number, so a client can read its own writes by
+        /// polling for it.
+        watermark: u64,
     },
     /// Answer to [`WireRequest::Stats`].
     Stats(EngineStats),
@@ -303,13 +308,16 @@ fn put_engine_stats(buf: &mut BytesMut, stats: &EngineStats) {
         stats.ingest_batches,
         stats.busy_rejections,
         stats.queue_depth,
+        stats.snapshots_published,
+        stats.snapshot_lag,
+        stats.watermark,
     ] {
         buf.put_u64(field);
     }
 }
 
 fn get_engine_stats(buf: &mut Bytes) -> Result<EngineStats, WireError> {
-    need(buf, 72, "engine stats")?;
+    need(buf, 96, "engine stats")?;
     Ok(EngineStats {
         requests: buf.get_u64(),
         ingested: buf.get_u64(),
@@ -320,6 +328,9 @@ fn get_engine_stats(buf: &mut Bytes) -> Result<EngineStats, WireError> {
         ingest_batches: buf.get_u64(),
         busy_rejections: buf.get_u64(),
         queue_depth: buf.get_u64(),
+        snapshots_published: buf.get_u64(),
+        snapshot_lag: buf.get_u64(),
+        watermark: buf.get_u64(),
     })
 }
 
@@ -380,6 +391,7 @@ pub fn encode_response(response: &WireResponse) -> Bytes {
                 AuditOutcome::UnknownPattern => buf.put_u8(OUTCOME_UNKNOWN_PATTERN),
             }
             put_request_stats(buf, &audit.stats);
+            buf.put_u64(audit.watermark);
         }),
         WireResponse::IngestAck {
             accepted,
@@ -391,8 +403,12 @@ pub fn encode_response(response: &WireResponse) -> Bytes {
         WireResponse::Busy { queue_depth } => finish_message(RESP_BUSY, |buf| {
             buf.put_u32(*queue_depth);
         }),
-        WireResponse::Flushed { ingested } => finish_message(RESP_FLUSHED, |buf| {
+        WireResponse::Flushed {
+            ingested,
+            watermark,
+        } => finish_message(RESP_FLUSHED, |buf| {
             buf.put_u64(*ingested);
+            buf.put_u64(*watermark);
         }),
         WireResponse::Stats(stats) => finish_message(RESP_STATS, |buf| {
             put_engine_stats(buf, stats);
@@ -472,7 +488,13 @@ pub fn decode_response(mut buf: Bytes, limits: &WireLimits) -> Result<WireRespon
                 other => return Err(malformed(format!("unknown audit outcome tag {}", other))),
             };
             let stats = get_request_stats(&mut buf)?;
-            WireResponse::Audit(AuditResponse { outcome, stats })
+            need(&buf, 8, "response watermark")?;
+            let watermark = buf.get_u64();
+            WireResponse::Audit(AuditResponse {
+                outcome,
+                stats,
+                watermark,
+            })
         }
         RESP_ACK => {
             need(&buf, 8, "ingest ack")?;
@@ -488,9 +510,10 @@ pub fn decode_response(mut buf: Bytes, limits: &WireLimits) -> Result<WireRespon
             }
         }
         RESP_FLUSHED => {
-            need(&buf, 8, "flushed response")?;
+            need(&buf, 16, "flushed response")?;
             WireResponse::Flushed {
                 ingested: buf.get_u64(),
+                watermark: buf.get_u64(),
             }
         }
         RESP_STATS => WireResponse::Stats(get_engine_stats(&mut buf)?),

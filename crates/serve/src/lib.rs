@@ -73,7 +73,7 @@ pub mod recorder;
 pub mod server;
 pub mod wire;
 
-pub use client::{AuditClient, ClientConfig, ClientError, IngestOutcome};
+pub use client::{AuditClient, ClientConfig, ClientError, FlushAck, IngestOutcome};
 pub use codec::{WireRequest, WireResponse};
 pub use recorder::RemoteRecorder;
 pub use server::{AuditServer, ServeConfig};

@@ -30,6 +30,10 @@ pub struct RemoteRecorder {
     /// [`RemoteRecorder::finish`] skips the barrier when the run's
     /// end-of-run `flush` already ran it.
     dirty: bool,
+    /// Watermark reported by the last successful flush barrier: every
+    /// record streamed before it is visible server-side at (or below)
+    /// this sequence number.
+    last_watermark: Option<u64>,
     /// The first client error encountered (the sink interface cannot
     /// propagate it mid-run).
     error: Option<ClientError>,
@@ -43,6 +47,7 @@ impl RemoteRecorder {
             client,
             recorded: 0,
             dirty: false,
+            last_watermark: None,
             error: None,
         }
     }
@@ -50,6 +55,14 @@ impl RemoteRecorder {
     /// Records handed to the client so far (buffered or shipped).
     pub fn recorded(&self) -> usize {
         self.recorded
+    }
+
+    /// The snapshot watermark of the last completed flush barrier, if one
+    /// ran — the sequence number a downstream auditor can poll the
+    /// server's `Flushed`/`Stats` watermark against to read this
+    /// producer's writes.
+    pub fn last_watermark(&self) -> Option<u64> {
+        self.last_watermark
     }
 
     /// Consumes the recorder: ships the buffered tail, issues the
@@ -70,6 +83,24 @@ impl RemoteRecorder {
             self.client.flush()?;
         }
         Ok((self.recorded, self.client))
+    }
+
+    /// Consumes the recorder like [`RemoteRecorder::finish`], also
+    /// returning the final flush watermark (running the barrier if
+    /// deliveries arrived since the last one).
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteRecorder::finish`].
+    pub fn finish_with_watermark(mut self) -> Result<(usize, u64, AuditClient), ClientError> {
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
+        let watermark = match (self.dirty, self.last_watermark) {
+            (false, Some(watermark)) => watermark,
+            _ => self.client.flush()?.watermark,
+        };
+        Ok((self.recorded, watermark, self.client))
     }
 }
 
@@ -105,7 +136,10 @@ impl DeliverySink for RemoteRecorder {
             return;
         }
         match self.client.flush() {
-            Ok(_) => self.dirty = false,
+            Ok(ack) => {
+                self.dirty = false;
+                self.last_watermark = Some(ack.watermark);
+            }
             Err(error) => self.error = Some(error),
         }
     }

@@ -263,8 +263,12 @@ fn handle_request(
             }
         }
         WireRequest::Flush => match queue.flush() {
+            // The watermark is read after the drain: everything submitted
+            // before the flush is visible at (or below) it — the anchor a
+            // client's read-your-writes polls against.
             Ok(()) => WireResponse::Flushed {
                 ingested: engine.stats().ingested,
+                watermark: engine.watermark(),
             },
             Err(e) => WireResponse::ServerError {
                 message: format!("flush failed: {}", e),

@@ -28,7 +28,12 @@ use std::fmt;
 use std::io::{ErrorKind, Read, Write};
 
 /// Version byte every frame body starts with.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version 2 added the MVCC snapshot watermark to every audit response,
+/// to `Flushed`, and to the engine-stats payload (`snapshots_published`,
+/// `snapshot_lag`, `watermark`); version-1 peers are refused with a typed
+/// [`WireError::UnsupportedVersion`].
+pub const WIRE_VERSION: u8 = 2;
 
 /// Default cap on the length prefix a peer will honour (16 MiB — far above
 /// any legitimate message, far below a memory-exhaustion attack).

@@ -53,8 +53,9 @@ fn queries_match_the_in_process_engine_and_pipelining_preserves_order() {
             .ingest_blocking(vec![record(i, &format!("s{}", i % 2))])
             .unwrap();
     }
-    let ingested = client.flush().unwrap();
-    assert_eq!(ingested, 8);
+    let ack = client.flush().unwrap();
+    assert_eq!(ack.ingested, 8);
+    assert_eq!(ack.watermark, 8, "the flush names the published watermark");
 
     // Every request kind answers over the wire exactly as in-process.
     let requests: Vec<AuditRequest> = (0..8u64)
@@ -110,6 +111,94 @@ fn queries_match_the_in_process_engine_and_pipelining_preserves_order() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.ingested, 8);
     assert!(stats.ingest_batches >= 8);
+    drop(client);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn read_your_writes_via_the_flushed_watermark() {
+    let dir = temp_dir("ryw");
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    engine.register_pattern("from-s0", Pattern::originated_at(GroupExpr::single("s0")));
+    let server =
+        AuditServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    // Pause the drain worker: acceptance and visibility genuinely decouple.
+    server.ingest_queue().set_paused(true);
+
+    let mut client = AuditClient::connect(server.local_addr()).unwrap();
+    let batch: Vec<ProvenanceRecord> = (0..3).map(|i| record(i, "s0")).collect();
+    assert!(matches!(
+        client.ingest_batch(batch).unwrap(),
+        IngestOutcome::Acked { accepted: 3, .. }
+    ));
+    // Acked is not visible: the server reports the lag, and a query
+    // answers below the records' eventual sequence numbers.
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.snapshot_lag, 1,
+        "one accepted batch awaits its snapshot"
+    );
+    assert_eq!(stats.watermark, 0);
+    let early = client
+        .request(&AuditRequest::AuditTrail {
+            value: value("item0"),
+        })
+        .unwrap();
+    assert_eq!(early.outcome, AuditOutcome::UnknownValue);
+    assert_eq!(early.watermark, 0);
+
+    // Release the worker from another thread while this client polls the
+    // stats watermark — the read-your-writes loop a real producer runs.
+    let queue = Arc::clone(server.ingest_queue());
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.set_paused(false);
+    });
+    let watermark = loop {
+        let stats = client.stats().unwrap();
+        if stats.watermark >= 3 {
+            break stats.watermark;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    };
+    release.join().unwrap();
+
+    // Once the polled watermark covers the writes, every query must see
+    // them: responses answer at or above it.
+    for i in 0..3u64 {
+        let item = value(&format!("item{}", i));
+        let trail = client
+            .request(&AuditRequest::AuditTrail {
+                value: item.clone(),
+            })
+            .unwrap();
+        assert!(trail.watermark >= watermark);
+        let AuditOutcome::Trail(trail_data) = &trail.outcome else {
+            panic!("write not visible after its watermark: {:?}", trail.outcome);
+        };
+        assert_eq!(trail_data.records.len(), 1);
+        let vet = client
+            .request(&AuditRequest::VetValue {
+                value: item,
+                pattern: "from-s0".into(),
+            })
+            .unwrap();
+        assert!(matches!(
+            vet.outcome,
+            AuditOutcome::Vetted { verdict: true, .. }
+        ));
+        assert!(vet.watermark >= watermark);
+    }
+
+    // The flush barrier gives the same guarantee in one round trip, and
+    // names the watermark explicitly.
+    let ack = client.flush().unwrap();
+    assert_eq!(ack.ingested, 3);
+    assert!(ack.watermark >= 3);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.snapshot_lag, 0);
+    assert_eq!(stats.snapshots_published, 1, "one batch, one snapshot");
     drop(client);
     server.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).ok();

@@ -139,7 +139,7 @@ fn arb_outcome() -> impl Strategy<Value = AuditOutcome> {
 }
 
 fn arb_engine_stats() -> impl Strategy<Value = EngineStats> {
-    proptest::collection::vec(0u64..u64::MAX, 9..10).prop_map(|v| EngineStats {
+    proptest::collection::vec(0u64..u64::MAX, 12..13).prop_map(|v| EngineStats {
         requests: v[0],
         ingested: v[1],
         vets_passed: v[2],
@@ -149,6 +149,9 @@ fn arb_engine_stats() -> impl Strategy<Value = EngineStats> {
         ingest_batches: v[6],
         busy_rejections: v[7],
         queue_depth: v[8],
+        snapshots_published: v[9],
+        snapshot_lag: v[10],
+        watermark: v[11],
     })
 }
 
@@ -164,8 +167,14 @@ fn arb_wire_request() -> impl Strategy<Value = piprov_serve::WireRequest> {
 
 fn arb_wire_response() -> impl Strategy<Value = WireResponse> {
     prop_oneof![
-        4 => (arb_outcome(), arb_request_stats())
-            .prop_map(|(outcome, stats)| WireResponse::Audit(AuditResponse { outcome, stats })),
+        4 => (arb_outcome(), arb_request_stats(), 0u64..1 << 48)
+            .prop_map(|(outcome, stats, watermark)| {
+                WireResponse::Audit(AuditResponse {
+                    outcome,
+                    stats,
+                    watermark,
+                })
+            }),
         1 => (0u32..1 << 16, 0u32..256).prop_map(|(accepted, queue_depth)| {
             WireResponse::IngestAck {
                 accepted,
@@ -173,7 +182,12 @@ fn arb_wire_response() -> impl Strategy<Value = WireResponse> {
             }
         }),
         1 => (0u32..256).prop_map(|queue_depth| WireResponse::Busy { queue_depth }),
-        1 => (0u64..u64::MAX).prop_map(|ingested| WireResponse::Flushed { ingested }),
+        1 => (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(ingested, watermark)| {
+            WireResponse::Flushed {
+                ingested,
+                watermark,
+            }
+        }),
         1 => arb_engine_stats().prop_map(WireResponse::Stats),
         1 => (0u32..64).prop_map(|i| WireResponse::ServerError {
             message: format!("error {}", i),
@@ -239,6 +253,7 @@ fn empty_trail_round_trips() {
             channels: Vec::new(),
         }),
         stats: RequestStats::default(),
+        watermark: 0,
     });
     let decoded = decode_response(encode_response(&response), &limits).unwrap();
     assert_eq!(decoded, response);

@@ -3,22 +3,150 @@
 //! The store keeps the authoritative data in its append-only segments; the
 //! indexes here are rebuilt on recovery by scanning the segments and are
 //! used to answer audit queries without a full scan.
+//!
+//! Two public index types share one implementation, differing only in how
+//! a posting list is stored: [`StoreIndex`] owns plain `Vec` buckets (the
+//! store's mutable in-place index), while [`SharedStoreIndex`] puts every
+//! bucket behind an [`Arc`] so an *extended* copy structurally shares
+//! untouched buckets with its predecessor — the hook the audit engine's
+//! MVCC snapshots build on.  Because both are the same generic core, a
+//! change to the posting discipline cannot desynchronize them.
 
 use crate::record::{ProvenanceRecord, SequenceNumber};
 use piprov_core::name::{Channel, Principal};
 use piprov_core::value::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How one posting list is stored.  `Vec` appends in place;
+/// `Arc<Vec<_>>` copies-on-write ([`Arc::make_mut`]) so unshared buckets
+/// mutate in place and shared ones are copied exactly when touched.
+trait PostingBucket: Default {
+    fn push_unique(&mut self, seq: SequenceNumber);
+    fn as_slice(&self) -> &[SequenceNumber];
+}
+
+impl PostingBucket for Vec<SequenceNumber> {
+    /// Appends `seq` unless it is already the tail entry: sequence numbers
+    /// arrive in non-decreasing order (appends are monotone; rebuilds
+    /// replay in sequence order), so a record that maps to the same key
+    /// several times — or an insert replayed for a record already indexed
+    /// — only ever tries to append the sequence number the list already
+    /// ends with, and checking the tail suffices.
+    fn push_unique(&mut self, seq: SequenceNumber) {
+        if self.last() != Some(&seq) {
+            self.push(seq);
+        }
+    }
+
+    fn as_slice(&self) -> &[SequenceNumber] {
+        self
+    }
+}
+
+impl PostingBucket for Arc<Vec<SequenceNumber>> {
+    fn push_unique(&mut self, seq: SequenceNumber) {
+        Arc::make_mut(self).push_unique(seq);
+    }
+
+    fn as_slice(&self) -> &[SequenceNumber] {
+        self
+    }
+}
+
+/// The shared index core: every query dimension, generic over bucket
+/// storage.
+#[derive(Debug, Clone, Default)]
+struct IndexCore<B> {
+    by_principal: BTreeMap<Principal, B>,
+    by_channel: BTreeMap<Channel, B>,
+    by_value: BTreeMap<Value, B>,
+    /// Principals that appear anywhere in a record's provenance, not just
+    /// as the acting principal.
+    by_involved_principal: BTreeMap<Principal, B>,
+}
+
+impl<B: PostingBucket> IndexCore<B> {
+    fn insert(&mut self, record: &ProvenanceRecord) {
+        let seq = record.sequence;
+        self.by_principal
+            .entry(record.principal.clone())
+            .or_default()
+            .push_unique(seq);
+        self.by_channel
+            .entry(record.channel.clone())
+            .or_default()
+            .push_unique(seq);
+        self.by_value
+            .entry(record.value.clone())
+            .or_default()
+            .push_unique(seq);
+        for p in record.principals_involved() {
+            self.by_involved_principal
+                .entry(p)
+                .or_default()
+                .push_unique(seq);
+        }
+    }
+
+    fn rebuild<'a>(records: impl IntoIterator<Item = &'a ProvenanceRecord>) -> Self
+    where
+        Self: Default,
+    {
+        let mut core = Self::default();
+        for r in records {
+            core.insert(r);
+        }
+        core
+    }
+
+    fn by_principal(&self, principal: &Principal) -> &[SequenceNumber] {
+        self.by_principal
+            .get(principal)
+            .map(B::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn by_channel(&self, channel: &Channel) -> &[SequenceNumber] {
+        self.by_channel.get(channel).map(B::as_slice).unwrap_or(&[])
+    }
+
+    fn by_value(&self, value: &Value) -> &[SequenceNumber] {
+        self.by_value.get(value).map(B::as_slice).unwrap_or(&[])
+    }
+
+    fn by_involved_principal(&self, principal: &Principal) -> &[SequenceNumber] {
+        self.by_involved_principal
+            .get(principal)
+            .map(B::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Acting-principal + channel + value entries (the dimensions
+    /// [`entry_count`](StoreIndex::entry_count) has always reported).
+    fn entry_count(&self) -> usize {
+        self.by_principal
+            .values()
+            .map(|b| b.as_slice().len())
+            .sum::<usize>()
+            + self
+                .by_channel
+                .values()
+                .map(|b| b.as_slice().len())
+                .sum::<usize>()
+            + self
+                .by_value
+                .values()
+                .map(|b| b.as_slice().len())
+                .sum::<usize>()
+    }
+}
 
 /// Secondary indexes mapping principals, channels and values to the
 /// sequence numbers of the records that mention them.
 #[derive(Debug, Default, Clone)]
 pub struct StoreIndex {
-    by_principal: BTreeMap<Principal, Vec<SequenceNumber>>,
-    by_channel: BTreeMap<Channel, Vec<SequenceNumber>>,
-    by_value: BTreeMap<Value, Vec<SequenceNumber>>,
-    /// Principals that appear anywhere in a record's provenance, not just
-    /// as the acting principal.
-    by_involved_principal: BTreeMap<Principal, Vec<SequenceNumber>>,
+    core: IndexCore<Vec<SequenceNumber>>,
 }
 
 impl StoreIndex {
@@ -36,89 +164,144 @@ impl StoreIndex {
     /// ever tries to append the sequence number the list already ends
     /// with, and checking the tail suffices.
     pub fn insert(&mut self, record: &ProvenanceRecord) {
-        let seq = record.sequence;
-        push_unique(
-            self.by_principal
-                .entry(record.principal.clone())
-                .or_default(),
-            seq,
-        );
-        push_unique(
-            self.by_channel.entry(record.channel.clone()).or_default(),
-            seq,
-        );
-        push_unique(self.by_value.entry(record.value.clone()).or_default(), seq);
-        for p in record.principals_involved() {
-            push_unique(self.by_involved_principal.entry(p).or_default(), seq);
-        }
+        self.core.insert(record);
     }
 
     /// Rebuilds an index from scratch.
     pub fn rebuild<'a>(records: impl IntoIterator<Item = &'a ProvenanceRecord>) -> Self {
-        let mut index = StoreIndex::new();
-        for r in records {
-            index.insert(r);
+        StoreIndex {
+            core: IndexCore::rebuild(records),
         }
-        index
     }
 
     /// Sequence numbers of records where `principal` acted.
     pub fn by_principal(&self, principal: &Principal) -> &[SequenceNumber] {
-        self.by_principal
-            .get(principal)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.core.by_principal(principal)
     }
 
     /// Sequence numbers of records on `channel`.
     pub fn by_channel(&self, channel: &Channel) -> &[SequenceNumber] {
-        self.by_channel
-            .get(channel)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.core.by_channel(channel)
     }
 
     /// Sequence numbers of records whose exchanged value is `value`.
     pub fn by_value(&self, value: &Value) -> &[SequenceNumber] {
-        self.by_value.get(value).map(Vec::as_slice).unwrap_or(&[])
+        self.core.by_value(value)
     }
 
     /// Sequence numbers of records whose provenance mentions `principal`
     /// anywhere (acting or historical).
     pub fn by_involved_principal(&self, principal: &Principal) -> &[SequenceNumber] {
-        self.by_involved_principal
-            .get(principal)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.core.by_involved_principal(principal)
     }
 
     /// All principals that ever acted.
     pub fn principals(&self) -> impl Iterator<Item = &Principal> {
-        self.by_principal.keys()
+        self.core.by_principal.keys()
     }
 
     /// All channels that ever carried a value.
     pub fn channels(&self) -> impl Iterator<Item = &Channel> {
-        self.by_channel.keys()
+        self.core.by_channel.keys()
     }
 
     /// All distinct values ever exchanged.
     pub fn values(&self) -> impl Iterator<Item = &Value> {
-        self.by_value.keys()
+        self.core.by_value.keys()
     }
 
     /// Number of index entries (for introspection and tests).
     pub fn entry_count(&self) -> usize {
-        self.by_principal.values().map(Vec::len).sum::<usize>()
-            + self.by_channel.values().map(Vec::len).sum::<usize>()
-            + self.by_value.values().map(Vec::len).sum::<usize>()
+        self.core.entry_count()
     }
 }
 
-/// Appends `seq` to a posting list unless it is already the tail entry.
-fn push_unique(list: &mut Vec<SequenceNumber>, seq: SequenceNumber) {
-    if list.last() != Some(&seq) {
-        list.push(seq);
+/// Snapshot-shareable secondary indexes.
+///
+/// Same posting discipline as [`StoreIndex`] (one generic implementation
+/// serves both), but every bucket lives behind an [`Arc`], so an index
+/// *extended* with a batch of new records shares untouched buckets with
+/// its predecessor: [`SharedStoreIndex::extended`] clones only the map
+/// skeleton (one `Arc` clone per key) and copies just the posting lists
+/// the batch actually touches.  This is the structural-sharing hook the
+/// audit engine's MVCC snapshots build on — each published snapshot owns
+/// an immutable index, and consecutive snapshots share the overwhelming
+/// majority of their buckets.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStoreIndex {
+    core: IndexCore<Arc<Vec<SequenceNumber>>>,
+}
+
+impl SharedStoreIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        SharedStoreIndex::default()
+    }
+
+    /// Builds an index from scratch.
+    pub fn rebuild<'a>(records: impl IntoIterator<Item = &'a ProvenanceRecord>) -> Self {
+        SharedStoreIndex {
+            core: IndexCore::rebuild(records),
+        }
+    }
+
+    /// A new index covering `self`'s records plus `records`, sharing every
+    /// bucket the batch does not touch with `self` (verifiable with
+    /// [`SharedStoreIndex::value_bucket`] / `Arc::ptr_eq`).
+    pub fn extended<'a>(&self, records: impl IntoIterator<Item = &'a ProvenanceRecord>) -> Self {
+        let mut next = self.clone();
+        for r in records {
+            next.core.insert(r);
+        }
+        next
+    }
+
+    /// Sequence numbers of records where `principal` acted.
+    pub fn by_principal(&self, principal: &Principal) -> &[SequenceNumber] {
+        self.core.by_principal(principal)
+    }
+
+    /// Sequence numbers of records on `channel`.
+    pub fn by_channel(&self, channel: &Channel) -> &[SequenceNumber] {
+        self.core.by_channel(channel)
+    }
+
+    /// Sequence numbers of records whose exchanged value is `value`.
+    pub fn by_value(&self, value: &Value) -> &[SequenceNumber] {
+        self.core.by_value(value)
+    }
+
+    /// Sequence numbers of records whose provenance mentions `principal`
+    /// anywhere (acting or historical).
+    pub fn by_involved_principal(&self, principal: &Principal) -> &[SequenceNumber] {
+        self.core.by_involved_principal(principal)
+    }
+
+    /// All principals that ever acted.
+    pub fn principals(&self) -> impl Iterator<Item = &Principal> {
+        self.core.by_principal.keys()
+    }
+
+    /// All distinct values ever exchanged.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.core.by_value.keys()
+    }
+
+    /// Number of index entries (for introspection and tests).
+    pub fn entry_count(&self) -> usize {
+        self.core.entry_count()
+    }
+
+    /// The shared bucket behind [`SharedStoreIndex::by_value`], exposed so
+    /// sharing across extended indexes is checkable (`Arc::ptr_eq`).
+    pub fn value_bucket(&self, value: &Value) -> Option<&Arc<Vec<SequenceNumber>>> {
+        self.core.by_value.get(value)
+    }
+
+    /// The shared bucket behind [`SharedStoreIndex::by_principal`], exposed
+    /// so sharing across extended indexes is checkable (`Arc::ptr_eq`).
+    pub fn principal_bucket(&self, principal: &Principal) -> Option<&Arc<Vec<SequenceNumber>>> {
+        self.core.by_principal.get(principal)
     }
 }
 
@@ -188,6 +371,86 @@ mod tests {
         assert_eq!(index.by_value(&Value::Channel(Channel::new("v"))), &[7]);
         assert_eq!(index.by_involved_principal(&Principal::new("origin")), &[7]);
         assert_eq!(index.entry_count(), 3);
+    }
+
+    #[test]
+    fn shared_index_agrees_with_the_plain_index() {
+        let records = vec![
+            record(1, "a", "m", "v"),
+            record(2, "b", "m", "w"),
+            record(3, "a", "n", "v"),
+        ];
+        let plain = StoreIndex::rebuild(&records);
+        let shared = SharedStoreIndex::rebuild(&records);
+        for p in ["a", "b", "zz"] {
+            assert_eq!(
+                plain.by_principal(&Principal::new(p)),
+                shared.by_principal(&Principal::new(p))
+            );
+            assert_eq!(
+                plain.by_involved_principal(&Principal::new(p)),
+                shared.by_involved_principal(&Principal::new(p))
+            );
+        }
+        assert_eq!(
+            plain.by_channel(&Channel::new("m")),
+            shared.by_channel(&Channel::new("m"))
+        );
+        assert_eq!(
+            plain.by_value(&Value::Channel(Channel::new("v"))),
+            shared.by_value(&Value::Channel(Channel::new("v")))
+        );
+        assert_eq!(plain.entry_count(), shared.entry_count());
+        assert_eq!(shared.principals().count(), 2);
+        assert_eq!(shared.values().count(), 2);
+    }
+
+    #[test]
+    fn extended_shares_untouched_buckets_and_copies_touched_ones() {
+        let base = SharedStoreIndex::rebuild(&[record(1, "a", "m", "v"), record(2, "b", "m", "w")]);
+        // The batch touches value w (and principal b) but not value v.
+        let next = base.extended(&[record(3, "b", "m", "w")]);
+
+        let v = Value::Channel(Channel::new("v"));
+        let w = Value::Channel(Channel::new("w"));
+        assert!(
+            Arc::ptr_eq(
+                base.value_bucket(&v).unwrap(),
+                next.value_bucket(&v).unwrap()
+            ),
+            "untouched bucket is shared, not copied"
+        );
+        assert!(
+            !Arc::ptr_eq(
+                base.value_bucket(&w).unwrap(),
+                next.value_bucket(&w).unwrap()
+            ),
+            "touched bucket is copied"
+        );
+        assert!(Arc::ptr_eq(
+            base.principal_bucket(&Principal::new("a")).unwrap(),
+            next.principal_bucket(&Principal::new("a")).unwrap()
+        ));
+        // The base index is immutable: extending never mutates it.
+        assert_eq!(base.by_value(&w), &[2]);
+        assert_eq!(next.by_value(&w), &[2, 3]);
+        assert_eq!(next.by_value(&v), &[1]);
+        // Extending matches a from-scratch rebuild.
+        let rebuilt = SharedStoreIndex::rebuild(&[
+            record(1, "a", "m", "v"),
+            record(2, "b", "m", "w"),
+            record(3, "b", "m", "w"),
+        ]);
+        assert_eq!(rebuilt.entry_count(), next.entry_count());
+        assert_eq!(rebuilt.by_principal(&Principal::new("b")), &[2, 3]);
+    }
+
+    #[test]
+    fn shared_index_insert_replay_stays_duplicate_free() {
+        let base = SharedStoreIndex::rebuild(&[record(7, "a", "m", "v")]);
+        let next = base.extended(&[record(7, "a", "m", "v")]);
+        assert_eq!(next.by_principal(&Principal::new("a")), &[7]);
+        assert_eq!(next.entry_count(), base.entry_count());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod store;
 
 pub use codec::BodyFormat;
 pub use error::StoreError;
-pub use index::StoreIndex;
+pub use index::{SharedStoreIndex, StoreIndex};
 pub use query::{AuditTrail, StoreQuery};
 pub use record::{Operation, ProvenanceRecord, SequenceNumber};
 pub use recorder::{run_and_record, TraceRecorder};

@@ -27,6 +27,37 @@ pub struct AuditTrail {
 }
 
 impl AuditTrail {
+    /// Assembles a trail from the records that mention `value` (in
+    /// sequence order), deriving the involved principals (first-appearance
+    /// order) and the channels travelled.
+    ///
+    /// This is the single construction path shared by
+    /// [`StoreQuery::audit_trail`] and the audit engine's MVCC snapshots,
+    /// so a trail answered from an immutable snapshot is byte-for-byte the
+    /// trail the store itself would have produced at that watermark.
+    pub fn from_records(value: Value, records: Vec<ProvenanceRecord>) -> Self {
+        let mut principals = Vec::new();
+        let mut channels = Vec::new();
+        for r in &records {
+            for p in r.principals_involved() {
+                if !principals.contains(&p) {
+                    principals.push(p);
+                }
+            }
+            if !channels.contains(&r.channel)
+                && matches!(r.operation, Operation::Send | Operation::Receive)
+            {
+                channels.push(r.channel.clone());
+            }
+        }
+        AuditTrail {
+            value,
+            records,
+            principals,
+            channels,
+        }
+    }
+
     /// `true` if `principal` appears anywhere in the trail.
     pub fn involves(&self, principal: &Principal) -> bool {
         self.principals.contains(principal)
@@ -126,26 +157,7 @@ impl<'a> StoreQuery<'a> {
     pub fn audit_trail(&self, value: &Value) -> AuditTrail {
         let records: Vec<ProvenanceRecord> =
             self.records_of_value(value).into_iter().cloned().collect();
-        let mut principals = Vec::new();
-        let mut channels = Vec::new();
-        for r in &records {
-            for p in r.principals_involved() {
-                if !principals.contains(&p) {
-                    principals.push(p);
-                }
-            }
-            if !channels.contains(&r.channel)
-                && matches!(r.operation, Operation::Send | Operation::Receive)
-            {
-                channels.push(r.channel.clone());
-            }
-        }
-        AuditTrail {
-            value: value.clone(),
-            records,
-            principals,
-            channels,
-        }
+        AuditTrail::from_records(value.clone(), records)
     }
 
     /// The set of principals that ever handled data which, according to its

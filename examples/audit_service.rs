@@ -142,6 +142,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ingest: {} batches applied, {} busy rejections, queue depth {}",
         engine_stats.ingest_batches, engine_stats.busy_rejections, engine_stats.queue_depth
     );
+    println!(
+        "mvcc:   watermark {}, {} snapshots published, snapshot lag {}",
+        engine_stats.watermark, engine_stats.snapshots_published, engine_stats.snapshot_lag
+    );
+    assert_eq!(
+        engine_stats.watermark, engine_stats.ingested,
+        "after the run every ingested record is visible to readers"
+    );
+    assert_eq!(engine_stats.snapshot_lag, 0);
     println!("store:  {}", engine.store_stats());
     let memo = engine.pattern_memo_stats("chain-only").unwrap();
     println!(

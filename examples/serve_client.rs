@@ -108,5 +108,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("server engine: {}", stats);
     assert!(stats.ingested >= recorded as u64);
     assert!(stats.ingest_batches >= 1);
+    assert!(
+        stats.watermark >= recorded as u64,
+        "the flush barrier published this client's writes"
+    );
+    println!(
+        "server snapshot: watermark {}, {} snapshots published, lag {}",
+        stats.watermark, stats.snapshots_published, stats.snapshot_lag
+    );
     Ok(())
 }

@@ -60,7 +60,8 @@ pub use piprov_store as store;
 /// needs.
 pub mod prelude {
     pub use piprov_audit::{
-        AuditEngine, AuditOutcome, AuditRecorder, AuditRequest, AuditResponse, IngestQueue,
+        AuditEngine, AuditOutcome, AuditRecorder, AuditRequest, AuditResponse, EngineSnapshot,
+        IngestQueue,
     };
     pub use piprov_core::interpreter::{Executor, SchedulerPolicy, StopReason};
     pub use piprov_core::name::{Channel, Principal, Variable};

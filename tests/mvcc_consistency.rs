@@ -1,0 +1,263 @@
+//! Facade-level MVCC consistency: a live simulated deployment streams
+//! records into the engine while concurrent auditors check the snapshot
+//! contract end to end — through `piprov::prelude`, exactly as a user
+//! would wire it.
+//!
+//! Unlike the audit crate's `mvcc` harness (which fixes the workload so
+//! every answer is computable from the watermark alone), the simulation's
+//! delivery order here is not known to the auditors — so they assert the
+//! *schedule-independent* half of the contract on every single response:
+//!
+//! * watermarks are monotone per auditor;
+//! * no response ever mentions a record above its own watermark (no torn
+//!   reads);
+//! * audit trails only ever grow, by whole suffixes (consistent prefixes:
+//!   a later trail of the same value starts with the earlier one);
+//! * after the run, a pinned snapshot and the live engine agree on every
+//!   probe, and the watermark equals the recorded total (read-your-writes
+//!   at the facade boundary).
+//!
+//! The workload scales with `PIPROV_PROPTEST_CASES` (the CI deep-run
+//! knob).
+
+use piprov::audit::{AuditConfig, AuditEngine, AuditOutcome, AuditRecorder, AuditRequest};
+use piprov::prelude::*;
+use piprov::runtime::workload;
+use piprov::store::{ProvenanceStore, SequenceNumber};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("piprov-mvcc-it-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Scale factor: 1 by default, grows with the CI deep-run knob.
+fn scale() -> usize {
+    std::env::var("PIPROV_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|cases| (cases / 256).clamp(1, 8))
+        .unwrap_or(1)
+}
+
+fn item(s: usize, k: usize) -> Value {
+    Value::Channel(Channel::new(format!("item{}_{}", s, k)))
+}
+
+/// Sequence numbers a response mentions, for the ≤-watermark check.
+fn mentioned_sequences(outcome: &AuditOutcome) -> Vec<SequenceNumber> {
+    match outcome {
+        AuditOutcome::Vetted { sequence, .. } => vec![*sequence],
+        AuditOutcome::Trail(trail) => trail.records.iter().map(|r| r.sequence).collect(),
+        AuditOutcome::Touched { records, .. } => records.clone(),
+        _ => Vec::new(),
+    }
+}
+
+#[test]
+fn concurrent_auditors_see_consistent_prefixes_of_a_live_simulation() {
+    let suppliers = 3usize;
+    let relays = 2usize;
+    let items_per_supplier = 4 * scale();
+    let auditors = 4usize;
+
+    let dir = temp_dir("live");
+    let store = ProvenanceStore::open(&dir).unwrap();
+    let engine = Arc::new(AuditEngine::with_config(
+        store,
+        AuditConfig { memo_bound: 512 },
+    ));
+    let supplier_names: Vec<String> = (0..suppliers).map(|i| format!("supplier{}", i)).collect();
+    engine.register_pattern(
+        "from-supplier",
+        Pattern::originated_at(GroupExpr::any_of(supplier_names)),
+    );
+
+    let writer_done = Arc::new(AtomicBool::new(false));
+    let recorded = thread::scope(|scope| {
+        // The writer: a live simulation streaming deliveries into the
+        // engine (one published snapshot per delivered message).
+        let writer = {
+            let engine = Arc::clone(&engine);
+            let writer_done = Arc::clone(&writer_done);
+            scope.spawn(move || {
+                let system = workload::supply_chain(suppliers, relays, items_per_supplier);
+                let mut sim = Simulation::new(
+                    &system,
+                    TrivialPatterns,
+                    SimConfig {
+                        network: NetworkConfig::reliable(),
+                        ..SimConfig::default()
+                    },
+                );
+                let mut recorder = AuditRecorder::new(engine);
+                sim.run_with_sink(10_000_000, &mut recorder).unwrap();
+                let recorded = recorder.finish().unwrap();
+                writer_done.store(true, Ordering::Relaxed);
+                recorded
+            })
+        };
+
+        // The auditors: every response checked against the contract.
+        let checkers: Vec<_> = (0..auditors)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                let writer_done = Arc::clone(&writer_done);
+                scope.spawn(move || {
+                    let mut last_watermark = 0u64;
+                    let mut trails_seen: HashMap<String, Vec<SequenceNumber>> = HashMap::new();
+                    let mut rounds = 0u64;
+                    loop {
+                        let done = writer_done.load(Ordering::Relaxed);
+                        for s in 0..suppliers {
+                            for k in 0..items_per_supplier {
+                                let target = item(s, (k + t) % items_per_supplier);
+                                for request in [
+                                    AuditRequest::AuditTrail {
+                                        value: target.clone(),
+                                    },
+                                    AuditRequest::VetValue {
+                                        value: target.clone(),
+                                        pattern: "from-supplier".into(),
+                                    },
+                                    AuditRequest::WhoTouched {
+                                        principal: Principal::new(format!("relay{}", t % relays)),
+                                    },
+                                    AuditRequest::OriginOf {
+                                        value: target.clone(),
+                                    },
+                                ] {
+                                    let response = engine.handle(&request);
+                                    // Monotone watermarks.
+                                    assert!(
+                                        response.watermark >= last_watermark,
+                                        "watermark went backwards: {} after {}",
+                                        response.watermark,
+                                        last_watermark
+                                    );
+                                    last_watermark = response.watermark;
+                                    // No torn reads: nothing above the
+                                    // watermark is ever visible.
+                                    for sequence in mentioned_sequences(&response.outcome) {
+                                        assert!(
+                                            sequence <= response.watermark,
+                                            "record {} leaked above watermark {}",
+                                            sequence,
+                                            response.watermark
+                                        );
+                                    }
+                                    // Consistent prefixes: the same
+                                    // value's trail only ever grows by a
+                                    // suffix.
+                                    if let (
+                                        AuditRequest::AuditTrail { value },
+                                        AuditOutcome::Trail(trail),
+                                    ) = (&request, &response.outcome)
+                                    {
+                                        let sequences: Vec<SequenceNumber> =
+                                            trail.records.iter().map(|r| r.sequence).collect();
+                                        let earlier = trails_seen
+                                            .entry(value.to_string())
+                                            .or_default();
+                                        assert!(
+                                            sequences.len() >= earlier.len()
+                                                && sequences[..earlier.len()] == earlier[..],
+                                            "trail of {} shrank or rewrote history: {:?} after {:?}",
+                                            value,
+                                            sequences,
+                                            earlier
+                                        );
+                                        *earlier = sequences;
+                                    }
+                                }
+                            }
+                        }
+                        rounds += 1;
+                        if done {
+                            break;
+                        }
+                    }
+                    rounds
+                })
+            })
+            .collect();
+
+        let recorded = writer.join().unwrap();
+        for checker in checkers {
+            assert!(checker.join().unwrap() > 0, "auditors audited");
+        }
+        recorded
+    });
+
+    // Read-your-writes at the facade boundary: everything the recorder
+    // streamed is visible, and the watermark names it.
+    assert_eq!(engine.record_count(), recorded);
+    assert_eq!(engine.watermark(), recorded as u64);
+    assert_eq!(engine.stats().snapshot_lag, 0);
+
+    // A pinned snapshot and the live (now idle) engine agree on every
+    // probe — and stay frozen through further ingest.
+    let pinned = engine.snapshot();
+    for s in 0..suppliers {
+        for k in 0..items_per_supplier {
+            for request in [
+                AuditRequest::AuditTrail { value: item(s, k) },
+                AuditRequest::OriginOf { value: item(s, k) },
+                AuditRequest::VetValue {
+                    value: item(s, k),
+                    pattern: "from-supplier".into(),
+                },
+            ] {
+                let live = engine.handle(&request);
+                let frozen = engine.handle_at(&pinned, &request);
+                assert_eq!(live.outcome, frozen.outcome);
+                assert_eq!(live.watermark, frozen.watermark);
+                assert!(matches!(
+                    frozen.outcome,
+                    AuditOutcome::Trail(_)
+                        | AuditOutcome::Origin { .. }
+                        | AuditOutcome::Vetted { verdict: true, .. }
+                ));
+            }
+        }
+    }
+    engine.sync().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_batch_publishes_before_returning() {
+    let dir = temp_dir("ryw");
+    let engine = AuditEngine::open(&dir).unwrap();
+    let make = |t: u64, v: &str| {
+        piprov::store::ProvenanceRecord::new(
+            t,
+            "a",
+            piprov::store::Operation::Send,
+            "m",
+            Value::Channel(Channel::new(v)),
+            Provenance::single(Event::output(Principal::new("a"), Provenance::empty())),
+        )
+    };
+    let sequences = engine
+        .ingest_batch(vec![make(1, "x"), make(2, "y")])
+        .unwrap();
+    // The publish happened before ingest_batch returned: the very next
+    // query must see both records at (or above) the returned sequences.
+    let top = *sequences.last().unwrap();
+    assert!(engine.watermark() >= top);
+    for v in ["x", "y"] {
+        let response = engine.handle(&AuditRequest::AuditTrail {
+            value: Value::Channel(Channel::new(v)),
+        });
+        assert!(response.watermark >= top);
+        assert!(matches!(response.outcome, AuditOutcome::Trail(_)));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
