@@ -39,6 +39,7 @@
 //! bounded with epoch-based eviction ([`AuditConfig::memo_bound`]), so a
 //! long-lived engine cannot grow without bound.
 
+use crate::metrics::{MetricsRegistry, VetOutcomeKind};
 use crate::request::{AuditOutcome, AuditRequest, AuditResponse, RequestStats};
 use crate::snapshot::{EngineSnapshot, SnapshotCell};
 use piprov_patterns::{CompiledPattern, MemoStats, Pattern};
@@ -48,6 +49,7 @@ use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// Configuration of an [`AuditEngine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,24 +109,43 @@ pub struct EngineStats {
 
 impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Exhaustive destructuring (no `..`): adding a field to
+        // `EngineStats` without rendering it here is a compile error, so
+        // the human-readable surface cannot silently fall behind the
+        // struct (the exposition writer in `crate::metrics` makes the same
+        // guarantee for the Prometheus surface).
+        let EngineStats {
+            requests,
+            ingested,
+            vets_passed,
+            vets_failed,
+            index_hits,
+            memo_hits,
+            ingest_batches,
+            busy_rejections,
+            queue_depth,
+            snapshots_published,
+            snapshot_lag,
+            watermark,
+        } = *self;
         write!(
             f,
             "{} requests ({} vets: {} pass / {} fail), {} ingested in {} batches \
              ({} busy rejections, queue depth {}), {} index hits, {} memo hits, \
              watermark {} ({} snapshots published, lag {})",
-            self.requests,
-            self.vets_passed + self.vets_failed,
-            self.vets_passed,
-            self.vets_failed,
-            self.ingested,
-            self.ingest_batches,
-            self.busy_rejections,
-            self.queue_depth,
-            self.index_hits,
-            self.memo_hits,
-            self.watermark,
-            self.snapshots_published,
-            self.snapshot_lag
+            requests,
+            vets_passed + vets_failed,
+            vets_passed,
+            vets_failed,
+            ingested,
+            ingest_batches,
+            busy_rejections,
+            queue_depth,
+            index_hits,
+            memo_hits,
+            watermark,
+            snapshots_published,
+            snapshot_lag
         )
     }
 }
@@ -143,6 +164,9 @@ pub struct AuditEngine {
     snapshot: SnapshotCell,
     patterns: RwLock<HashMap<String, Arc<CompiledPattern>>>,
     config: AuditConfig,
+    /// Per-policy verdict counters and latency histograms (see
+    /// [`crate::metrics`]).
+    metrics: MetricsRegistry,
     requests: AtomicU64,
     ingested: AtomicU64,
     vets_passed: AtomicU64,
@@ -180,6 +204,7 @@ impl AuditEngine {
             snapshot: SnapshotCell::new(recovered),
             patterns: RwLock::new(HashMap::new()),
             config,
+            metrics: MetricsRegistry::new(),
             requests: AtomicU64::new(0),
             ingested: AtomicU64::new(0),
             vets_passed: AtomicU64::new(0),
@@ -204,10 +229,24 @@ impl AuditEngine {
     /// every nested channel automaton's) is bounded by
     /// [`AuditConfig::memo_bound`].
     pub fn register_pattern(&self, name: impl Into<String>, pattern: Pattern) {
+        let name = name.into();
         let compiled = CompiledPattern::compile(&pattern);
         compiled.set_memo_bound(self.config.memo_bound);
-        self.write_patterns()
-            .insert(name.into(), Arc::new(compiled));
+        // Register with the metrics plane first so a vet racing this
+        // registration always finds the policy's histogram in place; a
+        // replaced pattern keeps its metric timeline.
+        self.metrics.register_policy(&name);
+        self.write_patterns().insert(name, Arc::new(compiled));
+    }
+
+    /// The engine's per-policy metrics registry (see [`crate::metrics`]).
+    ///
+    /// [`AuditEngine::metrics`] is the aggregated snapshot; this is the
+    /// live registry, for callers that want a policy's
+    /// [`crate::metrics::PolicyMetrics`] handle directly (benchmarks,
+    /// tests).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Names of the registered patterns, sorted.
@@ -399,14 +438,22 @@ impl AuditEngine {
         value: &piprov_core::value::Value,
         pattern: &str,
     ) -> AuditResponse {
+        // The whole vet — pattern lookup, posting-list lookup, NFA
+        // simulation — is timed into the policy's latency histogram; the
+        // record itself is a handful of relaxed atomic adds (the
+        // `e15_metrics` bench group keeps that overhead measured).
+        let started = Instant::now();
         let watermark = snapshot.watermark();
         let Some(compiled) = self.read_patterns().get(pattern).cloned() else {
+            // No per-policy row to land in: counted separately.
+            self.metrics.note_unknown_pattern();
             return AuditResponse::new(
                 AuditOutcome::UnknownPattern,
                 RequestStats::default(),
                 watermark,
             );
         };
+        let policy = self.metrics.policy(pattern);
         let postings = snapshot.index().by_value(value);
         let mut stats = RequestStats {
             index_hits: postings.len(),
@@ -414,15 +461,23 @@ impl AuditEngine {
         };
         // The newest record carries the value's current history.
         let Some(record) = postings.last().and_then(|seq| snapshot.get(*seq)) else {
+            if let Some(policy) = &policy {
+                policy.record(elapsed_ns(started), VetOutcomeKind::UnknownValue);
+            }
             return AuditResponse::new(AuditOutcome::UnknownValue, stats, watermark);
         };
         let (verdict, match_stats) = compiled.matches_with_stats(&record.provenance);
         stats.memo_hits = match_stats.memo_hits;
         stats.dag_nodes_visited = match_stats.nodes_visited;
-        if verdict {
+        let outcome = if verdict {
             self.vets_passed.fetch_add(1, Ordering::Relaxed);
+            VetOutcomeKind::Passed
         } else {
             self.vets_failed.fetch_add(1, Ordering::Relaxed);
+            VetOutcomeKind::Failed
+        };
+        if let Some(policy) = &policy {
+            policy.record(elapsed_ns(started), outcome);
         }
         AuditResponse::new(
             AuditOutcome::Vetted {
@@ -555,6 +610,12 @@ impl AuditEngine {
     }
 }
 
+/// Nanoseconds elapsed since `started`, saturated into `u64` (584 years —
+/// anything longer belongs in the overflow bucket anyway).
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,6 +745,76 @@ mod tests {
         );
         assert_eq!(engine.pattern_names(), vec!["any".to_string()]);
         assert!(engine.pattern_memo_stats("nope").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn vet_hot_path_populates_the_policy_histograms() {
+        let dir = temp_dir("metrics");
+        let engine = seeded_engine(&dir);
+        engine.register_pattern("origin-a", Pattern::originated_at(GroupExpr::single("a")));
+        engine.register_pattern(
+            "only-trusted",
+            Pattern::only_touched_by(GroupExpr::any_of(["a", "b"])),
+        );
+        for _ in 0..3 {
+            engine.handle(&AuditRequest::VetValue {
+                value: value("v"),
+                pattern: "origin-a".into(),
+            });
+        }
+        engine.handle(&AuditRequest::VetValue {
+            value: value("v"),
+            pattern: "only-trusted".into(),
+        });
+        engine.handle(&AuditRequest::VetValue {
+            value: value("ghost"),
+            pattern: "origin-a".into(),
+        });
+        engine.handle(&AuditRequest::VetValue {
+            value: value("v"),
+            pattern: "unregistered".into(),
+        });
+        let metrics = engine.metrics();
+        assert_eq!(metrics.vets_unknown_pattern, 1);
+        assert_eq!(metrics.policies.len(), 2);
+        assert_eq!(
+            metrics
+                .policies
+                .iter()
+                .map(|p| p.policy.as_str())
+                .collect::<Vec<_>>(),
+            vec!["only-trusted", "origin-a"],
+            "policies are sorted by name"
+        );
+        let origin_a = &metrics.policies[1];
+        assert_eq!(origin_a.vets_passed, 3);
+        assert_eq!(origin_a.vets_unknown_value, 1);
+        assert_eq!(origin_a.latency.count, 4, "unknown values are timed too");
+        assert!(origin_a.latency.sum_ns > 0);
+        assert_eq!(
+            origin_a.latency.counts.iter().sum::<u64>() + origin_a.latency.overflow,
+            origin_a.latency.count
+        );
+        assert_eq!(
+            origin_a.memo,
+            engine.pattern_memo_stats("origin-a").unwrap()
+        );
+        let only_trusted = &metrics.policies[0];
+        assert_eq!(only_trusted.vets_failed, 1);
+        assert_eq!(only_trusted.latency.count, 1);
+        // The typed snapshot and the engine's counters agree.
+        assert_eq!(metrics.engine, engine.stats());
+        assert_eq!(metrics.store, engine.store_stats());
+        // And the exposition renders it all, validly.
+        let text = metrics.exposition();
+        crate::metrics::validate_exposition(&text).unwrap();
+        assert!(text.contains("piprov_vet_latency_seconds_bucket{policy=\"origin-a\","));
+        assert!(text.contains("piprov_policy_vets_failed_total{policy=\"only-trusted\"} 1"));
+        assert!(text.contains("piprov_vets_unknown_pattern_total 1"));
+        // Re-registering a policy keeps its metric timeline.
+        engine.register_pattern("origin-a", Pattern::originated_at(GroupExpr::single("a")));
+        assert_eq!(engine.metrics().policies[1].vets_passed, 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

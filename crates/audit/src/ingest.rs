@@ -12,13 +12,18 @@
 //!
 //! The queue is what a network front-end (see `piprov-serve`) answers
 //! `IngestBatch` requests with: `Accepted` becomes an `IngestAck` frame,
-//! `Busy` becomes a typed `Busy` frame the client can back off on.
+//! `Busy` becomes a typed `Busy` frame the client can back off on — and
+//! remote `Flush` frames are answered by [`IngestQueue::barrier`], the
+//! bounded wait that (unlike the owner-facing [`IngestQueue::flush`])
+//! never flips the pause hook and never parks a server thread forever.
 
 use crate::engine::AuditEngine;
 use piprov_store::{ProvenanceRecord, StoreError};
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The immediate answer to one batch submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +79,68 @@ impl Shared {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+
+    /// The **only** place the engine's `queue_depth`/`snapshot_lag` gauges
+    /// are written.  Called under the state lock at every transition that
+    /// can move them (submit — accepted *or* rejected — pop, and
+    /// after-apply), so the gauges can never drift from the state they
+    /// describe as call sites multiply.
+    fn publish_gauges(&self, state: &QueueState) {
+        let depth = state.batches.len();
+        self.engine.set_queue_depth(depth);
+        // A popped batch no longer counts against the queue depth but is
+        // still invisible to readers until its snapshot publishes — the
+        // lag an operator watches where `queue_depth` alone would hide it.
+        self.engine
+            .set_snapshot_lag(depth + state.in_flight as usize);
+    }
+}
+
+/// Why [`IngestQueue::barrier`] did not come back clean.
+#[derive(Debug)]
+pub enum BarrierError {
+    /// The queue did not drain within the allowed wait.  The queue itself
+    /// is unharmed — batches keep draining; only this caller gave up.
+    TimedOut {
+        /// Batches still waiting when the barrier gave up.
+        queue_depth: usize,
+        /// Whether the worker was mid-application at that moment.
+        in_flight: bool,
+    },
+    /// The worker (or the final store sync) hit a store error.
+    Store(StoreError),
+}
+
+impl fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BarrierError::TimedOut {
+                queue_depth,
+                in_flight,
+            } => write!(
+                f,
+                "ingest barrier timed out ({} batches queued, worker {})",
+                queue_depth,
+                if *in_flight { "applying" } else { "idle" }
+            ),
+            BarrierError::Store(error) => write!(f, "ingest barrier: {}", error),
+        }
+    }
+}
+
+impl std::error::Error for BarrierError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BarrierError::TimedOut { .. } => None,
+            BarrierError::Store(error) => Some(error),
+        }
+    }
+}
+
+impl From<StoreError> for BarrierError {
+    fn from(error: StoreError) -> Self {
+        BarrierError::Store(error)
     }
 }
 
@@ -150,16 +217,16 @@ impl IngestQueue {
             return SubmitOutcome::Accepted { queue_depth: depth };
         }
         if state.closed || depth >= self.shared.capacity {
+            // Refresh the gauges on rejection too: a Busy flood must leave
+            // them describing the real queue, not the last acceptance.
+            self.shared.publish_gauges(&state);
             drop(state);
             self.shared.engine.note_busy_rejection();
             return SubmitOutcome::Busy { queue_depth: depth };
         }
         state.batches.push_back(batch);
         let queue_depth = state.batches.len();
-        self.shared.engine.set_queue_depth(queue_depth);
-        self.shared
-            .engine
-            .set_snapshot_lag(queue_depth + state.in_flight as usize);
+        self.shared.publish_gauges(&state);
         drop(state);
         self.shared.work.notify_one();
         SubmitOutcome::Accepted { queue_depth }
@@ -178,7 +245,10 @@ impl IngestQueue {
     /// the call is both queryable and durable after it.
     ///
     /// Unpauses the worker first (a paused queue would otherwise never
-    /// drain).
+    /// drain) and waits without bound — this is the owner/test path; a
+    /// network front-end answering remote `Flush` frames must use
+    /// [`IngestQueue::barrier`] instead, which touches neither the pause
+    /// hook nor a thread's patience.
     ///
     /// # Errors
     ///
@@ -199,6 +269,52 @@ impl IngestQueue {
         }
         drop(state);
         self.shared.engine.sync()
+    }
+
+    /// Waits — at most `timeout` — for every queued batch to be applied
+    /// and the worker to go idle, then syncs the engine's store: the
+    /// wire-facing flush barrier.
+    ///
+    /// Unlike [`IngestQueue::flush`], this is safe to expose to untrusted
+    /// remote callers:
+    ///
+    /// * it **never touches the pause hook** — a queue deliberately paused
+    ///   by its owner (a deterministic test, an operator) stays paused; the
+    ///   barrier simply times out if the queue cannot drain;
+    /// * the wait is **bounded** — a slow or hostile flusher parks the
+    ///   calling thread for at most `timeout`, not forever.
+    ///
+    /// # Errors
+    ///
+    /// [`BarrierError::TimedOut`] if the queue did not drain in time (the
+    /// queue keeps draining; only this wait gave up), or
+    /// [`BarrierError::Store`] surfacing the first error the worker hit
+    /// since the last flush/barrier, or a sync failure.
+    pub fn barrier(&self, timeout: Duration) -> Result<(), BarrierError> {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut state = self.shared.lock();
+        while !state.batches.is_empty() || state.in_flight {
+            let remaining = deadline
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::MAX);
+            if remaining.is_zero() {
+                return Err(BarrierError::TimedOut {
+                    queue_depth: state.batches.len(),
+                    in_flight: state.in_flight,
+                });
+            }
+            let (guard, _) = match self.shared.idle.wait_timeout(state, remaining) {
+                Ok(result) => result,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            state = guard;
+        }
+        if let Some(error) = state.error.take() {
+            return Err(BarrierError::Store(error));
+        }
+        drop(state);
+        self.shared.engine.sync()?;
+        Ok(())
     }
 
     /// Drains the queue, stops the worker and surfaces any deferred error.
@@ -241,11 +357,7 @@ fn drain_loop(shared: &Shared) {
                 if !state.paused || state.closed {
                     if let Some(batch) = state.batches.pop_front() {
                         state.in_flight = true;
-                        shared.engine.set_queue_depth(state.batches.len());
-                        // The popped batch no longer counts against the
-                        // queue depth but is still invisible to readers
-                        // until its snapshot publishes.
-                        shared.engine.set_snapshot_lag(state.batches.len() + 1);
+                        shared.publish_gauges(&state);
                         break Some(batch);
                     }
                 }
@@ -265,7 +377,7 @@ fn drain_loop(shared: &Shared) {
         let result = shared.engine.ingest_batch(batch);
         let mut state = shared.lock();
         state.in_flight = false;
-        shared.engine.set_snapshot_lag(state.batches.len());
+        shared.publish_gauges(&state);
         if let (Err(error), None) = (result, state.error.as_ref()) {
             state.error = Some(error);
         }
@@ -385,6 +497,80 @@ mod tests {
             // Dropped without an explicit flush.
         }
         assert_eq!(engine.record_count(), 5, "drop drains, not discards");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn barrier_never_unpauses_and_times_out_bounded() {
+        let dir = temp_dir("barrier");
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        let queue = IngestQueue::start(Arc::clone(&engine), 4);
+        queue.set_paused(true);
+        assert!(queue.try_submit(batch(0, 3)).is_accepted());
+        // The barrier must not flip the pause hook: the queue cannot
+        // drain, so the bounded wait times out with the typed error...
+        let started = Instant::now();
+        let error = queue.barrier(Duration::from_millis(50)).unwrap_err();
+        assert!(
+            matches!(
+                error,
+                BarrierError::TimedOut {
+                    queue_depth: 1,
+                    in_flight: false
+                }
+            ),
+            "{:?}",
+            error
+        );
+        assert!(error.to_string().contains("timed out"));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the wait is bounded"
+        );
+        // ...and the queue is still paused: nothing was applied.
+        assert_eq!(engine.stats().ingested, 0, "barrier left the pause alone");
+        assert_eq!(queue.queue_depth(), 1);
+        // Once the owner resumes, the same barrier succeeds.
+        queue.set_paused(false);
+        queue.barrier(Duration::from_secs(30)).unwrap();
+        assert_eq!(engine.stats().ingested, 3);
+        // An idle queue's barrier returns immediately even while paused.
+        queue.set_paused(true);
+        queue.barrier(Duration::from_millis(1)).unwrap();
+        queue.set_paused(false);
+        queue.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gauges_match_queue_state_at_quiescence_and_after_a_busy_flood() {
+        let dir = temp_dir("gauges");
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        let queue = IngestQueue::start(Arc::clone(&engine), 2);
+        // Pause, fill to capacity, then flood: the Busy path must refresh
+        // the gauges too, so they describe the real queue afterwards.
+        queue.set_paused(true);
+        assert!(queue.try_submit(batch(0, 2)).is_accepted());
+        assert!(queue.try_submit(batch(10, 2)).is_accepted());
+        for i in 0..20u64 {
+            assert!(!queue.try_submit(batch(100 + i * 10, 1)).is_accepted());
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queue_depth as usize, queue.queue_depth());
+        assert_eq!(stats.queue_depth, 2);
+        assert_eq!(
+            stats.snapshot_lag, 2,
+            "paused worker: lag is exactly the queued batches"
+        );
+        assert_eq!(stats.busy_rejections, 20);
+        // Drain to quiescence: both gauges return to zero and agree with
+        // the queue's own accounting.
+        queue.flush().unwrap();
+        let stats = engine.stats();
+        assert_eq!(queue.queue_depth(), 0);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.snapshot_lag, 0);
+        queue.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -26,7 +26,13 @@
 //!   delivered messages into the engine while auditors query it;
 //! * [`ingest`] — the bounded [`IngestQueue`]: batched ingest with typed
 //!   back-pressure (`Busy` instead of unbounded buffering), each batch
-//!   applied under one write-lock acquisition.
+//!   applied under one write-lock acquisition;
+//! * [`metrics`] — the observability plane: a [`MetricsRegistry`] of
+//!   per-policy verdict counters and lock-free latency histograms recorded
+//!   on the vet hot path, the aggregated [`MetricsSnapshot`] over every
+//!   stats surface the workspace keeps, and a Prometheus-style text
+//!   exposition with a validating parser
+//!   ([`metrics::validate_exposition`]).
 //!
 //! Every query is answered through the store's secondary indexes — never
 //! by a full scan — and every vet goes through the NFA engine's
@@ -66,12 +72,17 @@
 
 pub mod engine;
 pub mod ingest;
+pub mod metrics;
 pub mod recorder;
 pub mod request;
 pub mod snapshot;
 
 pub use engine::{AuditConfig, AuditEngine, EngineStats};
-pub use ingest::{IngestQueue, SubmitOutcome};
+pub use ingest::{BarrierError, IngestQueue, SubmitOutcome};
+pub use metrics::{
+    render_exposition, validate_exposition, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    PolicyMetrics, PolicySnapshot, VetOutcomeKind, LATENCY_BUCKET_BOUNDS_NS,
+};
 pub use recorder::AuditRecorder;
 pub use request::{AuditOutcome, AuditRequest, AuditResponse, RequestStats};
 pub use snapshot::EngineSnapshot;

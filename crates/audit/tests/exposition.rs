@@ -1,0 +1,303 @@
+//! Drift guard for the Prometheus exposition: every stats field the
+//! engine exports must surface in the rendered text, in the
+//! `EngineStats` `Display`, and stay renderable/lintable as the structs
+//! grow.
+//!
+//! The guard is two-layered:
+//!
+//! * **compile-time** — this test (like the renderer, the `Display`
+//!   impl, and the wire codec) destructures every stats struct
+//!   *exhaustively*, with no `..` rest pattern: adding a field to any of
+//!   them breaks the build here until the exposition is taught about it;
+//! * **run-time** — each field carries a unique sentinel value and the
+//!   test asserts that sentinel appears as a sample value (or label) in
+//!   the rendered text, so a field that compiles but is silently dropped
+//!   from the output still fails.
+
+use piprov_audit::{
+    render_exposition, validate_exposition, EngineStats, HistogramSnapshot, MetricsSnapshot,
+    PolicySnapshot, LATENCY_BUCKET_BOUNDS_NS,
+};
+use piprov_core::provenance::{InternerStats, ShardStats};
+use piprov_patterns::MemoStats;
+use piprov_store::StoreStats;
+
+/// Hands out unique, recognisable sentinel values: no two fields share
+/// one, so a transposed pair of fields fails the run-time check too.
+struct Sentinels(u64);
+
+impl Sentinels {
+    fn next(&mut self) -> u64 {
+        self.0 += 1;
+        self.0
+    }
+    fn next_usize(&mut self) -> usize {
+        self.next() as usize
+    }
+}
+
+fn sentinel_snapshot() -> (MetricsSnapshot, Vec<u64>) {
+    let mut s = Sentinels(9_000_000);
+    let mut plain = Vec::new();
+    let mut take = |s: &mut Sentinels| {
+        let v = s.next();
+        plain.push(v);
+        v
+    };
+
+    let engine = EngineStats {
+        requests: take(&mut s),
+        ingested: take(&mut s),
+        vets_passed: take(&mut s),
+        vets_failed: take(&mut s),
+        index_hits: take(&mut s),
+        memo_hits: take(&mut s),
+        ingest_batches: take(&mut s),
+        busy_rejections: take(&mut s),
+        queue_depth: take(&mut s),
+        snapshots_published: take(&mut s),
+        snapshot_lag: take(&mut s),
+        watermark: take(&mut s),
+    };
+    let store = StoreStats {
+        records: take(&mut s) as usize,
+        segments: take(&mut s) as usize,
+        bytes: take(&mut s) as usize,
+    };
+    let interner = InternerStats {
+        interned_nodes: take(&mut s) as usize,
+        hits: take(&mut s),
+        misses: take(&mut s),
+        shards: take(&mut s) as usize,
+    };
+    // The shard index surfaces as a label, not a sample — tracked apart.
+    let shard = ShardStats {
+        shard: s.next_usize(),
+        entries: take(&mut s) as usize,
+        hits: take(&mut s),
+        misses: take(&mut s),
+    };
+    let memo = MemoStats {
+        entries: take(&mut s) as usize,
+        bound: take(&mut s) as usize,
+        epochs: take(&mut s),
+        hits: take(&mut s),
+        misses: take(&mut s),
+        retained: take(&mut s),
+    };
+    let vets_unknown_pattern = take(&mut s);
+    // Histogram fields surface transformed (cumulative buckets, seconds
+    // sum), so they are asserted structurally, not by raw sentinel.
+    let latency = HistogramSnapshot {
+        counts: (1..=LATENCY_BUCKET_BOUNDS_NS.len() as u64).collect(),
+        overflow: 3,
+        sum_ns: 1_234_567_890,
+        count: (1..=LATENCY_BUCKET_BOUNDS_NS.len() as u64).sum::<u64>() + 3,
+    };
+    let policy = PolicySnapshot {
+        policy: "sentinel-policy".into(),
+        memo,
+        vets_passed: take(&mut s),
+        vets_failed: take(&mut s),
+        vets_unknown_value: take(&mut s),
+        latency,
+    };
+    let snapshot = MetricsSnapshot {
+        engine,
+        store,
+        interner,
+        interner_shards: vec![shard],
+        vets_unknown_pattern,
+        policies: vec![policy],
+    };
+    (snapshot, plain)
+}
+
+#[test]
+fn every_stats_field_surfaces_in_the_exposition() {
+    let (snapshot, sentinels) = sentinel_snapshot();
+    let text = render_exposition(&snapshot);
+    validate_exposition(&text).expect("sentinel exposition lints clean");
+
+    for sentinel in &sentinels {
+        assert!(
+            text.contains(&format!(" {}\n", sentinel)),
+            "sentinel {} (a stats field) is missing from the exposition:\n{}",
+            sentinel,
+            text
+        );
+    }
+    // No two plain fields shared a sentinel, so N fields ⇒ N values.
+    assert_eq!(
+        sentinels.len(),
+        12 + 3 + 4 + 3 + 6 + 1 + 3,
+        "engine + store + interner + shard(values) + memo + unknown-pattern + policy verdicts"
+    );
+    // The shard index rides as a label.
+    assert!(text.contains("piprov_interner_shard_entries{shard=\"9000020\"}"));
+
+    // Histogram: one bucket line per bound plus +Inf, cumulative counts,
+    // an exact-decimal seconds sum, and a matching count.
+    let policy = &snapshot.policies[0];
+    let bucket_lines = text
+        .lines()
+        .filter(|l| l.starts_with("piprov_vet_latency_seconds_bucket{"))
+        .count();
+    assert_eq!(bucket_lines, LATENCY_BUCKET_BOUNDS_NS.len() + 1);
+    assert!(text.contains(&format!(
+        "piprov_vet_latency_seconds_bucket{{policy=\"sentinel-policy\",le=\"+Inf\"}} {}\n",
+        policy.latency.count
+    )));
+    assert!(
+        text.contains("piprov_vet_latency_seconds_sum{policy=\"sentinel-policy\"} 1.23456789\n")
+    );
+    assert!(text.contains(&format!(
+        "piprov_vet_latency_seconds_count{{policy=\"sentinel-policy\"}} {}\n",
+        policy.latency.count
+    )));
+}
+
+#[test]
+fn engine_stats_display_names_every_field() {
+    let (snapshot, _) = sentinel_snapshot();
+    // Exhaustive destructure: a new EngineStats field breaks this test at
+    // compile time until Display (checked below) and the exposition
+    // (checked above) learn about it.
+    let EngineStats {
+        requests,
+        ingested,
+        vets_passed,
+        vets_failed,
+        index_hits,
+        memo_hits,
+        ingest_batches,
+        busy_rejections,
+        queue_depth,
+        snapshots_published,
+        snapshot_lag,
+        watermark,
+    } = snapshot.engine;
+    let rendered = snapshot.engine.to_string();
+    for (name, value) in [
+        ("requests", requests),
+        ("ingested", ingested),
+        ("vets_passed", vets_passed),
+        ("vets_failed", vets_failed),
+        ("index_hits", index_hits),
+        ("memo_hits", memo_hits),
+        ("ingest_batches", ingest_batches),
+        ("busy_rejections", busy_rejections),
+        ("queue_depth", queue_depth),
+        ("snapshots_published", snapshots_published),
+        ("snapshot_lag", snapshot_lag),
+        ("watermark", watermark),
+    ] {
+        assert!(
+            rendered.contains(&value.to_string()),
+            "EngineStats Display dropped {} ({}): {}",
+            name,
+            value,
+            rendered
+        );
+    }
+}
+
+#[test]
+fn the_exposition_golden_shape_is_stable() {
+    // Not a byte-for-byte golden (that would churn on every new metric);
+    // instead the *contract* pieces scrapers depend on are pinned: every
+    // family announced before sampled, `# TYPE` kinds, stable names.
+    let (snapshot, _) = sentinel_snapshot();
+    let text = render_exposition(&snapshot);
+    for family in [
+        "piprov_requests_total",
+        "piprov_ingested_total",
+        "piprov_vets_passed_total",
+        "piprov_vets_failed_total",
+        "piprov_vets_unknown_pattern_total",
+        "piprov_index_hits_total",
+        "piprov_memo_hits_total",
+        "piprov_ingest_batches_total",
+        "piprov_busy_rejections_total",
+        "piprov_queue_depth",
+        "piprov_snapshots_published_total",
+        "piprov_snapshot_lag",
+        "piprov_watermark",
+        "piprov_store_records",
+        "piprov_store_segments",
+        "piprov_store_bytes",
+        "piprov_interner_nodes",
+        "piprov_interner_hits_total",
+        "piprov_interner_misses_total",
+        "piprov_interner_shards",
+        "piprov_interner_shard_entries",
+        "piprov_interner_shard_hits_total",
+        "piprov_interner_shard_misses_total",
+        "piprov_policy_vets_passed_total",
+        "piprov_policy_vets_failed_total",
+        "piprov_policy_vets_unknown_value_total",
+        "piprov_policy_memo_entries",
+        "piprov_policy_memo_bound",
+        "piprov_policy_memo_epochs_total",
+        "piprov_policy_memo_hits_total",
+        "piprov_policy_memo_misses_total",
+        "piprov_policy_memo_retained_total",
+        "piprov_vet_latency_seconds",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {} ", family)),
+            "family {} lost its TYPE line",
+            family
+        );
+        let type_at = text
+            .find(&format!("# TYPE {} ", family))
+            .expect("asserted above");
+        let sample_at = text
+            .find(&format!("\n{}", family))
+            .unwrap_or_else(|| panic!("family {} has no sample", family));
+        assert!(
+            type_at < sample_at,
+            "family {} sampled before announced",
+            family
+        );
+    }
+    // Counters end in _total; gauges and histograms don't lie about it.
+    for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+        let mut parts = line.split_whitespace().skip(2);
+        let (name, kind) = (parts.next().unwrap(), parts.next().unwrap());
+        match kind {
+            "counter" => assert!(
+                name.ends_with("_total"),
+                "counter {} should end in _total",
+                name
+            ),
+            "gauge" => assert!(!name.ends_with("_total"), "gauge {} ends in _total", name),
+            "histogram" => assert_eq!(name, "piprov_vet_latency_seconds"),
+            other => panic!("unexpected metric kind {} for {}", other, name),
+        }
+    }
+}
+
+#[test]
+fn an_empty_registry_renders_a_lintable_exposition() {
+    let snapshot = MetricsSnapshot {
+        engine: EngineStats::default(),
+        store: StoreStats::default(),
+        interner: InternerStats {
+            interned_nodes: 0,
+            hits: 0,
+            misses: 0,
+            shards: 0,
+        },
+        interner_shards: Vec::new(),
+        vets_unknown_pattern: 0,
+        policies: Vec::new(),
+    };
+    let text = render_exposition(&snapshot);
+    validate_exposition(&text).expect("empty exposition lints clean");
+    assert!(text.contains("piprov_requests_total 0\n"));
+    assert!(
+        !text.contains("piprov_policy_vets_passed_total{"),
+        "no policies ⇒ no per-policy samples"
+    );
+}

@@ -21,7 +21,7 @@ use crate::codec::{
     decode_response, encode_ingest_batch, encode_request, WireRequest, WireResponse,
 };
 use crate::wire::{read_frame, write_frame, WireError, WireLimits};
-use piprov_audit::{AuditRequest, AuditResponse, EngineStats};
+use piprov_audit::{AuditRequest, AuditResponse, EngineStats, MetricsSnapshot};
 use piprov_store::ProvenanceRecord;
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
@@ -124,6 +124,21 @@ pub struct FlushAck {
     /// this sequence number: any later query's response watermark is `>=`
     /// it, which is the wire protocol's read-your-writes guarantee.
     pub watermark: u64,
+}
+
+/// The server's metrics plane, as [`AuditClient::metrics`] returns it:
+/// the typed snapshot plus its Prometheus-style text rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Every counter surface of the server's engine, typed (see
+    /// [`piprov_audit::MetricsSnapshot`]).
+    pub snapshot: MetricsSnapshot,
+    /// The snapshot rendered in the Prometheus text exposition format —
+    /// rendered client-side from the decoded snapshot, which is
+    /// byte-identical to what the server would render
+    /// ([`MetricsSnapshot::exposition`] is deterministic), so the wire
+    /// carries the compact typed form only.
+    pub exposition: String,
 }
 
 /// The server's typed answer to one ingest batch.
@@ -400,6 +415,28 @@ impl AuditClient {
     pub fn stats(&mut self) -> Result<EngineStats, ClientError> {
         match self.round_trip(&WireRequest::Stats)? {
             WireResponse::Stats(stats) => Ok(stats),
+            WireResponse::ServerError { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
+        }
+    }
+
+    /// The server's full metrics plane: engine/store/interner counters
+    /// plus every registered policy's verdict counters and vet-latency
+    /// histogram, both as the typed [`MetricsSnapshot`] and as Prometheus
+    /// exposition text ready to hand to a scrape endpoint.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditClient::request`].
+    pub fn metrics(&mut self) -> Result<MetricsReport, ClientError> {
+        match self.round_trip(&WireRequest::Metrics)? {
+            WireResponse::Metrics(snapshot) => {
+                let exposition = snapshot.exposition();
+                Ok(MetricsReport {
+                    snapshot,
+                    exposition,
+                })
+            }
             WireResponse::ServerError { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
         }

@@ -17,10 +17,15 @@
 
 use crate::wire::{WireError, WireLimits, WIRE_VERSION};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use piprov_audit::{AuditOutcome, AuditRequest, AuditResponse, EngineStats, RequestStats};
+use piprov_audit::{
+    AuditOutcome, AuditRequest, AuditResponse, EngineStats, HistogramSnapshot, MetricsSnapshot,
+    PolicySnapshot, RequestStats,
+};
 use piprov_core::name::{Channel, Principal};
+use piprov_core::provenance::{InternerStats, ShardStats};
+use piprov_patterns::MemoStats;
 use piprov_store::codec::{decode_body, encode_body, get_str, get_value, put_str, put_value};
-use piprov_store::{AuditTrail, ProvenanceRecord};
+use piprov_store::{AuditTrail, ProvenanceRecord, StoreStats};
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,9 +36,16 @@ pub enum WireRequest {
     IngestBatch(Vec<ProvenanceRecord>),
     /// Barrier: drain the ingest queue and sync the store, so everything
     /// submitted before this request is queryable and durable after it.
+    /// The server's wait is bounded ([`crate::ServeConfig::flush_timeout`])
+    /// and never touches the queue's pause hook; a timeout answers
+    /// [`WireResponse::ServerError`].
     Flush,
     /// Snapshot of the engine's lifetime counters.
     Stats,
+    /// The full metrics plane: engine/store/interner counters plus every
+    /// registered policy's verdict counters and latency histogram (see
+    /// [`piprov_audit::MetricsSnapshot`]).
+    Metrics,
 }
 
 /// A server-to-client message.
@@ -66,6 +78,11 @@ pub enum WireResponse {
     },
     /// Answer to [`WireRequest::Stats`].
     Stats(EngineStats),
+    /// Answer to [`WireRequest::Metrics`]: the typed snapshot; the client
+    /// renders the Prometheus exposition locally from it
+    /// ([`piprov_audit::MetricsSnapshot::exposition`] is deterministic, so
+    /// client and server render identical text).
+    Metrics(MetricsSnapshot),
     /// The server failed to serve an otherwise well-formed request (store
     /// error on flush, for example), or reports why it is closing the
     /// connection.
@@ -79,6 +96,10 @@ const REQ_AUDIT: u8 = 1;
 const REQ_INGEST: u8 = 2;
 const REQ_FLUSH: u8 = 3;
 const REQ_STATS: u8 = 4;
+// Added after version 2 shipped; an *additive* tag, so the version byte
+// stays at 2 — old peers answer it with a typed "unknown tag" error, new
+// peers interoperate with old ones on every other message.
+const REQ_METRICS: u8 = 5;
 
 const AUDIT_VET: u8 = 1;
 const AUDIT_TRAIL: u8 = 2;
@@ -91,6 +112,7 @@ const RESP_BUSY: u8 = 3;
 const RESP_FLUSHED: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_METRICS: u8 = 7;
 
 const OUTCOME_VETTED: u8 = 1;
 const OUTCOME_TRAIL: u8 = 2;
@@ -239,6 +261,7 @@ pub fn encode_request(request: &WireRequest) -> Bytes {
         }
         WireRequest::Flush => finish_message(REQ_FLUSH, |_| {}),
         WireRequest::Stats => finish_message(REQ_STATS, |_| {}),
+        WireRequest::Metrics => finish_message(REQ_METRICS, |_| {}),
     }
 }
 
@@ -274,6 +297,7 @@ pub fn decode_request(mut buf: Bytes, limits: &WireLimits) -> Result<WireRequest
         REQ_INGEST => WireRequest::IngestBatch(get_records(&mut buf, limits, "ingest batch")?),
         REQ_FLUSH => WireRequest::Flush,
         REQ_STATS => WireRequest::Stats,
+        REQ_METRICS => WireRequest::Metrics,
         other => return Err(malformed(format!("unknown request tag {}", other))),
     };
     if buf.has_remaining() {
@@ -298,19 +322,36 @@ fn get_request_stats(buf: &mut Bytes) -> Result<RequestStats, WireError> {
 }
 
 fn put_engine_stats(buf: &mut BytesMut, stats: &EngineStats) {
+    // Exhaustive destructuring (no `..`): adding a field to `EngineStats`
+    // without threading it through the wire is a compile error here —
+    // this codec already forgot `snapshots_published`/`snapshot_lag` once.
+    let EngineStats {
+        requests,
+        ingested,
+        vets_passed,
+        vets_failed,
+        index_hits,
+        memo_hits,
+        ingest_batches,
+        busy_rejections,
+        queue_depth,
+        snapshots_published,
+        snapshot_lag,
+        watermark,
+    } = *stats;
     for field in [
-        stats.requests,
-        stats.ingested,
-        stats.vets_passed,
-        stats.vets_failed,
-        stats.index_hits,
-        stats.memo_hits,
-        stats.ingest_batches,
-        stats.busy_rejections,
-        stats.queue_depth,
-        stats.snapshots_published,
-        stats.snapshot_lag,
-        stats.watermark,
+        requests,
+        ingested,
+        vets_passed,
+        vets_failed,
+        index_hits,
+        memo_hits,
+        ingest_batches,
+        busy_rejections,
+        queue_depth,
+        snapshots_published,
+        snapshot_lag,
+        watermark,
     ] {
         buf.put_u64(field);
     }
@@ -331,6 +372,220 @@ fn get_engine_stats(buf: &mut Bytes) -> Result<EngineStats, WireError> {
         snapshots_published: buf.get_u64(),
         snapshot_lag: buf.get_u64(),
         watermark: buf.get_u64(),
+    })
+}
+
+fn put_store_stats(buf: &mut BytesMut, stats: &StoreStats) {
+    let StoreStats {
+        records,
+        segments,
+        bytes,
+    } = *stats;
+    buf.put_u64(records as u64);
+    buf.put_u64(segments as u64);
+    buf.put_u64(bytes as u64);
+}
+
+fn get_store_stats(buf: &mut Bytes) -> Result<StoreStats, WireError> {
+    need(buf, 24, "store stats")?;
+    Ok(StoreStats {
+        records: buf.get_u64() as usize,
+        segments: buf.get_u64() as usize,
+        bytes: buf.get_u64() as usize,
+    })
+}
+
+fn put_interner_stats(buf: &mut BytesMut, stats: &InternerStats) {
+    let InternerStats {
+        interned_nodes,
+        hits,
+        misses,
+        shards,
+    } = *stats;
+    buf.put_u64(interned_nodes as u64);
+    buf.put_u64(hits);
+    buf.put_u64(misses);
+    buf.put_u64(shards as u64);
+}
+
+fn get_interner_stats(buf: &mut Bytes) -> Result<InternerStats, WireError> {
+    need(buf, 32, "interner stats")?;
+    Ok(InternerStats {
+        interned_nodes: buf.get_u64() as usize,
+        hits: buf.get_u64(),
+        misses: buf.get_u64(),
+        shards: buf.get_u64() as usize,
+    })
+}
+
+fn put_shard_stats(buf: &mut BytesMut, stats: &ShardStats) {
+    let ShardStats {
+        shard,
+        entries,
+        hits,
+        misses,
+    } = *stats;
+    buf.put_u64(shard as u64);
+    buf.put_u64(entries as u64);
+    buf.put_u64(hits);
+    buf.put_u64(misses);
+}
+
+fn get_shard_stats(buf: &mut Bytes) -> Result<ShardStats, WireError> {
+    need(buf, 32, "shard stats")?;
+    Ok(ShardStats {
+        shard: buf.get_u64() as usize,
+        entries: buf.get_u64() as usize,
+        hits: buf.get_u64(),
+        misses: buf.get_u64(),
+    })
+}
+
+fn put_memo_stats(buf: &mut BytesMut, stats: &MemoStats) {
+    let MemoStats {
+        entries,
+        bound,
+        epochs,
+        hits,
+        misses,
+        retained,
+    } = *stats;
+    buf.put_u64(entries as u64);
+    buf.put_u64(bound as u64);
+    buf.put_u64(epochs);
+    buf.put_u64(hits);
+    buf.put_u64(misses);
+    buf.put_u64(retained);
+}
+
+fn get_memo_stats(buf: &mut Bytes) -> Result<MemoStats, WireError> {
+    need(buf, 48, "memo stats")?;
+    Ok(MemoStats {
+        entries: buf.get_u64() as usize,
+        bound: buf.get_u64() as usize,
+        epochs: buf.get_u64(),
+        hits: buf.get_u64(),
+        misses: buf.get_u64(),
+        retained: buf.get_u64(),
+    })
+}
+
+fn put_histogram(buf: &mut BytesMut, histogram: &HistogramSnapshot) {
+    let HistogramSnapshot {
+        counts,
+        overflow,
+        sum_ns,
+        count,
+    } = histogram;
+    buf.put_u32(counts.len() as u32);
+    for bucket in counts {
+        buf.put_u64(*bucket);
+    }
+    buf.put_u64(*overflow);
+    buf.put_u64(*sum_ns);
+    buf.put_u64(*count);
+}
+
+fn get_histogram(buf: &mut Bytes) -> Result<HistogramSnapshot, WireError> {
+    need(buf, 4, "histogram bucket count")?;
+    let count = buf.get_u32() as usize;
+    // A bucket costs 8 bytes: the pre-allocation is capped by the bytes
+    // actually remaining, like every count read off the wire.
+    let mut counts = Vec::with_capacity(count.min(buf.remaining() / 8 + 1));
+    for _ in 0..count {
+        need(buf, 8, "histogram bucket")?;
+        counts.push(buf.get_u64());
+    }
+    need(buf, 24, "histogram tail")?;
+    Ok(HistogramSnapshot {
+        counts,
+        overflow: buf.get_u64(),
+        sum_ns: buf.get_u64(),
+        count: buf.get_u64(),
+    })
+}
+
+fn put_policy_snapshot(buf: &mut BytesMut, policy: &PolicySnapshot) {
+    let PolicySnapshot {
+        policy: name,
+        memo,
+        vets_passed,
+        vets_failed,
+        vets_unknown_value,
+        latency,
+    } = policy;
+    put_str(buf, name);
+    put_memo_stats(buf, memo);
+    buf.put_u64(*vets_passed);
+    buf.put_u64(*vets_failed);
+    buf.put_u64(*vets_unknown_value);
+    put_histogram(buf, latency);
+}
+
+fn get_policy_snapshot(buf: &mut Bytes) -> Result<PolicySnapshot, WireError> {
+    let name = wire_str(buf)?;
+    let memo = get_memo_stats(buf)?;
+    need(buf, 24, "policy verdict counters")?;
+    Ok(PolicySnapshot {
+        policy: name,
+        memo,
+        vets_passed: buf.get_u64(),
+        vets_failed: buf.get_u64(),
+        vets_unknown_value: buf.get_u64(),
+        latency: get_histogram(buf)?,
+    })
+}
+
+fn put_metrics_snapshot(buf: &mut BytesMut, metrics: &MetricsSnapshot) {
+    let MetricsSnapshot {
+        engine,
+        store,
+        interner,
+        interner_shards,
+        vets_unknown_pattern,
+        policies,
+    } = metrics;
+    put_engine_stats(buf, engine);
+    put_store_stats(buf, store);
+    put_interner_stats(buf, interner);
+    buf.put_u32(interner_shards.len() as u32);
+    for shard in interner_shards {
+        put_shard_stats(buf, shard);
+    }
+    buf.put_u64(*vets_unknown_pattern);
+    buf.put_u32(policies.len() as u32);
+    for policy in policies {
+        put_policy_snapshot(buf, policy);
+    }
+}
+
+fn get_metrics_snapshot(buf: &mut Bytes) -> Result<MetricsSnapshot, WireError> {
+    let engine = get_engine_stats(buf)?;
+    let store = get_store_stats(buf)?;
+    let interner = get_interner_stats(buf)?;
+    need(buf, 4, "shard count")?;
+    let count = buf.get_u32() as usize;
+    // A shard costs 32 bytes on the wire.
+    let mut interner_shards = Vec::with_capacity(count.min(buf.remaining() / 32 + 1));
+    for _ in 0..count {
+        interner_shards.push(get_shard_stats(buf)?);
+    }
+    need(buf, 8, "unknown-pattern counter")?;
+    let vets_unknown_pattern = buf.get_u64();
+    need(buf, 4, "policy count")?;
+    let count = buf.get_u32() as usize;
+    // A policy costs at least its 2 name-length bytes + 48 memo bytes.
+    let mut policies = Vec::with_capacity(count.min(buf.remaining() / 50 + 1));
+    for _ in 0..count {
+        policies.push(get_policy_snapshot(buf)?);
+    }
+    Ok(MetricsSnapshot {
+        engine,
+        store,
+        interner,
+        interner_shards,
+        vets_unknown_pattern,
+        policies,
     })
 }
 
@@ -412,6 +667,9 @@ pub fn encode_response(response: &WireResponse) -> Bytes {
         }),
         WireResponse::Stats(stats) => finish_message(RESP_STATS, |buf| {
             put_engine_stats(buf, stats);
+        }),
+        WireResponse::Metrics(metrics) => finish_message(RESP_METRICS, |buf| {
+            put_metrics_snapshot(buf, metrics);
         }),
         WireResponse::ServerError { message } => finish_message(RESP_ERROR, |buf| {
             put_str(buf, message);
@@ -517,6 +775,7 @@ pub fn decode_response(mut buf: Bytes, limits: &WireLimits) -> Result<WireRespon
             }
         }
         RESP_STATS => WireResponse::Stats(get_engine_stats(&mut buf)?),
+        RESP_METRICS => WireResponse::Metrics(get_metrics_snapshot(&mut buf)?),
         RESP_ERROR => WireResponse::ServerError {
             message: wire_str(&mut buf)?,
         },
@@ -569,10 +828,125 @@ mod tests {
             WireRequest::IngestBatch(Vec::new()),
             WireRequest::Flush,
             WireRequest::Stats,
+            WireRequest::Metrics,
         ];
         for request in requests {
             let decoded = decode_request(encode_request(&request), &limits).unwrap();
             assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn metrics_snapshots_round_trip() {
+        let limits = WireLimits::default();
+        let metrics = MetricsSnapshot {
+            engine: EngineStats {
+                requests: 7,
+                ingested: 100,
+                vets_passed: 5,
+                vets_failed: 2,
+                index_hits: 40,
+                memo_hits: 3,
+                ingest_batches: 9,
+                busy_rejections: 1,
+                queue_depth: 2,
+                snapshots_published: 9,
+                snapshot_lag: 3,
+                watermark: 100,
+            },
+            store: StoreStats {
+                records: 100,
+                segments: 2,
+                bytes: 12_345,
+            },
+            interner: InternerStats {
+                interned_nodes: 50,
+                hits: 200,
+                misses: 50,
+                shards: 2,
+            },
+            interner_shards: vec![
+                ShardStats {
+                    shard: 0,
+                    entries: 30,
+                    hits: 120,
+                    misses: 30,
+                },
+                ShardStats {
+                    shard: 1,
+                    entries: 20,
+                    hits: 80,
+                    misses: 20,
+                },
+            ],
+            vets_unknown_pattern: 4,
+            policies: vec![PolicySnapshot {
+                policy: "chain-only".into(),
+                memo: MemoStats {
+                    entries: 10,
+                    bound: 4096,
+                    epochs: 0,
+                    hits: 6,
+                    misses: 10,
+                    retained: 0,
+                },
+                vets_passed: 5,
+                vets_failed: 2,
+                vets_unknown_value: 1,
+                latency: HistogramSnapshot {
+                    counts: vec![1; piprov_audit::LATENCY_BUCKET_BOUNDS_NS.len()],
+                    overflow: 0,
+                    sum_ns: 123_456,
+                    count: 16,
+                },
+            }],
+        };
+        let response = WireResponse::Metrics(metrics);
+        let decoded = decode_response(encode_response(&response), &limits).unwrap();
+        assert_eq!(decoded, response);
+        // An empty registry round-trips too.
+        let empty = WireResponse::Metrics(MetricsSnapshot {
+            engine: EngineStats::default(),
+            store: StoreStats::default(),
+            interner: InternerStats {
+                interned_nodes: 0,
+                hits: 0,
+                misses: 0,
+                shards: 0,
+            },
+            interner_shards: Vec::new(),
+            vets_unknown_pattern: 0,
+            policies: Vec::new(),
+        });
+        let decoded = decode_response(encode_response(&empty), &limits).unwrap();
+        assert_eq!(decoded, empty);
+    }
+
+    #[test]
+    fn truncated_metrics_frames_are_typed_errors_not_panics() {
+        let limits = WireLimits::default();
+        let response = WireResponse::Metrics(MetricsSnapshot {
+            engine: EngineStats::default(),
+            store: StoreStats::default(),
+            interner: InternerStats {
+                interned_nodes: 1,
+                hits: 2,
+                misses: 1,
+                shards: 1,
+            },
+            interner_shards: vec![ShardStats {
+                shard: 0,
+                entries: 1,
+                hits: 2,
+                misses: 1,
+            }],
+            vets_unknown_pattern: 0,
+            policies: Vec::new(),
+        });
+        let body = encode_response(&response).to_vec();
+        for len in 0..body.len() {
+            let err = decode_response(Bytes::from(body[..len].to_vec()), &limits);
+            assert!(err.is_err(), "prefix of {} bytes decoded", len);
         }
     }
 

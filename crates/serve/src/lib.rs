@@ -7,9 +7,12 @@
 //! The paper's central claim is that recorded provenance lets a *remote*
 //! principal audit where a value came from; until this crate, "remote"
 //! stopped at a thread boundary.  Here the typed
-//! `AuditRequest`/`AuditResponse` vocabulary — plus new `IngestBatch`
-//! ingest and `Flush`/`Stats` control messages — travels a hardened,
-//! versioned binary protocol over TCP:
+//! `AuditRequest`/`AuditResponse` vocabulary — plus `IngestBatch` ingest
+//! and `Flush`/`Stats`/`Metrics` control messages (`Metrics` ships the
+//! whole observability plane: every counter surface plus per-policy
+//! latency histograms, rendered to Prometheus text by
+//! [`AuditClient::metrics`]) — travels a hardened, versioned binary
+//! protocol over TCP:
 //!
 //! * [`wire`] — length-prefixed, CRC-guarded, versioned framing with
 //!   decode-side caps: a hostile length prefix or record count is a typed
@@ -73,7 +76,7 @@ pub mod recorder;
 pub mod server;
 pub mod wire;
 
-pub use client::{AuditClient, ClientConfig, ClientError, FlushAck, IngestOutcome};
+pub use client::{AuditClient, ClientConfig, ClientError, FlushAck, IngestOutcome, MetricsReport};
 pub use codec::{WireRequest, WireResponse};
 pub use recorder::RemoteRecorder;
 pub use server::{AuditServer, ServeConfig};

@@ -22,10 +22,10 @@
 
 use crate::codec::{decode_request, encode_response, WireRequest, WireResponse};
 use crate::wire::{read_frame, write_frame, WireError, WireLimits};
-use piprov_audit::{AuditEngine, IngestQueue, SubmitOutcome};
+use piprov_audit::{AuditEngine, BarrierError, IngestQueue, SubmitOutcome};
 use piprov_store::StoreError;
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -42,6 +42,14 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Decode-side caps applied to every frame and record count.
     pub limits: WireLimits,
+    /// Bound on how long a remote `Flush` may park its worker thread
+    /// waiting for the ingest queue to drain (the wait goes through
+    /// [`IngestQueue::barrier`], which never touches the queue's pause
+    /// hook).  On expiry the client gets a typed
+    /// [`WireResponse::ServerError`] and the worker returns to its
+    /// connection — a slow or hostile flusher cannot occupy the pool
+    /// forever.
+    pub flush_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +58,7 @@ impl Default for ServeConfig {
             workers: 4,
             queue_capacity: 64,
             limits: WireLimits::default(),
+            flush_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -94,10 +103,9 @@ impl AuditServer {
                 let engine = Arc::clone(&engine);
                 let queue = Arc::clone(&queue);
                 let stop = Arc::clone(&stop);
-                let limits = config.limits;
                 std::thread::Builder::new()
                     .name(format!("piprov-serve-{}", i))
-                    .spawn(move || worker_loop(&listener, &engine, &queue, &stop, limits))
+                    .spawn(move || worker_loop(&listener, &engine, &queue, &stop, &config))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -140,13 +148,33 @@ impl AuditServer {
     fn stop_workers(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock workers parked in accept(): one wake-up connection each.
+        // The listener may be bound to a wildcard address (`0.0.0.0:0`),
+        // which is not connectable on every platform — rewrite it to the
+        // matching loopback, where the listener is reachable.
+        let wake = wake_addr(self.local_addr);
         for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.local_addr);
+            let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
+}
+
+/// The address `stop_workers` connects to, to wake an accept-parked
+/// worker: the bound address, with an unspecified IP (a wildcard bind)
+/// rewritten to the same family's loopback.  Connecting to `0.0.0.0` is
+/// non-portable (some platforms refuse it outright), and a refused wake-up
+/// would leave a worker parked in `accept()` forever.
+fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    let mut addr = bound;
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr.ip() {
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
 }
 
 impl Drop for AuditServer {
@@ -163,7 +191,7 @@ fn worker_loop(
     engine: &Arc<AuditEngine>,
     queue: &Arc<IngestQueue>,
     stop: &AtomicBool,
-    limits: WireLimits,
+    config: &ServeConfig,
 ) {
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -180,12 +208,31 @@ fn worker_loop(
             }
         };
         if stop.load(Ordering::SeqCst) {
+            // A client that raced shutdown must not hang until its own
+            // timeout: tell it why the connection is closing.  Best
+            // effort — the racing connection may be our own wake-up.
+            send_shutdown_notice(stream);
             return;
         }
         // Per-connection errors close that connection only; the worker
         // goes back to accepting.
-        let _ = serve_connection(stream, engine, queue, stop, limits);
+        let _ = serve_connection(stream, engine, queue, stop, config);
     }
+}
+
+/// Tells a connection accepted after shutdown began why it is being
+/// closed, instead of dropping it silently.  Entirely best-effort: the
+/// peer may be the shutdown wake-up connection, already gone.
+fn send_shutdown_notice(stream: TcpStream) {
+    stream
+        .set_write_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    let mut writer = BufWriter::new(stream);
+    let response = WireResponse::ServerError {
+        message: "server shutting down".into(),
+    };
+    let _ = write_frame(&mut writer, &encode_response(&response));
+    let _ = writer.flush();
 }
 
 /// Serves one connection until clean close, error, or server shutdown.
@@ -194,8 +241,9 @@ fn serve_connection(
     engine: &Arc<AuditEngine>,
     queue: &Arc<IngestQueue>,
     stop: &AtomicBool,
-    limits: WireLimits,
+    config: &ServeConfig,
 ) -> Result<(), WireError> {
+    let limits = config.limits;
     stream.set_nodelay(true).ok();
     // The idle tick: a read timeout between frames lets the worker notice
     // a shutdown without dropping a connected client's bytes.
@@ -222,7 +270,7 @@ fn serve_connection(
             }
         };
         let response = match decode_request(frame, &limits) {
-            Ok(request) => handle_request(request, engine, queue),
+            Ok(request) => handle_request(request, engine, queue, config),
             Err(e) => {
                 send_error(&mut writer, &e);
                 return Err(e);
@@ -247,6 +295,7 @@ fn handle_request(
     request: WireRequest,
     engine: &Arc<AuditEngine>,
     queue: &Arc<IngestQueue>,
+    config: &ServeConfig,
 ) -> WireResponse {
     match request {
         WireRequest::Audit(audit) => WireResponse::Audit(engine.handle(&audit)),
@@ -262,7 +311,10 @@ fn handle_request(
                 },
             }
         }
-        WireRequest::Flush => match queue.flush() {
+        // The wire-facing barrier, NOT the owner-facing `flush()`: a remote
+        // peer must be able to neither un-pause a deliberately paused
+        // queue nor park one of the pool's workers without bound.
+        WireRequest::Flush => match queue.barrier(config.flush_timeout) {
             // The watermark is read after the drain: everything submitted
             // before the flush is visible at (or below) it — the anchor a
             // client's read-your-writes polls against.
@@ -270,10 +322,32 @@ fn handle_request(
                 ingested: engine.stats().ingested,
                 watermark: engine.watermark(),
             },
-            Err(e) => WireResponse::ServerError {
+            Err(e @ BarrierError::TimedOut { .. }) => WireResponse::ServerError {
+                message: format!("flush failed: {}", e),
+            },
+            Err(BarrierError::Store(e)) => WireResponse::ServerError {
                 message: format!("flush failed: {}", e),
             },
         },
         WireRequest::Stats => WireResponse::Stats(engine.stats()),
+        WireRequest::Metrics => WireResponse::Metrics(engine.metrics()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_addr_rewrites_wildcards_to_the_matching_loopback() {
+        let v4: SocketAddr = "0.0.0.0:7141".parse().unwrap();
+        assert_eq!(wake_addr(v4), "127.0.0.1:7141".parse().unwrap());
+        let v6: SocketAddr = "[::]:7141".parse().unwrap();
+        assert_eq!(wake_addr(v6), "[::1]:7141".parse().unwrap());
+        // Concrete addresses pass through untouched.
+        let concrete: SocketAddr = "192.0.2.7:9".parse().unwrap();
+        assert_eq!(wake_addr(concrete), concrete);
+        let loopback: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        assert_eq!(wake_addr(loopback), loopback);
     }
 }

@@ -340,6 +340,212 @@ fn oversized_batches_split_client_side_instead_of_killing_the_connection() {
 }
 
 #[test]
+fn metrics_round_trip_over_the_wire_and_the_exposition_lints_clean() {
+    let dir = temp_dir("metrics");
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    engine.register_pattern("from-s0", Pattern::originated_at(GroupExpr::single("s0")));
+    engine.register_pattern("from-s1", Pattern::originated_at(GroupExpr::single("s1")));
+    let server =
+        AuditServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = AuditClient::connect(server.local_addr()).unwrap();
+
+    for i in 0..6u64 {
+        client
+            .ingest_blocking(vec![record(i, &format!("s{}", i % 2))])
+            .unwrap();
+    }
+    client.flush().unwrap();
+    // Drive the vet hot path so per-policy histograms have something in
+    // them: 6 vets against from-s0 (3 pass, 3 fail), 1 unknown value.
+    for i in 0..6u64 {
+        client
+            .request(&AuditRequest::VetValue {
+                value: value(&format!("item{}", i)),
+                pattern: "from-s0".into(),
+            })
+            .unwrap();
+    }
+    client
+        .request(&AuditRequest::VetValue {
+            value: value("ghost"),
+            pattern: "from-s0".into(),
+        })
+        .unwrap();
+
+    let report = client.metrics().unwrap();
+    // The typed snapshot matches the engine the server wraps.  (Interner
+    // fields are process-global and other tests run in parallel, so only
+    // engine-local surfaces are compared.)
+    assert_eq!(report.snapshot.engine, engine.stats());
+    assert_eq!(report.snapshot.store, engine.store_stats());
+    let names: Vec<&str> = report
+        .snapshot
+        .policies
+        .iter()
+        .map(|p| p.policy.as_str())
+        .collect();
+    assert_eq!(names, ["from-s0", "from-s1"], "policies arrive sorted");
+    let s0 = &report.snapshot.policies[0];
+    assert_eq!(s0.vets_passed, 3);
+    assert_eq!(s0.vets_failed, 3);
+    assert_eq!(s0.vets_unknown_value, 1);
+    assert_eq!(
+        s0.latency.count, 7,
+        "every vet against the policy is timed, unknown values included"
+    );
+    assert_eq!(
+        s0.latency.counts.iter().sum::<u64>() + s0.latency.overflow,
+        s0.latency.count
+    );
+    assert_eq!(report.snapshot.policies[1].latency.count, 0);
+
+    // The client-side render is the server-side render (deterministic),
+    // and it lints clean under the exposition-format validator.
+    assert_eq!(report.exposition, report.snapshot.exposition());
+    piprov_audit::validate_exposition(&report.exposition).unwrap();
+    assert!(report
+        .exposition
+        .contains("piprov_vet_latency_seconds_bucket{policy=\"from-s0\""));
+    assert!(report
+        .exposition
+        .contains("piprov_policy_vets_passed_total{policy=\"from-s0\"} 3"));
+    drop(client);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wire_flush_is_bounded_and_never_unpauses_the_drain_worker() {
+    let dir = temp_dir("flush-bound");
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    let server = AuditServer::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig {
+            flush_timeout: std::time::Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    // A paused worker with one accepted batch: the old wire flush would
+    // unpause the queue (clobbering operator intent) or park the worker
+    // thread forever; the barrier must do neither.
+    server.ingest_queue().set_paused(true);
+    let mut client = AuditClient::connect(server.local_addr()).unwrap();
+    assert!(matches!(
+        client.ingest_batch(vec![record(0, "s0")]).unwrap(),
+        IngestOutcome::Acked { .. }
+    ));
+
+    let started = std::time::Instant::now();
+    match client.flush() {
+        Err(piprov_serve::ClientError::Server(message)) => {
+            assert!(
+                message.contains("flush failed"),
+                "timeout surfaces as a typed server error: {}",
+                message
+            );
+        }
+        other => panic!("expected a server error, got {:?}", other),
+    }
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "the wire flush is bounded by flush_timeout"
+    );
+    // The queue is still paused (nothing drained) and the connection
+    // survived the failed flush.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.ingested, 0, "the barrier never unpauses the worker");
+    assert_eq!(stats.queue_depth, 1);
+
+    server.ingest_queue().set_paused(false);
+    let ack = client.flush().unwrap();
+    assert_eq!(ack.ingested, 1);
+    drop(client);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_returns_when_bound_to_a_wildcard_address() {
+    let dir = temp_dir("wildcard");
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    // Binding 0.0.0.0 used to hang shutdown: the wake-up connection
+    // targeted the unspecified address itself, which never routes, so the
+    // workers stayed parked in accept().  The wake-up must rewrite to the
+    // matching loopback.
+    let server =
+        AuditServer::bind(Arc::clone(&engine), "0.0.0.0:0", ServeConfig::default()).unwrap();
+    let port = server.local_addr().port();
+    let mut client = AuditClient::connect(("127.0.0.1", port)).unwrap();
+    client.ingest_blocking(vec![record(0, "s0")]).unwrap();
+    client.flush().unwrap();
+    assert_eq!(client.stats().unwrap().ingested, 1);
+    drop(client);
+
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flag = std::sync::Arc::clone(&done);
+    let shut = std::thread::spawn(move || {
+        server.shutdown().unwrap();
+        flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+    // Watchdog: fail loudly instead of hanging the suite if the wake-up
+    // regresses.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !done.load(std::sync::atomic::Ordering::SeqCst) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shutdown hung on a wildcard bind"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    shut.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn connections_racing_shutdown_get_an_answer_or_a_clean_close_never_a_hang() {
+    use piprov_serve::ClientError;
+    for round in 0..8 {
+        let dir = temp_dir(&format!("race{}", round));
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        let server =
+            AuditServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+
+        let racer = std::thread::spawn(move || {
+            // Keep connecting while shutdown runs.  A connection accepted
+            // after the stop flag flips used to be dropped silently (the
+            // client saw an unexplained EOF mid-handshake); now it gets a
+            // best-effort "shutting down" error frame.  Every outcome
+            // must be prompt and explicable.
+            for _ in 0..20 {
+                let Ok(mut client) = AuditClient::connect(addr) else {
+                    return; // refused: the listener is gone, race over.
+                };
+                match client.stats() {
+                    Ok(_) => {}
+                    Err(ClientError::Server(message)) => {
+                        assert!(
+                            message.contains("shutting down"),
+                            "unexpected server error during shutdown: {}",
+                            message
+                        );
+                        return;
+                    }
+                    Err(ClientError::ConnectionClosed) | Err(ClientError::Wire(_)) => return,
+                    Err(other) => panic!("unexpected outcome racing shutdown: {:?}", other),
+                }
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        server.shutdown().unwrap();
+        racer.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
 fn concurrent_clients_are_served_by_the_worker_pool() {
     let dir = temp_dir("pool");
     let engine = Arc::new(AuditEngine::open(&dir).unwrap());

@@ -12,11 +12,13 @@
 
 use bytes::Bytes;
 use piprov_audit::{
-    AuditEngine, AuditOutcome, AuditRequest, AuditResponse, EngineStats, RequestStats,
+    AuditEngine, AuditOutcome, AuditRequest, AuditResponse, EngineStats, HistogramSnapshot,
+    MetricsSnapshot, PolicySnapshot, RequestStats,
 };
 use piprov_core::name::{Channel, Principal};
-use piprov_core::provenance::{Event, Provenance};
+use piprov_core::provenance::{Event, InternerStats, Provenance, ShardStats};
 use piprov_core::value::Value;
+use piprov_patterns::MemoStats;
 use piprov_serve::codec::{decode_request, decode_response, encode_request, encode_response};
 use piprov_serve::wire::{read_frame, write_frame};
 use piprov_serve::{
@@ -155,6 +157,111 @@ fn arb_engine_stats() -> impl Strategy<Value = EngineStats> {
     })
 }
 
+fn arb_memo_stats() -> impl Strategy<Value = MemoStats> {
+    (
+        0usize..1 << 20,
+        0usize..1 << 20,
+        0u64..1 << 40,
+        0u64..1 << 40,
+        0u64..1 << 40,
+        0u64..1 << 40,
+    )
+        .prop_map(
+            |(entries, bound, epochs, hits, misses, retained)| MemoStats {
+                entries,
+                bound,
+                epochs,
+                hits,
+                misses,
+                retained,
+            },
+        )
+}
+
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        proptest::collection::vec(0u64..1 << 40, 0..20),
+        0u64..1 << 40,
+        0u64..u64::MAX,
+        0u64..1 << 40,
+    )
+        .prop_map(|(counts, overflow, sum_ns, count)| HistogramSnapshot {
+            counts,
+            overflow,
+            sum_ns,
+            count,
+        })
+}
+
+fn arb_policy_snapshot() -> impl Strategy<Value = PolicySnapshot> {
+    (
+        (0u32..64).prop_map(|i| format!("policy-{}", i)),
+        arb_memo_stats(),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        arb_histogram(),
+    )
+        .prop_map(
+            |(policy, memo, (vets_passed, vets_failed, vets_unknown_value), latency)| {
+                PolicySnapshot {
+                    policy,
+                    memo,
+                    vets_passed,
+                    vets_failed,
+                    vets_unknown_value,
+                    latency,
+                }
+            },
+        )
+}
+
+fn arb_metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        arb_engine_stats(),
+        (0usize..1 << 30, 0usize..1 << 10, 0usize..1 << 40),
+        (0u64..u64::MAX, 0u64..u64::MAX, 0usize..64, 0usize..1 << 20),
+        proptest::collection::vec(
+            (0usize..64, 0usize..1 << 20, 0u64..1 << 40, 0u64..1 << 40),
+            0..5,
+        ),
+        0u64..1 << 40,
+        proptest::collection::vec(arb_policy_snapshot(), 0..4),
+    )
+        .prop_map(
+            |(
+                engine,
+                (records, segments, bytes),
+                (hits, misses, shards, interned_nodes),
+                shard_rows,
+                vets_unknown_pattern,
+                policies,
+            )| MetricsSnapshot {
+                engine,
+                store: piprov_store::StoreStats {
+                    records,
+                    segments,
+                    bytes,
+                },
+                interner: InternerStats {
+                    interned_nodes,
+                    hits,
+                    misses,
+                    shards,
+                },
+                interner_shards: shard_rows
+                    .into_iter()
+                    .map(|(shard, entries, hits, misses)| ShardStats {
+                        shard,
+                        entries,
+                        hits,
+                        misses,
+                    })
+                    .collect(),
+                vets_unknown_pattern,
+                policies,
+            },
+        )
+}
+
 fn arb_wire_request() -> impl Strategy<Value = piprov_serve::WireRequest> {
     use piprov_serve::WireRequest;
     prop_oneof![
@@ -162,6 +269,7 @@ fn arb_wire_request() -> impl Strategy<Value = piprov_serve::WireRequest> {
         2 => proptest::collection::vec(arb_record(), 0..6).prop_map(WireRequest::IngestBatch),
         1 => Just(WireRequest::Flush),
         1 => Just(WireRequest::Stats),
+        1 => Just(WireRequest::Metrics),
     ]
 }
 
@@ -189,6 +297,7 @@ fn arb_wire_response() -> impl Strategy<Value = WireResponse> {
             }
         }),
         1 => arb_engine_stats().prop_map(WireResponse::Stats),
+        1 => arb_metrics_snapshot().prop_map(WireResponse::Metrics),
         1 => (0u32..64).prop_map(|i| WireResponse::ServerError {
             message: format!("error {}", i),
         }),

@@ -174,6 +174,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         busiest.shard, busiest.entries
     );
 
+    // 5. The same accounting as a scrape endpoint would serve it: the
+    //    engine's whole metrics plane — per-policy verdict counters and
+    //    vet-latency histograms included — in Prometheus text exposition.
+    let metrics = engine.metrics();
+    let exposition = metrics.exposition();
+    piprov::audit::validate_exposition(&exposition)
+        .map_err(|e| format!("exposition failed its own lint: {}", e))?;
+    for policy in &metrics.policies {
+        println!(
+            "policy {}: {} vets timed ({} passed, {} failed)",
+            policy.policy, policy.latency.count, policy.vets_passed, policy.vets_failed
+        );
+    }
+    println!("--- prometheus exposition ---");
+    print!("{}", exposition);
+
     std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

@@ -116,5 +116,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "server snapshot: watermark {}, {} snapshots published, lag {}",
         stats.watermark, stats.snapshots_published, stats.snapshot_lag
     );
+
+    // 4. The full metrics plane in one round trip: the typed snapshot
+    //    plus the Prometheus text exposition a scrape endpoint would
+    //    serve.  The text lints clean by construction.
+    let report = client.metrics()?;
+    piprov::audit::validate_exposition(&report.exposition)
+        .map_err(|e| format!("exposition failed its own lint: {}", e))?;
+    println!(
+        "\nmetrics: {} policies, {} vets timed against \"from-supplier\"",
+        report.snapshot.policies.len(),
+        report
+            .snapshot
+            .policies
+            .iter()
+            .find(|p| p.policy == "from-supplier")
+            .map(|p| p.latency.count)
+            .unwrap_or(0)
+    );
+    println!("--- prometheus exposition ---");
+    print!("{}", report.exposition);
     Ok(())
 }

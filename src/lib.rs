@@ -60,8 +60,8 @@ pub use piprov_store as store;
 /// needs.
 pub mod prelude {
     pub use piprov_audit::{
-        AuditEngine, AuditOutcome, AuditRecorder, AuditRequest, AuditResponse, EngineSnapshot,
-        IngestQueue,
+        render_exposition, validate_exposition, AuditEngine, AuditOutcome, AuditRecorder,
+        AuditRequest, AuditResponse, EngineSnapshot, IngestQueue, MetricsSnapshot,
     };
     pub use piprov_core::interpreter::{Executor, SchedulerPolicy, StopReason};
     pub use piprov_core::name::{Channel, Principal, Variable};

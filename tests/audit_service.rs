@@ -159,6 +159,29 @@ fn audit_service_end_to_end_under_concurrent_auditors() {
         assert!(memo.entries <= 512, "{}: {} > 512", name, memo.entries);
     }
 
+    // The metrics plane accounted for every concurrent vet: per-policy
+    // verdict counters and latency histograms add up exactly, and the
+    // exposition lints clean.
+    let metrics = engine.metrics();
+    assert_eq!(metrics.engine, stats);
+    let names: Vec<&str> = metrics.policies.iter().map(|p| p.policy.as_str()).collect();
+    assert_eq!(names, ["chain-only", "from-supplier"]);
+    for policy in &metrics.policies {
+        assert_eq!(policy.vets_passed as usize, auditors * total_items);
+        assert_eq!(policy.vets_failed, 0);
+        assert_eq!(policy.latency.count, policy.vets_passed);
+        assert_eq!(
+            policy.latency.counts.iter().sum::<u64>() + policy.latency.overflow,
+            policy.latency.count,
+            "no vet observation fell between histogram buckets"
+        );
+        assert_eq!(
+            policy.memo,
+            engine.pattern_memo_stats(&policy.policy).unwrap()
+        );
+    }
+    validate_exposition(&metrics.exposition()).unwrap();
+
     // Sharded interner sanity.  Exact shard-sum-vs-aggregate equality is
     // checked in piprov-core on a quiescent secondary table; here sibling
     // tests intern concurrently, so only stable facts are asserted.

@@ -172,6 +172,44 @@ fn simulation_streams_over_the_wire_and_concurrent_clients_agree_with_the_engine
         let stats = handle.join().unwrap();
         assert_eq!(stats.busy_rejections, 0, "queries never see back-pressure");
     }
+
+    // The whole interrogation is on the metrics plane: both policies'
+    // latency histograms filled on the vet hot path, the wire snapshot
+    // matches the engine, and the exposition lints clean.
+    let mut probe = AuditClient::connect(addr).unwrap();
+    let report = probe.metrics().unwrap();
+    assert_eq!(report.snapshot.engine, engine.stats());
+    let names: Vec<&str> = report
+        .snapshot
+        .policies
+        .iter()
+        .map(|p| p.policy.as_str())
+        .collect();
+    assert_eq!(names, ["chain-only", "from-supplier"]);
+    let vets_floor = (auditors * suppliers * items_per_supplier) as u64;
+    for policy in &report.snapshot.policies {
+        assert!(
+            policy.latency.count >= vets_floor,
+            "policy {} timed only {} of ≥{} vets",
+            policy.policy,
+            policy.latency.count,
+            vets_floor
+        );
+        assert_eq!(
+            policy.latency.counts.iter().sum::<u64>() + policy.latency.overflow,
+            policy.latency.count,
+            "histogram buckets account for every observation"
+        );
+        assert_eq!(
+            policy.vets_passed + policy.vets_failed,
+            policy.latency.count
+        );
+    }
+    validate_exposition(&report.exposition).unwrap();
+    assert!(report
+        .exposition
+        .contains("piprov_vet_latency_seconds_bucket{policy=\"from-supplier\""));
+    drop(probe);
     server.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -230,6 +268,13 @@ fn flooding_a_one_deep_queue_counts_busy_in_engine_stats() {
     assert_eq!(stats.ingested, 1);
     assert_eq!(stats.queue_depth, 0);
     assert_eq!(engine.record_count(), 1);
+    // The gauges the flood exercised publish coherently at quiescence.
+    let metrics = engine.metrics();
+    assert_eq!(metrics.engine, stats);
+    let text = metrics.exposition();
+    assert!(text.contains("piprov_queue_depth 0\n"));
+    assert!(text.contains("piprov_snapshot_lag 0\n"));
+    assert!(text.contains(&format!("piprov_busy_rejections_total {}\n", floods)));
     drop(client);
     server.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).ok();
