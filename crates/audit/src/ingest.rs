@@ -51,7 +51,9 @@ impl SubmitOutcome {
 
 /// Mutable queue state, guarded by one mutex.
 struct QueueState {
-    batches: VecDeque<Vec<ProvenanceRecord>>,
+    /// Accepted batches, each stamped with its submit instant so the
+    /// drain worker can record submit→applied queue-wait latency.
+    batches: VecDeque<(Instant, Vec<ProvenanceRecord>)>,
     /// The worker is currently applying a popped batch (it no longer counts
     /// against the capacity, but a flush must still wait for it).
     in_flight: bool,
@@ -224,7 +226,7 @@ impl IngestQueue {
             self.shared.engine.note_busy_rejection();
             return SubmitOutcome::Busy { queue_depth: depth };
         }
-        state.batches.push_back(batch);
+        state.batches.push_back((Instant::now(), batch));
         let queue_depth = state.batches.len();
         self.shared.publish_gauges(&state);
         drop(state);
@@ -355,10 +357,10 @@ fn drain_loop(shared: &Shared) {
             loop {
                 // A closed queue still drains what was accepted.
                 if !state.paused || state.closed {
-                    if let Some(batch) = state.batches.pop_front() {
+                    if let Some(stamped) = state.batches.pop_front() {
                         state.in_flight = true;
                         shared.publish_gauges(&state);
-                        break Some(batch);
+                        break Some(stamped);
                     }
                 }
                 if state.closed {
@@ -370,11 +372,18 @@ fn drain_loop(shared: &Shared) {
                 };
             }
         };
-        let Some(batch) = batch else {
+        let Some((submitted, batch)) = batch else {
             shared.idle.notify_all();
             return;
         };
         let result = shared.engine.ingest_batch(batch);
+        // Submit → applied: the wait a producer's read-your-writes poll
+        // experiences, queue time and apply time included.
+        let waited = u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared
+            .engine
+            .metrics_registry()
+            .record_ingest_queue_wait(waited);
         let mut state = shared.lock();
         state.in_flight = false;
         shared.publish_gauges(&state);

@@ -139,6 +139,12 @@ impl PolicyMetrics {
 pub struct MetricsRegistry {
     policies: RwLock<HashMap<String, Arc<PolicyMetrics>>>,
     vets_unknown_pattern: AtomicU64,
+    /// Wire-level: time to decode one frame body into a typed request.
+    frame_decode: LatencyHistogram,
+    /// Wire-level: time from decoded request to encoded response.
+    request_service: LatencyHistogram,
+    /// Ingest: time a batch spent queued, submit-accepted → applied.
+    ingest_queue_wait: LatencyHistogram,
 }
 
 impl MetricsRegistry {
@@ -182,6 +188,40 @@ impl MetricsRegistry {
         if let Some(metrics) = self.read().get(policy) {
             metrics.record(elapsed_ns, outcome);
         }
+    }
+
+    /// Records one wire frame's decode time (frame body → typed request).
+    /// Recorded by the serving layer, in both server cores.
+    pub fn record_frame_decode(&self, elapsed_ns: u64) {
+        self.frame_decode.record(elapsed_ns);
+    }
+
+    /// Records one request's service time (decoded request → encoded
+    /// response, including the engine or queue work in between).
+    pub fn record_request_service(&self, elapsed_ns: u64) {
+        self.request_service.record(elapsed_ns);
+    }
+
+    /// Records how long one accepted ingest batch waited in the bounded
+    /// queue before its apply finished (submit → applied) — the latency a
+    /// producer's read-your-writes poll actually experiences.
+    pub fn record_ingest_queue_wait(&self, elapsed_ns: u64) {
+        self.ingest_queue_wait.record(elapsed_ns);
+    }
+
+    /// Snapshot of the frame-decode histogram.
+    pub fn frame_decode_snapshot(&self) -> HistogramSnapshot {
+        self.frame_decode.snapshot()
+    }
+
+    /// Snapshot of the request-service histogram.
+    pub fn request_service_snapshot(&self) -> HistogramSnapshot {
+        self.request_service.snapshot()
+    }
+
+    /// Snapshot of the ingest queue-wait histogram.
+    pub fn ingest_queue_wait_snapshot(&self) -> HistogramSnapshot {
+        self.ingest_queue_wait.snapshot()
     }
 
     /// Counts one vet that named a policy the engine does not know.
@@ -277,6 +317,15 @@ pub struct MetricsSnapshot {
     /// Vets that named a policy the engine does not know (these have no
     /// per-policy row to land in).
     pub vets_unknown_pattern: u64,
+    /// Wire-level: frame-decode time (frame body → typed request),
+    /// recorded by the serving layer in both server cores.
+    pub frame_decode: HistogramSnapshot,
+    /// Wire-level: per-request service time (decoded request → encoded
+    /// response).
+    pub request_service: HistogramSnapshot,
+    /// Ingest: how long accepted batches waited in the bounded queue
+    /// (submit → applied).
+    pub ingest_queue_wait: HistogramSnapshot,
     /// Per-policy counters, histograms and memo statistics, sorted by
     /// policy name.
     pub policies: Vec<PolicySnapshot>,
@@ -309,6 +358,9 @@ impl AuditEngine {
             interner: piprov_core::provenance::interner_stats(),
             interner_shards: piprov_core::provenance::interner_shard_stats(),
             vets_unknown_pattern: registry.unknown_pattern_vets(),
+            frame_decode: registry.frame_decode_snapshot(),
+            request_service: registry.request_service_snapshot(),
+            ingest_queue_wait: registry.ingest_queue_wait_snapshot(),
             policies: registry.policy_snapshots(|name| self.pattern_memo_stats(name)),
         }
     }
@@ -363,6 +415,9 @@ pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
         interner,
         interner_shards,
         vets_unknown_pattern,
+        frame_decode,
+        request_service,
+        ingest_queue_wait,
         policies,
     } = snapshot;
     let EngineStats {
@@ -584,11 +639,56 @@ pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
             );
         }
     }
+    // -- wire + ingest latency ----------------------------------------------
+    plain_histogram(
+        &mut out,
+        "piprov_frame_decode_seconds",
+        "Wire frame decode time (frame body to typed request), either server core.",
+        frame_decode,
+    );
+    plain_histogram(
+        &mut out,
+        "piprov_request_service_seconds",
+        "Request service time (decoded request to encoded response).",
+        request_service,
+    );
+    plain_histogram(
+        &mut out,
+        "piprov_ingest_queue_wait_seconds",
+        "Time accepted ingest batches spent queued (submit to applied).",
+        ingest_queue_wait,
+    );
     // -- per-policy ---------------------------------------------------------
     if !policies.is_empty() {
         render_policy_families(&mut out, policies);
     }
     out
+}
+
+/// Renders one label-free histogram family: cumulative buckets over
+/// [`LATENCY_BUCKET_BOUNDS_NS`], `+Inf`, then the `_sum`/`_count` pair.
+fn plain_histogram(out: &mut String, name: &str, help: &str, histogram: &HistogramSnapshot) {
+    let HistogramSnapshot {
+        counts,
+        overflow: _,
+        sum_ns,
+        count,
+    } = histogram;
+    header(out, name, "histogram", help);
+    let mut cumulative = 0u64;
+    for (bound, bucket) in LATENCY_BUCKET_BOUNDS_NS.iter().zip(counts) {
+        cumulative += bucket;
+        let _ = writeln!(
+            out,
+            "{}_bucket{{le=\"{}\"}} {}",
+            name,
+            fmt_seconds(*bound),
+            cumulative
+        );
+    }
+    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", name, count);
+    let _ = writeln!(out, "{}_sum {}", name, fmt_seconds(*sum_ns));
+    let _ = writeln!(out, "{}_count {}", name, count);
 }
 
 /// One labeled family: HELP/TYPE once, then one sample per policy.
@@ -1068,12 +1168,18 @@ mod tests {
             );
         }
         registry.record_vet("beta", 1 << 30, VetOutcomeKind::UnknownValue);
+        registry.record_frame_decode(512);
+        registry.record_request_service(4096);
+        registry.record_ingest_queue_wait(1 << 24); // overflow bucket
         let snapshot = MetricsSnapshot {
             engine: EngineStats::default(),
             store: StoreStats::default(),
             interner: piprov_core::provenance::interner_stats(),
             interner_shards: piprov_core::provenance::interner_shard_stats(),
             vets_unknown_pattern: registry.unknown_pattern_vets(),
+            frame_decode: registry.frame_decode_snapshot(),
+            request_service: registry.request_service_snapshot(),
+            ingest_queue_wait: registry.ingest_queue_wait_snapshot(),
             policies: registry.policy_snapshots(|_| None),
         };
         let text = snapshot.exposition();
@@ -1081,5 +1187,11 @@ mod tests {
         assert!(text.contains("piprov_vet_latency_seconds_bucket{policy=\"alpha\","));
         assert!(text.contains("le=\"+Inf\"} 100"));
         assert!(text.contains("piprov_policy_vets_unknown_value_total{policy=\"beta\"} 1"));
+        // The wire-level histograms render label-free and lint clean even
+        // with only the overflow bucket populated.
+        assert!(text.contains("piprov_frame_decode_seconds_bucket{le=\"0.000000512\"} 1"));
+        assert!(text.contains("piprov_request_service_seconds_count 1"));
+        assert!(text.contains("piprov_ingest_queue_wait_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("piprov_ingest_queue_wait_seconds_count 1"));
     }
 }

@@ -102,12 +102,35 @@ fn sentinel_snapshot() -> (MetricsSnapshot, Vec<u64>) {
         vets_unknown_value: take(&mut s),
         latency,
     };
+    // The wire-level histograms are label-free registry singletons; like
+    // the per-policy latency they are asserted structurally below.
+    let frame_decode = HistogramSnapshot {
+        counts: vec![2; LATENCY_BUCKET_BOUNDS_NS.len()],
+        overflow: 1,
+        sum_ns: 2_000_000_000,
+        count: 2 * LATENCY_BUCKET_BOUNDS_NS.len() as u64 + 1,
+    };
+    let request_service = HistogramSnapshot {
+        counts: vec![5; LATENCY_BUCKET_BOUNDS_NS.len()],
+        overflow: 0,
+        sum_ns: 3_000_000_000,
+        count: 5 * LATENCY_BUCKET_BOUNDS_NS.len() as u64,
+    };
+    let ingest_queue_wait = HistogramSnapshot {
+        counts: vec![7; LATENCY_BUCKET_BOUNDS_NS.len()],
+        overflow: 2,
+        sum_ns: 4_000_000_000,
+        count: 7 * LATENCY_BUCKET_BOUNDS_NS.len() as u64 + 2,
+    };
     let snapshot = MetricsSnapshot {
         engine,
         store,
         interner,
         interner_shards: vec![shard],
         vets_unknown_pattern,
+        frame_decode,
+        request_service,
+        ingest_queue_wait,
         policies: vec![policy],
     };
     (snapshot, plain)
@@ -155,6 +178,37 @@ fn every_stats_field_surfaces_in_the_exposition() {
         "piprov_vet_latency_seconds_count{{policy=\"sentinel-policy\"}} {}\n",
         policy.latency.count
     )));
+
+    // The three wire-level histograms render label-free with the same
+    // bucket schedule; each is pinned by its +Inf/count pair so a
+    // transposed pair of histograms fails too.
+    for (family, histogram) in [
+        ("piprov_frame_decode_seconds", &snapshot.frame_decode),
+        ("piprov_request_service_seconds", &snapshot.request_service),
+        (
+            "piprov_ingest_queue_wait_seconds",
+            &snapshot.ingest_queue_wait,
+        ),
+    ] {
+        let bucket_lines = text
+            .lines()
+            .filter(|l| l.starts_with(&format!("{}_bucket{{", family)))
+            .count();
+        assert_eq!(
+            bucket_lines,
+            LATENCY_BUCKET_BOUNDS_NS.len() + 1,
+            "{}",
+            family
+        );
+        assert!(text.contains(&format!(
+            "{}_bucket{{le=\"+Inf\"}} {}\n",
+            family, histogram.count
+        )));
+        assert!(text.contains(&format!("{}_count {}\n", family, histogram.count)));
+    }
+    assert!(text.contains("piprov_frame_decode_seconds_sum 2.0\n"));
+    assert!(text.contains("piprov_request_service_seconds_sum 3.0\n"));
+    assert!(text.contains("piprov_ingest_queue_wait_seconds_sum 4.0\n"));
 }
 
 #[test]
@@ -243,6 +297,9 @@ fn the_exposition_golden_shape_is_stable() {
         "piprov_policy_memo_misses_total",
         "piprov_policy_memo_retained_total",
         "piprov_vet_latency_seconds",
+        "piprov_frame_decode_seconds",
+        "piprov_request_service_seconds",
+        "piprov_ingest_queue_wait_seconds",
     ] {
         assert!(
             text.contains(&format!("# TYPE {} ", family)),
@@ -272,7 +329,17 @@ fn the_exposition_golden_shape_is_stable() {
                 name
             ),
             "gauge" => assert!(!name.ends_with("_total"), "gauge {} ends in _total", name),
-            "histogram" => assert_eq!(name, "piprov_vet_latency_seconds"),
+            "histogram" => assert!(
+                [
+                    "piprov_vet_latency_seconds",
+                    "piprov_frame_decode_seconds",
+                    "piprov_request_service_seconds",
+                    "piprov_ingest_queue_wait_seconds",
+                ]
+                .contains(&name),
+                "unexpected histogram family {}",
+                name
+            ),
             other => panic!("unexpected metric kind {} for {}", other, name),
         }
     }
@@ -291,6 +358,9 @@ fn an_empty_registry_renders_a_lintable_exposition() {
         },
         interner_shards: Vec::new(),
         vets_unknown_pattern: 0,
+        frame_decode: HistogramSnapshot::default(),
+        request_service: HistogramSnapshot::default(),
+        ingest_queue_wait: HistogramSnapshot::default(),
         policies: Vec::new(),
     };
     let text = render_exposition(&snapshot);

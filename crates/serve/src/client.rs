@@ -199,6 +199,24 @@ impl AuditClient {
         })
     }
 
+    /// Wraps an already-connected stream with the default configuration —
+    /// for callers that dial (or hold) their sockets themselves, like a
+    /// connection-scaling harness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stream-clone failure.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, ClientError> {
+        stream.set_nodelay(true).ok();
+        Ok(AuditClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            config: ClientConfig::default(),
+            batch: Vec::new(),
+            busy_observed: 0,
+        })
+    }
+
     /// `Busy` answers this client has observed so far.
     pub fn busy_observed(&self) -> u64 {
         self.busy_observed
@@ -433,7 +451,7 @@ impl AuditClient {
             WireResponse::Metrics(snapshot) => {
                 let exposition = snapshot.exposition();
                 Ok(MetricsReport {
-                    snapshot,
+                    snapshot: *snapshot,
                     exposition,
                 })
             }

@@ -81,8 +81,10 @@ pub enum WireResponse {
     /// Answer to [`WireRequest::Metrics`]: the typed snapshot; the client
     /// renders the Prometheus exposition locally from it
     /// ([`piprov_audit::MetricsSnapshot::exposition`] is deterministic, so
-    /// client and server render identical text).
-    Metrics(MetricsSnapshot),
+    /// client and server render identical text).  Boxed: the snapshot is
+    /// by far the largest payload, and boxing it keeps every other
+    /// response variant small on the stack.
+    Metrics(Box<MetricsSnapshot>),
     /// The server failed to serve an otherwise well-formed request (store
     /// error on flush, for example), or reports why it is closing the
     /// connection.
@@ -96,9 +98,9 @@ const REQ_AUDIT: u8 = 1;
 const REQ_INGEST: u8 = 2;
 const REQ_FLUSH: u8 = 3;
 const REQ_STATS: u8 = 4;
-// Added after version 2 shipped; an *additive* tag, so the version byte
-// stays at 2 — old peers answer it with a typed "unknown tag" error, new
-// peers interoperate with old ones on every other message.
+// Added after version 2 shipped as an additive tag; version 3 then grew
+// its response payload (the wire-level histograms), which is why the
+// version byte moved — a v2 peer would misparse the larger snapshot.
 const REQ_METRICS: u8 = 5;
 
 const AUDIT_VET: u8 = 1;
@@ -543,6 +545,9 @@ fn put_metrics_snapshot(buf: &mut BytesMut, metrics: &MetricsSnapshot) {
         interner,
         interner_shards,
         vets_unknown_pattern,
+        frame_decode,
+        request_service,
+        ingest_queue_wait,
         policies,
     } = metrics;
     put_engine_stats(buf, engine);
@@ -553,6 +558,9 @@ fn put_metrics_snapshot(buf: &mut BytesMut, metrics: &MetricsSnapshot) {
         put_shard_stats(buf, shard);
     }
     buf.put_u64(*vets_unknown_pattern);
+    put_histogram(buf, frame_decode);
+    put_histogram(buf, request_service);
+    put_histogram(buf, ingest_queue_wait);
     buf.put_u32(policies.len() as u32);
     for policy in policies {
         put_policy_snapshot(buf, policy);
@@ -572,6 +580,9 @@ fn get_metrics_snapshot(buf: &mut Bytes) -> Result<MetricsSnapshot, WireError> {
     }
     need(buf, 8, "unknown-pattern counter")?;
     let vets_unknown_pattern = buf.get_u64();
+    let frame_decode = get_histogram(buf)?;
+    let request_service = get_histogram(buf)?;
+    let ingest_queue_wait = get_histogram(buf)?;
     need(buf, 4, "policy count")?;
     let count = buf.get_u32() as usize;
     // A policy costs at least its 2 name-length bytes + 48 memo bytes.
@@ -585,6 +596,9 @@ fn get_metrics_snapshot(buf: &mut Bytes) -> Result<MetricsSnapshot, WireError> {
         interner,
         interner_shards,
         vets_unknown_pattern,
+        frame_decode,
+        request_service,
+        ingest_queue_wait,
         policies,
     })
 }
@@ -775,7 +789,7 @@ pub fn decode_response(mut buf: Bytes, limits: &WireLimits) -> Result<WireRespon
             }
         }
         RESP_STATS => WireResponse::Stats(get_engine_stats(&mut buf)?),
-        RESP_METRICS => WireResponse::Metrics(get_metrics_snapshot(&mut buf)?),
+        RESP_METRICS => WireResponse::Metrics(Box::new(get_metrics_snapshot(&mut buf)?)),
         RESP_ERROR => WireResponse::ServerError {
             message: wire_str(&mut buf)?,
         },
@@ -880,6 +894,19 @@ mod tests {
                 },
             ],
             vets_unknown_pattern: 4,
+            frame_decode: HistogramSnapshot {
+                counts: vec![2; piprov_audit::LATENCY_BUCKET_BOUNDS_NS.len()],
+                overflow: 1,
+                sum_ns: 777,
+                count: 33,
+            },
+            request_service: HistogramSnapshot {
+                counts: vec![0; piprov_audit::LATENCY_BUCKET_BOUNDS_NS.len()],
+                overflow: 9,
+                sum_ns: 888,
+                count: 9,
+            },
+            ingest_queue_wait: HistogramSnapshot::default(),
             policies: vec![PolicySnapshot {
                 policy: "chain-only".into(),
                 memo: MemoStats {
@@ -901,11 +928,11 @@ mod tests {
                 },
             }],
         };
-        let response = WireResponse::Metrics(metrics);
+        let response = WireResponse::Metrics(Box::new(metrics));
         let decoded = decode_response(encode_response(&response), &limits).unwrap();
         assert_eq!(decoded, response);
         // An empty registry round-trips too.
-        let empty = WireResponse::Metrics(MetricsSnapshot {
+        let empty = WireResponse::Metrics(Box::new(MetricsSnapshot {
             engine: EngineStats::default(),
             store: StoreStats::default(),
             interner: InternerStats {
@@ -916,8 +943,11 @@ mod tests {
             },
             interner_shards: Vec::new(),
             vets_unknown_pattern: 0,
+            frame_decode: HistogramSnapshot::default(),
+            request_service: HistogramSnapshot::default(),
+            ingest_queue_wait: HistogramSnapshot::default(),
             policies: Vec::new(),
-        });
+        }));
         let decoded = decode_response(encode_response(&empty), &limits).unwrap();
         assert_eq!(decoded, empty);
     }
@@ -925,7 +955,7 @@ mod tests {
     #[test]
     fn truncated_metrics_frames_are_typed_errors_not_panics() {
         let limits = WireLimits::default();
-        let response = WireResponse::Metrics(MetricsSnapshot {
+        let response = WireResponse::Metrics(Box::new(MetricsSnapshot {
             engine: EngineStats::default(),
             store: StoreStats::default(),
             interner: InternerStats {
@@ -941,8 +971,11 @@ mod tests {
                 misses: 1,
             }],
             vets_unknown_pattern: 0,
+            frame_decode: HistogramSnapshot::default(),
+            request_service: HistogramSnapshot::default(),
+            ingest_queue_wait: HistogramSnapshot::default(),
             policies: Vec::new(),
-        });
+        }));
         let body = encode_response(&response).to_vec();
         for len in 0..body.len() {
             let err = decode_response(Bytes::from(body[..len].to_vec()), &limits);

@@ -1,0 +1,703 @@
+//! The readiness-based server core ([`crate::ServerCore::EventLoop`]).
+//!
+//! One **event-loop thread** owns the listener, an epoll instance (see
+//! [`crate::poll`]), and every connection's state machine:
+//!
+//! ```text
+//! read-accumulate ──► decode ──► handle ──► write-drain
+//!       ▲   (loop)      (worker pool)          │
+//!       └──────────────────────────────────────┘
+//! ```
+//!
+//! The loop thread only moves bytes: it accepts, reads whatever readiness
+//! delivers into a per-connection buffer, carves complete frames out of
+//! it with [`crate::wire::try_parse_frame`], and drains each connection's
+//! outbound buffer (partial writes re-arm `EPOLLOUT`).  Complete frames
+//! are handed to a small **dispatch worker pool** that does the CPU work
+//! — decode, [`crate::server::handle_request`] against the engine's
+//! lock-free MVCC read path, encode — and appends the encoded responses
+//! to the connection's outbound buffer.  At most one dispatch job per
+//! connection is in flight and a job answers its frames in order, so
+//! pipelining keeps the wire contract: responses strictly in request
+//! order per connection.
+//!
+//! An idle connection therefore costs exactly one registered fd and its
+//! (empty) buffers — no thread, no timer.  Shutdown is an `eventfd` wake,
+//! not a poll: the loop thread sleeps in `epoll_wait` indefinitely until
+//! the listener, a connection, a finished dispatch job, or the stop flag
+//! (via [`crate::poll::WakeFd`]) rouses it.
+//!
+//! Protocol behavior is identical to the thread-pool core: typed error
+//! frames then close on malformed input, `GET /metrics` answered with one
+//! HTTP exposition response, [`crate::ServeConfig::idle_timeout`]
+//! enforced with a best-effort `ServerError{"idle timeout"}` frame.
+
+#![cfg(target_os = "linux")]
+
+use crate::codec::{decode_request, encode_response, WireResponse};
+use crate::poll::{Epoll, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::server::{
+    contains_blank_line, elapsed_ns, handle_request, http_response_for, IDLE_TIMEOUT_MESSAGE,
+    MAX_HTTP_HEAD,
+};
+use crate::wire::{try_parse_frame, write_frame, WireError, HTTP_GET_PREFIX};
+use crate::ServeConfig;
+use bytes::Bytes;
+use piprov_audit::{AuditEngine, IngestQueue};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How long shutdown waits for in-flight requests to finish and their
+/// responses to drain before closing connections anyway.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// The running threads of the event-loop core.  Owned by
+/// [`crate::AuditServer`]; [`EventLoopHandle::stop`] is idempotent.
+#[derive(Debug)]
+pub(crate) struct EventLoopHandle {
+    loop_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    dispatch: Arc<Dispatch>,
+}
+
+impl EventLoopHandle {
+    /// Registers `listener` with a fresh epoll instance and starts the
+    /// loop thread plus `config.workers` dispatch workers.
+    pub(crate) fn start(
+        listener: TcpListener,
+        engine: Arc<AuditEngine>,
+        queue: Arc<IngestQueue>,
+        stop: Arc<AtomicBool>,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        let wake = Arc::new(WakeFd::new()?);
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake.raw(), EPOLLIN, TOKEN_WAKE)?;
+        let dispatch = Arc::new(Dispatch {
+            jobs: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            done: Mutex::new(Vec::new()),
+            wake: Arc::clone(&wake),
+            stop: Arc::clone(&stop),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let dispatch = Arc::clone(&dispatch);
+                let engine = Arc::clone(&engine);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("piprov-dispatch-{}", i))
+                    .spawn(move || dispatch_loop(&dispatch, &engine, &queue, &config))
+                    .expect("spawn dispatch worker")
+            })
+            .collect();
+        let loop_thread = {
+            let dispatch = Arc::clone(&dispatch);
+            std::thread::Builder::new()
+                .name("piprov-event-loop".into())
+                .spawn(move || {
+                    Loop {
+                        epoll,
+                        listener,
+                        wake,
+                        dispatch,
+                        stop,
+                        config,
+                        conns: HashMap::new(),
+                        next_token: FIRST_CONN_TOKEN,
+                    }
+                    .run()
+                })
+                .expect("spawn event loop")
+        };
+        Ok(EventLoopHandle {
+            loop_thread: Some(loop_thread),
+            workers,
+            dispatch,
+        })
+    }
+
+    /// Wakes the loop thread (the caller has already raised the stop
+    /// flag), lets it drain in-flight work, then joins every thread.
+    pub(crate) fn stop(&mut self) {
+        self.dispatch.wake.wake();
+        if let Some(thread) = self.loop_thread.take() {
+            let _ = thread.join();
+        }
+        // The loop thread has stopped producing jobs; rouse any worker
+        // parked on an empty queue so it observes the stop flag.
+        self.dispatch.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The loop-thread ⇄ worker-pool boundary.
+#[derive(Debug)]
+struct Dispatch {
+    jobs: Mutex<VecDeque<Job>>,
+    work: Condvar,
+    /// Tokens whose job finished; the loop thread drains this after a
+    /// [`WakeFd`] wake and re-examines those connections.
+    done: Mutex<Vec<u64>>,
+    wake: Arc<WakeFd>,
+    stop: Arc<AtomicBool>,
+}
+
+/// One unit of CPU work for a dispatch worker.  The worker appends its
+/// encoded output to `out` and reports `token` done — it never touches
+/// the socket.
+#[derive(Debug)]
+enum Job {
+    /// Complete frames from one connection, answered strictly in order.
+    Frames {
+        token: u64,
+        frames: Vec<Bytes>,
+        out: Arc<Mutex<Outbound>>,
+    },
+    /// A sniffed plaintext HTTP request head (the `/metrics` scrape).
+    Http {
+        token: u64,
+        head: Vec<u8>,
+        out: Arc<Mutex<Outbound>>,
+    },
+}
+
+/// A connection's outbound buffer, shared between the loop thread (which
+/// drains it to the socket) and the worker currently encoding into it.
+#[derive(Debug, Default)]
+struct Outbound {
+    buf: Vec<u8>,
+    /// Bytes before this offset are already written to the socket.
+    start: usize,
+    /// Close the connection once the buffer drains (error sent, HTTP
+    /// response sent, or idle expiry).
+    closing: bool,
+}
+
+impl Outbound {
+    fn is_drained(&self) -> bool {
+        self.start >= self.buf.len()
+    }
+}
+
+/// Per-connection state machine on the loop thread.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    /// read-accumulate: bytes readiness delivered, not yet a full frame.
+    read_buf: Vec<u8>,
+    /// Complete frames waiting for the connection's next dispatch slot.
+    pending: VecDeque<Bytes>,
+    /// A dispatch job for this connection is at the workers; at most one,
+    /// which is what keeps pipelined responses in request order.
+    in_flight: bool,
+    /// A frame-layer error to emit (typed frame, then close) once the
+    /// frames that arrived before it have been answered.
+    pending_error: Option<WireError>,
+    /// `Some` once the first bytes read `GET ` — accumulating the HTTP
+    /// request head instead of frames.
+    http_head: Option<Vec<u8>>,
+    peer_eof: bool,
+    last_activity: Instant,
+    /// The epoll interest currently registered for this fd.
+    interest: u32,
+}
+
+impl Conn {
+    /// No request in any stage — the state an idle-timeout may expire.
+    fn is_idle(&self, out: &Outbound) -> bool {
+        !self.in_flight
+            && self.pending.is_empty()
+            && self.pending_error.is_none()
+            && self.read_buf.is_empty()
+            && self.http_head.is_none()
+            && out.is_drained()
+    }
+}
+
+struct Loop {
+    epoll: Epoll,
+    listener: TcpListener,
+    wake: Arc<WakeFd>,
+    dispatch: Arc<Dispatch>,
+    stop: Arc<AtomicBool>,
+    config: ServeConfig,
+    conns: HashMap<u64, (Conn, Arc<Mutex<Outbound>>)>,
+    next_token: u64,
+}
+
+impl Loop {
+    fn run(mut self) {
+        let mut events = Vec::new();
+        loop {
+            let timeout = self
+                .config
+                .idle_timeout
+                .map(|t| t.min(Duration::from_millis(200)));
+            if self.epoll.wait(&mut events, timeout).is_err() {
+                // epoll itself failing is unrecoverable for this core;
+                // fall through to the drain path and stop serving.
+                self.stop.store(true, Ordering::SeqCst);
+            }
+            for &(token, revents) in events.iter() {
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.wake.drain(),
+                    _ => self.conn_ready(token, revents),
+                }
+            }
+            self.reap_done();
+            if self.stop.load(Ordering::SeqCst) {
+                self.drain_and_close();
+                return;
+            }
+            self.sweep_idle();
+        }
+    }
+
+    /// Accepts until the backlog is empty.
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Transient failures (fd exhaustion, aborted handshakes):
+                // leave the rest of the backlog for the next readiness.
+                Err(_) => return,
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            stream.set_nodelay(true).ok();
+            let token = self.next_token;
+            self.next_token += 1;
+            let interest = EPOLLIN | EPOLLRDHUP;
+            if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+                continue;
+            }
+            let conn = Conn {
+                stream,
+                read_buf: Vec::new(),
+                pending: VecDeque::new(),
+                in_flight: false,
+                pending_error: None,
+                http_head: None,
+                peer_eof: false,
+                last_activity: Instant::now(),
+                interest,
+            };
+            self.conns
+                .insert(token, (conn, Arc::new(Mutex::new(Outbound::default()))));
+        }
+    }
+
+    /// Handles readiness on a connection: reads whatever is available,
+    /// parses frames (or an HTTP head), flushes the outbound buffer, and
+    /// advances the state machine.
+    fn conn_ready(&mut self, token: u64, revents: u32) {
+        let Some((conn, out)) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if revents & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0 && !read_available(conn) {
+            self.close(token);
+            return;
+        }
+        if revents & EPOLLOUT != 0 && !flush_outbound(conn, out) {
+            self.close(token);
+            return;
+        }
+        self.advance(token);
+    }
+
+    /// Drains finished-job notifications from the workers and re-examines
+    /// those connections (their outbound buffers just grew).
+    fn reap_done(&mut self) {
+        let done = std::mem::take(&mut *self.dispatch.done.lock().expect("done lock"));
+        for token in done {
+            if let Some((conn, _)) = self.conns.get_mut(&token) {
+                conn.in_flight = false;
+                self.advance(token);
+            }
+        }
+    }
+
+    /// The connection state machine: parse → dispatch → error/EOF → flush
+    /// → close, in a fixed order so every path converges.
+    fn advance(&mut self, token: u64) {
+        let Some((conn, out)) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let closing = out.lock().expect("outbound lock").closing;
+        if !closing {
+            parse_available(conn, &self.config);
+            // Dispatch the next batch of complete frames (or a complete
+            // HTTP head) if the connection's single job slot is free.
+            if !conn.in_flight {
+                if let Some(head) = take_complete_http_head(conn) {
+                    conn.in_flight = true;
+                    self.dispatch.push(Job::Http {
+                        token,
+                        head,
+                        out: Arc::clone(out),
+                    });
+                } else if !conn.pending.is_empty() {
+                    let frames = conn.pending.drain(..).collect();
+                    conn.in_flight = true;
+                    self.dispatch.push(Job::Frames {
+                        token,
+                        frames,
+                        out: Arc::clone(out),
+                    });
+                } else if let Some(error) = conn.pending_error.take() {
+                    // Everything before the bad bytes has been answered:
+                    // name the cause, then close.
+                    let mut out = out.lock().expect("outbound lock");
+                    append_error_frame(&mut out, &error.to_string());
+                }
+            }
+        }
+        let Some((conn, out)) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !flush_outbound(conn, out) {
+            self.close(token);
+            return;
+        }
+        let (conn, out) = self.conns.get_mut(&token).expect("conn");
+        let guard = out.lock().expect("outbound lock");
+        let finished = conn.peer_eof
+            && !conn.in_flight
+            && conn.pending.is_empty()
+            && conn.pending_error.is_none()
+            && guard.is_drained();
+        let wants_write = !guard.is_drained();
+        drop(guard);
+        if finished {
+            self.close(token);
+            return;
+        }
+        // Re-arm interest: always readable (readiness is how EOF and new
+        // frames arrive), writable only while the outbound buffer holds
+        // unsent bytes.
+        let desired = EPOLLIN | EPOLLRDHUP | if wants_write { EPOLLOUT } else { 0 };
+        if desired != conn.interest {
+            conn.interest = desired;
+            let fd = conn.stream.as_raw_fd();
+            if self.epoll.modify(fd, desired, token).is_err() {
+                self.close(token);
+            }
+        }
+    }
+
+    /// Expires connections idle past [`ServeConfig::idle_timeout`] with a
+    /// best-effort typed frame.
+    fn sweep_idle(&mut self) {
+        let Some(bound) = self.config.idle_timeout else {
+            return;
+        };
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, (conn, out))| {
+                conn.last_activity.elapsed() >= bound
+                    && conn.is_idle(&out.lock().expect("outbound lock"))
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            let (_, out) = self.conns.get_mut(&token).expect("conn");
+            append_error_frame(
+                &mut out.lock().expect("outbound lock"),
+                IDLE_TIMEOUT_MESSAGE,
+            );
+            self.advance(token);
+        }
+    }
+
+    /// Shutdown: wait (bounded) for in-flight jobs to finish and their
+    /// responses to drain, notify the survivors, close everything.
+    fn drain_and_close(&mut self) {
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        let mut events = Vec::new();
+        while Instant::now() < deadline {
+            let busy = self.conns.iter().any(|(_, (conn, out))| {
+                conn.in_flight || !out.lock().expect("outbound lock").is_drained()
+            });
+            if !busy {
+                break;
+            }
+            if self
+                .epoll
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .is_err()
+            {
+                break;
+            }
+            for &(token, revents) in events.iter() {
+                if token == TOKEN_WAKE {
+                    self.wake.drain();
+                } else if token >= FIRST_CONN_TOKEN && revents & EPOLLOUT != 0 {
+                    if let Some((conn, out)) = self.conns.get_mut(&token) {
+                        if !flush_outbound(conn, out) {
+                            self.close(token);
+                        }
+                    }
+                }
+            }
+            let done = std::mem::take(&mut *self.dispatch.done.lock().expect("done lock"));
+            for token in done {
+                if let Some((conn, out)) = self.conns.get_mut(&token) {
+                    conn.in_flight = false;
+                    if !flush_outbound(conn, out) {
+                        self.close(token);
+                    }
+                }
+            }
+        }
+        // Anyone still connected gets told why, best effort, then closed.
+        let mut notice = Vec::new();
+        let response = WireResponse::ServerError {
+            message: "server shutting down".into(),
+        };
+        write_frame(&mut notice, &encode_response(&response)).expect("vec write");
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some((conn, _)) = self.conns.get_mut(&token) {
+                let _ = conn.stream.write(&notice);
+            }
+            self.close(token);
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some((conn, _)) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        }
+    }
+}
+
+impl Dispatch {
+    fn push(&self, job: Job) {
+        self.jobs.lock().expect("jobs lock").push_back(job);
+        self.work.notify_one();
+    }
+}
+
+/// Reads until `WouldBlock` or EOF.  Returns `false` only on a fatal
+/// socket error (close immediately, nothing to say to the peer).
+fn read_available(conn: &mut Conn) -> bool {
+    let mut scratch = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut scratch) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                match &mut conn.http_head {
+                    Some(head) => {
+                        let room = MAX_HTTP_HEAD.saturating_sub(head.len());
+                        head.extend_from_slice(&scratch[..n.min(room)]);
+                    }
+                    None => conn.read_buf.extend_from_slice(&scratch[..n]),
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Carves complete frames out of the read buffer (or routes the bytes to
+/// the HTTP head once `GET ` is sniffed where a length prefix belongs).
+/// Frame-layer errors park in `pending_error` so already-queued frames
+/// are still answered first.
+fn parse_available(conn: &mut Conn, config: &ServeConfig) {
+    if conn.pending_error.is_some() {
+        return;
+    }
+    if conn.http_head.is_none() {
+        if conn.read_buf.len() >= HTTP_GET_PREFIX.len()
+            && conn.read_buf[..HTTP_GET_PREFIX.len()] == HTTP_GET_PREFIX
+        {
+            conn.http_head = Some(std::mem::take(&mut conn.read_buf));
+        } else {
+            loop {
+                match try_parse_frame(&conn.read_buf, config.limits.max_frame_len) {
+                    Ok(None) => break,
+                    Ok(Some((consumed, body))) => {
+                        conn.read_buf.drain(..consumed);
+                        conn.pending.push_back(body);
+                    }
+                    Err(e) => {
+                        // The rest of the buffer is garbage relative to
+                        // the framing; drop it and stop reading more.
+                        conn.read_buf.clear();
+                        conn.pending_error = Some(e);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    if conn.peer_eof && conn.http_head.is_none() && !conn.read_buf.is_empty() {
+        // EOF mid-frame: the peer walked away with a frame half-sent.
+        conn.read_buf.clear();
+        conn.pending_error = Some(WireError::Malformed("truncated frame header".into()));
+    }
+}
+
+/// Takes the HTTP head for dispatch once it is complete (blank line seen,
+/// cap reached, or the peer finished sending).
+fn take_complete_http_head(conn: &mut Conn) -> Option<Vec<u8>> {
+    let head = conn.http_head.as_ref()?;
+    if contains_blank_line(head) || head.len() >= MAX_HTTP_HEAD || conn.peer_eof {
+        conn.http_head.take()
+    } else {
+        None
+    }
+}
+
+/// Appends one typed `ServerError` frame and marks the connection for
+/// close-after-drain.
+fn append_error_frame(out: &mut Outbound, message: &str) {
+    let response = WireResponse::ServerError {
+        message: message.into(),
+    };
+    write_frame(&mut out.buf, &encode_response(&response)).expect("vec write");
+    out.closing = true;
+}
+
+/// Writes as much outbound data as the socket accepts.  Returns `false`
+/// when the connection should close (fatal write error, or drained with
+/// `closing` set).
+fn flush_outbound(conn: &mut Conn, out: &Arc<Mutex<Outbound>>) -> bool {
+    let mut out = out.lock().expect("outbound lock");
+    while out.start < out.buf.len() {
+        let start = out.start;
+        match conn.stream.write(&out.buf[start..]) {
+            Ok(0) => return false,
+            Ok(n) => out.start += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(_) => return false,
+        }
+    }
+    if out.is_drained() {
+        out.buf.clear();
+        out.start = 0;
+        !out.closing
+    } else {
+        // Partial write: compact occasionally so a slow reader cannot pin
+        // already-sent bytes forever.
+        if out.start > 64 * 1024 {
+            let start = out.start;
+            out.buf.drain(..start);
+            out.start = 0;
+        }
+        true
+    }
+}
+
+/// A dispatch worker: all CPU work (decode → handle → encode) for one job
+/// at a time, never touching a socket.  Wire-level histograms are
+/// recorded here — the loop thread stays out of the measurement.
+fn dispatch_loop(
+    dispatch: &Dispatch,
+    engine: &Arc<AuditEngine>,
+    queue: &Arc<IngestQueue>,
+    config: &ServeConfig,
+) {
+    loop {
+        let job = {
+            let mut jobs = dispatch.jobs.lock().expect("jobs lock");
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                if dispatch.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                jobs = dispatch
+                    .work
+                    .wait_timeout(jobs, Duration::from_millis(200))
+                    .expect("jobs lock")
+                    .0;
+            }
+        };
+        let registry = engine.metrics_registry();
+        match job {
+            Job::Frames { token, frames, out } => {
+                let mut encoded = Vec::new();
+                let mut closing = false;
+                for frame in frames {
+                    let decode_started = Instant::now();
+                    let decoded = decode_request(frame, &config.limits);
+                    registry.record_frame_decode(elapsed_ns(decode_started));
+                    match decoded {
+                        Ok(request) => {
+                            let service_started = Instant::now();
+                            let response = handle_request(request, engine, queue, config);
+                            registry.record_request_service(elapsed_ns(service_started));
+                            write_frame(&mut encoded, &encode_response(&response))
+                                .expect("vec write");
+                        }
+                        Err(e) => {
+                            // Same contract as the thread-pool core: a
+                            // typed error frame, then close; frames after
+                            // the bad one are not answered.
+                            let response = WireResponse::ServerError {
+                                message: e.to_string(),
+                            };
+                            write_frame(&mut encoded, &encode_response(&response))
+                                .expect("vec write");
+                            closing = true;
+                            break;
+                        }
+                    }
+                }
+                {
+                    let mut out = out.lock().expect("outbound lock");
+                    out.buf.extend_from_slice(&encoded);
+                    if closing {
+                        out.closing = true;
+                    }
+                }
+                dispatch.report_done(token);
+            }
+            Job::Http { token, head, out } => {
+                let response = http_response_for(&head, engine);
+                {
+                    let mut out = out.lock().expect("outbound lock");
+                    out.buf.extend_from_slice(&response);
+                    out.closing = true;
+                }
+                dispatch.report_done(token);
+            }
+        }
+    }
+}
+
+impl Dispatch {
+    fn report_done(&self, token: u64) {
+        self.done.lock().expect("done lock").push(token);
+        self.wake.wake();
+    }
+}

@@ -20,11 +20,20 @@
 //! * [`codec`] — the binary message codec; embedded records reuse the
 //!   store's DAG body format, so sharing-heavy provenance stays O(DAG) on
 //!   the wire and re-interns on arrival;
-//! * [`server`] — the [`AuditServer`]: a bounded accept/worker pool over
-//!   `std::net::TcpListener`, per-connection request pipelining, and
-//!   **back-pressure on ingest** through the engine's bounded
-//!   [`piprov_audit::IngestQueue`] (overflow answers a typed `Busy`, each
-//!   accepted batch applies under one write-lock acquisition);
+//! * [`server`] — the [`AuditServer`] with two interchangeable cores
+//!   ([`ServerCore`]): a readiness-based **epoll event loop** (Linux
+//!   default — one loop thread owning accept and every connection's
+//!   read-accumulate → decode → handle → write-drain state machine, CPU
+//!   work on a small dispatch pool, so thousands of idle connections cost
+//!   only a registered fd) and a portable bounded **accept/worker pool**;
+//!   both share per-connection request pipelining, a plaintext
+//!   `GET /metrics` scrape answer, [`ServeConfig::idle_timeout`]
+//!   enforcement, and **back-pressure on ingest** through the engine's
+//!   bounded [`piprov_audit::IngestQueue`] (overflow answers a typed
+//!   `Busy`, each accepted batch applies under one write-lock
+//!   acquisition);
+//! * [`poll`] (Linux) — the zero-dependency `epoll`/`eventfd` FFI shim
+//!   the event loop stands on;
 //! * [`client`] — the blocking [`AuditClient`] with pipelined queries and
 //!   two ingest modes (blocking, fire-and-batch);
 //! * [`recorder`] — the [`RemoteRecorder`]
@@ -66,12 +75,19 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `poll` module opts back in for the epoll FFI
+// declarations (a `forbid` could not be overridden there).  Everything
+// outside `poll` remains safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod client;
 pub mod codec;
+#[cfg(target_os = "linux")]
+mod event_loop;
+#[cfg(target_os = "linux")]
+pub mod poll;
 pub mod recorder;
 pub mod server;
 pub mod wire;
@@ -79,5 +95,5 @@ pub mod wire;
 pub use client::{AuditClient, ClientConfig, ClientError, FlushAck, IngestOutcome, MetricsReport};
 pub use codec::{WireRequest, WireResponse};
 pub use recorder::RemoteRecorder;
-pub use server::{AuditServer, ServeConfig};
+pub use server::{AuditServer, ServeConfig, ServerCore};
 pub use wire::{WireError, WireLimits, DEFAULT_MAX_FRAME_LEN, DEFAULT_MAX_RECORDS, WIRE_VERSION};

@@ -1,41 +1,99 @@
-//! The TCP front-end of the audit engine.
+//! The TCP front-end of the audit engine, with two interchangeable
+//! **server cores** selected by [`ServeConfig::core`]:
 //!
-//! An [`AuditServer`] owns a bounded **accept/worker pool**: `workers`
-//! threads share one `TcpListener`, each accepting a connection and
-//! serving it to completion, so at most `workers` connections are live at
-//! once and the rest wait in the OS backlog — the pool is the concurrency
-//! bound, not an unbounded thread-per-connection spawn.  Within a
-//! connection, requests are **pipelined**: the worker answers frames
-//! strictly in arrival order, so a client may write many requests before
-//! reading the first response.
+//! * [`ServerCore::EventLoop`] (the default on Linux) — readiness-based
+//!   I/O: one event-loop thread owns `accept` and an `epoll` registration
+//!   per connection (the `event_loop` module); complete frames are
+//!   dispatched to a small worker pool, so thousands of idle connections
+//!   cost only their registered fd while active ones saturate the
+//!   engine's lock-free MVCC read path;
+//! * [`ServerCore::ThreadPool`] — the portable fallback in this module: a
+//!   bounded **accept/worker pool** where `workers` threads share one
+//!   `TcpListener`, each accepting a connection and serving it to
+//!   completion, so at most `workers` connections are live at once and
+//!   the rest wait in the OS backlog.
 //!
-//! Ingest takes the bounded path: an `IngestBatch` frame is submitted to
-//! the engine's [`IngestQueue`]; a full queue answers a typed
-//! [`WireResponse::Busy`] immediately — the server never buffers a
+//! Both cores share every protocol behavior.  Within a connection,
+//! requests are **pipelined**: frames are answered strictly in arrival
+//! order, so a client may write many requests before reading the first
+//! response.  Ingest takes the bounded path: an `IngestBatch` frame is
+//! submitted to the engine's [`IngestQueue`]; a full queue answers a
+//! typed [`WireResponse::Busy`] immediately — the server never buffers a
 //! writer's backlog in its own memory — and accepted batches are applied
 //! under one write-lock acquisition each by the queue's drain worker.
 //!
 //! Malformed input (bad CRC, hostile length prefix, unknown tag) is a
-//! typed error, never a panic: the worker sends a best-effort
+//! typed error, never a panic: the server sends a best-effort
 //! [`WireResponse::ServerError`] frame naming the cause and closes that
-//! connection; the pool keeps serving everyone else.
+//! connection; everyone else keeps being served.  A plaintext
+//! `GET /metrics` where a frame header would be is answered with one
+//! HTTP/1.1 response carrying the Prometheus exposition (see
+//! [`ServeConfig`]), and [`ServeConfig::idle_timeout`] bounds how long an
+//! idle connection may hold its resources in either core.
 
 use crate::codec::{decode_request, encode_response, WireRequest, WireResponse};
-use crate::wire::{read_frame, write_frame, WireError, WireLimits};
+use crate::wire::{read_frame_or_http, write_frame, FrameOrHttp, WireError, WireLimits};
 use piprov_audit::{AuditEngine, BarrierError, IngestQueue, SubmitOutcome};
 use piprov_store::StoreError;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Which serving core an [`AuditServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerCore {
+    /// Readiness-based I/O: one epoll event-loop thread owning accept and
+    /// per-connection state machines, dispatching complete frames to a
+    /// worker pool.  Linux-only; on other platforms [`AuditServer::bind`]
+    /// silently falls back to [`ServerCore::ThreadPool`].
+    EventLoop,
+    /// The portable accept/worker pool: at most `workers` live
+    /// connections, the rest in the OS backlog.
+    ThreadPool,
+}
+
+impl ServerCore {
+    /// Both cores, event loop first — what the parameterized integration
+    /// suites iterate to pin identical protocol behavior across cores.
+    pub fn all() -> [ServerCore; 2] {
+        [ServerCore::EventLoop, ServerCore::ThreadPool]
+    }
+
+    /// A short, stable name (`"event_loop"` / `"thread_pool"`) for test
+    /// labels and temp-dir suffixes.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServerCore::EventLoop => "event_loop",
+            ServerCore::ThreadPool => "thread_pool",
+        }
+    }
+}
+
+impl Default for ServerCore {
+    /// The event loop where it exists (Linux), the thread pool elsewhere.
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            ServerCore::EventLoop
+        } else {
+            ServerCore::ThreadPool
+        }
+    }
+}
 
 /// Configuration of an [`AuditServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Size of the accept/worker pool — the maximum number of concurrently
-    /// served connections (further connections wait in the OS backlog).
+    /// Which serving core to run (see [`ServerCore`]).
+    pub core: ServerCore,
+    /// For [`ServerCore::ThreadPool`]: the size of the accept/worker pool
+    /// — the maximum number of concurrently served connections (further
+    /// connections wait in the OS backlog).  For
+    /// [`ServerCore::EventLoop`]: the size of the dispatch worker pool —
+    /// the number of frames handled concurrently (connections themselves
+    /// are unbounded by threads; an idle one costs only its fd).
     pub workers: usize,
     /// Capacity of the bounded ingest queue, in batches; overflow answers
     /// [`WireResponse::Busy`].
@@ -50,18 +108,29 @@ pub struct ServeConfig {
     /// connection — a slow or hostile flusher cannot occupy the pool
     /// forever.
     pub flush_timeout: Duration,
+    /// When set, a connection idle (no frame started) past this bound is
+    /// closed with a best-effort typed `ServerError{"idle timeout"}`
+    /// frame — enforced in **both** cores, so an idle client can neither
+    /// pin a thread-pool worker slot nor hold an event-loop fd forever.
+    /// `None` (the default) never expires idle connections.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            core: ServerCore::default(),
             workers: 4,
             queue_capacity: 64,
             limits: WireLimits::default(),
             flush_timeout: Duration::from_secs(10),
+            idle_timeout: None,
         }
     }
 }
+
+/// The message an idle-expired connection is closed with, in both cores.
+pub(crate) const IDLE_TIMEOUT_MESSAGE: &str = "idle timeout";
 
 /// A running cross-process audit server.
 ///
@@ -74,16 +143,29 @@ pub struct AuditServer {
     queue: Arc<IngestQueue>,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    workers: Vec<JoinHandle<()>>,
+    core: CoreHandle,
+    stopped: bool,
+}
+
+/// The running threads of whichever core [`AuditServer::bind`] started.
+#[derive(Debug)]
+enum CoreHandle {
+    ThreadPool {
+        workers: Vec<JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    EventLoop(crate::event_loop::EventLoopHandle),
 }
 
 impl AuditServer {
-    /// Binds `addr` and starts the worker pool.  Use port 0 to let the OS
-    /// pick a free port ([`AuditServer::local_addr`] reports it).
+    /// Binds `addr` and starts the core selected by [`ServeConfig::core`].
+    /// Use port 0 to let the OS pick a free port
+    /// ([`AuditServer::local_addr`] reports it).
     ///
     /// # Errors
     ///
-    /// Propagates bind/listen failures.
+    /// Propagates bind/listen failures (and, for the event-loop core,
+    /// epoll/eventfd setup failures).
     pub fn bind(
         engine: Arc<AuditEngine>,
         addr: impl ToSocketAddrs,
@@ -91,30 +173,49 @@ impl AuditServer {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let listener = Arc::new(listener);
         let queue = Arc::new(IngestQueue::start(
             Arc::clone(&engine),
             config.queue_capacity,
         ));
         let stop = Arc::new(AtomicBool::new(false));
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let listener = Arc::clone(&listener);
-                let engine = Arc::clone(&engine);
-                let queue = Arc::clone(&queue);
-                let stop = Arc::clone(&stop);
-                std::thread::Builder::new()
-                    .name(format!("piprov-serve-{}", i))
-                    .spawn(move || worker_loop(&listener, &engine, &queue, &stop, &config))
-                    .expect("spawn serve worker")
-            })
-            .collect();
+        let core = match config.core {
+            #[cfg(target_os = "linux")]
+            ServerCore::EventLoop => {
+                CoreHandle::EventLoop(crate::event_loop::EventLoopHandle::start(
+                    listener,
+                    Arc::clone(&engine),
+                    Arc::clone(&queue),
+                    Arc::clone(&stop),
+                    config,
+                )?)
+            }
+            // Off Linux there is no epoll: the event-loop request falls
+            // back to the portable core, keeping `ServeConfig::default()`
+            // usable everywhere.
+            _ => {
+                let listener = Arc::new(listener);
+                let workers = (0..config.workers.max(1))
+                    .map(|i| {
+                        let listener = Arc::clone(&listener);
+                        let engine = Arc::clone(&engine);
+                        let queue = Arc::clone(&queue);
+                        let stop = Arc::clone(&stop);
+                        std::thread::Builder::new()
+                            .name(format!("piprov-serve-{}", i))
+                            .spawn(move || worker_loop(&listener, &engine, &queue, &stop, &config))
+                            .expect("spawn serve worker")
+                    })
+                    .collect();
+                CoreHandle::ThreadPool { workers }
+            }
+        };
         Ok(AuditServer {
             engine,
             queue,
             local_addr,
             stop,
-            workers,
+            core,
+            stopped: false,
         })
     }
 
@@ -134,29 +235,47 @@ impl AuditServer {
         &self.queue
     }
 
-    /// Stops accepting, joins the workers, drains the ingest queue and
-    /// syncs the store.
+    /// Which core this server is actually running (the configured core,
+    /// after any platform fallback).
+    pub fn core(&self) -> ServerCore {
+        match self.core {
+            CoreHandle::ThreadPool { .. } => ServerCore::ThreadPool,
+            #[cfg(target_os = "linux")]
+            CoreHandle::EventLoop(_) => ServerCore::EventLoop,
+        }
+    }
+
+    /// Stops accepting, joins the core's threads, drains the ingest queue
+    /// and syncs the store.
     ///
     /// # Errors
     ///
     /// Surfaces the first deferred ingest error or a sync failure.
     pub fn shutdown(mut self) -> Result<(), StoreError> {
-        self.stop_workers();
+        self.stop_core();
+        self.stopped = true;
         self.queue.flush()
     }
 
-    fn stop_workers(&mut self) {
+    fn stop_core(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock workers parked in accept(): one wake-up connection each.
-        // The listener may be bound to a wildcard address (`0.0.0.0:0`),
-        // which is not connectable on every platform — rewrite it to the
-        // matching loopback, where the listener is reachable.
-        let wake = wake_addr(self.local_addr);
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        match &mut self.core {
+            CoreHandle::ThreadPool { workers } => {
+                // Unblock workers parked in accept(): one wake-up
+                // connection each.  The listener may be bound to a
+                // wildcard address (`0.0.0.0:0`), which is not connectable
+                // on every platform — rewrite it to the matching loopback,
+                // where the listener is reachable.
+                let wake = wake_addr(self.local_addr);
+                for _ in 0..workers.len() {
+                    let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+                }
+                for worker in workers.drain(..) {
+                    let _ = worker.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            CoreHandle::EventLoop(handle) => handle.stop(),
         }
     }
 }
@@ -179,8 +298,8 @@ fn wake_addr(bound: SocketAddr) -> SocketAddr {
 
 impl Drop for AuditServer {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
-            self.stop_workers();
+        if !self.stopped {
+            self.stop_core();
             let _ = self.queue.flush();
         }
     }
@@ -235,7 +354,8 @@ fn send_shutdown_notice(stream: TcpStream) {
     let _ = writer.flush();
 }
 
-/// Serves one connection until clean close, error, or server shutdown.
+/// Serves one connection until clean close, error, idle expiry, or server
+/// shutdown.
 fn serve_connection(
     stream: TcpStream,
     engine: &Arc<AuditEngine>,
@@ -246,19 +366,35 @@ fn serve_connection(
     let limits = config.limits;
     stream.set_nodelay(true).ok();
     // The idle tick: a read timeout between frames lets the worker notice
-    // a shutdown without dropping a connected client's bytes.
+    // a shutdown (or an expired idle bound) without dropping a connected
+    // client's bytes.
     stream
         .set_read_timeout(Some(Duration::from_millis(200)))
         .ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    let mut idle_since = Instant::now();
     loop {
-        let frame = match read_frame(&mut reader, limits.max_frame_len) {
-            Ok(None) => return Ok(()),
-            Ok(Some(frame)) => frame,
+        let decode_started = Instant::now();
+        let frame = match read_frame_or_http(&mut reader, limits.max_frame_len) {
+            Ok(FrameOrHttp::Eof) => return Ok(()),
+            Ok(FrameOrHttp::Frame(frame)) => frame,
+            Ok(FrameOrHttp::HttpGet(head)) => {
+                return serve_http_get(&head, &mut reader, &mut writer, engine);
+            }
             Err(e) if e.is_timeout() => {
                 if stop.load(Ordering::SeqCst) {
                     return Ok(());
+                }
+                if let Some(bound) = config.idle_timeout {
+                    if idle_since.elapsed() >= bound {
+                        let notice = WireResponse::ServerError {
+                            message: IDLE_TIMEOUT_MESSAGE.into(),
+                        };
+                        let _ = write_frame(&mut writer, &encode_response(&notice));
+                        let _ = writer.flush();
+                        return Ok(());
+                    }
                 }
                 continue;
             }
@@ -269,8 +405,19 @@ fn serve_connection(
                 return Err(e);
             }
         };
-        let response = match decode_request(frame, &limits) {
-            Ok(request) => handle_request(request, engine, queue, config),
+        idle_since = Instant::now();
+        let registry = engine.metrics_registry();
+        let decoded = decode_request(frame, &limits);
+        // Decode time covers bytes → typed request (the header/body read
+        // is readiness-bound, not decode work).
+        registry.record_frame_decode(elapsed_ns(decode_started));
+        let response = match decoded {
+            Ok(request) => {
+                let service_started = Instant::now();
+                let response = handle_request(request, engine, queue, config);
+                registry.record_request_service(elapsed_ns(service_started));
+                response
+            }
             Err(e) => {
                 send_error(&mut writer, &e);
                 return Err(e);
@@ -279,6 +426,109 @@ fn serve_connection(
         write_frame(&mut writer, &encode_response(&response))?;
         writer.flush()?;
     }
+}
+
+/// Nanoseconds since `start`, saturating into the histogram's `u64`.
+pub(crate) fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Answers a plaintext HTTP `GET` detected at a frame boundary: reads the
+/// rest of the request head (bounded in size and time — a scraper, not a
+/// peer, is on the other side), writes one `Connection: close` response,
+/// and ends the connection.
+fn serve_http_get(
+    head: &[u8],
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    engine: &AuditEngine,
+) -> Result<(), WireError> {
+    let mut request = head.to_vec();
+    read_http_head(reader, &mut request);
+    writer.write_all(&http_response_for(&request, engine))?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Upper bound on a buffered HTTP request head — far beyond any scrape
+/// request, small enough that a hostile peer cannot balloon the buffer.
+pub(crate) const MAX_HTTP_HEAD: usize = 8 * 1024;
+
+/// Accumulates request bytes until the blank line ending the head, EOF,
+/// the size cap, or a two-second deadline — whichever first.  Best
+/// effort: the response is served from whatever arrived (only the request
+/// line matters); draining the full head just lets the scraper read the
+/// response before the close.
+fn read_http_head(reader: &mut impl BufRead, request: &mut Vec<u8>) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while !contains_blank_line(request) && request.len() < MAX_HTTP_HEAD {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if Instant::now() >= deadline {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        if chunk.is_empty() {
+            return;
+        }
+        let take = chunk.len().min(MAX_HTTP_HEAD - request.len());
+        request.extend_from_slice(&chunk[..take]);
+        reader.consume(take);
+    }
+}
+
+/// Whether `head` already contains the `\r\n\r\n` ending an HTTP request
+/// head (a bare `\n\n` is tolerated for hand-typed requests).
+pub(crate) fn contains_blank_line(head: &[u8]) -> bool {
+    head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n")
+}
+
+/// Renders the complete HTTP/1.1 response for a sniffed `GET` request:
+/// the Prometheus exposition for `/metrics` (`text/plain; version=0.0.4`,
+/// the content type Prometheus scrapers negotiate), 404 for any other
+/// path.  Always `Connection: close` — the scrape path is one-shot, never
+/// a persistent peer.
+pub(crate) fn http_response_for(head: &[u8], engine: &AuditEngine) -> Vec<u8> {
+    let (status, content_type, body) = match http_request_path(head) {
+        Some("/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            piprov_audit::render_exposition(&engine.metrics()),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let mut response = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        content_type,
+        body.len()
+    )
+    .into_bytes();
+    response.extend_from_slice(body.as_bytes());
+    response
+}
+
+/// The request path of a `GET` request line, if `head` starts with one.
+fn http_request_path(head: &[u8]) -> Option<&str> {
+    let line_end = head
+        .iter()
+        .position(|&b| b == b'\r' || b == b'\n')
+        .unwrap_or(head.len());
+    let line = std::str::from_utf8(&head[..line_end]).ok()?;
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    parts.next()
 }
 
 fn send_error(writer: &mut impl Write, error: &WireError) {
@@ -290,8 +540,9 @@ fn send_error(writer: &mut impl Write, error: &WireError) {
 }
 
 /// Maps one decoded request onto the engine/queue.  Never panics; store
-/// failures become [`WireResponse::ServerError`].
-fn handle_request(
+/// failures become [`WireResponse::ServerError`].  Shared by both cores —
+/// the event loop's dispatch workers call it per frame.
+pub(crate) fn handle_request(
     request: WireRequest,
     engine: &Arc<AuditEngine>,
     queue: &Arc<IngestQueue>,
@@ -330,7 +581,7 @@ fn handle_request(
             },
         },
         WireRequest::Stats => WireResponse::Stats(engine.stats()),
-        WireRequest::Metrics => WireResponse::Metrics(engine.metrics()),
+        WireRequest::Metrics => WireResponse::Metrics(Box::new(engine.metrics())),
     }
 }
 

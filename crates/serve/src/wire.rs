@@ -31,9 +31,11 @@ use std::io::{ErrorKind, Read, Write};
 ///
 /// Version 2 added the MVCC snapshot watermark to every audit response,
 /// to `Flushed`, and to the engine-stats payload (`snapshots_published`,
-/// `snapshot_lag`, `watermark`); version-1 peers are refused with a typed
+/// `snapshot_lag`, `watermark`).  Version 3 added the wire-level
+/// histograms (frame-decode, request-service, ingest queue-wait) to the
+/// `Metrics` payload.  Older peers are refused with a typed
 /// [`WireError::UnsupportedVersion`].
-pub const WIRE_VERSION: u8 = 2;
+pub const WIRE_VERSION: u8 = 3;
 
 /// Default cap on the length prefix a peer will honour (16 MiB — far above
 /// any legitimate message, far below a memory-exhaustion attack).
@@ -206,6 +208,117 @@ pub fn read_frame(reader: &mut impl Read, max_len: u32) -> Result<Option<Bytes>,
     Ok(Some(Bytes::from(body)))
 }
 
+/// Tries to parse one complete frame from the front of `buf` — the
+/// incremental counterpart of [`read_frame`] for non-blocking readers
+/// that accumulate bytes as readiness delivers them (the event-loop
+/// server core's read-accumulate state).
+///
+/// Returns `Ok(None)` when `buf` holds only a prefix of a frame (read
+/// more and call again) and `Ok(Some((consumed, body)))` when a full
+/// frame was available: the caller drains `consumed` bytes off the front
+/// of its buffer and owns the decoded body.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] as soon as the four length-prefix bytes
+/// are present and over `max_len` (nothing further is buffered for a
+/// hostile prefix), or [`WireError::ChecksumMismatch`] once the complete
+/// body is present but fails its CRC.
+pub fn try_parse_frame(buf: &[u8], max_len: u32) -> Result<Option<(usize, Bytes)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(buf[..4].try_into().expect("4 bytes"));
+    if len > max_len {
+        return Err(WireError::FrameTooLarge { len, max: max_len });
+    }
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let expected_crc = u32::from_be_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let total = 8 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = &buf[8..total];
+    if crc32(body) != expected_crc {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok(Some((total, Bytes::from(body.to_vec()))))
+}
+
+/// The first bytes of an HTTP GET request line — what a frame's length
+/// prefix would be if the peer is actually a plaintext HTTP scraper
+/// (`0x47455420` ≈ 1.19 GiB, far above any sane frame cap, so no framed
+/// peer can collide with it).
+pub const HTTP_GET_PREFIX: [u8; 4] = *b"GET ";
+
+/// What [`read_frame_or_http`] found at the frame boundary.
+#[derive(Debug)]
+pub enum FrameOrHttp {
+    /// Clean end-of-stream at the boundary.
+    Eof,
+    /// One complete, CRC-checked frame body.
+    Frame(Bytes),
+    /// The peer is speaking plaintext HTTP: the 8 bytes read as a frame
+    /// header are actually the start of a `GET ` request line (returned
+    /// so the caller can keep parsing the line from its beginning).
+    HttpGet([u8; 8]),
+}
+
+/// Reads one frame like [`read_frame`], additionally detecting a
+/// plaintext `GET ` where the length prefix would be — the `/metrics`
+/// scrape path.  Timeout semantics are identical to [`read_frame`]:
+/// a boundary stall is a retryable [`WireError::IdleTimeout`], a
+/// mid-frame stall is [`WireError::Io`].
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_frame_or_http(reader: &mut impl Read, max_len: u32) -> Result<FrameOrHttp, WireError> {
+    let mut header = [0u8; 8];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match reader.read(&mut header[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(FrameOrHttp::Eof);
+                }
+                return Err(WireError::Malformed("truncated frame header".into()));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e)
+                if filled == 0
+                    && matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+            {
+                return Err(WireError::IdleTimeout);
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    if header[..4] == HTTP_GET_PREFIX {
+        return Ok(FrameOrHttp::HttpGet(header));
+    }
+    let len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes"));
+    let expected_crc = u32::from_be_bytes(header[4..].try_into().expect("4 bytes"));
+    if len > max_len {
+        return Err(WireError::FrameTooLarge { len, max: max_len });
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            WireError::Malformed("truncated frame body".into())
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    if crc32(&body) != expected_crc {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok(FrameOrHttp::Frame(Bytes::from(body)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +398,83 @@ mod tests {
         assert!(WireError::UnsupportedVersion(9).to_string().contains("9"));
         assert!(!WireError::ChecksumMismatch.is_timeout());
         assert!(WireError::IdleTimeout.is_timeout());
+    }
+
+    #[test]
+    fn incremental_parse_matches_the_blocking_reader_byte_for_byte() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"third frame body").unwrap();
+
+        // Feed the accumulated buffer one byte at a time: every prefix
+        // short of a full frame parses to None, and each completed frame
+        // pops exactly once with the right body.
+        let mut buf: Vec<u8> = Vec::new();
+        let mut bodies: Vec<Vec<u8>> = Vec::new();
+        for byte in &wire {
+            buf.push(*byte);
+            while let Some((consumed, body)) = try_parse_frame(&buf, 1024).unwrap() {
+                bodies.push(body.as_ref().to_vec());
+                buf.drain(..consumed);
+            }
+        }
+        assert!(buf.is_empty(), "every byte belonged to some frame");
+        assert_eq!(
+            bodies,
+            vec![b"first".to_vec(), Vec::new(), b"third frame body".to_vec()]
+        );
+    }
+
+    #[test]
+    fn incremental_parse_rejects_hostile_prefixes_with_four_bytes() {
+        // The cap fires as soon as the length prefix is readable — the
+        // parser never asks for (or buffers toward) the advertised body.
+        let hostile = u32::MAX.to_be_bytes();
+        assert!(matches!(
+            try_parse_frame(&hostile, 1 << 20),
+            Err(WireError::FrameTooLarge { len: u32::MAX, .. })
+        ));
+        // Under four bytes nothing is decidable yet.
+        assert!(matches!(try_parse_frame(&hostile[..3], 1 << 20), Ok(None)));
+    }
+
+    #[test]
+    fn incremental_parse_checks_the_crc_only_on_the_full_body() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        // One byte short: undecidable, not yet an error.
+        assert!(matches!(
+            try_parse_frame(&wire[..wire.len() - 1], 1024),
+            Ok(None)
+        ));
+        assert!(matches!(
+            try_parse_frame(&wire, 1024),
+            Err(WireError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn the_sniffing_reader_forks_frames_from_http() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"framed").unwrap();
+        let mut cursor = Cursor::new(wire);
+        assert!(matches!(
+            read_frame_or_http(&mut cursor, 1024).unwrap(),
+            FrameOrHttp::Frame(body) if body.as_ref() == b"framed"
+        ));
+        assert!(matches!(
+            read_frame_or_http(&mut cursor, 1024).unwrap(),
+            FrameOrHttp::Eof
+        ));
+
+        let mut http = Cursor::new(b"GET /metrics HTTP/1.1\r\n\r\n".to_vec());
+        match read_frame_or_http(&mut http, 1024).unwrap() {
+            FrameOrHttp::HttpGet(prefix) => assert_eq!(&prefix, b"GET /met"),
+            other => panic!("expected HttpGet, got {:?}", other),
+        }
     }
 
     /// Yields `prefix` bytes, then times out on every further read —

@@ -1,0 +1,341 @@
+//! Behaviors this PR added to the serving layer, pinned against **both**
+//! cores where they are core-independent (idle timeout, the `/metrics`
+//! HTTP scrape) and against the event loop alone where they are its
+//! reason to exist (thousands-of-connections scale, pipelined bursts
+//! through the dispatch pool).
+
+use piprov_audit::{AuditEngine, AuditOutcome, AuditRequest};
+use piprov_core::name::{Channel, Principal};
+use piprov_core::provenance::{Event, Provenance};
+use piprov_core::value::Value;
+use piprov_patterns::{GroupExpr, Pattern};
+use piprov_serve::{AuditClient, AuditServer, ClientError, ServeConfig, ServerCore, WireResponse};
+use piprov_store::{Operation, ProvenanceRecord};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dir(name: &str, core: ServerCore) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!(
+        "piprov-serve-ec-{}-{}-{}",
+        std::process::id(),
+        name,
+        core.name()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn value(name: &str) -> Value {
+    Value::Channel(Channel::new(name))
+}
+
+fn record(i: u64, who: &str) -> ProvenanceRecord {
+    let k = Provenance::single(Event::output(Principal::new(who), Provenance::empty()));
+    ProvenanceRecord::new(
+        i,
+        who,
+        Operation::Send,
+        "m",
+        value(&format!("item{}", i)),
+        k,
+    )
+}
+
+#[test]
+fn idle_connections_get_a_typed_timeout_frame_in_both_cores() {
+    for core in ServerCore::all() {
+        let dir = temp_dir("idle", core);
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        let server = AuditServer::bind(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServeConfig {
+                core,
+                idle_timeout: Some(Duration::from_millis(300)),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+
+        // An idle client is told why before the close — a typed frame, not
+        // a silent EOF.
+        let mut idler = AuditClient::connect(server.local_addr()).unwrap();
+        match idler.receive_response() {
+            Ok(WireResponse::ServerError { message }) => {
+                assert!(
+                    message.contains("idle timeout"),
+                    "core {}: expected an idle-timeout notice, got {:?}",
+                    core.name(),
+                    message
+                );
+            }
+            other => panic!(
+                "core {}: expected the idle-timeout frame, got {:?}",
+                core.name(),
+                other
+            ),
+        }
+        assert!(
+            matches!(
+                idler.receive_response(),
+                Err(ClientError::ConnectionClosed) | Err(ClientError::Wire(_))
+            ),
+            "core {}: the notice is followed by the close",
+            core.name()
+        );
+
+        // A connection that keeps talking (gaps well under the bound)
+        // outlives many idle windows.
+        let mut active = AuditClient::connect(server.local_addr()).unwrap();
+        for _ in 0..6 {
+            std::thread::sleep(Duration::from_millis(100));
+            active.stats().unwrap();
+        }
+        drop(active);
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// One raw HTTP GET against the framed port; returns the full response.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {} HTTP/1.1\r\nHost: piprov\r\n\r\n", path).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn a_plaintext_get_on_the_framed_port_scrapes_the_exposition_in_both_cores() {
+    for core in ServerCore::all() {
+        let dir = temp_dir("http", core);
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        engine.register_pattern("from-s0", Pattern::originated_at(GroupExpr::single("s0")));
+        let server = AuditServer::bind(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServeConfig {
+                core,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // Put real numbers on the metrics plane first.
+        let mut client = AuditClient::connect(addr).unwrap();
+        client.ingest_blocking(vec![record(0, "s0")]).unwrap();
+        client.flush().unwrap();
+        client
+            .request(&AuditRequest::VetValue {
+                value: value("item0"),
+                pattern: "from-s0".into(),
+            })
+            .unwrap();
+
+        let response = http_get(addr, "/metrics");
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK\r\n"),
+            "core {}: {}",
+            core.name(),
+            &response[..response.len().min(200)]
+        );
+        assert!(response.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(response.contains("Connection: close"));
+        let body = response
+            .split_once("\r\n\r\n")
+            .expect("header/body split")
+            .1;
+        piprov_audit::validate_exposition(body).unwrap();
+        assert!(body.contains("piprov_ingested_total 1\n"));
+        assert!(body.contains("piprov_vets_passed_total 1\n"));
+        // The serve layer's own histograms observed the framed traffic
+        // that just happened.
+        assert!(body.contains("# TYPE piprov_frame_decode_seconds histogram"));
+        assert!(body.contains("# TYPE piprov_request_service_seconds histogram"));
+        assert!(body.contains("# TYPE piprov_ingest_queue_wait_seconds histogram"));
+        for family in [
+            "piprov_frame_decode_seconds",
+            "piprov_request_service_seconds",
+            "piprov_ingest_queue_wait_seconds",
+        ] {
+            let count_line = body
+                .lines()
+                .find(|l| l.starts_with(&format!("{}_count ", family)))
+                .unwrap_or_else(|| panic!("{} has no _count sample", family));
+            let count: u64 = count_line
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(
+                count >= 1,
+                "core {}: {} never observed",
+                core.name(),
+                family
+            );
+        }
+
+        // Any other path is a 404, not a hang and not a frame error.
+        let missing = http_get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found\r\n"));
+
+        // The framed protocol is undisturbed by the HTTP detour.
+        assert_eq!(client.stats().unwrap().ingested, 1);
+        drop(client);
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// The fd-limit probe lives in the Linux-only `poll` module; off Linux the
+// event loop itself is a fallback, so there is nothing to prove.
+#[cfg(target_os = "linux")]
+#[test]
+fn the_event_loop_holds_hundreds_of_idle_connections_while_serving_active_ones() {
+    let core = ServerCore::EventLoop;
+    let dir = temp_dir("scale", core);
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    engine.register_pattern("any", Pattern::Any);
+    let server = AuditServer::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig {
+            core,
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Far more connections than any worker pool has threads; scaled down
+    // only if the fd limit is unusually tight (each conn costs two fds:
+    // ours and the server's).
+    let target = 300usize;
+    let idle_count = piprov_serve::poll::max_open_files()
+        .map(|limit| target.min((limit as usize).saturating_sub(128) / 2))
+        .unwrap_or(target);
+    let idle: Vec<TcpStream> = (0..idle_count)
+        .map(|_| TcpStream::connect(addr).unwrap())
+        .collect();
+    assert!(idle.len() >= 64, "fd limit too low to prove anything");
+
+    // With all those connections parked, active clients still get served.
+    let mut active = AuditClient::connect(addr).unwrap();
+    for i in 0..32u64 {
+        active.ingest_blocking(vec![record(i, "s0")]).unwrap();
+    }
+    active.flush().unwrap();
+    for i in 0..32u64 {
+        let vet = active
+            .request(&AuditRequest::VetValue {
+                value: value(&format!("item{}", i)),
+                pattern: "any".into(),
+            })
+            .unwrap();
+        assert!(matches!(
+            vet.outcome,
+            AuditOutcome::Vetted { verdict: true, .. }
+        ));
+    }
+    assert_eq!(engine.stats().ingested, 32);
+
+    // The parked connections are not zombies: a sampling of them can
+    // still speak the protocol.
+    for stream in idle.iter().step_by(idle.len() / 8) {
+        let mut probe = AuditClient::from_stream(stream.try_clone().unwrap()).unwrap();
+        assert_eq!(probe.stats().unwrap().ingested, 32);
+    }
+    drop(active);
+    drop(idle);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_pipelined_burst_through_the_dispatch_pool_answers_in_request_order() {
+    let core = ServerCore::EventLoop;
+    let dir = temp_dir("burst", core);
+    let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+    engine.register_pattern("any", Pattern::Any);
+    let server = AuditServer::bind(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig {
+            core,
+            workers: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = AuditClient::connect(server.local_addr()).unwrap();
+    for i in 0..16u64 {
+        client.ingest_blocking(vec![record(i, "s0")]).unwrap();
+    }
+    client.flush().unwrap();
+
+    // 256 requests written before any response is read: each answer is
+    // distinguishable by its value, so a single transposition fails.
+    let requests: Vec<AuditRequest> = (0..256u64)
+        .map(|i| AuditRequest::OriginOf {
+            value: value(&format!("item{}", i % 16)),
+        })
+        .collect();
+    let responses = client.pipeline(&requests).unwrap();
+    assert_eq!(responses.len(), 256);
+    for response in &responses {
+        assert_eq!(
+            response.outcome,
+            AuditOutcome::Origin {
+                principal: Some(Principal::new("s0"))
+            }
+        );
+    }
+    // Interleave a query kind with a different outcome shape and check
+    // the answers land on the right slots.
+    let mixed: Vec<AuditRequest> = (0..64u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                AuditRequest::OriginOf {
+                    value: value(&format!("item{}", i % 16)),
+                }
+            } else {
+                AuditRequest::VetValue {
+                    value: value(&format!("item{}", i % 16)),
+                    pattern: "any".into(),
+                }
+            }
+        })
+        .collect();
+    let responses = client.pipeline(&mixed).unwrap();
+    for (i, response) in responses.iter().enumerate() {
+        if i % 2 == 0 {
+            assert!(
+                matches!(response.outcome, AuditOutcome::Origin { .. }),
+                "slot {} got {:?}",
+                i,
+                response.outcome
+            );
+        } else {
+            assert!(
+                matches!(response.outcome, AuditOutcome::Vetted { .. }),
+                "slot {} got {:?}",
+                i,
+                response.outcome
+            );
+        }
+    }
+    drop(client);
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

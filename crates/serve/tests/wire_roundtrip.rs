@@ -22,7 +22,8 @@ use piprov_patterns::MemoStats;
 use piprov_serve::codec::{decode_request, decode_response, encode_request, encode_response};
 use piprov_serve::wire::{read_frame, write_frame};
 use piprov_serve::{
-    AuditClient, AuditServer, ClientError, ServeConfig, WireError, WireLimits, WireResponse,
+    AuditClient, AuditServer, ClientError, ServeConfig, ServerCore, WireError, WireLimits,
+    WireResponse,
 };
 use piprov_store::{AuditTrail, Operation, ProvenanceRecord};
 use proptest::prelude::*;
@@ -223,7 +224,12 @@ fn arb_metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
             (0usize..64, 0usize..1 << 20, 0u64..1 << 40, 0u64..1 << 40),
             0..5,
         ),
-        0u64..1 << 40,
+        (
+            0u64..1 << 40,
+            arb_histogram(),
+            arb_histogram(),
+            arb_histogram(),
+        ),
         proptest::collection::vec(arb_policy_snapshot(), 0..4),
     )
         .prop_map(
@@ -232,7 +238,7 @@ fn arb_metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
                 (records, segments, bytes),
                 (hits, misses, shards, interned_nodes),
                 shard_rows,
-                vets_unknown_pattern,
+                (vets_unknown_pattern, frame_decode, request_service, ingest_queue_wait),
                 policies,
             )| MetricsSnapshot {
                 engine,
@@ -257,6 +263,9 @@ fn arb_metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
                     })
                     .collect(),
                 vets_unknown_pattern,
+                frame_decode,
+                request_service,
+                ingest_queue_wait,
                 policies,
             },
         )
@@ -297,7 +306,7 @@ fn arb_wire_response() -> impl Strategy<Value = WireResponse> {
             }
         }),
         1 => arb_engine_stats().prop_map(WireResponse::Stats),
-        1 => arb_metrics_snapshot().prop_map(WireResponse::Metrics),
+        1 => arb_metrics_snapshot().prop_map(|m| WireResponse::Metrics(Box::new(m))),
         1 => (0u32..64).prop_map(|i| WireResponse::ServerError {
             message: format!("error {}", i),
         }),
@@ -401,15 +410,25 @@ fn max_size_batch_round_trips_and_the_cap_binds() {
 }
 
 // ---------------------------------------------------------------------------
-// Malformed frames against a live server.
+// Malformed frames against a live server — run against both cores: hostile
+// input must die the same typed death whichever core fields it.
 // ---------------------------------------------------------------------------
 
-fn live_server(name: &str) -> (AuditServer, std::path::PathBuf) {
+fn live_server(name: &str, core: ServerCore) -> (AuditServer, std::path::PathBuf) {
     let mut dir = std::env::temp_dir();
-    dir.push(format!("piprov-serve-mal-{}-{}", std::process::id(), name));
+    dir.push(format!(
+        "piprov-serve-mal-{}-{}-{}",
+        std::process::id(),
+        name,
+        core.name()
+    ));
     let _ = std::fs::remove_dir_all(&dir);
     let engine = Arc::new(AuditEngine::open(&dir).unwrap());
-    let server = AuditServer::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let config = ServeConfig {
+        core,
+        ..ServeConfig::default()
+    };
+    let server = AuditServer::bind(engine, "127.0.0.1:0", config).unwrap();
     (server, dir)
 }
 
@@ -431,85 +450,93 @@ fn expect_server_error_then_close(client: &mut AuditClient, what: &str) {
 
 #[test]
 fn hostile_length_prefix_gets_a_typed_error_and_the_server_survives() {
-    let (server, dir) = live_server("hostile-len");
-    let addr = server.local_addr();
-    {
-        let mut client = AuditClient::connect(addr).unwrap();
-        // A frame header announcing a 4 GiB body.
-        let mut frame = Vec::new();
-        frame.extend_from_slice(&u32::MAX.to_be_bytes());
-        frame.extend_from_slice(&0u32.to_be_bytes());
-        client.send_raw(&frame).unwrap();
-        expect_server_error_then_close(&mut client, "hostile length");
+    for core in ServerCore::all() {
+        let (server, dir) = live_server("hostile-len", core);
+        let addr = server.local_addr();
+        {
+            let mut client = AuditClient::connect(addr).unwrap();
+            // A frame header announcing a 4 GiB body.
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&u32::MAX.to_be_bytes());
+            frame.extend_from_slice(&0u32.to_be_bytes());
+            client.send_raw(&frame).unwrap();
+            expect_server_error_then_close(&mut client, "hostile length");
+        }
+        // The pool is not wedged: a fresh connection is served normally.
+        let mut fresh = AuditClient::connect(addr).unwrap();
+        assert_eq!(fresh.stats().unwrap().ingested, 0);
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
-    // The pool is not wedged: a fresh connection is served normally.
-    let mut fresh = AuditClient::connect(addr).unwrap();
-    assert_eq!(fresh.stats().unwrap().ingested, 0);
-    server.shutdown().unwrap();
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn bad_crc_gets_a_typed_error_and_the_server_survives() {
-    let (server, dir) = live_server("bad-crc");
-    let addr = server.local_addr();
-    {
-        let mut client = AuditClient::connect(addr).unwrap();
-        let mut framed = Vec::new();
-        write_frame(
-            &mut framed,
-            &encode_request(&piprov_serve::WireRequest::Stats),
-        )
-        .unwrap();
-        let last = framed.len() - 1;
-        framed[last] ^= 0xFF;
-        client.send_raw(&framed).unwrap();
-        expect_server_error_then_close(&mut client, "bad crc");
+    for core in ServerCore::all() {
+        let (server, dir) = live_server("bad-crc", core);
+        let addr = server.local_addr();
+        {
+            let mut client = AuditClient::connect(addr).unwrap();
+            let mut framed = Vec::new();
+            write_frame(
+                &mut framed,
+                &encode_request(&piprov_serve::WireRequest::Stats),
+            )
+            .unwrap();
+            let last = framed.len() - 1;
+            framed[last] ^= 0xFF;
+            client.send_raw(&framed).unwrap();
+            expect_server_error_then_close(&mut client, "bad crc");
+        }
+        let mut fresh = AuditClient::connect(addr).unwrap();
+        assert!(fresh.stats().is_ok());
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
-    let mut fresh = AuditClient::connect(addr).unwrap();
-    assert!(fresh.stats().is_ok());
-    server.shutdown().unwrap();
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn unknown_tags_and_versions_get_typed_errors() {
-    let (server, dir) = live_server("bad-body");
-    let addr = server.local_addr();
-    // (byte offset to clobber, value, scenario): version byte, then tag.
-    for (offset, bad_byte, what) in [(0usize, 99u8, "bad version"), (1, 77, "bad tag")] {
-        let mut client = AuditClient::connect(addr).unwrap();
-        let mut body = encode_request(&piprov_serve::WireRequest::Stats).to_vec();
-        body[offset] = bad_byte;
-        let mut framed = Vec::new();
-        write_frame(&mut framed, &body).unwrap();
-        client.send_raw(&framed).unwrap();
-        expect_server_error_then_close(&mut client, what);
+    for core in ServerCore::all() {
+        let (server, dir) = live_server("bad-body", core);
+        let addr = server.local_addr();
+        // (byte offset to clobber, value, scenario): version byte, then tag.
+        for (offset, bad_byte, what) in [(0usize, 99u8, "bad version"), (1, 77, "bad tag")] {
+            let mut client = AuditClient::connect(addr).unwrap();
+            let mut body = encode_request(&piprov_serve::WireRequest::Stats).to_vec();
+            body[offset] = bad_byte;
+            let mut framed = Vec::new();
+            write_frame(&mut framed, &body).unwrap();
+            client.send_raw(&framed).unwrap();
+            expect_server_error_then_close(&mut client, what);
+        }
+        let mut fresh = AuditClient::connect(addr).unwrap();
+        assert!(fresh.stats().is_ok());
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
-    let mut fresh = AuditClient::connect(addr).unwrap();
-    assert!(fresh.stats().is_ok());
-    server.shutdown().unwrap();
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn truncated_frame_closes_cleanly_without_wedging_the_server() {
-    let (server, dir) = live_server("truncated");
-    let addr = server.local_addr();
-    {
-        let mut client = AuditClient::connect(addr).unwrap();
-        let mut framed = Vec::new();
-        write_frame(
-            &mut framed,
-            &encode_request(&piprov_serve::WireRequest::Stats),
-        )
-        .unwrap();
-        // Send only part of the frame, then drop the connection: the
-        // server sees a truncated body and must just close its side.
-        client.send_raw(&framed[..framed.len() - 3]).unwrap();
+    for core in ServerCore::all() {
+        let (server, dir) = live_server("truncated", core);
+        let addr = server.local_addr();
+        {
+            let mut client = AuditClient::connect(addr).unwrap();
+            let mut framed = Vec::new();
+            write_frame(
+                &mut framed,
+                &encode_request(&piprov_serve::WireRequest::Stats),
+            )
+            .unwrap();
+            // Send only part of the frame, then drop the connection: the
+            // server sees a truncated body and must just close its side.
+            client.send_raw(&framed[..framed.len() - 3]).unwrap();
+        }
+        let mut fresh = AuditClient::connect(addr).unwrap();
+        assert!(fresh.stats().is_ok());
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
-    let mut fresh = AuditClient::connect(addr).unwrap();
-    assert!(fresh.stats().is_ok());
-    server.shutdown().unwrap();
-    std::fs::remove_dir_all(&dir).ok();
 }
