@@ -167,6 +167,8 @@ pub struct AuditEngine {
     /// Per-policy verdict counters and latency histograms (see
     /// [`crate::metrics`]).
     metrics: MetricsRegistry,
+    /// When this engine was opened — the `piprov_uptime_seconds` anchor.
+    started: Instant,
     requests: AtomicU64,
     ingested: AtomicU64,
     vets_passed: AtomicU64,
@@ -205,6 +207,7 @@ impl AuditEngine {
             patterns: RwLock::new(HashMap::new()),
             config,
             metrics: MetricsRegistry::new(),
+            started: Instant::now(),
             requests: AtomicU64::new(0),
             ingested: AtomicU64::new(0),
             vets_passed: AtomicU64::new(0),
@@ -380,17 +383,40 @@ impl AuditEngine {
     /// Serves one request from the currently published snapshot (safe to
     /// call from many threads; acquires **no** store lock).
     pub fn handle(&self, request: &AuditRequest) -> AuditResponse {
+        self.handle_with_trace(request, None)
+    }
+
+    /// [`AuditEngine::handle`] for a traced request: `trace_id`, when
+    /// present, is kept as the exemplar of the latency bucket the vet
+    /// lands in (see [`crate::trace`]).  `None` behaves exactly like
+    /// [`AuditEngine::handle`].
+    pub fn handle_with_trace(
+        &self,
+        request: &AuditRequest,
+        trace_id: Option<u128>,
+    ) -> AuditResponse {
         let snapshot = self.snapshot.load();
-        self.handle_at(&snapshot, request)
+        self.handle_at_traced(&snapshot, request, trace_id)
     }
 
     /// Serves one request from an explicit snapshot — the repeatable-read
     /// entry point ([`AuditEngine::handle`] is `handle_at` on the latest
     /// published snapshot).  The response's watermark is the snapshot's.
     pub fn handle_at(&self, snapshot: &EngineSnapshot, request: &AuditRequest) -> AuditResponse {
+        self.handle_at_traced(snapshot, request, None)
+    }
+
+    fn handle_at_traced(
+        &self,
+        snapshot: &EngineSnapshot,
+        request: &AuditRequest,
+        trace_id: Option<u128>,
+    ) -> AuditResponse {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let response = match request {
-            AuditRequest::VetValue { value, pattern } => self.vet_value(snapshot, value, pattern),
+            AuditRequest::VetValue { value, pattern } => {
+                self.vet_value(snapshot, value, pattern, trace_id)
+            }
             AuditRequest::AuditTrail { value } => self.audit_trail(snapshot, value),
             AuditRequest::WhoTouched { principal } => self.who_touched(snapshot, principal),
             AuditRequest::OriginOf { value } => self.origin_of(snapshot, value),
@@ -426,6 +452,11 @@ impl AuditEngine {
         self.read_store().stats()
     }
 
+    /// Whole seconds since this engine was opened.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
     /// Number of records visible to readers (answered from the published
     /// snapshot, like every query).
     pub fn record_count(&self) -> usize {
@@ -437,6 +468,7 @@ impl AuditEngine {
         snapshot: &EngineSnapshot,
         value: &piprov_core::value::Value,
         pattern: &str,
+        trace_id: Option<u128>,
     ) -> AuditResponse {
         // The whole vet — pattern lookup, posting-list lookup, NFA
         // simulation — is timed into the policy's latency histogram; the
@@ -462,7 +494,7 @@ impl AuditEngine {
         // The newest record carries the value's current history.
         let Some(record) = postings.last().and_then(|seq| snapshot.get(*seq)) else {
             if let Some(policy) = &policy {
-                policy.record(elapsed_ns(started), VetOutcomeKind::UnknownValue);
+                policy.record_traced(elapsed_ns(started), VetOutcomeKind::UnknownValue, trace_id);
             }
             return AuditResponse::new(AuditOutcome::UnknownValue, stats, watermark);
         };
@@ -477,7 +509,7 @@ impl AuditEngine {
             VetOutcomeKind::Failed
         };
         if let Some(policy) = &policy {
-            policy.record(elapsed_ns(started), outcome);
+            policy.record_traced(elapsed_ns(started), outcome, trace_id);
         }
         AuditResponse::new(
             AuditOutcome::Vetted {

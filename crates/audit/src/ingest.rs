@@ -18,6 +18,7 @@
 //! never flips the pause hook and never parks a server thread forever.
 
 use crate::engine::AuditEngine;
+use crate::trace::{RequestKind, Span, SpanKind, TraceCollector, TraceContext, TraceRecord};
 use piprov_store::{ProvenanceRecord, StoreError};
 use std::collections::VecDeque;
 use std::fmt;
@@ -52,8 +53,10 @@ impl SubmitOutcome {
 /// Mutable queue state, guarded by one mutex.
 struct QueueState {
     /// Accepted batches, each stamped with its submit instant so the
-    /// drain worker can record submit→applied queue-wait latency.
-    batches: VecDeque<(Instant, Vec<ProvenanceRecord>)>,
+    /// drain worker can record submit→applied queue-wait latency, plus the
+    /// trace context of the submitting request (if it was sampled) so the
+    /// asynchronous queue-wait span lands in the same trace.
+    batches: VecDeque<(Instant, Vec<ProvenanceRecord>, Option<TraceContext>)>,
     /// The worker is currently applying a popped batch (it no longer counts
     /// against the capacity, but a flush must still wait for it).
     in_flight: bool,
@@ -73,6 +76,8 @@ struct Shared {
     /// Wakes flushers: the queue drained and the worker went idle.
     idle: Condvar,
     capacity: usize,
+    /// Where the drain worker deposits queue-wait spans for traced batches.
+    collector: Option<Arc<TraceCollector>>,
 }
 
 impl Shared {
@@ -168,6 +173,17 @@ impl IngestQueue {
     /// Starts a queue holding at most `capacity` batches (clamped to at
     /// least 1) draining into `engine`.
     pub fn start(engine: Arc<AuditEngine>, capacity: usize) -> Self {
+        IngestQueue::start_with_trace(engine, capacity, None)
+    }
+
+    /// [`IngestQueue::start`] with a trace collector: the drain worker
+    /// deposits a queue-wait span into `collector` for every traced batch
+    /// it applies, keyed by the submitting request's trace id.
+    pub fn start_with_trace(
+        engine: Arc<AuditEngine>,
+        capacity: usize,
+        collector: Option<Arc<TraceCollector>>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             engine,
             state: Mutex::new(QueueState {
@@ -180,6 +196,7 @@ impl IngestQueue {
             work: Condvar::new(),
             idle: Condvar::new(),
             capacity: capacity.max(1),
+            collector,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -213,6 +230,17 @@ impl IngestQueue {
     /// [`SubmitOutcome::Busy`] — nothing is buffered, and the rejection is
     /// counted in the engine's `busy_rejections`.
     pub fn try_submit(&self, batch: Vec<ProvenanceRecord>) -> SubmitOutcome {
+        self.try_submit_traced(batch, None)
+    }
+
+    /// [`IngestQueue::try_submit`] for a traced request: `trace` rides
+    /// along with the batch so the drain worker can stamp the asynchronous
+    /// queue-wait span into the same trace.
+    pub fn try_submit_traced(
+        &self,
+        batch: Vec<ProvenanceRecord>,
+        trace: Option<TraceContext>,
+    ) -> SubmitOutcome {
         let mut state = self.shared.lock();
         let depth = state.batches.len();
         if batch.is_empty() {
@@ -226,7 +254,7 @@ impl IngestQueue {
             self.shared.engine.note_busy_rejection();
             return SubmitOutcome::Busy { queue_depth: depth };
         }
-        state.batches.push_back((Instant::now(), batch));
+        state.batches.push_back((Instant::now(), batch, trace));
         let queue_depth = state.batches.len();
         self.shared.publish_gauges(&state);
         drop(state);
@@ -372,7 +400,7 @@ fn drain_loop(shared: &Shared) {
                 };
             }
         };
-        let Some((submitted, batch)) = batch else {
+        let Some((submitted, batch, trace)) = batch else {
             shared.idle.notify_all();
             return;
         };
@@ -384,6 +412,20 @@ fn drain_loop(shared: &Shared) {
             .engine
             .metrics_registry()
             .record_ingest_queue_wait(waited);
+        // The serve layer already recorded the synchronous half of the
+        // trace (decode/handle/write around the IngestAck); this record
+        // carries only the asynchronous queue-wait span and merges with it
+        // by trace id at snapshot time.
+        if let (Some(collector), Some(trace)) = (shared.collector.as_ref(), trace) {
+            if trace.sampled {
+                collector.record(&TraceRecord {
+                    trace_id: trace.trace_id,
+                    kind: RequestKind::Ingest,
+                    total_ns: 0,
+                    spans: vec![Span::new(SpanKind::QueueWait, waited)],
+                });
+            }
+        }
         let mut state = shared.lock();
         state.in_flight = false;
         shared.publish_gauges(&state);
@@ -579,6 +621,43 @@ mod tests {
         assert_eq!(queue.queue_depth(), 0);
         assert_eq!(stats.queue_depth, 0);
         assert_eq!(stats.snapshot_lag, 0);
+        queue.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_submissions_deposit_a_queue_wait_span() {
+        use crate::trace::{SpanKind, TraceCollector, TraceConfig, TraceContext};
+        let dir = temp_dir("traced");
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        let collector = Arc::new(TraceCollector::new(TraceConfig {
+            slow_threshold: Duration::ZERO,
+            ..TraceConfig::default()
+        }));
+        let queue =
+            IngestQueue::start_with_trace(Arc::clone(&engine), 4, Some(Arc::clone(&collector)));
+        let sampled = TraceContext {
+            trace_id: 0xfeed,
+            sampled: true,
+        };
+        let unsampled = TraceContext {
+            trace_id: 0xdead,
+            sampled: false,
+        };
+        assert!(queue
+            .try_submit_traced(batch(0, 3), Some(sampled))
+            .is_accepted());
+        assert!(queue
+            .try_submit_traced(batch(10, 2), Some(unsampled))
+            .is_accepted());
+        assert!(queue.try_submit(batch(20, 1)).is_accepted());
+        queue.flush().unwrap();
+        let traces = collector.snapshot(0);
+        assert_eq!(traces.len(), 1, "only the sampled batch leaves a trace");
+        assert_eq!(traces[0].trace_id, 0xfeed);
+        assert_eq!(traces[0].spans.len(), 1);
+        assert_eq!(traces[0].spans[0].kind, SpanKind::QueueWait);
+        assert!(traces[0].spans[0].duration_ns > 0);
         queue.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }

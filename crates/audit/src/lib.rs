@@ -32,7 +32,13 @@
 //!   on the vet hot path, the aggregated [`MetricsSnapshot`] over every
 //!   stats surface the workspace keeps, and a Prometheus-style text
 //!   exposition with a validating parser
-//!   ([`metrics::validate_exposition`]).
+//!   ([`metrics::validate_exposition`]);
+//! * [`trace`] — the request tracing plane: wire-propagated
+//!   [`TraceContext`]s, per-stage [`Span`]s (client encode, decode, queue
+//!   wait, engine handle, response write), and the bounded lock-free
+//!   [`TraceCollector`] ring with head-based + always-sample-slow
+//!   sampling, a deterministic text renderer ([`render_traces`]) and its
+//!   linter ([`validate_trace_text`]).
 //!
 //! Every query is answered through the store's secondary indexes — never
 //! by a full scan — and every vet goes through the NFA engine's
@@ -76,13 +82,19 @@ pub mod metrics;
 pub mod recorder;
 pub mod request;
 pub mod snapshot;
+pub mod trace;
 
 pub use engine::{AuditConfig, AuditEngine, EngineStats};
 pub use ingest::{BarrierError, IngestQueue, SubmitOutcome};
 pub use metrics::{
-    render_exposition, validate_exposition, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
-    PolicyMetrics, PolicySnapshot, VetOutcomeKind, LATENCY_BUCKET_BOUNDS_NS,
+    render_exposition, render_exposition_with, validate_exposition, Exemplar, ExpositionOptions,
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, PolicyMetrics, PolicySnapshot,
+    VetOutcomeKind, LATENCY_BUCKET_BOUNDS_NS,
 };
 pub use recorder::AuditRecorder;
 pub use request::{AuditOutcome, AuditRequest, AuditResponse, RequestStats};
 pub use snapshot::EngineSnapshot;
+pub use trace::{
+    render_traces, validate_trace_text, RequestKind, Span, SpanKind, TraceCollector, TraceConfig,
+    TraceContext, TraceRecord,
+};

@@ -69,6 +69,49 @@ pub enum VetOutcomeKind {
     UnknownValue,
 }
 
+/// A histogram exemplar: the trace id and observed value of the most
+/// recent *sampled* observation that landed in one bucket — the bridge from
+/// "the p99 bucket grew" to "here is a trace of a request in that bucket".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The 128-bit trace id of the sampled observation.
+    pub trace_id: u128,
+    /// The observed latency of that observation, nanoseconds.
+    pub value_ns: u64,
+}
+
+/// Last-writer-wins exemplar storage for one bucket.  The three words are
+/// stored relaxed and independently: a scrape racing a record may pair an
+/// id with a neighbouring observation's value — exemplars are advisory, so
+/// that is acceptable (and matches mainstream client libraries).
+#[derive(Debug, Default)]
+struct ExemplarCell {
+    id_hi: AtomicU64,
+    id_lo: AtomicU64,
+    value_ns: AtomicU64,
+}
+
+impl ExemplarCell {
+    fn set(&self, trace_id: u128, value_ns: u64) {
+        self.id_hi.store((trace_id >> 64) as u64, Ordering::Relaxed);
+        self.id_lo.store(trace_id as u64, Ordering::Relaxed);
+        self.value_ns.store(value_ns, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> Option<Exemplar> {
+        let hi = self.id_hi.load(Ordering::Relaxed);
+        let lo = self.id_lo.load(Ordering::Relaxed);
+        let trace_id = ((hi as u128) << 64) | lo as u128;
+        if trace_id == 0 {
+            return None;
+        }
+        Some(Exemplar {
+            trace_id,
+            value_ns: self.value_ns.load(Ordering::Relaxed),
+        })
+    }
+}
+
 /// A lock-free, fixed-bucket latency histogram (bucket counts, sum and
 /// count are independent atomics — scrapes are not linearizable with
 /// records, like every Prometheus client library).
@@ -78,15 +121,27 @@ struct LatencyHistogram {
     overflow: AtomicU64,
     sum_ns: AtomicU64,
     count: AtomicU64,
+    exemplars: [ExemplarCell; LATENCY_BUCKET_BOUNDS_NS.len()],
+    overflow_exemplar: ExemplarCell,
 }
 
 impl LatencyHistogram {
     fn record(&self, elapsed_ns: u64) {
+        self.record_traced(elapsed_ns, None);
+    }
+
+    fn record_traced(&self, elapsed_ns: u64, trace_id: Option<u128>) {
         let slot = LATENCY_BUCKET_BOUNDS_NS.partition_point(|&bound| bound < elapsed_ns);
         match self.buckets.get(slot) {
             Some(bucket) => bucket.fetch_add(1, Ordering::Relaxed),
             None => self.overflow.fetch_add(1, Ordering::Relaxed),
         };
+        if let Some(trace_id) = trace_id {
+            self.exemplars
+                .get(slot)
+                .unwrap_or(&self.overflow_exemplar)
+                .set(trace_id, elapsed_ns);
+        }
         self.sum_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
@@ -101,6 +156,12 @@ impl LatencyHistogram {
             overflow: self.overflow.load(Ordering::Relaxed),
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
             count: self.count.load(Ordering::Relaxed),
+            exemplars: self
+                .exemplars
+                .iter()
+                .chain(std::iter::once(&self.overflow_exemplar))
+                .map(ExemplarCell::get)
+                .collect(),
         }
     }
 }
@@ -119,12 +180,18 @@ impl PolicyMetrics {
     /// Records one vet against this policy: `elapsed_ns` into the latency
     /// histogram, the outcome into its verdict counter.
     pub fn record(&self, elapsed_ns: u64, outcome: VetOutcomeKind) {
+        self.record_traced(elapsed_ns, outcome, None);
+    }
+
+    /// Like [`PolicyMetrics::record`], additionally keeping `trace_id` as
+    /// the landing bucket's exemplar when the request was sampled.
+    pub fn record_traced(&self, elapsed_ns: u64, outcome: VetOutcomeKind, trace_id: Option<u128>) {
         match outcome {
             VetOutcomeKind::Passed => self.vets_passed.fetch_add(1, Ordering::Relaxed),
             VetOutcomeKind::Failed => self.vets_failed.fetch_add(1, Ordering::Relaxed),
             VetOutcomeKind::UnknownValue => self.vets_unknown_value.fetch_add(1, Ordering::Relaxed),
         };
-        self.latency.record(elapsed_ns);
+        self.latency.record_traced(elapsed_ns, trace_id);
     }
 }
 
@@ -145,6 +212,10 @@ pub struct MetricsRegistry {
     request_service: LatencyHistogram,
     /// Ingest: time a batch spent queued, submit-accepted → applied.
     ingest_queue_wait: LatencyHistogram,
+    /// Serving: TCP connections accepted, over the registry lifetime.
+    connections_accepted: AtomicU64,
+    /// Serving: TCP connections closed, over the registry lifetime.
+    connections_closed: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -200,6 +271,33 @@ impl MetricsRegistry {
     /// response, including the engine or queue work in between).
     pub fn record_request_service(&self, elapsed_ns: u64) {
         self.request_service.record(elapsed_ns);
+    }
+
+    /// Like [`MetricsRegistry::record_request_service`], additionally
+    /// keeping `trace_id` as the landing bucket's exemplar when the request
+    /// was sampled.
+    pub fn record_request_service_traced(&self, elapsed_ns: u64, trace_id: Option<u128>) {
+        self.request_service.record_traced(elapsed_ns, trace_id);
+    }
+
+    /// Counts one accepted TCP connection (either server core).
+    pub fn note_connection_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one closed TCP connection (either server core).
+    pub fn note_connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// TCP connections accepted over the registry lifetime.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    /// TCP connections closed over the registry lifetime.
+    pub fn connections_closed(&self) -> u64 {
+        self.connections_closed.load(Ordering::Relaxed)
     }
 
     /// Records how long one accepted ingest batch waited in the bounded
@@ -282,6 +380,11 @@ pub struct HistogramSnapshot {
     pub sum_ns: u64,
     /// Total observations (equals the bucket counts plus overflow).
     pub count: u64,
+    /// Per-bucket exemplars: one entry per bound in
+    /// [`LATENCY_BUCKET_BOUNDS_NS`] plus a final entry for the overflow
+    /// (`+Inf`) bucket.  Empty when the histogram never saw a sampled
+    /// observation carrier (e.g. a snapshot decoded from an old wire peer).
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 /// One registered policy's full metric surface.
@@ -326,6 +429,14 @@ pub struct MetricsSnapshot {
     /// Ingest: how long accepted batches waited in the bounded queue
     /// (submit → applied).
     pub ingest_queue_wait: HistogramSnapshot,
+    /// Seconds since the engine was opened — the liveness-probe companion.
+    pub uptime_seconds: u64,
+    /// TCP connections accepted by the serving layer, lifetime.
+    pub connections_accepted: u64,
+    /// TCP connections closed by the serving layer, lifetime.
+    pub connections_closed: u64,
+    /// TCP connections currently open (accepted minus closed).
+    pub open_connections: u64,
     /// Per-policy counters, histograms and memo statistics, sorted by
     /// policy name.
     pub policies: Vec<PolicySnapshot>,
@@ -361,6 +472,12 @@ impl AuditEngine {
             frame_decode: registry.frame_decode_snapshot(),
             request_service: registry.request_service_snapshot(),
             ingest_queue_wait: registry.ingest_queue_wait_snapshot(),
+            uptime_seconds: self.uptime_seconds(),
+            connections_accepted: registry.connections_accepted(),
+            connections_closed: registry.connections_closed(),
+            open_connections: registry
+                .connections_accepted()
+                .saturating_sub(registry.connections_closed()),
             policies: registry.policy_snapshots(|name| self.pattern_memo_stats(name)),
         }
     }
@@ -368,7 +485,7 @@ impl AuditEngine {
 
 /// Formats nanoseconds as decimal seconds, exactly (no float rounding):
 /// `256` → `"0.000000256"`, `0` → `"0.0"`.
-fn fmt_seconds(ns: u64) -> String {
+pub(crate) fn fmt_seconds(ns: u64) -> String {
     let mut s = format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000);
     while s.ends_with('0') {
         s.pop();
@@ -403,12 +520,27 @@ fn scalar(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
     let _ = writeln!(out, "{} {}", name, value);
 }
 
+/// Rendering options for the exposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpositionOptions {
+    /// Render OpenMetrics-style `# {trace_id="..."}` exemplar suffixes on
+    /// histogram bucket samples that have a sampled observation recorded.
+    /// Off by default: plain Prometheus scrapers reject the suffix.
+    pub exemplars: bool,
+}
+
 /// Renders `snapshot` in the Prometheus text format.  Free-function form
 /// of [`MetricsSnapshot::exposition`].
 ///
 /// Every stats struct is destructured exhaustively here: a field added
 /// anywhere in the stats plumbing that is not rendered fails to compile.
 pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
+    render_exposition_with(snapshot, &ExpositionOptions::default())
+}
+
+/// Renders `snapshot` with explicit [`ExpositionOptions`] — the serving
+/// layer passes `exemplars: true` when `ServeConfig` enables them.
+pub fn render_exposition_with(snapshot: &MetricsSnapshot, options: &ExpositionOptions) -> String {
     let MetricsSnapshot {
         engine,
         store,
@@ -418,6 +550,10 @@ pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
         frame_decode,
         request_service,
         ingest_queue_wait,
+        uptime_seconds,
+        connections_accepted,
+        connections_closed,
+        open_connections,
         policies,
     } = snapshot;
     let EngineStats {
@@ -639,54 +775,120 @@ pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
             );
         }
     }
+    // -- serving lifecycle ---------------------------------------------------
+    scalar(
+        &mut out,
+        "piprov_uptime_seconds",
+        g,
+        "Seconds since the engine was opened.",
+        *uptime_seconds,
+    );
+    scalar(
+        &mut out,
+        "piprov_connections_accepted_total",
+        c,
+        "TCP connections accepted by the serving layer.",
+        *connections_accepted,
+    );
+    scalar(
+        &mut out,
+        "piprov_connections_closed_total",
+        c,
+        "TCP connections closed by the serving layer.",
+        *connections_closed,
+    );
+    scalar(
+        &mut out,
+        "piprov_open_connections",
+        g,
+        "TCP connections currently open (accepted minus closed).",
+        *open_connections,
+    );
     // -- wire + ingest latency ----------------------------------------------
     plain_histogram(
         &mut out,
         "piprov_frame_decode_seconds",
         "Wire frame decode time (frame body to typed request), either server core.",
         frame_decode,
+        options,
     );
     plain_histogram(
         &mut out,
         "piprov_request_service_seconds",
         "Request service time (decoded request to encoded response).",
         request_service,
+        options,
     );
     plain_histogram(
         &mut out,
         "piprov_ingest_queue_wait_seconds",
         "Time accepted ingest batches spent queued (submit to applied).",
         ingest_queue_wait,
+        options,
     );
     // -- per-policy ---------------------------------------------------------
     if !policies.is_empty() {
-        render_policy_families(&mut out, policies);
+        render_policy_families(&mut out, policies, options);
     }
     out
 }
 
+/// The OpenMetrics-style exemplar suffix for bucket index `slot` (buckets
+/// index `0..16`, the `+Inf` bucket is the final entry), or `""`.
+fn exemplar_suffix(
+    histogram: &HistogramSnapshot,
+    slot: usize,
+    options: &ExpositionOptions,
+) -> String {
+    if !options.exemplars {
+        return String::new();
+    }
+    match histogram.exemplars.get(slot) {
+        Some(Some(exemplar)) => format!(
+            " # {{trace_id=\"{:032x}\"}} {}",
+            exemplar.trace_id,
+            fmt_seconds(exemplar.value_ns)
+        ),
+        _ => String::new(),
+    }
+}
+
 /// Renders one label-free histogram family: cumulative buckets over
 /// [`LATENCY_BUCKET_BOUNDS_NS`], `+Inf`, then the `_sum`/`_count` pair.
-fn plain_histogram(out: &mut String, name: &str, help: &str, histogram: &HistogramSnapshot) {
+fn plain_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    histogram: &HistogramSnapshot,
+    options: &ExpositionOptions,
+) {
     let HistogramSnapshot {
         counts,
         overflow: _,
         sum_ns,
         count,
+        exemplars: _,
     } = histogram;
     header(out, name, "histogram", help);
     let mut cumulative = 0u64;
-    for (bound, bucket) in LATENCY_BUCKET_BOUNDS_NS.iter().zip(counts) {
+    for (slot, (bound, bucket)) in LATENCY_BUCKET_BOUNDS_NS.iter().zip(counts).enumerate() {
         cumulative += bucket;
         let _ = writeln!(
             out,
-            "{}_bucket{{le=\"{}\"}} {}",
+            "{}_bucket{{le=\"{}\"}} {}{}",
             name,
             fmt_seconds(*bound),
-            cumulative
+            cumulative,
+            exemplar_suffix(histogram, slot, options)
         );
     }
-    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", name, count);
+    let _ = writeln!(
+        out,
+        "{}_bucket{{le=\"+Inf\"}} {}{}",
+        name,
+        count,
+        exemplar_suffix(histogram, LATENCY_BUCKET_BOUNDS_NS.len(), options)
+    );
     let _ = writeln!(out, "{}_sum {}", name, fmt_seconds(*sum_ns));
     let _ = writeln!(out, "{}_count {}", name, count);
 }
@@ -712,7 +914,11 @@ fn policy_family(
     }
 }
 
-fn render_policy_families(out: &mut String, policies: &[PolicySnapshot]) {
+fn render_policy_families(
+    out: &mut String,
+    policies: &[PolicySnapshot],
+    options: &ExpositionOptions,
+) {
     let c = "counter";
     let g = "gauge";
     policy_family(
@@ -811,23 +1017,27 @@ fn render_policy_families(out: &mut String, policies: &[PolicySnapshot]) {
             overflow: _,
             sum_ns,
             count,
+            exemplars: _,
         } = &p.latency;
         let label = escape_label(&p.policy);
         let mut cumulative = 0u64;
-        for (bound, bucket) in LATENCY_BUCKET_BOUNDS_NS.iter().zip(counts) {
+        for (slot, (bound, bucket)) in LATENCY_BUCKET_BOUNDS_NS.iter().zip(counts).enumerate() {
             cumulative += bucket;
             let _ = writeln!(
                 out,
-                "piprov_vet_latency_seconds_bucket{{policy=\"{}\",le=\"{}\"}} {}",
+                "piprov_vet_latency_seconds_bucket{{policy=\"{}\",le=\"{}\"}} {}{}",
                 label,
                 fmt_seconds(*bound),
-                cumulative
+                cumulative,
+                exemplar_suffix(&p.latency, slot, options)
             );
         }
         let _ = writeln!(
             out,
-            "piprov_vet_latency_seconds_bucket{{policy=\"{}\",le=\"+Inf\"}} {}",
-            label, count
+            "piprov_vet_latency_seconds_bucket{{policy=\"{}\",le=\"+Inf\"}} {}{}",
+            label,
+            count,
+            exemplar_suffix(&p.latency, LATENCY_BUCKET_BOUNDS_NS.len(), options)
         );
         let _ = writeln!(
             out,
@@ -965,7 +1175,11 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
             }
             continue;
         }
-        // A sample: name[{labels}] value
+        // A sample: name[{labels}] value [# {exemplar-labels} exemplar-value]
+        let (line, exemplar) = match line.split_once(" # ") {
+            Some((base, exemplar)) => (base, Some(exemplar)),
+            None => (line, None),
+        };
         let (series, value) = line
             .rsplit_once(' ')
             .ok_or_else(|| format!("line {}: sample without value", lineno))?;
@@ -990,6 +1204,45 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
                 "line {}: sample {} has no preceding # TYPE",
                 lineno, family
             ));
+        }
+        if let Some(exemplar) = exemplar {
+            if !name.ends_with("_bucket")
+                || types.get(family).map(String::as_str) != Some("histogram")
+            {
+                return Err(format!(
+                    "line {}: exemplar on a non-bucket sample {}",
+                    lineno, name
+                ));
+            }
+            let (labels_part, ex_value) = exemplar
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("line {}: exemplar without value", lineno))?;
+            let body = labels_part
+                .strip_prefix('{')
+                .and_then(|rest| rest.strip_suffix('}'))
+                .ok_or_else(|| format!("line {}: exemplar labels not braced", lineno))?;
+            let pairs = parse_labels(body).map_err(|e| format!("line {}: {}", lineno, e))?;
+            let trace_id = pairs
+                .iter()
+                .find(|(k, _)| k == "trace_id")
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("line {}: exemplar without trace_id label", lineno))?;
+            if trace_id.len() != 32
+                || !trace_id
+                    .chars()
+                    .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase())
+            {
+                return Err(format!(
+                    "line {}: exemplar trace_id {:?} is not 32 lowercase hex digits",
+                    lineno, trace_id
+                ));
+            }
+            if ex_value.parse::<f64>().is_err() {
+                return Err(format!(
+                    "line {}: unparseable exemplar value {:?}",
+                    lineno, ex_value
+                ));
+            }
         }
         let parsed: f64 = if value == "+Inf" {
             f64::INFINITY
@@ -1171,6 +1424,10 @@ mod tests {
         registry.record_frame_decode(512);
         registry.record_request_service(4096);
         registry.record_ingest_queue_wait(1 << 24); // overflow bucket
+        for _ in 0..3 {
+            registry.note_connection_accepted();
+        }
+        registry.note_connection_closed();
         let snapshot = MetricsSnapshot {
             engine: EngineStats::default(),
             store: StoreStats::default(),
@@ -1180,6 +1437,10 @@ mod tests {
             frame_decode: registry.frame_decode_snapshot(),
             request_service: registry.request_service_snapshot(),
             ingest_queue_wait: registry.ingest_queue_wait_snapshot(),
+            uptime_seconds: 12,
+            connections_accepted: registry.connections_accepted(),
+            connections_closed: registry.connections_closed(),
+            open_connections: 2,
             policies: registry.policy_snapshots(|_| None),
         };
         let text = snapshot.exposition();
@@ -1193,5 +1454,71 @@ mod tests {
         assert!(text.contains("piprov_request_service_seconds_count 1"));
         assert!(text.contains("piprov_ingest_queue_wait_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("piprov_ingest_queue_wait_seconds_count 1"));
+        // The serving-lifecycle families render.
+        assert!(text.contains("piprov_uptime_seconds 12"));
+        assert!(text.contains("piprov_connections_accepted_total 3"));
+        assert!(text.contains("piprov_connections_closed_total 1"));
+        assert!(text.contains("piprov_open_connections 2"));
+    }
+
+    #[test]
+    fn exemplars_render_behind_the_flag_and_lint_clean() {
+        let registry = MetricsRegistry::new();
+        registry.register_policy("alpha");
+        let policy = registry.policy("alpha").unwrap();
+        policy.record_traced(300, VetOutcomeKind::Passed, Some(0xabcd));
+        policy.record_traced(1 << 30, VetOutcomeKind::Failed, Some(0x1234)); // +Inf bucket
+        registry.record_request_service_traced(4096, Some(0x77));
+        registry.record_request_service(8192); // untraced: leaves no exemplar
+        let snapshot = MetricsSnapshot {
+            engine: EngineStats::default(),
+            store: StoreStats::default(),
+            interner: piprov_core::provenance::interner_stats(),
+            interner_shards: Vec::new(),
+            vets_unknown_pattern: 0,
+            frame_decode: registry.frame_decode_snapshot(),
+            request_service: registry.request_service_snapshot(),
+            ingest_queue_wait: registry.ingest_queue_wait_snapshot(),
+            uptime_seconds: 0,
+            connections_accepted: 0,
+            connections_closed: 0,
+            open_connections: 0,
+            policies: registry.policy_snapshots(|_| None),
+        };
+        let plain = snapshot.exposition();
+        assert!(!plain.contains(" # {"), "exemplars are off by default");
+        validate_exposition(&plain).unwrap();
+        let annotated = render_exposition_with(&snapshot, &ExpositionOptions { exemplars: true });
+        let expected_vet = format!(" # {{trace_id=\"{:032x}\"}} 0.0000003", 0xabcdu128);
+        assert!(annotated.contains(&expected_vet), "got:\n{}", annotated);
+        let expected_inf = format!("le=\"+Inf\"}} 2 # {{trace_id=\"{:032x}\"}}", 0x1234u128);
+        assert!(annotated.contains(&expected_inf), "got:\n{}", annotated);
+        assert!(annotated.contains(&format!(
+            " # {{trace_id=\"{:032x}\"}} 0.000004096",
+            0x77u128
+        )));
+        validate_exposition(&annotated).unwrap_or_else(|e| panic!("{}\n---\n{}", e, annotated));
+    }
+
+    #[test]
+    fn the_validator_polices_exemplar_suffixes() {
+        let head = "# HELP h l\n# TYPE h histogram\n";
+        let id = format!("{:032x}", 9u128);
+        // Valid exemplar.
+        let good =
+            format!("{head}h_bucket{{le=\"+Inf\"}} 1 # {{trace_id=\"{id}\"}} 0.001\nh_count 1\n");
+        validate_exposition(&good).unwrap();
+        // Exemplar on a non-bucket sample.
+        let bad = format!("{head}h_bucket{{le=\"+Inf\"}} 1\nh_count 1 # {{trace_id=\"{id}\"}} 1\n");
+        assert!(validate_exposition(&bad).is_err());
+        // Missing trace_id label.
+        let bad = format!("{head}h_bucket{{le=\"+Inf\"}} 1 # {{span=\"{id}\"}} 0.001\n");
+        assert!(validate_exposition(&bad).is_err());
+        // Short / non-hex trace id.
+        let bad = format!("{head}h_bucket{{le=\"+Inf\"}} 1 # {{trace_id=\"beef\"}} 0.001\n");
+        assert!(validate_exposition(&bad).is_err());
+        // Unparseable exemplar value.
+        let bad = format!("{head}h_bucket{{le=\"+Inf\"}} 1 # {{trace_id=\"{id}\"}} x\n");
+        assert!(validate_exposition(&bad).is_err());
     }
 }

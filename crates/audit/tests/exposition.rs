@@ -15,8 +15,9 @@
 //!   from the output still fails.
 
 use piprov_audit::{
-    render_exposition, validate_exposition, EngineStats, HistogramSnapshot, MetricsSnapshot,
-    PolicySnapshot, LATENCY_BUCKET_BOUNDS_NS,
+    render_exposition, render_exposition_with, validate_exposition, EngineStats, Exemplar,
+    ExpositionOptions, HistogramSnapshot, MetricsSnapshot, PolicySnapshot,
+    LATENCY_BUCKET_BOUNDS_NS,
 };
 use piprov_core::provenance::{InternerStats, ShardStats};
 use piprov_patterns::MemoStats;
@@ -93,6 +94,7 @@ fn sentinel_snapshot() -> (MetricsSnapshot, Vec<u64>) {
         overflow: 3,
         sum_ns: 1_234_567_890,
         count: (1..=LATENCY_BUCKET_BOUNDS_NS.len() as u64).sum::<u64>() + 3,
+        exemplars: Vec::new(),
     };
     let policy = PolicySnapshot {
         policy: "sentinel-policy".into(),
@@ -109,18 +111,21 @@ fn sentinel_snapshot() -> (MetricsSnapshot, Vec<u64>) {
         overflow: 1,
         sum_ns: 2_000_000_000,
         count: 2 * LATENCY_BUCKET_BOUNDS_NS.len() as u64 + 1,
+        exemplars: Vec::new(),
     };
     let request_service = HistogramSnapshot {
         counts: vec![5; LATENCY_BUCKET_BOUNDS_NS.len()],
         overflow: 0,
         sum_ns: 3_000_000_000,
         count: 5 * LATENCY_BUCKET_BOUNDS_NS.len() as u64,
+        exemplars: Vec::new(),
     };
     let ingest_queue_wait = HistogramSnapshot {
         counts: vec![7; LATENCY_BUCKET_BOUNDS_NS.len()],
         overflow: 2,
         sum_ns: 4_000_000_000,
         count: 7 * LATENCY_BUCKET_BOUNDS_NS.len() as u64 + 2,
+        exemplars: Vec::new(),
     };
     let snapshot = MetricsSnapshot {
         engine,
@@ -131,6 +136,10 @@ fn sentinel_snapshot() -> (MetricsSnapshot, Vec<u64>) {
         frame_decode,
         request_service,
         ingest_queue_wait,
+        uptime_seconds: take(&mut s),
+        connections_accepted: take(&mut s),
+        connections_closed: take(&mut s),
+        open_connections: take(&mut s),
         policies: vec![policy],
     };
     (snapshot, plain)
@@ -153,8 +162,9 @@ fn every_stats_field_surfaces_in_the_exposition() {
     // No two plain fields shared a sentinel, so N fields ⇒ N values.
     assert_eq!(
         sentinels.len(),
-        12 + 3 + 4 + 3 + 6 + 1 + 3,
-        "engine + store + interner + shard(values) + memo + unknown-pattern + policy verdicts"
+        12 + 3 + 4 + 3 + 6 + 1 + 3 + 4,
+        "engine + store + interner + shard(values) + memo + unknown-pattern \
+         + policy verdicts + serving lifecycle"
     );
     // The shard index rides as a label.
     assert!(text.contains("piprov_interner_shard_entries{shard=\"9000020\"}"));
@@ -300,6 +310,10 @@ fn the_exposition_golden_shape_is_stable() {
         "piprov_frame_decode_seconds",
         "piprov_request_service_seconds",
         "piprov_ingest_queue_wait_seconds",
+        "piprov_uptime_seconds",
+        "piprov_connections_accepted_total",
+        "piprov_connections_closed_total",
+        "piprov_open_connections",
     ] {
         assert!(
             text.contains(&format!("# TYPE {} ", family)),
@@ -361,6 +375,10 @@ fn an_empty_registry_renders_a_lintable_exposition() {
         frame_decode: HistogramSnapshot::default(),
         request_service: HistogramSnapshot::default(),
         ingest_queue_wait: HistogramSnapshot::default(),
+        uptime_seconds: 0,
+        connections_accepted: 0,
+        connections_closed: 0,
+        open_connections: 0,
         policies: Vec::new(),
     };
     let text = render_exposition(&snapshot);
@@ -369,5 +387,39 @@ fn an_empty_registry_renders_a_lintable_exposition() {
     assert!(
         !text.contains("piprov_policy_vets_passed_total{"),
         "no policies ⇒ no per-policy samples"
+    );
+}
+
+#[test]
+fn exemplars_are_opt_in_and_keep_the_exposition_lintable() {
+    let (mut snapshot, _) = sentinel_snapshot();
+    snapshot.frame_decode.exemplars = vec![None; LATENCY_BUCKET_BOUNDS_NS.len()];
+    snapshot.frame_decode.exemplars[0] = Some(Exemplar {
+        trace_id: 0xfeed_beef_dead_cafe_0123_4567_89ab_cdef,
+        value_ns: 750,
+    });
+
+    let plain = render_exposition(&snapshot);
+    validate_exposition(&plain).expect("plain exposition lints clean");
+    assert!(
+        !plain.contains(" # {"),
+        "exemplars must stay off the default rendering"
+    );
+
+    let annotated = render_exposition_with(&snapshot, &ExpositionOptions { exemplars: true });
+    validate_exposition(&annotated).expect("exemplar exposition lints clean");
+    let line = annotated
+        .lines()
+        .find(|l| l.contains(" # {trace_id="))
+        .expect("an exemplar-annotated bucket line");
+    assert!(
+        line.starts_with("piprov_frame_decode_seconds_bucket{"),
+        "exemplars ride only on bucket samples: {}",
+        line
+    );
+    assert!(
+        line.contains("trace_id=\"feedbeefdeadcafe0123456789abcdef\""),
+        "exemplar trace id renders as 32 hex digits: {}",
+        line
     );
 }

@@ -1,0 +1,303 @@
+//! E17 — the request tracing plane.
+//!
+//! Three costs, bounded so tracing never argues with the hot path:
+//!
+//! * **`e17_trace/span_stamping`** — the price of the full per-request
+//!   trace path (admit a wire context, assemble the spans, one seqlock
+//!   ring write) measured against the memo-warm vet it rides on, the
+//!   cheapest request there is.  The summary table reports the ratio;
+//!   the budget is **<5 %** of a warm vet with sampling at 1-in-1 —
+//!   the worst case, since real deployments sample sparser.
+//! * **loopback end-to-end** (summary only) — the same budget applied
+//!   where it matters operationally: a framed vet round trip over TCP
+//!   with client-propagated trace contexts on vs off.
+//! * **`e17_trace/snapshot_render`** — the cost of draining the ring
+//!   ([`TraceCollector::snapshot`]) and rendering the `GET /trace` text
+//!   as the ring grows.  Snapshots run off the hot path (scrape-side),
+//!   so this bounds scrape cost, not request cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piprov_audit::{
+    render_traces, validate_trace_text, AuditEngine, AuditOutcome, AuditRequest, RequestKind, Span,
+    SpanKind, TraceCollector, TraceConfig, TraceContext,
+};
+use piprov_bench::quick_criterion;
+use piprov_core::name::{Channel, Principal};
+use piprov_core::provenance::{Event, Provenance};
+use piprov_core::value::Value;
+use piprov_patterns::{GroupExpr, Pattern};
+use piprov_serve::{AuditClient, AuditServer, ClientConfig, ServeConfig};
+use piprov_store::{Operation, ProvenanceRecord};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ITEMS: usize = 64;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("piprov-e17-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An engine with one policy and a store of `ITEMS` single-hop records —
+/// the smallest engine whose vets exercise index, memo and histogram.
+fn seeded_engine(dir: &PathBuf) -> Arc<AuditEngine> {
+    let engine = Arc::new(AuditEngine::open(dir).expect("open engine"));
+    engine.register_pattern("from-s", Pattern::originated_at(GroupExpr::single("s")));
+    let records: Vec<ProvenanceRecord> = (0..ITEMS as u64)
+        .map(|i| {
+            ProvenanceRecord::new(
+                i,
+                "s",
+                Operation::Send,
+                "m",
+                Value::Channel(Channel::new(format!("item{}", i))),
+                Provenance::single(Event::output(Principal::new("s"), Provenance::empty())),
+            )
+        })
+        .collect();
+    engine.ingest_batch(records).expect("ingest");
+    engine
+}
+
+fn vet_request(i: usize) -> AuditRequest {
+    AuditRequest::VetValue {
+        value: Value::Channel(Channel::new(format!("item{}", i % ITEMS))),
+        pattern: "from-s".into(),
+    }
+}
+
+fn vet(engine: &AuditEngine, i: usize) -> bool {
+    let response = engine.handle(&vet_request(i));
+    matches!(response.outcome, AuditOutcome::Vetted { verdict: true, .. })
+}
+
+/// One full span-stamping pass: the work tracing adds to a request that
+/// the pre-existing metrics plane (stage stamps, histogram records) does
+/// not already pay.
+fn stamp(collector: &TraceCollector, i: usize) {
+    let ctx = collector.admit(Some(TraceContext {
+        trace_id: (i as u128) | 1,
+        sampled: true,
+    }));
+    let spans = [
+        Span::new(SpanKind::Decode, 120),
+        Span {
+            kind: SpanKind::Handle,
+            duration_ns: 480 + (i as u64 & 0xFF),
+            index_hits: 1,
+            memo_hits: 1,
+        },
+        Span::new(SpanKind::Write, 60),
+    ];
+    collector.finish(ctx, RequestKind::Vet, 700 + (i as u64 & 0xFF), &spans);
+}
+
+fn bench_span_stamping(c: &mut Criterion) {
+    let dir = temp_dir("stamping");
+    let engine = seeded_engine(&dir);
+    // Worst case for the trace plane: every request sampled and recorded.
+    let collector = TraceCollector::new(TraceConfig {
+        sample_every: 1,
+        ..TraceConfig::default()
+    });
+    // Warm the memo: the steady-state vet is the cheapest, and therefore
+    // the one span stamping must stay invisible against.
+    for i in 0..ITEMS {
+        assert!(vet(&engine, i));
+    }
+
+    let mut group = c.benchmark_group("e17_trace/span_stamping");
+    group.bench_function("vet_memo_warm", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            vet(&engine, i)
+        })
+    });
+    group.bench_function("span_stamping", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            stamp(&collector, i);
+        })
+    });
+    group.finish();
+
+    // Summary: both costs timed over the same loop count. Passes
+    // interleave and each side keeps its best, so a scheduler hiccup
+    // hits both sides alike instead of faking a budget breach.
+    let rounds = 200_000usize;
+    let passes = 9usize;
+    let mut vet_ns = f64::INFINITY;
+    let mut stamp_ns = f64::INFINITY;
+    for _ in 0..passes {
+        let started = Instant::now();
+        let mut passed = 0usize;
+        for i in 0..rounds {
+            if vet(&engine, i) {
+                passed += 1;
+            }
+        }
+        vet_ns = vet_ns.min(started.elapsed().as_nanos() as f64 / rounds as f64);
+        assert_eq!(passed, rounds);
+
+        let started = Instant::now();
+        for i in 0..rounds {
+            stamp(&collector, i);
+        }
+        stamp_ns = stamp_ns.min(started.elapsed().as_nanos() as f64 / rounds as f64);
+    }
+    let ratio = 100.0 * stamp_ns / vet_ns;
+
+    println!("\ne17 summary — span stamping cost on the vet hot path");
+    println!("  memo-warm vet:     {:>9.1} ns", vet_ns);
+    println!("  span stamping:     {:>9.1} ns", stamp_ns);
+    println!(
+        "  overhead:          {:>9.2} % of a warm vet (target <5%){}",
+        ratio,
+        if ratio < 5.0 {
+            ""
+        } else {
+            "  ** OVER BUDGET **"
+        }
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// End-to-end check over a real loopback server: a framed vet round trip
+/// with client trace propagation off vs on (sampling 1-in-1 server-side).
+fn loopback_overhead_summary() {
+    let dir = temp_dir("loopback");
+    let engine = seeded_engine(&dir);
+    let server = AuditServer::bind(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind");
+    let addr = server.local_addr();
+
+    // One persistent connection per mode; batches interleave and each
+    // mode keeps its best batch, so shared-machine noise (which dwarfs a
+    // sub-microsecond stamping cost at this scale) cancels out of the
+    // comparison instead of deciding it.
+    let batch = 1_000usize;
+    let batches = 24usize;
+    let mut clients: Vec<AuditClient> = [false, true]
+        .iter()
+        .map(|&trace| {
+            let mut client = AuditClient::connect_with(
+                addr,
+                ClientConfig {
+                    trace,
+                    ..ClientConfig::default()
+                },
+            )
+            .expect("connect");
+            // Warm the connection and the memo before timing.
+            for i in 0..ITEMS {
+                client.request(&vet_request(i)).expect("warm vet");
+            }
+            client
+        })
+        .collect();
+    let mut best = [f64::INFINITY; 2];
+    for round in 0..batches {
+        // Alternate which mode goes first so slow drift cancels too.
+        let order = if round % 2 == 0 { [0, 1] } else { [1, 0] };
+        for mode in order {
+            let client = &mut clients[mode];
+            let started = Instant::now();
+            for i in 0..batch {
+                client.request(&vet_request(i)).expect("vet");
+            }
+            best[mode] = best[mode].min(started.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+    let (untraced_ns, traced_ns) = (best[0], best[1]);
+    let overhead = 100.0 * (traced_ns - untraced_ns) / untraced_ns;
+
+    println!("\ne17 summary — end-to-end tracing overhead, loopback vet path");
+    println!("  round trip, tracing off: {:>9.1} ns", untraced_ns);
+    println!("  round trip, tracing on:  {:>9.1} ns", traced_ns);
+    println!(
+        "  overhead:                {:>9.2} % (target <5%){}",
+        overhead,
+        if overhead < 5.0 {
+            ""
+        } else {
+            "  ** OVER BUDGET **"
+        }
+    );
+    server.shutdown().expect("shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A collector whose ring holds `traces` completed four-span records.
+fn populated_collector(capacity: usize, traces: usize) -> TraceCollector {
+    let collector = TraceCollector::new(TraceConfig {
+        sample_every: 1,
+        capacity,
+        ..TraceConfig::default()
+    });
+    for i in 0..traces {
+        let ctx = collector.admit(Some(TraceContext {
+            trace_id: (i as u128) + 1,
+            sampled: true,
+        }));
+        let spans = [
+            Span::new(SpanKind::ClientEncode, 250),
+            Span::new(SpanKind::Decode, 1_000 + i as u64),
+            Span {
+                kind: SpanKind::Handle,
+                duration_ns: 20_000 + i as u64,
+                index_hits: 1,
+                memo_hits: 1,
+            },
+            Span::new(SpanKind::Write, 2_000),
+        ];
+        collector.finish(ctx, RequestKind::Vet, 24_000 + i as u64, &spans);
+    }
+    collector
+}
+
+fn bench_snapshot_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_trace/snapshot_render");
+    for capacity in [64usize, 256, 1024] {
+        let collector = populated_collector(capacity, capacity);
+        validate_trace_text(&render_traces(&collector.snapshot(0)))
+            .expect("trace text lints clean");
+        group.bench_with_input(
+            BenchmarkId::new("ring", capacity),
+            &collector,
+            |b, collector| b.iter(|| render_traces(&collector.snapshot(0)).len()),
+        );
+    }
+    group.finish();
+
+    println!("\ne17 summary — snapshot+render cost vs ring capacity");
+    println!("  {:<10} {:>12} {:>12}", "capacity", "bytes", "µs/render");
+    for capacity in [64usize, 256, 1024] {
+        let collector = populated_collector(capacity, capacity);
+        let rounds = 200usize;
+        let started = Instant::now();
+        let mut bytes = 0usize;
+        for _ in 0..rounds {
+            bytes = render_traces(&collector.snapshot(0)).len();
+        }
+        let micros = started.elapsed().as_micros() as f64 / rounds as f64;
+        println!("  {:<10} {:>12} {:>12.1}", capacity, bytes, micros);
+    }
+}
+
+fn all(c: &mut Criterion) {
+    bench_span_stamping(c);
+    loopback_overhead_summary();
+    bench_snapshot_render(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = all
+}
+criterion_main!(benches);

@@ -18,15 +18,20 @@
 //!   one round trip per batch, not per record.
 
 use crate::codec::{
-    decode_response, encode_ingest_batch, encode_request, WireRequest, WireResponse,
+    append_request_trace, decode_response, encode_ingest_batch, encode_request, RequestTrace,
+    WireRequest, WireResponse,
 };
+use crate::server::elapsed_ns;
 use crate::wire::{read_frame, write_frame, WireError, WireLimits};
-use piprov_audit::{AuditRequest, AuditResponse, EngineStats, MetricsSnapshot};
+use bytes::Bytes;
+use piprov_audit::{
+    AuditRequest, AuditResponse, EngineStats, MetricsSnapshot, TraceContext, TraceRecord,
+};
 use piprov_store::ProvenanceRecord;
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of an [`AuditClient`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +47,12 @@ pub struct ClientConfig {
     pub busy_retries: usize,
     /// Decode-side caps applied to server responses.
     pub limits: WireLimits,
+    /// When set (the default), every request carries a fresh sampled
+    /// [`TraceContext`] plus the client-side encode duration, so the
+    /// server's trace ring shows this client's requests end to end
+    /// (including a `client_encode` span).  Clear it to defer to the
+    /// server's own head-based sampling.
+    pub trace: bool,
 }
 
 impl Default for ClientConfig {
@@ -51,6 +62,7 @@ impl Default for ClientConfig {
             busy_backoff: Duration::from_millis(1),
             busy_retries: 10_000,
             limits: WireLimits::default(),
+            trace: true,
         }
     }
 }
@@ -222,8 +234,32 @@ impl AuditClient {
         self.busy_observed
     }
 
+    /// Encodes one request body, appending the wire trace field when
+    /// [`ClientConfig::trace`] is set.
+    fn encode_traced(&self, request: &WireRequest) -> Bytes {
+        let started = Instant::now();
+        let body = encode_request(request);
+        self.append_trace(body, started)
+    }
+
+    /// Appends a fresh sampled trace context (and the encode duration
+    /// measured from `encode_started`) to an already-encoded body.
+    fn append_trace(&self, body: Bytes, encode_started: Instant) -> Bytes {
+        if !self.config.trace {
+            return body;
+        }
+        append_request_trace(
+            &body,
+            &RequestTrace {
+                context: TraceContext::generate(),
+                client_encode_ns: elapsed_ns(encode_started).max(1),
+            },
+        )
+    }
+
     fn send(&mut self, request: &WireRequest) -> Result<(), ClientError> {
-        write_frame(&mut self.writer, &encode_request(request))?;
+        let body = self.encode_traced(request);
+        write_frame(&mut self.writer, &body)?;
         self.writer.flush()?;
         Ok(())
     }
@@ -270,10 +306,8 @@ impl AuditClient {
         requests: &[AuditRequest],
     ) -> Result<Vec<AuditResponse>, ClientError> {
         for request in requests {
-            write_frame(
-                &mut self.writer,
-                &encode_request(&WireRequest::Audit(request.clone())),
-            )?;
+            let body = self.encode_traced(&WireRequest::Audit(request.clone()));
+            write_frame(&mut self.writer, &body)?;
         }
         self.writer.flush()?;
         let mut responses = Vec::with_capacity(requests.len());
@@ -327,7 +361,8 @@ impl AuditClient {
         &mut self,
         records: Vec<ProvenanceRecord>,
     ) -> Result<IngestOutcome, ClientError> {
-        let body = encode_ingest_batch(&records);
+        let started = Instant::now();
+        let body = self.append_trace(encode_ingest_batch(&records), started);
         if body.len() as u64 > self.config.limits.max_frame_len as u64 {
             return Err(self.frame_too_large(body.len()));
         }
@@ -353,7 +388,8 @@ impl AuditClient {
     }
 
     fn ingest_blocking_slice(&mut self, records: &[ProvenanceRecord]) -> Result<(), ClientError> {
-        let body = encode_ingest_batch(records);
+        let started = Instant::now();
+        let body = self.append_trace(encode_ingest_batch(records), started);
         if body.len() as u64 > self.config.limits.max_frame_len as u64 {
             if records.len() <= 1 {
                 return Err(self.frame_too_large(body.len()));
@@ -455,6 +491,30 @@ impl AuditClient {
                     exposition,
                 })
             }
+            WireResponse::ServerError { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
+        }
+    }
+
+    /// Every trace the server's collector currently holds: requests this
+    /// client (or any peer) ran, each broken into per-stage spans.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditClient::request`].
+    pub fn traces(&mut self) -> Result<Vec<TraceRecord>, ClientError> {
+        self.traces_min(0)
+    }
+
+    /// As [`AuditClient::traces`], keeping only traces whose end-to-end
+    /// duration is at least `min_total_ns`.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditClient::request`].
+    pub fn traces_min(&mut self, min_total_ns: u64) -> Result<Vec<TraceRecord>, ClientError> {
+        match self.round_trip(&WireRequest::Traces { min_total_ns })? {
+            WireResponse::Traces(records) => Ok(records),
             WireResponse::ServerError { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
         }

@@ -15,11 +15,12 @@
 //! bytes actually remaining, so no hostile count can request unbounded
 //! memory before the per-element bounds checks reject it.
 
-use crate::wire::{WireError, WireLimits, WIRE_VERSION};
+use crate::wire::{WireError, WireLimits, MIN_WIRE_VERSION, WIRE_VERSION};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use piprov_audit::{
-    AuditOutcome, AuditRequest, AuditResponse, EngineStats, HistogramSnapshot, MetricsSnapshot,
-    PolicySnapshot, RequestStats,
+    AuditOutcome, AuditRequest, AuditResponse, EngineStats, Exemplar, HistogramSnapshot,
+    MetricsSnapshot, PolicySnapshot, RequestKind, RequestStats, Span, SpanKind, TraceContext,
+    TraceRecord,
 };
 use piprov_core::name::{Channel, Principal};
 use piprov_core::provenance::{InternerStats, ShardStats};
@@ -46,6 +47,26 @@ pub enum WireRequest {
     /// registered policy's verdict counters and latency histogram (see
     /// [`piprov_audit::MetricsSnapshot`]).
     Metrics,
+    /// Recent traces from the server's ring-buffer collector, oldest
+    /// first, dropping traces shorter than `min_total_ns` end to end.
+    Traces {
+        /// Minimum end-to-end duration, nanoseconds (`0` = everything).
+        min_total_ns: u64,
+    },
+}
+
+/// The trace field a traced request carries after its payload: the
+/// propagated [`TraceContext`] plus the client-side encode+send duration,
+/// measured by the originator (the server cannot observe it) so the
+/// server-side trace covers the full path.
+///
+/// The field is *additive*: a v3 peer sends none and decodes to `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// The propagated trace identity.
+    pub context: TraceContext,
+    /// Client-side request encode (and send-buffer) time, nanoseconds.
+    pub client_encode_ns: u64,
 }
 
 /// A server-to-client message.
@@ -85,6 +106,9 @@ pub enum WireResponse {
     /// by far the largest payload, and boxing it keeps every other
     /// response variant small on the stack.
     Metrics(Box<MetricsSnapshot>),
+    /// Answer to [`WireRequest::Traces`]: recent traces from the ring
+    /// collector, oldest first, already merged by trace id.
+    Traces(Vec<TraceRecord>),
     /// The server failed to serve an otherwise well-formed request (store
     /// error on flush, for example), or reports why it is closing the
     /// connection.
@@ -92,6 +116,21 @@ pub enum WireResponse {
         /// Human-readable cause.
         message: String,
     },
+}
+
+/// The [`RequestKind`] a wire request traces as.
+pub fn request_kind(request: &WireRequest) -> RequestKind {
+    match request {
+        WireRequest::Audit(AuditRequest::VetValue { .. }) => RequestKind::Vet,
+        WireRequest::Audit(AuditRequest::AuditTrail { .. }) => RequestKind::Trail,
+        WireRequest::Audit(AuditRequest::WhoTouched { .. }) => RequestKind::Touched,
+        WireRequest::Audit(AuditRequest::OriginOf { .. }) => RequestKind::Origin,
+        WireRequest::IngestBatch(_) => RequestKind::Ingest,
+        WireRequest::Flush => RequestKind::Flush,
+        WireRequest::Stats => RequestKind::Stats,
+        WireRequest::Metrics => RequestKind::Metrics,
+        WireRequest::Traces { .. } => RequestKind::Traces,
+    }
 }
 
 const REQ_AUDIT: u8 = 1;
@@ -102,6 +141,11 @@ const REQ_STATS: u8 = 4;
 // its response payload (the wire-level histograms), which is why the
 // version byte moved — a v2 peer would misparse the larger snapshot.
 const REQ_METRICS: u8 = 5;
+// Added with version 4 (the tracing plane).
+const REQ_TRACES: u8 = 6;
+
+/// Field tag of the additive per-request trace field (version 4).
+const REQUEST_FIELD_TRACE: u8 = 1;
 
 const AUDIT_VET: u8 = 1;
 const AUDIT_TRAIL: u8 = 2;
@@ -115,6 +159,7 @@ const RESP_FLUSHED: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_ERROR: u8 = 6;
 const RESP_METRICS: u8 = 7;
+const RESP_TRACES: u8 = 8;
 
 const OUTCOME_VETTED: u8 = 1;
 const OUTCOME_TRAIL: u8 = 2;
@@ -216,16 +261,45 @@ fn finish_message(tag: u8, payload: impl FnOnce(&mut BytesMut)) -> Bytes {
     buf.freeze()
 }
 
-/// Strips and checks the version byte, returning the message tag.
-fn open_message(buf: &mut Bytes) -> Result<u8, WireError> {
+/// Strips and checks the version byte, returning `(version, tag)`.
+/// Decoders accept [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`]; the version
+/// gates the *additive* payload extensions (trace fields, exemplars,
+/// connection counters) newer versions carry.
+fn open_message(buf: &mut Bytes) -> Result<(u8, u8), WireError> {
     if buf.remaining() < 2 {
         return Err(malformed("message shorter than version + tag"));
     }
     let version = buf.get_u8();
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
-    Ok(buf.get_u8())
+    Ok((version, buf.get_u8()))
+}
+
+fn put_request_trace(buf: &mut BytesMut, trace: &RequestTrace) {
+    buf.put_u8(REQUEST_FIELD_TRACE);
+    buf.put_u64((trace.context.trace_id >> 64) as u64);
+    buf.put_u64(trace.context.trace_id as u64);
+    buf.put_u8(trace.context.sampled as u8);
+    buf.put_u64(trace.client_encode_ns);
+}
+
+fn get_request_trace(buf: &mut Bytes) -> Result<RequestTrace, WireError> {
+    need(buf, 25, "request trace field")?;
+    let hi = buf.get_u64();
+    let lo = buf.get_u64();
+    let sampled = match buf.get_u8() {
+        0 => false,
+        1 => true,
+        other => return Err(malformed(format!("bad trace sampled flag {}", other))),
+    };
+    Ok(RequestTrace {
+        context: TraceContext {
+            trace_id: ((hi as u128) << 64) | lo as u128,
+            sampled,
+        },
+        client_encode_ns: buf.get_u64(),
+    })
 }
 
 /// Encodes an `IngestBatch` request body from a borrowed slice — what the
@@ -234,6 +308,25 @@ fn open_message(buf: &mut Bytes) -> Result<u8, WireError> {
 /// `encode_request(&WireRequest::IngestBatch(..))`.
 pub fn encode_ingest_batch(records: &[ProvenanceRecord]) -> Bytes {
     finish_message(REQ_INGEST, |buf| put_records(buf, records))
+}
+
+/// Appends the additive trace field to an already-encoded request body —
+/// how a traced client turns any encoded request (including a pre-encoded
+/// ingest batch) into its traced form without re-encoding the payload.
+pub fn append_request_trace(body: &Bytes, trace: &RequestTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(body.len() + 26);
+    buf.extend_from_slice(body);
+    put_request_trace(&mut buf, trace);
+    buf.freeze()
+}
+
+/// Encodes one request body with its optional trace field appended.
+pub fn encode_request_traced(request: &WireRequest, trace: Option<&RequestTrace>) -> Bytes {
+    let body = encode_request(request);
+    match trace {
+        Some(trace) => append_request_trace(&body, trace),
+        None => body,
+    }
 }
 
 /// Encodes one request body (to be framed by [`crate::wire::write_frame`]).
@@ -264,18 +357,35 @@ pub fn encode_request(request: &WireRequest) -> Bytes {
         WireRequest::Flush => finish_message(REQ_FLUSH, |_| {}),
         WireRequest::Stats => finish_message(REQ_STATS, |_| {}),
         WireRequest::Metrics => finish_message(REQ_METRICS, |_| {}),
+        WireRequest::Traces { min_total_ns } => finish_message(REQ_TRACES, |buf| {
+            buf.put_u64(*min_total_ns);
+        }),
     }
 }
 
-/// Decodes one request body.
+/// Decodes one request body, dropping any trace field.
 ///
 /// # Errors
 ///
 /// [`WireError::UnsupportedVersion`] or [`WireError::Malformed`]; record
 /// counts above [`WireLimits::max_records`] are rejected before any
 /// per-record work.
-pub fn decode_request(mut buf: Bytes, limits: &WireLimits) -> Result<WireRequest, WireError> {
-    let request = match open_message(&mut buf)? {
+pub fn decode_request(buf: Bytes, limits: &WireLimits) -> Result<WireRequest, WireError> {
+    decode_request_traced(buf, limits).map(|(request, _)| request)
+}
+
+/// Decodes one request body together with its optional trace field (only
+/// version-4 bodies can carry one) — the server's entry point.
+///
+/// # Errors
+///
+/// As [`decode_request`].
+pub fn decode_request_traced(
+    mut buf: Bytes,
+    limits: &WireLimits,
+) -> Result<(WireRequest, Option<RequestTrace>), WireError> {
+    let (version, tag) = open_message(&mut buf)?;
+    let request = match tag {
         REQ_AUDIT => {
             need(&buf, 1, "audit request tag")?;
             let audit = match buf.get_u8() {
@@ -300,12 +410,29 @@ pub fn decode_request(mut buf: Bytes, limits: &WireLimits) -> Result<WireRequest
         REQ_FLUSH => WireRequest::Flush,
         REQ_STATS => WireRequest::Stats,
         REQ_METRICS => WireRequest::Metrics,
+        REQ_TRACES => {
+            need(&buf, 8, "traces filter")?;
+            WireRequest::Traces {
+                min_total_ns: buf.get_u64(),
+            }
+        }
         other => return Err(malformed(format!("unknown request tag {}", other))),
     };
-    if buf.has_remaining() {
-        return Err(malformed("trailing bytes after request"));
+    // Additive per-request fields after the payload (version 4+); the only
+    // one defined is the trace field.  An unknown field tag — including
+    // any trailing byte on a pre-v4 body — is malformed, not skipped: the
+    // field space is versioned, so "garbage we tolerate" never becomes a
+    // compatibility constraint by accident.
+    let mut trace = None;
+    while buf.has_remaining() {
+        match buf.get_u8() {
+            REQUEST_FIELD_TRACE if version >= 4 && trace.is_none() => {
+                trace = Some(get_request_trace(&mut buf)?);
+            }
+            _ => return Err(malformed("trailing bytes after request")),
+        }
     }
-    Ok(request)
+    Ok((request, trace))
 }
 
 fn put_request_stats(buf: &mut BytesMut, stats: &RequestStats) {
@@ -478,6 +605,7 @@ fn put_histogram(buf: &mut BytesMut, histogram: &HistogramSnapshot) {
         overflow,
         sum_ns,
         count,
+        exemplars,
     } = histogram;
     buf.put_u32(counts.len() as u32);
     for bucket in counts {
@@ -486,9 +614,22 @@ fn put_histogram(buf: &mut BytesMut, histogram: &HistogramSnapshot) {
     buf.put_u64(*overflow);
     buf.put_u64(*sum_ns);
     buf.put_u64(*count);
+    // Version 4: per-bucket exemplar slots (empty vec encodes as zero).
+    buf.put_u32(exemplars.len() as u32);
+    for exemplar in exemplars {
+        match exemplar {
+            Some(Exemplar { trace_id, value_ns }) => {
+                buf.put_u8(1);
+                buf.put_u64((trace_id >> 64) as u64);
+                buf.put_u64(*trace_id as u64);
+                buf.put_u64(*value_ns);
+            }
+            None => buf.put_u8(0),
+        }
+    }
 }
 
-fn get_histogram(buf: &mut Bytes) -> Result<HistogramSnapshot, WireError> {
+fn get_histogram(buf: &mut Bytes, version: u8) -> Result<HistogramSnapshot, WireError> {
     need(buf, 4, "histogram bucket count")?;
     let count = buf.get_u32() as usize;
     // A bucket costs 8 bytes: the pre-allocation is capped by the bytes
@@ -499,11 +640,39 @@ fn get_histogram(buf: &mut Bytes) -> Result<HistogramSnapshot, WireError> {
         counts.push(buf.get_u64());
     }
     need(buf, 24, "histogram tail")?;
+    let overflow = buf.get_u64();
+    let sum_ns = buf.get_u64();
+    let count = buf.get_u64();
+    // A version-3 peer sends no exemplar block at all.
+    let mut exemplars = Vec::new();
+    if version >= 4 {
+        need(buf, 4, "exemplar count")?;
+        let count = buf.get_u32() as usize;
+        // An exemplar slot costs at least its presence byte.
+        exemplars.reserve(count.min(buf.remaining() + 1));
+        for _ in 0..count {
+            need(buf, 1, "exemplar flag")?;
+            exemplars.push(match buf.get_u8() {
+                0 => None,
+                1 => {
+                    need(buf, 24, "exemplar")?;
+                    let hi = buf.get_u64();
+                    let lo = buf.get_u64();
+                    Some(Exemplar {
+                        trace_id: ((hi as u128) << 64) | lo as u128,
+                        value_ns: buf.get_u64(),
+                    })
+                }
+                other => return Err(malformed(format!("bad exemplar flag {}", other))),
+            });
+        }
+    }
     Ok(HistogramSnapshot {
         counts,
-        overflow: buf.get_u64(),
-        sum_ns: buf.get_u64(),
-        count: buf.get_u64(),
+        overflow,
+        sum_ns,
+        count,
+        exemplars,
     })
 }
 
@@ -524,7 +693,7 @@ fn put_policy_snapshot(buf: &mut BytesMut, policy: &PolicySnapshot) {
     put_histogram(buf, latency);
 }
 
-fn get_policy_snapshot(buf: &mut Bytes) -> Result<PolicySnapshot, WireError> {
+fn get_policy_snapshot(buf: &mut Bytes, version: u8) -> Result<PolicySnapshot, WireError> {
     let name = wire_str(buf)?;
     let memo = get_memo_stats(buf)?;
     need(buf, 24, "policy verdict counters")?;
@@ -534,7 +703,7 @@ fn get_policy_snapshot(buf: &mut Bytes) -> Result<PolicySnapshot, WireError> {
         vets_passed: buf.get_u64(),
         vets_failed: buf.get_u64(),
         vets_unknown_value: buf.get_u64(),
-        latency: get_histogram(buf)?,
+        latency: get_histogram(buf, version)?,
     })
 }
 
@@ -548,6 +717,10 @@ fn put_metrics_snapshot(buf: &mut BytesMut, metrics: &MetricsSnapshot) {
         frame_decode,
         request_service,
         ingest_queue_wait,
+        uptime_seconds,
+        connections_accepted,
+        connections_closed,
+        open_connections,
         policies,
     } = metrics;
     put_engine_stats(buf, engine);
@@ -561,13 +734,18 @@ fn put_metrics_snapshot(buf: &mut BytesMut, metrics: &MetricsSnapshot) {
     put_histogram(buf, frame_decode);
     put_histogram(buf, request_service);
     put_histogram(buf, ingest_queue_wait);
+    // Version 4: uptime + connection lifecycle.
+    buf.put_u64(*uptime_seconds);
+    buf.put_u64(*connections_accepted);
+    buf.put_u64(*connections_closed);
+    buf.put_u64(*open_connections);
     buf.put_u32(policies.len() as u32);
     for policy in policies {
         put_policy_snapshot(buf, policy);
     }
 }
 
-fn get_metrics_snapshot(buf: &mut Bytes) -> Result<MetricsSnapshot, WireError> {
+fn get_metrics_snapshot(buf: &mut Bytes, version: u8) -> Result<MetricsSnapshot, WireError> {
     let engine = get_engine_stats(buf)?;
     let store = get_store_stats(buf)?;
     let interner = get_interner_stats(buf)?;
@@ -580,15 +758,23 @@ fn get_metrics_snapshot(buf: &mut Bytes) -> Result<MetricsSnapshot, WireError> {
     }
     need(buf, 8, "unknown-pattern counter")?;
     let vets_unknown_pattern = buf.get_u64();
-    let frame_decode = get_histogram(buf)?;
-    let request_service = get_histogram(buf)?;
-    let ingest_queue_wait = get_histogram(buf)?;
+    let frame_decode = get_histogram(buf, version)?;
+    let request_service = get_histogram(buf, version)?;
+    let ingest_queue_wait = get_histogram(buf, version)?;
+    // A version-3 peer sends no serving-lifecycle block: render as zeros.
+    let (uptime_seconds, connections_accepted, connections_closed, open_connections) =
+        if version >= 4 {
+            need(buf, 32, "serving lifecycle counters")?;
+            (buf.get_u64(), buf.get_u64(), buf.get_u64(), buf.get_u64())
+        } else {
+            (0, 0, 0, 0)
+        };
     need(buf, 4, "policy count")?;
     let count = buf.get_u32() as usize;
     // A policy costs at least its 2 name-length bytes + 48 memo bytes.
     let mut policies = Vec::with_capacity(count.min(buf.remaining() / 50 + 1));
     for _ in 0..count {
-        policies.push(get_policy_snapshot(buf)?);
+        policies.push(get_policy_snapshot(buf, version)?);
     }
     Ok(MetricsSnapshot {
         engine,
@@ -599,7 +785,67 @@ fn get_metrics_snapshot(buf: &mut Bytes) -> Result<MetricsSnapshot, WireError> {
         frame_decode,
         request_service,
         ingest_queue_wait,
+        uptime_seconds,
+        connections_accepted,
+        connections_closed,
+        open_connections,
         policies,
+    })
+}
+
+fn put_trace_record(buf: &mut BytesMut, record: &TraceRecord) {
+    let TraceRecord {
+        trace_id,
+        kind,
+        total_ns,
+        spans,
+    } = record;
+    buf.put_u64((trace_id >> 64) as u64);
+    buf.put_u64(*trace_id as u64);
+    buf.put_u8(*kind as u8);
+    buf.put_u64(*total_ns);
+    buf.put_u8(spans.len() as u8);
+    for span in spans {
+        let Span {
+            kind,
+            duration_ns,
+            index_hits,
+            memo_hits,
+        } = span;
+        buf.put_u8(*kind as u8);
+        buf.put_u64(*duration_ns);
+        buf.put_u64(*index_hits);
+        buf.put_u64(*memo_hits);
+    }
+}
+
+fn get_trace_record(buf: &mut Bytes) -> Result<TraceRecord, WireError> {
+    need(buf, 26, "trace record head")?;
+    let hi = buf.get_u64();
+    let lo = buf.get_u64();
+    let kind = buf.get_u8();
+    let kind =
+        RequestKind::from_u8(kind).ok_or_else(|| malformed(format!("bad trace kind {}", kind)))?;
+    let total_ns = buf.get_u64();
+    let span_count = buf.get_u8() as usize;
+    let mut spans = Vec::with_capacity(span_count.min(buf.remaining() / 25 + 1));
+    for _ in 0..span_count {
+        need(buf, 25, "trace span")?;
+        let kind = buf.get_u8();
+        let kind =
+            SpanKind::from_u8(kind).ok_or_else(|| malformed(format!("bad span kind {}", kind)))?;
+        spans.push(Span {
+            kind,
+            duration_ns: buf.get_u64(),
+            index_hits: buf.get_u64(),
+            memo_hits: buf.get_u64(),
+        });
+    }
+    Ok(TraceRecord {
+        trace_id: ((hi as u128) << 64) | lo as u128,
+        kind,
+        total_ns,
+        spans,
     })
 }
 
@@ -685,6 +931,12 @@ pub fn encode_response(response: &WireResponse) -> Bytes {
         WireResponse::Metrics(metrics) => finish_message(RESP_METRICS, |buf| {
             put_metrics_snapshot(buf, metrics);
         }),
+        WireResponse::Traces(records) => finish_message(RESP_TRACES, |buf| {
+            buf.put_u32(records.len() as u32);
+            for record in records {
+                put_trace_record(buf, record);
+            }
+        }),
         WireResponse::ServerError { message } => finish_message(RESP_ERROR, |buf| {
             put_str(buf, message);
         }),
@@ -697,7 +949,8 @@ pub fn encode_response(response: &WireResponse) -> Bytes {
 ///
 /// As [`decode_request`].
 pub fn decode_response(mut buf: Bytes, limits: &WireLimits) -> Result<WireResponse, WireError> {
-    let response = match open_message(&mut buf)? {
+    let (version, tag) = open_message(&mut buf)?;
+    let response = match tag {
         RESP_AUDIT => {
             need(&buf, 1, "audit outcome tag")?;
             let outcome = match buf.get_u8() {
@@ -789,7 +1042,17 @@ pub fn decode_response(mut buf: Bytes, limits: &WireLimits) -> Result<WireRespon
             }
         }
         RESP_STATS => WireResponse::Stats(get_engine_stats(&mut buf)?),
-        RESP_METRICS => WireResponse::Metrics(Box::new(get_metrics_snapshot(&mut buf)?)),
+        RESP_METRICS => WireResponse::Metrics(Box::new(get_metrics_snapshot(&mut buf, version)?)),
+        RESP_TRACES => {
+            need(&buf, 4, "trace count")?;
+            let count = buf.get_u32() as usize;
+            // A trace record costs at least its 26 header bytes.
+            let mut records = Vec::with_capacity(count.min(buf.remaining() / 26 + 1));
+            for _ in 0..count {
+                records.push(get_trace_record(&mut buf)?);
+            }
+            WireResponse::Traces(records)
+        }
         RESP_ERROR => WireResponse::ServerError {
             message: wire_str(&mut buf)?,
         },
@@ -899,14 +1162,34 @@ mod tests {
                 overflow: 1,
                 sum_ns: 777,
                 count: 33,
+                exemplars: {
+                    // One populated bucket exemplar plus an overflow
+                    // exemplar, to exercise the flag-gated wire form.
+                    let mut exemplars: Vec<Option<Exemplar>> =
+                        vec![None; piprov_audit::LATENCY_BUCKET_BOUNDS_NS.len() + 1];
+                    exemplars[3] = Some(Exemplar {
+                        trace_id: 0xfeed_beef_0123,
+                        value_ns: 4_096,
+                    });
+                    exemplars[piprov_audit::LATENCY_BUCKET_BOUNDS_NS.len()] = Some(Exemplar {
+                        trace_id: u128::MAX,
+                        value_ns: u64::MAX,
+                    });
+                    exemplars
+                },
             },
             request_service: HistogramSnapshot {
                 counts: vec![0; piprov_audit::LATENCY_BUCKET_BOUNDS_NS.len()],
                 overflow: 9,
                 sum_ns: 888,
                 count: 9,
+                exemplars: Vec::new(),
             },
             ingest_queue_wait: HistogramSnapshot::default(),
+            uptime_seconds: 3_601,
+            connections_accepted: 12,
+            connections_closed: 9,
+            open_connections: 3,
             policies: vec![PolicySnapshot {
                 policy: "chain-only".into(),
                 memo: MemoStats {
@@ -925,6 +1208,7 @@ mod tests {
                     overflow: 0,
                     sum_ns: 123_456,
                     count: 16,
+                    exemplars: Vec::new(),
                 },
             }],
         };
@@ -946,6 +1230,10 @@ mod tests {
             frame_decode: HistogramSnapshot::default(),
             request_service: HistogramSnapshot::default(),
             ingest_queue_wait: HistogramSnapshot::default(),
+            uptime_seconds: 0,
+            connections_accepted: 0,
+            connections_closed: 0,
+            open_connections: 0,
             policies: Vec::new(),
         }));
         let decoded = decode_response(encode_response(&empty), &limits).unwrap();
@@ -974,6 +1262,10 @@ mod tests {
             frame_decode: HistogramSnapshot::default(),
             request_service: HistogramSnapshot::default(),
             ingest_queue_wait: HistogramSnapshot::default(),
+            uptime_seconds: 1,
+            connections_accepted: 1,
+            connections_closed: 0,
+            open_connections: 1,
             policies: Vec::new(),
         }));
         let body = encode_response(&response).to_vec();
@@ -1025,5 +1317,185 @@ mod tests {
             decode_request(Bytes::from(body), &limits),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn traced_requests_round_trip_with_their_context() {
+        let limits = WireLimits::default();
+        let requests = vec![
+            WireRequest::Audit(AuditRequest::VetValue {
+                value: Value::Channel(Channel::new("v")),
+                pattern: "from-a".into(),
+            }),
+            WireRequest::IngestBatch(vec![record(1)]),
+            WireRequest::Flush,
+            WireRequest::Stats,
+            WireRequest::Metrics,
+            WireRequest::Traces { min_total_ns: 0 },
+        ];
+        for sampled in [true, false] {
+            let trace = RequestTrace {
+                context: TraceContext {
+                    trace_id: 0xdead_beef_cafe_0042_u128 << 32 | 7,
+                    sampled,
+                },
+                client_encode_ns: 1_234,
+            };
+            for request in &requests {
+                let body = encode_request_traced(request, Some(&trace));
+                let (decoded, decoded_trace) = decode_request_traced(body, &limits).unwrap();
+                assert_eq!(&decoded, request);
+                assert_eq!(decoded_trace, Some(trace));
+            }
+        }
+        // Untraced bodies decode with no context at all.
+        let (_, none) =
+            decode_request_traced(encode_request(&WireRequest::Stats), &limits).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn the_traces_request_and_response_round_trip() {
+        let limits = WireLimits::default();
+        let request = WireRequest::Traces {
+            min_total_ns: 5_000,
+        };
+        assert_eq!(
+            decode_request(encode_request(&request), &limits).unwrap(),
+            request
+        );
+        let response = WireResponse::Traces(vec![
+            TraceRecord {
+                trace_id: u128::MAX,
+                kind: RequestKind::Vet,
+                total_ns: 98_765,
+                spans: vec![
+                    Span::new(SpanKind::ClientEncode, 120),
+                    Span::new(SpanKind::Decode, 340),
+                    Span {
+                        kind: SpanKind::Handle,
+                        duration_ns: 56_000,
+                        index_hits: 12,
+                        memo_hits: 3,
+                    },
+                    Span::new(SpanKind::Write, 89),
+                ],
+            },
+            TraceRecord {
+                trace_id: 1,
+                kind: RequestKind::Ingest,
+                total_ns: 0,
+                spans: vec![Span::new(SpanKind::QueueWait, 77)],
+            },
+        ]);
+        let decoded = decode_response(encode_response(&response), &limits).unwrap();
+        assert_eq!(decoded, response);
+        let empty = WireResponse::Traces(Vec::new());
+        let decoded = decode_response(encode_response(&empty), &limits).unwrap();
+        assert_eq!(decoded, empty);
+    }
+
+    #[test]
+    fn bad_trace_bytes_are_typed_errors_not_panics() {
+        let limits = WireLimits::default();
+        // A sampled flag that is neither 0 nor 1.
+        let trace = RequestTrace {
+            context: TraceContext {
+                trace_id: 9,
+                sampled: true,
+            },
+            client_encode_ns: 5,
+        };
+        let body = encode_request_traced(&WireRequest::Stats, Some(&trace)).to_vec();
+        let flag_at = body.len() - 9; // u64 encode-ns follows the flag
+        let mut bad = body.clone();
+        bad[flag_at] = 7;
+        assert!(matches!(
+            decode_request_traced(Bytes::from(bad), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        // Every truncation inside the trace field is an error; the cut
+        // exactly at the untraced payload boundary decodes as untraced.
+        let base_len = encode_request(&WireRequest::Stats).len();
+        for len in (base_len + 1)..body.len() {
+            assert!(
+                decode_request_traced(Bytes::from(body[..len].to_vec()), &limits).is_err(),
+                "prefix of {} bytes decoded",
+                len
+            );
+        }
+        // A traces response with an unknown record or span kind.
+        let response = WireResponse::Traces(vec![TraceRecord {
+            trace_id: 2,
+            kind: RequestKind::Vet,
+            total_ns: 10,
+            spans: vec![Span::new(SpanKind::Decode, 4)],
+        }]);
+        let encoded = encode_response(&response).to_vec();
+        // version u8 | tag u8 | count u32 | id hi+lo u64s | kind ...
+        let record_kind_at = 2 + 4 + 16;
+        let mut bad = encoded.clone();
+        bad[record_kind_at] = 99;
+        assert!(matches!(
+            decode_response(Bytes::from(bad), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        let span_kind_at = record_kind_at + 1 + 8 + 1;
+        let mut bad = encoded.clone();
+        bad[span_kind_at] = 99;
+        assert!(matches!(
+            decode_response(Bytes::from(bad), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        // And truncations never panic.
+        for len in 0..encoded.len() {
+            assert!(decode_response(Bytes::from(encoded[..len].to_vec()), &limits).is_err());
+        }
+    }
+
+    #[test]
+    fn version_3_bodies_still_decode_without_the_v4_extensions() {
+        let limits = WireLimits::default();
+        // A v3 peer's request: same payload, older version byte, no trace
+        // field.
+        for request in [
+            WireRequest::Flush,
+            WireRequest::Stats,
+            WireRequest::Audit(AuditRequest::WhoTouched {
+                principal: Principal::new("s"),
+            }),
+        ] {
+            let mut body = encode_request(&request).to_vec();
+            body[0] = 3;
+            let (decoded, trace) = decode_request_traced(Bytes::from(body), &limits).unwrap();
+            assert_eq!(decoded, request);
+            assert_eq!(trace, None);
+        }
+        // The trace field is a v4 extension: a v3 body carrying one is
+        // trailing garbage, not a context.
+        let trace = RequestTrace {
+            context: TraceContext {
+                trace_id: 3,
+                sampled: true,
+            },
+            client_encode_ns: 1,
+        };
+        let mut body = encode_request_traced(&WireRequest::Stats, Some(&trace)).to_vec();
+        body[0] = 3;
+        assert!(matches!(
+            decode_request_traced(Bytes::from(body), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        // A v3 response body (no serving-lifecycle block, no exemplars).
+        let response = WireResponse::Flushed {
+            ingested: 4,
+            watermark: 9,
+        };
+        let mut body = encode_response(&response).to_vec();
+        body[0] = 3;
+        assert_eq!(
+            decode_response(Bytes::from(body), &limits).unwrap(),
+            response
+        );
     }
 }

@@ -34,7 +34,7 @@
 
 #![cfg(target_os = "linux")]
 
-use crate::codec::{decode_request, encode_response, WireResponse};
+use crate::codec::{decode_request_traced, encode_response, request_kind, WireResponse};
 use crate::poll::{Epoll, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::server::{
     contains_blank_line, elapsed_ns, handle_request, http_response_for, IDLE_TIMEOUT_MESSAGE,
@@ -43,7 +43,9 @@ use crate::server::{
 use crate::wire::{try_parse_frame, write_frame, WireError, HTTP_GET_PREFIX};
 use crate::ServeConfig;
 use bytes::Bytes;
-use piprov_audit::{AuditEngine, IngestQueue};
+use piprov_audit::{
+    AuditEngine, IngestQueue, RequestKind, Span, SpanKind, TraceCollector, TraceContext,
+};
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -77,6 +79,7 @@ impl EventLoopHandle {
         listener: TcpListener,
         engine: Arc<AuditEngine>,
         queue: Arc<IngestQueue>,
+        collector: Arc<TraceCollector>,
         stop: Arc<AtomicBool>,
         config: ServeConfig,
     ) -> std::io::Result<Self> {
@@ -97,9 +100,10 @@ impl EventLoopHandle {
                 let dispatch = Arc::clone(&dispatch);
                 let engine = Arc::clone(&engine);
                 let queue = Arc::clone(&queue);
+                let collector = Arc::clone(&collector);
                 std::thread::Builder::new()
                     .name(format!("piprov-dispatch-{}", i))
-                    .spawn(move || dispatch_loop(&dispatch, &engine, &queue, &config))
+                    .spawn(move || dispatch_loop(&dispatch, &engine, &queue, &collector, &config))
                     .expect("spawn dispatch worker")
             })
             .collect();
@@ -114,6 +118,8 @@ impl EventLoopHandle {
                         wake,
                         dispatch,
                         stop,
+                        engine,
+                        collector,
                         config,
                         conns: HashMap::new(),
                         next_token: FIRST_CONN_TOKEN,
@@ -186,12 +192,41 @@ struct Outbound {
     /// Close the connection once the buffer drains (error sent, HTTP
     /// response sent, or idle expiry).
     closing: bool,
+    /// Total bytes ever appended to `buf` — the absolute stream position
+    /// `pending_traces` anchor their completion against (never reset by
+    /// the compaction `flush_outbound` does).
+    total_enqueued: u64,
+    /// Total bytes ever written to the socket.
+    total_flushed: u64,
+    /// Requests whose response sits in `buf`, waiting for the write-drain
+    /// to pass `end_abs` — at which point the write span closes and the
+    /// trace is finished.  Appended in stream order, so always sorted.
+    pending_traces: Vec<PendingTrace>,
 }
 
 impl Outbound {
     fn is_drained(&self) -> bool {
         self.start >= self.buf.len()
     }
+}
+
+/// A request waiting for its response bytes to reach the socket; the
+/// final `write` span covers enqueue → drained-past-`end_abs`.
+#[derive(Debug)]
+struct PendingTrace {
+    /// `Outbound::total_flushed` value at which this response is fully on
+    /// the wire.
+    end_abs: u64,
+    /// When the dispatch worker started decoding — the trace's total
+    /// starts here.
+    started: Instant,
+    /// When the encoded response entered the outbound buffer.
+    enqueued: Instant,
+    ctx: Option<TraceContext>,
+    kind: RequestKind,
+    client_encode_ns: u64,
+    decode_ns: u64,
+    handle: Span,
 }
 
 /// Per-connection state machine on the loop thread.
@@ -235,6 +270,8 @@ struct Loop {
     wake: Arc<WakeFd>,
     dispatch: Arc<Dispatch>,
     stop: Arc<AtomicBool>,
+    engine: Arc<AuditEngine>,
+    collector: Arc<TraceCollector>,
     config: ServeConfig,
     conns: HashMap<u64, (Conn, Arc<Mutex<Outbound>>)>,
     next_token: u64,
@@ -303,6 +340,7 @@ impl Loop {
             };
             self.conns
                 .insert(token, (conn, Arc::new(Mutex::new(Outbound::default()))));
+            self.engine.metrics_registry().note_connection_accepted();
         }
     }
 
@@ -317,7 +355,7 @@ impl Loop {
             self.close(token);
             return;
         }
-        if revents & EPOLLOUT != 0 && !flush_outbound(conn, out) {
+        if revents & EPOLLOUT != 0 && !flush_outbound(conn, out, &self.collector) {
             self.close(token);
             return;
         }
@@ -374,7 +412,7 @@ impl Loop {
         let Some((conn, out)) = self.conns.get_mut(&token) else {
             return;
         };
-        if !flush_outbound(conn, out) {
+        if !flush_outbound(conn, out, &self.collector) {
             self.close(token);
             return;
         }
@@ -453,7 +491,7 @@ impl Loop {
                     self.wake.drain();
                 } else if token >= FIRST_CONN_TOKEN && revents & EPOLLOUT != 0 {
                     if let Some((conn, out)) = self.conns.get_mut(&token) {
-                        if !flush_outbound(conn, out) {
+                        if !flush_outbound(conn, out, &self.collector) {
                             self.close(token);
                         }
                     }
@@ -463,7 +501,7 @@ impl Loop {
             for token in done {
                 if let Some((conn, out)) = self.conns.get_mut(&token) {
                     conn.in_flight = false;
-                    if !flush_outbound(conn, out) {
+                    if !flush_outbound(conn, out, &self.collector) {
                         self.close(token);
                     }
                 }
@@ -487,6 +525,7 @@ impl Loop {
     fn close(&mut self, token: u64) {
         if let Some((conn, _)) = self.conns.remove(&token) {
             let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.engine.metrics_registry().note_connection_closed();
         }
     }
 }
@@ -498,11 +537,24 @@ impl Dispatch {
     }
 }
 
-/// Reads until `WouldBlock` or EOF.  Returns `false` only on a fatal
-/// socket error (close immediately, nothing to say to the peer).
+/// Per-readiness cap on bytes read into a connection's buffer.  Without
+/// it a peer that writes faster than frames are parsed — e.g. a hostile
+/// multi-megabyte `GET` request line with no newline — balloons
+/// `read_buf` without bound before the parser ever sees it.  Epoll here
+/// is level-triggered, so leftover bytes simply re-report readiness on
+/// the next `epoll_wait`.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Reads until `WouldBlock`, EOF, or [`READ_BUDGET`] is consumed.
+/// Returns `false` only on a fatal socket error (close immediately,
+/// nothing to say to the peer).
 fn read_available(conn: &mut Conn) -> bool {
     let mut scratch = [0u8; 16 * 1024];
+    let mut taken = 0usize;
     loop {
+        if taken >= READ_BUDGET {
+            return true;
+        }
         match conn.stream.read(&mut scratch) {
             Ok(0) => {
                 conn.peer_eof = true;
@@ -510,6 +562,7 @@ fn read_available(conn: &mut Conn) -> bool {
             }
             Ok(n) => {
                 conn.last_activity = Instant::now();
+                taken += n;
                 match &mut conn.http_head {
                     Some(head) => {
                         let room = MAX_HTTP_HEAD.saturating_sub(head.len());
@@ -537,7 +590,12 @@ fn parse_available(conn: &mut Conn, config: &ServeConfig) {
         if conn.read_buf.len() >= HTTP_GET_PREFIX.len()
             && conn.read_buf[..HTTP_GET_PREFIX.len()] == HTTP_GET_PREFIX
         {
-            conn.http_head = Some(std::mem::take(&mut conn.read_buf));
+            // The pre-sniff buffer may exceed the head cap (one readiness
+            // burst can deliver up to READ_BUDGET bytes); the response only
+            // needs the request line, so cap it like every later read.
+            let mut head = std::mem::take(&mut conn.read_buf);
+            head.truncate(MAX_HTTP_HEAD);
+            conn.http_head = Some(head);
         } else {
             loop {
                 match try_parse_frame(&conn.read_buf, config.limits.max_frame_len) {
@@ -581,25 +639,32 @@ fn append_error_frame(out: &mut Outbound, message: &str) {
     let response = WireResponse::ServerError {
         message: message.into(),
     };
+    let before = out.buf.len();
     write_frame(&mut out.buf, &encode_response(&response)).expect("vec write");
+    out.total_enqueued += (out.buf.len() - before) as u64;
     out.closing = true;
 }
 
-/// Writes as much outbound data as the socket accepts.  Returns `false`
-/// when the connection should close (fatal write error, or drained with
-/// `closing` set).
-fn flush_outbound(conn: &mut Conn, out: &Arc<Mutex<Outbound>>) -> bool {
+/// Writes as much outbound data as the socket accepts, finishing the
+/// trace of every request whose response just reached the wire.  Returns
+/// `false` when the connection should close (fatal write error, or
+/// drained with `closing` set).
+fn flush_outbound(conn: &mut Conn, out: &Arc<Mutex<Outbound>>, collector: &TraceCollector) -> bool {
     let mut out = out.lock().expect("outbound lock");
     while out.start < out.buf.len() {
         let start = out.start;
         match conn.stream.write(&out.buf[start..]) {
             Ok(0) => return false,
-            Ok(n) => out.start += n,
+            Ok(n) => {
+                out.start += n;
+                out.total_flushed += n as u64;
+            }
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(_) => return false,
         }
     }
+    finish_flushed_traces(&mut out, collector);
     if out.is_drained() {
         out.buf.clear();
         out.start = 0;
@@ -616,6 +681,37 @@ fn flush_outbound(conn: &mut Conn, out: &Arc<Mutex<Outbound>>) -> bool {
     }
 }
 
+/// Closes the write span of every pending trace whose response bytes are
+/// fully on the wire, and hands the completed trace to the collector —
+/// the event-loop analogue of the thread-pool core's post-flush stamp.
+fn finish_flushed_traces(out: &mut Outbound, collector: &TraceCollector) {
+    let flushed = out.total_flushed;
+    let done = out
+        .pending_traces
+        .iter()
+        .take_while(|t| t.end_abs <= flushed)
+        .count();
+    for trace in out.pending_traces.drain(..done) {
+        // A stack array, not a Vec: finish is on the per-request path.
+        let mut spans = [Span::new(SpanKind::Write, 0); 4];
+        let mut count = 0;
+        if trace.client_encode_ns > 0 {
+            spans[count] = Span::new(SpanKind::ClientEncode, trace.client_encode_ns);
+            count += 1;
+        }
+        spans[count] = Span::new(SpanKind::Decode, trace.decode_ns);
+        spans[count + 1] = trace.handle;
+        spans[count + 2] = Span::new(SpanKind::Write, elapsed_ns(trace.enqueued));
+        count += 3;
+        collector.finish(
+            trace.ctx,
+            trace.kind,
+            elapsed_ns(trace.started),
+            &spans[..count],
+        );
+    }
+}
+
 /// A dispatch worker: all CPU work (decode → handle → encode) for one job
 /// at a time, never touching a socket.  Wire-level histograms are
 /// recorded here — the loop thread stays out of the measurement.
@@ -623,6 +719,7 @@ fn dispatch_loop(
     dispatch: &Dispatch,
     engine: &Arc<AuditEngine>,
     queue: &Arc<IngestQueue>,
+    collector: &Arc<TraceCollector>,
     config: &ServeConfig,
 ) {
     loop {
@@ -646,18 +743,45 @@ fn dispatch_loop(
         match job {
             Job::Frames { token, frames, out } => {
                 let mut encoded = Vec::new();
+                // Per-request trace state, keyed by the response's end
+                // offset within `encoded`; anchored to the outbound
+                // stream position when the batch is appended below.
+                let mut traces = Vec::new();
                 let mut closing = false;
                 for frame in frames {
-                    let decode_started = Instant::now();
-                    let decoded = decode_request(frame, &config.limits);
-                    registry.record_frame_decode(elapsed_ns(decode_started));
+                    let request_started = Instant::now();
+                    let decoded = decode_request_traced(frame, &config.limits);
+                    let decode_ns = elapsed_ns(request_started);
+                    registry.record_frame_decode(decode_ns);
                     match decoded {
-                        Ok(request) => {
+                        Ok((request, wire_trace)) => {
+                            let ctx = collector.admit(wire_trace.map(|t| t.context));
+                            let kind = request_kind(&request);
                             let service_started = Instant::now();
-                            let response = handle_request(request, engine, queue, config);
-                            registry.record_request_service(elapsed_ns(service_started));
+                            let (response, index_hits, memo_hits) =
+                                handle_request(request, engine, queue, config, collector, ctx);
+                            let service_ns = elapsed_ns(service_started);
+                            registry
+                                .record_request_service_traced(service_ns, ctx.map(|c| c.trace_id));
                             write_frame(&mut encoded, &encode_response(&response))
                                 .expect("vec write");
+                            traces.push(PendingTrace {
+                                end_abs: encoded.len() as u64,
+                                started: request_started,
+                                enqueued: request_started,
+                                ctx,
+                                kind,
+                                client_encode_ns: wire_trace
+                                    .map(|t| t.client_encode_ns)
+                                    .unwrap_or(0),
+                                decode_ns,
+                                handle: Span {
+                                    kind: SpanKind::Handle,
+                                    duration_ns: service_ns,
+                                    index_hits,
+                                    memo_hits,
+                                },
+                            });
                         }
                         Err(e) => {
                             // Same contract as the thread-pool core: a
@@ -675,7 +799,15 @@ fn dispatch_loop(
                 }
                 {
                     let mut out = out.lock().expect("outbound lock");
+                    let base = out.total_enqueued;
+                    let now = Instant::now();
                     out.buf.extend_from_slice(&encoded);
+                    out.total_enqueued += encoded.len() as u64;
+                    for mut trace in traces {
+                        trace.end_abs += base;
+                        trace.enqueued = now;
+                        out.pending_traces.push(trace);
+                    }
                     if closing {
                         out.closing = true;
                     }
@@ -683,10 +815,11 @@ fn dispatch_loop(
                 dispatch.report_done(token);
             }
             Job::Http { token, head, out } => {
-                let response = http_response_for(&head, engine);
+                let response = http_response_for(&head, engine, collector);
                 {
                     let mut out = out.lock().expect("outbound lock");
                     out.buf.extend_from_slice(&response);
+                    out.total_enqueued += response.len() as u64;
                     out.closing = true;
                 }
                 dispatch.report_done(token);

@@ -35,7 +35,10 @@
 //! * [`poll`] (Linux) — the zero-dependency `epoll`/`eventfd` FFI shim
 //!   the event loop stands on;
 //! * [`client`] — the blocking [`AuditClient`] with pipelined queries and
-//!   two ingest modes (blocking, fire-and-batch);
+//!   two ingest modes (blocking, fire-and-batch); by default every
+//!   request carries a wire-propagated sampled trace context, and
+//!   [`AuditClient::traces`] reads back the server's per-stage span
+//!   records (`GET /trace` serves the same ring as lintable text);
 //! * [`recorder`] — the [`RemoteRecorder`]
 //!   [`piprov_runtime::DeliverySink`], so a simulation streams deliveries
 //!   into a server in another process.
@@ -93,7 +96,10 @@ pub mod server;
 pub mod wire;
 
 pub use client::{AuditClient, ClientConfig, ClientError, FlushAck, IngestOutcome, MetricsReport};
-pub use codec::{WireRequest, WireResponse};
+pub use codec::{request_kind, RequestTrace, WireRequest, WireResponse};
 pub use recorder::RemoteRecorder;
 pub use server::{AuditServer, ServeConfig, ServerCore};
-pub use wire::{WireError, WireLimits, DEFAULT_MAX_FRAME_LEN, DEFAULT_MAX_RECORDS, WIRE_VERSION};
+pub use wire::{
+    WireError, WireLimits, DEFAULT_MAX_FRAME_LEN, DEFAULT_MAX_RECORDS, MIN_WIRE_VERSION,
+    WIRE_VERSION,
+};

@@ -31,9 +31,14 @@
 //! [`ServeConfig`]), and [`ServeConfig::idle_timeout`] bounds how long an
 //! idle connection may hold its resources in either core.
 
-use crate::codec::{decode_request, encode_response, WireRequest, WireResponse};
+use crate::codec::{
+    decode_request_traced, encode_response, request_kind, WireRequest, WireResponse,
+};
 use crate::wire::{read_frame_or_http, write_frame, FrameOrHttp, WireError, WireLimits};
-use piprov_audit::{AuditEngine, BarrierError, IngestQueue, SubmitOutcome};
+use piprov_audit::{
+    render_traces, AuditEngine, BarrierError, ExpositionOptions, IngestQueue, Span, SpanKind,
+    SubmitOutcome, TraceCollector, TraceConfig, TraceContext,
+};
 use piprov_store::StoreError;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -114,6 +119,10 @@ pub struct ServeConfig {
     /// pin a thread-pool worker slot nor hold an event-loop fd forever.
     /// `None` (the default) never expires idle connections.
     pub idle_timeout: Option<Duration>,
+    /// The request-tracing plane: sampling rate, slow threshold, ring
+    /// capacity and whether the `/metrics` exposition carries histogram
+    /// exemplars.  Both cores stamp the same span set per request.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +134,7 @@ impl Default for ServeConfig {
             limits: WireLimits::default(),
             flush_timeout: Duration::from_secs(10),
             idle_timeout: None,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -141,6 +151,7 @@ pub(crate) const IDLE_TIMEOUT_MESSAGE: &str = "idle timeout";
 pub struct AuditServer {
     engine: Arc<AuditEngine>,
     queue: Arc<IngestQueue>,
+    collector: Arc<TraceCollector>,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     core: CoreHandle,
@@ -173,9 +184,11 @@ impl AuditServer {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let queue = Arc::new(IngestQueue::start(
+        let collector = Arc::new(TraceCollector::new(config.trace));
+        let queue = Arc::new(IngestQueue::start_with_trace(
             Arc::clone(&engine),
             config.queue_capacity,
+            Some(Arc::clone(&collector)),
         ));
         let stop = Arc::new(AtomicBool::new(false));
         let core = match config.core {
@@ -185,6 +198,7 @@ impl AuditServer {
                     listener,
                     Arc::clone(&engine),
                     Arc::clone(&queue),
+                    Arc::clone(&collector),
                     Arc::clone(&stop),
                     config,
                 )?)
@@ -199,10 +213,13 @@ impl AuditServer {
                         let listener = Arc::clone(&listener);
                         let engine = Arc::clone(&engine);
                         let queue = Arc::clone(&queue);
+                        let collector = Arc::clone(&collector);
                         let stop = Arc::clone(&stop);
                         std::thread::Builder::new()
                             .name(format!("piprov-serve-{}", i))
-                            .spawn(move || worker_loop(&listener, &engine, &queue, &stop, &config))
+                            .spawn(move || {
+                                worker_loop(&listener, &engine, &queue, &collector, &stop, &config)
+                            })
                             .expect("spawn serve worker")
                     })
                     .collect();
@@ -212,6 +229,7 @@ impl AuditServer {
         Ok(AuditServer {
             engine,
             queue,
+            collector,
             local_addr,
             stop,
             core,
@@ -233,6 +251,12 @@ impl AuditServer {
     /// pausing it makes back-pressure deterministic to observe).
     pub fn ingest_queue(&self) -> &Arc<IngestQueue> {
         &self.queue
+    }
+
+    /// The trace collector both cores deposit per-request span records
+    /// into — the store behind `GET /trace` and the `Traces` wire request.
+    pub fn trace_collector(&self) -> &Arc<TraceCollector> {
+        &self.collector
     }
 
     /// Which core this server is actually running (the configured core,
@@ -309,6 +333,7 @@ fn worker_loop(
     listener: &TcpListener,
     engine: &Arc<AuditEngine>,
     queue: &Arc<IngestQueue>,
+    collector: &Arc<TraceCollector>,
     stop: &AtomicBool,
     config: &ServeConfig,
 ) {
@@ -334,8 +359,12 @@ fn worker_loop(
             return;
         }
         // Per-connection errors close that connection only; the worker
-        // goes back to accepting.
-        let _ = serve_connection(stream, engine, queue, stop, config);
+        // goes back to accepting.  The lifecycle gauge brackets the serve:
+        // shutdown wake-ups above are never counted.
+        let registry = engine.metrics_registry();
+        registry.note_connection_accepted();
+        let _ = serve_connection(stream, engine, queue, collector, stop, config);
+        registry.note_connection_closed();
     }
 }
 
@@ -360,6 +389,7 @@ fn serve_connection(
     stream: TcpStream,
     engine: &Arc<AuditEngine>,
     queue: &Arc<IngestQueue>,
+    collector: &Arc<TraceCollector>,
     stop: &AtomicBool,
     config: &ServeConfig,
 ) -> Result<(), WireError> {
@@ -375,12 +405,11 @@ fn serve_connection(
     let mut writer = BufWriter::new(stream);
     let mut idle_since = Instant::now();
     loop {
-        let decode_started = Instant::now();
         let frame = match read_frame_or_http(&mut reader, limits.max_frame_len) {
             Ok(FrameOrHttp::Eof) => return Ok(()),
             Ok(FrameOrHttp::Frame(frame)) => frame,
             Ok(FrameOrHttp::HttpGet(head)) => {
-                return serve_http_get(&head, &mut reader, &mut writer, engine);
+                return serve_http_get(&head, &mut reader, &mut writer, engine, collector);
             }
             Err(e) if e.is_timeout() => {
                 if stop.load(Ordering::SeqCst) {
@@ -407,24 +436,55 @@ fn serve_connection(
         };
         idle_since = Instant::now();
         let registry = engine.metrics_registry();
-        let decoded = decode_request(frame, &limits);
         // Decode time covers bytes → typed request (the header/body read
         // is readiness-bound, not decode work).
-        registry.record_frame_decode(elapsed_ns(decode_started));
-        let response = match decoded {
-            Ok(request) => {
+        let request_started = Instant::now();
+        let decoded = decode_request_traced(frame, &limits);
+        let decode_ns = elapsed_ns(request_started);
+        registry.record_frame_decode(decode_ns);
+        let (response, trace) = match decoded {
+            Ok((request, wire_trace)) => {
+                let ctx = collector.admit(wire_trace.map(|t| t.context));
+                let kind = request_kind(&request);
                 let service_started = Instant::now();
-                let response = handle_request(request, engine, queue, config);
-                registry.record_request_service(elapsed_ns(service_started));
-                response
+                let (response, index_hits, memo_hits) =
+                    handle_request(request, engine, queue, config, collector, ctx);
+                let service_ns = elapsed_ns(service_started);
+                registry.record_request_service_traced(service_ns, ctx.map(|c| c.trace_id));
+                let handle = Span {
+                    kind: SpanKind::Handle,
+                    duration_ns: service_ns,
+                    index_hits,
+                    memo_hits,
+                };
+                let client_encode_ns = wire_trace.map(|t| t.client_encode_ns).unwrap_or(0);
+                (
+                    response,
+                    Some((ctx, kind, client_encode_ns, decode_ns, handle)),
+                )
             }
             Err(e) => {
                 send_error(&mut writer, &e);
                 return Err(e);
             }
         };
+        let write_started = Instant::now();
         write_frame(&mut writer, &encode_response(&response))?;
         writer.flush()?;
+        if let Some((ctx, kind, client_encode_ns, decode_ns, handle)) = trace {
+            // A stack array, not a Vec: finish is on the per-request path.
+            let mut spans = [Span::new(SpanKind::Write, 0); 4];
+            let mut count = 0;
+            if client_encode_ns > 0 {
+                spans[count] = Span::new(SpanKind::ClientEncode, client_encode_ns);
+                count += 1;
+            }
+            spans[count] = Span::new(SpanKind::Decode, decode_ns);
+            spans[count + 1] = handle;
+            spans[count + 2] = Span::new(SpanKind::Write, elapsed_ns(write_started));
+            count += 3;
+            collector.finish(ctx, kind, elapsed_ns(request_started), &spans[..count]);
+        }
     }
 }
 
@@ -442,10 +502,11 @@ fn serve_http_get(
     reader: &mut impl BufRead,
     writer: &mut impl Write,
     engine: &AuditEngine,
+    collector: &TraceCollector,
 ) -> Result<(), WireError> {
     let mut request = head.to_vec();
     read_http_head(reader, &mut request);
-    writer.write_all(&http_response_for(&request, engine))?;
+    writer.write_all(&http_response_for(&request, engine, collector))?;
     writer.flush()?;
     Ok(())
 }
@@ -490,16 +551,41 @@ pub(crate) fn contains_blank_line(head: &[u8]) -> bool {
 
 /// Renders the complete HTTP/1.1 response for a sniffed `GET` request:
 /// the Prometheus exposition for `/metrics` (`text/plain; version=0.0.4`,
-/// the content type Prometheus scrapers negotiate), 404 for any other
-/// path.  Always `Connection: close` — the scrape path is one-shot, never
-/// a persistent peer.
-pub(crate) fn http_response_for(head: &[u8], engine: &AuditEngine) -> Vec<u8> {
-    let (status, content_type, body) = match http_request_path(head) {
+/// the content type Prometheus scrapers negotiate, with exemplar suffixes
+/// when [`TraceConfig::exemplars`] is set), the trace ring for `/trace`
+/// (filterable with `?min_us=N`), a liveness probe for `/healthz`, 404
+/// for any other path.  Always `Connection: close` — the scrape path is
+/// one-shot, never a persistent peer.
+pub(crate) fn http_response_for(
+    head: &[u8],
+    engine: &AuditEngine,
+    collector: &TraceCollector,
+) -> Vec<u8> {
+    let path = http_request_path(head);
+    let (path, query) = match path {
+        Some(path) => match path.split_once('?') {
+            Some((path, query)) => (Some(path), Some(query)),
+            None => (Some(path), None),
+        },
+        None => (None, None),
+    };
+    let (status, content_type, body) = match path {
         Some("/metrics") => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
-            piprov_audit::render_exposition(&engine.metrics()),
+            piprov_audit::render_exposition_with(
+                &engine.metrics(),
+                &ExpositionOptions {
+                    exemplars: collector.config().exemplars,
+                },
+            ),
         ),
+        Some("/trace") => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            render_traces(&collector.snapshot(trace_min_total_ns(query))),
+        ),
+        Some("/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
@@ -515,6 +601,18 @@ pub(crate) fn http_response_for(head: &[u8], engine: &AuditEngine) -> Vec<u8> {
     .into_bytes();
     response.extend_from_slice(body.as_bytes());
     response
+}
+
+/// The `min_us=N` filter of a `/trace` query string, in nanoseconds.
+/// Anything absent or unparsable means "no filter".
+fn trace_min_total_ns(query: Option<&str>) -> u64 {
+    query
+        .into_iter()
+        .flat_map(|q| q.split('&'))
+        .find_map(|pair| pair.strip_prefix("min_us="))
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|us| us.saturating_mul(1_000))
+        .unwrap_or(0)
 }
 
 /// The request path of a `GET` request line, if `head` starts with one.
@@ -542,17 +640,30 @@ fn send_error(writer: &mut impl Write, error: &WireError) {
 /// Maps one decoded request onto the engine/queue.  Never panics; store
 /// failures become [`WireResponse::ServerError`].  Shared by both cores —
 /// the event loop's dispatch workers call it per frame.
+///
+/// Returns the response plus the `(index_hits, memo_hits)` the engine
+/// reported, so the caller can stamp them onto the request's `handle`
+/// span (zero for everything but audit requests).
 pub(crate) fn handle_request(
     request: WireRequest,
     engine: &Arc<AuditEngine>,
     queue: &Arc<IngestQueue>,
     config: &ServeConfig,
-) -> WireResponse {
-    match request {
-        WireRequest::Audit(audit) => WireResponse::Audit(engine.handle(&audit)),
+    collector: &TraceCollector,
+    ctx: Option<TraceContext>,
+) -> (WireResponse, u64, u64) {
+    let response = match request {
+        WireRequest::Audit(audit) => {
+            let response = engine.handle_with_trace(&audit, ctx.map(|c| c.trace_id));
+            let index_hits = response.stats.index_hits as u64;
+            let memo_hits = response.stats.memo_hits as u64;
+            return (WireResponse::Audit(response), index_hits, memo_hits);
+        }
         WireRequest::IngestBatch(records) => {
             let accepted = records.len() as u32;
-            match queue.try_submit(records) {
+            // The queue-wait span for this batch is deposited later by the
+            // drain worker, under the same trace id.
+            match queue.try_submit_traced(records, ctx) {
                 SubmitOutcome::Accepted { queue_depth } => WireResponse::IngestAck {
                     accepted,
                     queue_depth: queue_depth as u32,
@@ -582,7 +693,11 @@ pub(crate) fn handle_request(
         },
         WireRequest::Stats => WireResponse::Stats(engine.stats()),
         WireRequest::Metrics => WireResponse::Metrics(Box::new(engine.metrics())),
-    }
+        WireRequest::Traces { min_total_ns } => {
+            WireResponse::Traces(collector.snapshot(min_total_ns))
+        }
+    };
+    (response, 0, 0)
 }
 
 #[cfg(test)]

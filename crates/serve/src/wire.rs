@@ -27,15 +27,25 @@ use piprov_store::codec::crc32;
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
 
-/// Version byte every frame body starts with.
+/// Version byte every frame body starts with (the version encoders write).
 ///
 /// Version 2 added the MVCC snapshot watermark to every audit response,
 /// to `Flushed`, and to the engine-stats payload (`snapshots_published`,
 /// `snapshot_lag`, `watermark`).  Version 3 added the wire-level
 /// histograms (frame-decode, request-service, ingest queue-wait) to the
-/// `Metrics` payload.  Older peers are refused with a typed
+/// `Metrics` payload.  Version 4 added the tracing plane: an *additive*
+/// trace field after every request payload (absent = untraced — a v3 peer
+/// simply sends none), the `Traces`/`Traces` request/response pair, and
+/// uptime, connection counters and histogram exemplars in the `Metrics`
+/// payload.  Decoders accept [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`];
+/// anything else is refused with a typed
 /// [`WireError::UnsupportedVersion`].
-pub const WIRE_VERSION: u8 = 3;
+pub const WIRE_VERSION: u8 = 4;
+
+/// Oldest version byte decoders still accept.  Version 3 bodies carry no
+/// trace field and no v4 metrics extensions; both were added additively,
+/// so a v3 peer interoperates unchanged.
+pub const MIN_WIRE_VERSION: u8 = 3;
 
 /// Default cap on the length prefix a peer will honour (16 MiB — far above
 /// any legitimate message, far below a memory-exhaustion attack).
@@ -78,7 +88,8 @@ pub enum WireError {
     },
     /// The body did not match its CRC.
     ChecksumMismatch,
-    /// The body's version byte is not [`WIRE_VERSION`].
+    /// The body's version byte is outside
+    /// [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`].
     UnsupportedVersion(u8),
     /// The body was structurally invalid (truncated field, unknown tag,
     /// over-cap count, bad UTF-8, …).

@@ -197,6 +197,244 @@ fn a_plaintext_get_on_the_framed_port_scrapes_the_exposition_in_both_cores() {
     }
 }
 
+#[test]
+fn healthz_and_trace_answer_plaintext_gets_in_both_cores() {
+    for core in ServerCore::all() {
+        let dir = temp_dir("obsget", core);
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        engine.register_pattern("from-s0", Pattern::originated_at(GroupExpr::single("s0")));
+        let server = AuditServer::bind(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServeConfig {
+                core,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // The liveness probe needs no traffic first.
+        let health = http_get(addr, "/healthz");
+        assert!(
+            health.starts_with("HTTP/1.1 200 OK\r\n"),
+            "core {}: {}",
+            core.name(),
+            &health[..health.len().min(200)]
+        );
+        assert_eq!(health.split_once("\r\n\r\n").unwrap().1, "ok\n");
+
+        // Drive traced framed traffic so the ring has something to show.
+        let mut client = AuditClient::connect(addr).unwrap();
+        client.ingest_blocking(vec![record(0, "s0")]).unwrap();
+        client.flush().unwrap();
+        client
+            .request(&AuditRequest::VetValue {
+                value: value("item0"),
+                pattern: "from-s0".into(),
+            })
+            .unwrap();
+
+        let response = http_get(addr, "/trace");
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK\r\n"),
+            "core {}: {}",
+            core.name(),
+            &response[..response.len().min(200)]
+        );
+        let body = response.split_once("\r\n\r\n").unwrap().1;
+        piprov_audit::validate_trace_text(body)
+            .unwrap_or_else(|e| panic!("core {}: trace body lints clean: {}", core.name(), e));
+        assert!(
+            body.contains("kind=vet"),
+            "core {}: the vet trace is served: {}",
+            core.name(),
+            body
+        );
+        for stage in ["  client_encode ", "  decode ", "  handle ", "  write "] {
+            assert!(
+                body.lines().any(|l| l.starts_with(stage)),
+                "core {}: missing the {} span line:\n{}",
+                core.name(),
+                stage.trim(),
+                body
+            );
+        }
+
+        // `?min_us=` prunes server-side; an impossible floor leaves nothing.
+        let filtered = http_get(addr, "/trace?min_us=60000000");
+        let filtered_body = filtered.split_once("\r\n\r\n").unwrap().1;
+        assert!(
+            filtered_body.is_empty(),
+            "core {}: a 60s floor filters every trace: {}",
+            core.name(),
+            filtered_body
+        );
+
+        drop(client);
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn a_hostile_unterminated_get_is_bounded_and_leaves_the_server_healthy() {
+    for core in ServerCore::all() {
+        let dir = temp_dir("hostile", core);
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        let server = AuditServer::bind(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServeConfig {
+                core,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // A request line that never ends: no blank line, megabytes of
+        // header bytes.  The server must cap what it buffers (8 KiB head)
+        // and answer-and-close instead of accumulating the flood.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_write_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write!(stream, "GET /healthz HTTP/1.1\r\nX-Flood: ").unwrap();
+        let junk = vec![b'a'; 64 * 1024];
+        let mut sent = 0usize;
+        let severed = loop {
+            if sent >= 8 * 1024 * 1024 {
+                break false;
+            }
+            match stream.write(&junk) {
+                Ok(n) => sent += n,
+                // Reset/EPIPE: the server already answered and closed.
+                Err(_) => break true,
+            }
+        };
+        if !severed {
+            // The flood drained into kernel buffers before the close
+            // landed; the response (or a clean EOF) must still arrive.
+            let mut response = String::new();
+            let _ = stream.read_to_string(&mut response);
+        }
+        drop(stream);
+
+        // The regression proof: the server is still healthy and the flood
+        // did not wedge the HTTP path or the framed protocol.
+        let health = http_get(addr, "/healthz");
+        assert!(
+            health.starts_with("HTTP/1.1 200 OK\r\n"),
+            "core {}: server unhealthy after hostile GET: {}",
+            core.name(),
+            &health[..health.len().min(200)]
+        );
+        let mut client = AuditClient::connect(addr).unwrap();
+        assert_eq!(client.stats().unwrap().ingested, 0);
+        drop(client);
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn scrapes_run_concurrently_with_framed_traffic_in_both_cores() {
+    for core in ServerCore::all() {
+        let dir = temp_dir("scrape-race", core);
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        engine.register_pattern("any", Pattern::Any);
+        let server = AuditServer::bind(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServeConfig {
+                core,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        {
+            let mut seed = AuditClient::connect(addr).unwrap();
+            seed.ingest_blocking(vec![record(0, "s0")]).unwrap();
+            seed.flush().unwrap();
+        }
+
+        // Scrapers hammer /metrics and /trace while a framed client
+        // pipelines distinguishable requests on another connection.
+        let scrapers: Vec<_> = ["/metrics", "/trace"]
+            .into_iter()
+            .map(|path| {
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let response = http_get(addr, path);
+                        assert!(
+                            response.starts_with("HTTP/1.1 200 OK\r\n"),
+                            "{}: {}",
+                            path,
+                            &response[..response.len().min(200)]
+                        );
+                        let body = response.split_once("\r\n\r\n").unwrap().1;
+                        if path == "/metrics" {
+                            piprov_audit::validate_exposition(body).unwrap();
+                        } else {
+                            piprov_audit::validate_trace_text(body).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let mut client = AuditClient::connect(addr).unwrap();
+        for _ in 0..10 {
+            let requests: Vec<AuditRequest> = (0..32u64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        AuditRequest::OriginOf {
+                            value: value("item0"),
+                        }
+                    } else {
+                        AuditRequest::VetValue {
+                            value: value("item0"),
+                            pattern: "any".into(),
+                        }
+                    }
+                })
+                .collect();
+            let responses = client.pipeline(&requests).unwrap();
+            // In order: each slot's outcome shape matches its request.
+            for (i, response) in responses.iter().enumerate() {
+                if i % 2 == 0 {
+                    assert!(
+                        matches!(response.outcome, AuditOutcome::Origin { .. }),
+                        "core {}: slot {} got {:?}",
+                        core.name(),
+                        i,
+                        response.outcome
+                    );
+                } else {
+                    assert!(
+                        matches!(response.outcome, AuditOutcome::Vetted { .. }),
+                        "core {}: slot {} got {:?}",
+                        core.name(),
+                        i,
+                        response.outcome
+                    );
+                }
+            }
+        }
+        for scraper in scrapers {
+            scraper.join().unwrap();
+        }
+        drop(client);
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 // The fd-limit probe lives in the Linux-only `poll` module; off Linux the
 // event loop itself is a fallback, so there is nothing to prove.
 #[cfg(target_os = "linux")]

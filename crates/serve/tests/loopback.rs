@@ -575,6 +575,105 @@ fn connections_racing_shutdown_get_an_answer_or_a_clean_close_never_a_hang() {
 }
 
 #[test]
+fn traced_requests_surface_identical_per_stage_spans_in_both_cores() {
+    use piprov_audit::{RequestKind, SpanKind};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    // Per core: request kind (as u8) → the set of span stages it recorded.
+    // The cores must agree — the trace vocabulary is core-independent.
+    let mut per_core: Vec<BTreeMap<u8, BTreeSet<u8>>> = Vec::new();
+    for core in ServerCore::all() {
+        let dir = temp_dir("traces", core);
+        let engine = Arc::new(AuditEngine::open(&dir).unwrap());
+        engine.register_pattern("from-s0", Pattern::originated_at(GroupExpr::single("s0")));
+        let server = AuditServer::bind(Arc::clone(&engine), "127.0.0.1:0", config(core)).unwrap();
+        let mut client = AuditClient::connect(server.local_addr()).unwrap();
+
+        client.ingest_blocking(vec![record(0, "s0")]).unwrap();
+        client.flush().unwrap();
+        // Twice: the second vet hits the memo, and its handle span says so.
+        for _ in 0..2 {
+            client
+                .request(&AuditRequest::VetValue {
+                    value: value("item0"),
+                    pattern: "from-s0".into(),
+                })
+                .unwrap();
+        }
+
+        let records = client.traces().unwrap();
+        let vets: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == RequestKind::Vet)
+            .collect();
+        assert_eq!(vets.len(), 2, "core {}: both vets are traced", core.name());
+        for vet in &vets {
+            let stages: BTreeSet<u8> = vet.spans.iter().map(|s| s.kind as u8).collect();
+            for stage in [
+                SpanKind::ClientEncode,
+                SpanKind::Decode,
+                SpanKind::Handle,
+                SpanKind::Write,
+            ] {
+                assert!(
+                    stages.contains(&(stage as u8)),
+                    "core {}: vet trace is missing the {:?} stage: {:?}",
+                    core.name(),
+                    stage,
+                    vet
+                );
+            }
+            assert!(stages.len() >= 4, "at least four distinct stages per vet");
+            assert!(vet.total_ns > 0, "the end-to-end total is measured");
+        }
+        assert!(
+            vets.iter().any(|r| r
+                .spans
+                .iter()
+                .any(|s| s.kind == SpanKind::Handle && s.memo_hits >= 1)),
+            "core {}: the warm vet's handle span reports its memo hit",
+            core.name()
+        );
+
+        // The ingest trace also carries the asynchronous queue-wait stage,
+        // merged in by trace id after the drain worker applied the batch.
+        let ingest = records
+            .iter()
+            .find(|r| r.kind == RequestKind::Ingest)
+            .unwrap_or_else(|| panic!("core {}: no ingest trace", core.name()));
+        assert!(
+            ingest.spans.iter().any(|s| s.kind == SpanKind::QueueWait),
+            "core {}: ingest trace is missing queue_wait: {:?}",
+            core.name(),
+            ingest
+        );
+
+        // The min-total filter applies server-side.
+        assert!(
+            client.traces_min(u64::MAX).unwrap().is_empty(),
+            "an impossible threshold filters everything"
+        );
+
+        let mut sets: BTreeMap<u8, BTreeSet<u8>> = BTreeMap::new();
+        for record in &records {
+            let entry = sets.entry(record.kind as u8).or_default();
+            entry.extend(record.spans.iter().map(|s| s.kind as u8));
+        }
+        per_core.push(sets);
+
+        drop(client);
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    for pair in per_core.windows(2) {
+        assert_eq!(
+            pair[0], pair[1],
+            "both cores must record the same span set per request kind"
+        );
+    }
+}
+
+#[test]
 fn concurrent_clients_are_served_by_the_worker_pool() {
     for core in ServerCore::all() {
         let dir = temp_dir("pool", core);

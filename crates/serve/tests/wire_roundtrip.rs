@@ -12,18 +12,22 @@
 
 use bytes::Bytes;
 use piprov_audit::{
-    AuditEngine, AuditOutcome, AuditRequest, AuditResponse, EngineStats, HistogramSnapshot,
-    MetricsSnapshot, PolicySnapshot, RequestStats,
+    AuditEngine, AuditOutcome, AuditRequest, AuditResponse, EngineStats, Exemplar,
+    HistogramSnapshot, MetricsSnapshot, PolicySnapshot, RequestKind, RequestStats, Span, SpanKind,
+    TraceContext, TraceRecord,
 };
 use piprov_core::name::{Channel, Principal};
 use piprov_core::provenance::{Event, InternerStats, Provenance, ShardStats};
 use piprov_core::value::Value;
 use piprov_patterns::MemoStats;
-use piprov_serve::codec::{decode_request, decode_response, encode_request, encode_response};
+use piprov_serve::codec::{
+    decode_request, decode_request_traced, decode_response, encode_request, encode_request_traced,
+    encode_response,
+};
 use piprov_serve::wire::{read_frame, write_frame};
 use piprov_serve::{
-    AuditClient, AuditServer, ClientError, ServeConfig, ServerCore, WireError, WireLimits,
-    WireResponse,
+    AuditClient, AuditServer, ClientError, RequestTrace, ServeConfig, ServerCore, WireError,
+    WireLimits, WireResponse,
 };
 use piprov_store::{AuditTrail, Operation, ProvenanceRecord};
 use proptest::prelude::*;
@@ -179,19 +183,37 @@ fn arb_memo_stats() -> impl Strategy<Value = MemoStats> {
         )
 }
 
+/// A 128-bit trace id out of two 64-bit halves (the vendored proptest
+/// shim has no `u128` ranges); the nonzero low half keeps it a real id.
+fn arb_trace_id() -> impl Strategy<Value = u128> {
+    (0u64..u64::MAX, 1u64..u64::MAX).prop_map(|(hi, lo)| ((hi as u128) << 64) | lo as u128)
+}
+
+fn arb_exemplar() -> impl Strategy<Value = Option<Exemplar>> {
+    prop_oneof![
+        2 => Just(None),
+        1 => (arb_trace_id(), 0u64..1 << 40)
+            .prop_map(|(trace_id, value_ns)| Some(Exemplar { trace_id, value_ns })),
+    ]
+}
+
 fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
     (
         proptest::collection::vec(0u64..1 << 40, 0..20),
         0u64..1 << 40,
         0u64..u64::MAX,
         0u64..1 << 40,
+        proptest::collection::vec(arb_exemplar(), 0..18),
     )
-        .prop_map(|(counts, overflow, sum_ns, count)| HistogramSnapshot {
-            counts,
-            overflow,
-            sum_ns,
-            count,
-        })
+        .prop_map(
+            |(counts, overflow, sum_ns, count, exemplars)| HistogramSnapshot {
+                counts,
+                overflow,
+                sum_ns,
+                count,
+                exemplars,
+            },
+        )
 }
 
 fn arb_policy_snapshot() -> impl Strategy<Value = PolicySnapshot> {
@@ -225,10 +247,13 @@ fn arb_metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
             0..5,
         ),
         (
-            0u64..1 << 40,
-            arb_histogram(),
-            arb_histogram(),
-            arb_histogram(),
+            (
+                0u64..1 << 40,
+                arb_histogram(),
+                arb_histogram(),
+                arb_histogram(),
+            ),
+            (0u64..1 << 31, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 20),
         ),
         proptest::collection::vec(arb_policy_snapshot(), 0..4),
     )
@@ -238,7 +263,10 @@ fn arb_metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
                 (records, segments, bytes),
                 (hits, misses, shards, interned_nodes),
                 shard_rows,
-                (vets_unknown_pattern, frame_decode, request_service, ingest_queue_wait),
+                (
+                    (vets_unknown_pattern, frame_decode, request_service, ingest_queue_wait),
+                    (uptime_seconds, connections_accepted, connections_closed, open_connections),
+                ),
                 policies,
             )| MetricsSnapshot {
                 engine,
@@ -266,9 +294,45 @@ fn arb_metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
                 frame_decode,
                 request_service,
                 ingest_queue_wait,
+                uptime_seconds,
+                connections_accepted,
+                connections_closed,
+                open_connections,
                 policies,
             },
         )
+}
+
+fn arb_trace_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        arb_trace_id(),
+        0u8..9,
+        0u64..1 << 48,
+        proptest::collection::vec((0u8..5, 0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20), 0..6),
+    )
+        .prop_map(|(trace_id, kind, total_ns, spans)| TraceRecord {
+            trace_id,
+            kind: RequestKind::from_u8(kind + 1).expect("kind in range"),
+            total_ns,
+            spans: spans
+                .into_iter()
+                .map(|(k, duration_ns, index_hits, memo_hits)| Span {
+                    kind: SpanKind::from_u8(k + 1).expect("span kind in range"),
+                    duration_ns,
+                    index_hits,
+                    memo_hits,
+                })
+                .collect(),
+        })
+}
+
+fn arb_request_trace() -> impl Strategy<Value = RequestTrace> {
+    (arb_trace_id(), any::<bool>(), 0u64..1 << 40).prop_map(
+        |(trace_id, sampled, client_encode_ns)| RequestTrace {
+            context: TraceContext { trace_id, sampled },
+            client_encode_ns,
+        },
+    )
 }
 
 fn arb_wire_request() -> impl Strategy<Value = piprov_serve::WireRequest> {
@@ -279,6 +343,7 @@ fn arb_wire_request() -> impl Strategy<Value = piprov_serve::WireRequest> {
         1 => Just(WireRequest::Flush),
         1 => Just(WireRequest::Stats),
         1 => Just(WireRequest::Metrics),
+        1 => (0u64..1 << 48).prop_map(|min_total_ns| WireRequest::Traces { min_total_ns }),
     ]
 }
 
@@ -307,6 +372,7 @@ fn arb_wire_response() -> impl Strategy<Value = WireResponse> {
         }),
         1 => arb_engine_stats().prop_map(WireResponse::Stats),
         1 => arb_metrics_snapshot().prop_map(|m| WireResponse::Metrics(Box::new(m))),
+        1 => proptest::collection::vec(arb_trace_record(), 0..5).prop_map(WireResponse::Traces),
         1 => (0u32..64).prop_map(|i| WireResponse::ServerError {
             message: format!("error {}", i),
         }),
@@ -322,6 +388,20 @@ proptest! {
         let limits = WireLimits::default();
         let decoded = decode_request(encode_request(&request), &limits).unwrap();
         prop_assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn traced_requests_round_trip(
+        request in arb_wire_request(),
+        trace in prop_oneof![Just(None), arb_request_trace().prop_map(Some)],
+    ) {
+        // The additive v4 trace field survives the round trip for every
+        // request shape, and its absence decodes as `None`.
+        let limits = WireLimits::default();
+        let body = encode_request_traced(&request, trace.as_ref());
+        let (decoded, decoded_trace) = decode_request_traced(body, &limits).unwrap();
+        prop_assert_eq!(decoded, request);
+        prop_assert_eq!(decoded_trace, trace);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Connection-scaling smoke test for the event-loop serving core: one
 //! process holds hundreds of idle connections while an active client
-//! ingests and vets through the same server, then scrapes `/metrics`
-//! over plain HTTP on the framed port.
+//! ingests and vets through the same server, then scrapes `/metrics`,
+//! `/healthz` and `/trace` over plain HTTP on the framed port.
 //!
 //! Run with: `cargo run --release --example serve_scale`
 //! (`PIPROV_SCALE_CONNS` overrides the idle-connection target, default
@@ -151,6 +151,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", line);
         }
     }
+
+    // Liveness and tracing over the same port.  The vets above ran with
+    // the client's default trace propagation, so `/trace` tells their
+    // per-stage story; the span-breakdown line below is what CI greps.
+    let mut health = TcpStream::connect(addr)?;
+    health.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(health, "GET /healthz HTTP/1.1\r\nHost: piprov\r\n\r\n")?;
+    let mut response = String::new();
+    health.read_to_string(&mut response)?;
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "healthz failed: {}",
+        response.lines().next().unwrap_or("")
+    );
+    println!("healthz: ok");
+
+    let mut traces = TcpStream::connect(addr)?;
+    traces.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(traces, "GET /trace HTTP/1.1\r\nHost: piprov\r\n\r\n")?;
+    let mut response = String::new();
+    traces.read_to_string(&mut response)?;
+    let status = response.lines().next().unwrap_or("").to_string();
+    println!("trace scrape: {}", status);
+    assert!(
+        status.starts_with("HTTP/1.1 200 OK"),
+        "trace scrape failed: {}",
+        status
+    );
+    let trace_body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    validate_trace_text(&trace_body)?;
+    println!("traces: {} bytes, lint-clean", trace_body.len());
+    // The stages of the first vetted request, in pipeline order.
+    let mut stages: Vec<&str> = Vec::new();
+    let mut in_vet = false;
+    for line in trace_body.lines() {
+        if let Some(span) = line.strip_prefix("  ") {
+            if in_vet {
+                stages.push(span.split(' ').next().unwrap_or_default());
+            }
+        } else if in_vet {
+            break;
+        } else {
+            in_vet = line.starts_with("trace ") && line.contains("kind=vet");
+        }
+    }
+    println!("span breakdown: {}", stages.join(" "));
+    assert_eq!(
+        stages,
+        ["client_encode", "decode", "handle", "write"],
+        "a traced vet stamps every stage of its pipeline"
+    );
 
     drop(client);
     drop(idle);

@@ -60,8 +60,9 @@ pub use piprov_store as store;
 /// needs.
 pub mod prelude {
     pub use piprov_audit::{
-        render_exposition, validate_exposition, AuditEngine, AuditOutcome, AuditRecorder,
-        AuditRequest, AuditResponse, EngineSnapshot, IngestQueue, MetricsSnapshot,
+        render_exposition, render_traces, validate_exposition, validate_trace_text, AuditEngine,
+        AuditOutcome, AuditRecorder, AuditRequest, AuditResponse, EngineSnapshot, IngestQueue,
+        MetricsSnapshot, TraceConfig, TraceContext, TraceRecord,
     };
     pub use piprov_core::interpreter::{Executor, SchedulerPolicy, StopReason};
     pub use piprov_core::name::{Channel, Principal, Variable};
