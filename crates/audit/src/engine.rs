@@ -1,8 +1,9 @@
 //! The thread-safe audit engine with MVCC snapshot reads.
 //!
 //! An [`AuditEngine`] owns a [`ProvenanceStore`] (the durable log) and a
-//! registry of named, pre-compiled policy patterns — but audit queries
-//! never touch the store or its reader-writer lock.  Instead, the ingest
+//! versioned registry of named, pre-compiled policy patterns (see
+//! [`crate::registry`]) — but audit queries never touch the store or its
+//! reader-writer lock.  Instead, the ingest
 //! path publishes an immutable [`EngineSnapshot`] (`Arc`'d record chunks +
 //! a structurally shared [`piprov_store::SharedStoreIndex`] + a sequence
 //! watermark) once per applied batch, and [`AuditEngine::handle`] answers
@@ -40,9 +41,13 @@
 //! long-lived engine cannot grow without bound.
 
 use crate::metrics::{MetricsRegistry, VetOutcomeKind};
+use crate::registry::{
+    PackInstall, PolicyEntry, PolicyInfo, PolicyListing, PolicyRegistry, PolicySet,
+};
 use crate::request::{AuditOutcome, AuditRequest, AuditResponse, RequestStats};
 use crate::snapshot::{EngineSnapshot, SnapshotCell};
 use piprov_patterns::{CompiledPattern, MemoStats, Pattern};
+use piprov_policy::PolicyPack;
 use piprov_store::{ProvenanceRecord, ProvenanceStore, SequenceNumber, StoreError, StoreStats};
 use std::collections::HashMap;
 use std::fmt;
@@ -162,7 +167,10 @@ pub struct AuditEngine {
     store: RwLock<ProvenanceStore>,
     /// The published [`EngineSnapshot`] every query reads.
     snapshot: SnapshotCell,
-    patterns: RwLock<HashMap<String, Arc<CompiledPattern>>>,
+    /// The versioned policy registry.  Requests load one immutable
+    /// [`PolicySet`] at entry; pack installation publishes the next
+    /// set with a single pointer swap (see [`crate::registry`]).
+    registry: PolicyRegistry,
     config: AuditConfig,
     /// Per-policy verdict counters and latency histograms (see
     /// [`crate::metrics`]).
@@ -204,7 +212,7 @@ impl AuditEngine {
         AuditEngine {
             store: RwLock::new(store),
             snapshot: SnapshotCell::new(recovered),
-            patterns: RwLock::new(HashMap::new()),
+            registry: PolicyRegistry::new(),
             config,
             metrics: MetricsRegistry::new(),
             started: Instant::now(),
@@ -231,6 +239,10 @@ impl AuditEngine {
     /// previous pattern of that name.  The compiled automaton's memo (and
     /// every nested channel automaton's) is bounded by
     /// [`AuditConfig::memo_bound`].
+    ///
+    /// A programmatic registration is a one-policy copy-on-write edit of
+    /// the current [`PolicySet`]: it bumps the pack version like a pack
+    /// install does, and in-flight requests keep the set they loaded.
     pub fn register_pattern(&self, name: impl Into<String>, pattern: Pattern) {
         let name = name.into();
         let compiled = CompiledPattern::compile(&pattern);
@@ -239,7 +251,103 @@ impl AuditEngine {
         // registration always finds the policy's histogram in place; a
         // replaced pattern keeps its metric timeline.
         self.metrics.register_policy(&name);
-        self.write_patterns().insert(name, Arc::new(compiled));
+        let entry = Arc::new(PolicyEntry {
+            package: String::new(),
+            source: pattern.to_string(),
+            compiled: Arc::new(compiled),
+        });
+        let current = self.registry.load();
+        let mut next: HashMap<String, Arc<PolicyEntry>> = current
+            .iter()
+            .map(|(n, e)| (n.clone(), Arc::clone(e)))
+            .collect();
+        next.insert(name, entry);
+        self.registry.publish(next);
+    }
+
+    /// Installs a compiled policy pack as the engine's **entire** policy
+    /// set, atomically.
+    ///
+    /// The next [`PolicySet`] is built off to the side — NFA compilation,
+    /// memo bounds, metrics rows — and published with one pointer swap.
+    /// In-flight requests keep answering from the set they loaded at
+    /// entry, so no vet ever observes a half-installed pack; the caller
+    /// is responsible for all-or-nothing *compilation* (a
+    /// [`piprov_policy::PackError`] never reaches this method).
+    ///
+    /// A policy whose name, package, and canonical source are unchanged
+    /// from the current set keeps its compiled automaton: memo state and
+    /// metric timeline carry over ([`PackInstall::reused`] counts them).
+    /// Policies absent from the pack — including programmatic
+    /// [`AuditEngine::register_pattern`] registrations — are dropped and
+    /// their metric rows retired.
+    pub fn install_pack(&self, pack: &PolicyPack) -> PackInstall {
+        let current = self.registry.load();
+        let mut next: HashMap<String, Arc<PolicyEntry>> =
+            HashMap::with_capacity(pack.policies.len());
+        let mut reused = 0usize;
+        for def in &pack.policies {
+            let entry = match current.get(&def.name) {
+                Some(existing)
+                    if existing.source == def.source && existing.package == def.package =>
+                {
+                    reused += 1;
+                    Arc::clone(existing)
+                }
+                _ => {
+                    let compiled = CompiledPattern::compile(&def.pattern);
+                    compiled.set_memo_bound(self.config.memo_bound);
+                    Arc::new(PolicyEntry {
+                        package: def.package.clone(),
+                        source: def.source.clone(),
+                        compiled: Arc::new(compiled),
+                    })
+                }
+            };
+            // Metrics rows exist before the set becomes visible, so a vet
+            // racing the publish always finds its histogram; unchanged
+            // names keep their timelines.
+            self.metrics.register_policy(&def.name);
+            next.insert(def.name.clone(), entry);
+        }
+        let installed = next.len();
+        let published = self.registry.publish(next);
+        // Retire rows the new set no longer names.  A vet that pinned the
+        // *old* set and races this retirement finds `metrics.policy()`
+        // empty and simply skips recording — never a panic.
+        self.metrics
+            .retain_policies(|name| published.get(name).is_some());
+        PackInstall {
+            version: published.version(),
+            installed,
+            reused,
+        }
+    }
+
+    /// Lists the current policy set: its version plus every policy's
+    /// name, source package, and canonical pattern text, sorted by name.
+    pub fn policies(&self) -> PolicyListing {
+        let set = self.registry.load();
+        let mut policies: Vec<PolicyInfo> = set
+            .iter()
+            .map(|(name, entry)| PolicyInfo {
+                name: name.clone(),
+                package: entry.package.clone(),
+                source: entry.source.clone(),
+            })
+            .collect();
+        policies.sort_by(|a, b| a.name.cmp(&b.name));
+        PolicyListing {
+            version: set.version(),
+            policies,
+        }
+    }
+
+    /// The current policy-set version: 0 before anything is registered,
+    /// bumped by every [`AuditEngine::install_pack`] and
+    /// [`AuditEngine::register_pattern`].
+    pub fn pack_version(&self) -> u64 {
+        self.registry.load().version()
     }
 
     /// The engine's per-policy metrics registry (see [`crate::metrics`]).
@@ -254,14 +362,15 @@ impl AuditEngine {
 
     /// Names of the registered patterns, sorted.
     pub fn pattern_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.read_patterns().keys().cloned().collect();
-        names.sort();
-        names
+        self.registry.load().names()
     }
 
     /// Memo statistics of the named pattern's top-level automaton.
     pub fn pattern_memo_stats(&self, name: &str) -> Option<MemoStats> {
-        self.read_patterns().get(name).map(|p| p.memo_stats())
+        self.registry
+            .load()
+            .get(name)
+            .map(|entry| entry.compiled.memo_stats())
     }
 
     /// Appends one record to the store and publishes it (a one-record
@@ -413,13 +522,20 @@ impl AuditEngine {
         trace_id: Option<u128>,
     ) -> AuditResponse {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        // One policy-set load at entry: however many pack installs land
+        // mid-flight, this request answers from — and is stamped with —
+        // exactly one pack version.
+        let policies = self.registry.load();
+        let pack_version = policies.version();
         let response = match request {
             AuditRequest::VetValue { value, pattern } => {
-                self.vet_value(snapshot, value, pattern, trace_id)
+                self.vet_value(snapshot, &policies, value, pattern, trace_id)
             }
-            AuditRequest::AuditTrail { value } => self.audit_trail(snapshot, value),
-            AuditRequest::WhoTouched { principal } => self.who_touched(snapshot, principal),
-            AuditRequest::OriginOf { value } => self.origin_of(snapshot, value),
+            AuditRequest::AuditTrail { value } => self.audit_trail(snapshot, value, pack_version),
+            AuditRequest::WhoTouched { principal } => {
+                self.who_touched(snapshot, principal, pack_version)
+            }
+            AuditRequest::OriginOf { value } => self.origin_of(snapshot, value, pack_version),
         };
         self.index_hits
             .fetch_add(response.stats.index_hits as u64, Ordering::Relaxed);
@@ -466,6 +582,7 @@ impl AuditEngine {
     fn vet_value(
         &self,
         snapshot: &EngineSnapshot,
+        policies: &PolicySet,
         value: &piprov_core::value::Value,
         pattern: &str,
         trace_id: Option<u128>,
@@ -476,15 +593,23 @@ impl AuditEngine {
         // `e15_metrics` bench group keeps that overhead measured).
         let started = Instant::now();
         let watermark = snapshot.watermark();
-        let Some(compiled) = self.read_patterns().get(pattern).cloned() else {
-            // No per-policy row to land in: counted separately.
+        let pack_version = policies.version();
+        let Some(entry) = policies.get(pattern) else {
+            // No per-policy row to land in: counted separately.  The
+            // payload spares the operator a second round trip: every
+            // registered name, plus the nearest if the request looks
+            // like a typo for it.
             self.metrics.note_unknown_pattern();
+            let known = policies.names();
+            let nearest = piprov_policy::nearest_name(pattern, known.iter().map(String::as_str));
             return AuditResponse::new(
-                AuditOutcome::UnknownPattern,
+                AuditOutcome::UnknownPattern { known, nearest },
                 RequestStats::default(),
                 watermark,
+                pack_version,
             );
         };
+        let compiled = Arc::clone(&entry.compiled);
         let policy = self.metrics.policy(pattern);
         let postings = snapshot.index().by_value(value);
         let mut stats = RequestStats {
@@ -496,7 +621,7 @@ impl AuditEngine {
             if let Some(policy) = &policy {
                 policy.record_traced(elapsed_ns(started), VetOutcomeKind::UnknownValue, trace_id);
             }
-            return AuditResponse::new(AuditOutcome::UnknownValue, stats, watermark);
+            return AuditResponse::new(AuditOutcome::UnknownValue, stats, watermark, pack_version);
         };
         let (verdict, match_stats) = compiled.matches_with_stats(&record.provenance);
         stats.memo_hits = match_stats.memo_hits;
@@ -518,6 +643,7 @@ impl AuditEngine {
             },
             stats,
             watermark,
+            pack_version,
         )
     }
 
@@ -525,6 +651,7 @@ impl AuditEngine {
         &self,
         snapshot: &EngineSnapshot,
         value: &piprov_core::value::Value,
+        pack_version: u64,
     ) -> AuditResponse {
         let watermark = snapshot.watermark();
         // One posting-list lookup serves both the existence check and the
@@ -536,6 +663,7 @@ impl AuditEngine {
                 AuditOutcome::UnknownValue,
                 RequestStats::default(),
                 watermark,
+                pack_version,
             );
         }
         let index_hits = trail.records.len();
@@ -551,6 +679,7 @@ impl AuditEngine {
                 dag_nodes_visited,
             },
             watermark,
+            pack_version,
         )
     }
 
@@ -558,6 +687,7 @@ impl AuditEngine {
         &self,
         snapshot: &EngineSnapshot,
         principal: &piprov_core::name::Principal,
+        pack_version: u64,
     ) -> AuditResponse {
         let watermark = snapshot.watermark();
         let records: Vec<SequenceNumber> =
@@ -579,6 +709,7 @@ impl AuditEngine {
                 ..RequestStats::default()
             },
             watermark,
+            pack_version,
         )
     }
 
@@ -586,6 +717,7 @@ impl AuditEngine {
         &self,
         snapshot: &EngineSnapshot,
         value: &piprov_core::value::Value,
+        pack_version: u64,
     ) -> AuditResponse {
         let watermark = snapshot.watermark();
         let trail = snapshot.audit_trail(value);
@@ -594,6 +726,7 @@ impl AuditEngine {
                 AuditOutcome::UnknownValue,
                 RequestStats::default(),
                 watermark,
+                pack_version,
             );
         }
         let index_hits = trail.records.len();
@@ -610,6 +743,7 @@ impl AuditEngine {
                 dag_nodes_visited,
             },
             watermark,
+            pack_version,
         )
     }
 
@@ -622,20 +756,6 @@ impl AuditEngine {
 
     fn write_store(&self) -> RwLockWriteGuard<'_, ProvenanceStore> {
         match self.store.write() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
-
-    fn read_patterns(&self) -> RwLockReadGuard<'_, HashMap<String, Arc<CompiledPattern>>> {
-        match self.patterns.read() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
-
-    fn write_patterns(&self) -> RwLockWriteGuard<'_, HashMap<String, Arc<CompiledPattern>>> {
-        match self.patterns.write() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }
@@ -753,7 +873,11 @@ mod tests {
             value: value("v"),
             pattern: "nope".into(),
         });
-        assert_eq!(no_pattern.outcome, AuditOutcome::UnknownPattern);
+        let AuditOutcome::UnknownPattern { known, nearest } = &no_pattern.outcome else {
+            panic!("expected unknown pattern, got {:?}", no_pattern.outcome);
+        };
+        assert_eq!(known, &vec!["any".to_string()]);
+        assert_eq!(nearest, &None, "\"nope\" is no plausible typo for \"any\"");
         let no_value = engine.handle(&AuditRequest::VetValue {
             value: value("ghost"),
             pattern: "any".into(),
@@ -1145,6 +1269,196 @@ mod tests {
         assert_eq!(engine.record_count(), total as usize);
         assert_eq!(engine.stats().ingested, total);
         engine.sync().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    use piprov_policy::{PackFile, PackSource};
+
+    /// Compiles a one-file pack rooted at `rules` with file `gate.ppol`,
+    /// so every policy lands in package `rules::gate`.
+    fn compile_pack(text: &str) -> PolicyPack {
+        PolicyPack::compile(&PackSource::new(
+            "rules",
+            vec![PackFile::new("gate.ppol", text)],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn unknown_pattern_payload_suggests_the_nearest_name() {
+        let dir = temp_dir("nearest");
+        let engine = seeded_engine(&dir);
+        engine.register_pattern("vendor-only", Pattern::Any);
+        engine.register_pattern("origin-a", Pattern::originated_at(GroupExpr::single("a")));
+        let response = engine.handle(&AuditRequest::VetValue {
+            value: value("v"),
+            pattern: "vendor-onyl".into(),
+        });
+        let AuditOutcome::UnknownPattern { known, nearest } = &response.outcome else {
+            panic!("expected unknown pattern, got {:?}", response.outcome);
+        };
+        assert_eq!(
+            known,
+            &vec!["origin-a".to_string(), "vendor-only".to_string()],
+            "known names are sorted"
+        );
+        assert_eq!(nearest, &Some("vendor-only".to_string()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn install_pack_swaps_atomically_and_carries_memo_over() {
+        let dir = temp_dir("pack");
+        let engine = seeded_engine(&dir);
+        assert_eq!(engine.pack_version(), 0);
+
+        let v1 = compile_pack("policy origin_a = a!Any; Any\npolicy tail = Any; c?Any\n");
+        let install = engine.install_pack(&v1);
+        assert_eq!(install.version, 1);
+        assert_eq!(install.installed, 2);
+        assert_eq!(install.reused, 0);
+        assert_eq!(engine.pack_version(), 1);
+        assert_eq!(
+            engine.pattern_names(),
+            vec![
+                "rules::gate::origin_a".to_string(),
+                "rules::gate::tail".to_string()
+            ]
+        );
+        let listing = engine.policies();
+        assert_eq!(listing.version, 1);
+        assert_eq!(listing.policies.len(), 2);
+        assert_eq!(listing.policies[0].name, "rules::gate::origin_a");
+        assert_eq!(listing.policies[0].package, "rules::gate");
+        assert_eq!(listing.policies[0].source, "a!Any; Any");
+
+        // Warm the memo, then reinstall the identical pack: the compiled
+        // automaton (memo and all) and the metric timeline carry over.
+        let vet = |engine: &AuditEngine| {
+            engine.handle(&AuditRequest::VetValue {
+                value: value("v"),
+                pattern: "rules::gate::origin_a".into(),
+            })
+        };
+        let cold = vet(&engine);
+        assert!(matches!(cold.outcome, AuditOutcome::Vetted { .. }));
+        assert!(cold.stats.dag_nodes_visited > 0, "cold vet simulates");
+        let again = engine.install_pack(&compile_pack(
+            "policy origin_a = a!Any; Any\npolicy tail = Any; c?Any\n",
+        ));
+        assert_eq!(again.version, 2);
+        assert_eq!(again.reused, 2, "unchanged policies are carried over");
+        let warm = vet(&engine);
+        assert_eq!(warm.pack_version, 2);
+        assert_eq!(warm.stats.dag_nodes_visited, 0, "memo survived the reload");
+        assert!(warm.stats.memo_hits >= 1);
+        let origin_row = engine
+            .metrics()
+            .policies
+            .into_iter()
+            .find(|p| p.policy == "rules::gate::origin_a")
+            .expect("metrics row survives reinstall");
+        assert!(
+            origin_row.latency.count >= 2,
+            "the metric timeline carried over the reload"
+        );
+
+        // A changed body recompiles; a dropped policy disappears, metric
+        // row and all.
+        let v2 = compile_pack("policy origin_a = eps | (a!Any; Any)\npolicy fresh = Any\n");
+        let third = engine.install_pack(&v2);
+        assert_eq!(third.version, 3);
+        assert_eq!(third.installed, 2);
+        assert_eq!(third.reused, 0, "changed source compiles anew");
+        assert_eq!(
+            engine.pattern_names(),
+            vec![
+                "rules::gate::fresh".to_string(),
+                "rules::gate::origin_a".to_string()
+            ]
+        );
+        assert!(engine.pattern_memo_stats("rules::gate::tail").is_none());
+        assert!(
+            engine
+                .metrics_registry()
+                .policy("rules::gate::tail")
+                .is_none(),
+            "dropped policies retire their metric rows"
+        );
+
+        // All-or-nothing lives at compile time: a pack with any error
+        // never reaches install_pack, and the engine is untouched.
+        let broken = PackSource::new(
+            "rules",
+            vec![PackFile::new("gate.ppol", "policy broken = (((\n")],
+        );
+        assert!(PolicyPack::compile(&broken).is_err());
+        assert_eq!(engine.pack_version(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hot_reload_never_drops_a_vet_mid_swap() {
+        use std::sync::atomic::AtomicBool;
+        use std::thread;
+        let dir = temp_dir("reload");
+        let engine = Arc::new(seeded_engine(&dir));
+        let packs = [
+            compile_pack("policy gate = a!Any; Any\n"),
+            compile_pack("policy gate = (a!Any; Any) | eps\npolicy extra = Any\n"),
+        ];
+        engine.install_pack(&packs[0]);
+        let done = Arc::new(AtomicBool::new(false));
+
+        let writer = {
+            let engine = Arc::clone(&engine);
+            let done = Arc::clone(&done);
+            let packs = packs.clone();
+            thread::spawn(move || {
+                for i in 0..60usize {
+                    engine.install_pack(&packs[i % 2]);
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+        let auditors: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    let mut last_version = 0u64;
+                    let mut vets = 0u64;
+                    // At least 50 vets even if the writer finishes first,
+                    // so the assertions below always exercise real traffic.
+                    while vets < 50 || !done.load(Ordering::Acquire) {
+                        let response = engine.handle(&AuditRequest::VetValue {
+                            value: value("v"),
+                            pattern: "rules::gate::gate".into(),
+                        });
+                        // `gate` exists in every installed pack: a vet can
+                        // never land in the gap of a swap, because there
+                        // is no gap — one set answers the whole request.
+                        assert!(
+                            matches!(response.outcome, AuditOutcome::Vetted { .. }),
+                            "vet fell through mid-swap: {:?}",
+                            response.outcome
+                        );
+                        assert!(
+                            response.pack_version >= last_version,
+                            "pack versions observed by one thread are monotone"
+                        );
+                        assert!(response.pack_version >= 1);
+                        last_version = response.pack_version;
+                        vets += 1;
+                    }
+                    vets
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        let vets: u64 = auditors.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(vets > 0);
+        assert_eq!(engine.metrics().vets_unknown_pattern, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

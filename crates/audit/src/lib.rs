@@ -21,6 +21,12 @@
 //!   [`AuditRequest`] (`VetValue`, `AuditTrail`, `WhoTouched`,
 //!   `OriginOf`), [`AuditResponse`] and per-request [`RequestStats`]
 //!   (index hits, memo hits, DAG nodes visited);
+//! * [`registry`] — the versioned policy registry: immutable
+//!   [`PolicySet`]s published by single pointer swap, so a whole
+//!   [`piprov_policy::PolicyPack`] hot-reloads atomically
+//!   ([`AuditEngine::install_pack`]) while in-flight audits keep the set
+//!   — and the pack version stamped on their responses — that they
+//!   loaded at entry;
 //! * [`recorder`] — the [`AuditRecorder`]: a
 //!   [`piprov_runtime::DeliverySink`] that streams a simulation's
 //!   delivered messages into the engine while auditors query it;
@@ -80,6 +86,7 @@ pub mod engine;
 pub mod ingest;
 pub mod metrics;
 pub mod recorder;
+pub mod registry;
 pub mod request;
 pub mod snapshot;
 pub mod trace;
@@ -92,6 +99,7 @@ pub use metrics::{
     VetOutcomeKind, LATENCY_BUCKET_BOUNDS_NS,
 };
 pub use recorder::AuditRecorder;
+pub use registry::{PackInstall, PolicyEntry, PolicyInfo, PolicyListing, PolicySet};
 pub use request::{AuditOutcome, AuditRequest, AuditResponse, RequestStats};
 pub use snapshot::EngineSnapshot;
 pub use trace::{

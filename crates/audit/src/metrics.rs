@@ -252,6 +252,16 @@ impl MetricsRegistry {
         self.read().get(policy).cloned()
     }
 
+    /// Retires every policy row `keep` rejects — called after a pack
+    /// install publishes a set that no longer names them.  A vet that
+    /// pinned the old policy set and races this retirement simply finds
+    /// [`MetricsRegistry::policy`] empty and skips recording; handles
+    /// already cloned out keep working (the rows are `Arc`'d), they just
+    /// stop being exposed.
+    pub fn retain_policies(&self, keep: impl Fn(&str) -> bool) {
+        self.write().retain(|name, _| keep(name));
+    }
+
     /// Records one vet on the hot path.  Unregistered policy names are
     /// ignored (the engine counts those through
     /// [`MetricsRegistry::note_unknown_pattern`]).

@@ -100,8 +100,16 @@ pub enum AuditOutcome {
     },
     /// The requested value has no records in the store.
     UnknownValue,
-    /// The request named a pattern the engine has not registered.
-    UnknownPattern,
+    /// The request named a pattern the engine has not registered.  The
+    /// payload lets an operator spot a typo without a second round
+    /// trip.
+    UnknownPattern {
+        /// Every registered policy name, sorted.
+        known: Vec<String>,
+        /// The registered name closest to the requested one by edit
+        /// distance, when one is plausibly a typo for it.
+        nearest: Option<String>,
+    },
 }
 
 /// Response to one request: the outcome plus its work accounting.
@@ -117,6 +125,12 @@ pub struct AuditResponse {
     /// observed through one engine are monotone — together, the engine's
     /// consistency contract (see [`crate::AuditEngine`]).
     pub watermark: SequenceNumber,
+    /// Version of the policy set that answered the request.  A request
+    /// loads one [`crate::PolicySet`] at entry and answers entirely
+    /// from it, so every response is explained by exactly one pack
+    /// version even while a hot reload swaps the registry underneath.
+    /// (0 on the wire when a pre-v5 peer omitted it.)
+    pub pack_version: u64,
 }
 
 impl AuditResponse {
@@ -124,11 +138,13 @@ impl AuditResponse {
         outcome: AuditOutcome,
         stats: RequestStats,
         watermark: SequenceNumber,
+        pack_version: u64,
     ) -> Self {
         AuditResponse {
             outcome,
             stats,
             watermark,
+            pack_version,
         }
     }
 }

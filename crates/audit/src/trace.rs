@@ -163,6 +163,10 @@ pub enum RequestKind {
     Metrics = 8,
     /// A traces fetch (yes, fetching traces is itself traceable).
     Traces = 9,
+    /// A policy-pack installation.
+    LoadPack = 10,
+    /// A policy listing.
+    ListPolicies = 11,
 }
 
 impl RequestKind {
@@ -178,6 +182,8 @@ impl RequestKind {
             RequestKind::Stats => "stats",
             RequestKind::Metrics => "metrics",
             RequestKind::Traces => "traces",
+            RequestKind::LoadPack => "load_pack",
+            RequestKind::ListPolicies => "list_policies",
         }
     }
 
@@ -193,6 +199,8 @@ impl RequestKind {
             7 => Some(RequestKind::Stats),
             8 => Some(RequestKind::Metrics),
             9 => Some(RequestKind::Traces),
+            10 => Some(RequestKind::LoadPack),
+            11 => Some(RequestKind::ListPolicies),
             _ => None,
         }
     }

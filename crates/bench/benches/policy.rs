@@ -1,0 +1,189 @@
+//! E18 — the policy-pack plane.
+//!
+//! Three questions about loadable policy packs:
+//!
+//! * **`e18_policy/compile`** — `PolicyPack::compile` latency as the pack
+//!   grows (16/64/256 policies spread over four files): the whole
+//!   parse-and-compile cost a `LoadPack` pays before anything publishes.
+//! * **`e18_policy/publish`** — hot-reload publish latency on a live
+//!   engine: `install_pack` alternating two pack variants, so half of
+//!   each pack recompiles and half carries its automaton (and memo) over.
+//! * **vet-throughput-mid-reload table** — vets/s over a fixed window
+//!   with the registry idle vs a background thread hammering reloads:
+//!   the swap is one pointer publish, so the audit path should not care.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piprov_audit::{AuditEngine, AuditOutcome, AuditRequest};
+use piprov_bench::quick_criterion;
+use piprov_core::name::{Channel, Principal};
+use piprov_core::provenance::{Event, Provenance};
+use piprov_core::value::Value;
+use piprov_policy::{PackFile, PackSource, PolicyPack};
+use piprov_store::{Operation, ProvenanceRecord};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("piprov-e18-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A pack of `count` policies spread over four files; `variant` flips the
+/// body of every even-numbered policy, so alternating installs exercise
+/// both recompilation and automaton carry-over.
+fn pack(count: usize, variant: usize) -> PackSource {
+    let files = 4usize.min(count.max(1));
+    let mut sources = vec![String::new(); files];
+    for i in 0..count {
+        let body = if i % 2 == 0 && variant % 2 == 1 {
+            format!("(s{}!Any; Any) | eps", i % 8)
+        } else {
+            format!("s{}!Any; Any", i % 8)
+        };
+        sources[i % files].push_str(&format!("policy p{} = {}\n", i, body));
+    }
+    PackSource::new(
+        "bench",
+        sources
+            .into_iter()
+            .enumerate()
+            .map(|(f, source)| PackFile::new(format!("f{}.ppol", f), source))
+            .collect(),
+    )
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e18_policy/compile");
+    for count in [16usize, 64, 256] {
+        let source = pack(count, 0);
+        group.bench_with_input(BenchmarkId::new("policies", count), &source, |b, source| {
+            b.iter(|| PolicyPack::compile(source).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let dir = temp_dir("publish");
+    let engine = AuditEngine::open(&dir).expect("open engine");
+    let mut group = c.benchmark_group("e18_policy/publish");
+    for count in [16usize, 64, 256] {
+        let packs = [
+            PolicyPack::compile(&pack(count, 0)).expect("pack compiles"),
+            PolicyPack::compile(&pack(count, 1)).expect("pack compiles"),
+        ];
+        let mut flip = 0usize;
+        group.bench_with_input(BenchmarkId::new("hot_reload", count), &packs, |b, packs| {
+            b.iter(|| {
+                flip += 1;
+                engine.install_pack(&packs[flip % 2])
+            })
+        });
+    }
+    group.finish();
+    drop(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Vets one known value against one pack policy for `window`, returning
+/// the vets/s rate (and asserting every answer really is a verdict —
+/// never `UnknownPattern`, reloads or not).
+fn vets_per_second(engine: &AuditEngine, window: Duration) -> f64 {
+    let request = AuditRequest::VetValue {
+        value: Value::Channel(Channel::new("item0")),
+        pattern: "bench::f0::p0".into(),
+    };
+    let started = Instant::now();
+    let mut vets = 0u64;
+    while started.elapsed() < window {
+        for _ in 0..64 {
+            let response = engine.handle(&request);
+            assert!(
+                matches!(response.outcome, AuditOutcome::Vetted { .. }),
+                "vet dropped mid-reload: {:?}",
+                response.outcome
+            );
+            vets += 1;
+        }
+    }
+    vets as f64 / started.elapsed().as_secs_f64()
+}
+
+/// The mid-reload ablation: the same vet loop with the registry idle and
+/// with a background thread swapping packs as fast as it can.
+fn bench_vets_mid_reload() {
+    let dir = temp_dir("mid-reload");
+    let engine = Arc::new(AuditEngine::open(&dir).expect("open engine"));
+    let k = Provenance::single(Event::output(Principal::new("s0"), Provenance::empty()));
+    engine
+        .ingest(ProvenanceRecord::new(
+            1,
+            "s0",
+            Operation::Send,
+            "m",
+            Value::Channel(Channel::new("item0")),
+            k,
+        ))
+        .expect("ingest");
+    let packs = [
+        PolicyPack::compile(&pack(64, 0)).expect("pack compiles"),
+        PolicyPack::compile(&pack(64, 1)).expect("pack compiles"),
+    ];
+    engine.install_pack(&packs[0]);
+
+    let window = Duration::from_millis(300);
+    let idle = vets_per_second(&engine, window);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reloads = Arc::new(AtomicU64::new(0));
+    let reloader = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let reloads = Arc::clone(&reloads);
+        thread::spawn(move || {
+            let mut flip = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                flip += 1;
+                engine.install_pack(&packs[flip % 2]);
+                reloads.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+    let busy = vets_per_second(&engine, window);
+    stop.store(true, Ordering::Release);
+    reloader.join().expect("reloader join");
+
+    println!("\ne18_policy: vet throughput mid-reload (64-policy pack, one auditor)");
+    println!("| registry | vets/s | reloads during window |");
+    println!("|---|---|---|");
+    println!("| idle | {:.0} | 0 |", idle);
+    println!(
+        "| reloading | {:.0} | {} |",
+        busy,
+        reloads.load(Ordering::Relaxed)
+    );
+    println!(
+        "mid-reload throughput = {:.0}% of idle",
+        100.0 * busy / idle.max(1.0)
+    );
+    drop(engine);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_compile(c);
+    bench_publish(c);
+    bench_vets_mid_reload();
+}
+
+criterion_group! {
+    name = e18_policy;
+    config = quick_criterion();
+    targets = bench_all
+}
+criterion_main!(e18_policy);

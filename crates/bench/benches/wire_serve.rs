@@ -85,6 +85,7 @@ fn bench_codec(c: &mut Criterion) {
             }),
             stats: piprov_audit::RequestStats::default(),
             watermark: size as u64,
+            pack_version: 1,
         });
         let trail_encoded = encode_response(&trail);
         group.bench_with_input(BenchmarkId::new("encode_trail", size), &trail, |b, t| {

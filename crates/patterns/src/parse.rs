@@ -28,17 +28,84 @@ use std::fmt;
 pub struct ParsePatternError {
     /// Human-readable description of the problem.
     pub message: String,
-    /// Byte offset in the input where the problem was detected.
+    /// Character offset in the input where the problem was detected.
     pub position: usize,
+    /// 1-based line of the offending character (0 until located).
+    pub line: usize,
+    /// 1-based column (in characters) of the offending character
+    /// (0 until located).
+    pub column: usize,
+    /// The source line containing the error, for caret context.
+    pub snippet: String,
+}
+
+impl ParsePatternError {
+    /// Resolves `position` against `input` into a 1-based line/column
+    /// pair and captures the offending source line as a snippet.
+    ///
+    /// Positions are character offsets (the lexer indexes characters,
+    /// not bytes), so multi-byte input is located correctly.
+    pub fn locate(mut self, input: &str) -> ParsePatternError {
+        let mut line = 1usize;
+        let mut column = 1usize;
+        let mut line_start = 0usize;
+        for (offset, c) in input.chars().enumerate() {
+            if offset == self.position {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                column = 1;
+                line_start = offset + 1;
+            } else {
+                column += 1;
+            }
+        }
+        self.line = line;
+        self.column = column;
+        self.snippet = input
+            .chars()
+            .skip(line_start)
+            .take_while(|&c| c != '\n')
+            .collect::<String>()
+            .trim_end_matches('\r')
+            .to_string();
+        self
+    }
+
+    /// Renders the offending line with a caret under the error column.
+    /// Empty when the error has not been located against its input.
+    fn caret_context(&self) -> Option<String> {
+        if self.line == 0 {
+            return None;
+        }
+        let caret_pad = self.column.saturating_sub(1);
+        Some(format!(
+            "  | {}\n  | {}^",
+            self.snippet,
+            " ".repeat(caret_pad)
+        ))
+    }
 }
 
 impl fmt::Display for ParsePatternError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            return write!(
+                f,
+                "pattern parse error at {}: {}",
+                self.position, self.message
+            );
+        }
         write!(
             f,
-            "pattern parse error at {}: {}",
-            self.position, self.message
-        )
+            "pattern parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )?;
+        if let Some(context) = self.caret_context() {
+            write!(f, "\n{}", context)?;
+        }
+        Ok(())
     }
 }
 
@@ -137,6 +204,9 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParsePatternError> {
                 return Err(ParsePatternError {
                     message: format!("unexpected character '{}'", other),
                     position,
+                    line: 0,
+                    column: 0,
+                    snippet: String::new(),
                 })
             }
         }
@@ -184,6 +254,9 @@ impl Parser {
         ParsePatternError {
             message,
             position: self.position(),
+            line: 0,
+            column: 0,
+            snippet: String::new(),
         }
     }
 
@@ -311,6 +384,10 @@ impl Parser {
 /// # Ok::<(), piprov_patterns::parse::ParsePatternError>(())
 /// ```
 pub fn parse_pattern(input: &str) -> Result<Pattern, ParsePatternError> {
+    parse_pattern_inner(input).map_err(|err| err.locate(input))
+}
+
+fn parse_pattern_inner(input: &str) -> Result<Pattern, ParsePatternError> {
     let tokens = lex(input)?;
     let mut parser = Parser { tokens, cursor: 0 };
     let pattern = parser.pattern()?;
@@ -425,6 +502,57 @@ mod tests {
         assert!(parse_pattern("a Any").is_err());
         assert!(parse_pattern("€").is_err());
         assert!(parse_pattern("(a!Any").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse_pattern("c!Any;; Any").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 7);
+        assert_eq!(err.snippet, "c!Any;; Any");
+
+        // The same error on a later line reports that line, with a
+        // column relative to the line start rather than the input start.
+        let err = parse_pattern("c!Any;\nAny |\nd!Any;; Any").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.column, 7);
+        assert_eq!(err.snippet, "d!Any;; Any");
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 3, column 7"), "{rendered}");
+    }
+
+    #[test]
+    fn display_includes_caret_context() {
+        let err = parse_pattern("a!Any |\n  ; Any").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 3);
+        let rendered = err.to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3, "{rendered}");
+        assert_eq!(lines[1], "  |   ; Any");
+        assert_eq!(lines[2], "  |   ^");
+    }
+
+    #[test]
+    fn multibyte_input_locates_by_characters_not_bytes() {
+        // 'é' is two bytes but one character; the column must count it
+        // as a single step.
+        let err = parse_pattern("ééé €").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 5);
+
+        let err = parse_pattern("Any;\nrésumé €").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 8);
+        assert_eq!(err.snippet, "résumé €");
+    }
+
+    #[test]
+    fn error_at_end_of_input_points_past_the_last_line() {
+        let err = parse_pattern("a!Any;\nb!").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 3);
+        assert_eq!(err.snippet, "b!");
     }
 
     #[test]

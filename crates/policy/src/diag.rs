@@ -1,0 +1,116 @@
+//! Compile diagnostics for policy packs.
+//!
+//! Every problem found while compiling a pack is reported as a
+//! [`PackDiagnostic`] pinned to a file, line and column (both
+//! 1-based, counted in characters).  Compilation collects as many
+//! diagnostics as it can — a statement that fails to parse does not
+//! hide problems in the statements after it — and returns them all in
+//! one [`PackError`].
+
+use std::error::Error;
+use std::fmt;
+
+/// A single problem in a pack source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackDiagnostic {
+    /// Path of the offending file, relative to the pack root.
+    pub path: String,
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// 1-based column (in characters) of the problem.
+    pub column: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl PackDiagnostic {
+    /// Builds a diagnostic pinned to `path:line:column`.
+    pub fn new(
+        path: impl Into<String>,
+        line: usize,
+        column: usize,
+        message: impl Into<String>,
+    ) -> PackDiagnostic {
+        PackDiagnostic {
+            path: path.into(),
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PackDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.path, self.line, self.column, self.message
+        )
+    }
+}
+
+/// The full set of diagnostics from a failed pack compilation.
+///
+/// Always non-empty; diagnostics are ordered by file path, then line,
+/// then column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackError {
+    /// All problems found, in file/line/column order.
+    pub diagnostics: Vec<PackDiagnostic>,
+}
+
+impl PackError {
+    pub(crate) fn new(mut diagnostics: Vec<PackDiagnostic>) -> PackError {
+        diagnostics.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.column, a.message.as_str()).cmp(&(
+                b.path.as_str(),
+                b.line,
+                b.column,
+                b.message.as_str(),
+            ))
+        });
+        PackError { diagnostics }
+    }
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy pack failed to compile:")?;
+        for diagnostic in &self.diagnostics {
+            write!(f, "\n  {}", diagnostic)?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for PackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostics_render_as_path_line_column() {
+        let d = PackDiagnostic::new("build.ppol", 3, 7, "expected '='");
+        assert_eq!(d.to_string(), "build.ppol:3:7: expected '='");
+    }
+
+    #[test]
+    fn pack_error_sorts_and_lists_every_diagnostic() {
+        let err = PackError::new(vec![
+            PackDiagnostic::new("b.ppol", 1, 1, "later file"),
+            PackDiagnostic::new("a.ppol", 9, 2, "later line"),
+            PackDiagnostic::new("a.ppol", 2, 5, "first"),
+        ]);
+        let paths: Vec<(&str, usize)> = err
+            .diagnostics
+            .iter()
+            .map(|d| (d.path.as_str(), d.line))
+            .collect();
+        assert_eq!(paths, [("a.ppol", 2), ("a.ppol", 9), ("b.ppol", 1)]);
+        let rendered = err.to_string();
+        assert!(rendered.contains("a.ppol:2:5: first"), "{rendered}");
+        assert!(rendered.lines().count() == 4, "{rendered}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Policy packs: a plaintext policy language over the pattern engine.
+//!
+//! A *policy pack* is a directory tree of `.ppol` files.  Each file
+//! declares a package (derived from its path) and a set of named
+//! policies whose bodies are patterns in the concrete syntax of
+//! `piprov-patterns`:
+//!
+//! ```text
+//! # supply_chain/build.ppol
+//! package supply_chain::build
+//!
+//! policy vendor_only = Any; (vendor_a + vendor_b)!Any
+//! policy untainted   = ((~ - mallory)!Any | (~ - mallory)?Any)*
+//! ```
+//!
+//! Policies can reference each other with `@name` (same file) or
+//! `@package::path::name` (fully qualified), and import names from
+//! other packages with `use package::path::name [as alias]`.
+//! References are resolved at compile time by splicing the referenced
+//! pattern in parenthesised form, so a compiled [`PolicyPack`] is a
+//! flat list of self-contained policies ready for registration.
+//!
+//! Compilation is all-or-nothing: [`PolicyPack::compile`] either
+//! returns every policy compiled, or a [`PackError`] carrying
+//! per-file, line/column [`PackDiagnostic`]s — several per file when
+//! recovery permits — and no partial pack.
+//!
+//! ```
+//! use piprov_policy::{PackFile, PackSource, PolicyPack};
+//!
+//! let source = PackSource::new(
+//!     "demo",
+//!     vec![PackFile::new(
+//!         "rules.ppol",
+//!         "policy from_c = c!Any; Any\npolicy safe = @from_c | eps\n",
+//!     )],
+//! );
+//! let pack = PolicyPack::compile(&source).unwrap();
+//! let names: Vec<&str> = pack.policies.iter().map(|p| p.name.as_str()).collect();
+//! assert_eq!(names, ["demo::rules::from_c", "demo::rules::safe"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diag;
+pub mod pack;
+mod parse;
+pub mod source;
+
+pub use diag::{PackDiagnostic, PackError};
+pub use pack::{PolicyDef, PolicyPack};
+pub use source::{PackFile, PackSource};
+
+/// Levenshtein edit distance between two strings, in characters.
+///
+/// Used for "did you mean" hints when a policy name fails to resolve.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = substitute.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Picks the candidate closest to `target` by edit distance, if any is
+/// close enough to plausibly be a typo (distance at most 2, or a third
+/// of the target's length for long names).  Ties break lexicographically.
+pub fn nearest_name<'a, I>(target: &str, candidates: I) -> Option<String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let budget = 2.max(target.chars().count() / 3);
+    let mut best: Option<(usize, &str)> = None;
+    for candidate in candidates {
+        let d = edit_distance(target, candidate);
+        if d > budget {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bd, bn)) => d < bd || (d == bd && candidate < bn),
+        };
+        if better {
+            best = Some((d, candidate));
+        }
+    }
+    best.map(|(_, name)| name.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "ab"), 2);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("vendor_only", "vendor_onyl"), 2);
+    }
+
+    #[test]
+    fn nearest_name_finds_typos_and_rejects_strangers() {
+        let names = ["vendor_only", "untainted", "staged"];
+        assert_eq!(
+            nearest_name("vendor_onyl", names),
+            Some("vendor_only".to_string())
+        );
+        assert_eq!(nearest_name("stged", names), Some("staged".to_string()));
+        assert_eq!(nearest_name("completely_different", names), None);
+    }
+
+    #[test]
+    fn nearest_name_breaks_ties_lexicographically() {
+        assert_eq!(nearest_name("ac", ["ab", "aa"]), Some("aa".to_string()));
+    }
+}

@@ -1,0 +1,518 @@
+//! The `.ppol` statement parser.
+//!
+//! A file is a sequence of statements, one per line, with `#` and `//`
+//! line comments:
+//!
+//! ```text
+//! package a::b                 # at most one, must match the file's path
+//! use other::pkg::name as n    # import a policy from another package
+//! policy name = <pattern>      # body may continue on following lines
+//! ```
+//!
+//! A policy body extends to the line before the next line whose first
+//! token is `package`, `use` or `policy` (or to end of file), so
+//! patterns may span lines.  Parsing recovers at statement boundaries:
+//! each malformed statement yields one diagnostic and parsing
+//! continues with the next statement.
+
+use crate::diag::PackDiagnostic;
+
+/// A parsed (but not yet resolved or compiled) `.ppol` file.
+#[derive(Debug, Clone)]
+pub(crate) struct ParsedFile {
+    /// Root-relative path, as given in the pack source.
+    pub path: String,
+    /// The declared package, with the line/column of its path token.
+    pub package: Option<(String, usize, usize)>,
+    /// `use` imports in order of appearance.
+    pub uses: Vec<UseDecl>,
+    /// Policy definitions in order of appearance.
+    pub policies: Vec<PolicyDecl>,
+}
+
+/// A `use package::path::name [as alias]` import.
+#[derive(Debug, Clone)]
+pub(crate) struct UseDecl {
+    /// The imported policy's fully qualified name.
+    pub target: String,
+    /// Local alias (the last path segment unless `as` renames it).
+    pub alias: String,
+    /// 1-based line of the `use` keyword.
+    pub line: usize,
+    /// 1-based column of the `use` keyword.
+    pub column: usize,
+}
+
+/// A `policy name = body` definition.
+#[derive(Debug, Clone)]
+pub(crate) struct PolicyDecl {
+    /// The policy's local (unqualified) name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub name_line: usize,
+    /// 1-based column of the name token.
+    pub name_column: usize,
+    /// Raw body text: rest of the `policy` line after `=`, plus any
+    /// continuation lines, joined with `\n`.  Comments are stripped.
+    pub body: String,
+    /// 1-based line where the body starts (the `policy` line).
+    pub body_line: usize,
+    /// 1-based column of the first body character on that line.
+    pub body_column: usize,
+}
+
+/// Strips `#` and `//` comments from one line by truncation.  Columns
+/// of surviving characters are unchanged.
+fn strip_comment(line: &[char]) -> &[char] {
+    for (i, &c) in line.iter().enumerate() {
+        if c == '#' || (c == '/' && line.get(i + 1) == Some(&'/')) {
+            return &line[..i];
+        }
+    }
+    line
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Character-level scanner over one comment-stripped line.
+struct LineScan<'a> {
+    chars: &'a [char],
+    /// 0-based character offset into the line.
+    pos: usize,
+}
+
+impl<'a> LineScan<'a> {
+    fn new(chars: &'a [char]) -> LineScan<'a> {
+        LineScan { chars, pos: 0 }
+    }
+
+    /// 1-based column of the current position.
+    fn column(&self) -> usize {
+        self.pos + 1
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.chars.len()
+    }
+
+    /// Reads an identifier, or `None` (position unchanged) if the next
+    /// character cannot start one.
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        if !matches!(self.peek(), Some(c) if is_ident_start(c)) {
+            return None;
+        }
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            word.push(c);
+            self.pos += 1;
+        }
+        Some(word)
+    }
+
+    /// Reads `ident(::ident)*`, returning the segments.
+    fn path(&mut self) -> Option<Vec<String>> {
+        let mut segments = vec![self.ident()?];
+        while self.peek() == Some(':') && self.chars.get(self.pos + 1) == Some(&':') {
+            self.pos += 2;
+            match self.ident() {
+                Some(segment) => segments.push(segment),
+                None => return None,
+            }
+        }
+        Some(segments)
+    }
+}
+
+/// Returns the statement keyword starting `line`, if any.
+fn statement_keyword(line: &[char]) -> Option<&'static str> {
+    let mut scan = LineScan::new(line);
+    match scan.ident().as_deref() {
+        Some("package") => Some("package"),
+        Some("use") => Some("use"),
+        Some("policy") => Some("policy"),
+        _ => None,
+    }
+}
+
+/// Parses one file, pushing diagnostics rather than failing.  The
+/// returned [`ParsedFile`] holds every statement that parsed cleanly.
+pub(crate) fn parse_file(
+    path: &str,
+    source: &str,
+    diagnostics: &mut Vec<PackDiagnostic>,
+) -> ParsedFile {
+    let lines: Vec<Vec<char>> = source
+        .split('\n')
+        .map(|line| {
+            strip_comment(&line.trim_end_matches('\r').chars().collect::<Vec<char>>()).to_vec()
+        })
+        .collect();
+    let mut parsed = ParsedFile {
+        path: path.to_string(),
+        package: None,
+        uses: Vec::new(),
+        policies: Vec::new(),
+    };
+
+    let mut index = 0;
+    while index < lines.len() {
+        let line = &lines[index];
+        let line_no = index + 1;
+        let mut scan = LineScan::new(line);
+        if scan.at_end() {
+            index += 1;
+            continue;
+        }
+        let keyword_column = scan.column();
+        let Some(keyword) = statement_keyword(line) else {
+            diagnostics.push(PackDiagnostic::new(
+                path,
+                line_no,
+                keyword_column,
+                "expected `package`, `use`, or `policy`",
+            ));
+            index += 1;
+            continue;
+        };
+        // Re-consume the keyword so the scanner sits after it.
+        scan.ident();
+        match keyword {
+            "package" => {
+                parse_package(
+                    path,
+                    line_no,
+                    &mut scan,
+                    keyword_column,
+                    &mut parsed,
+                    diagnostics,
+                );
+                index += 1;
+            }
+            "use" => {
+                parse_use(
+                    path,
+                    line_no,
+                    &mut scan,
+                    keyword_column,
+                    &mut parsed,
+                    diagnostics,
+                );
+                index += 1;
+            }
+            "policy" => {
+                index = parse_policy(path, &lines, index, &mut scan, &mut parsed, diagnostics);
+            }
+            _ => unreachable!("statement_keyword returns only known keywords"),
+        }
+    }
+    parsed
+}
+
+fn parse_package(
+    path: &str,
+    line_no: usize,
+    scan: &mut LineScan<'_>,
+    keyword_column: usize,
+    parsed: &mut ParsedFile,
+    diagnostics: &mut Vec<PackDiagnostic>,
+) {
+    scan.skip_ws();
+    let package_column = scan.column();
+    let Some(segments) = scan.path() else {
+        diagnostics.push(PackDiagnostic::new(
+            path,
+            line_no,
+            package_column,
+            "expected a package path after `package`",
+        ));
+        return;
+    };
+    if !scan.at_end() {
+        diagnostics.push(PackDiagnostic::new(
+            path,
+            line_no,
+            scan.column(),
+            "unexpected text after package declaration",
+        ));
+        return;
+    }
+    if parsed.package.is_some() {
+        diagnostics.push(PackDiagnostic::new(
+            path,
+            line_no,
+            keyword_column,
+            "duplicate `package` declaration",
+        ));
+        return;
+    }
+    parsed.package = Some((segments.join("::"), line_no, package_column));
+}
+
+fn parse_use(
+    path: &str,
+    line_no: usize,
+    scan: &mut LineScan<'_>,
+    keyword_column: usize,
+    parsed: &mut ParsedFile,
+    diagnostics: &mut Vec<PackDiagnostic>,
+) {
+    scan.skip_ws();
+    let target_column = scan.column();
+    let Some(segments) = scan.path() else {
+        diagnostics.push(PackDiagnostic::new(
+            path,
+            line_no,
+            target_column,
+            "expected a policy path after `use`",
+        ));
+        return;
+    };
+    if segments.len() < 2 {
+        diagnostics.push(PackDiagnostic::new(
+            path,
+            line_no,
+            target_column,
+            "`use` needs a qualified name (`package::policy`)",
+        ));
+        return;
+    }
+    let mut alias = segments.last().expect("non-empty path").clone();
+    if !scan.at_end() {
+        let as_column = scan.column();
+        match scan.ident().as_deref() {
+            Some("as") => match scan.ident() {
+                Some(name) => alias = name,
+                None => {
+                    diagnostics.push(PackDiagnostic::new(
+                        path,
+                        line_no,
+                        scan.column(),
+                        "expected an alias after `as`",
+                    ));
+                    return;
+                }
+            },
+            _ => {
+                diagnostics.push(PackDiagnostic::new(
+                    path,
+                    line_no,
+                    as_column,
+                    "unexpected text after `use` (expected `as alias`)",
+                ));
+                return;
+            }
+        }
+        if !scan.at_end() {
+            diagnostics.push(PackDiagnostic::new(
+                path,
+                line_no,
+                scan.column(),
+                "unexpected text after `use` alias",
+            ));
+            return;
+        }
+    }
+    parsed.uses.push(UseDecl {
+        target: segments.join("::"),
+        alias,
+        line: line_no,
+        column: keyword_column,
+    });
+}
+
+/// Parses a `policy` statement starting at `lines[start]`, consuming
+/// continuation lines.  Returns the index of the first line after the
+/// statement.
+fn parse_policy(
+    path: &str,
+    lines: &[Vec<char>],
+    start: usize,
+    scan: &mut LineScan<'_>,
+    parsed: &mut ParsedFile,
+    diagnostics: &mut Vec<PackDiagnostic>,
+) -> usize {
+    let line_no = start + 1;
+
+    // Figure out where the statement ends regardless of how the header
+    // parses, so recovery skips the whole body.
+    let mut end = start + 1;
+    while end < lines.len() && statement_keyword(&lines[end]).is_none() {
+        end += 1;
+    }
+
+    scan.skip_ws();
+    let name_column = scan.column();
+    let Some(name) = scan.ident() else {
+        diagnostics.push(PackDiagnostic::new(
+            path,
+            line_no,
+            name_column,
+            "expected a policy name after `policy`",
+        ));
+        return end;
+    };
+    scan.skip_ws();
+    if scan.peek() != Some('=') {
+        diagnostics.push(PackDiagnostic::new(
+            path,
+            line_no,
+            scan.column(),
+            "expected `=` after the policy name",
+        ));
+        return end;
+    }
+    scan.pos += 1;
+
+    let body_column = scan.column();
+    let mut body: String = scan.chars[scan.pos..].iter().collect();
+    for line in &lines[start + 1..end] {
+        body.push('\n');
+        body.extend(line.iter());
+    }
+    if body.trim().is_empty() {
+        diagnostics.push(PackDiagnostic::new(
+            path,
+            line_no,
+            body_column,
+            "policy body is empty",
+        ));
+        return end;
+    }
+    parsed.policies.push(PolicyDecl {
+        name,
+        name_line: line_no,
+        name_column,
+        body,
+        body_line: line_no,
+        body_column,
+    });
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(source: &str) -> ParsedFile {
+        let mut diagnostics = Vec::new();
+        let parsed = parse_file("test.ppol", source, &mut diagnostics);
+        assert!(diagnostics.is_empty(), "unexpected: {:?}", diagnostics);
+        parsed
+    }
+
+    fn parse_diags(source: &str) -> Vec<PackDiagnostic> {
+        let mut diagnostics = Vec::new();
+        parse_file("test.ppol", source, &mut diagnostics);
+        diagnostics
+    }
+
+    #[test]
+    fn parses_package_use_and_policies() {
+        let parsed = parse_ok(
+            "# a comment\npackage a::b\nuse other::pkg::thing as t\n\npolicy p = c!Any; Any\npolicy q = @p | eps\n",
+        );
+        assert_eq!(parsed.package.as_ref().unwrap().0, "a::b");
+        assert_eq!(parsed.uses.len(), 1);
+        assert_eq!(parsed.uses[0].target, "other::pkg::thing");
+        assert_eq!(parsed.uses[0].alias, "t");
+        assert_eq!(parsed.policies.len(), 2);
+        assert_eq!(parsed.policies[0].name, "p");
+        assert_eq!(parsed.policies[0].body.trim(), "c!Any; Any");
+        assert_eq!(parsed.policies[1].body.trim(), "@p | eps");
+    }
+
+    #[test]
+    fn use_defaults_alias_to_last_segment() {
+        let parsed = parse_ok("use a::b::c\n");
+        assert_eq!(parsed.uses[0].alias, "c");
+    }
+
+    #[test]
+    fn policy_bodies_span_lines_until_the_next_statement() {
+        let parsed = parse_ok("policy p = a!Any |\n  b?Any\npolicy q = eps\n");
+        assert_eq!(parsed.policies[0].body, " a!Any |\n  b?Any");
+        assert_eq!(parsed.policies[0].body_line, 1);
+        assert_eq!(parsed.policies[0].body_column, 11);
+        assert_eq!(parsed.policies[1].name, "q");
+    }
+
+    #[test]
+    fn comments_are_stripped_with_columns_preserved() {
+        let parsed = parse_ok("policy p = Any # trailing\npolicy q = eps // also\n");
+        assert_eq!(parsed.policies[0].body.trim(), "Any");
+        assert_eq!(parsed.policies[1].body.trim(), "eps");
+    }
+
+    #[test]
+    fn malformed_statements_recover_at_the_next_statement() {
+        let diags = parse_diags("policy = Any\npolicy ok = eps\nuse lonely\n");
+        assert_eq!(diags.len(), 2, "{:?}", diags);
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[0].column, 8);
+        assert!(diags[0].message.contains("policy name"));
+        assert_eq!(diags[1].line, 3);
+        assert!(diags[1].message.contains("qualified name"));
+
+        // A stray line outside any policy body is its own diagnostic;
+        // lines after a `policy` header are body continuations instead.
+        let diags = parse_diags("what is this\npolicy ok = eps\n");
+        assert_eq!(diags.len(), 1, "{:?}", diags);
+        assert_eq!(diags[0].line, 1);
+        assert!(diags[0].message.contains("expected `package`"));
+
+        let mut diagnostics = Vec::new();
+        let parsed = parse_file(
+            "test.ppol",
+            "policy = Any\npolicy ok = eps\n",
+            &mut diagnostics,
+        );
+        assert_eq!(parsed.policies.len(), 1);
+        assert_eq!(parsed.policies[0].name, "ok");
+    }
+
+    #[test]
+    fn missing_equals_and_empty_body_are_diagnosed() {
+        let diags = parse_diags("policy p Any\n");
+        assert_eq!(diags[0].column, 10);
+        assert!(diags[0].message.contains("expected `=`"));
+
+        let diags = parse_diags("policy p = # nothing\n");
+        assert!(diags[0].message.contains("body is empty"));
+    }
+
+    #[test]
+    fn duplicate_package_is_diagnosed() {
+        let diags = parse_diags("package a\npackage b\n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("duplicate"));
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn crlf_input_parses_without_stray_carriage_returns() {
+        let parsed = parse_ok("package a::b\r\npolicy p = Any\r\n");
+        assert_eq!(parsed.package.as_ref().unwrap().0, "a::b");
+        assert_eq!(parsed.policies[0].body.trim(), "Any");
+    }
+}

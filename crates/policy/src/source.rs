@@ -1,0 +1,140 @@
+//! Pack sources: the raw `.ppol` files of a pack, before compilation.
+//!
+//! A [`PackSource`] is a named root plus a list of files with paths
+//! relative to that root.  It can be assembled in memory (the wire
+//! `LoadPack` message carries one inline) or read from a directory
+//! tree with [`PackSource::from_dir`], where the directory name
+//! becomes the root package segment and each relative path contributes
+//! the remaining segments: `supply_chain/build.ppol` holds package
+//! `supply_chain::build`.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One `.ppol` file of a pack: a root-relative path and its text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackFile {
+    /// Path relative to the pack root, `/`-separated, ending in `.ppol`.
+    pub path: String,
+    /// The file's full text.
+    pub source: String,
+}
+
+impl PackFile {
+    /// Builds a pack file from a relative path and its contents.
+    pub fn new(path: impl Into<String>, source: impl Into<String>) -> PackFile {
+        PackFile {
+            path: path.into(),
+            source: source.into(),
+        }
+    }
+}
+
+/// A complete pack source: root package name plus every file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackSource {
+    /// Root package segment; the directory name when loaded from disk.
+    pub root: String,
+    /// The pack's files, kept sorted by path for deterministic output.
+    pub files: Vec<PackFile>,
+}
+
+impl PackSource {
+    /// Assembles a pack source in memory.  Files are sorted by path so
+    /// compilation order (and diagnostic order) is deterministic.
+    pub fn new(root: impl Into<String>, mut files: Vec<PackFile>) -> PackSource {
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        PackSource {
+            root: root.into(),
+            files,
+        }
+    }
+
+    /// Reads every `.ppol` file under `dir` (recursively) into a pack
+    /// source whose root is the directory's name.
+    ///
+    /// Non-`.ppol` files are ignored.  Paths are recorded relative to
+    /// `dir` with `/` separators regardless of platform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from traversal and reading, including
+    /// files that are not valid UTF-8.
+    pub fn from_dir(dir: &Path) -> io::Result<PackSource> {
+        let root = dir
+            .file_name()
+            .map(|name| name.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "pack".to_string());
+        let mut files = Vec::new();
+        collect_ppol_files(dir, "", &mut files)?;
+        Ok(PackSource::new(root, files))
+    }
+}
+
+fn collect_ppol_files(dir: &Path, prefix: &str, out: &mut Vec<PackFile>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<Vec<_>>>()?;
+    entries.sort_by_key(|entry| entry.file_name());
+    for entry in entries {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let relative = if prefix.is_empty() {
+            name.clone()
+        } else {
+            format!("{}/{}", prefix, name)
+        };
+        let path = entry.path();
+        if path.is_dir() {
+            collect_ppol_files(&path, &relative, out)?;
+        } else if name.ends_with(".ppol") {
+            out.push(PackFile::new(relative, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn files_are_sorted_by_path() {
+        let source = PackSource::new(
+            "p",
+            vec![
+                PackFile::new("z.ppol", ""),
+                PackFile::new("a/b.ppol", ""),
+                PackFile::new("a.ppol", ""),
+            ],
+        );
+        let paths: Vec<&str> = source.files.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(paths, ["a.ppol", "a/b.ppol", "z.ppol"]);
+    }
+
+    #[test]
+    fn from_dir_reads_only_ppol_files_recursively() {
+        let base = std::env::temp_dir().join(format!(
+            "piprov-policy-src-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let sub = base.join("sub");
+        fs::create_dir_all(&sub).unwrap();
+        fs::write(base.join("a.ppol"), "policy x = Any\n").unwrap();
+        fs::write(base.join("notes.txt"), "ignore me").unwrap();
+        fs::write(sub.join("b.ppol"), "policy y = eps\n").unwrap();
+
+        let source = PackSource::from_dir(&base).unwrap();
+        assert_eq!(source.root, base.file_name().unwrap().to_string_lossy());
+        let paths: Vec<&str> = source.files.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(paths, ["a.ppol", "sub/b.ppol"]);
+        assert!(source.files[0].source.contains("policy x"));
+
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn from_dir_missing_directory_is_an_io_error() {
+        let missing = std::env::temp_dir().join("piprov-policy-definitely-missing");
+        assert!(PackSource::from_dir(&missing).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! The example packs shipped under `policies/` must load from disk and
+//! compile cleanly — they are what the examples, the CI smoke, and the
+//! README point at.
+
+use piprov_policy::{PackSource, PolicyPack};
+use std::path::PathBuf;
+
+fn pack_dir(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../policies")
+        .join(name)
+}
+
+fn compile(name: &str) -> PolicyPack {
+    let source = PackSource::from_dir(&pack_dir(name)).expect("pack directory reads");
+    assert_eq!(source.root, name);
+    PolicyPack::compile(&source)
+        .unwrap_or_else(|err| panic!("pack `{}` must compile: {}", name, err.diagnostics[0]))
+}
+
+#[test]
+fn supply_chain_pack_compiles_with_cross_file_references() {
+    let pack = compile("supply_chain");
+    let names: Vec<&str> = pack.policies.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "supply_chain::build::relayed",
+            "supply_chain::build::vendor_only",
+            "supply_chain::promotion::promotable",
+        ]
+    );
+    // The promotion gate spliced the build pack's vendor_only pattern.
+    let promotable = pack.get("supply_chain::promotion::promotable").unwrap();
+    assert!(promotable.source.contains("supplier0"));
+}
+
+#[test]
+fn pii_custody_pack_compiles_with_aliased_imports() {
+    let pack = compile("pii_custody");
+    assert_eq!(pack.policies.len(), 4);
+    let exportable = pack.get("pii_custody::retention::exportable").unwrap();
+    assert!(exportable.source.contains("data_subject"));
+}
+
+#[test]
+fn build_provenance_pack_compiles() {
+    let pack = compile("build_provenance");
+    assert_eq!(pack.policies.len(), 3);
+    assert!(pack
+        .get("build_provenance::provenance::signed_release")
+        .unwrap()
+        .source
+        .contains("signer"));
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for pack compilation:
+//!
+//! * compiling arbitrary UTF-8 never panics,
+//! * every diagnostic points inside the input (valid 1-based
+//!   line/column within the offending file),
+//! * compile→render→recompile of a valid pack is a fixed point.
+
+use piprov_policy::{PackFile, PackSource, PolicyPack};
+use proptest::prelude::*;
+
+/// Arbitrary UTF-8: mostly ASCII (so the statement parser gets
+/// exercised), with a sprinkling of arbitrary code points.
+fn arb_unicode_source() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u32..128).prop_map(|c| char::from_u32(c).unwrap_or('\u{FFFD}')),
+            1 => (0u32..0x0011_0000).prop_map(|c| char::from_u32(c).unwrap_or('\u{FFFD}')),
+        ],
+        0..160,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Keyword soup: fragments of real `.ppol` syntax glued together at
+/// random, which reaches far deeper into the parser than raw noise.
+fn arb_fragment_source() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("policy "),
+        Just("package "),
+        Just("use "),
+        Just(" as "),
+        Just("p"),
+        Just("vendor_only"),
+        Just("a::b"),
+        Just("="),
+        Just("@"),
+        Just("@p"),
+        Just("::"),
+        Just("Any"),
+        Just("eps"),
+        Just("!"),
+        Just("?"),
+        Just("*"),
+        Just("|"),
+        Just(";"),
+        Just("("),
+        Just(")"),
+        Just("~"),
+        Just("+"),
+        Just("-"),
+        Just("#"),
+        Just("//"),
+        Just(" "),
+        Just("\n"),
+        Just("\r\n"),
+        Just("é"),
+    ];
+    proptest::collection::vec(fragment, 0..48).prop_map(|fragments| fragments.concat())
+}
+
+/// Checks that every diagnostic of a failed compile points inside the
+/// (single) input file: real path, line within the file, column within
+/// the line (one past the end allowed for end-of-line errors).
+fn assert_diagnostics_in_bounds(source: &str) {
+    let pack_source = PackSource::new("fuzz", vec![PackFile::new("fuzz.ppol", source)]);
+    if let Err(err) = PolicyPack::compile(&pack_source) {
+        assert!(!err.diagnostics.is_empty());
+        let lines: Vec<&str> = source.split('\n').collect();
+        for diag in &err.diagnostics {
+            assert_eq!(diag.path, "fuzz.ppol", "{diag}");
+            assert!(diag.line >= 1 && diag.line <= lines.len(), "{diag}");
+            let line_chars = lines[diag.line - 1].chars().count();
+            assert!(
+                diag.column >= 1 && diag.column <= line_chars + 1,
+                "{diag} (line has {line_chars} chars)"
+            );
+        }
+    }
+}
+
+/// A small generator of valid pattern text.
+fn arb_pattern_text(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        Just("Any".to_string()),
+        Just("eps".to_string()),
+        Just("a!Any".to_string()),
+        Just("(b + c)?Any".to_string()),
+        Just("(~ - mallory)!eps".to_string()),
+        Just("Any; d!Any".to_string()),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            3 => leaf,
+            1 => (arb_pattern_text(depth - 1), arb_pattern_text(depth - 1))
+                .prop_map(|(a, b)| format!("{}; {}", a, b)),
+            1 => (arb_pattern_text(depth - 1), arb_pattern_text(depth - 1))
+                .prop_map(|(a, b)| format!("({} | {})", a, b)),
+            1 => arb_pattern_text(depth - 1).prop_map(|a| format!("({})*", a)),
+        ]
+        .boxed()
+    }
+}
+
+/// A valid single-file pack: policies `p0..pN`, each later policy
+/// possibly referencing an earlier one with `@`.
+fn arb_valid_pack() -> impl Strategy<Value = PackSource> {
+    (
+        1usize..6,
+        proptest::collection::vec(arb_pattern_text(2), 6..7),
+        proptest::collection::vec(0usize..64, 6..7),
+    )
+        .prop_map(|(count, bodies, ref_picks)| {
+            let mut text = String::from("package fuzz::rules\n\n");
+            for i in 0..count {
+                let body = &bodies[i];
+                let pick = ref_picks[i];
+                if i > 0 && pick % 2 == 0 {
+                    text.push_str(&format!("policy p{} = {} | @p{}\n", i, body, pick / 2 % i));
+                } else {
+                    text.push_str(&format!("policy p{} = {}\n", i, body));
+                }
+            }
+            PackSource::new("fuzz", vec![PackFile::new("rules.ppol", text)])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn compile_never_panics_on_arbitrary_utf8(source in arb_unicode_source()) {
+        let pack_source = PackSource::new("fuzz", vec![PackFile::new("fuzz.ppol", source)]);
+        let _ = PolicyPack::compile(&pack_source);
+    }
+
+    #[test]
+    fn diagnostics_stay_inside_arbitrary_utf8_input(source in arb_unicode_source()) {
+        assert_diagnostics_in_bounds(&source);
+    }
+
+    #[test]
+    fn diagnostics_stay_inside_fragment_soup(source in arb_fragment_source()) {
+        assert_diagnostics_in_bounds(&source);
+    }
+
+    #[test]
+    fn compile_render_recompile_is_a_fixed_point(source in arb_valid_pack()) {
+        let pack = PolicyPack::compile(&source).expect("generated packs are valid");
+        let rendered = pack.render();
+        let repack = PolicyPack::compile(&rendered).expect("rendered packs recompile");
+        prop_assert_eq!(&repack.render(), &rendered);
+
+        // Same policy surface: names, packages, canonical sources.
+        prop_assert_eq!(pack.policies.len(), repack.policies.len());
+        for (a, b) in pack.policies.iter().zip(&repack.policies) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.package, &b.package);
+            prop_assert_eq!(&a.source, &b.source);
+        }
+    }
+}

@@ -25,8 +25,10 @@ use crate::server::elapsed_ns;
 use crate::wire::{read_frame, write_frame, WireError, WireLimits};
 use bytes::Bytes;
 use piprov_audit::{
-    AuditRequest, AuditResponse, EngineStats, MetricsSnapshot, TraceContext, TraceRecord,
+    AuditRequest, AuditResponse, EngineStats, MetricsSnapshot, PolicyListing, TraceContext,
+    TraceRecord,
 };
+use piprov_policy::{PackDiagnostic, PackSource};
 use piprov_store::ProvenanceRecord;
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
@@ -151,6 +153,28 @@ pub struct MetricsReport {
     /// ([`MetricsSnapshot::exposition`] is deterministic), so the wire
     /// carries the compact typed form only.
     pub exposition: String,
+}
+
+/// The server's typed answer to one [`AuditClient::load_pack`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackLoadOutcome {
+    /// The pack compiled and was published atomically.
+    Loaded {
+        /// The registry version the pack was published at.
+        version: u64,
+        /// Policies in the installed set.
+        installed: u32,
+        /// Of those, how many kept their compiled automaton (same name,
+        /// source, and package as before the swap).
+        reused: u32,
+    },
+    /// The pack had at least one error; the server changed **nothing**
+    /// (all-or-nothing), and every diagnostic carries its file path,
+    /// line, and column.
+    Rejected {
+        /// Per-file, line/column-addressed compile diagnostics.
+        diagnostics: Vec<PackDiagnostic>,
+    },
 }
 
 /// The server's typed answer to one ingest batch.
@@ -491,6 +515,50 @@ impl AuditClient {
                     exposition,
                 })
             }
+            WireResponse::ServerError { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
+        }
+    }
+
+    /// Ships a whole policy pack (every `.ppol` file, inline) and asks
+    /// the server to compile and publish it as one atomic swap.  On
+    /// success the server's registry moves to a new version with exactly
+    /// the pack's policies; on any compile error the server changes
+    /// nothing and the per-file diagnostics come back typed
+    /// ([`PackLoadOutcome::Rejected`] — an `Ok` answer, not an error).
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditClient::request`].
+    pub fn load_pack(&mut self, source: &PackSource) -> Result<PackLoadOutcome, ClientError> {
+        match self.round_trip(&WireRequest::LoadPack(source.clone()))? {
+            WireResponse::PackLoaded {
+                version,
+                installed,
+                reused,
+            } => Ok(PackLoadOutcome::Loaded {
+                version,
+                installed,
+                reused,
+            }),
+            WireResponse::PackRejected { diagnostics } => {
+                Ok(PackLoadOutcome::Rejected { diagnostics })
+            }
+            WireResponse::ServerError { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
+        }
+    }
+
+    /// The server's current policy listing: the registry version plus
+    /// every registered policy's name, package, and canonical source,
+    /// sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditClient::request`].
+    pub fn list_policies(&mut self) -> Result<PolicyListing, ClientError> {
+        match self.round_trip(&WireRequest::ListPolicies)? {
+            WireResponse::Policies(listing) => Ok(listing),
             WireResponse::ServerError { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
         }

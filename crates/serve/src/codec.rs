@@ -19,12 +19,13 @@ use crate::wire::{WireError, WireLimits, MIN_WIRE_VERSION, WIRE_VERSION};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use piprov_audit::{
     AuditOutcome, AuditRequest, AuditResponse, EngineStats, Exemplar, HistogramSnapshot,
-    MetricsSnapshot, PolicySnapshot, RequestKind, RequestStats, Span, SpanKind, TraceContext,
-    TraceRecord,
+    MetricsSnapshot, PolicyInfo, PolicyListing, PolicySnapshot, RequestKind, RequestStats, Span,
+    SpanKind, TraceContext, TraceRecord,
 };
 use piprov_core::name::{Channel, Principal};
 use piprov_core::provenance::{InternerStats, ShardStats};
 use piprov_patterns::MemoStats;
+use piprov_policy::{PackDiagnostic, PackFile, PackSource};
 use piprov_store::codec::{decode_body, encode_body, get_str, get_value, put_str, put_value};
 use piprov_store::{AuditTrail, ProvenanceRecord, StoreStats};
 
@@ -53,6 +54,16 @@ pub enum WireRequest {
         /// Minimum end-to-end duration, nanoseconds (`0` = everything).
         min_total_ns: u64,
     },
+    /// A whole policy pack, inline: root package name plus every `.ppol`
+    /// file's source text (version 5).  The server compiles it off to the
+    /// side and either installs it atomically
+    /// ([`WireResponse::PackLoaded`]) or rejects it with per-file
+    /// line/column diagnostics and changes nothing
+    /// ([`WireResponse::PackRejected`]).
+    LoadPack(PackSource),
+    /// The registered policies: every name, source package, and canonical
+    /// pattern text, plus the pack version they belong to (version 5).
+    ListPolicies,
 }
 
 /// The trace field a traced request carries after its payload: the
@@ -109,6 +120,27 @@ pub enum WireResponse {
     /// Answer to [`WireRequest::Traces`]: recent traces from the ring
     /// collector, oldest first, already merged by trace id.
     Traces(Vec<TraceRecord>),
+    /// Answer to [`WireRequest::LoadPack`]: the pack compiled cleanly and
+    /// was published as the new policy set in one atomic swap.
+    PackLoaded {
+        /// Registry version the new set was published at.
+        version: u64,
+        /// Policies in the installed set.
+        installed: u32,
+        /// Of those, policies carried over unchanged (same name, package,
+        /// and canonical source), keeping automaton memo and metric
+        /// timeline.
+        reused: u32,
+    },
+    /// Answer to [`WireRequest::LoadPack`]: the pack failed to compile
+    /// and **nothing changed** (all-or-nothing), with every problem's
+    /// file, line, and column.
+    PackRejected {
+        /// Per-file diagnostics, sorted by (path, line, column).
+        diagnostics: Vec<PackDiagnostic>,
+    },
+    /// Answer to [`WireRequest::ListPolicies`].
+    Policies(PolicyListing),
     /// The server failed to serve an otherwise well-formed request (store
     /// error on flush, for example), or reports why it is closing the
     /// connection.
@@ -130,6 +162,8 @@ pub fn request_kind(request: &WireRequest) -> RequestKind {
         WireRequest::Stats => RequestKind::Stats,
         WireRequest::Metrics => RequestKind::Metrics,
         WireRequest::Traces { .. } => RequestKind::Traces,
+        WireRequest::LoadPack(_) => RequestKind::LoadPack,
+        WireRequest::ListPolicies => RequestKind::ListPolicies,
     }
 }
 
@@ -143,6 +177,9 @@ const REQ_STATS: u8 = 4;
 const REQ_METRICS: u8 = 5;
 // Added with version 4 (the tracing plane).
 const REQ_TRACES: u8 = 6;
+// Added with version 5 (the policy-pack plane).
+const REQ_LOAD_PACK: u8 = 7;
+const REQ_LIST_POLICIES: u8 = 8;
 
 /// Field tag of the additive per-request trace field (version 4).
 const REQUEST_FIELD_TRACE: u8 = 1;
@@ -160,6 +197,10 @@ const RESP_STATS: u8 = 5;
 const RESP_ERROR: u8 = 6;
 const RESP_METRICS: u8 = 7;
 const RESP_TRACES: u8 = 8;
+// Added with version 5 (the policy-pack plane).
+const RESP_PACK_LOADED: u8 = 9;
+const RESP_PACK_REJECTED: u8 = 10;
+const RESP_POLICIES: u8 = 11;
 
 const OUTCOME_VETTED: u8 = 1;
 const OUTCOME_TRAIL: u8 = 2;
@@ -251,6 +292,22 @@ fn get_names(buf: &mut Bytes) -> Result<Vec<String>, WireError> {
         names.push(wire_str(buf)?);
     }
     Ok(names)
+}
+
+/// A u32-length-prefixed text blob: pack file sources (and canonical
+/// policy text) routinely outgrow the u16-prefixed name vocabulary of
+/// [`put_str`].
+fn put_text(buf: &mut BytesMut, text: &str) {
+    buf.put_u32(text.len() as u32);
+    buf.put_slice(text.as_bytes());
+}
+
+fn get_text(buf: &mut Bytes) -> Result<String, WireError> {
+    need(buf, 4, "text length")?;
+    let len = buf.get_u32() as usize;
+    need(buf, len, "text body")?;
+    String::from_utf8(buf.copy_to_bytes(len).to_vec())
+        .map_err(|_| malformed("invalid utf-8 in text"))
 }
 
 fn finish_message(tag: u8, payload: impl FnOnce(&mut BytesMut)) -> Bytes {
@@ -360,6 +417,15 @@ pub fn encode_request(request: &WireRequest) -> Bytes {
         WireRequest::Traces { min_total_ns } => finish_message(REQ_TRACES, |buf| {
             buf.put_u64(*min_total_ns);
         }),
+        WireRequest::LoadPack(pack) => finish_message(REQ_LOAD_PACK, |buf| {
+            put_str(buf, &pack.root);
+            buf.put_u32(pack.files.len() as u32);
+            for file in &pack.files {
+                put_str(buf, &file.path);
+                put_text(buf, &file.source);
+            }
+        }),
+        WireRequest::ListPolicies => finish_message(REQ_LIST_POLICIES, |_| {}),
     }
 }
 
@@ -416,6 +482,23 @@ pub fn decode_request_traced(
                 min_total_ns: buf.get_u64(),
             }
         }
+        // The policy-pack tags are version-5 vocabulary: a pre-v5 body
+        // carrying one falls through to the unknown-tag error below.
+        REQ_LOAD_PACK if version >= 5 => {
+            let root = wire_str(&mut buf)?;
+            need(&buf, 4, "pack file count")?;
+            let count = buf.get_u32() as usize;
+            // A pack file costs at least its 2 path-length + 4
+            // source-length bytes.
+            let mut files = Vec::with_capacity(count.min(buf.remaining() / 6 + 1));
+            for _ in 0..count {
+                let path = wire_str(&mut buf)?;
+                let source = get_text(&mut buf)?;
+                files.push(PackFile::new(path, source));
+            }
+            WireRequest::LoadPack(PackSource::new(root, files))
+        }
+        REQ_LIST_POLICIES if version >= 5 => WireRequest::ListPolicies,
         other => return Err(malformed(format!("unknown request tag {}", other))),
     };
     // Additive per-request fields after the payload (version 4+); the only
@@ -903,10 +986,24 @@ pub fn encode_response(response: &WireResponse) -> Bytes {
                     }
                 }
                 AuditOutcome::UnknownValue => buf.put_u8(OUTCOME_UNKNOWN_VALUE),
-                AuditOutcome::UnknownPattern => buf.put_u8(OUTCOME_UNKNOWN_PATTERN),
+                AuditOutcome::UnknownPattern { known, nearest } => {
+                    buf.put_u8(OUTCOME_UNKNOWN_PATTERN);
+                    // Version 5: the registered names and the
+                    // nearest-name hint (a v3/v4 decoder reads neither).
+                    put_names(buf, known);
+                    match nearest {
+                        Some(name) => {
+                            buf.put_u8(1);
+                            put_str(buf, name);
+                        }
+                        None => buf.put_u8(0),
+                    }
+                }
             }
             put_request_stats(buf, &audit.stats);
             buf.put_u64(audit.watermark);
+            // Version 5: the policy-set version that answered.
+            buf.put_u64(audit.pack_version);
         }),
         WireResponse::IngestAck {
             accepted,
@@ -935,6 +1032,33 @@ pub fn encode_response(response: &WireResponse) -> Bytes {
             buf.put_u32(records.len() as u32);
             for record in records {
                 put_trace_record(buf, record);
+            }
+        }),
+        WireResponse::PackLoaded {
+            version,
+            installed,
+            reused,
+        } => finish_message(RESP_PACK_LOADED, |buf| {
+            buf.put_u64(*version);
+            buf.put_u32(*installed);
+            buf.put_u32(*reused);
+        }),
+        WireResponse::PackRejected { diagnostics } => finish_message(RESP_PACK_REJECTED, |buf| {
+            buf.put_u32(diagnostics.len() as u32);
+            for diag in diagnostics {
+                put_str(buf, &diag.path);
+                buf.put_u64(diag.line as u64);
+                buf.put_u64(diag.column as u64);
+                put_str(buf, &diag.message);
+            }
+        }),
+        WireResponse::Policies(listing) => finish_message(RESP_POLICIES, |buf| {
+            buf.put_u64(listing.version);
+            buf.put_u32(listing.policies.len() as u32);
+            for policy in &listing.policies {
+                put_str(buf, &policy.name);
+                put_str(buf, &policy.package);
+                put_text(buf, &policy.source);
             }
         }),
         WireResponse::ServerError { message } => finish_message(RESP_ERROR, |buf| {
@@ -1009,16 +1133,43 @@ pub fn decode_response(mut buf: Bytes, limits: &WireLimits) -> Result<WireRespon
                     AuditOutcome::Origin { principal }
                 }
                 OUTCOME_UNKNOWN_VALUE => AuditOutcome::UnknownValue,
-                OUTCOME_UNKNOWN_PATTERN => AuditOutcome::UnknownPattern,
+                OUTCOME_UNKNOWN_PATTERN => {
+                    // A pre-v5 peer sends no payload: decode to empty.
+                    if version >= 5 {
+                        let known = get_names(&mut buf)?;
+                        need(&buf, 1, "nearest-name flag")?;
+                        let nearest = match buf.get_u8() {
+                            0 => None,
+                            1 => Some(wire_str(&mut buf)?),
+                            other => {
+                                return Err(malformed(format!("bad nearest-name flag {}", other)))
+                            }
+                        };
+                        AuditOutcome::UnknownPattern { known, nearest }
+                    } else {
+                        AuditOutcome::UnknownPattern {
+                            known: Vec::new(),
+                            nearest: None,
+                        }
+                    }
+                }
                 other => return Err(malformed(format!("unknown audit outcome tag {}", other))),
             };
             let stats = get_request_stats(&mut buf)?;
             need(&buf, 8, "response watermark")?;
             let watermark = buf.get_u64();
+            // A pre-v5 peer omits the pack version: decode as 0.
+            let pack_version = if version >= 5 {
+                need(&buf, 8, "response pack version")?;
+                buf.get_u64()
+            } else {
+                0
+            };
             WireResponse::Audit(AuditResponse {
                 outcome,
                 stats,
                 watermark,
+                pack_version,
             })
         }
         RESP_ACK => {
@@ -1056,6 +1207,49 @@ pub fn decode_response(mut buf: Bytes, limits: &WireLimits) -> Result<WireRespon
         RESP_ERROR => WireResponse::ServerError {
             message: wire_str(&mut buf)?,
         },
+        RESP_PACK_LOADED if version >= 5 => {
+            need(&buf, 16, "pack loaded response")?;
+            WireResponse::PackLoaded {
+                version: buf.get_u64(),
+                installed: buf.get_u32(),
+                reused: buf.get_u32(),
+            }
+        }
+        RESP_PACK_REJECTED if version >= 5 => {
+            need(&buf, 4, "diagnostic count")?;
+            let count = buf.get_u32() as usize;
+            // A diagnostic costs at least its two 2-byte string lengths
+            // plus 16 position bytes.
+            let mut diagnostics = Vec::with_capacity(count.min(buf.remaining() / 20 + 1));
+            for _ in 0..count {
+                let path = wire_str(&mut buf)?;
+                need(&buf, 16, "diagnostic position")?;
+                let line = buf.get_u64() as usize;
+                let column = buf.get_u64() as usize;
+                let message = wire_str(&mut buf)?;
+                diagnostics.push(PackDiagnostic::new(path, line, column, message));
+            }
+            WireResponse::PackRejected { diagnostics }
+        }
+        RESP_POLICIES if version >= 5 => {
+            need(&buf, 12, "policy listing head")?;
+            let pack_version = buf.get_u64();
+            let count = buf.get_u32() as usize;
+            // A policy costs at least its two 2-byte string lengths plus
+            // a 4-byte source length.
+            let mut policies = Vec::with_capacity(count.min(buf.remaining() / 8 + 1));
+            for _ in 0..count {
+                policies.push(PolicyInfo {
+                    name: wire_str(&mut buf)?,
+                    package: wire_str(&mut buf)?,
+                    source: get_text(&mut buf)?,
+                });
+            }
+            WireResponse::Policies(PolicyListing {
+                version: pack_version,
+                policies,
+            })
+        }
         other => return Err(malformed(format!("unknown response tag {}", other))),
     };
     if buf.has_remaining() {
@@ -1106,6 +1300,18 @@ mod tests {
             WireRequest::Flush,
             WireRequest::Stats,
             WireRequest::Metrics,
+            WireRequest::LoadPack(PackSource::new(
+                "supply_chain",
+                vec![
+                    PackFile::new("build.ppol", "policy vendor_only = v!Any; Any\n"),
+                    PackFile::new(
+                        "ship.ppol",
+                        "use supply_chain::build::vendor_only\npolicy gate = @vendor_only | eps\n",
+                    ),
+                ],
+            )),
+            WireRequest::LoadPack(PackSource::new("empty", Vec::new())),
+            WireRequest::ListPolicies,
         ];
         for request in requests {
             let decoded = decode_request(encode_request(&request), &limits).unwrap();
@@ -1451,6 +1657,148 @@ mod tests {
         for len in 0..encoded.len() {
             assert!(decode_response(Bytes::from(encoded[..len].to_vec()), &limits).is_err());
         }
+    }
+
+    #[test]
+    fn policy_plane_responses_round_trip() {
+        let limits = WireLimits::default();
+        let responses = vec![
+            WireResponse::PackLoaded {
+                version: 7,
+                installed: 12,
+                reused: 9,
+            },
+            WireResponse::PackRejected {
+                diagnostics: vec![
+                    PackDiagnostic::new("build.ppol", 3, 14, "expected `=` after the policy name"),
+                    PackDiagnostic::new(
+                        "ship.ppol",
+                        1,
+                        5,
+                        "unknown policy `@vendor_onyl` (did you mean `vendor_only`?)",
+                    ),
+                ],
+            },
+            WireResponse::PackRejected {
+                diagnostics: Vec::new(),
+            },
+            WireResponse::Policies(PolicyListing {
+                version: 7,
+                policies: vec![
+                    PolicyInfo {
+                        name: "supply_chain::build::vendor_only".into(),
+                        package: "supply_chain::build".into(),
+                        source: "v!Any; Any".into(),
+                    },
+                    PolicyInfo {
+                        name: "supply_chain::ship::gate".into(),
+                        package: "supply_chain::ship".into(),
+                        source: "(v!Any; Any) | eps".into(),
+                    },
+                ],
+            }),
+            WireResponse::Policies(PolicyListing::default()),
+        ];
+        for response in responses {
+            let decoded = decode_response(encode_response(&response), &limits).unwrap();
+            assert_eq!(decoded, response);
+            // And every truncation is a typed error, never a panic.
+            let body = encode_response(&response).to_vec();
+            for len in 0..body.len() {
+                assert!(
+                    decode_response(Bytes::from(body[..len].to_vec()), &limits).is_err(),
+                    "prefix of {} bytes decoded",
+                    len
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn audit_responses_carry_pack_version_and_unknown_pattern_payload() {
+        let limits = WireLimits::default();
+        let response = WireResponse::Audit(AuditResponse {
+            outcome: AuditOutcome::UnknownPattern {
+                known: vec!["a".into(), "b".into()],
+                nearest: Some("b".into()),
+            },
+            stats: RequestStats::default(),
+            watermark: 41,
+            pack_version: 6,
+        });
+        let decoded = decode_response(encode_response(&response), &limits).unwrap();
+        assert_eq!(decoded, response);
+        let no_hint = WireResponse::Audit(AuditResponse {
+            outcome: AuditOutcome::UnknownPattern {
+                known: Vec::new(),
+                nearest: None,
+            },
+            stats: RequestStats::default(),
+            watermark: 41,
+            pack_version: 6,
+        });
+        let decoded = decode_response(encode_response(&no_hint), &limits).unwrap();
+        assert_eq!(decoded, no_hint);
+    }
+
+    #[test]
+    fn version_4_bodies_still_decode_without_the_v5_extensions() {
+        let limits = WireLimits::default();
+        // A v4 peer's audit response: no pack version after the
+        // watermark, no payload on an unknown-pattern outcome.  Build the
+        // body by hand — our encoder always speaks v5.
+        let mut body = BytesMut::new();
+        body.put_u8(4);
+        body.put_u8(RESP_AUDIT);
+        body.put_u8(OUTCOME_UNKNOWN_PATTERN);
+        put_request_stats(&mut body, &RequestStats::default());
+        body.put_u64(17); // watermark
+        let decoded = decode_response(body.freeze(), &limits).unwrap();
+        assert_eq!(
+            decoded,
+            WireResponse::Audit(AuditResponse {
+                outcome: AuditOutcome::UnknownPattern {
+                    known: Vec::new(),
+                    nearest: None,
+                },
+                stats: RequestStats::default(),
+                watermark: 17,
+                pack_version: 0,
+            })
+        );
+        // A v5 body re-marked v4 has trailing bytes (the pack version):
+        // rejected, not misread.
+        let mut remarked = encode_response(&WireResponse::Audit(AuditResponse {
+            outcome: AuditOutcome::UnknownValue,
+            stats: RequestStats::default(),
+            watermark: 1,
+            pack_version: 3,
+        }))
+        .to_vec();
+        remarked[0] = 4;
+        assert!(matches!(
+            decode_response(Bytes::from(remarked), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        // The policy-plane tags are v5 vocabulary: a v4 body carrying one
+        // is an unknown tag, and so are the requests.
+        let mut remarked = encode_response(&WireResponse::PackLoaded {
+            version: 1,
+            installed: 1,
+            reused: 0,
+        })
+        .to_vec();
+        remarked[0] = 4;
+        assert!(matches!(
+            decode_response(Bytes::from(remarked), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        let mut remarked = encode_request(&WireRequest::ListPolicies).to_vec();
+        remarked[0] = 4;
+        assert!(matches!(
+            decode_request(Bytes::from(remarked), &limits),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //! and `Flush`/`Stats`/`Metrics` control messages (`Metrics` ships the
 //! whole observability plane: every counter surface plus per-policy
 //! latency histograms, rendered to Prometheus text by
-//! [`AuditClient::metrics`]) — travels a hardened, versioned binary
-//! protocol over TCP:
+//! [`AuditClient::metrics`]) and the policy-pack plane
+//! (`LoadPack` ships a whole pack for one atomic, versioned swap —
+//! [`AuditClient::load_pack`] — and `ListPolicies` reads back the
+//! published set, also served as plaintext on `GET /policies`) —
+//! travels a hardened, versioned binary protocol over TCP:
 //!
 //! * [`wire`] — length-prefixed, CRC-guarded, versioned framing with
 //!   decode-side caps: a hostile length prefix or record count is a typed
@@ -95,7 +98,9 @@ pub mod recorder;
 pub mod server;
 pub mod wire;
 
-pub use client::{AuditClient, ClientConfig, ClientError, FlushAck, IngestOutcome, MetricsReport};
+pub use client::{
+    AuditClient, ClientConfig, ClientError, FlushAck, IngestOutcome, MetricsReport, PackLoadOutcome,
+};
 pub use codec::{request_kind, RequestTrace, WireRequest, WireResponse};
 pub use recorder::RemoteRecorder;
 pub use server::{AuditServer, ServeConfig, ServerCore};

@@ -585,6 +585,11 @@ pub(crate) fn http_response_for(
             "text/plain; charset=utf-8",
             render_traces(&collector.snapshot(trace_min_total_ns(query))),
         ),
+        Some("/policies") => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            engine.policies().to_string(),
+        ),
         Some("/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
         _ => (
             "404 Not Found",
@@ -696,6 +701,24 @@ pub(crate) fn handle_request(
         WireRequest::Traces { min_total_ns } => {
             WireResponse::Traces(collector.snapshot(min_total_ns))
         }
+        // All-or-nothing: compilation happens entirely off to the side,
+        // and only a clean pack reaches the engine's atomic publish — a
+        // pack with any error changes nothing and reports every problem's
+        // file, line, and column.
+        WireRequest::LoadPack(source) => match piprov_policy::PolicyPack::compile(&source) {
+            Ok(pack) => {
+                let install = engine.install_pack(&pack);
+                WireResponse::PackLoaded {
+                    version: install.version,
+                    installed: install.installed as u32,
+                    reused: install.reused as u32,
+                }
+            }
+            Err(error) => WireResponse::PackRejected {
+                diagnostics: error.diagnostics,
+            },
+        },
+        WireRequest::ListPolicies => WireResponse::Policies(engine.policies()),
     };
     (response, 0, 0)
 }

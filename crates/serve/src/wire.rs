@@ -37,10 +37,17 @@ use std::io::{ErrorKind, Read, Write};
 /// trace field after every request payload (absent = untraced — a v3 peer
 /// simply sends none), the `Traces`/`Traces` request/response pair, and
 /// uptime, connection counters and histogram exemplars in the `Metrics`
-/// payload.  Decoders accept [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`];
+/// payload.  Version 5 added the policy-pack plane: the
+/// `LoadPack`/`ListPolicies` request pair (and their
+/// `PackLoaded`/`PackRejected`/`Policies` responses), the pack version
+/// stamped after every audit response's watermark, and the
+/// known-names-plus-nearest payload on `UnknownPattern` — all additive, so
+/// v3/v4 peers interoperate unchanged (they simply never send the new
+/// tags, and their audit responses decode with pack version 0).  Decoders
+/// accept [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`];
 /// anything else is refused with a typed
 /// [`WireError::UnsupportedVersion`].
-pub const WIRE_VERSION: u8 = 4;
+pub const WIRE_VERSION: u8 = 5;
 
 /// Oldest version byte decoders still accept.  Version 3 bodies carry no
 /// trace field and no v4 metrics extensions; both were added additively,

@@ -123,7 +123,13 @@ fn queries_match_the_in_process_engine_and_pipelining_preserves_order() {
                 pattern: "nope".into(),
             })
             .unwrap();
-        assert_eq!(nope.outcome, AuditOutcome::UnknownPattern);
+        match &nope.outcome {
+            AuditOutcome::UnknownPattern { known, nearest } => {
+                assert_eq!(known, &vec!["from-s".to_string()]);
+                assert_eq!(nearest, &None);
+            }
+            other => panic!("expected UnknownPattern, got {:?}", other),
+        }
 
         let stats = client.stats().unwrap();
         assert_eq!(stats.ingested, 8);

@@ -13,13 +13,14 @@
 use bytes::Bytes;
 use piprov_audit::{
     AuditEngine, AuditOutcome, AuditRequest, AuditResponse, EngineStats, Exemplar,
-    HistogramSnapshot, MetricsSnapshot, PolicySnapshot, RequestKind, RequestStats, Span, SpanKind,
-    TraceContext, TraceRecord,
+    HistogramSnapshot, MetricsSnapshot, PolicyInfo, PolicyListing, PolicySnapshot, RequestKind,
+    RequestStats, Span, SpanKind, TraceContext, TraceRecord,
 };
 use piprov_core::name::{Channel, Principal};
 use piprov_core::provenance::{Event, InternerStats, Provenance, ShardStats};
 use piprov_core::value::Value;
 use piprov_patterns::MemoStats;
+use piprov_policy::{PackDiagnostic, PackFile, PackSource};
 use piprov_serve::codec::{
     decode_request, decode_request_traced, decode_response, encode_request, encode_request_traced,
     encode_response,
@@ -141,8 +142,36 @@ fn arb_outcome() -> impl Strategy<Value = AuditOutcome> {
         ]
         .prop_map(|principal| AuditOutcome::Origin { principal }),
         Just(AuditOutcome::UnknownValue),
-        Just(AuditOutcome::UnknownPattern),
+        (
+            proptest::collection::vec(0u32..32, 0..6),
+            prop_oneof![
+                Just(None),
+                (0u32..32).prop_map(|i| Some(format!("pol{}", i))),
+            ],
+        )
+            .prop_map(|(known, nearest)| AuditOutcome::UnknownPattern {
+                known: known.into_iter().map(|i| format!("pol{}", i)).collect(),
+                nearest,
+            }),
     ]
+}
+
+fn arb_pack_source() -> impl Strategy<Value = PackSource> {
+    (0u32..4, proptest::collection::vec((0u32..8, 0u32..4), 0..4)).prop_map(|(root, files)| {
+        PackSource::new(
+            format!("root{}", root),
+            files
+                .into_iter()
+                .enumerate()
+                .map(|(i, (stem, n))| {
+                    PackFile::new(
+                        format!("f{}_{}.ppol", i, stem),
+                        format!("policy p{} = Any\n", n),
+                    )
+                })
+                .collect(),
+        )
+    })
 }
 
 fn arb_engine_stats() -> impl Strategy<Value = EngineStats> {
@@ -344,17 +373,20 @@ fn arb_wire_request() -> impl Strategy<Value = piprov_serve::WireRequest> {
         1 => Just(WireRequest::Stats),
         1 => Just(WireRequest::Metrics),
         1 => (0u64..1 << 48).prop_map(|min_total_ns| WireRequest::Traces { min_total_ns }),
+        1 => arb_pack_source().prop_map(WireRequest::LoadPack),
+        1 => Just(WireRequest::ListPolicies),
     ]
 }
 
 fn arb_wire_response() -> impl Strategy<Value = WireResponse> {
     prop_oneof![
-        4 => (arb_outcome(), arb_request_stats(), 0u64..1 << 48)
-            .prop_map(|(outcome, stats, watermark)| {
+        4 => (arb_outcome(), arb_request_stats(), 0u64..1 << 48, 0u64..1 << 32)
+            .prop_map(|(outcome, stats, watermark, pack_version)| {
                 WireResponse::Audit(AuditResponse {
                     outcome,
                     stats,
                     watermark,
+                    pack_version,
                 })
             }),
         1 => (0u32..1 << 16, 0u32..256).prop_map(|(accepted, queue_depth)| {
@@ -376,6 +408,38 @@ fn arb_wire_response() -> impl Strategy<Value = WireResponse> {
         1 => (0u32..64).prop_map(|i| WireResponse::ServerError {
             message: format!("error {}", i),
         }),
+        1 => (0u64..1 << 40, 0u32..1 << 16, 0u32..1 << 16).prop_map(
+            |(version, installed, reused)| WireResponse::PackLoaded {
+                version,
+                installed,
+                reused,
+            }
+        ),
+        1 => proptest::collection::vec((0u32..8, 0u64..1 << 20, 0u64..1 << 20, 0u32..16), 0..4)
+            .prop_map(|diags| WireResponse::PackRejected {
+                diagnostics: diags
+                    .into_iter()
+                    .map(|(p, line, column, m)| PackDiagnostic::new(
+                        format!("f{}.ppol", p),
+                        line as usize,
+                        column as usize,
+                        format!("msg {}", m),
+                    ))
+                    .collect(),
+            }),
+        1 => (0u64..1 << 40, proptest::collection::vec((0u32..16, 0u32..8), 0..4)).prop_map(
+            |(version, infos)| WireResponse::Policies(PolicyListing {
+                version,
+                policies: infos
+                    .into_iter()
+                    .map(|(n, p)| PolicyInfo {
+                        name: format!("pkg{}::pol{}", p, n),
+                        package: format!("pkg{}", p),
+                        source: "Any".to_string(),
+                    })
+                    .collect(),
+            })
+        ),
     ]
 }
 
@@ -452,6 +516,7 @@ fn empty_trail_round_trips() {
         }),
         stats: RequestStats::default(),
         watermark: 0,
+        pack_version: 0,
     });
     let decoded = decode_response(encode_response(&response), &limits).unwrap();
     assert_eq!(decoded, response);

@@ -1,0 +1,147 @@
+//! The policy-pack plane over the wire: load the shipped
+//! `policies/supply_chain/` pack from disk into a running server, list
+//! it back (typed and via the plaintext `GET /policies` scrape), prove
+//! a broken pack changes nothing, then hot-reload and watch the
+//! version bump while every compiled automaton carries over.
+//!
+//! Run `cargo run --example serve_server` first, then:
+//! `cargo run --example policy_reload`
+//! (both honour `PIPROV_SERVE_ADDR`, default `127.0.0.1:7141`; the pack
+//! directory comes from `PIPROV_POLICY_DIR`, default
+//! `policies/supply_chain`).
+
+use piprov::prelude::*;
+use piprov::serve::PackLoadOutcome;
+use piprov::store::{Operation, ProvenanceRecord};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+const VENDOR_ONLY: &str = "supply_chain::build::vendor_only";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::var("PIPROV_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7141".to_string());
+    let pack_dir = std::env::var("PIPROV_POLICY_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("policies/supply_chain"));
+
+    // 1. Read the pack off disk — the directory name becomes the root
+    //    package, each file's path the rest of its package.
+    let source = PackSource::from_dir(&pack_dir)?;
+    println!(
+        "read pack `{}` from {}: {} files",
+        source.root,
+        pack_dir.display(),
+        source.files.len()
+    );
+
+    // 2. Ship it inline over the wire; the server compiles everything
+    //    off to the side and publishes in one atomic swap.
+    let mut client = AuditClient::connect(addr.as_str())?;
+    let version = match client.load_pack(&source)? {
+        PackLoadOutcome::Loaded {
+            version,
+            installed,
+            reused,
+        } => {
+            println!(
+                "policy pack loaded: version {}, {} policies ({} reused)",
+                version, installed, reused
+            );
+            version
+        }
+        PackLoadOutcome::Rejected { diagnostics } => {
+            for diagnostic in &diagnostics {
+                eprintln!("  {}", diagnostic);
+            }
+            return Err("the shipped pack must compile".into());
+        }
+    };
+
+    // 3. List it back, typed.
+    let listing = client.list_policies()?;
+    assert_eq!(listing.version, version);
+    println!("\n--- ListPolicies ---");
+    print!("{}", listing);
+
+    // 4. The same listing as plaintext, next to /metrics and /trace.
+    let mut stream = std::net::TcpStream::connect(addr.as_str())?;
+    write!(stream, "GET /policies HTTP/1.1\r\nHost: piprov\r\n\r\n")?;
+    let mut scrape = String::new();
+    stream.read_to_string(&mut scrape)?;
+    let status = scrape.lines().next().unwrap_or("");
+    println!("\nGET /policies scrape: {}", status);
+    print!("{}", scrape.split("\r\n\r\n").nth(1).unwrap_or(&scrape));
+    assert!(status.contains("200 OK"));
+    assert!(scrape.contains(VENDOR_ONLY));
+
+    // 5. Vet a shipment against the loaded pack: the response carries
+    //    the pack version that answered it.
+    let item = Value::Channel(Channel::new("pallet0"));
+    let provenance = Provenance::single(Event::output(
+        Principal::new("supplier0"),
+        Provenance::empty(),
+    ));
+    client.ingest_blocking(vec![ProvenanceRecord::new(
+        1,
+        "supplier0",
+        Operation::Send,
+        "intake",
+        item.clone(),
+        provenance,
+    )])?;
+    client.flush()?;
+    let response = client.request(&AuditRequest::VetValue {
+        value: item,
+        pattern: VENDOR_ONLY.into(),
+    })?;
+    assert!(matches!(
+        response.outcome,
+        AuditOutcome::Vetted { verdict: true, .. }
+    ));
+    println!(
+        "\nvetted pallet0 against {}: pass (pack version {})",
+        VENDOR_ONLY, response.pack_version
+    );
+
+    // 6. A pack with an error changes nothing — the server answers with
+    //    per-file line/column diagnostics and keeps the published set.
+    let broken = PackSource::new(
+        source.root.clone(),
+        vec![PackFile::new("build.ppol", "policy broken = (((\n")],
+    );
+    match client.load_pack(&broken)? {
+        PackLoadOutcome::Rejected { diagnostics } => {
+            println!(
+                "\nbroken pack rejected with {} diagnostic(s):",
+                diagnostics.len()
+            );
+            for diagnostic in &diagnostics {
+                println!("  {}", diagnostic);
+            }
+        }
+        PackLoadOutcome::Loaded { .. } => return Err("broken pack must be rejected".into()),
+    }
+    assert_eq!(client.list_policies()?.version, version, "all-or-nothing");
+    println!("registry unchanged at version {}", version);
+
+    // 7. Hot reload the same pack: one atomic publish, every unchanged
+    //    policy keeps its compiled automaton (and its memo).
+    match client.load_pack(&source)? {
+        PackLoadOutcome::Loaded {
+            version: reloaded,
+            installed,
+            reused,
+        } => {
+            assert_eq!(reloaded, version + 1);
+            assert_eq!(reused, installed);
+            println!(
+                "\nhot reload: version {}, {}/{} automata carried over",
+                reloaded, reused, installed
+            );
+        }
+        PackLoadOutcome::Rejected { .. } => return Err("reload must succeed".into()),
+    }
+
+    println!("\npolicy_reload: verdict: pass");
+    Ok(())
+}

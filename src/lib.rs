@@ -13,6 +13,7 @@
 //! |---|---|---|
 //! | [`core`] | `piprov-core` | syntax, provenance, reduction semantics, executor |
 //! | [`patterns`] | `piprov-patterns` | the sample pattern language (Table 3), NFA engine, parser |
+//! | [`policy`] | `piprov-policy` | `.ppol` policy packs: parser, package hierarchy, directory loader |
 //! | [`logs`] | `piprov-logs` | logs, the ⊑ ordering, denotation, monitored systems, correctness |
 //! | [`store`] | `piprov-store` | append-only provenance store with audit queries |
 //! | [`runtime`] | `piprov-runtime` | discrete-event simulator, workloads, fault injection |
@@ -51,6 +52,7 @@ pub use piprov_audit as audit;
 pub use piprov_core as core;
 pub use piprov_logs as logs;
 pub use piprov_patterns as patterns;
+pub use piprov_policy as policy;
 pub use piprov_runtime as runtime;
 pub use piprov_serve as serve;
 pub use piprov_static as analysis;
@@ -76,6 +78,7 @@ pub mod prelude {
         check_provenance, has_correct_provenance, MonitoredExecutor, MonitoredSystem,
     };
     pub use piprov_patterns::{parse_pattern, GroupExpr, Pattern, SamplePatterns};
+    pub use piprov_policy::{PackError, PackFile, PackSource, PolicyPack};
     pub use piprov_runtime::{
         workload, NetworkConfig, SimConfig, SimStop, Simulation, TrackingMode,
     };
