@@ -40,13 +40,14 @@
 //! bounded with epoch-based eviction ([`AuditConfig::memo_bound`]), so a
 //! long-lived engine cannot grow without bound.
 
+use crate::causal::{filtered_view, CounterfactualVerdict, EventFilter, WhySlice};
 use crate::metrics::{MetricsRegistry, VetOutcomeKind};
 use crate::registry::{
     PackInstall, PolicyEntry, PolicyInfo, PolicyListing, PolicyRegistry, PolicySet,
 };
 use crate::request::{AuditOutcome, AuditRequest, AuditResponse, RequestStats};
 use crate::snapshot::{EngineSnapshot, SnapshotCell};
-use piprov_patterns::{CompiledPattern, MemoStats, Pattern};
+use piprov_patterns::{CompiledPattern, MatchStats, MemoStats, Pattern};
 use piprov_policy::PolicyPack;
 use piprov_store::{ProvenanceRecord, ProvenanceStore, SequenceNumber, StoreError, StoreStats};
 use std::collections::HashMap;
@@ -536,6 +537,12 @@ impl AuditEngine {
                 self.who_touched(snapshot, principal, pack_version)
             }
             AuditRequest::OriginOf { value } => self.origin_of(snapshot, value, pack_version),
+            AuditRequest::Why { value, pattern } => self.why(snapshot, &policies, value, pattern),
+            AuditRequest::Counterfactual {
+                value,
+                pattern,
+                remove,
+            } => self.counterfactual(snapshot, &policies, value, pattern, remove),
         };
         self.index_hits
             .fetch_add(response.stats.index_hits as u64, Ordering::Relaxed);
@@ -675,8 +682,8 @@ impl AuditEngine {
             AuditOutcome::Trail(trail),
             RequestStats {
                 index_hits,
-                memo_hits: 0,
                 dag_nodes_visited,
+                ..RequestStats::default()
             },
             watermark,
             pack_version,
@@ -739,9 +746,111 @@ impl AuditEngine {
             },
             RequestStats {
                 index_hits,
-                memo_hits: 0,
                 dag_nodes_visited,
+                ..RequestStats::default()
             },
+            watermark,
+            pack_version,
+        )
+    }
+
+    /// Serves [`AuditRequest::Why`]: vets the value's newest history with
+    /// the witness walk and surfaces the explaining [`WhySlice`].  The
+    /// walk seeds the pattern memo with every suffix verdict it
+    /// determines (see `CompiledPattern::witness`), so a why query warms
+    /// the cache for subsequent vets and counterfactuals.
+    fn why(
+        &self,
+        snapshot: &EngineSnapshot,
+        policies: &PolicySet,
+        value: &piprov_core::value::Value,
+        pattern: &str,
+    ) -> AuditResponse {
+        let watermark = snapshot.watermark();
+        let pack_version = policies.version();
+        let Some(entry) = policies.get(pattern) else {
+            self.metrics.note_unknown_pattern();
+            let known = policies.names();
+            let nearest = piprov_policy::nearest_name(pattern, known.iter().map(String::as_str));
+            return AuditResponse::new(
+                AuditOutcome::UnknownPattern { known, nearest },
+                RequestStats::default(),
+                watermark,
+                pack_version,
+            );
+        };
+        let compiled = Arc::clone(&entry.compiled);
+        let postings = snapshot.index().by_value(value);
+        let mut stats = RequestStats {
+            index_hits: postings.len(),
+            ..RequestStats::default()
+        };
+        let Some(record) = postings.last().and_then(|seq| snapshot.get(*seq)) else {
+            return AuditResponse::new(AuditOutcome::UnknownValue, stats, watermark, pack_version);
+        };
+        let mut match_stats = MatchStats::default();
+        let trail = compiled.witness(&record.provenance, &mut match_stats);
+        stats.memo_hits = match_stats.memo_hits;
+        stats.dag_nodes_visited = match_stats.nodes_visited;
+        let slice = WhySlice::from_trail(trail, record.sequence);
+        AuditResponse::new(AuditOutcome::Why(slice), stats, watermark, pack_version)
+    }
+
+    /// Serves [`AuditRequest::Counterfactual`]: vets the newest history
+    /// as-is, re-vets it with the filtered events removed (via
+    /// [`filtered_view`] — untouched suffixes keep their interned nodes,
+    /// so their verdicts answer from the memo), and reports both verdicts
+    /// plus the delta slice.  The filtered re-vet's cache hits are
+    /// surfaced as [`RequestStats::memo_reused`].
+    fn counterfactual(
+        &self,
+        snapshot: &EngineSnapshot,
+        policies: &PolicySet,
+        value: &piprov_core::value::Value,
+        pattern: &str,
+        remove: &EventFilter,
+    ) -> AuditResponse {
+        let watermark = snapshot.watermark();
+        let pack_version = policies.version();
+        let Some(entry) = policies.get(pattern) else {
+            self.metrics.note_unknown_pattern();
+            let known = policies.names();
+            let nearest = piprov_policy::nearest_name(pattern, known.iter().map(String::as_str));
+            return AuditResponse::new(
+                AuditOutcome::UnknownPattern { known, nearest },
+                RequestStats::default(),
+                watermark,
+                pack_version,
+            );
+        };
+        let compiled = Arc::clone(&entry.compiled);
+        let policy = self.metrics.policy(pattern);
+        let postings = snapshot.index().by_value(value);
+        let mut stats = RequestStats {
+            index_hits: postings.len(),
+            ..RequestStats::default()
+        };
+        let Some(record) = postings.last().and_then(|seq| snapshot.get(*seq)) else {
+            return AuditResponse::new(AuditOutcome::UnknownValue, stats, watermark, pack_version);
+        };
+        let (original, original_stats) = compiled.matches_with_stats(&record.provenance);
+        let view = filtered_view(&record.provenance, remove);
+        let (counterfactual, cf_stats) = compiled.matches_with_stats(&view.provenance);
+        stats.memo_hits = original_stats.memo_hits + cf_stats.memo_hits;
+        stats.dag_nodes_visited = original_stats.nodes_visited + cf_stats.nodes_visited;
+        stats.memo_reused = cf_stats.memo_hits;
+        let verdict = CounterfactualVerdict {
+            original,
+            counterfactual,
+            sequence: record.sequence,
+            removed: view.removed,
+        };
+        if let Some(policy) = &policy {
+            policy.record_counterfactual(verdict.flipped());
+        }
+        AuditResponse::new(
+            AuditOutcome::Counterfactual(verdict),
+            stats,
             watermark,
             pack_version,
         )

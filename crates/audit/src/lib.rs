@@ -19,8 +19,14 @@
 //!   path publishes once per batch and every query reads;
 //! * [`request`] — the typed request/response vocabulary:
 //!   [`AuditRequest`] (`VetValue`, `AuditTrail`, `WhoTouched`,
-//!   `OriginOf`), [`AuditResponse`] and per-request [`RequestStats`]
-//!   (index hits, memo hits, DAG nodes visited);
+//!   `OriginOf`, `Why`, `Counterfactual`), [`AuditResponse`] and
+//!   per-request [`RequestStats`] (index hits, memo hits, DAG nodes
+//!   visited, counterfactual memo reuse);
+//! * [`causal`] — the causal-query layer: [`WhySlice`] witness sets
+//!   explaining a verdict event-by-event against the interned DAG, and
+//!   [`EventFilter`]-driven counterfactual audits that re-vet a filtered
+//!   view of a history without materializing a copy
+//!   ([`causal::filtered_view`]);
 //! * [`registry`] — the versioned policy registry: immutable
 //!   [`PolicySet`]s published by single pointer swap, so a whole
 //!   [`piprov_policy::PolicyPack`] hot-reloads atomically
@@ -82,6 +88,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod causal;
 pub mod engine;
 pub mod ingest;
 pub mod metrics;
@@ -91,6 +98,9 @@ pub mod request;
 pub mod snapshot;
 pub mod trace;
 
+pub use causal::{
+    filtered_view, CounterfactualVerdict, EventFilter, FilteredView, WhyEvent, WhySlice,
+};
 pub use engine::{AuditConfig, AuditEngine, EngineStats};
 pub use ingest::{BarrierError, IngestQueue, SubmitOutcome};
 pub use metrics::{

@@ -173,6 +173,8 @@ pub struct PolicyMetrics {
     vets_passed: AtomicU64,
     vets_failed: AtomicU64,
     vets_unknown_value: AtomicU64,
+    counterfactuals: AtomicU64,
+    counterfactual_flips: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -192,6 +194,16 @@ impl PolicyMetrics {
             VetOutcomeKind::UnknownValue => self.vets_unknown_value.fetch_add(1, Ordering::Relaxed),
         };
         self.latency.record_traced(elapsed_ns, trace_id);
+    }
+
+    /// Records one counterfactual audit against this policy; `flipped`
+    /// marks answers whose filtered verdict differed from the original —
+    /// the removed events were causal for the verdict.
+    pub fn record_counterfactual(&self, flipped: bool) {
+        self.counterfactuals.fetch_add(1, Ordering::Relaxed);
+        if flipped {
+            self.counterfactual_flips.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -357,6 +369,8 @@ impl MetricsRegistry {
                 vets_passed: metrics.vets_passed.load(Ordering::Relaxed),
                 vets_failed: metrics.vets_failed.load(Ordering::Relaxed),
                 vets_unknown_value: metrics.vets_unknown_value.load(Ordering::Relaxed),
+                counterfactuals: metrics.counterfactuals.load(Ordering::Relaxed),
+                counterfactual_flips: metrics.counterfactual_flips.load(Ordering::Relaxed),
                 latency: metrics.latency.snapshot(),
             })
             .collect();
@@ -410,6 +424,12 @@ pub struct PolicySnapshot {
     pub vets_failed: u64,
     /// Vets whose value had no recorded history.
     pub vets_unknown_value: u64,
+    /// Counterfactual audits served against this policy.  (0 when the
+    /// snapshot was decoded from a pre-v6 wire peer.)
+    pub counterfactuals: u64,
+    /// Counterfactual audits whose filtered verdict differed from the
+    /// original — the removed events were causal.  (0 pre-v6.)
+    pub counterfactual_flips: u64,
     /// The vet latency histogram.
     pub latency: HistogramSnapshot,
 }
@@ -954,6 +974,22 @@ fn render_policy_families(
         "Vets of this policy whose value had no recorded history.",
         policies,
         |p| p.vets_unknown_value,
+    );
+    policy_family(
+        out,
+        "piprov_policy_counterfactuals_total",
+        c,
+        "Counterfactual audits served against this policy.",
+        policies,
+        |p| p.counterfactuals,
+    );
+    policy_family(
+        out,
+        "piprov_policy_counterfactual_flips_total",
+        c,
+        "Counterfactual audits whose filtered verdict differed from the original.",
+        policies,
+        |p| p.counterfactual_flips,
     );
     policy_family(
         out,

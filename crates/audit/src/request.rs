@@ -7,6 +7,7 @@
 //! healthy engine answers warm queries almost entirely from posting lists
 //! and memoized verdicts.
 
+use crate::causal::{CounterfactualVerdict, EventFilter, WhySlice};
 use piprov_core::name::Principal;
 use piprov_core::value::Value;
 use piprov_store::{AuditTrail, SequenceNumber};
@@ -40,6 +41,26 @@ pub enum AuditRequest {
         /// The value whose origin is sought.
         value: Value,
     },
+    /// *Why* does the value's history satisfy (or fail) the named policy?
+    /// Answers with a [`WhySlice`]: the witness events with their DAG node
+    /// ids, or the blocking frontier where every candidate trail dies.
+    Why {
+        /// The value whose verdict is explained.
+        value: Value,
+        /// Name of a pattern previously registered with the engine.
+        pattern: String,
+    },
+    /// Would the value still satisfy the policy with some events removed?
+    /// Re-vets against a filtered view of the history without materializing
+    /// a copy, reusing memoized verdicts for untouched subgraphs.
+    Counterfactual {
+        /// The value whose history is re-vetted.
+        value: Value,
+        /// Name of a pattern previously registered with the engine.
+        pattern: String,
+        /// Which events the counterfactual removes.
+        remove: EventFilter,
+    },
 }
 
 impl fmt::Display for AuditRequest {
@@ -51,6 +72,12 @@ impl fmt::Display for AuditRequest {
             AuditRequest::AuditTrail { value } => write!(f, "trail({})", value),
             AuditRequest::WhoTouched { principal } => write!(f, "touched({})", principal),
             AuditRequest::OriginOf { value } => write!(f, "origin({})", value),
+            AuditRequest::Why { value, pattern } => write!(f, "why({}, {})", value, pattern),
+            AuditRequest::Counterfactual {
+                value,
+                pattern,
+                remove,
+            } => write!(f, "counterfactual({}, {}, -{})", value, pattern, remove),
         }
     }
 }
@@ -67,6 +94,12 @@ pub struct RequestStats {
     /// simulated for a vet; for trails and origins, the top-level events
     /// of the consulted records (an O(1) cached read per record).
     pub dag_nodes_visited: usize,
+    /// Memoized verdicts reused by a counterfactual re-vet specifically:
+    /// the cache hits scored while matching the *filtered* view, i.e. the
+    /// untouched subgraphs the filtered re-walk did not have to
+    /// re-simulate.  Zero for every other request kind.  (0 on the wire
+    /// when a pre-v6 peer omitted it.)
+    pub memo_reused: usize,
 }
 
 /// The structured answer to one [`AuditRequest`].
@@ -98,6 +131,10 @@ pub enum AuditOutcome {
         /// the value, if any output was recorded.
         principal: Option<Principal>,
     },
+    /// Answer to [`AuditRequest::Why`].
+    Why(WhySlice),
+    /// Answer to [`AuditRequest::Counterfactual`].
+    Counterfactual(CounterfactualVerdict),
     /// The requested value has no records in the store.
     UnknownValue,
     /// The request named a pattern the engine has not registered.  The

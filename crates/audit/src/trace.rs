@@ -167,6 +167,10 @@ pub enum RequestKind {
     LoadPack = 10,
     /// A policy listing.
     ListPolicies = 11,
+    /// `AuditRequest::Why` — a why-provenance slice.
+    Why = 12,
+    /// `AuditRequest::Counterfactual` — a filtered re-vet.
+    Counterfactual = 13,
 }
 
 impl RequestKind {
@@ -184,6 +188,8 @@ impl RequestKind {
             RequestKind::Traces => "traces",
             RequestKind::LoadPack => "load_pack",
             RequestKind::ListPolicies => "list_policies",
+            RequestKind::Why => "why",
+            RequestKind::Counterfactual => "counterfactual",
         }
     }
 
@@ -201,6 +207,8 @@ impl RequestKind {
             9 => Some(RequestKind::Traces),
             10 => Some(RequestKind::LoadPack),
             11 => Some(RequestKind::ListPolicies),
+            12 => Some(RequestKind::Why),
+            13 => Some(RequestKind::Counterfactual),
             _ => None,
         }
     }
@@ -585,8 +593,20 @@ pub fn slow_line(record: &TraceRecord) -> String {
 /// indented span lines that follow; every span line must name a known stage
 /// with a parseable duration and well-formed optional hit counters.
 pub fn validate_trace_text(text: &str) -> Result<(), String> {
-    const KINDS: [&str; 9] = [
-        "vet", "trail", "touched", "origin", "ingest", "flush", "stats", "metrics", "traces",
+    const KINDS: [&str; 13] = [
+        "vet",
+        "trail",
+        "touched",
+        "origin",
+        "ingest",
+        "flush",
+        "stats",
+        "metrics",
+        "traces",
+        "load_pack",
+        "list_policies",
+        "why",
+        "counterfactual",
     ];
     const STAGES: [&str; 5] = ["client_encode", "decode", "queue_wait", "handle", "write"];
 

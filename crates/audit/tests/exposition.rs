@@ -102,6 +102,8 @@ fn sentinel_snapshot() -> (MetricsSnapshot, Vec<u64>) {
         vets_passed: take(&mut s),
         vets_failed: take(&mut s),
         vets_unknown_value: take(&mut s),
+        counterfactuals: take(&mut s),
+        counterfactual_flips: take(&mut s),
         latency,
     };
     // The wire-level histograms are label-free registry singletons; like
@@ -162,9 +164,9 @@ fn every_stats_field_surfaces_in_the_exposition() {
     // No two plain fields shared a sentinel, so N fields ⇒ N values.
     assert_eq!(
         sentinels.len(),
-        12 + 3 + 4 + 3 + 6 + 1 + 3 + 4,
+        12 + 3 + 4 + 3 + 6 + 1 + 5 + 4,
         "engine + store + interner + shard(values) + memo + unknown-pattern \
-         + policy verdicts + serving lifecycle"
+         + policy verdicts/counterfactuals + serving lifecycle"
     );
     // The shard index rides as a label.
     assert!(text.contains("piprov_interner_shard_entries{shard=\"9000020\"}"));

@@ -180,6 +180,9 @@ fn check_explained_by_watermark(
                 }
             );
         }
+        AuditRequest::Why { .. } | AuditRequest::Counterfactual { .. } => {
+            unreachable!("the MVCC workload issues no causal queries")
+        }
     }
 }
 

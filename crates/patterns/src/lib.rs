@@ -39,7 +39,10 @@ pub mod nfa;
 pub mod parse;
 
 pub use ast::{EventPattern, GroupExpr, Pattern};
-pub use nfa::{CompiledPattern, MatchStats, MemoEviction, MemoStats, DEFAULT_MEMO_BOUND};
+pub use nfa::{
+    CompiledPattern, MatchStats, MemoEviction, MemoStats, WitnessStep, WitnessTrail,
+    DEFAULT_MEMO_BOUND,
+};
 pub use parse::{parse_pattern, ParsePatternError};
 
 use piprov_core::pattern::PatternLanguage;

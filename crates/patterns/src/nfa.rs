@@ -243,6 +243,57 @@ pub struct MatchStats {
     pub nodes_visited: usize,
 }
 
+/// One consumed spine event of a [`CompiledPattern::witness`] walk: the
+/// event together with the interned id of the suffix that starts at it, so
+/// callers can point back into the hash-consed DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessStep {
+    /// Interned id of the spine suffix whose head is `event`.
+    pub node: ProvId,
+    /// The consumed event.
+    pub event: Event,
+}
+
+/// The explained outcome of simulating a provenance against a pattern.
+///
+/// The subset simulation tracks *every* candidate trail of the NFA at
+/// once, so one walk explains the verdict exactly: on acceptance the
+/// consumed spine is an accepting trail's event set, and on rejection
+/// there is a unique earliest point where all surviving candidates die —
+/// either a concrete blocking event or the end of the history with no
+/// accept state held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WitnessTrail {
+    /// The automaton accepted; `steps` is the full consumed spine,
+    /// most recent first.
+    Accepted {
+        /// Events of one accepting trail (the whole spine — the subset
+        /// walk consumes every event), most recent first.
+        steps: Vec<WitnessStep>,
+    },
+    /// The state subset went empty consuming `blocked`: the blocking
+    /// frontier where every candidate trail dies at once.
+    Blocked {
+        /// Events consumed successfully before the death point.
+        consumed: Vec<WitnessStep>,
+        /// The earliest event (in match order) no candidate trail survives.
+        blocked: WitnessStep,
+    },
+    /// Every event was consumed but no accept state held at the end of the
+    /// history: the history is too short for the pattern.
+    Exhausted {
+        /// The full consumed spine, most recent first.
+        consumed: Vec<WitnessStep>,
+    },
+}
+
+impl WitnessTrail {
+    /// The verdict this trail explains.
+    pub fn verdict(&self) -> bool {
+        matches!(self, WitnessTrail::Accepted { .. })
+    }
+}
+
 fn set_bit(states: &mut StateSet, bit: usize) {
     states[bit / 64] |= 1u64 << (bit % 64);
 }
@@ -578,6 +629,58 @@ impl CompiledPattern {
             }
         }
         verdict
+    }
+
+    /// Explains `κ ⊨ π` (or its failure) with a [`WitnessTrail`].
+    ///
+    /// The walk mirrors [`CompiledPattern::matches`] but records, for every
+    /// consumed event, the interned id of the suffix it heads.  It does not
+    /// *consult* the memo — a cached verdict carries no trail — but it
+    /// seeds the memo with the final verdict for every suffix visited,
+    /// exactly as a plain match would, so later (e.g. counterfactual)
+    /// matches over untouched subgraphs answer from cache.
+    pub fn witness(&self, provenance: &Provenance, stats: &mut MatchStats) -> WitnessTrail {
+        let mut states = self.initial_states();
+        let mut cursor = provenance.clone();
+        let mut consumed: Vec<WitnessStep> = Vec::new();
+        let mut trail: Vec<(ProvId, StateSet)> = Vec::new();
+        let outcome = loop {
+            let id = cursor.id();
+            trail.push((id, states.clone()));
+            match cursor.head() {
+                None => {
+                    break if get_bit(&states, self.accept) {
+                        WitnessTrail::Accepted { steps: consumed }
+                    } else {
+                        WitnessTrail::Exhausted { consumed }
+                    }
+                }
+                Some(event) => {
+                    stats.nodes_visited += 1;
+                    let step = WitnessStep {
+                        node: id,
+                        event: event.clone(),
+                    };
+                    let next = self.step(&states, event, stats);
+                    if is_zero(&next) {
+                        break WitnessTrail::Blocked {
+                            consumed,
+                            blocked: step,
+                        };
+                    }
+                    consumed.push(step);
+                    let tail = cursor.tail().expect("non-empty provenance").clone();
+                    states = next;
+                    cursor = tail;
+                }
+            }
+        };
+        let verdict = outcome.verdict();
+        let mut memo = self.lock_memo();
+        for (id, states) in trail {
+            memo.insert(id, states, verdict);
+        }
+        outcome
     }
 
     /// Decides whether a slice of borrowed events (most recent first)

@@ -25,9 +25,10 @@ use crate::server::elapsed_ns;
 use crate::wire::{read_frame, write_frame, WireError, WireLimits};
 use bytes::Bytes;
 use piprov_audit::{
-    AuditRequest, AuditResponse, EngineStats, MetricsSnapshot, PolicyListing, TraceContext,
-    TraceRecord,
+    AuditRequest, AuditResponse, EngineStats, EventFilter, MetricsSnapshot, PolicyListing,
+    TraceContext, TraceRecord,
 };
+use piprov_core::value::Value;
 use piprov_policy::{PackDiagnostic, PackSource};
 use piprov_store::ProvenanceRecord;
 use std::fmt;
@@ -316,6 +317,46 @@ impl AuditClient {
             WireResponse::ServerError { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::UnexpectedResponse(format!("{:?}", other))),
         }
+    }
+
+    /// Asks *why* `value` passes or fails `policy`: the answer's outcome is
+    /// an `AuditOutcome::Why` carrying the witness slice (or
+    /// `UnknownValue`/`UnknownPattern`).  Wire version 6.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditClient::request`].
+    pub fn why(
+        &mut self,
+        value: Value,
+        policy: impl Into<String>,
+    ) -> Result<AuditResponse, ClientError> {
+        self.request(&AuditRequest::Why {
+            value,
+            pattern: policy.into(),
+        })
+    }
+
+    /// Asks whether `value` would still satisfy `policy` with the events
+    /// named by `remove` taken out of its history: the answer's outcome is
+    /// an `AuditOutcome::Counterfactual` carrying both verdicts and the
+    /// removed events (or `UnknownValue`/`UnknownPattern`).  Wire
+    /// version 6.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditClient::request`].
+    pub fn counterfactual(
+        &mut self,
+        value: Value,
+        policy: impl Into<String>,
+        remove: EventFilter,
+    ) -> Result<AuditResponse, ClientError> {
+        self.request(&AuditRequest::Counterfactual {
+            value,
+            pattern: policy.into(),
+            remove,
+        })
     }
 
     /// Writes every request, *then* reads every response — pipelining that

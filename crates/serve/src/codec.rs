@@ -18,15 +18,18 @@
 use crate::wire::{WireError, WireLimits, MIN_WIRE_VERSION, WIRE_VERSION};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use piprov_audit::{
-    AuditOutcome, AuditRequest, AuditResponse, EngineStats, Exemplar, HistogramSnapshot,
-    MetricsSnapshot, PolicyInfo, PolicyListing, PolicySnapshot, RequestKind, RequestStats, Span,
-    SpanKind, TraceContext, TraceRecord,
+    AuditOutcome, AuditRequest, AuditResponse, CounterfactualVerdict, EngineStats, EventFilter,
+    Exemplar, HistogramSnapshot, MetricsSnapshot, PolicyInfo, PolicyListing, PolicySnapshot,
+    RequestKind, RequestStats, Span, SpanKind, TraceContext, TraceRecord, WhyEvent, WhySlice,
 };
 use piprov_core::name::{Channel, Principal};
-use piprov_core::provenance::{InternerStats, ShardStats};
+use piprov_core::provenance::{Direction, Event, InternerStats, Provenance, ShardStats};
 use piprov_patterns::MemoStats;
 use piprov_policy::{PackDiagnostic, PackFile, PackSource};
 use piprov_store::codec::{decode_body, encode_body, get_str, get_value, put_str, put_value};
+use piprov_store::record::{
+    direction_from_tag, direction_tag, flatten_provenance, unflatten_provenance,
+};
 use piprov_store::{AuditTrail, ProvenanceRecord, StoreStats};
 
 /// A client-to-server message.
@@ -157,6 +160,8 @@ pub fn request_kind(request: &WireRequest) -> RequestKind {
         WireRequest::Audit(AuditRequest::AuditTrail { .. }) => RequestKind::Trail,
         WireRequest::Audit(AuditRequest::WhoTouched { .. }) => RequestKind::Touched,
         WireRequest::Audit(AuditRequest::OriginOf { .. }) => RequestKind::Origin,
+        WireRequest::Audit(AuditRequest::Why { .. }) => RequestKind::Why,
+        WireRequest::Audit(AuditRequest::Counterfactual { .. }) => RequestKind::Counterfactual,
         WireRequest::IngestBatch(_) => RequestKind::Ingest,
         WireRequest::Flush => RequestKind::Flush,
         WireRequest::Stats => RequestKind::Stats,
@@ -188,6 +193,14 @@ const AUDIT_VET: u8 = 1;
 const AUDIT_TRAIL: u8 = 2;
 const AUDIT_TOUCHED: u8 = 3;
 const AUDIT_ORIGIN: u8 = 4;
+// Added with version 6 (the causal-query plane).
+const AUDIT_WHY: u8 = 5;
+const AUDIT_COUNTERFACTUAL: u8 = 6;
+
+// [`EventFilter`] tags (version 6).
+const FILTER_PRINCIPAL: u8 = 1;
+const FILTER_KIND: u8 = 2;
+const FILTER_CHANNEL_VIA: u8 = 3;
 
 const RESP_AUDIT: u8 = 1;
 const RESP_ACK: u8 = 2;
@@ -208,6 +221,9 @@ const OUTCOME_TOUCHED: u8 = 3;
 const OUTCOME_ORIGIN: u8 = 4;
 const OUTCOME_UNKNOWN_VALUE: u8 = 5;
 const OUTCOME_UNKNOWN_PATTERN: u8 = 6;
+// Added with version 6 (the causal-query plane).
+const OUTCOME_WHY: u8 = 7;
+const OUTCOME_COUNTERFACTUAL: u8 = 8;
 
 fn malformed(what: impl Into<String>) -> WireError {
     WireError::Malformed(what.into())
@@ -407,6 +423,21 @@ pub fn encode_request(request: &WireRequest) -> Bytes {
                 buf.put_u8(AUDIT_ORIGIN);
                 put_value(buf, value);
             }
+            AuditRequest::Why { value, pattern } => {
+                buf.put_u8(AUDIT_WHY);
+                put_value(buf, value);
+                put_str(buf, pattern);
+            }
+            AuditRequest::Counterfactual {
+                value,
+                pattern,
+                remove,
+            } => {
+                buf.put_u8(AUDIT_COUNTERFACTUAL);
+                put_value(buf, value);
+                put_str(buf, pattern);
+                put_event_filter(buf, remove);
+            }
         }),
         WireRequest::IngestBatch(records) => {
             finish_message(REQ_INGEST, |buf| put_records(buf, records))
@@ -468,6 +499,17 @@ pub fn decode_request_traced(
                 AUDIT_ORIGIN => AuditRequest::OriginOf {
                     value: wire_value(&mut buf)?,
                 },
+                // The causal-query tags are version-6 vocabulary: a pre-v6
+                // body carrying one falls through to the unknown-tag error.
+                AUDIT_WHY if version >= 6 => AuditRequest::Why {
+                    value: wire_value(&mut buf)?,
+                    pattern: wire_str(&mut buf)?,
+                },
+                AUDIT_COUNTERFACTUAL if version >= 6 => AuditRequest::Counterfactual {
+                    value: wire_value(&mut buf)?,
+                    pattern: wire_str(&mut buf)?,
+                    remove: get_event_filter(&mut buf)?,
+                },
                 other => return Err(malformed(format!("unknown audit request tag {}", other))),
             };
             WireRequest::Audit(audit)
@@ -522,15 +564,125 @@ fn put_request_stats(buf: &mut BytesMut, stats: &RequestStats) {
     buf.put_u64(stats.index_hits as u64);
     buf.put_u64(stats.memo_hits as u64);
     buf.put_u64(stats.dag_nodes_visited as u64);
+    // Version 6 appended the counterfactual memo-reuse counter.
+    buf.put_u64(stats.memo_reused as u64);
 }
 
-fn get_request_stats(buf: &mut Bytes) -> Result<RequestStats, WireError> {
+fn get_request_stats(buf: &mut Bytes, version: u8) -> Result<RequestStats, WireError> {
     need(buf, 24, "request stats")?;
-    Ok(RequestStats {
+    let mut stats = RequestStats {
         index_hits: buf.get_u64() as usize,
         memo_hits: buf.get_u64() as usize,
         dag_nodes_visited: buf.get_u64() as usize,
+        ..RequestStats::default()
+    };
+    if version >= 6 {
+        need(buf, 8, "request stats memo_reused")?;
+        stats.memo_reused = buf.get_u64() as usize;
+    }
+    Ok(stats)
+}
+
+fn put_event_filter(buf: &mut BytesMut, filter: &EventFilter) {
+    match filter {
+        EventFilter::Principal(principal) => {
+            buf.put_u8(FILTER_PRINCIPAL);
+            put_str(buf, principal.as_str());
+        }
+        EventFilter::Kind(direction) => {
+            buf.put_u8(FILTER_KIND);
+            buf.put_u8(direction_tag(*direction));
+        }
+        EventFilter::ChannelVia(principal) => {
+            buf.put_u8(FILTER_CHANNEL_VIA);
+            put_str(buf, principal.as_str());
+        }
+    }
+}
+
+fn get_event_filter(buf: &mut Bytes) -> Result<EventFilter, WireError> {
+    need(buf, 1, "event filter tag")?;
+    Ok(match buf.get_u8() {
+        FILTER_PRINCIPAL => EventFilter::Principal(Principal::new(wire_str(buf)?)),
+        FILTER_KIND => {
+            need(buf, 1, "event filter direction")?;
+            let direction = direction_from_tag(buf.get_u8())
+                .ok_or_else(|| malformed("unknown event filter direction"))?;
+            EventFilter::Kind(direction)
+        }
+        FILTER_CHANNEL_VIA => EventFilter::ChannelVia(Principal::new(wire_str(buf)?)),
+        other => return Err(malformed(format!("unknown event filter tag {}", other))),
     })
+}
+
+/// Writes one [`WhyEvent`]: the DAG node id, the event's principal and
+/// direction, then the channel provenance as a flattened preorder
+/// `(depth, direction, principal)` list — the same shape the store's
+/// legacy record codec uses, expanded (sharing inside a single channel
+/// history is rare and slices are operator-facing diagnostics).
+fn put_why_event(buf: &mut BytesMut, event: &WhyEvent) {
+    buf.put_u32(event.node);
+    put_str(buf, event.event.principal.as_str());
+    buf.put_u8(direction_tag(event.event.direction));
+    let flat = flatten_provenance(&event.event.channel_provenance);
+    buf.put_u32(flat.len() as u32);
+    for (depth, nested) in &flat {
+        buf.put_u32(*depth);
+        buf.put_u8(direction_tag(nested.direction));
+        put_str(buf, nested.principal.as_str());
+    }
+}
+
+fn get_why_event(buf: &mut Bytes) -> Result<WhyEvent, WireError> {
+    need(buf, 4, "why event node")?;
+    let node = buf.get_u32();
+    let principal = Principal::new(wire_str(buf)?);
+    need(buf, 5, "why event direction")?;
+    let direction =
+        direction_from_tag(buf.get_u8()).ok_or_else(|| malformed("unknown why event direction"))?;
+    let count = buf.get_u32() as usize;
+    // A channel entry costs at least its 4 depth + 1 direction + 2
+    // principal-length bytes; cap the pre-allocation accordingly.
+    let mut flat = Vec::with_capacity(count.min(buf.remaining() / 7 + 1));
+    for _ in 0..count {
+        need(buf, 5, "why event channel entry")?;
+        let depth = buf.get_u32();
+        let nested_direction = direction_from_tag(buf.get_u8())
+            .ok_or_else(|| malformed("unknown why event channel direction"))?;
+        let nested = Principal::new(wire_str(buf)?);
+        flat.push((
+            depth,
+            match nested_direction {
+                Direction::Output => Event::output(nested, Provenance::empty()),
+                Direction::Input => Event::input(nested, Provenance::empty()),
+            },
+        ));
+    }
+    let channel_provenance = unflatten_provenance(&flat);
+    let event = match direction {
+        Direction::Output => Event::output(principal, channel_provenance),
+        Direction::Input => Event::input(principal, channel_provenance),
+    };
+    Ok(WhyEvent { node, event })
+}
+
+fn put_why_events(buf: &mut BytesMut, events: &[WhyEvent]) {
+    buf.put_u32(events.len() as u32);
+    for event in events {
+        put_why_event(buf, event);
+    }
+}
+
+fn get_why_events(buf: &mut Bytes) -> Result<Vec<WhyEvent>, WireError> {
+    need(buf, 4, "why event count")?;
+    let count = buf.get_u32() as usize;
+    // A why event costs at least 4 node + 2 principal-length + 1
+    // direction + 4 channel-count bytes.
+    let mut events = Vec::with_capacity(count.min(buf.remaining() / 11 + 1));
+    for _ in 0..count {
+        events.push(get_why_event(buf)?);
+    }
+    Ok(events)
 }
 
 fn put_engine_stats(buf: &mut BytesMut, stats: &EngineStats) {
@@ -766,6 +918,8 @@ fn put_policy_snapshot(buf: &mut BytesMut, policy: &PolicySnapshot) {
         vets_passed,
         vets_failed,
         vets_unknown_value,
+        counterfactuals,
+        counterfactual_flips,
         latency,
     } = policy;
     put_str(buf, name);
@@ -773,6 +927,9 @@ fn put_policy_snapshot(buf: &mut BytesMut, policy: &PolicySnapshot) {
     buf.put_u64(*vets_passed);
     buf.put_u64(*vets_failed);
     buf.put_u64(*vets_unknown_value);
+    // Version 6: the counterfactual counters.
+    buf.put_u64(*counterfactuals);
+    buf.put_u64(*counterfactual_flips);
     put_histogram(buf, latency);
 }
 
@@ -780,12 +937,24 @@ fn get_policy_snapshot(buf: &mut Bytes, version: u8) -> Result<PolicySnapshot, W
     let name = wire_str(buf)?;
     let memo = get_memo_stats(buf)?;
     need(buf, 24, "policy verdict counters")?;
+    let vets_passed = buf.get_u64();
+    let vets_failed = buf.get_u64();
+    let vets_unknown_value = buf.get_u64();
+    // A pre-v6 peer omits the counterfactual counters: decode as 0.
+    let (counterfactuals, counterfactual_flips) = if version >= 6 {
+        need(buf, 16, "policy counterfactual counters")?;
+        (buf.get_u64(), buf.get_u64())
+    } else {
+        (0, 0)
+    };
     Ok(PolicySnapshot {
         policy: name,
         memo,
-        vets_passed: buf.get_u64(),
-        vets_failed: buf.get_u64(),
-        vets_unknown_value: buf.get_u64(),
+        vets_passed,
+        vets_failed,
+        vets_unknown_value,
+        counterfactuals,
+        counterfactual_flips,
         latency: get_histogram(buf, version)?,
     })
 }
@@ -985,6 +1154,28 @@ pub fn encode_response(response: &WireResponse) -> Bytes {
                         None => buf.put_u8(0),
                     }
                 }
+                AuditOutcome::Why(slice) => {
+                    buf.put_u8(OUTCOME_WHY);
+                    // Version 6: the witness slice.
+                    buf.put_u8(slice.verdict as u8);
+                    buf.put_u64(slice.sequence);
+                    match slice.blocked {
+                        Some(index) => {
+                            buf.put_u8(1);
+                            buf.put_u32(index);
+                        }
+                        None => buf.put_u8(0),
+                    }
+                    put_why_events(buf, &slice.events);
+                }
+                AuditOutcome::Counterfactual(verdict) => {
+                    buf.put_u8(OUTCOME_COUNTERFACTUAL);
+                    // Version 6: both verdicts plus the delta slice.
+                    buf.put_u8(verdict.original as u8);
+                    buf.put_u8(verdict.counterfactual as u8);
+                    buf.put_u64(verdict.sequence);
+                    put_why_events(buf, &verdict.removed);
+                }
                 AuditOutcome::UnknownValue => buf.put_u8(OUTCOME_UNKNOWN_VALUE),
                 AuditOutcome::UnknownPattern { known, nearest } => {
                     buf.put_u8(OUTCOME_UNKNOWN_PATTERN);
@@ -1133,6 +1324,55 @@ pub fn decode_response(mut buf: Bytes, limits: &WireLimits) -> Result<WireRespon
                     AuditOutcome::Origin { principal }
                 }
                 OUTCOME_UNKNOWN_VALUE => AuditOutcome::UnknownValue,
+                // The causal outcomes are version-6 vocabulary.
+                OUTCOME_WHY if version >= 6 => {
+                    need(&buf, 9, "why slice header")?;
+                    let verdict = match buf.get_u8() {
+                        0 => false,
+                        1 => true,
+                        other => return Err(malformed(format!("bad why verdict {}", other))),
+                    };
+                    let sequence = buf.get_u64();
+                    need(&buf, 1, "why blocked flag")?;
+                    let blocked = match buf.get_u8() {
+                        0 => None,
+                        1 => {
+                            need(&buf, 4, "why blocked index")?;
+                            Some(buf.get_u32())
+                        }
+                        other => return Err(malformed(format!("bad why blocked flag {}", other))),
+                    };
+                    let events = get_why_events(&mut buf)?;
+                    if let Some(index) = blocked {
+                        if index as usize >= events.len() {
+                            return Err(malformed("why blocked index out of range"));
+                        }
+                    }
+                    AuditOutcome::Why(WhySlice {
+                        verdict,
+                        sequence,
+                        events,
+                        blocked,
+                    })
+                }
+                OUTCOME_COUNTERFACTUAL if version >= 6 => {
+                    need(&buf, 10, "counterfactual header")?;
+                    let flag = |byte: u8, what: &str| match byte {
+                        0 => Ok(false),
+                        1 => Ok(true),
+                        other => Err(malformed(format!("bad {} flag {}", what, other))),
+                    };
+                    let original = flag(buf.get_u8(), "counterfactual original")?;
+                    let counterfactual = flag(buf.get_u8(), "counterfactual filtered")?;
+                    let sequence = buf.get_u64();
+                    let removed = get_why_events(&mut buf)?;
+                    AuditOutcome::Counterfactual(CounterfactualVerdict {
+                        original,
+                        counterfactual,
+                        sequence,
+                        removed,
+                    })
+                }
                 OUTCOME_UNKNOWN_PATTERN => {
                     // A pre-v5 peer sends no payload: decode to empty.
                     if version >= 5 {
@@ -1155,7 +1395,7 @@ pub fn decode_response(mut buf: Bytes, limits: &WireLimits) -> Result<WireRespon
                 }
                 other => return Err(malformed(format!("unknown audit outcome tag {}", other))),
             };
-            let stats = get_request_stats(&mut buf)?;
+            let stats = get_request_stats(&mut buf, version)?;
             need(&buf, 8, "response watermark")?;
             let watermark = buf.get_u64();
             // A pre-v5 peer omits the pack version: decode as 0.
@@ -1409,6 +1649,8 @@ mod tests {
                 vets_passed: 5,
                 vets_failed: 2,
                 vets_unknown_value: 1,
+                counterfactuals: 7,
+                counterfactual_flips: 3,
                 latency: HistogramSnapshot {
                     counts: vec![1; piprov_audit::LATENCY_BUCKET_BOUNDS_NS.len()],
                     overflow: 0,
@@ -1751,7 +1993,10 @@ mod tests {
         body.put_u8(4);
         body.put_u8(RESP_AUDIT);
         body.put_u8(OUTCOME_UNKNOWN_PATTERN);
-        put_request_stats(&mut body, &RequestStats::default());
+        // Pre-v6 stats: three u64 counters, no memo_reused.
+        body.put_u64(0);
+        body.put_u64(0);
+        body.put_u64(0);
         body.put_u64(17); // watermark
         let decoded = decode_response(body.freeze(), &limits).unwrap();
         assert_eq!(
@@ -1795,6 +2040,87 @@ mod tests {
         ));
         let mut remarked = encode_request(&WireRequest::ListPolicies).to_vec();
         remarked[0] = 4;
+        assert!(matches!(
+            decode_request(Bytes::from(remarked), &limits),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn version_5_bodies_still_decode_without_the_v6_extensions() {
+        let limits = WireLimits::default();
+        // A v5 peer's audit response: three stats counters (no
+        // memo_reused), watermark, pack version.  Build the body by hand
+        // — our encoder always speaks v6.
+        let mut body = BytesMut::new();
+        body.put_u8(5);
+        body.put_u8(RESP_AUDIT);
+        body.put_u8(OUTCOME_VETTED);
+        body.put_u8(1); // verdict
+        body.put_u64(9); // sequence
+        body.put_u64(2); // index_hits
+        body.put_u64(3); // memo_hits
+        body.put_u64(4); // dag_nodes_visited
+        body.put_u64(17); // watermark
+        body.put_u64(1); // pack version
+        let decoded = decode_response(body.freeze(), &limits).unwrap();
+        assert_eq!(
+            decoded,
+            WireResponse::Audit(AuditResponse {
+                outcome: AuditOutcome::Vetted {
+                    verdict: true,
+                    sequence: 9,
+                },
+                stats: RequestStats {
+                    index_hits: 2,
+                    memo_hits: 3,
+                    dag_nodes_visited: 4,
+                    memo_reused: 0,
+                },
+                watermark: 17,
+                pack_version: 1,
+            })
+        );
+        // A v6 body re-marked v5 has trailing bytes (memo_reused):
+        // rejected, not misread.
+        let mut remarked = encode_response(&WireResponse::Audit(AuditResponse {
+            outcome: AuditOutcome::UnknownValue,
+            stats: RequestStats::default(),
+            watermark: 1,
+            pack_version: 3,
+        }))
+        .to_vec();
+        remarked[0] = 5;
+        assert!(matches!(
+            decode_response(Bytes::from(remarked), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        // The causal-query tags are v6 vocabulary: a v5 body carrying one
+        // is an unknown tag, on both sides of the wire.
+        let mut remarked = encode_response(&WireResponse::Audit(AuditResponse {
+            outcome: AuditOutcome::Why(WhySlice {
+                verdict: true,
+                sequence: 1,
+                events: Vec::new(),
+                blocked: None,
+            }),
+            stats: RequestStats::default(),
+            watermark: 1,
+            pack_version: 1,
+        }))
+        .to_vec();
+        remarked[0] = 5;
+        assert!(matches!(
+            decode_response(Bytes::from(remarked), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        let mut remarked = encode_request(&WireRequest::Audit(AuditRequest::Counterfactual {
+            value: Value::Channel(Channel::new("v")),
+            pattern: "p".into(),
+            remove: EventFilter::Kind(Direction::Input),
+        }))
+        .to_vec();
+        remarked[0] = 5;
         assert!(matches!(
             decode_request(Bytes::from(remarked), &limits),
             Err(WireError::Malformed(_))

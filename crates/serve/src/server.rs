@@ -36,9 +36,12 @@ use crate::codec::{
 };
 use crate::wire::{read_frame_or_http, write_frame, FrameOrHttp, WireError, WireLimits};
 use piprov_audit::{
-    render_traces, AuditEngine, BarrierError, ExpositionOptions, IngestQueue, Span, SpanKind,
-    SubmitOutcome, TraceCollector, TraceConfig, TraceContext,
+    render_traces, AuditEngine, AuditOutcome, AuditRequest, BarrierError, ExpositionOptions,
+    IngestQueue, PolicyListing, Span, SpanKind, SubmitOutcome, TraceCollector, TraceConfig,
+    TraceContext,
 };
+use piprov_core::name::Channel;
+use piprov_core::value::Value;
 use piprov_store::StoreError;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -553,9 +556,12 @@ pub(crate) fn contains_blank_line(head: &[u8]) -> bool {
 /// the Prometheus exposition for `/metrics` (`text/plain; version=0.0.4`,
 /// the content type Prometheus scrapers negotiate, with exemplar suffixes
 /// when [`TraceConfig::exemplars`] is set), the trace ring for `/trace`
-/// (filterable with `?min_us=N`), a liveness probe for `/healthz`, 404
-/// for any other path.  Always `Connection: close` — the scrape path is
-/// one-shot, never a persistent peer.
+/// (filterable with `?min_us=N`), the policy listing for `/policies`
+/// (filterable with `?package=NAME`; an unknown package 404s), the
+/// why-provenance debug endpoint `/why?value=V&policy=P`, a liveness
+/// probe for `/healthz`, 404 for any other path.  Always
+/// `Connection: close` — the scrape path is one-shot, never a persistent
+/// peer.
 pub(crate) fn http_response_for(
     head: &[u8],
     engine: &AuditEngine,
@@ -585,11 +591,14 @@ pub(crate) fn http_response_for(
             "text/plain; charset=utf-8",
             render_traces(&collector.snapshot(trace_min_total_ns(query))),
         ),
-        Some("/policies") => (
-            "200 OK",
-            "text/plain; charset=utf-8",
-            engine.policies().to_string(),
-        ),
+        Some("/policies") => {
+            let (status, body) = policies_response(query, engine);
+            (status, "text/plain; charset=utf-8", body)
+        }
+        Some("/why") => {
+            let (status, body) = why_response(query, engine);
+            (status, "text/plain; charset=utf-8", body)
+        }
         Some("/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
         _ => (
             "404 Not Found",
@@ -608,16 +617,83 @@ pub(crate) fn http_response_for(
     response
 }
 
-/// The `min_us=N` filter of a `/trace` query string, in nanoseconds.
-/// Anything absent or unparsable means "no filter".
-fn trace_min_total_ns(query: Option<&str>) -> u64 {
+/// The value of `key=` in an HTTP query string (`a=1&b=2`), if present.
+/// Shared by every filterable endpoint (`/trace?min_us=`,
+/// `/policies?package=`, `/why?value=&policy=`); the first occurrence
+/// wins.  No percent-decoding — the names this surface filters on are
+/// plain identifiers.
+fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
     query
         .into_iter()
         .flat_map(|q| q.split('&'))
-        .find_map(|pair| pair.strip_prefix("min_us="))
+        .find_map(|pair| pair.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+}
+
+/// The `min_us=N` filter of a `/trace` query string, in nanoseconds.
+/// Anything absent or unparsable means "no filter".
+fn trace_min_total_ns(query: Option<&str>) -> u64 {
+    query_param(query, "min_us")
         .and_then(|v| v.parse::<u64>().ok())
         .map(|us| us.saturating_mul(1_000))
         .unwrap_or(0)
+}
+
+/// The `/policies` body: the full listing, or — with `?package=NAME` —
+/// only that package's policies, 404ing when the package matches nothing
+/// (an empty listing would be indistinguishable from "no policies loaded
+/// yet" to a dashboard).
+fn policies_response(query: Option<&str>, engine: &AuditEngine) -> (&'static str, String) {
+    let listing = engine.policies();
+    match query_param(query, "package") {
+        None => ("200 OK", listing.to_string()),
+        Some(package) => {
+            let PolicyListing { version, policies } = listing;
+            let filtered: Vec<_> = policies
+                .into_iter()
+                .filter(|p| p.package == package)
+                .collect();
+            if filtered.is_empty() {
+                return ("404 Not Found", format!("unknown package {}\n", package));
+            }
+            (
+                "200 OK",
+                PolicyListing {
+                    version,
+                    policies: filtered,
+                }
+                .to_string(),
+            )
+        }
+    }
+}
+
+/// The `/why?value=V&policy=P` body: the rendered witness slice for the
+/// named channel value against the named policy.  Missing parameters are
+/// a 400; an unknown value or policy is a 404 carrying the engine's
+/// diagnostic outcome.
+fn why_response(query: Option<&str>, engine: &AuditEngine) -> (&'static str, String) {
+    let Some(value) = query_param(query, "value") else {
+        return ("400 Bad Request", "missing value= parameter\n".to_string());
+    };
+    let Some(policy) = query_param(query, "policy") else {
+        return ("400 Bad Request", "missing policy= parameter\n".to_string());
+    };
+    let response = engine.handle(&AuditRequest::Why {
+        value: Value::Channel(Channel::new(value)),
+        pattern: policy.to_string(),
+    });
+    match response.outcome {
+        AuditOutcome::Why(slice) => ("200 OK", slice.to_string()),
+        AuditOutcome::UnknownValue => ("404 Not Found", format!("unknown value {}\n", value)),
+        AuditOutcome::UnknownPattern { nearest, .. } => (
+            "404 Not Found",
+            match nearest {
+                Some(nearest) => format!("unknown policy {} (nearest: {})\n", policy, nearest),
+                None => format!("unknown policy {}\n", policy),
+            },
+        ),
+        other => ("500 Internal Server Error", format!("{:?}\n", other)),
+    }
 }
 
 /// The request path of a `GET` request line, if `head` starts with one.

@@ -43,11 +43,16 @@ use std::io::{ErrorKind, Read, Write};
 /// stamped after every audit response's watermark, and the
 /// known-names-plus-nearest payload on `UnknownPattern` — all additive, so
 /// v3/v4 peers interoperate unchanged (they simply never send the new
-/// tags, and their audit responses decode with pack version 0).  Decoders
+/// tags, and their audit responses decode with pack version 0).  Version 6
+/// added the causal-query plane: the `Why`/`Counterfactual` audit request
+/// kinds with their typed `Why`/`Counterfactual` outcomes, the
+/// `memo_reused` counter after every request-stats block, and the
+/// per-policy counterfactual counters in the `Metrics` payload — again
+/// additive, so v3..v5 peers interoperate unchanged.  Decoders
 /// accept [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`];
 /// anything else is refused with a typed
 /// [`WireError::UnsupportedVersion`].
-pub const WIRE_VERSION: u8 = 5;
+pub const WIRE_VERSION: u8 = 6;
 
 /// Oldest version byte decoders still accept.  Version 3 bodies carry no
 /// trace field and no v4 metrics extensions; both were added additively,

@@ -12,12 +12,13 @@
 
 use bytes::Bytes;
 use piprov_audit::{
-    AuditEngine, AuditOutcome, AuditRequest, AuditResponse, EngineStats, Exemplar,
-    HistogramSnapshot, MetricsSnapshot, PolicyInfo, PolicyListing, PolicySnapshot, RequestKind,
-    RequestStats, Span, SpanKind, TraceContext, TraceRecord,
+    AuditEngine, AuditOutcome, AuditRequest, AuditResponse, CounterfactualVerdict, EngineStats,
+    EventFilter, Exemplar, HistogramSnapshot, MetricsSnapshot, PolicyInfo, PolicyListing,
+    PolicySnapshot, RequestKind, RequestStats, Span, SpanKind, TraceContext, TraceRecord, WhyEvent,
+    WhySlice,
 };
 use piprov_core::name::{Channel, Principal};
-use piprov_core::provenance::{Event, InternerStats, Provenance, ShardStats};
+use piprov_core::provenance::{Direction, Event, InternerStats, Provenance, ShardStats};
 use piprov_core::value::Value;
 use piprov_patterns::MemoStats;
 use piprov_policy::{PackDiagnostic, PackFile, PackSource};
@@ -83,6 +84,14 @@ fn arb_record() -> impl Strategy<Value = ProvenanceRecord> {
         )
 }
 
+fn arb_event_filter() -> impl Strategy<Value = EventFilter> {
+    prop_oneof![
+        (0u32..32).prop_map(|p| EventFilter::Principal(Principal::new(format!("p{}", p)))),
+        prop_oneof![Just(Direction::Output), Just(Direction::Input)].prop_map(EventFilter::Kind),
+        (0u32..32).prop_map(|p| EventFilter::ChannelVia(Principal::new(format!("p{}", p)))),
+    ]
+}
+
 fn arb_audit_request() -> impl Strategy<Value = AuditRequest> {
     prop_oneof![
         (arb_value(), 0u32..16).prop_map(|(value, p)| AuditRequest::VetValue {
@@ -94,17 +103,97 @@ fn arb_audit_request() -> impl Strategy<Value = AuditRequest> {
             principal: Principal::new(format!("p{}", p)),
         }),
         arb_value().prop_map(|value| AuditRequest::OriginOf { value }),
+        (arb_value(), 0u32..16).prop_map(|(value, p)| AuditRequest::Why {
+            value,
+            pattern: format!("pattern{}", p),
+        }),
+        (arb_value(), 0u32..16, arb_event_filter()).prop_map(|(value, p, remove)| {
+            AuditRequest::Counterfactual {
+                value,
+                pattern: format!("pattern{}", p),
+                remove,
+            }
+        }),
     ]
 }
 
 fn arb_request_stats() -> impl Strategy<Value = RequestStats> {
-    (0usize..1 << 20, 0usize..1 << 20, 0usize..1 << 20).prop_map(
-        |(index_hits, memo_hits, dag_nodes_visited)| RequestStats {
-            index_hits,
-            memo_hits,
-            dag_nodes_visited,
-        },
+    (
+        0usize..1 << 20,
+        0usize..1 << 20,
+        0usize..1 << 20,
+        0usize..1 << 20,
     )
+        .prop_map(
+            |(index_hits, memo_hits, dag_nodes_visited, memo_reused)| RequestStats {
+                index_hits,
+                memo_hits,
+                dag_nodes_visited,
+                memo_reused,
+            },
+        )
+}
+
+fn arb_why_events() -> impl Strategy<Value = Vec<WhyEvent>> {
+    proptest::collection::vec(
+        (any::<u32>(), 0u8..5, any::<bool>(), arb_provenance()),
+        0..5,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(node, principal, output, channel)| {
+                let principal = Principal::new(format!("p{}", principal));
+                let event = if output {
+                    Event::output(principal, channel)
+                } else {
+                    Event::input(principal, channel)
+                };
+                WhyEvent { node, event }
+            })
+            .collect()
+    })
+}
+
+fn arb_why_slice() -> impl Strategy<Value = WhySlice> {
+    (
+        any::<bool>(),
+        0u64..1 << 40,
+        arb_why_events(),
+        any::<bool>(),
+    )
+        .prop_map(|(verdict, sequence, events, mark_blocked)| {
+            // The codec rejects out-of-range blocked indices, so only mark a
+            // blocked frontier when there is an event to point at.
+            let blocked = if mark_blocked && !events.is_empty() {
+                Some(events.len() as u32 - 1)
+            } else {
+                None
+            };
+            WhySlice {
+                verdict,
+                sequence,
+                events,
+                blocked,
+            }
+        })
+}
+
+fn arb_counterfactual() -> impl Strategy<Value = CounterfactualVerdict> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        0u64..1 << 40,
+        arb_why_events(),
+    )
+        .prop_map(
+            |(original, counterfactual, sequence, removed)| CounterfactualVerdict {
+                original,
+                counterfactual,
+                sequence,
+                removed,
+            },
+        )
 }
 
 fn arb_outcome() -> impl Strategy<Value = AuditOutcome> {
@@ -153,6 +242,8 @@ fn arb_outcome() -> impl Strategy<Value = AuditOutcome> {
                 known: known.into_iter().map(|i| format!("pol{}", i)).collect(),
                 nearest,
             }),
+        arb_why_slice().prop_map(AuditOutcome::Why),
+        arb_counterfactual().prop_map(AuditOutcome::Counterfactual),
     ]
 }
 
@@ -250,16 +341,25 @@ fn arb_policy_snapshot() -> impl Strategy<Value = PolicySnapshot> {
         (0u32..64).prop_map(|i| format!("policy-{}", i)),
         arb_memo_stats(),
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 40, 0u64..1 << 40),
         arb_histogram(),
     )
         .prop_map(
-            |(policy, memo, (vets_passed, vets_failed, vets_unknown_value), latency)| {
+            |(
+                policy,
+                memo,
+                (vets_passed, vets_failed, vets_unknown_value),
+                (counterfactuals, counterfactual_flips),
+                latency,
+            )| {
                 PolicySnapshot {
                     policy,
                     memo,
                     vets_passed,
                     vets_failed,
                     vets_unknown_value,
+                    counterfactuals,
+                    counterfactual_flips,
                     latency,
                 }
             },

@@ -63,8 +63,9 @@ pub use piprov_store as store;
 pub mod prelude {
     pub use piprov_audit::{
         render_exposition, render_traces, validate_exposition, validate_trace_text, AuditEngine,
-        AuditOutcome, AuditRecorder, AuditRequest, AuditResponse, EngineSnapshot, IngestQueue,
-        MetricsSnapshot, TraceConfig, TraceContext, TraceRecord,
+        AuditOutcome, AuditRecorder, AuditRequest, AuditResponse, CounterfactualVerdict,
+        EngineSnapshot, EventFilter, IngestQueue, MetricsSnapshot, TraceConfig, TraceContext,
+        TraceRecord, WhySlice,
     };
     pub use piprov_core::interpreter::{Executor, SchedulerPolicy, StopReason};
     pub use piprov_core::name::{Channel, Principal, Variable};
